@@ -1,0 +1,268 @@
+// Package stencilabft is a Go implementation of "Algorithm-Based Fault
+// Tolerance for Parallel Stencil Computations" (Cavelan & Ciorba, CLUSTER
+// 2019): checksum-based detection and correction of silent data corruptions
+// (SDCs, e.g. memory bit-flips) in arbitrary 2-D and 3-D stencil
+// computations.
+//
+// # The method in one paragraph
+//
+// A stencil sweep does not preserve the row/column checksums of its domain,
+// so classic ABFT cannot compare checksums across iterations. The paper's
+// insight is that the checksums of iteration t+1 can be *interpolated* from
+// the checksums of iteration t by applying the stencil kernel, collapsed to
+// one dimension, to the checksum vectors themselves (plus boundary terms
+// that depend only on the domain's edge strips). Comparing the interpolated
+// checksum with the directly computed one detects corruption; intersecting
+// the mismatching row and column indices locates it; and simple algebra on
+// the checksums recovers the original value.
+//
+// # Quick start
+//
+//	op := &stencilabft.Op2D[float32]{
+//		St: stencilabft.Laplace5[float32](0.2),
+//		BC: stencilabft.Clamp,
+//	}
+//	p, err := stencilabft.NewOnline2D(op, initialGrid, stencilabft.Options[float32]{})
+//	if err != nil { ... }
+//	for i := 0; i < iterations; i++ {
+//		p.Step(nil) // sweep + verify + correct, ~8% overhead
+//	}
+//	result := p.Grid()
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+//
+// # Choosing a protector
+//
+//   - Online (NewOnline2D / NewOnline3D): verification after every sweep,
+//     on-the-fly correction with a small floating-point residual. Lowest
+//     time-to-detection; no checkpoint memory.
+//   - Offline (NewOffline2D / NewOffline3D): verification every Δ sweeps,
+//     recovery by rollback to an in-memory checkpoint and recomputation —
+//     the error is erased exactly, at the cost of checkpoint memory and a
+//     recomputation spike when an error occurs.
+//   - None (NewNone2D / NewNone3D): the unprotected baseline.
+//
+// All protectors run the same sweep engine and accept a worker Pool for
+// row-partitioned (2-D) or layer-partitioned (3-D) parallel execution.
+package stencilabft
+
+import (
+	"stencilabft/internal/blocks"
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/core"
+	"stencilabft/internal/dist"
+	"stencilabft/internal/fault"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Float is the element-type constraint: float32 or float64. The paper's
+// experiments use float32; float64 lowers the detection floor by nine
+// orders of magnitude.
+type Float = num.Float
+
+// Grid is a dense 2-D domain. See New.
+type Grid[T Float] = grid.Grid[T]
+
+// Grid3D is a dense 3-D domain stored as z-layers. See New3D.
+type Grid3D[T Float] = grid.Grid3D[T]
+
+// New allocates an nx-by-ny grid initialised to zero.
+func New[T Float](nx, ny int) *Grid[T] { return grid.New[T](nx, ny) }
+
+// New3D allocates an nx-by-ny-by-nz grid initialised to zero.
+func New3D[T Float](nx, ny, nz int) *Grid3D[T] { return grid.New3D[T](nx, ny, nz) }
+
+// Boundary selects how out-of-domain points are resolved.
+type Boundary = grid.Boundary
+
+// Boundary conditions.
+const (
+	Clamp    = grid.Clamp    // repeat the border value (paper's "bounce-back")
+	Periodic = grid.Periodic // wrap around; boundary terms vanish
+	Mirror   = grid.Mirror   // reflect about the border
+	Constant = grid.Constant // substitute a fixed ghost value
+	Zero     = grid.Zero     // treat ghosts as zero ("empty boundaries")
+)
+
+// Point is one weighted stencil offset.
+type Point[T Float] = stencil.Point[T]
+
+// Stencil is an arbitrary set of weighted offsets (the paper's S).
+type Stencil[T Float] = stencil.Stencil[T]
+
+// Op2D binds a 2-D stencil to its boundary condition and optional constant
+// field.
+type Op2D[T Float] = stencil.Op2D[T]
+
+// Op3D binds a (possibly 3-D) stencil to a 3-D sweep context.
+type Op3D[T Float] = stencil.Op3D[T]
+
+// Pool partitions sweeps over workers; nil runs sequentially.
+type Pool = stencil.Pool
+
+// NewPool returns a pool sized to GOMAXPROCS.
+func NewPool() *Pool { return stencil.NewPool() }
+
+// FivePoint builds the classic 2-D five-point stencil with individual
+// weights for centre, west, east, north and south.
+func FivePoint[T Float](c, w, e, n, s T) *Stencil[T] { return stencil.FivePoint(c, w, e, n, s) }
+
+// Laplace5 returns the five-point Jacobi heat kernel
+// u' = u + alpha*(sum of neighbours - 4u).
+func Laplace5[T Float](alpha T) *Stencil[T] { return stencil.Laplace5(alpha) }
+
+// Jacobi4 returns the paper's four-point averaging example stencil.
+func Jacobi4[T Float]() *Stencil[T] { return stencil.Jacobi4[T]() }
+
+// BoxBlur returns the 3x3 uniform averaging stencil.
+func BoxBlur[T Float]() *Stencil[T] { return stencil.BoxBlur[T]() }
+
+// SevenPoint3D returns the 3-D seven-point stencil (centre, west, east,
+// north, south, below, above) — the HotSpot3D shape.
+func SevenPoint3D[T Float](c, w, e, n, s, b, a T) *Stencil[T] {
+	return stencil.SevenPoint3D(c, w, e, n, s, b, a)
+}
+
+// NewStencil builds a custom stencil from explicit points.
+func NewStencil[T Float](name string, points ...Point[T]) *Stencil[T] {
+	return &Stencil[T]{Name: name, Points: points}
+}
+
+// Detector compares direct against interpolated checksums.
+type Detector[T Float] = checksum.Detector[T]
+
+// Options configure a protector; the zero value uses the paper's defaults
+// (epsilon 1e-5, Δ=16, sequential execution).
+type Options[T Float] = core.Options[T]
+
+// Stats aggregates what a protector observed (detections, corrections,
+// rollbacks, checkpoint costs).
+type Stats = core.Stats
+
+// Online2D is the per-iteration detect-and-correct protector (Section 3).
+type Online2D[T Float] = core.Online2D[T]
+
+// Offline2D is the periodic-detection protector with checkpoint/rollback
+// recovery (Section 4).
+type Offline2D[T Float] = core.Offline2D[T]
+
+// None2D is the unprotected baseline runner.
+type None2D[T Float] = core.None2D[T]
+
+// Online3D applies the online scheme per z-layer with exact cross-layer
+// checksum coupling.
+type Online3D[T Float] = core.Online3D[T]
+
+// Offline3D applies the offline scheme to 3-D domains.
+type Offline3D[T Float] = core.Offline3D[T]
+
+// None3D is the unprotected 3-D baseline runner.
+type None3D[T Float] = core.None3D[T]
+
+// NewOnline2D builds an online protector for op, starting from init
+// (copied).
+func NewOnline2D[T Float](op *Op2D[T], init *Grid[T], opt Options[T]) (*Online2D[T], error) {
+	return core.NewOnline2D(op, init, opt)
+}
+
+// NewOffline2D builds an offline protector with detection period
+// opt.Period.
+func NewOffline2D[T Float](op *Op2D[T], init *Grid[T], opt Options[T]) (*Offline2D[T], error) {
+	return core.NewOffline2D(op, init, opt)
+}
+
+// NewNone2D builds the unprotected baseline runner.
+func NewNone2D[T Float](op *Op2D[T], init *Grid[T], opt Options[T]) (*None2D[T], error) {
+	return core.NewNone2D(op, init, opt)
+}
+
+// NewOnline3D builds a per-layer online protector for a 3-D domain.
+func NewOnline3D[T Float](op *Op3D[T], init *Grid3D[T], opt Options[T]) (*Online3D[T], error) {
+	return core.NewOnline3D(op, init, opt)
+}
+
+// NewOffline3D builds a 3-D offline protector.
+func NewOffline3D[T Float](op *Op3D[T], init *Grid3D[T], opt Options[T]) (*Offline3D[T], error) {
+	return core.NewOffline3D(op, init, opt)
+}
+
+// NewNone3D builds the unprotected 3-D baseline runner.
+func NewNone3D[T Float](op *Op3D[T], init *Grid3D[T], opt Options[T]) (*None3D[T], error) {
+	return core.NewNone3D(op, init, opt)
+}
+
+// RecoveryMode selects the offline repair strategy.
+type RecoveryMode = core.RecoveryMode
+
+// Offline recovery strategies.
+const (
+	// FullRollback restores the whole domain from the last checkpoint
+	// (the paper's Section 4.2 scheme).
+	FullRollback = core.FullRollback
+	// ConeRecovery recomputes only the error's light cone, falling back
+	// to FullRollback when the cone cannot be bounded.
+	ConeRecovery = core.ConeRecovery
+)
+
+// Cluster is the distributed-memory deployment: the domain decomposed into
+// row bands over simulated ranks exchanging halo rows, each rank running
+// the online ABFT scheme independently.
+type Cluster[T Float] = dist.Cluster[T]
+
+// ClusterOptions configure the per-rank protection of a Cluster.
+type ClusterOptions[T Float] = dist.Options[T]
+
+// RankStats aggregates one rank's ABFT counters.
+type RankStats = dist.Stats
+
+// NewCluster decomposes init into nRanks bands wired with halo channels.
+func NewCluster[T Float](op *Op2D[T], init *Grid[T], nRanks int, opt ClusterOptions[T]) (*Cluster[T], error) {
+	return dist.NewCluster(op, init, nRanks, opt)
+}
+
+// Calibration reports the error-free checksum noise floor of a
+// configuration, used to pick a detection threshold.
+type Calibration[T Float] = core.Calibration[T]
+
+// CalibrateEpsilon measures the floating-point checksum noise floor of op
+// on init over iters error-free sweeps and suggests a detection threshold
+// with a safety margin — the measurement behind the paper's epsilon = 1e-5
+// choice.
+func CalibrateEpsilon[T Float](op *Op2D[T], init *Grid[T], iters int) (Calibration[T], error) {
+	return core.CalibrateEpsilon(op, init, iters)
+}
+
+// Blocked2D applies the online scheme per chunk of a tiled 2-D domain
+// (paper Section 3.4): each block owns its checksums, keeping magnitudes —
+// and with them the floating-point detection floor — low.
+type Blocked2D[T Float] = blocks.Protector[T]
+
+// BlockOptions configure a tiled protector.
+type BlockOptions[T Float] = blocks.Options[T]
+
+// BlockStats aggregates the tiled protector's counters.
+type BlockStats = blocks.Stats
+
+// NewBlocked2D builds a tiled protector with blocks of nominal size bx by
+// by (edge blocks may differ; remainders below the stencil radius merge
+// into their neighbour).
+func NewBlocked2D[T Float](op *Op2D[T], init *Grid[T], bx, by int, opt BlockOptions[T]) (*Blocked2D[T], error) {
+	return blocks.New(op, init, bx, by, opt)
+}
+
+// Injection describes one planned bit-flip for fault-injection campaigns.
+type Injection = fault.Injection
+
+// Plan schedules injections by iteration.
+type Plan = fault.Plan
+
+// NewPlan builds a fault plan from explicit injections.
+func NewPlan(injs ...Injection) *Plan { return fault.NewPlan(injs...) }
+
+// Injector adapts a plan to the protectors' Step hook.
+type Injector[T Float] = fault.Injector[T]
+
+// NewInjector wraps a plan for element type T.
+func NewInjector[T Float](plan *Plan) *Injector[T] { return fault.NewInjector[T](plan) }

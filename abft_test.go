@@ -1,0 +1,118 @@
+package stencilabft_test
+
+import (
+	"testing"
+
+	abft "stencilabft"
+)
+
+// The façade tests exercise the library exactly as a downstream user
+// would: through the root package only.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	op := &abft.Op2D[float32]{St: abft.Laplace5[float32](0.2), BC: abft.Clamp}
+	init := abft.New[float32](32, 32)
+	init.FillFunc(func(x, y int) float32 { return 300 })
+
+	p, err := abft.NewOnline2D(op, init, abft.Options[float32]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := abft.NewPlan(abft.Injection{Iteration: 5, X: 10, Y: 11, Bit: 30})
+	injector := abft.NewInjector[float32](plan)
+	for i := 0; i < 20; i++ {
+		p.Step(injector.HookFor(i))
+	}
+	st := p.Stats()
+	if st.Detections != 1 || st.CorrectedPoints != 1 {
+		t.Fatalf("public online flow: %+v", st)
+	}
+}
+
+func TestPublicOfflineConeFlow(t *testing.T) {
+	op := &abft.Op2D[float64]{St: abft.Laplace5(0.2), BC: abft.Clamp}
+	init := abft.New[float64](64, 64)
+	init.FillFunc(func(x, y int) float64 { return 100 + float64(x%7) })
+
+	p, err := abft.NewOffline2D(op, init, abft.Options[float64]{
+		Period:   8,
+		Recovery: abft.ConeRecovery,
+		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := abft.NewPlan(abft.Injection{Iteration: 9, X: 30, Y: 33, Bit: 58})
+	injector := abft.NewInjector[float64](plan)
+	for i := 0; i < 24; i++ {
+		p.Step(injector.HookFor(i))
+	}
+	p.Finalize()
+	st := p.Stats()
+	if st.Detections == 0 || st.ConeRecoveries == 0 {
+		t.Fatalf("public cone flow: %+v", st)
+	}
+}
+
+func TestPublicClusterFlow(t *testing.T) {
+	op := &abft.Op2D[float64]{St: abft.Laplace5(0.2), BC: abft.Clamp}
+	init := abft.New[float64](16, 24)
+	init.FillFunc(func(x, y int) float64 { return 50 + float64(y) })
+
+	c, err := abft.NewCluster(op, init, 3, abft.ClusterOptions[float64]{
+		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(12, abft.NewPlan(abft.Injection{Iteration: 4, X: 8, Y: 12, Bit: 60}))
+	ts := c.TotalStats()
+	if ts.Detections == 0 || ts.CorrectedPoints == 0 {
+		t.Fatalf("public cluster flow: %+v", ts)
+	}
+	if g := c.Gather(); g.Nx() != 16 || g.Ny() != 24 {
+		t.Fatal("gathered grid shape wrong")
+	}
+}
+
+func TestPublicCustomStencil(t *testing.T) {
+	st := abft.NewStencil("mine",
+		abft.Point[float32]{DX: 0, DY: 0, W: 0.5},
+		abft.Point[float32]{DX: -1, DY: 0, W: 0.5},
+	)
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	op := &abft.Op2D[float32]{St: st, BC: abft.Zero}
+	init := abft.New[float32](8, 8)
+	init.Fill(2)
+	p, err := abft.NewNone2D(op, init, abft.Options[float32]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(3)
+	if p.Iter() != 3 {
+		t.Fatal("iterations not counted")
+	}
+}
+
+func TestPublic3DFlow(t *testing.T) {
+	st := abft.SevenPoint3D[float32](0.4, 0.1, 0.1, 0.1, 0.1, 0.05, 0.15)
+	op := &abft.Op3D[float32]{St: st, BC: abft.Clamp}
+	init := abft.New3D[float32](12, 12, 4)
+	init.Fill(100)
+	p, err := abft.NewOffline3D(op, init, abft.Options[float32]{Period: 4, Pool: abft.NewPool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := abft.NewPlan(abft.Injection{Iteration: 3, X: 5, Y: 6, Z: 2, Bit: 30})
+	injector := abft.NewInjector[float32](plan)
+	for i := 0; i < 12; i++ {
+		p.Step(injector.HookFor(i))
+	}
+	p.Finalize()
+	st2 := p.Stats()
+	if st2.Detections == 0 || st2.Rollbacks == 0 {
+		t.Fatalf("public 3-D offline flow: %+v", st2)
+	}
+}

@@ -1,0 +1,370 @@
+// Benchmarks regenerating the timing-shaped view of every table and figure
+// in the paper's evaluation (Section 5), plus the ablation benches of
+// DESIGN.md. Each BenchmarkFigN corresponds to the campaign driver of the
+// same figure (cmd/abftcampaign regenerates the full statistical view);
+// testing.B controls repetition here, so a single b.N iteration is one
+// complete experiment unit (a full protected run).
+//
+// Benchmark sizes default to the paper's small tile (64x64x8) with reduced
+// iteration counts so `go test -bench=.` completes on a laptop; the
+// reported per-op times are what EXPERIMENTS.md compares across methods.
+package stencilabft
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"stencilabft/internal/campaign"
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/core"
+	"stencilabft/internal/dist"
+	"stencilabft/internal/fault"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/stencil"
+)
+
+// benchConfig is the tile the benches run: the paper's small configuration
+// with a shortened iteration count.
+func benchConfig() campaign.TileConfig {
+	return campaign.TileConfig{
+		Nx: 64, Ny: 64, Nz: 8,
+		Iterations: 32,
+		Reps:       1,
+		Epsilon:    1e-5,
+		Period:     16,
+		Seed:       1,
+		Workers:    1, // deterministic single-worker timing; A4 varies this
+	}
+}
+
+func newBenchRunner(b *testing.B) *campaign.Runner {
+	b.Helper()
+	r, err := campaign.NewRunner(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkTable1 runs one repetition of the Table-1 configuration under
+// each method, the cost unit every figure below is built from.
+func BenchmarkTable1(b *testing.B) {
+	r := newBenchRunner(b)
+	for _, m := range []campaign.Method{campaign.NoABFT, campaign.Online, campaign.Offline} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Run(m, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8 times the method x scenario matrix of Figure 8: mean
+// execution time, error-free versus a single random bit-flip.
+func BenchmarkFig8(b *testing.B) {
+	r := newBenchRunner(b)
+	for _, m := range []campaign.Method{campaign.NoABFT, campaign.Online, campaign.Offline} {
+		b.Run(m.String()+"/error-free", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Run(m, nil)
+			}
+		})
+		b.Run(m.String()+"/bit-flip", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Run(m, r.RandomPlan(i))
+			}
+		})
+	}
+}
+
+// BenchmarkFig9 measures the accuracy experiment's cost: a protected run
+// plus the l2-error evaluation against the reference (the arithmetic-error
+// bars of Figure 9 are statistics over exactly this unit).
+func BenchmarkFig9(b *testing.B) {
+	r := newBenchRunner(b)
+	for _, m := range []campaign.Method{campaign.Online, campaign.Offline} {
+		b.Run(m.String(), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				res := r.Run(m, r.RandomPlan(i))
+				sink += res.L2
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFig10 times fixed-bit injection runs at the three probe bits the
+// figure's regions are defined by: a low fraction bit (undetectable), a
+// high exponent bit (always detected) and the sign bit.
+func BenchmarkFig10(b *testing.B) {
+	r := newBenchRunner(b)
+	for _, bit := range []int{4, 30, 31} {
+		for _, m := range []campaign.Method{campaign.Online, campaign.OnlinePaperEq10, campaign.Offline} {
+			b.Run(fmt.Sprintf("bit%02d/%s", bit, m), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r.Run(m, r.FixedBitPlan(bit, i))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11 times the offline method across the detection-period sweep
+// of Figure 11, error-free and with one injected bit-flip.
+func BenchmarkFig11(b *testing.B) {
+	for _, period := range []int{1, 4, 16, 64} {
+		cfg := benchConfig()
+		cfg.Period = period
+		r, err := campaign.NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("period%03d/error-free", period), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Run(campaign.Offline, nil)
+			}
+		})
+		b.Run(fmt.Sprintf("period%03d/bit-flip", period), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.Run(campaign.Offline, r.RandomPlan(i))
+			}
+		})
+	}
+}
+
+// --- Ablation benches (DESIGN.md A1-A4) ---
+
+// BenchmarkAblationBoundaryTerms (A1) compares the checksum interpolation
+// cost with exact alpha/beta, with the terms dropped (the paper's
+// listings), and under periodic boundaries where they vanish by algebra.
+func BenchmarkAblationBoundaryTerms(b *testing.B) {
+	const nx, ny = 512, 512
+	rng := rand.New(rand.NewSource(1))
+	src := grid.New[float64](nx, ny)
+	src.FillFunc(func(x, y int) float64 { return rng.Float64() })
+	prev := checksum.NewVectors[float64](nx, ny)
+	prev.Compute(src)
+	out := make([]float64, ny)
+
+	cases := []struct {
+		name string
+		bc   grid.Boundary
+		drop bool
+	}{
+		{"clamp-exact", grid.Clamp, false},
+		{"clamp-dropped", grid.Clamp, true},
+		{"periodic", grid.Periodic, false},
+	}
+	for _, c := range cases {
+		op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: c.bc}
+		ip, err := checksum.NewInterp2D(op, nx, ny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ip.DropBoundaryTerms = c.drop
+		edges := checksum.LiveEdges(src, c.bc, 0)
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ip.InterpolateB(prev.B, edges, out)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFusedChecksum (A2) compares a plain sweep, the fused
+// sweep (checksum accumulated inside the kernel loop, the paper's Figure 2)
+// and a sweep followed by a separate checksum pass.
+func BenchmarkAblationFusedChecksum(b *testing.B) {
+	const nx, ny = 512, 512
+	op := &stencil.Op2D[float32]{St: stencil.Laplace5[float32](0.2), BC: grid.Clamp}
+	src := grid.New[float32](nx, ny)
+	src.FillFunc(func(x, y int) float32 { return float32(x^y) * 0.01 })
+	dst := grid.New[float32](nx, ny)
+	bsum := make([]float32, ny)
+
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op.Sweep(dst, src)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op.SweepFused(dst, src, bsum)
+		}
+	})
+	b.Run("separate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op.Sweep(dst, src)
+			stencil.ChecksumB(dst, bsum)
+		}
+	})
+}
+
+// BenchmarkAblationKahan (A3) compares plain and compensated checksum
+// accumulation over a full grid.
+func BenchmarkAblationKahan(b *testing.B) {
+	const nx, ny = 512, 512
+	g := grid.New[float32](nx, ny)
+	g.FillFunc(func(x, y int) float32 { return float32(x*31+y) * 0.001 })
+	v := checksum.NewVectors[float32](nx, ny)
+
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v.Compute(g)
+		}
+	})
+	b.Run("kahan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v.ComputeKahan(g)
+		}
+	})
+}
+
+// BenchmarkAblationParallelSweep (A4) measures the row-partitioned parallel
+// sweep at increasing worker counts. On a single-core machine the times
+// should stay flat (the decomposition itself is nearly free); on multicore
+// machines they fall with the worker count.
+func BenchmarkAblationParallelSweep(b *testing.B) {
+	const nx, ny = 1024, 1024
+	op := &stencil.Op2D[float32]{St: stencil.Laplace5[float32](0.2), BC: grid.Clamp}
+	src := grid.New[float32](nx, ny)
+	src.FillFunc(func(x, y int) float32 { return float32(x + y) })
+	dst := grid.New[float32](nx, ny)
+	bsum := make([]float32, ny)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		pool := &stencil.Pool{Workers: workers}
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				op.SweepParallel(pool, dst, src, bsum)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMultiError (A5) times the detection+correction slow path
+// under a two-error iteration, isolating the cost the online protector pays
+// only when something is actually wrong.
+func BenchmarkAblationMultiError(b *testing.B) {
+	const nx, ny = 256, 256
+	op := &stencil.Op2D[float32]{St: stencil.Laplace5[float32](0.2), BC: grid.Clamp}
+	init := grid.New[float32](nx, ny)
+	init.FillFunc(func(x, y int) float32 { return 300 })
+	plan := fault.NewPlan(
+		fault.Injection{Iteration: 0, X: 10, Y: 20, Bit: 30},
+		fault.Injection{Iteration: 0, X: 200, Y: 100, Bit: 29},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.NewOnline2D(op, init, core.Options[float32]{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		injector := fault.NewInjector[float32](plan)
+		p.Step(injector.HookFor(0))
+		if p.Stats().CorrectedPoints != 2 {
+			b.Fatalf("expected 2 corrections, got %+v", p.Stats())
+		}
+	}
+}
+
+// BenchmarkAblationConeRecovery (A6) compares offline recovery costs: a
+// full rollback-and-recompute versus the light-cone recomputation, for an
+// interior error on a large domain with a short detection period. The cone
+// sweeps O(Δ·(rΔ)²) points instead of O(Δ·nx·ny).
+func BenchmarkAblationConeRecovery(b *testing.B) {
+	const n, iters, period = 256, 16, 8
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	init := grid.New[float64](n, n)
+	init.FillFunc(func(x, y int) float64 { return 300 + float64((x*31+y)%17) })
+	inj := fault.Injection{Iteration: 3, X: n / 2, Y: n / 2, Bit: 58}
+
+	for _, mode := range []struct {
+		name string
+		rec  core.RecoveryMode
+	}{{"full-rollback", core.FullRollback}, {"cone", core.ConeRecovery}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := core.Options[float64]{
+					Period:   period,
+					Recovery: mode.rec,
+					Detector: checksum.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+				}
+				p, err := core.NewOffline2D(op, init, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				injector := fault.NewInjector[float64](fault.NewPlan(inj))
+				for it := 0; it < iters; it++ {
+					p.Step(injector.HookFor(it))
+				}
+				p.Finalize()
+				st := p.Stats()
+				if st.Detections == 0 {
+					b.Fatal("injection not detected")
+				}
+				if mode.rec == core.ConeRecovery && st.ConeRecoveries == 0 {
+					b.Fatal("cone recovery did not engage")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistCluster measures the rank-decomposed deployment end to end:
+// per-rank ABFT with halo exchange, at increasing rank counts.
+func BenchmarkDistCluster(b *testing.B) {
+	const n, iters = 192, 8
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	init := grid.New[float64](n, n)
+	init.FillFunc(func(x, y int) float64 { return 100 + float64(x+y) })
+	for _, ranks := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := dist.NewCluster(op, init, ranks, dist.Options[float64]{
+					Detector: checksum.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Run(iters, nil)
+				if c.TotalStats().Detections != 0 {
+					b.Fatal("false positive in bench")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOnlineStep2D isolates the per-iteration cost of the online
+// protector against the unprotected sweep at the paper's two tile edges —
+// the microscopic view of the <8% overhead claim.
+func BenchmarkOnlineStep2D(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		op := &stencil.Op2D[float32]{St: stencil.Laplace5[float32](0.2), BC: grid.Clamp}
+		init := grid.New[float32](n, n)
+		init.FillFunc(func(x, y int) float32 { return 300 })
+		b.Run(fmt.Sprintf("n%d/none", n), func(b *testing.B) {
+			p, err := core.NewNone2D(op, init, core.Options[float32]{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Step(nil)
+			}
+		})
+		b.Run(fmt.Sprintf("n%d/online", n), func(b *testing.B) {
+			p, err := core.NewOnline2D(op, init, core.Options[float32]{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Step(nil)
+			}
+		})
+	}
+}

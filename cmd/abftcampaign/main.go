@@ -1,0 +1,100 @@
+// Command abftcampaign regenerates the tables and figures of the paper's
+// evaluation section (Section 5) as text tables.
+//
+// Usage:
+//
+//	abftcampaign -experiment all -scale 0.25
+//	abftcampaign -experiment fig10 -reps 50
+//
+// Experiments: table1, fig8, fig9, fig10, fig11, ablation, all.
+//
+// -scale shrinks the paper's tile sizes, iteration counts and repetition
+// counts proportionally (1.0 = the paper's exact parameters; the default
+// 0.25 finishes in minutes on a laptop). The *shape* of the results —
+// which method wins, the <8% overhead bound, the offline slowdown under
+// faults, the bit-position detectability pattern — is preserved at any
+// scale; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stencilabft/internal/campaign"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1|fig8|fig9|fig10|fig11|ablation|all")
+		scale      = flag.Float64("scale", 0.25, "scale factor vs. the paper's parameters (1.0 = paper scale)")
+		reps       = flag.Int("reps", 0, "override repetition count (0 = scaled paper value)")
+		iters      = flag.Int("iters", 0, "override iteration count (0 = scaled paper value)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		epsilon    = flag.Float64("epsilon", 1e-5, "detection threshold")
+		seed       = flag.Int64("seed", 1, "base seed for inputs and fault plans")
+	)
+	flag.Parse()
+
+	cfgs := campaign.PaperConfigs(*scale)
+	for i := range cfgs {
+		if *reps > 0 {
+			cfgs[i].Reps = *reps
+		}
+		if *iters > 0 {
+			cfgs[i].Iterations = *iters
+		}
+		cfgs[i].Workers = *workers
+		cfgs[i].Epsilon = float32(*epsilon)
+		cfgs[i].Seed += *seed
+	}
+	small := cfgs[0]
+
+	run := func(name string, f func() error) {
+		fmt.Printf("--- %s ---\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "abftcampaign: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	ran := false
+	if want("table1") {
+		ran = true
+		campaign.Table1(cfgs, os.Stdout)
+		fmt.Println()
+	}
+	if want("fig8") {
+		ran = true
+		run("Figure 8: execution time", func() error { return campaign.Fig8(cfgs, os.Stdout) })
+	}
+	if want("fig9") {
+		ran = true
+		run("Figure 9: arithmetic error", func() error { return campaign.Fig9(cfgs, os.Stdout) })
+	}
+	if want("fig10") {
+		ran = true
+		run("Figure 10: error vs bit position", func() error {
+			methods := []campaign.Method{campaign.NoABFT, campaign.OnlinePaperEq10, campaign.Online, campaign.Offline}
+			return campaign.Fig10(small, methods, os.Stdout)
+		})
+	}
+	if want("fig11") {
+		ran = true
+		run("Figure 11: offline detection period", func() error {
+			return campaign.Fig11(small, campaign.DefaultPeriods(), os.Stdout)
+		})
+	}
+	if want("ablation") {
+		ran = true
+		run("Ablations", func() error { return campaign.Ablations(small, os.Stdout) })
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "abftcampaign: unknown experiment %q (want %s)\n",
+			*experiment, strings.Join([]string{"table1", "fig8", "fig9", "fig10", "fig11", "ablation", "all"}, "|"))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,68 @@
+// Distributed: the paper's distributed-memory story — a 2-D heat domain
+// decomposed into row bands across simulated ranks (goroutines exchanging
+// halo rows through channels, the MPI pattern), with every rank running the
+// online ABFT scheme on its own band, no checksum communication at all.
+// One rank detects and corrects a bit-flip locally while the others never
+// even notice — the "intrinsically parallel" property of Section 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	abft "stencilabft"
+)
+
+const (
+	nx, ny     = 96, 120
+	ranks      = 6
+	iterations = 80
+)
+
+func main() {
+	op := &abft.Op2D[float64]{St: abft.Laplace5(0.22), BC: abft.Clamp}
+	init := abft.New[float64](nx, ny)
+	init.FillFunc(func(x, y int) float64 {
+		if y > ny/3 && y < 2*ny/3 {
+			return 450 // hot band in the middle of the domain
+		}
+		return 300
+	})
+
+	// Single-process reference for comparison.
+	ref, err := abft.NewNone2D(op, init, abft.Options[float64]{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref.Run(iterations)
+
+	// A bit-flip lands in rank 2's band (rows 40..59).
+	plan := abft.NewPlan(abft.Injection{Iteration: 33, X: 50, Y: 47, Bit: 59})
+
+	cluster, err := abft.NewCluster(op, init, ranks, abft.ClusterOptions[float64]{
+		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Run(iterations, plan)
+
+	fmt.Printf("domain %dx%d over %d ranks, %d iterations, one injected bit-flip\n\n",
+		nx, ny, ranks, iterations)
+	fmt.Println("rank  detections  corrected")
+	for i, s := range cluster.Stats() {
+		fmt.Printf("%4d  %10d  %9d\n", i, s.Detections, s.CorrectedPoints)
+	}
+
+	diff := cluster.Gather().MaxAbsDiff(ref.Grid())
+	fmt.Printf("\nmax deviation from the single-process error-free run: %g\n", diff)
+
+	ts := cluster.TotalStats()
+	if ts.Detections == 0 || ts.CorrectedPoints == 0 {
+		log.Fatal("the injected corruption was not handled")
+	}
+	if diff > 1e-6 {
+		log.Fatalf("residual error %g too large", diff)
+	}
+	fmt.Println("the owning rank repaired the corruption locally; no rank exchanged a checksum")
+}

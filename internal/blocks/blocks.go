@@ -1,0 +1,304 @@
+// Package blocks applies the ABFT scheme per chunk of a 2-D domain — the
+// tiled deployment of the paper's Section 3.4/5.1, where the detection
+// threshold "depends on the domain, chunk, or block size on which the
+// method is applied". Small blocks keep checksum magnitudes (and with them
+// the floating-point round-off floor) low, so a tighter epsilon detects
+// smaller corruptions; the ablation bench quantifies the floor-vs-size
+// trade-off.
+//
+// Each block owns its checksum pair and verifies independently. In shared
+// memory nothing needs to be exchanged: the window-shift sums a block's
+// interpolation needs from its neighbours are O(r·(bx+by)) partial sums
+// read straight from the still-live t-buffer.
+package blocks
+
+import (
+	"fmt"
+
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Stats aggregates the tiled protector's counters.
+type Stats struct {
+	Iterations      int
+	Detections      int // iterations with at least one flagged block
+	FlaggedBlocks   int // block-level verification failures
+	CorrectedPoints int
+	ChecksumRepairs int
+}
+
+// block is one tile's geometry and checksum state.
+type block[T num.Float] struct {
+	x0, y0, x1, y1 int
+	ip             *checksum.Interp2D[T]
+	prevB          []T // verified partial column checksums at t
+	newB           []T // fused partial column checksums at t+1
+	interpB        []T
+	bExt           []T // scratch: prevB plus halo row sums
+	flagged        bool
+}
+
+func (b *block[T]) w() int { return b.x1 - b.x0 }
+func (b *block[T]) h() int { return b.y1 - b.y0 }
+
+// Protector runs a 2-D stencil with per-block online ABFT.
+type Protector[T num.Float] struct {
+	op   *stencil.Op2D[T]
+	buf  *grid.Buffer[T]
+	pool *stencil.Pool
+	det  checksum.Detector[T]
+	pol  checksum.PairPolicy
+
+	rx, ry int // stencil radii (halo widths)
+	blocks []*block[T]
+
+	iter  int
+	stats Stats
+}
+
+// Options configure the tiled protector.
+type Options[T num.Float] struct {
+	Detector   checksum.Detector[T]
+	Pool       *stencil.Pool
+	PairPolicy checksum.PairPolicy
+}
+
+// New builds a tiled protector with blocks of nominal size bx-by-by (edge
+// blocks may be smaller). Blocks must be at least as large as the stencil
+// radius so a block's halo touches only adjacent blocks' rows/columns.
+func New[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], bx, by int, opt Options[T]) (*Protector[T], error) {
+	nx, ny := init.Nx(), init.Ny()
+	if err := op.Validate(nx, ny); err != nil {
+		return nil, err
+	}
+	if bx < 1 || by < 1 {
+		return nil, fmt.Errorf("blocks: invalid block size %dx%d", bx, by)
+	}
+	rx, ry := op.St.RadiusX(), op.St.RadiusY()
+	if bx < rx || by < ry {
+		return nil, fmt.Errorf("blocks: block size %dx%d below stencil radius %d/%d", bx, by, rx, ry)
+	}
+	if opt.Detector.Epsilon == 0 {
+		opt.Detector = checksum.NewDetector[T]()
+	}
+	if opt.Detector.AbsFloor == 0 {
+		opt.Detector.AbsFloor = 1
+	}
+
+	p := &Protector[T]{
+		op:   op,
+		buf:  grid.BufferFrom(init),
+		pool: opt.Pool,
+		det:  opt.Detector,
+		pol:  opt.PairPolicy,
+		rx:   rx, ry: ry,
+	}
+	// Cut points along each axis; a trailing remainder smaller than the
+	// stencil radius + 1 is merged into the previous block, since an
+	// interpolator needs its domain strictly wider than the radius.
+	xs := cuts(nx, bx, rx)
+	ys := cuts(ny, by, ry)
+	for j := 0; j+1 < len(ys); j++ {
+		for i := 0; i+1 < len(xs); i++ {
+			b := &block[T]{x0: xs[i], y0: ys[j], x1: xs[i+1], y1: ys[j+1]}
+			// The interpolator is built per block shape with the
+			// block's slice of the constant field.
+			iop := &stencil.Op2D[T]{St: op.St, BC: op.BC, BCValue: op.BCValue}
+			if op.C != nil {
+				cblk := grid.New[T](b.w(), b.h())
+				for y := 0; y < b.h(); y++ {
+					copy(cblk.Row(y), op.C.Row(b.y0 + y)[b.x0:b.x1])
+				}
+				iop.C = cblk
+			}
+			ip, err := checksum.NewInterp2D(iop, b.w(), b.h())
+			if err != nil {
+				return nil, err
+			}
+			b.ip = ip
+			b.prevB = make([]T, b.h())
+			b.newB = make([]T, b.h())
+			b.interpB = make([]T, b.h())
+			b.bExt = make([]T, b.h()+2*ry)
+			stencil.ChecksumBRect(p.buf.Read, b.x0, b.y0, b.x1, b.y1, b.prevB)
+			p.blocks = append(p.blocks, b)
+		}
+	}
+	return p, nil
+}
+
+// cuts returns the block boundaries along an axis of length n with block
+// size s, merging a trailing remainder of radius r or less into the last
+// full block.
+func cuts(n, s, r int) []int {
+	out := []int{0}
+	for c := s; c < n; c += s {
+		if n-c <= r {
+			break
+		}
+		out = append(out, c)
+	}
+	return append(out, n)
+}
+
+// Grid returns the current domain state.
+func (p *Protector[T]) Grid() *grid.Grid[T] { return p.buf.Read }
+
+// Iter returns the number of completed sweeps.
+func (p *Protector[T]) Iter() int { return p.iter }
+
+// Stats returns the accumulated counters.
+func (p *Protector[T]) Stats() Stats { return p.stats }
+
+// Blocks returns the number of tiles.
+func (p *Protector[T]) Blocks() int { return len(p.blocks) }
+
+// Step advances one sweep with per-block fused checksums, verification and
+// correction. hook, when non-nil, is the fault-injection point (domain
+// coordinates).
+func (p *Protector[T]) Step(hook stencil.InjectFunc[T]) {
+	src, dst := p.buf.Read, p.buf.Write
+
+	sweep := func(i int) {
+		b := p.blocks[i]
+		p.op.SweepRectFused(dst, src, b.x0, b.y0, b.x1, b.y1, b.newB, hook)
+	}
+	verify := func(i int) {
+		b := p.blocks[i]
+		p.verifyBlock(b, src)
+	}
+	if p.pool != nil {
+		p.pool.ForEach(len(p.blocks), sweep)
+		p.pool.ForEach(len(p.blocks), verify)
+	} else {
+		for i := range p.blocks {
+			sweep(i)
+		}
+		for i := range p.blocks {
+			verify(i)
+		}
+	}
+
+	// Correction runs serially over the (rare) flagged blocks: it reads
+	// neighbouring data while other blocks' state is quiescent.
+	any := false
+	for _, b := range p.blocks {
+		if b.flagged {
+			any = true
+			p.stats.FlaggedBlocks++
+			p.correctBlock(b, src, dst)
+			b.flagged = false
+		}
+	}
+	if any {
+		p.stats.Detections++
+	}
+
+	for _, b := range p.blocks {
+		b.prevB, b.newB = b.newB, b.prevB
+	}
+	p.buf.Swap()
+	p.iter++
+	p.stats.Iterations++
+}
+
+// Run advances count iterations with no fault injection.
+func (p *Protector[T]) Run(count int) {
+	for i := 0; i < count; i++ {
+		p.Step(nil)
+	}
+}
+
+// verifyBlock interpolates the block's expected checksums from iteration t
+// and flags a mismatch. The halo entries of the extended checksum vector
+// are partial row sums over the block's columns just outside its y-range,
+// read from the live t-buffer with global boundary resolution.
+func (p *Protector[T]) verifyBlock(b *block[T], src *grid.Grid[T]) {
+	ry := p.ry
+	bg := grid.BoundedGrid[T]{G: src, Cond: p.op.BC, ConstVal: p.op.BCValue}
+	for j := 0; j < ry; j++ {
+		b.bExt[j] = p.partialRowSum(bg, b, b.y0-ry+j)
+		b.bExt[ry+b.h()+j] = p.partialRowSum(bg, b, b.y1+j)
+	}
+	copy(b.bExt[ry:ry+b.h()], b.prevB)
+
+	edges := checksum.OffsetEdges[T]{Src: bg, X0: b.x0, Y0: b.y0}
+	b.ip.InterpolateBBand(b.bExt, ry, edges, b.interpB)
+	b.flagged = p.det.AnyMismatch(b.newB, b.interpB)
+}
+
+// partialRowSum sums ũ(x, y) over the block's columns for a (possibly
+// ghost) row y.
+func (p *Protector[T]) partialRowSum(bg grid.BoundedGrid[T], b *block[T], y int) T {
+	var s T
+	for x := b.x0; x < b.x1; x++ {
+		s += bg.At(x, y)
+	}
+	return s
+}
+
+// correctBlock runs the block-local slow path: lazy row checksums with
+// x-halos from the horizontal neighbours, localisation, and stable
+// Equation-(10) repair in the write buffer.
+func (p *Protector[T]) correctBlock(b *block[T], src, dst *grid.Grid[T]) {
+	rx := p.rx
+	bg := grid.BoundedGrid[T]{G: src, Cond: p.op.BC, ConstVal: p.op.BCValue}
+
+	aExt := make([]T, b.w()+2*rx)
+	for i := 0; i < rx; i++ {
+		aExt[i] = p.partialColSum(bg, b, b.x0-rx+i)
+		aExt[rx+b.w()+i] = p.partialColSum(bg, b, b.x1+i)
+	}
+	stencil.ChecksumARect(src, b.x0, b.y0, b.x1, b.y1, aExt[rx:rx+b.w()])
+
+	interpA := make([]T, b.w())
+	edges := checksum.OffsetEdges[T]{Src: bg, X0: b.x0, Y0: b.y0}
+	b.ip.InterpolateABlock(aExt, rx, edges, interpA)
+
+	newA := make([]T, b.w())
+	stencil.ChecksumARect(dst, b.x0, b.y0, b.x1, b.y1, newA)
+
+	bm := p.det.Compare(b.newB, b.interpB)
+	am := p.det.Compare(newA, interpA)
+	if len(am) == 0 || len(bm) == 0 {
+		p.stats.ChecksumRepairs++
+		stencil.ChecksumBRect(dst, b.x0, b.y0, b.x1, b.y1, b.newB)
+		return
+	}
+	locs := checksum.Pair(am, bm, p.pol)
+	for _, loc := range locs {
+		gx, gy := b.x0+loc.X, b.y0+loc.Y
+		// Stable Equation (10) on the block's partial sums.
+		var restA, restB T
+		for y := b.y0; y < b.y1; y++ {
+			if y != gy {
+				restA += dst.At(gx, y)
+			}
+		}
+		for x := b.x0; x < b.x1; x++ {
+			if x != gx {
+				restB += dst.At(x, gy)
+			}
+		}
+		vx := interpA[loc.X] - restA
+		vy := b.interpB[loc.Y] - restB
+		fixed := (vx + vy) / 2
+		dst.Set(gx, gy, fixed)
+		newA[loc.X] = restA + fixed
+		b.newB[loc.Y] = restB + fixed
+		p.stats.CorrectedPoints++
+	}
+}
+
+// partialColSum sums ũ(x, y) over the block's rows for a (possibly ghost)
+// column x.
+func (p *Protector[T]) partialColSum(bg grid.BoundedGrid[T], b *block[T], x int) T {
+	var s T
+	for y := b.y0; y < b.y1; y++ {
+		s += bg.At(x, y)
+	}
+	return s
+}

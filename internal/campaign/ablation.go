@@ -1,0 +1,251 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/metrics"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Ablations runs the design-choice experiments called out in DESIGN.md
+// (A1, A2, A3, A5) at the given configuration's in-layer size and renders
+// one table per question. A4 (parallel sweep scaling) lives in the root
+// bench suite where testing.B controls iteration counts.
+func Ablations(cfg TileConfig, w io.Writer) error {
+	ablationBoundaryTerms(cfg, w)
+	ablationFusedChecksum(cfg, w)
+	ablationKahan(cfg, w)
+	ablationPairing(cfg, w)
+	ablationBlockSize(cfg, w)
+	return nil
+}
+
+// ablationBlockSize: the floating-point interpolation noise floor as a
+// function of the chunk size the scheme is applied on — the paper's
+// Section 3.4 observation ("the approximation error proportionally
+// increases with the domain size") that motivates small tiles and the
+// epsilon = 1e-5 choice.
+func ablationBlockSize(cfg TileConfig, w io.Writer) {
+	const n = 256
+	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+	op := &stencil.Op2D[float32]{St: stencil.Laplace5[float32](0.2), BC: grid.Clamp}
+	src := grid.New[float32](n, n)
+	src.FillFunc(func(x, y int) float32 { return float32(80 + 40*rng.Float64()) })
+	dst := grid.New[float32](n, n)
+	op.Sweep(dst, src)
+
+	t := metrics.NewTable(
+		fmt.Sprintf("Ablation: float32 interpolation noise floor vs chunk width, %dx%d domain", n, n),
+		"Chunk width", "Max rel. error (error-free)")
+	for _, bw := range []int{16, 32, 64, 128, 256} {
+		var maxErr float64
+		for x0 := 0; x0 < n; x0 += bw {
+			x1 := x0 + bw
+			prev := make([]float32, n)
+			direct := make([]float32, n)
+			stencil.ChecksumBRect(src, x0, 0, x1, n, prev)
+			stencil.ChecksumBRect(dst, x0, 0, x1, n, direct)
+
+			iop := &stencil.Op2D[float32]{St: op.St, BC: op.BC}
+			ip, err := checksum.NewInterp2D(iop, bw, n)
+			if err != nil {
+				panic(err)
+			}
+			bg := grid.BoundedGrid[float32]{G: src, Cond: grid.Clamp}
+			// Extended vector: the domain spans full height, so the
+			// y-halos resolve via the boundary condition (clamp).
+			ext := make([]float32, n+2)
+			ext[0] = prev[0]
+			copy(ext[1:n+1], prev)
+			ext[n+1] = prev[n-1]
+			interp := make([]float32, n)
+			ip.InterpolateBBand(ext, 1, checksum.OffsetEdges[float32]{Src: bg, X0: x0}, interp)
+			for y := range interp {
+				maxErr = num.Max(maxErr, num.RelErr(float64(interp[y]), float64(direct[y]), 1))
+			}
+		}
+		t.AddRow(bw, maxErr)
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+}
+
+// ablationBoundaryTerms (A1): interpolation accuracy with exact alpha/beta
+// versus the paper's dropped-terms listing, for a weight-symmetric stencil
+// (where dropping is harmless) and an asymmetric one (where it is not).
+func ablationBoundaryTerms(cfg TileConfig, w io.Writer) {
+	nx, ny := cfg.Nx, cfg.Ny
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := metrics.NewTable(
+		fmt.Sprintf("Ablation A1: boundary terms, %dx%d clamp boundaries", nx, ny),
+		"Stencil", "Variant", "Max rel. interpolation error")
+
+	cases := []struct {
+		name string
+		st   *stencil.Stencil[float64]
+	}{
+		{"symmetric five-point", stencil.Laplace5(0.2)},
+		{"asymmetric advection", stencil.Advect2D(0.3, 0.15)},
+	}
+	for _, c := range cases {
+		op := &stencil.Op2D[float64]{St: c.st, BC: grid.Clamp}
+		src := grid.New[float64](nx, ny)
+		src.FillFunc(func(x, y int) float64 { return 50 + 10*rng.Float64() })
+		dst := grid.New[float64](nx, ny)
+		prev := checksum.NewVectors[float64](nx, ny)
+		prev.Compute(src)
+		op.Sweep(dst, src)
+		direct := checksum.NewVectors[float64](nx, ny)
+		direct.Compute(dst)
+		for _, variant := range []struct {
+			name string
+			drop bool
+		}{{"exact alpha/beta", false}, {"dropped (paper listing)", true}} {
+			ip, err := checksum.NewInterp2D(op, nx, ny)
+			if err != nil {
+				panic(err)
+			}
+			ip.DropBoundaryTerms = variant.drop
+			interp := make([]float64, ny)
+			ip.InterpolateB(prev.B, checksum.LiveEdges(src, grid.Clamp, 0), interp)
+			var maxErr float64
+			for y := range interp {
+				maxErr = num.Max(maxErr, num.RelErr(interp[y], direct.B[y], 1e-9))
+			}
+			t.AddRow(c.name, variant.name, maxErr)
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+}
+
+// ablationFusedChecksum (A2): cost of the fused checksum accumulation
+// versus a separate checksum pass over the output, in sweeps per second.
+func ablationFusedChecksum(cfg TileConfig, w io.Writer) {
+	// Timing needs a tile large enough to dominate loop overheads.
+	nx, ny := max(cfg.Nx*2, 256), max(cfg.Ny*2, 256)
+	op := &stencil.Op2D[float32]{St: stencil.Laplace5[float32](0.2), BC: grid.Clamp}
+	src := grid.New[float32](nx, ny)
+	src.FillFunc(func(x, y int) float32 { return float32(x+y) * 0.01 })
+	dst := grid.New[float32](nx, ny)
+	b := make([]float32, ny)
+	const sweeps = 60
+
+	time := func(f func()) float64 {
+		t := metrics.StartTimer()
+		for i := 0; i < sweeps; i++ {
+			f()
+			src, dst = dst, src
+		}
+		return t.Seconds() / sweeps
+	}
+
+	plain := time(func() { op.Sweep(dst, src) })
+	fused := time(func() { op.SweepFused(dst, src, b) })
+	separate := time(func() { op.Sweep(dst, src); stencil.ChecksumB(dst, b) })
+
+	t := metrics.NewTable(
+		fmt.Sprintf("Ablation A2: fused checksum, %dx%d five-point", nx, ny),
+		"Variant", "Time per sweep (s)", "Overhead vs plain")
+	t.AddRow("plain sweep (no checksum)", plain, "-")
+	t.AddRow("fused checksum (paper Fig. 2)", fused, fmt.Sprintf("%+.1f%%", 100*(fused/plain-1)))
+	t.AddRow("separate checksum pass", separate, fmt.Sprintf("%+.1f%%", 100*(separate/plain-1)))
+	t.Render(w)
+	fmt.Fprintln(w)
+}
+
+// ablationKahan (A3): checksum round-off of plain versus compensated
+// accumulation, measured against a float64 ground truth on a float32 grid.
+func ablationKahan(cfg TileConfig, w io.Writer) {
+	nx, ny := cfg.Nx*4, cfg.Ny*4
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	g32 := grid.New[float32](nx, ny)
+	g32.FillFunc(func(x, y int) float32 { return float32(80 + 40*rng.Float64()) })
+
+	// Ground truth in float64.
+	truth := make([]float64, ny)
+	for y := 0; y < ny; y++ {
+		var s float64
+		for _, v := range g32.Row(y) {
+			s += float64(v)
+		}
+		truth[y] = s
+	}
+	plain := checksum.NewVectors[float32](nx, ny)
+	plain.Compute(g32)
+	kahan := checksum.NewVectors[float32](nx, ny)
+	kahan.ComputeKahan(g32)
+
+	maxRel := func(b []float32) float64 {
+		var m float64
+		for y := range b {
+			m = num.Max(m, num.RelErr(float64(b[y]), truth[y], 1))
+		}
+		return m
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Ablation A3: checksum accumulation, %dx%d float32", nx, ny),
+		"Accumulation", "Max rel. error vs float64 truth")
+	t.AddRow("plain (paper)", maxRel(plain.B))
+	t.AddRow("Kahan compensated", maxRel(kahan.B))
+	t.Render(w)
+	fmt.Fprintln(w)
+}
+
+// ablationPairing (A5): success rate of residual pairing versus index
+// pairing when two errors strike the same iteration in a cross pattern
+// (x1<x2 but y1>y2), the arrangement index pairing mislocates.
+func ablationPairing(cfg TileConfig, w io.Writer) {
+	nx, ny := cfg.Nx, cfg.Ny
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	const trials = 200
+
+	correct := map[checksum.PairPolicy]int{}
+	for trial := 0; trial < trials; trial++ {
+		// Two distinct corrupted cells in a random arrangement.
+		x1, y1 := rng.Intn(nx), rng.Intn(ny)
+		x2, y2 := rng.Intn(nx), rng.Intn(ny)
+		if x1 == x2 || y1 == y2 {
+			continue
+		}
+		am := []checksum.Mismatch[float64]{}
+		bm := []checksum.Mismatch[float64]{}
+		e1 := 1 + 10*rng.Float64()
+		e2 := 20 + 10*rng.Float64()
+		// Mismatch lists arrive sorted by index.
+		add := func(x, y int, e float64) {
+			am = append(am, checksum.Mismatch[float64]{Index: x, Residual: -e})
+			bm = append(bm, checksum.Mismatch[float64]{Index: y, Residual: -e})
+		}
+		if x1 < x2 {
+			add(x1, y1, e1)
+			add(x2, y2, e2)
+		} else {
+			add(x2, y2, e2)
+			add(x1, y1, e1)
+		}
+		if bm[0].Index > bm[1].Index {
+			bm[0], bm[1] = bm[1], bm[0]
+		}
+		want := map[checksum.Location]bool{{X: x1, Y: y1}: true, {X: x2, Y: y2}: true}
+		for _, pol := range []checksum.PairPolicy{checksum.PairByResidual, checksum.PairByIndex} {
+			locs := checksum.Pair(am, bm, pol)
+			ok := len(locs) == 2 && want[locs[0]] && want[locs[1]]
+			if ok {
+				correct[pol]++
+			}
+		}
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Ablation A5: two-error pairing policy, %d random arrangements", trials),
+		"Policy", "Correctly located")
+	t.AddRow("residual matching (this library)", fmt.Sprintf("%d/%d", correct[checksum.PairByResidual], trials))
+	t.AddRow("index order (paper Fig. 6)", fmt.Sprintf("%d/%d", correct[checksum.PairByIndex], trials))
+	t.Render(w)
+	fmt.Fprintln(w)
+}

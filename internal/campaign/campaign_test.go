@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig is a laptop-scale configuration used by the campaign tests.
+func tinyConfig() TileConfig {
+	return TileConfig{
+		Nx: 16, Ny: 16, Nz: 4,
+		Iterations: 32,
+		Reps:       3,
+		Epsilon:    1e-5,
+		Period:     8,
+		Seed:       7,
+		Workers:    2,
+	}
+}
+
+func TestRunnerErrorFreeBaseline(t *testing.T) {
+	r, err := NewRunner(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{NoABFT, Online, Offline} {
+		res := r.Run(m, nil)
+		if res.L2 != 0 {
+			// The protected sweeps compute point values in the same
+			// order as the reference, so the error-free runs are
+			// bitwise identical.
+			t.Fatalf("%s: error-free l2 = %g, want 0", m, res.L2)
+		}
+		if res.Stats.Detections != 0 {
+			t.Fatalf("%s: false positives: %+v", m, res.Stats)
+		}
+	}
+}
+
+func TestRunnerDetectsHighBitFlip(t *testing.T) {
+	r, err := NewRunner(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit 30 is the top exponent bit of binary32: always detectable.
+	plan := r.FixedBitPlan(30, 0)
+
+	noProt := r.Run(NoABFT, plan)
+	if noProt.L2 == 0 {
+		t.Fatal("unprotected run unaffected by exponent flip; injection did not land")
+	}
+	onl := r.Run(Online, plan)
+	if onl.Stats.Detections == 0 || onl.Stats.CorrectedPoints == 0 {
+		t.Fatalf("online did not handle exponent flip: %+v", onl.Stats)
+	}
+	if onl.L2 >= noProt.L2 && noProt.L2 > 0 {
+		t.Fatalf("online correction did not reduce error: %g vs %g", onl.L2, noProt.L2)
+	}
+	off := r.Run(Offline, plan)
+	if off.Stats.Detections == 0 || off.Stats.Rollbacks == 0 {
+		t.Fatalf("offline did not handle exponent flip: %+v", off.Stats)
+	}
+	if off.L2 != 0 {
+		t.Fatalf("offline rollback left residual error %g", off.L2)
+	}
+}
+
+func TestFig8Renders(t *testing.T) {
+	var sb strings.Builder
+	cfg := tinyConfig()
+	cfg.Reps = 2
+	if err := Fig8([]TileConfig{cfg}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 8", "No ABFT", "ABFT (Online)", "ABFT (Offline)", "Single random bit-flip"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig8 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig10DetectionPattern(t *testing.T) {
+	var sb strings.Builder
+	cfg := tinyConfig()
+	cfg.Reps = 2
+	cfg.Iterations = 16
+	if err := Fig10(cfg, []Method{Online}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "exponent") || !strings.Contains(out, "sign") {
+		t.Fatalf("Fig10 output missing bit classes:\n%s", out)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	var sb strings.Builder
+	Table1(PaperConfigs(0.1), &sb)
+	if !strings.Contains(sb.String(), "Error detection threshold") {
+		t.Fatalf("Table1 output malformed:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,199 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"stencilabft/internal/metrics"
+)
+
+// Table1 echoes the experimental-parameter table the campaign is about to
+// run, in the paper's layout.
+func Table1(cfgs []TileConfig, w io.Writer) {
+	cols := []string{"Parameter"}
+	for _, c := range cfgs {
+		cols = append(cols, "Tile "+c.Name())
+	}
+	t := metrics.NewTable("Table 1: experimental parameters", cols...)
+	row := func(name string, f func(TileConfig) any) {
+		cells := []any{name}
+		for _, c := range cfgs {
+			cells = append(cells, f(c))
+		}
+		t.AddRow(cells...)
+	}
+	row("Stencil iterations", func(c TileConfig) any { return c.Iterations })
+	row("Experiment repetitions", func(c TileConfig) any { return c.Reps })
+	row("Error detection threshold", func(c TileConfig) any { return fmt.Sprintf("%g", c.Epsilon) })
+	row("Offline detection period", func(c TileConfig) any { return fmt.Sprintf("%d iterations", c.Period) })
+	t.Render(w)
+}
+
+// Fig8 reproduces Figure 8: mean execution time and standard deviation of
+// the three methods, error-free and with a single random bit-flip, for each
+// tile configuration.
+func Fig8(cfgs []TileConfig, w io.Writer) error {
+	for _, cfg := range cfgs {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			return err
+		}
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 8: mean execution time (s), tile %s, %d iterations, %d reps",
+				cfg.Name(), cfg.Iterations, cfg.Reps),
+			"Scenario", "Method", "Mean (s)", "Median (s)", "StdDev (s)", "Overhead vs NoABFT")
+		for _, scen := range []string{"Error-free", "Single random bit-flip"} {
+			injected := scen != "Error-free"
+			var base float64
+			for _, m := range []Method{NoABFT, Online, Offline} {
+				r.Run(m, nil) // warm-up: fault buffers in, steady the caches
+				var s metrics.Sample
+				for rep := 0; rep < cfg.Reps; rep++ {
+					var res Result
+					if injected {
+						res = r.Run(m, r.RandomPlan(rep))
+					} else {
+						res = r.Run(m, nil)
+					}
+					s.Add(res.Seconds)
+				}
+				// The overhead ratio uses medians: on shared machines a
+				// single descheduling blip distorts means at these run
+				// lengths.
+				med := s.Median()
+				if m == NoABFT {
+					base = med
+				}
+				overhead := "-"
+				if m != NoABFT && base > 0 {
+					overhead = fmt.Sprintf("%+.1f%%", 100*(med/base-1))
+				}
+				t.AddRow(scen, m.String(), s.Mean(), med, s.StdDev(), overhead)
+			}
+		}
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig9 reproduces Figure 9: mean, median and maximum arithmetic error
+// (Equation 11, log scale in the paper) for the same method/scenario
+// matrix.
+func Fig9(cfgs []TileConfig, w io.Writer) error {
+	for _, cfg := range cfgs {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			return err
+		}
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 9: arithmetic error (l2 vs reference), tile %s, %d reps",
+				cfg.Name(), cfg.Reps),
+			"Scenario", "Method", "Mean", "Median", "Max",
+			"Detected", "Corrected", "Rollbacks")
+		for _, scen := range []string{"Error-free", "Single random bit-flip"} {
+			injected := scen != "Error-free"
+			for _, m := range []Method{NoABFT, Online, Offline} {
+				var errs metrics.Sample
+				detected, corrected, rollbacks := 0, 0, 0
+				for rep := 0; rep < cfg.Reps; rep++ {
+					var res Result
+					if injected {
+						res = r.Run(m, r.RandomPlan(rep))
+					} else {
+						res = r.Run(m, nil)
+					}
+					errs.Add(res.L2)
+					detected += res.Stats.Detections
+					corrected += res.Stats.CorrectedPoints
+					rollbacks += res.Stats.Rollbacks
+				}
+				t.AddRow(scen, m.String(), errs.Mean(), errs.Median(), errs.Max(),
+					detected, corrected, rollbacks)
+			}
+		}
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig10 reproduces Figure 10: the distribution of the final arithmetic
+// error as a function of the bit-flip position (0..31), for No ABFT, Online
+// ABFT and Offline ABFT. Each row is one box of the paper's box plots:
+// median and interquartile range over `reps` injections at that bit. The
+// online method is run both with the paper's literal Equation (10)
+// (reproducing the exponent-overflow residual spike of Figure 10b) and with
+// the stable evaluation this library defaults to.
+func Fig10(cfg TileConfig, methods []Method, w io.Writer) error {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range methods {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 10: error vs bit-flip position, %s, tile %s, %d reps/bit",
+				m, cfg.Name(), cfg.Reps),
+			"Bit", "Class", "Min", "Q1", "Median", "Q3", "Max", "DetectRate")
+		for bit := 0; bit < 32; bit++ {
+			var errs metrics.Sample
+			detected := 0
+			for rep := 0; rep < cfg.Reps; rep++ {
+				res := r.Run(m, r.FixedBitPlan(bit, rep))
+				errs.Add(res.L2)
+				if res.Stats.Detections > 0 {
+					detected++
+				}
+			}
+			lo, q1, med, q3, hi := errs.Box()
+			t.AddRow(bit, bitClass32(bit), lo, q1, med, q3, hi,
+				fmt.Sprintf("%d/%d", detected, cfg.Reps))
+		}
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// bitClass32 names the IEEE-754 binary32 field of a bit position.
+func bitClass32(bit int) string {
+	switch {
+	case bit == 31:
+		return "sign"
+	case bit >= 23:
+		return "exponent"
+	default:
+		return "fraction"
+	}
+}
+
+// Fig11 reproduces Figure 11: mean execution time of the Offline ABFT
+// method as a function of the detection/checkpoint period Δ, error-free and
+// with a single random bit-flip.
+func Fig11(cfg TileConfig, periods []int, w io.Writer) error {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 11: Offline ABFT time vs detection period, tile %s, %d iters, %d reps",
+			cfg.Name(), cfg.Iterations, cfg.Reps),
+		"Period", "Error-free median (s)", "Error-free sd", "Bit-flip median (s)", "Bit-flip sd")
+	for _, period := range periods {
+		c := cfg
+		c.Period = period
+		r, err := NewRunner(c)
+		if err != nil {
+			return err
+		}
+		r.Run(Offline, nil) // warm-up
+		var free, flip metrics.Sample
+		for rep := 0; rep < c.Reps; rep++ {
+			free.Add(r.Run(Offline, nil).Seconds)
+			flip.Add(r.Run(Offline, r.RandomPlan(rep)).Seconds)
+		}
+		t.AddRow(period, free.Median(), free.StdDev(), flip.Median(), flip.StdDev())
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+	return nil
+}
+
+// DefaultPeriods returns the Δ sweep of Figure 11.
+func DefaultPeriods() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128} }

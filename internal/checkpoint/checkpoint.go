@@ -1,0 +1,142 @@
+// Package checkpoint provides the in-memory domain checkpoints the offline
+// ABFT protector rolls back to (paper Section 4.2: "lightweight memory copy
+// of the current state of the grid and of the checksums"). Costs are
+// tracked so the campaign harness can attribute the offline method's
+// slowdown to checkpointing versus recomputation, as Figure 11 does.
+package checkpoint
+
+import (
+	"fmt"
+
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+)
+
+// Stats counts checkpoint activity.
+type Stats struct {
+	Saves        int
+	Restores     int
+	PointsCopied int64
+}
+
+// Store2D checkpoints one 2-D domain together with its per-iteration
+// metadata (iteration number and the verified column checksum). The zero
+// value is empty; Save initialises it.
+type Store2D[T num.Float] struct {
+	stats     Stats
+	valid     bool
+	iteration int
+	domain    *grid.Grid[T]
+	b         []T
+}
+
+// Save records the domain, its verified column checksum and the iteration
+// number, replacing any previous checkpoint.
+func (s *Store2D[T]) Save(iter int, g *grid.Grid[T], b []T) {
+	if s.domain == nil || !s.domain.SameShape(g) {
+		s.domain = g.Clone()
+	} else {
+		s.domain.CopyFrom(g)
+	}
+	if len(s.b) != len(b) {
+		s.b = make([]T, len(b))
+	}
+	copy(s.b, b)
+	s.iteration = iter
+	s.valid = true
+	s.stats.Saves++
+	s.stats.PointsCopied += int64(g.Len())
+}
+
+// Valid reports whether a checkpoint is available.
+func (s *Store2D[T]) Valid() bool { return s.valid }
+
+// Iteration returns the iteration number of the stored checkpoint.
+func (s *Store2D[T]) Iteration() int { return s.iteration }
+
+// Restore copies the checkpointed domain into g and the stored checksum
+// into b, returning the checkpoint's iteration number. It panics if no
+// checkpoint has been saved — recovering without a checkpoint is a
+// protocol violation the caller must prevent.
+func (s *Store2D[T]) Restore(g *grid.Grid[T], b []T) int {
+	if !s.valid {
+		panic("checkpoint: restore without a saved checkpoint")
+	}
+	g.CopyFrom(s.domain)
+	copy(b, s.b)
+	s.stats.Restores++
+	s.stats.PointsCopied += int64(g.Len())
+	return s.iteration
+}
+
+// Stats returns the accumulated cost counters.
+func (s *Store2D[T]) Stats() Stats { return s.stats }
+
+// Domain exposes the checkpointed grid for region-local recovery (cone
+// recomputation reads a window of the saved state without a full restore).
+// Callers must treat it as read-only; it panics if nothing was saved.
+func (s *Store2D[T]) Domain() *grid.Grid[T] {
+	if !s.valid {
+		panic("checkpoint: Domain without a saved checkpoint")
+	}
+	return s.domain
+}
+
+// Store3D checkpoints a 3-D domain with per-layer column checksums.
+type Store3D[T num.Float] struct {
+	stats     Stats
+	valid     bool
+	iteration int
+	domain    *grid.Grid3D[T]
+	b         [][]T
+}
+
+// Save records the domain, the per-layer verified checksums and the
+// iteration number.
+func (s *Store3D[T]) Save(iter int, g *grid.Grid3D[T], b [][]T) {
+	if s.domain == nil || !s.domain.SameShape(g) {
+		s.domain = g.Clone()
+	} else {
+		s.domain.CopyFrom(g)
+	}
+	if len(s.b) != len(b) {
+		s.b = make([][]T, len(b))
+	}
+	for z := range b {
+		if len(s.b[z]) != len(b[z]) {
+			s.b[z] = make([]T, len(b[z]))
+		}
+		copy(s.b[z], b[z])
+	}
+	s.iteration = iter
+	s.valid = true
+	s.stats.Saves++
+	s.stats.PointsCopied += int64(g.Len())
+}
+
+// Valid reports whether a checkpoint is available.
+func (s *Store3D[T]) Valid() bool { return s.valid }
+
+// Iteration returns the iteration number of the stored checkpoint.
+func (s *Store3D[T]) Iteration() int { return s.iteration }
+
+// Restore copies the checkpointed domain into g and the stored per-layer
+// checksums into b, returning the checkpoint's iteration number.
+func (s *Store3D[T]) Restore(g *grid.Grid3D[T], b [][]T) int {
+	if !s.valid {
+		panic("checkpoint: restore without a saved checkpoint")
+	}
+	if !g.SameShape(s.domain) {
+		panic(fmt.Sprintf("checkpoint: restore into %v from %v", g, s.domain))
+	}
+	g.CopyFrom(s.domain)
+	for z := range b {
+		copy(b[z], s.b[z])
+	}
+	s.stats.Restores++
+	s.stats.PointsCopied += int64(g.Len())
+	return s.iteration
+}
+
+// Stats returns the accumulated cost counters.
+func (s *Store3D[T]) Stats() Stats { return s.stats }

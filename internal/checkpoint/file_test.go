@@ -1,0 +1,134 @@
+package checkpoint
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stencilabft/internal/grid"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := grid.New[float32](13, 9)
+	g.FillFunc(func(x, y int) float32 { return rng.Float32() * 100 })
+	b := make([]float32, 9)
+	for i := range b {
+		b[i] = rng.Float32()
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := WriteFile(path, 42, g, b); err != nil {
+		t.Fatal(err)
+	}
+	g2, b2, iter, err := ReadFile[float32](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 42 {
+		t.Fatalf("iteration %d", iter)
+	}
+	if g2.MaxAbsDiff(g) != 0 {
+		t.Fatal("domain not restored bit-exactly")
+	}
+	for i := range b {
+		if b[i] != b2[i] {
+			t.Fatal("checksums not restored")
+		}
+	}
+}
+
+func TestFileRoundTripFloat64SpecialValues(t *testing.T) {
+	g := grid.New[float64](3, 2)
+	g.Set(0, 0, math.Inf(1))
+	g.Set(1, 0, -0.0)
+	g.Set(2, 0, math.SmallestNonzeroFloat64)
+	g.Set(0, 1, math.MaxFloat64)
+	path := filepath.Join(t.TempDir(), "ckpt64.bin")
+	if err := WriteFile(path, 0, g, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, _, err := ReadFile[float64](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(g2.At(0, 0)) != math.Float64bits(g.At(0, 0)) ||
+		math.Float64bits(g2.At(1, 0)) != math.Float64bits(g.At(1, 0)) ||
+		math.Float64bits(g2.At(2, 0)) != math.Float64bits(g.At(2, 0)) ||
+		math.Float64bits(g2.At(0, 1)) != math.Float64bits(g.At(0, 1)) {
+		t.Fatal("special values not preserved bit-exactly")
+	}
+}
+
+func TestFileDetectsCorruption(t *testing.T) {
+	g := grid.New[float32](8, 8)
+	g.Fill(3)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := WriteFile(path, 7, g, make([]float32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10 // flip a bit mid-payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadFile[float32](path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func TestFileRejectsWrongWidth(t *testing.T) {
+	g := grid.New[float32](4, 4)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := WriteFile(path, 0, g, make([]float32, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadFile[float64](path); err == nil {
+		t.Fatal("float64 read of float32 checkpoint accepted")
+	}
+}
+
+func TestFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.bin")
+	if err := os.WriteFile(path, []byte("not a checkpoint at all, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadFile[float32](path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, _, err := ReadFile[float32](filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFileOverwriteIsAtomicShape(t *testing.T) {
+	// Writing over an existing checkpoint must leave a readable file
+	// (the temp-and-rename protocol) and no stray temp files.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	g := grid.New[float32](4, 4)
+	for i := 0; i < 3; i++ {
+		g.Fill(float32(i))
+		if err := WriteFile(path, i, g, make([]float32, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g2, _, iter, err := ReadFile[float32](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 2 || g2.At(0, 0) != 2 {
+		t.Fatal("latest checkpoint not the visible one")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files left behind: %v", entries)
+	}
+}

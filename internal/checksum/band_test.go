@@ -1,0 +1,173 @@
+package checksum
+
+import (
+	"math/rand"
+	"testing"
+
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// TestBandInterpolationMatchesDirect: slice a global domain into a band
+// with halo rows, interpolate the band's checksums with InterpolateBBand,
+// and compare against the direct checksums of the globally swept domain.
+func TestBandInterpolationMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		nx := 6 + rng.Intn(14)
+		nyG := 12 + rng.Intn(16)
+		st := randomStencil(rng, 1+rng.Intn(6), 1)
+		bc := []grid.Boundary{grid.Clamp, grid.Mirror, grid.Zero, grid.Constant}[rng.Intn(4)]
+		op := &stencil.Op2D[float64]{St: st, BC: bc, BCValue: rng.Float64()}
+		if op.Validate(nx, nyG) != nil {
+			continue
+		}
+		src := randomGrid(rng, nx, nyG, 0, 8)
+		dst := grid.New[float64](nx, nyG)
+		op.Sweep(dst, src)
+
+		// Band: rows [y0, y1) with halo width 1.
+		h := 1
+		y0 := h + rng.Intn(nyG/2)
+		y1 := y0 + 2 + rng.Intn(nyG-y0-h-1)
+		nyB := y1 - y0
+
+		bandOp := &stencil.Op2D[float64]{St: st, BC: bc, BCValue: op.BCValue}
+		ip, err := NewInterp2D(bandOp, nx, nyB)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Extended previous checksums: halo rows are plain row sums.
+		bExt := make([]float64, nyB+2*h)
+		for j := 0; j < nyB+2*h; j++ {
+			var s float64
+			for x := 0; x < nx; x++ {
+				s += src.At(x, y0-h+j)
+			}
+			bExt[j] = s
+		}
+		bg := grid.BoundedGrid[float64]{G: src, Cond: bc, ConstVal: op.BCValue}
+		edges := OffsetEdges[float64]{Src: bg, X0: 0, Y0: y0}
+
+		got := make([]float64, nyB)
+		ip.InterpolateBBand(bExt, h, edges, got)
+		for j := 0; j < nyB; j++ {
+			var want float64
+			for x := 0; x < nx; x++ {
+				want += dst.At(x, y0+j)
+			}
+			if num.RelErr(got[j], want, 1e-9) > 1e-12 {
+				t.Fatalf("trial %d (%s, bc=%s): band row %d got %.12g want %.12g",
+					trial, st, bc, j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestBlockInterpolationMatchesDirect does the same for a fully interior
+// block (halos on all four sides), covering both InterpolateBBand (column
+// checksums) and InterpolateABlock (row checksums).
+func TestBlockInterpolationMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		nxG := 14 + rng.Intn(12)
+		nyG := 14 + rng.Intn(12)
+		st := randomStencil(rng, 1+rng.Intn(6), 1)
+		bc := []grid.Boundary{grid.Clamp, grid.Mirror, grid.Zero}[rng.Intn(3)]
+		op := &stencil.Op2D[float64]{St: st, BC: bc}
+		if op.Validate(nxG, nyG) != nil {
+			continue
+		}
+		src := randomGrid(rng, nxG, nyG, -2, 4)
+		dst := grid.New[float64](nxG, nyG)
+		op.Sweep(dst, src)
+
+		h := 1
+		x0 := h + rng.Intn(nxG/2)
+		x1 := x0 + 2 + rng.Intn(nxG-x0-h-1)
+		y0 := h + rng.Intn(nyG/2)
+		y1 := y0 + 2 + rng.Intn(nyG-y0-h-1)
+		bw, bh := x1-x0, y1-y0
+
+		blockOp := &stencil.Op2D[float64]{St: st, BC: bc}
+		ip, err := NewInterp2D(blockOp, bw, bh)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bg := grid.BoundedGrid[float64]{G: src, Cond: bc}
+		edges := OffsetEdges[float64]{Src: bg, X0: x0, Y0: y0}
+
+		// Column checksums (per block row).
+		bExt := make([]float64, bh+2*h)
+		for j := range bExt {
+			var s float64
+			for x := x0; x < x1; x++ {
+				s += src.At(x, y0-h+j)
+			}
+			bExt[j] = s
+		}
+		gotB := make([]float64, bh)
+		ip.InterpolateBBand(bExt, h, edges, gotB)
+		for j := 0; j < bh; j++ {
+			var want float64
+			for x := x0; x < x1; x++ {
+				want += dst.At(x, y0+j)
+			}
+			if num.RelErr(gotB[j], want, 1e-9) > 1e-12 {
+				t.Fatalf("trial %d (%s, bc=%s): block B[%d] got %.12g want %.12g",
+					trial, st, bc, j, gotB[j], want)
+			}
+		}
+
+		// Row checksums (per block column).
+		aExt := make([]float64, bw+2*h)
+		for i := range aExt {
+			var s float64
+			for y := y0; y < y1; y++ {
+				s += src.At(x0-h+i, y)
+			}
+			aExt[i] = s
+		}
+		gotA := make([]float64, bw)
+		ip.InterpolateABlock(aExt, h, edges, gotA)
+		for i := 0; i < bw; i++ {
+			var want float64
+			for y := y0; y < y1; y++ {
+				want += dst.At(x0+i, y)
+			}
+			if num.RelErr(gotA[i], want, 1e-9) > 1e-12 {
+				t.Fatalf("trial %d (%s, bc=%s): block A[%d] got %.12g want %.12g",
+					trial, st, bc, i, gotA[i], want)
+			}
+		}
+	}
+}
+
+func TestBandInterpolationPanicsOnBadHalo(t *testing.T) {
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	ip, err := NewInterp2D(op, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("halo below radius did not panic")
+		}
+	}()
+	ip.InterpolateBBand(make([]float64, 8), 0, nil, make([]float64, 8))
+}
+
+func TestOffsetEdgesTranslates(t *testing.T) {
+	g := grid.New[float64](6, 6)
+	g.FillFunc(func(x, y int) float64 { return float64(x + 10*y) })
+	bg := grid.BoundedGrid[float64]{G: g, Cond: grid.Clamp}
+	oe := OffsetEdges[float64]{Src: bg, X0: 2, Y0: 3}
+	if oe.At(0, 0) != g.At(2, 3) {
+		t.Fatal("offset translation wrong")
+	}
+	if oe.At(-1, -1) != g.At(1, 2) {
+		t.Fatal("negative local coordinates wrong")
+	}
+}

@@ -1,0 +1,158 @@
+package checksum
+
+import (
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+)
+
+// Location is a corrupted domain point identified by intersecting the
+// mismatching row-checksum index (x) and column-checksum index (y).
+type Location struct {
+	X, Y int
+}
+
+// PairPolicy selects how mismatching A-indices are matched with
+// mismatching B-indices when more than one error is present.
+type PairPolicy int
+
+const (
+	// PairByResidual matches an A mismatch with the B mismatch whose
+	// checksum residual is closest: a single corrupted cell perturbs its
+	// row and column checksums by the same amount, so true pairs have
+	// nearly equal residuals. This disambiguates multi-error patterns
+	// that index-order pairing gets wrong.
+	PairByResidual PairPolicy = iota
+	// PairByIndex matches the i-th A mismatch with the i-th B mismatch,
+	// the policy of the paper's Figure 6 listing.
+	PairByIndex
+)
+
+// Pair combines the A-vector and B-vector mismatch lists into error
+// locations. With exactly one mismatch on each side there is nothing to
+// disambiguate; with k > 1 the policy decides. When the list lengths
+// differ (overlapping corruptions in the same row or column), the shorter
+// list bounds the number of locatable errors and the extras are dropped —
+// the caller should treat that as a partially located event.
+func Pair[T num.Float](am, bm []Mismatch[T], policy PairPolicy) []Location {
+	n := min(len(am), len(bm))
+	if n == 0 {
+		return nil
+	}
+	locs := make([]Location, 0, n)
+	if policy == PairByIndex || n == 1 {
+		for i := 0; i < n; i++ {
+			locs = append(locs, Location{X: am[i].Index, Y: bm[i].Index})
+		}
+		return locs
+	}
+	used := make([]bool, len(bm))
+	for i := 0; i < n; i++ {
+		best, bestDiff := -1, T(0)
+		for j := range bm {
+			if used[j] {
+				continue
+			}
+			d := num.Abs(am[i].Residual - bm[j].Residual)
+			if best < 0 || d < bestDiff {
+				best, bestDiff = j, d
+			}
+		}
+		used[best] = true
+		locs = append(locs, Location{X: am[i].Index, Y: bm[best].Index})
+	}
+	return locs
+}
+
+// Corrector applies the paper's Equation (10): the corrupted value is
+// recovered by subtracting it from the direct checksum and comparing with
+// the interpolated checksum. The two estimates (from A and from B) are
+// averaged, as in the paper's Figure 6, and the checksums themselves are
+// patched so later iterations remain verifiable.
+//
+// PaperExact selects the literal formula v = a' - (a - u), whose
+// subtraction a - u cancels catastrophically when the corrupted value u
+// dwarfs the rest of the line (a high exponent-bit flip) — the residual
+// spike the paper reports in Section 5.3/Figure 10b. The default instead
+// evaluates the algebraically identical v = a' - Σ_{other cells}, summing
+// the uncorrupted cells directly from the domain (O(nx+ny) per correction),
+// which stays accurate for corruption of any magnitude, including
+// overflowed checksums. The Figure 10 campaign runs both.
+type Corrector[T num.Float] struct {
+	PaperExact bool
+}
+
+// Correct recovers the value at loc in g, writes it back, and patches the
+// direct checksum vectors. direct holds the checksums computed from the
+// (corrupted) domain; interpA/interpB are the interpolated (clean)
+// checksums. It returns the old and new values.
+func (c Corrector[T]) Correct(g *grid.Grid[T], loc Location, direct *Vectors[T], interpA, interpB []T) (old, fixed T) {
+	old = g.At(loc.X, loc.Y)
+	if c.PaperExact {
+		vx := interpA[loc.X] - (direct.A[loc.X] - old)
+		vy := interpB[loc.Y] - (direct.B[loc.Y] - old)
+		fixed = (vx + vy) / 2
+		switch {
+		case num.IsFinite(fixed):
+			// common case
+		case num.IsFinite(vx):
+			fixed = vx
+		case num.IsFinite(vy):
+			fixed = vy
+		default:
+			fixed = 0
+		}
+		g.Set(loc.X, loc.Y, fixed)
+		delta := fixed - old
+		if num.IsFinite(delta) {
+			direct.A[loc.X] += delta
+			direct.B[loc.Y] += delta
+			return old, fixed
+		}
+		// The direct checksums are non-finite; fall through to the
+		// exact recomputation below after the repair.
+	} else {
+		// Stable evaluation: sum the line remainders without the
+		// corrupted cell, then v = interp - remainder.
+		var restA, restB T
+		for y := 0; y < g.Ny(); y++ {
+			if y != loc.Y {
+				restA += g.At(loc.X, y)
+			}
+		}
+		for x := 0; x < g.Nx(); x++ {
+			if x != loc.X {
+				restB += g.At(x, loc.Y)
+			}
+		}
+		vx := interpA[loc.X] - restA
+		vy := interpB[loc.Y] - restB
+		fixed = (vx + vy) / 2
+		g.Set(loc.X, loc.Y, fixed)
+		direct.A[loc.X] = restA + fixed
+		direct.B[loc.Y] = restB + fixed
+		return old, fixed
+	}
+	g.Set(loc.X, loc.Y, fixed)
+	var sa, sb T
+	for y := 0; y < g.Ny(); y++ {
+		sa += g.At(loc.X, y)
+	}
+	for x := 0; x < g.Nx(); x++ {
+		sb += g.At(x, loc.Y)
+	}
+	direct.A[loc.X] = sa
+	direct.B[loc.Y] = sb
+	return old, fixed
+}
+
+// CorrectAll pairs the mismatch lists and corrects every located error,
+// returning the locations fixed. The same grid/checksum patching rules as
+// Correct apply per location.
+func (c Corrector[T]) CorrectAll(g *grid.Grid[T], am, bm []Mismatch[T], policy PairPolicy,
+	direct *Vectors[T], interpA, interpB []T) []Location {
+	locs := Pair(am, bm, policy)
+	for _, loc := range locs {
+		c.Correct(g, loc, direct, interpA, interpB)
+	}
+	return locs
+}

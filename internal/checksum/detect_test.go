@@ -1,0 +1,82 @@
+package checksum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompareFlagsOnlyExceeding(t *testing.T) {
+	d := Detector[float64]{Epsilon: 1e-6, AbsFloor: 1}
+	direct := []float64{100, 200, 300, 400}
+	interp := []float64{100, 200.001, 300, 400.0000001}
+	ms := d.Compare(direct, interp)
+	if len(ms) != 1 || ms[0].Index != 1 {
+		t.Fatalf("mismatches = %+v", ms)
+	}
+	if ms[0].Residual != interp[1]-direct[1] {
+		t.Fatal("residual wrong")
+	}
+}
+
+func TestCompareCleanAllocatesNothing(t *testing.T) {
+	d := NewDetector[float64]()
+	direct := []float64{1, 2, 3}
+	if ms := d.Compare(direct, direct); ms != nil {
+		t.Fatalf("clean compare returned %v", ms)
+	}
+}
+
+func TestAnyMismatch(t *testing.T) {
+	d := Detector[float64]{Epsilon: 1e-6, AbsFloor: 1}
+	if d.AnyMismatch([]float64{5, 5}, []float64{5, 5}) {
+		t.Fatal("false positive")
+	}
+	if !d.AnyMismatch([]float64{5, 5}, []float64{5, 6}) {
+		t.Fatal("missed mismatch")
+	}
+}
+
+func TestDetectorZeroSumLines(t *testing.T) {
+	// Near-zero checksums must neither divide by zero nor flag noise.
+	d := Detector[float64]{Epsilon: 1e-5, AbsFloor: 1}
+	if d.Exceeds(0, 1e-9) {
+		t.Fatal("noise near zero flagged")
+	}
+	if !d.Exceeds(0, 0.5) {
+		t.Fatal("real deviation near zero missed")
+	}
+}
+
+func TestDetectorNonFinite(t *testing.T) {
+	d := NewDetector[float64]()
+	if !d.Exceeds(math.Inf(1), 100) {
+		t.Fatal("Inf direct checksum not flagged")
+	}
+	if !d.Exceeds(100, math.NaN()) {
+		t.Fatal("NaN interp checksum not flagged")
+	}
+	if !d.Exceeds(math.Inf(1), math.Inf(1)) {
+		t.Fatal("matching Infs not flagged (a healthy checksum is finite)")
+	}
+}
+
+func TestMaxRelErr(t *testing.T) {
+	d := Detector[float64]{Epsilon: 1e-6, AbsFloor: 1}
+	got := d.MaxRelErr([]float64{100, 200}, []float64{101, 200})
+	if math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("MaxRelErr = %g", got)
+	}
+	if !math.IsInf(d.MaxRelErr([]float64{math.NaN()}, []float64{1}), 1) {
+		t.Fatal("non-finite should yield +Inf")
+	}
+}
+
+func TestComparePanicsOnLengthMismatch(t *testing.T) {
+	d := NewDetector[float64]()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	d.Compare([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,154 @@
+package checksum
+
+import (
+	"fmt"
+
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Interp3D interpolates the per-layer checksum vectors of a 3-D domain.
+// The paper applies the 2-D scheme on every z-layer; a stencil point with
+// dz != 0 couples layer z's checksum to layer z+dz's checksum of the
+// previous iteration, because the layer sum telescopes exactly like the
+// in-layer sums do. Ghost layers (z+dz outside [0,nz)) are resolved with
+// the same boundary condition as the in-layer axes.
+type Interp3D[T num.Float] struct {
+	op         *stencil.Op3D[T]
+	nx, ny, nz int
+	cA         [][]T // per layer: cA[z][x] = Σ_y C(x,y,z)
+	cB         [][]T // per layer: cB[z][y] = Σ_x C(x,y,z)
+	ghostSumA  T     // Constant-boundary whole-line substitute: ny*K
+	ghostSumB  T     // nx*K
+	// DropBoundaryTerms mirrors Interp2D.DropBoundaryTerms (ablation A1).
+	DropBoundaryTerms bool
+}
+
+// NewInterp3D precomputes an interpolator for op over an nx*ny*nz domain.
+func NewInterp3D[T num.Float](op *stencil.Op3D[T], nx, ny, nz int) (*Interp3D[T], error) {
+	if err := op.Validate(nx, ny, nz); err != nil {
+		return nil, err
+	}
+	ip := &Interp3D[T]{op: op, nx: nx, ny: ny, nz: nz,
+		cA: make([][]T, nz), cB: make([][]T, nz)}
+	for z := 0; z < nz; z++ {
+		ip.cA[z] = make([]T, nx)
+		ip.cB[z] = make([]T, ny)
+		if op.C != nil {
+			v := NewVectors[T](nx, ny)
+			v.Compute(op.C.Layer(z))
+			copy(ip.cA[z], v.A)
+			copy(ip.cB[z], v.B)
+		}
+	}
+	if op.BC == grid.Constant {
+		ip.ghostSumA = T(ny) * op.BCValue
+		ip.ghostSumB = T(nx) * op.BCValue
+	}
+	return ip, nil
+}
+
+// EdgeRadius returns the in-layer snapshot radius needed by the
+// alpha/beta terms: max(RadiusX, RadiusY).
+func (ip *Interp3D[T]) EdgeRadius() int {
+	return max(ip.op.St.RadiusX(), ip.op.St.RadiusY())
+}
+
+// InterpolateB computes layer z's next column checksums from the previous
+// iteration's per-layer column checksums bPrev (bPrev[z] of length ny) and
+// per-layer edge sources. bNext must have length ny.
+func (ip *Interp3D[T]) InterpolateB(z int, bPrev [][]T, edges []EdgeSource[T], bNext []T) {
+	if len(bPrev) != ip.nz || len(bNext) != ip.ny {
+		panic(fmt.Sprintf("checksum: InterpolateB layer %d: got %d layers, %d entries", z, len(bPrev), len(bNext)))
+	}
+	bc := ip.op.BC
+	for y := 0; y < ip.ny; y++ {
+		v := ip.cB[z][y]
+		for _, p := range ip.op.St.Points {
+			zz, ok := bc.ResolveIndex(z+p.DZ, ip.nz)
+			if !ok {
+				// Ghost layer: every point is the Constant value
+				// (or zero), so the shifted window sum is the
+				// whole-line ghost sum regardless of dx and dy.
+				if bc == grid.Constant {
+					v += p.W * ip.ghostSumB
+				}
+				continue
+			}
+			term := resolve1D(bPrev[zz], y+p.DY, bc, ip.ghostSumB)
+			if p.DX != 0 && bc != grid.Periodic && !ip.DropBoundaryTerms {
+				term += ip.betaLayer(edges[zz], p.DX, y+p.DY)
+			}
+			v += p.W * term
+		}
+		bNext[y] = v
+	}
+}
+
+// InterpolateA computes layer z's next row checksums, the x-axis analogue
+// of InterpolateB.
+func (ip *Interp3D[T]) InterpolateA(z int, aPrev [][]T, edges []EdgeSource[T], aNext []T) {
+	if len(aPrev) != ip.nz || len(aNext) != ip.nx {
+		panic(fmt.Sprintf("checksum: InterpolateA layer %d: got %d layers, %d entries", z, len(aPrev), len(aNext)))
+	}
+	bc := ip.op.BC
+	for x := 0; x < ip.nx; x++ {
+		v := ip.cA[z][x]
+		for _, p := range ip.op.St.Points {
+			zz, ok := bc.ResolveIndex(z+p.DZ, ip.nz)
+			if !ok {
+				if bc == grid.Constant {
+					v += p.W * ip.ghostSumA
+				}
+				continue
+			}
+			term := resolve1D(aPrev[zz], x+p.DX, bc, ip.ghostSumA)
+			if p.DY != 0 && bc != grid.Periodic && !ip.DropBoundaryTerms {
+				term += ip.alphaLayer(edges[zz], p.DY, x+p.DX)
+			}
+			v += p.W * term
+		}
+		aNext[x] = v
+	}
+}
+
+func (ip *Interp3D[T]) betaLayer(edges EdgeSource[T], dx, yy int) T {
+	var v T
+	if dx < 0 {
+		for x := dx; x < 0; x++ {
+			v += edges.At(x, yy)
+		}
+		for x := ip.nx + dx; x < ip.nx; x++ {
+			v -= edges.At(x, yy)
+		}
+	} else {
+		for x := ip.nx; x < ip.nx+dx; x++ {
+			v += edges.At(x, yy)
+		}
+		for x := 0; x < dx; x++ {
+			v -= edges.At(x, yy)
+		}
+	}
+	return v
+}
+
+func (ip *Interp3D[T]) alphaLayer(edges EdgeSource[T], dy, xx int) T {
+	var v T
+	if dy < 0 {
+		for y := dy; y < 0; y++ {
+			v += edges.At(xx, y)
+		}
+		for y := ip.ny + dy; y < ip.ny; y++ {
+			v -= edges.At(xx, y)
+		}
+	} else {
+		for y := ip.ny; y < ip.ny+dy; y++ {
+			v += edges.At(xx, y)
+		}
+		for y := 0; y < dy; y++ {
+			v -= edges.At(xx, y)
+		}
+	}
+	return v
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// RecoveryMode selects how the offline protector repairs a detected
+// corruption.
+type RecoveryMode int
+
+const (
+	// FullRollback restores the whole domain from the last checkpoint
+	// and re-executes every iteration since — the paper's standard
+	// checkpoint-and-recovery coupling (Section 4.2).
+	FullRollback RecoveryMode = iota
+	// ConeRecovery exploits stencil locality (the approach of Fang,
+	// Cavelan, Robert & Chien cited by the paper as a cost reducer):
+	// only the error's backward light cone is recomputed from the
+	// checkpoint. The region to recompute at step s shrinks by the
+	// stencil radius per step, so the work is O(Δ·(rΔ)²) instead of
+	// O(Δ·nx·ny). When the cone cannot be bounded (corruption reaching
+	// the edge strips the interpolation chain depends on, or checksum
+	// corruption with no located column), the protector falls back to a
+	// full rollback, so ConeRecovery is always at least as safe.
+	ConeRecovery
+)
+
+// rect is a half-open region [x0,x1) x [y0,y1) in domain coordinates.
+type rect struct {
+	x0, y0, x1, y1 int
+}
+
+func (r rect) empty() bool { return r.x0 >= r.x1 || r.y0 >= r.y1 }
+func (r rect) width() int  { return r.x1 - r.x0 }
+func (r rect) height() int { return r.y1 - r.y0 }
+func (r rect) area() int   { return r.width() * r.height() }
+func (r rect) contains(x, y int) bool {
+	return x >= r.x0 && x < r.x1 && y >= r.y0 && y < r.y1
+}
+
+// expand grows the region by d on every side, clamped to the domain.
+func (r rect) expand(d, nx, ny int) rect {
+	return rect{
+		x0: max(0, r.x0-d), y0: max(0, r.y0-d),
+		x1: min(nx, r.x1+d), y1: min(ny, r.y1+d),
+	}
+}
+
+// coneRegions returns the region to recompute at each step: regions[s] is
+// written at recompute step s (state time t0+s+1) and must equal the final
+// target F expanded by (steps-1-s)·radius, so that every read of step s+1
+// falls inside regions[s].
+func coneRegions(final rect, steps, radius, nx, ny int) []rect {
+	regions := make([]rect, steps)
+	for s := 0; s < steps; s++ {
+		regions[s] = final.expand((steps-1-s)*radius, nx, ny)
+	}
+	return regions
+}
+
+// coneWindow is a region-local double buffer addressed in global domain
+// coordinates. Reads outside the window resolve the boundary condition of
+// the underlying domain; by the shrinking-region construction they only
+// occur for out-of-domain ghosts.
+type coneWindow[T num.Float] struct {
+	r        rect
+	bc       grid.Boundary
+	bcValue  T
+	nx, ny   int // domain dimensions
+	cur, nxt []T // region-local storage, row-major over r
+}
+
+func newConeWindow[T num.Float](r rect, bc grid.Boundary, bcValue T, nx, ny int) *coneWindow[T] {
+	return &coneWindow[T]{
+		r: r, bc: bc, bcValue: bcValue, nx: nx, ny: ny,
+		cur: make([]T, r.area()),
+		nxt: make([]T, r.area()),
+	}
+}
+
+// load fills the window's current state from g (global coordinates).
+func (w *coneWindow[T]) load(g *grid.Grid[T]) {
+	i := 0
+	for y := w.r.y0; y < w.r.y1; y++ {
+		copy(w.cur[i:i+w.r.width()], g.Row(y)[w.r.x0:w.r.x1])
+		i += w.r.width()
+	}
+}
+
+// at reads the current state at global (x, y), resolving domain ghosts by
+// the boundary condition. It panics if an in-domain point outside the
+// window is requested — that would break the shrinking-region invariant.
+func (w *coneWindow[T]) at(x, y int) T {
+	rx, okx := w.bc.ResolveIndex(x, w.nx)
+	ry, oky := w.bc.ResolveIndex(y, w.ny)
+	if !okx || !oky {
+		if w.bc == grid.Constant {
+			return w.bcValue
+		}
+		return 0
+	}
+	if !w.r.contains(rx, ry) {
+		panic("core: cone recompute read outside its window")
+	}
+	return w.cur[(rx-w.r.x0)+(ry-w.r.y0)*w.r.width()]
+}
+
+// sweepRegion computes one stencil step for every cell of region into the
+// window's next buffer and swaps. region must satisfy region ⊕ radius ⊆
+// current window rect (up to domain clamping).
+func (w *coneWindow[T]) sweepRegion(op *stencil.Op2D[T], region rect) {
+	width := w.r.width()
+	for y := region.y0; y < region.y1; y++ {
+		for x := region.x0; x < region.x1; x++ {
+			var v T
+			if op.C != nil {
+				v = op.C.At(x, y)
+			}
+			for _, p := range op.St.Points {
+				v += p.W * w.at(x+p.DX, y+p.DY)
+			}
+			w.nxt[(x-w.r.x0)+(y-w.r.y0)*width] = v
+		}
+	}
+	// Cells outside `region` are not copied forward: the next step's
+	// region is smaller and never reads them.
+	w.cur, w.nxt = w.nxt, w.cur
+}
+
+// store writes the window's current values of region into g.
+func (w *coneWindow[T]) store(g *grid.Grid[T], region rect) {
+	width := w.r.width()
+	for y := region.y0; y < region.y1; y++ {
+		srcOff := (region.x0 - w.r.x0) + (y-w.r.y0)*width
+		copy(g.Row(y)[region.x0:region.x1], w.cur[srcOff:srcOff+region.width()])
+	}
+}

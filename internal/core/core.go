@@ -1,0 +1,86 @@
+// Package core assembles the paper's ABFT method into runnable protectors:
+//
+//   - Online2D / Online3D — Section 3: fused checksum every sweep,
+//     interpolation + comparison every iteration, on-the-fly localisation
+//     and algebraic correction.
+//   - Offline2D / Offline3D — Section 4: fused checksum every sweep,
+//     Δ-step interpolation chain verified every Δ iterations, in-memory
+//     checkpoint/rollback recovery.
+//   - None2D / None3D — the unprotected baseline every experiment
+//     compares against.
+//
+// The 3-D protectors apply the 2-D scheme per z-layer with exact
+// cross-layer checksum coupling, layers partitioned over a worker pool —
+// the paper's "intrinsically parallel" property (each worker owns its
+// layer's checksum vectors; iterations are separated by a single barrier).
+package core
+
+import (
+	"fmt"
+
+	"stencilabft/internal/checkpoint"
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Options configure a protector. The zero value is usable: paper-default
+// detection threshold, residual pairing, sequential execution, Δ=16.
+type Options[T num.Float] struct {
+	// Detector's Epsilon defaults to the paper's 1e-5 when zero.
+	Detector checksum.Detector[T]
+	// PairPolicy selects multi-error pairing (default PairByResidual).
+	PairPolicy checksum.PairPolicy
+	// Pool partitions parallel work; nil runs sequentially.
+	Pool *stencil.Pool
+	// Period is the offline detection/checkpoint period Δ (default 16,
+	// the paper's Table 1 value). Ignored by online protectors.
+	Period int
+	// DropBoundaryTerms reproduces the paper's simplified listings
+	// (ablation A1); leave false for exact interpolation.
+	DropBoundaryTerms bool
+	// PaperExactCorrection uses the paper's literal Equation (10)
+	// evaluation, which loses accuracy for overflow-scale corruption
+	// (Section 5.3); the default is the numerically stable equivalent.
+	PaperExactCorrection bool
+	// Recovery selects the offline repair strategy: FullRollback
+	// (default, the paper's scheme) or ConeRecovery (recompute only the
+	// error's light cone; falls back to a full rollback when the cone
+	// cannot be bounded). Offline2D only: the online protectors repair
+	// algebraically and Offline3D always uses the full rollback.
+	Recovery RecoveryMode
+}
+
+// withDefaults returns a copy with zero fields replaced by defaults.
+func (o Options[T]) withDefaults() Options[T] {
+	if o.Detector.Epsilon == 0 {
+		o.Detector = checksum.NewDetector[T]()
+	}
+	if o.Detector.AbsFloor == 0 {
+		o.Detector.AbsFloor = 1
+	}
+	if o.Period <= 0 {
+		o.Period = 16
+	}
+	return o
+}
+
+// Stats aggregates what a protector observed over a run.
+type Stats struct {
+	Iterations      int // completed sweeps
+	Detections      int // verification events that flagged at least one mismatch
+	CorrectedPoints int // domain points repaired in place (online only)
+	ChecksumRepairs int // detections attributed to checksum (not domain) corruption
+	Rollbacks       int // checkpoint restores (offline only)
+	RecomputedIters int // sweeps re-executed after rollback (offline only)
+	ConeRecoveries  int // detections repaired by light-cone recomputation
+	ConePointsSwept int // point updates spent inside cone recomputation
+	Verifications   int // checksum comparisons performed
+	Checkpoint      checkpoint.Stats
+}
+
+// String renders the counters compactly for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("iters=%d verifications=%d detections=%d corrected=%d rollbacks=%d recomputed=%d",
+		s.Iterations, s.Verifications, s.Detections, s.CorrectedPoints, s.Rollbacks, s.RecomputedIters)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// None2D runs a 2-D stencil with no protection at all — the paper's
+// "No-ABFT" baseline. It still uses the same sweep engine, so timing
+// differences against the protected runs isolate the ABFT overhead.
+type None2D[T num.Float] struct {
+	op    *stencil.Op2D[T]
+	buf   *grid.Buffer[T]
+	pool  *stencil.Pool
+	iter  int
+	stats Stats
+}
+
+// NewNone2D builds an unprotected runner starting from init (copied).
+func NewNone2D[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], opt Options[T]) (*None2D[T], error) {
+	if err := op.Validate(init.Nx(), init.Ny()); err != nil {
+		return nil, err
+	}
+	return &None2D[T]{op: op, buf: grid.BufferFrom(init), pool: opt.Pool}, nil
+}
+
+// Grid returns the current domain state.
+func (p *None2D[T]) Grid() *grid.Grid[T] { return p.buf.Read }
+
+// Iter returns the number of completed sweeps.
+func (p *None2D[T]) Iter() int { return p.iter }
+
+// Stats returns the accumulated counters (only Iterations is populated).
+func (p *None2D[T]) Stats() Stats { return p.stats }
+
+// Step advances one sweep with no checksum work.
+func (p *None2D[T]) Step(hook stencil.InjectFunc[T]) {
+	if p.pool != nil {
+		p.op.SweepParallelHook(p.pool, p.buf.Write, p.buf.Read, nil, hook)
+	} else {
+		p.op.SweepRange(p.buf.Write, p.buf.Read, 0, p.buf.Read.Ny(), nil, hook)
+	}
+	p.buf.Swap()
+	p.iter++
+	p.stats.Iterations++
+}
+
+// Run advances count iterations with no fault injection.
+func (p *None2D[T]) Run(count int) {
+	for i := 0; i < count; i++ {
+		p.Step(nil)
+	}
+}
+
+// None3D is the unprotected 3-D baseline.
+type None3D[T num.Float] struct {
+	op    *stencil.Op3D[T]
+	buf   *grid.Buffer3D[T]
+	pool  *stencil.Pool
+	iter  int
+	stats Stats
+}
+
+// NewNone3D builds an unprotected 3-D runner starting from init (copied).
+func NewNone3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Options[T]) (*None3D[T], error) {
+	if err := op.Validate(init.Nx(), init.Ny(), init.Nz()); err != nil {
+		return nil, err
+	}
+	return &None3D[T]{op: op, buf: grid.Buffer3DFrom(init), pool: opt.Pool}, nil
+}
+
+// Grid returns the current domain state.
+func (p *None3D[T]) Grid() *grid.Grid3D[T] { return p.buf.Read }
+
+// Iter returns the number of completed sweeps.
+func (p *None3D[T]) Iter() int { return p.iter }
+
+// Stats returns the accumulated counters (only Iterations is populated).
+func (p *None3D[T]) Stats() Stats { return p.stats }
+
+// Step advances one sweep with no checksum work.
+func (p *None3D[T]) Step(hook stencil.InjectFunc[T]) {
+	if p.pool != nil {
+		p.op.SweepParallelHook(p.pool, p.buf.Write, p.buf.Read, nil, hook)
+	} else {
+		for z := 0; z < p.buf.Read.Nz(); z++ {
+			p.op.SweepLayer(p.buf.Write, p.buf.Read, z, nil, hook)
+		}
+	}
+	p.buf.Swap()
+	p.iter++
+	p.stats.Iterations++
+}
+
+// Run advances count iterations with no fault injection.
+func (p *None3D[T]) Run(count int) {
+	for i := 0; i < count; i++ {
+		p.Step(nil)
+	}
+}

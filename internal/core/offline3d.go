@@ -1,0 +1,186 @@
+package core
+
+import (
+	"stencilabft/internal/checkpoint"
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Offline3D applies the offline scheme to a 3-D domain: per-layer fused
+// checksums every sweep, per-layer Δ-step interpolation chains verified
+// every Δ iterations, and whole-domain checkpoint/rollback recovery. The
+// chain for layer z reads neighbouring layers' chain values of the same
+// step, so all layers advance the chain in lockstep.
+type Offline3D[T num.Float] struct {
+	op     *stencil.Op3D[T]
+	buf    *grid.Buffer3D[T]
+	ip     *checksum.Interp3D[T]
+	det    checksum.Detector[T]
+	pool   *stencil.Pool
+	period int
+
+	curB     [][]T // fused per-layer checksums of the current iteration
+	verified [][]T // per-layer checksums at the last verified iteration
+	chain    [][]T // interpolation chain state, per layer
+	chainNxt [][]T
+
+	ring  [][]*checksum.EdgeSnapshot[T] // [step][layer] edge strips
+	edges []checksum.EdgeSource[T]      // scratch: per-layer sources for one step
+	store checkpoint.Store3D[T]
+
+	iter     int
+	lastSafe int
+	stats    Stats
+}
+
+// NewOffline3D builds an offline protector for op with detection period
+// opt.Period, starting from init (copied). The initial state is
+// checkpointed immediately.
+func NewOffline3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Options[T]) (*Offline3D[T], error) {
+	opt = opt.withDefaults()
+	nx, ny, nz := init.Nx(), init.Ny(), init.Nz()
+	ip, err := checksum.NewInterp3D(op, nx, ny, nz)
+	if err != nil {
+		return nil, err
+	}
+	ip.DropBoundaryTerms = opt.DropBoundaryTerms
+	p := &Offline3D[T]{
+		op:       op,
+		buf:      grid.Buffer3DFrom(init),
+		ip:       ip,
+		det:      opt.Detector,
+		pool:     opt.Pool,
+		period:   opt.Period,
+		curB:     makeLayers[T](nz, ny),
+		verified: makeLayers[T](nz, ny),
+		chain:    makeLayers[T](nz, ny),
+		chainNxt: makeLayers[T](nz, ny),
+		ring:     make([][]*checksum.EdgeSnapshot[T], opt.Period),
+		edges:    make([]checksum.EdgeSource[T], nz),
+	}
+	r := ip.EdgeRadius()
+	for s := range p.ring {
+		p.ring[s] = make([]*checksum.EdgeSnapshot[T], nz)
+		for z := 0; z < nz; z++ {
+			p.ring[s][z] = checksum.NewEdgeSnapshot[T](nx, ny, r, op.BC, op.BCValue)
+		}
+	}
+	for z := 0; z < nz; z++ {
+		stencil.ChecksumB(p.buf.Read.Layer(z), p.curB[z])
+		copy(p.verified[z], p.curB[z])
+	}
+	p.store.Save(0, p.buf.Read, p.curB)
+	return p, nil
+}
+
+// Grid returns the current domain state.
+func (p *Offline3D[T]) Grid() *grid.Grid3D[T] { return p.buf.Read }
+
+// Iter returns the number of completed sweeps.
+func (p *Offline3D[T]) Iter() int { return p.iter }
+
+// Stats returns the accumulated counters.
+func (p *Offline3D[T]) Stats() Stats {
+	s := p.stats
+	s.Checkpoint = p.store.Stats()
+	return s
+}
+
+// Step advances one sweep, verifying (and recovering) when the detection
+// period elapses.
+func (p *Offline3D[T]) Step(hook stencil.InjectFunc[T]) {
+	p.sweep(hook)
+	if p.iter-p.lastSafe >= p.period {
+		p.verify(p.iter - p.lastSafe)
+	}
+}
+
+// Run advances count iterations with no fault injection.
+func (p *Offline3D[T]) Run(count int) {
+	for i := 0; i < count; i++ {
+		p.Step(nil)
+	}
+}
+
+// Finalize verifies any iterations still pending since the last periodic
+// check. Call it once after the last Step.
+func (p *Offline3D[T]) Finalize() {
+	if n := p.iter - p.lastSafe; n > 0 {
+		p.verify(n)
+	}
+}
+
+func (p *Offline3D[T]) sweep(hook stencil.InjectFunc[T]) {
+	src, dst := p.buf.Read, p.buf.Write
+	nz := src.Nz()
+	step := (p.iter - p.lastSafe) % p.period
+	capture := func(z int) { p.ring[step][z].Capture(src.Layer(z)) }
+	if p.pool != nil {
+		p.pool.ForEach(nz, capture)
+		p.op.SweepParallelHook(p.pool, dst, src, p.curB, hook)
+	} else {
+		for z := 0; z < nz; z++ {
+			capture(z)
+			p.op.SweepLayer(dst, src, z, p.curB[z], hook)
+		}
+	}
+	p.buf.Swap()
+	p.iter++
+	p.stats.Iterations++
+}
+
+// verify advances the per-layer interpolation chains `steps` iterations
+// from the last verified checksums and compares them with the current
+// fused checksums; on mismatch it rolls back to the last checkpoint and
+// recomputes the segment.
+func (p *Offline3D[T]) verify(steps int) {
+	p.stats.Verifications++
+	nz := p.buf.Read.Nz()
+	for z := 0; z < nz; z++ {
+		copy(p.chain[z], p.verified[z])
+	}
+	for s := 0; s < steps; s++ {
+		for z := 0; z < nz; z++ {
+			p.edges[z] = p.ring[s][z]
+		}
+		interp := func(z int) { p.ip.InterpolateB(z, p.chain, p.edges, p.chainNxt[z]) }
+		if p.pool != nil {
+			p.pool.ForEach(nz, interp)
+		} else {
+			for z := 0; z < nz; z++ {
+				interp(z)
+			}
+		}
+		p.chain, p.chainNxt = p.chainNxt, p.chain
+	}
+	dirty := false
+	for z := 0; z < nz; z++ {
+		if p.det.AnyMismatch(p.curB[z], p.chain[z]) {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		for z := 0; z < nz; z++ {
+			copy(p.verified[z], p.curB[z])
+		}
+		p.lastSafe = p.iter
+		p.store.Save(p.iter, p.buf.Read, p.curB)
+		return
+	}
+	p.stats.Detections++
+	p.stats.Rollbacks++
+	target := p.iter
+	p.store.Restore(p.buf.Read, p.curB)
+	for z := 0; z < nz; z++ {
+		copy(p.verified[z], p.curB[z])
+	}
+	p.iter = p.lastSafe
+	for p.iter < target {
+		p.sweep(nil)
+		p.stats.RecomputedIters++
+	}
+	p.verify(target - p.lastSafe)
+}

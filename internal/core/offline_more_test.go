@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stencilabft/internal/fault"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/stencil"
+)
+
+func hotspotLikeOp3D() *stencil.Op3D[float64] {
+	st := stencil.SevenPoint3D(0.5, 0.08, 0.08, 0.09, 0.09, 0.06, 0.10)
+	return &stencil.Op3D[float64]{St: st, BC: grid.Clamp}
+}
+
+func init3D(nx, ny, nz int) *grid.Grid3D[float64] {
+	g := grid.New3D[float64](nx, ny, nz)
+	g.FillFunc(func(x, y, z int) float64 { return 300 + float64(x+2*y+3*z) })
+	return g
+}
+
+// TestOffline2DTwoFaultsInDistinctPeriods: each period's corruption is
+// rolled back independently; the final state is exact.
+func TestOffline2DTwoFaultsInDistinctPeriods(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	nx, ny := 24, 20
+	op := testOp(nx, ny)
+	init := testInit(rng, nx, ny)
+	const iters = 48
+	want := referenceRun(op, init, iters)
+
+	plan := fault.NewPlan(
+		fault.Injection{Iteration: 5, X: 3, Y: 4, Bit: 58},
+		fault.Injection{Iteration: 37, X: 17, Y: 12, Bit: 59},
+	)
+	o := opts64()
+	o.Period = 16
+	p, err := NewOffline2D(op, init, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injector := fault.NewInjector[float64](plan)
+	for i := 0; i < iters; i++ {
+		p.Step(injector.HookFor(i))
+	}
+	p.Finalize()
+	st := p.Stats()
+	if st.Detections != 2 || st.Rollbacks != 2 {
+		t.Fatalf("expected 2 independent recoveries, got %+v", st)
+	}
+	if st.RecomputedIters != 32 {
+		t.Fatalf("recomputed %d iterations, want 2 full periods (32)", st.RecomputedIters)
+	}
+	if d := p.Grid().MaxAbsDiff(want); d != 0 {
+		t.Fatalf("residual %g", d)
+	}
+}
+
+// TestOffline2DFaultInFinalPartialPeriod: an error after the last periodic
+// check is caught by Finalize.
+func TestOffline2DFaultInFinalPartialPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	nx, ny := 24, 20
+	op := testOp(nx, ny)
+	init := testInit(rng, nx, ny)
+	const iters = 40 // periods of 16: final partial window is 8 iterations
+	want := referenceRun(op, init, iters)
+
+	plan := fault.NewPlan(fault.Injection{Iteration: 36, X: 9, Y: 9, Bit: 58})
+	o := opts64()
+	o.Period = 16
+	p, err := NewOffline2D(op, init, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injector := fault.NewInjector[float64](plan)
+	for i := 0; i < iters; i++ {
+		p.Step(injector.HookFor(i))
+	}
+	if p.Stats().Detections != 0 {
+		t.Fatalf("error detected before Finalize: %+v", p.Stats())
+	}
+	p.Finalize()
+	st := p.Stats()
+	if st.Detections != 1 || st.Rollbacks != 1 {
+		t.Fatalf("Finalize did not recover: %+v", st)
+	}
+	if d := p.Grid().MaxAbsDiff(want); d != 0 {
+		t.Fatalf("residual %g", d)
+	}
+}
+
+// TestOffline2DPeriodOne degenerates to per-iteration verification.
+func TestOffline2DPeriodOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nx, ny := 16, 16
+	op := testOp(nx, ny)
+	init := testInit(rng, nx, ny)
+	const iters = 10
+
+	o := opts64()
+	o.Period = 1
+	p, err := NewOffline2D(op, init, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(iters)
+	p.Finalize()
+	st := p.Stats()
+	if st.Verifications != iters {
+		t.Fatalf("verifications %d, want %d", st.Verifications, iters)
+	}
+	if st.Checkpoint.Saves != iters+1 {
+		t.Fatalf("saves %d, want %d", st.Checkpoint.Saves, iters+1)
+	}
+}
+
+// TestOnline2DSignBitFlip covers the sign-bit case of Figure 10 (bit 31
+// for float32, 63 for float64): always detected, accurately corrected.
+func TestOnline2DSignBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	nx, ny := 20, 20
+	op := testOp(nx, ny)
+	init := testInit(rng, nx, ny)
+	const iters = 30
+	want := referenceRun(op, init, iters)
+
+	plan := fault.NewPlan(fault.Injection{Iteration: 11, X: 4, Y: 15, Bit: 63})
+	p, err := NewOnline2D(op, init, opts64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	injector := fault.NewInjector[float64](plan)
+	for i := 0; i < iters; i++ {
+		p.Step(injector.HookFor(i))
+	}
+	st := p.Stats()
+	if st.Detections != 1 || st.CorrectedPoints != 1 {
+		t.Fatalf("sign flip not handled: %+v", st)
+	}
+	if d := p.Grid().MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("residual %g", d)
+	}
+}
+
+// TestNew2DFactory covers the dynamic constructor used by the CLIs.
+func TestNew2DFactory(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	op := testOp(8, 8)
+	init := testInit(rng, 8, 8)
+	for _, mode := range []string{"none", "online", "offline"} {
+		p, err := New2D(mode, op, init, opts64())
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		p.Run(3)
+		if p.Iter() != 3 {
+			t.Fatalf("%s: iter %d", mode, p.Iter())
+		}
+		if _, ok := p.(Finalizer); ok != (mode == "offline") {
+			t.Fatalf("%s: Finalizer presence wrong", mode)
+		}
+	}
+	if _, err := New2D("bogus", op, init, opts64()); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+// TestNew3DFactory mirrors TestNew2DFactory for the 3-D constructors.
+func TestNew3DFactory(t *testing.T) {
+	op := hotspotLikeOp3D()
+	init := init3D(16, 14, 4)
+	for _, mode := range []string{"none", "online", "offline"} {
+		p, err := New3D(mode, op, init, opts64())
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		p.Run(2)
+		if p.Iter() != 2 {
+			t.Fatalf("%s: iter %d", mode, p.Iter())
+		}
+	}
+	if _, err := New3D("bogus", op, init, opts64()); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}

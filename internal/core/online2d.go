@@ -1,0 +1,129 @@
+package core
+
+import (
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Online2D protects a 2-D stencil run with the paper's online ABFT scheme
+// (Section 3). Per iteration it pays one fused checksum accumulation and
+// one O(ny·k·(1+r)) interpolation; the O(nx·ny) row-checksum pass and the
+// correction machinery run only after a detection.
+type Online2D[T num.Float] struct {
+	op   *stencil.Op2D[T]
+	buf  *grid.Buffer[T]
+	ip   *checksum.Interp2D[T]
+	det  checksum.Detector[T]
+	pool *stencil.Pool
+	pol  checksum.PairPolicy
+
+	prevB   []T // verified column checksums of iteration t
+	newB    []T // fused column checksums of iteration t+1
+	interpB []T // interpolated column checksums of iteration t+1
+
+	// scratch for the detection/correction slow path
+	prevA, newA, interpA []T
+
+	corr  checksum.Corrector[T]
+	iter  int
+	stats Stats
+}
+
+// NewOnline2D builds an online protector for op, starting from the initial
+// domain state init (copied; the caller's grid is not retained). The
+// initial data and checksums are assumed correct, per Theorem 2.
+func NewOnline2D[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], opt Options[T]) (*Online2D[T], error) {
+	opt = opt.withDefaults()
+	nx, ny := init.Nx(), init.Ny()
+	ip, err := checksum.NewInterp2D(op, nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	ip.DropBoundaryTerms = opt.DropBoundaryTerms
+	p := &Online2D[T]{
+		op:      op,
+		buf:     grid.BufferFrom(init),
+		ip:      ip,
+		det:     opt.Detector,
+		pool:    opt.Pool,
+		pol:     opt.PairPolicy,
+		prevB:   make([]T, ny),
+		newB:    make([]T, ny),
+		interpB: make([]T, ny),
+		prevA:   make([]T, nx),
+		newA:    make([]T, nx),
+		interpA: make([]T, nx),
+		corr:    checksum.Corrector[T]{PaperExact: opt.PaperExactCorrection},
+	}
+	stencil.ChecksumB(p.buf.Read, p.prevB)
+	return p, nil
+}
+
+// Grid returns the current domain state (iteration Iter()).
+func (p *Online2D[T]) Grid() *grid.Grid[T] { return p.buf.Read }
+
+// Iter returns the number of completed sweeps.
+func (p *Online2D[T]) Iter() int { return p.iter }
+
+// Stats returns the accumulated counters.
+func (p *Online2D[T]) Stats() Stats { return p.stats }
+
+// Step advances the domain by one sweep, verifying and (when needed)
+// correcting afterwards. hook, when non-nil, is the fault-injection point
+// applied during the sweep.
+func (p *Online2D[T]) Step(hook stencil.InjectFunc[T]) {
+	src, dst := p.buf.Read, p.buf.Write
+	if p.pool != nil {
+		p.op.SweepParallelHook(p.pool, dst, src, p.newB, hook)
+	} else {
+		p.op.SweepRange(dst, src, 0, src.Ny(), p.newB, hook)
+	}
+
+	edges := checksum.LiveEdges(src, p.op.BC, p.op.BCValue)
+	p.ip.InterpolateB(p.prevB, edges, p.interpB)
+	p.stats.Verifications++
+
+	if p.det.AnyMismatch(p.newB, p.interpB) {
+		p.stats.Detections++
+		p.locateAndCorrect(src, dst, edges)
+	}
+
+	p.prevB, p.newB = p.newB, p.prevB
+	p.buf.Swap()
+	p.iter++
+	p.stats.Iterations++
+}
+
+// Run advances count iterations with no fault injection.
+func (p *Online2D[T]) Run(count int) {
+	for i := 0; i < count; i++ {
+		p.Step(nil)
+	}
+}
+
+// locateAndCorrect is the detection slow path: compute the row-checksum
+// pair lazily (the t-buffer still holds iteration t, so the previous row
+// checksum is recomputable on demand — the property that lets the fast
+// path maintain only one vector), intersect the mismatch lists and apply
+// Equation (10).
+func (p *Online2D[T]) locateAndCorrect(src, dst *grid.Grid[T], edges checksum.EdgeSource[T]) {
+	stencil.ChecksumA(src, p.prevA)
+	p.ip.InterpolateA(p.prevA, edges, p.interpA)
+	stencil.ChecksumA(dst, p.newA)
+
+	bm := p.det.Compare(p.newB, p.interpB)
+	am := p.det.Compare(p.newA, p.interpA)
+	if len(am) == 0 || len(bm) == 0 {
+		// Mismatch in one vector only: the corruption sits in a
+		// checksum, not the domain (paper Figure 5, scenario 2).
+		// The domain is trusted; refresh the column checksums from it.
+		p.stats.ChecksumRepairs++
+		stencil.ChecksumB(dst, p.newB)
+		return
+	}
+	direct := &checksum.Vectors[T]{A: p.newA, B: p.newB}
+	locs := p.corr.CorrectAll(dst, am, bm, p.pol, direct, p.interpA, p.interpB)
+	p.stats.CorrectedPoints += len(locs)
+}

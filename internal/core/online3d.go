@@ -1,0 +1,179 @@
+package core
+
+import (
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Online3D applies the online scheme per z-layer of a 3-D domain (paper
+// Section 5.1: "each layer uses its own independent checksums and the
+// proposed ABFT method is applied independently within each layer"). The
+// interpolation couples neighbouring layers' checksum vectors exactly as
+// the layer sums do, so detection remains exact for 3-D stencils.
+type Online3D[T num.Float] struct {
+	op   *stencil.Op3D[T]
+	buf  *grid.Buffer3D[T]
+	ip   *checksum.Interp3D[T]
+	det  checksum.Detector[T]
+	pool *stencil.Pool
+	pol  checksum.PairPolicy
+
+	prevB   [][]T // verified per-layer column checksums of iteration t
+	newB    [][]T // fused per-layer column checksums of iteration t+1
+	interpB [][]T // interpolated per-layer column checksums
+
+	// Row-checksum scratch, computed lazily on detection.
+	prevA, interpA [][]T
+	newA           []T
+
+	edges []checksum.EdgeSource[T] // live views of the t-buffer layers
+
+	corr  checksum.Corrector[T]
+	iter  int
+	stats Stats
+}
+
+// NewOnline3D builds an online protector for op, starting from init
+// (copied).
+func NewOnline3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Options[T]) (*Online3D[T], error) {
+	opt = opt.withDefaults()
+	nx, ny, nz := init.Nx(), init.Ny(), init.Nz()
+	ip, err := checksum.NewInterp3D(op, nx, ny, nz)
+	if err != nil {
+		return nil, err
+	}
+	ip.DropBoundaryTerms = opt.DropBoundaryTerms
+	p := &Online3D[T]{
+		op:      op,
+		buf:     grid.Buffer3DFrom(init),
+		ip:      ip,
+		det:     opt.Detector,
+		pool:    opt.Pool,
+		pol:     opt.PairPolicy,
+		prevB:   makeLayers[T](nz, ny),
+		newB:    makeLayers[T](nz, ny),
+		interpB: makeLayers[T](nz, ny),
+		prevA:   makeLayers[T](nz, nx),
+		interpA: makeLayers[T](nz, nx),
+		newA:    make([]T, nx),
+		edges:   make([]checksum.EdgeSource[T], nz),
+		corr:    checksum.Corrector[T]{PaperExact: opt.PaperExactCorrection},
+	}
+	for z := 0; z < nz; z++ {
+		stencil.ChecksumB(p.buf.Read.Layer(z), p.prevB[z])
+	}
+	return p, nil
+}
+
+func makeLayers[T num.Float](nz, n int) [][]T {
+	out := make([][]T, nz)
+	for z := range out {
+		out[z] = make([]T, n)
+	}
+	return out
+}
+
+// Grid returns the current domain state.
+func (p *Online3D[T]) Grid() *grid.Grid3D[T] { return p.buf.Read }
+
+// Iter returns the number of completed sweeps.
+func (p *Online3D[T]) Iter() int { return p.iter }
+
+// Stats returns the accumulated counters.
+func (p *Online3D[T]) Stats() Stats { return p.stats }
+
+// Step advances one sweep: fused per-layer checksums, per-layer
+// interpolation and comparison, correction in the rare mismatch case. All
+// per-layer phases are partitioned over the pool; the correction slow path
+// runs inside the layer that flagged, with no cross-layer writes.
+func (p *Online3D[T]) Step(hook stencil.InjectFunc[T]) {
+	src, dst := p.buf.Read, p.buf.Write
+	nz := src.Nz()
+	for z := 0; z < nz; z++ {
+		p.edges[z] = checksum.LiveEdges(src.Layer(z), p.op.BC, p.op.BCValue)
+	}
+
+	if p.pool != nil {
+		p.op.SweepParallelHook(p.pool, dst, src, p.newB, hook)
+	} else {
+		for z := 0; z < nz; z++ {
+			p.op.SweepLayer(dst, src, z, p.newB[z], hook)
+		}
+	}
+
+	// Interpolate and detect per layer. Mismatching layers are collected
+	// and corrected after the parallel phase: corrections mutate the
+	// write buffer and checksums of the flagged layer only, but the
+	// row-checksum interpolation reads neighbouring layers, so doing it
+	// outside the barrier keeps the memory model trivially racefree.
+	flagged := make([]bool, nz)
+	detect := func(z int) {
+		p.ip.InterpolateB(z, p.prevB, p.edges, p.interpB[z])
+		if p.det.AnyMismatch(p.newB[z], p.interpB[z]) {
+			flagged[z] = true
+		}
+	}
+	if p.pool != nil {
+		p.pool.ForEach(nz, detect)
+	} else {
+		for z := 0; z < nz; z++ {
+			detect(z)
+		}
+	}
+	p.stats.Verifications++
+
+	anyFlagged := false
+	for z := 0; z < nz; z++ {
+		if flagged[z] {
+			anyFlagged = true
+			break
+		}
+	}
+	if anyFlagged {
+		p.stats.Detections++
+		// The row-checksum interpolation of layer z needs prevA of
+		// layers z+dz; compute prevA for every layer once (the slow
+		// path is rare and O(nx*ny*nz) total, the cost of one sweep).
+		for z := 0; z < nz; z++ {
+			stencil.ChecksumA(src.Layer(z), p.prevA[z])
+		}
+		for z := 0; z < nz; z++ {
+			if flagged[z] {
+				p.correctLayer(z, dst)
+			}
+		}
+	}
+
+	p.prevB, p.newB = p.newB, p.prevB
+	p.buf.Swap()
+	p.iter++
+	p.stats.Iterations++
+}
+
+// Run advances count iterations with no fault injection.
+func (p *Online3D[T]) Run(count int) {
+	for i := 0; i < count; i++ {
+		p.Step(nil)
+	}
+}
+
+// correctLayer locates and repairs the corrupted points of one flagged
+// layer using the 2-D correction algebra on that layer's checksum pairs.
+func (p *Online3D[T]) correctLayer(z int, dst *grid.Grid3D[T]) {
+	layer := dst.Layer(z)
+	p.ip.InterpolateA(z, p.prevA, p.edges, p.interpA[z])
+	stencil.ChecksumA(layer, p.newA)
+
+	bm := p.det.Compare(p.newB[z], p.interpB[z])
+	am := p.det.Compare(p.newA, p.interpA[z])
+	if len(am) == 0 || len(bm) == 0 {
+		p.stats.ChecksumRepairs++
+		stencil.ChecksumB(layer, p.newB[z])
+		return
+	}
+	direct := &checksum.Vectors[T]{A: p.newA, B: p.newB[z]}
+	locs := p.corr.CorrectAll(layer, am, bm, p.pol, direct, p.interpA[z], p.interpB[z])
+	p.stats.CorrectedPoints += len(locs)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Protector2D is the protocol shared by every 2-D runner (None2D,
+// Online2D, Offline2D): advance one sweep with an optional injection hook,
+// expose the current state and the counters. Code that compares protection
+// methods (the campaign drivers, the CLIs) programs against this interface
+// and swaps implementations freely.
+type Protector2D[T num.Float] interface {
+	Step(hook stencil.InjectFunc[T])
+	Run(count int)
+	Grid() *grid.Grid[T]
+	Iter() int
+	Stats() Stats
+}
+
+// Protector3D is the 3-D analogue.
+type Protector3D[T num.Float] interface {
+	Step(hook stencil.InjectFunc[T])
+	Run(count int)
+	Grid() *grid.Grid3D[T]
+	Iter() int
+	Stats() Stats
+}
+
+// Finalizer is implemented by protectors with end-of-run obligations (the
+// offline ones verify any partial period). Callers should type-assert and
+// invoke it after the last Step.
+type Finalizer interface {
+	Finalize()
+}
+
+// Compile-time interface conformance checks.
+var (
+	_ Protector2D[float32] = (*None2D[float32])(nil)
+	_ Protector2D[float32] = (*Online2D[float32])(nil)
+	_ Protector2D[float32] = (*Offline2D[float32])(nil)
+	_ Protector2D[float64] = (*None2D[float64])(nil)
+	_ Protector2D[float64] = (*Online2D[float64])(nil)
+	_ Protector2D[float64] = (*Offline2D[float64])(nil)
+	_ Protector3D[float32] = (*None3D[float32])(nil)
+	_ Protector3D[float32] = (*Online3D[float32])(nil)
+	_ Protector3D[float32] = (*Offline3D[float32])(nil)
+	_ Finalizer            = (*Offline2D[float32])(nil)
+	_ Finalizer            = (*Offline3D[float64])(nil)
+)
+
+// New2D constructs a protector by mode name ("none", "online", "offline"),
+// the dynamic entry point the CLIs use.
+func New2D[T num.Float](mode string, op *stencil.Op2D[T], init *grid.Grid[T], opt Options[T]) (Protector2D[T], error) {
+	switch mode {
+	case "none":
+		return NewNone2D(op, init, opt)
+	case "online":
+		return NewOnline2D(op, init, opt)
+	case "offline":
+		return NewOffline2D(op, init, opt)
+	default:
+		return nil, errUnknownMode(mode)
+	}
+}
+
+// New3D constructs a 3-D protector by mode name.
+func New3D[T num.Float](mode string, op *stencil.Op3D[T], init *grid.Grid3D[T], opt Options[T]) (Protector3D[T], error) {
+	switch mode {
+	case "none":
+		return NewNone3D(op, init, opt)
+	case "online":
+		return NewOnline3D(op, init, opt)
+	case "offline":
+		return NewOffline3D(op, init, opt)
+	default:
+		return nil, errUnknownMode(mode)
+	}
+}
+
+type errUnknownMode string
+
+func (e errUnknownMode) Error() string {
+	return "core: unknown protection mode " + string(e) + " (want none|online|offline)"
+}

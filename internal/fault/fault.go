@@ -1,0 +1,116 @@
+// Package fault implements the paper's fault-injection methodology
+// (Section 5.1): a single bit-flip injected at a random stencil iteration,
+// at a random point of the computational domain, at a random bit position
+// of the IEEE-754 representation — applied during the sweep, after the
+// point has been updated and before it is stored, so the corruption has an
+// immediate and visible impact on the stencil results.
+//
+// All randomness is seeded, making every campaign reproducible.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Injection describes one planned bit-flip.
+type Injection struct {
+	Iteration int // stencil iteration (0-based) during which to inject
+	X, Y, Z   int // domain coordinates (Z = 0 for 2-D domains)
+	Bit       int // IEEE-754 bit position (0 = LSB of the fraction)
+}
+
+// String formats the injection for logs.
+func (in Injection) String() string {
+	return fmt.Sprintf("flip bit %d at (%d,%d,%d) during iteration %d", in.Bit, in.X, in.Y, in.Z, in.Iteration)
+}
+
+// Plan is a set of injections for one run, indexed by iteration.
+type Plan struct {
+	byIter map[int][]Injection
+	all    []Injection
+}
+
+// NewPlan builds a plan from explicit injections.
+func NewPlan(injs ...Injection) *Plan {
+	p := &Plan{byIter: make(map[int][]Injection, len(injs))}
+	for _, in := range injs {
+		p.byIter[in.Iteration] = append(p.byIter[in.Iteration], in)
+		p.all = append(p.all, in)
+	}
+	return p
+}
+
+// Injections returns every planned injection.
+func (p *Plan) Injections() []Injection { return p.all }
+
+// ForIteration returns the injections scheduled for the given iteration
+// (nil for most iterations, keeping the sweep hook-free on the fast path).
+func (p *Plan) ForIteration(iter int) []Injection {
+	if p == nil {
+		return nil
+	}
+	return p.byIter[iter]
+}
+
+// RandomSingle draws the paper's random single bit-flip: uniform over
+// iterations [0, iters), domain points [0,nx)x[0,ny)x[0,nz) and bit
+// positions [0, bits). Pass nz = 1 for 2-D domains and bits = 32 for
+// float32 state.
+func RandomSingle(rng *rand.Rand, iters, nx, ny, nz, bits int) Injection {
+	return Injection{
+		Iteration: rng.Intn(iters),
+		X:         rng.Intn(nx),
+		Y:         rng.Intn(ny),
+		Z:         rng.Intn(nz),
+		Bit:       rng.Intn(bits),
+	}
+}
+
+// FixedBit draws a random injection with the bit position held fixed — the
+// campaign shape of the paper's Figure 10 (1,000 injections per bit
+// position).
+func FixedBit(rng *rand.Rand, iters, nx, ny, nz, bit int) Injection {
+	return Injection{
+		Iteration: rng.Intn(iters),
+		X:         rng.Intn(nx),
+		Y:         rng.Intn(ny),
+		Z:         rng.Intn(nz),
+		Bit:       bit,
+	}
+}
+
+// Injector adapts a plan to the sweep engines' InjectFunc. It counts hits
+// so tests and campaigns can assert the planned flips actually landed
+// (e.g. an injection aimed at an out-of-range iteration never fires).
+type Injector[T num.Float] struct {
+	plan *Plan
+	Hits []Injection // injections that have been applied
+}
+
+// NewInjector wraps a plan.
+func NewInjector[T num.Float](plan *Plan) *Injector[T] {
+	return &Injector[T]{plan: plan}
+}
+
+// HookFor returns the InjectFunc for the given iteration, or nil when the
+// iteration has no scheduled injection — the nil lets the sweep engines
+// skip the per-point hook branch entirely on clean iterations.
+func (in *Injector[T]) HookFor(iter int) stencil.InjectFunc[T] {
+	injs := in.plan.ForIteration(iter)
+	if len(injs) == 0 {
+		return nil
+	}
+	return func(x, y, z int, v T) T {
+		for _, j := range injs {
+			if j.X == x && j.Y == y && j.Z == z {
+				in.Hits = append(in.Hits, j)
+				return num.FlipBit(v, j.Bit)
+			}
+		}
+		return v
+	}
+}

@@ -1,0 +1,303 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	g := New[float64](4, 3)
+	if g.Nx() != 4 || g.Ny() != 3 || g.Len() != 12 {
+		t.Fatalf("shape wrong: %v", g)
+	}
+	g.Set(2, 1, 7.5)
+	if g.At(2, 1) != 7.5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if g.Index(2, 1) != 6 {
+		t.Fatalf("Index(2,1) = %d, want 6", g.Index(2, 1))
+	}
+	x, y := g.Coords(6)
+	if x != 2 || y != 1 {
+		t.Fatalf("Coords(6) = (%d,%d), want (2,1)", x, y)
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, dims := range [][2]int{{0, 3}, {3, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New[float32](dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromSliceShares(t *testing.T) {
+	data := make([]float32, 6)
+	g := FromSlice(3, 2, data)
+	g.Set(1, 1, 9)
+	if data[4] != 9 {
+		t.Fatal("FromSlice does not share storage")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("FromSlice with wrong length did not panic")
+			}
+		}()
+		FromSlice(3, 3, data)
+	}()
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	g := New[float64](3, 2)
+	g.Row(1)[2] = 5
+	if g.At(2, 1) != 5 {
+		t.Fatal("Row does not share storage")
+	}
+}
+
+func TestFillAndClone(t *testing.T) {
+	g := New[float64](5, 5)
+	g.FillFunc(func(x, y int) float64 { return float64(x*10 + y) })
+	c := g.Clone()
+	if c.MaxAbsDiff(g) != 0 {
+		t.Fatal("clone differs")
+	}
+	c.Set(0, 0, -1)
+	if g.At(0, 0) == -1 {
+		t.Fatal("clone shares storage")
+	}
+	g.Fill(2)
+	if g.SumAll() != 50 {
+		t.Fatalf("SumAll after Fill = %g, want 50", g.SumAll())
+	}
+}
+
+func TestCopyFromChecksShape(t *testing.T) {
+	g := New[float64](3, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CopyFrom shape mismatch did not panic")
+			}
+		}()
+		g.CopyFrom(New[float64](2, 3))
+	}()
+}
+
+func TestGrid3DLayerViews(t *testing.T) {
+	g := New3D[float32](3, 2, 4)
+	g.Set(1, 1, 2, 42)
+	if g.Layer(2).At(1, 1) != 42 {
+		t.Fatal("layer view does not reflect Set")
+	}
+	g.Layer(3).Set(0, 0, 7)
+	if g.At(0, 0, 3) != 7 {
+		t.Fatal("Set through layer view lost")
+	}
+	if g.Index(1, 1, 2) != 1+1*3+2*6 {
+		t.Fatal("3-D Index wrong")
+	}
+	x, y, z := g.Coords(g.Index(2, 1, 3))
+	if x != 2 || y != 1 || z != 3 {
+		t.Fatalf("3-D Coords wrong: (%d,%d,%d)", x, y, z)
+	}
+}
+
+func TestGrid3DFillFuncOrder(t *testing.T) {
+	g := New3D[float64](2, 2, 2)
+	g.FillFunc(func(x, y, z int) float64 { return float64(x + 10*y + 100*z) })
+	if g.At(1, 0, 1) != 101 || g.At(0, 1, 0) != 10 {
+		t.Fatal("FillFunc coordinates wrong")
+	}
+}
+
+func TestResolveIndexClamp(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{-1, 5, 0}, {-3, 5, 0}, {5, 5, 4}, {7, 5, 4}, {2, 5, 2},
+	}
+	for _, c := range cases {
+		got, ok := Clamp.ResolveIndex(c.i, c.n)
+		if !ok || got != c.want {
+			t.Fatalf("Clamp.ResolveIndex(%d,%d) = %d,%v want %d", c.i, c.n, got, ok, c.want)
+		}
+	}
+}
+
+func TestResolveIndexPeriodic(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{-1, 5, 4}, {-5, 5, 0}, {5, 5, 0}, {6, 5, 1}, {2, 5, 2}, {-6, 5, 4},
+	}
+	for _, c := range cases {
+		got, ok := Periodic.ResolveIndex(c.i, c.n)
+		if !ok || got != c.want {
+			t.Fatalf("Periodic.ResolveIndex(%d,%d) = %d,%v want %d", c.i, c.n, got, ok, c.want)
+		}
+	}
+}
+
+func TestResolveIndexMirror(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{-1, 5, 1}, {-2, 5, 2}, {5, 5, 3}, {6, 5, 2}, {0, 5, 0},
+		{-1, 1, 0}, {3, 1, 0},
+	}
+	for _, c := range cases {
+		got, ok := Mirror.ResolveIndex(c.i, c.n)
+		if !ok || got != c.want {
+			t.Fatalf("Mirror.ResolveIndex(%d,%d) = %d,%v want %d", c.i, c.n, got, ok, c.want)
+		}
+	}
+}
+
+func TestResolveIndexGhostConditions(t *testing.T) {
+	for _, bc := range []Boundary{Constant, Zero} {
+		if _, ok := bc.ResolveIndex(-1, 5); ok {
+			t.Fatalf("%v ghost resolved to in-domain", bc)
+		}
+		if got, ok := bc.ResolveIndex(3, 5); !ok || got != 3 {
+			t.Fatalf("%v in-domain index mangled", bc)
+		}
+	}
+}
+
+// TestResolveIndexInRangeProperty: every boundary maps any index within +/-n
+// of the domain to a valid in-domain index (or reports a ghost).
+func TestResolveIndexInRangeProperty(t *testing.T) {
+	f := func(iRaw int16, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		i := int(iRaw) % (2 * n)
+		for _, bc := range []Boundary{Clamp, Periodic, Mirror, Constant, Zero} {
+			got, ok := bc.ResolveIndex(i, n)
+			if ok && (got < 0 || got >= n) {
+				return false
+			}
+			if !ok && bc != Constant && bc != Zero {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedGridCorners(t *testing.T) {
+	g := New[float64](3, 3)
+	g.FillFunc(func(x, y int) float64 { return float64(x + 10*y) })
+
+	clamp := BoundedGrid[float64]{G: g, Cond: Clamp}
+	if clamp.At(-1, -1) != g.At(0, 0) {
+		t.Fatal("clamp corner wrong")
+	}
+	if clamp.At(3, 3) != g.At(2, 2) {
+		t.Fatal("clamp far corner wrong")
+	}
+
+	per := BoundedGrid[float64]{G: g, Cond: Periodic}
+	if per.At(-1, 0) != g.At(2, 0) {
+		t.Fatal("periodic wrap wrong")
+	}
+
+	mir := BoundedGrid[float64]{G: g, Cond: Mirror}
+	if mir.At(-1, 2) != g.At(1, 2) {
+		t.Fatal("mirror reflect wrong")
+	}
+
+	konst := BoundedGrid[float64]{G: g, Cond: Constant, ConstVal: 9.5}
+	if konst.At(-1, 1) != 9.5 || konst.At(1, -2) != 9.5 {
+		t.Fatal("constant ghost wrong")
+	}
+	if konst.At(1, 1) != g.At(1, 1) {
+		t.Fatal("constant in-domain wrong")
+	}
+
+	zero := BoundedGrid[float64]{G: g, Cond: Zero}
+	if zero.At(-1, 0) != 0 || zero.At(0, 5) != 0 {
+		t.Fatal("zero ghost wrong")
+	}
+}
+
+func TestBoundedGrid3D(t *testing.T) {
+	g := New3D[float32](2, 2, 2)
+	g.FillFunc(func(x, y, z int) float32 { return float32(x + 2*y + 4*z) })
+	bg := BoundedGrid3D[float32]{G: g, Cond: Clamp}
+	if bg.At(-1, -1, -1) != g.At(0, 0, 0) {
+		t.Fatal("3-D clamp corner wrong")
+	}
+	if bg.At(5, 5, 5) != g.At(1, 1, 1) {
+		t.Fatal("3-D clamp far corner wrong")
+	}
+	zg := BoundedGrid3D[float32]{G: g, Cond: Zero}
+	if zg.At(0, 0, -1) != 0 {
+		t.Fatal("3-D zero ghost wrong")
+	}
+}
+
+func TestBufferSwap(t *testing.T) {
+	b := NewBuffer[float64](2, 2)
+	b.Read.Fill(1)
+	b.Write.Fill(2)
+	b.Swap()
+	if b.Read.At(0, 0) != 2 || b.Write.At(0, 0) != 1 {
+		t.Fatal("swap did not exchange halves")
+	}
+}
+
+func TestBufferFromCopies(t *testing.T) {
+	init := New[float64](2, 2)
+	init.Fill(5)
+	b := BufferFrom(init)
+	init.Fill(0)
+	if b.Read.At(1, 1) != 5 {
+		t.Fatal("BufferFrom did not copy init")
+	}
+}
+
+func TestBuffer3D(t *testing.T) {
+	init := New3D[float32](2, 2, 2)
+	init.Fill(3)
+	b := Buffer3DFrom(init)
+	if b.Read.At(1, 1, 1) != 3 {
+		t.Fatal("Buffer3DFrom did not copy")
+	}
+	b.Swap()
+	if b.Write.At(1, 1, 1) != 3 {
+		t.Fatal("3-D swap wrong")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New[float64](4, 4)
+	a.FillFunc(func(x, y int) float64 { return rng.Float64() })
+	b := a.Clone()
+	b.Set(2, 3, b.At(2, 3)+0.5)
+	if d := a.MaxAbsDiff(b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %g, want 0.5", d)
+	}
+}
+
+func TestBoundaryStrings(t *testing.T) {
+	names := map[Boundary]string{
+		Clamp: "clamp", Periodic: "periodic", Mirror: "mirror",
+		Constant: "constant", Zero: "zero",
+	}
+	for bc, want := range names {
+		if bc.String() != want {
+			t.Fatalf("%v.String() = %q", bc, bc.String())
+		}
+		if !bc.Valid() {
+			t.Fatalf("%v not Valid", bc)
+		}
+	}
+	if Boundary(99).Valid() {
+		t.Fatal("invalid boundary reported Valid")
+	}
+}

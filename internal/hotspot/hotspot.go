@@ -1,0 +1,196 @@
+// Package hotspot is a from-scratch Go port of the HotSpot3D thermal
+// simulation kernel from the Rodinia benchmark suite — the application the
+// paper evaluates on (Section 5). HotSpot3D estimates processor temperature
+// from an architectural floorplan: each grid cell integrates the heat
+// equation with anisotropic conductances derived from the chip's physical
+// parameters, plus a power-density source term.
+//
+// The update rule (Rodinia's hotspot3D.c, rewritten in stencil form) is
+//
+//	T'(x,y,z) = T + dt/C * ( (Tw+Te-2T)/Rx + (Tn+Ts-2T)/Ry + (Tb+Ta-2T)/Rz
+//	                         + P(x,y,z) + (Tamb-T)/Rz_amb )
+//
+// which is exactly Equation (1) of the paper: a seven-point stencil with
+// constant weights plus a per-cell constant term C(x,y,z) — so the ABFT
+// protectors apply unmodified. Boundary cells reuse the border value
+// (clamp), as in Rodinia's kernel.
+//
+// The paper drives the kernel with Rodinia's power/temperature input files;
+// those are proprietary-free but not vendored here, so SyntheticPower and
+// SyntheticTemperature generate inputs with the same magnitudes and spatial
+// smoothness (see DESIGN.md, substitutions).
+package hotspot
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Physical constants, as defined by Rodinia's hotspot3D (3D.h / hotspot.c).
+const (
+	maxPD      = 3.0e6  // maximum power density (W/m^2)
+	precision  = 0.001  // convergence precision
+	specHeatSi = 1.75e6 // specific heat of silicon (J/m^3/K)
+	kSi        = 100.0  // thermal conductivity of silicon (W/m/K)
+	specHeatBe = 2.4e6  // specific heat of copper-beryllium interface
+	kBe        = 4.0    // thermal conductivity of the interface material
+	tChip      = 0.0005 // chip thickness (m)
+	tAmb       = 80.0   // ambient temperature (C); Rodinia uses 80
+	chipHeight = 0.016  // chip height (m)
+	chipWidth  = 0.016  // chip width (m)
+)
+
+// Config sizes a HotSpot3D problem. The paper's tiles are 64x64x8 and
+// 512x512x8.
+type Config struct {
+	Nx, Ny, Nz int
+	// DTFactor scales the stable time step; 1.0 reproduces Rodinia's
+	// choice dt = 0.5 * specHeat*dz^2 / (k * ...), values < 1 are more
+	// conservative. Zero means 1.0.
+	DTFactor float64
+}
+
+// Model holds the derived stencil weights and physical scales for a
+// configured problem.
+type Model[T num.Float] struct {
+	cfg            Config
+	dx, dy, dz     float64
+	dt             float64
+	cw, ce, cn, cs float64 // lateral conduction weights
+	cb, ca         float64 // vertical conduction weights
+	cc             float64 // centre weight
+	ampFactor      float64 // dt / (specHeat * dz)
+	stAmb          float64 // ambient coupling weight
+}
+
+// NewModel derives the stencil coefficients from the chip geometry, the
+// same way Rodinia's hotspot_opt/3D computes ce/cw/cn/cs/ct/cb/cc.
+func NewModel[T num.Float](cfg Config) (*Model[T], error) {
+	if cfg.Nx <= 1 || cfg.Ny <= 1 || cfg.Nz < 1 {
+		return nil, fmt.Errorf("hotspot: invalid grid %dx%dx%d", cfg.Nx, cfg.Ny, cfg.Nz)
+	}
+	m := &Model[T]{cfg: cfg}
+	m.dx = chipHeight / float64(cfg.Nx)
+	m.dy = chipWidth / float64(cfg.Ny)
+	m.dz = tChip / float64(cfg.Nz)
+
+	cap := specHeatSi * tChip * m.dx * m.dy
+	rx := m.dy / (2 * kSi * tChip * m.dx)
+	ry := m.dx / (2 * kSi * tChip * m.dy)
+	rz := m.dz / (kSi * m.dx * m.dy)
+
+	maxSlope := maxPD / (specHeatSi * tChip)
+	m.dt = precision / maxSlope
+	if cfg.DTFactor > 0 {
+		m.dt *= cfg.DTFactor
+	}
+
+	// Rodinia hotspot3D coefficient derivation:
+	stepDivCap := m.dt / cap
+	ce := stepDivCap / rx
+	cn := stepDivCap / ry
+	ct := stepDivCap / rz
+	m.cw, m.ce = ce, ce
+	m.cn, m.cs = cn, cn
+	m.ca, m.cb = ct, ct
+	m.stAmb = stepDivCap / (m.dz / (kBe * m.dx * m.dy)) // coupling to ambient through package
+	m.cc = 1 - (2*ce + 2*cn + 2*ct + m.stAmb)
+	m.ampFactor = stepDivCap
+	return m, nil
+}
+
+// DT returns the integration time step in seconds.
+func (m *Model[T]) DT() float64 { return m.dt }
+
+// Stencil returns the seven-point stencil of the thermal update. All
+// weights are positive and sum to 1 - stAmb < 1, so the iteration is a
+// contraction toward the ambient-coupled equilibrium — numerically stable.
+func (m *Model[T]) Stencil() *stencil.Stencil[T] {
+	st := stencil.SevenPoint3D(
+		T(m.cc), T(m.cw), T(m.ce), T(m.cn), T(m.cs), T(m.cb), T(m.ca))
+	st.Name = "hotspot3d"
+	return st
+}
+
+// ConstField builds the per-cell constant term C(x,y,z) from a power map:
+// the power density integrated over the cell footprint (dx*dy), plus the
+// ambient coupling. At equilibrium a cell with density P sits roughly
+// P*dz/kBe above ambient, matching HotSpot's package model.
+func (m *Model[T]) ConstField(power *grid.Grid3D[T]) *grid.Grid3D[T] {
+	cellArea := m.dx * m.dy
+	c := grid.New3D[T](m.cfg.Nx, m.cfg.Ny, m.cfg.Nz)
+	c.FillFunc(func(x, y, z int) T {
+		return T(m.ampFactor*float64(power.At(x, y, z))*cellArea + m.stAmb*tAmb)
+	})
+	return c
+}
+
+// Op assembles the complete stencil operator (stencil, clamp boundaries,
+// power constant field) ready for the ABFT protectors.
+func (m *Model[T]) Op(power *grid.Grid3D[T]) *stencil.Op3D[T] {
+	return &stencil.Op3D[T]{
+		St: m.Stencil(),
+		BC: grid.Clamp,
+		C:  m.ConstField(power),
+	}
+}
+
+// SyntheticPower generates a power-density map with the character of
+// Rodinia's inputs: a smooth low-power background with a handful of
+// high-power rectangular hot spots (functional units), identical across
+// layers except for a per-layer attenuation. Deterministic for a given
+// seed.
+func SyntheticPower[T num.Float](cfg Config, seed int64) *grid.Grid3D[T] {
+	rng := rand.New(rand.NewSource(seed))
+	p := grid.New3D[T](cfg.Nx, cfg.Ny, cfg.Nz)
+
+	type block struct {
+		x0, y0, x1, y1 int
+		density        float64
+	}
+	nBlocks := 4 + rng.Intn(4)
+	blocks := make([]block, nBlocks)
+	for i := range blocks {
+		w := 1 + rng.Intn(max(1, cfg.Nx/4))
+		h := 1 + rng.Intn(max(1, cfg.Ny/4))
+		x0 := rng.Intn(max(1, cfg.Nx-w))
+		y0 := rng.Intn(max(1, cfg.Ny-h))
+		blocks[i] = block{x0, y0, x0 + w, y0 + h, maxPD * (0.3 + 0.7*rng.Float64())}
+	}
+	background := maxPD * 0.01
+	p.FillFunc(func(x, y, z int) T {
+		d := background * (0.8 + 0.4*math.Sin(float64(x)*0.3)*math.Cos(float64(y)*0.2))
+		for _, b := range blocks {
+			if x >= b.x0 && x < b.x1 && y >= b.y0 && y < b.y1 {
+				d += b.density
+			}
+		}
+		atten := 1.0 / (1.0 + 0.15*float64(z))
+		return T(d * atten)
+	})
+	return p
+}
+
+// SyntheticTemperature generates an initial temperature field: ambient plus
+// a smooth perturbation, matching the magnitude of Rodinia's temperature
+// inputs (tens of degrees above ambient near hot spots).
+func SyntheticTemperature[T num.Float](cfg Config, seed int64) *grid.Grid3D[T] {
+	rng := rand.New(rand.NewSource(seed))
+	phase := rng.Float64() * 2 * math.Pi
+	t := grid.New3D[T](cfg.Nx, cfg.Ny, cfg.Nz)
+	t.FillFunc(func(x, y, z int) T {
+		u := float64(x) / float64(cfg.Nx)
+		v := float64(y) / float64(cfg.Ny)
+		bump := 15 * math.Sin(math.Pi*u+phase) * math.Sin(math.Pi*v)
+		return T(tAmb + 20 + bump + 2*rng.Float64())
+	})
+	return t
+}
+
+// Ambient returns the ambient temperature constant used by the model.
+func Ambient() float64 { return tAmb }

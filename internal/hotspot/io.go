@@ -1,0 +1,98 @@
+package hotspot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+)
+
+// Rodinia's hotspot3D reads power and initial-temperature files as plain
+// text: one floating-point value per line, x fastest, then y, then z —
+// exactly the layout of Grid3D's backing slice. These readers/writers are
+// format-compatible, so real Rodinia inputs can be dropped in when
+// available (the synthetic generators stand in otherwise; see DESIGN.md).
+
+// ReadGridFile parses a Rodinia-format value file into a grid of the given
+// shape. Blank lines are ignored; the value count must match exactly.
+func ReadGridFile[T num.Float](path string, nx, ny, nz int) (*grid.Grid3D[T], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hotspot: %w", err)
+	}
+	defer f.Close()
+	g, err := ReadGrid[T](f, nx, ny, nz)
+	if err != nil {
+		return nil, fmt.Errorf("hotspot: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// ReadGrid parses Rodinia-format values from r.
+func ReadGrid[T num.Float](r io.Reader, nx, ny, nz int) (*grid.Grid3D[T], error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("invalid shape %dx%dx%d", nx, ny, nz)
+	}
+	g := grid.New3D[T](nx, ny, nz)
+	data := g.Data()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	i := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		// Rodinia files occasionally carry several whitespace-separated
+		// values per line; accept both layouts.
+		for _, field := range strings.Fields(text) {
+			if i >= len(data) {
+				return nil, fmt.Errorf("line %d: more than %d values", line, len(data))
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			data[i] = T(v)
+			i++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if i != len(data) {
+		return nil, fmt.Errorf("got %d values, want %d", i, len(data))
+	}
+	return g, nil
+}
+
+// WriteGridFile writes g in Rodinia format (one value per line).
+func WriteGridFile[T num.Float](path string, g *grid.Grid3D[T]) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hotspot: %w", err)
+	}
+	if err := WriteGrid(f, g); err != nil {
+		f.Close()
+		return fmt.Errorf("hotspot: %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteGrid writes g's values to w, one per line, in storage order.
+func WriteGrid[T num.Float](w io.Writer, g *grid.Grid3D[T]) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range g.Data() {
+		if _, err := fmt.Fprintf(bw, "%g\n", float64(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,59 @@
+package hotspot
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGridIORoundTrip(t *testing.T) {
+	cfg := Config{Nx: 6, Ny: 5, Nz: 3}
+	p := SyntheticPower[float64](cfg, 9)
+	path := filepath.Join(t.TempDir(), "power.dat")
+	if err := WriteGridFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadGridFile[float64](path, 6, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// %g prints shortest-roundtrip decimals, so the round trip is exact.
+	if p.MaxAbsDiff(q) != 0 {
+		t.Fatalf("round trip lost precision: %g", p.MaxAbsDiff(q))
+	}
+}
+
+func TestReadGridAcceptsMultiValueLines(t *testing.T) {
+	in := "1 2 3\n4 5 6\n\n7 8 9\n10 11 12\n"
+	g, err := ReadGrid[float32](strings.NewReader(in), 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0, 0, 0) != 1 || g.At(2, 1, 0) != 6 || g.At(0, 0, 1) != 7 || g.At(2, 1, 1) != 12 {
+		t.Fatal("layout wrong")
+	}
+}
+
+func TestReadGridRejectsCountMismatch(t *testing.T) {
+	if _, err := ReadGrid[float32](strings.NewReader("1\n2\n3\n"), 2, 2, 1); err == nil {
+		t.Fatal("short file accepted")
+	}
+	if _, err := ReadGrid[float32](strings.NewReader("1\n2\n3\n4\n5\n"), 2, 2, 1); err == nil {
+		t.Fatal("long file accepted")
+	}
+}
+
+func TestReadGridRejectsGarbageValues(t *testing.T) {
+	if _, err := ReadGrid[float32](strings.NewReader("1\npotato\n3\n4\n"), 2, 2, 1); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	if _, err := ReadGrid[float32](strings.NewReader(""), 0, 2, 1); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}
+
+func TestReadGridFileMissing(t *testing.T) {
+	if _, err := ReadGridFile[float32](filepath.Join(t.TempDir(), "nope.dat"), 2, 2, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteCSV renders the table as CSV — the machine-readable twin of Render,
+// used to feed external plotting of the reproduced figures.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to a file, creating or truncating it.
+func (t *Table) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics: %s: %w", path, err)
+	}
+	return f.Close()
+}

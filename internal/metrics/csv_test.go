@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha, with comma", 1.5)
+	tb.AddRow("beta", 2)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `"alpha, with comma",1.5`) {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	tb := NewTable("demo", "a")
+	tb.AddRow(1)
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := tb.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "a\n1\n" {
+		t.Fatalf("file contents %q", raw)
+	}
+}

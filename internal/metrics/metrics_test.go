@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stencilabft/internal/grid"
+)
+
+func TestL2Error(t *testing.T) {
+	a := grid.New[float64](2, 2)
+	b := grid.New[float64](2, 2)
+	b.Set(0, 0, 3)
+	b.Set(1, 1, 4)
+	if got := L2Error(a, b); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("L2Error = %g, want 5", got)
+	}
+	if L2Error(a, a) != 0 {
+		t.Fatal("self error nonzero")
+	}
+}
+
+func TestL2ErrorNonFinite(t *testing.T) {
+	a := grid.New[float64](2, 2)
+	b := grid.New[float64](2, 2)
+	b.Set(0, 0, math.Inf(1))
+	if !math.IsInf(L2Error(a, b), 1) {
+		t.Fatal("Inf difference should saturate to +Inf")
+	}
+	b.Set(0, 0, math.NaN())
+	if !math.IsInf(L2Error(a, b), 1) {
+		t.Fatal("NaN difference should saturate to +Inf")
+	}
+}
+
+func TestL2Error3D(t *testing.T) {
+	a := grid.New3D[float32](2, 2, 2)
+	b := grid.New3D[float32](2, 2, 2)
+	b.Set(1, 1, 1, 2)
+	if got := L2Error3D(a, b); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("L2Error3D = %g", got)
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatal("N wrong")
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean %g", got)
+	}
+	if got := s.StdDev(); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("stddev %g", got)
+	}
+	if got := s.Median(); math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("median %g", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestSampleQuantileInterpolates(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{0, 10} {
+		s.Add(x)
+	}
+	if got := s.Quantile(0.25); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("q25 = %g", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty sample should be NaN")
+	}
+	if s.StdDev() != 0 {
+		t.Fatal("stddev of empty sample")
+	}
+}
+
+func TestSampleInfPropagates(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(math.Inf(1))
+	if !math.IsInf(s.Mean(), 1) {
+		t.Fatal("Inf should propagate into the mean")
+	}
+}
+
+func TestSampleBox(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 5; i++ {
+		s.Add(float64(i))
+	}
+	lo, q1, med, q3, hi := s.Box()
+	if lo != 1 || hi != 5 || med != 3 || q1 != 2 || q3 != 4 {
+		t.Fatalf("box = %g %g %g %g %g", lo, q1, med, q3, hi)
+	}
+}
+
+func TestSampleAddAfterQuantile(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(1)
+	_ = s.Median() // forces sort
+	s.Add(2)
+	if got := s.Median(); got != 2 {
+		t.Fatalf("median after Add = %g", got)
+	}
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	if !strings.Contains(s.Summary(), "n=1") {
+		t.Fatalf("summary %q", s.Summary())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-long-name", 0.25)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "beta-long-name", "1.5", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTimerAdvances(t *testing.T) {
+	timer := StartTimer()
+	if timer.Seconds() < 0 {
+		t.Fatal("negative elapsed time")
+	}
+}

@@ -1,0 +1,105 @@
+package stencil
+
+import (
+	"runtime"
+	"sync"
+
+	"stencilabft/internal/grid"
+)
+
+// Pool is a simple fork-join worker pool for domain-decomposed sweeps. The
+// zero value runs everything on the calling goroutine; NewPool sizes the
+// pool from GOMAXPROCS. A Pool carries no state between calls and is safe
+// for concurrent use.
+type Pool struct {
+	Workers int
+}
+
+// NewPool returns a pool sized to the machine (GOMAXPROCS).
+func NewPool() *Pool { return &Pool{Workers: runtime.GOMAXPROCS(0)} }
+
+// workers returns the effective worker count, at least 1.
+func (p *Pool) workers() int {
+	if p == nil || p.Workers < 1 {
+		return 1
+	}
+	return p.Workers
+}
+
+// ForEachChunk splits [0, n) into at most workers contiguous chunks and
+// invokes fn(lo, hi) for each, concurrently, returning when all complete.
+// Chunks differ in size by at most one element.
+func (p *Pool) ForEachChunk(n int, fn func(lo, hi int)) {
+	w := p.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := n / w
+	rem := n % w
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + chunk
+		if i < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForEach invokes fn(i) for each i in [0, n), distributing indices over the
+// pool. Used for per-layer 3-D work where each index is one z-layer.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.ForEachChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// SweepParallel computes one full 2-D iteration with rows partitioned over
+// the pool. Each worker owns a disjoint y-range of dst and the matching
+// entries of b, so no synchronisation beyond the final join is needed —
+// the "up to nx threads" independence the paper relies on.
+func (op *Op2D[T]) SweepParallel(p *Pool, dst, src *grid.Grid[T], b []T) {
+	op.SweepParallelHook(p, dst, src, b, nil)
+}
+
+// SweepParallelHook is SweepParallel with a per-point injection hook.
+func (op *Op2D[T]) SweepParallelHook(p *Pool, dst, src *grid.Grid[T], b []T, hook InjectFunc[T]) {
+	p.ForEachChunk(src.Ny(), func(lo, hi int) {
+		op.SweepRange(dst, src, lo, hi, b, hook)
+	})
+}
+
+// SweepParallel computes one full 3-D iteration with layers partitioned
+// over the pool. bs, when non-nil, must hold one checksum slice per layer
+// (bs[z] of length ny); each layer's fused checksum is written by the
+// worker that owns the layer, mirroring the paper's per-thread-per-layer
+// checksum ownership.
+func (op *Op3D[T]) SweepParallel(p *Pool, dst, src *grid.Grid3D[T], bs [][]T) {
+	op.SweepParallelHook(p, dst, src, bs, nil)
+}
+
+// SweepParallelHook is SweepParallel with a per-point injection hook.
+func (op *Op3D[T]) SweepParallelHook(p *Pool, dst, src *grid.Grid3D[T], bs [][]T, hook InjectFunc[T]) {
+	p.ForEach(src.Nz(), func(z int) {
+		var b []T
+		if bs != nil {
+			b = bs[z]
+		}
+		op.SweepLayer(dst, src, z, b, hook)
+	})
+}

@@ -1,0 +1,113 @@
+package stencil
+
+import (
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+)
+
+// SweepRectFused sweeps the rectangle [x0,x1) x [y0,y1) of the domain only,
+// accumulating the block's partial column checksums: b[j] = Σ_{x in
+// [x0,x1)} dst(x, y0+j) for j in [0, y1-y0). It is the per-block analogue
+// of SweepFused — the unit the paper's tiled deployment runs per chunk.
+// b may be nil; hook, when non-nil, receives domain coordinates.
+//
+// Disjoint rectangles touch disjoint dst cells and disjoint b slices, so
+// concurrent calls over a block partition need no locking.
+func (op *Op2D[T]) SweepRectFused(dst, src *grid.Grid[T], x0, y0, x1, y1 int, b []T, hook InjectFunc[T]) {
+	nx, ny := src.Nx(), src.Ny()
+	if dst == src {
+		panic("stencil: sweep destination aliases source")
+	}
+	if !dst.SameShape(src) {
+		panic("stencil: sweep shape mismatch")
+	}
+	if x0 < 0 || y0 < 0 || x1 > nx || y1 > ny || x0 > x1 || y0 > y1 {
+		panic("stencil: SweepRectFused rectangle out of range")
+	}
+	bg := grid.BoundedGrid[T]{G: src, Cond: op.BC, ConstVal: op.BCValue}
+	pts := op.St.Points
+	k := len(pts)
+	offs := make([]int, k)
+	ws := make([]T, k)
+	for i, p := range pts {
+		offs[i] = p.DX + p.DY*nx
+		ws[i] = p.W
+	}
+	rx, ry := op.St.RadiusX(), op.St.RadiusY()
+	srcD, dstD := src.Data(), dst.Data()
+	var cD []T
+	if op.C != nil {
+		cD = op.C.Data()
+	}
+	for y := y0; y < y1; y++ {
+		var acc T
+		base := y * nx
+		yInterior := y >= ry && y < ny-ry
+		// Fast-path x range: the intersection of the rectangle with the
+		// domain interior.
+		xlo, xhi := max(x0, rx), min(x1, nx-rx)
+		if !yInterior || xhi < xlo {
+			xlo, xhi = x1, x1
+		}
+		for x := x0; x < min(xlo, x1); x++ {
+			v := op.pointSlow(bg, cD, x, y, nx)
+			if hook != nil {
+				v = hook(x, y, 0, v)
+			}
+			dstD[base+x] = v
+			acc += v
+		}
+		for x := xlo; x < xhi; x++ {
+			idx := base + x
+			var v T
+			if cD != nil {
+				v = cD[idx]
+			}
+			for i := 0; i < k; i++ {
+				v += ws[i] * srcD[idx+offs[i]]
+			}
+			if hook != nil {
+				v = hook(x, y, 0, v)
+			}
+			dstD[idx] = v
+			acc += v
+		}
+		for x := max(xhi, min(xlo, x1)); x < x1; x++ {
+			v := op.pointSlow(bg, cD, x, y, nx)
+			if hook != nil {
+				v = hook(x, y, 0, v)
+			}
+			dstD[base+x] = v
+			acc += v
+		}
+		if b != nil {
+			b[y-y0] = acc
+		}
+	}
+}
+
+// ChecksumBRect computes the block's partial column checksums directly:
+// b[j] = Σ_{x in [x0,x1)} g(x, y0+j).
+func ChecksumBRect[T num.Float](g *grid.Grid[T], x0, y0, x1, y1 int, b []T) {
+	for y := y0; y < y1; y++ {
+		var acc T
+		for _, v := range g.Row(y)[x0:x1] {
+			acc += v
+		}
+		b[y-y0] = acc
+	}
+}
+
+// ChecksumARect computes the block's partial row checksums directly:
+// a[i] = Σ_{y in [y0,y1)} g(x0+i, y).
+func ChecksumARect[T num.Float](g *grid.Grid[T], x0, y0, x1, y1 int, a []T) {
+	for i := range a[:x1-x0] {
+		a[i] = 0
+	}
+	for y := y0; y < y1; y++ {
+		row := g.Row(y)[x0:x1]
+		for i, v := range row {
+			a[i] += v
+		}
+	}
+}

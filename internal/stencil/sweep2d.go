@@ -1,0 +1,181 @@
+package stencil
+
+import (
+	"fmt"
+
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+)
+
+// InjectFunc mutates a freshly computed point value before it is stored into
+// the destination grid — exactly the paper's fault-injection site ("after
+// the stencil point ... has been updated and before it is stored"). The
+// fused checksum accumulates the returned (possibly corrupted) value, so the
+// direct checksum stays consistent with the corrupted domain while the
+// interpolated checksum reflects the clean computation; their mismatch is
+// what detection keys on.
+type InjectFunc[T num.Float] func(x, y, z int, v T) T
+
+// Op2D binds a stencil to the context a sweep needs: the boundary
+// condition, the optional Constant-boundary ghost value, and the optional
+// per-point constant term C from Equation (1).
+type Op2D[T num.Float] struct {
+	St      *Stencil[T]
+	BC      grid.Boundary
+	BCValue T             // ghost value when BC == grid.Constant
+	C       *grid.Grid[T] // optional constant field; nil means zero
+}
+
+// Validate checks the operator against a domain of the given shape.
+func (op *Op2D[T]) Validate(nx, ny int) error {
+	if err := op.St.Validate(); err != nil {
+		return err
+	}
+	if op.St.Is3D() {
+		return fmt.Errorf("stencil %q: 3-D stencil used with a 2-D sweep", op.St.Name)
+	}
+	if !op.BC.Valid() {
+		return fmt.Errorf("stencil %q: invalid boundary condition", op.St.Name)
+	}
+	if rx, ry := op.St.RadiusX(), op.St.RadiusY(); rx >= nx || ry >= ny {
+		return fmt.Errorf("stencil %q: radius %d/%d exceeds domain %dx%d", op.St.Name, rx, ry, nx, ny)
+	}
+	if op.C != nil && (op.C.Nx() != nx || op.C.Ny() != ny) {
+		return fmt.Errorf("stencil %q: constant field %dx%d does not match domain %dx%d",
+			op.St.Name, op.C.Nx(), op.C.Ny(), nx, ny)
+	}
+	return nil
+}
+
+// Sweep computes one full iteration: dst(x,y) = C(x,y) + Σ w·src̃(x+dx,y+dy)
+// for every point of the domain. dst and src must be distinct grids of the
+// same shape.
+func (op *Op2D[T]) Sweep(dst, src *grid.Grid[T]) {
+	op.SweepRange(dst, src, 0, src.Ny(), nil, nil)
+}
+
+// SweepFused computes one full iteration and simultaneously accumulates the
+// column checksum vector b (b[y] = Σ_x dst(x,y), len ny) — the paper's
+// Figure 2 fused loop. b may be nil to skip checksum accumulation.
+func (op *Op2D[T]) SweepFused(dst, src *grid.Grid[T], b []T) {
+	op.SweepRange(dst, src, 0, src.Ny(), b, nil)
+}
+
+// SweepRange sweeps rows y0 <= y < y1 only, accumulating b[y] for those
+// rows when b is non-nil and applying hook to each freshly computed value
+// when hook is non-nil. It is the primitive both the parallel engine and
+// the fault injector build on; distinct row ranges touch disjoint rows of
+// dst and disjoint entries of b, so concurrent calls need no locking.
+func (op *Op2D[T]) SweepRange(dst, src *grid.Grid[T], y0, y1 int, b []T, hook InjectFunc[T]) {
+	nx, ny := src.Nx(), src.Ny()
+	if dst == src {
+		panic("stencil: sweep destination aliases source")
+	}
+	if !dst.SameShape(src) {
+		panic("stencil: sweep shape mismatch")
+	}
+	bg := grid.BoundedGrid[T]{G: src, Cond: op.BC, ConstVal: op.BCValue}
+	pts := op.St.Points
+	k := len(pts)
+	offs := make([]int, k)
+	ws := make([]T, k)
+	for i, p := range pts {
+		offs[i] = p.DX + p.DY*nx
+		ws[i] = p.W
+	}
+	rx, ry := op.St.RadiusX(), op.St.RadiusY()
+	srcD, dstD := src.Data(), dst.Data()
+	var cD []T
+	if op.C != nil {
+		cD = op.C.Data()
+	}
+	for y := y0; y < y1; y++ {
+		var acc T
+		base := y * nx
+		yInterior := y >= ry && y < ny-ry
+		xlo, xhi := rx, nx-rx
+		if !yInterior {
+			// Every point of a border row needs ghost resolution in
+			// y; take the slow path across the whole row.
+			xlo, xhi = nx, nx
+		}
+		for x := 0; x < min(xlo, nx); x++ {
+			v := op.pointSlow(bg, cD, x, y, nx)
+			if hook != nil {
+				v = hook(x, y, 0, v)
+			}
+			dstD[base+x] = v
+			acc += v
+		}
+		for x := xlo; x < xhi; x++ {
+			idx := base + x
+			var v T
+			if cD != nil {
+				v = cD[idx]
+			}
+			for i := 0; i < k; i++ {
+				v += ws[i] * srcD[idx+offs[i]]
+			}
+			if hook != nil {
+				v = hook(x, y, 0, v)
+			}
+			dstD[idx] = v
+			acc += v
+		}
+		for x := max(xhi, min(xlo, nx)); x < nx; x++ {
+			v := op.pointSlow(bg, cD, x, y, nx)
+			if hook != nil {
+				v = hook(x, y, 0, v)
+			}
+			dstD[base+x] = v
+			acc += v
+		}
+		if b != nil {
+			b[y] = acc
+		}
+	}
+}
+
+// pointSlow evaluates one point with full boundary resolution.
+func (op *Op2D[T]) pointSlow(bg grid.BoundedGrid[T], cD []T, x, y, nx int) T {
+	var v T
+	if cD != nil {
+		v = cD[x+y*nx]
+	}
+	for _, p := range op.St.Points {
+		v += p.W * bg.At(x+p.DX, y+p.DY)
+	}
+	return v
+}
+
+// ChecksumB computes the column checksum vector of g directly:
+// b[y] = Σ_x g(x,y). It is the unfused reference the ablation bench
+// compares the fused loop against.
+func ChecksumB[T num.Float](g *grid.Grid[T], b []T) {
+	nx, ny := g.Nx(), g.Ny()
+	d := g.Data()
+	for y := 0; y < ny; y++ {
+		var acc T
+		row := d[y*nx : (y+1)*nx]
+		for _, v := range row {
+			acc += v
+		}
+		b[y] = acc
+	}
+}
+
+// ChecksumA computes the row checksum vector of g directly:
+// a[x] = Σ_y g(x,y).
+func ChecksumA[T num.Float](g *grid.Grid[T], a []T) {
+	nx, ny := g.Nx(), g.Ny()
+	d := g.Data()
+	for x := range a[:nx] {
+		a[x] = 0
+	}
+	for y := 0; y < ny; y++ {
+		row := d[y*nx : (y+1)*nx]
+		for x, v := range row {
+			a[x] += v
+		}
+	}
+}

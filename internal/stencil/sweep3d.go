@@ -1,0 +1,142 @@
+package stencil
+
+import (
+	"fmt"
+
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+)
+
+// Op3D binds a (possibly 3-D) stencil to a 3-D sweep context. The paper's
+// per-layer ABFT scheme treats each z-layer as an independent 2-D domain;
+// Op3D's per-layer sweep produces that layer's fused column checksum.
+type Op3D[T num.Float] struct {
+	St      *Stencil[T]
+	BC      grid.Boundary
+	BCValue T               // ghost value when BC == grid.Constant
+	C       *grid.Grid3D[T] // optional constant field; nil means zero
+}
+
+// Validate checks the operator against a domain of the given shape.
+func (op *Op3D[T]) Validate(nx, ny, nz int) error {
+	if err := op.St.Validate(); err != nil {
+		return err
+	}
+	if !op.BC.Valid() {
+		return fmt.Errorf("stencil %q: invalid boundary condition", op.St.Name)
+	}
+	rx, ry, rz := op.St.RadiusX(), op.St.RadiusY(), op.St.RadiusZ()
+	if rx >= nx || ry >= ny || rz >= nz {
+		return fmt.Errorf("stencil %q: radius %d/%d/%d exceeds domain %dx%dx%d",
+			op.St.Name, rx, ry, rz, nx, ny, nz)
+	}
+	if op.C != nil && (op.C.Nx() != nx || op.C.Ny() != ny || op.C.Nz() != nz) {
+		return fmt.Errorf("stencil %q: constant field shape mismatch", op.St.Name)
+	}
+	return nil
+}
+
+// Sweep computes one full iteration of the 3-D domain.
+func (op *Op3D[T]) Sweep(dst, src *grid.Grid3D[T]) {
+	for z := 0; z < src.Nz(); z++ {
+		op.SweepLayer(dst, src, z, nil, nil)
+	}
+}
+
+// SweepLayer sweeps layer z only, optionally accumulating that layer's
+// column checksum vector b (b[y] = Σ_x dst(x,y,z), len ny) and applying
+// hook to each fresh value. Distinct layers write disjoint storage, so the
+// parallel engine calls SweepLayer concurrently without locks.
+func (op *Op3D[T]) SweepLayer(dst, src *grid.Grid3D[T], z int, b []T, hook InjectFunc[T]) {
+	nx, ny, nz := src.Nx(), src.Ny(), src.Nz()
+	if dst == src {
+		panic("stencil: sweep destination aliases source")
+	}
+	if !dst.SameShape(src) {
+		panic("stencil: sweep shape mismatch")
+	}
+	bg := grid.BoundedGrid3D[T]{G: src, Cond: op.BC, ConstVal: op.BCValue}
+	pts := op.St.Points
+	k := len(pts)
+	plane := nx * ny
+	offs := make([]int, k)
+	ws := make([]T, k)
+	for i, p := range pts {
+		offs[i] = p.DX + p.DY*nx + p.DZ*plane
+		ws[i] = p.W
+	}
+	rx, ry, rz := op.St.RadiusX(), op.St.RadiusY(), op.St.RadiusZ()
+	srcD, dstD := src.Data(), dst.Data()
+	var cD []T
+	if op.C != nil {
+		cD = op.C.Data()
+	}
+	zInterior := z >= rz && z < nz-rz
+	for y := 0; y < ny; y++ {
+		var acc T
+		base := z*plane + y*nx
+		interior := zInterior && y >= ry && y < ny-ry
+		xlo, xhi := rx, nx-rx
+		if !interior {
+			xlo, xhi = nx, nx
+		}
+		for x := 0; x < min(xlo, nx); x++ {
+			v := op.pointSlow(bg, cD, x, y, z, nx, plane)
+			if hook != nil {
+				v = hook(x, y, z, v)
+			}
+			dstD[base+x] = v
+			acc += v
+		}
+		for x := xlo; x < xhi; x++ {
+			idx := base + x
+			var v T
+			if cD != nil {
+				v = cD[idx]
+			}
+			for i := 0; i < k; i++ {
+				v += ws[i] * srcD[idx+offs[i]]
+			}
+			if hook != nil {
+				v = hook(x, y, z, v)
+			}
+			dstD[idx] = v
+			acc += v
+		}
+		for x := max(xhi, min(xlo, nx)); x < nx; x++ {
+			v := op.pointSlow(bg, cD, x, y, z, nx, plane)
+			if hook != nil {
+				v = hook(x, y, z, v)
+			}
+			dstD[base+x] = v
+			acc += v
+		}
+		if b != nil {
+			b[y] = acc
+		}
+	}
+}
+
+func (op *Op3D[T]) pointSlow(bg grid.BoundedGrid3D[T], cD []T, x, y, z, nx, plane int) T {
+	var v T
+	if cD != nil {
+		v = cD[x+y*nx+z*plane]
+	}
+	for _, p := range op.St.Points {
+		v += p.W * bg.At(x+p.DX, y+p.DY, z+p.DZ)
+	}
+	return v
+}
+
+// LayerOp projects the 3-D operator onto layer z as a set of per-source-
+// layer 2-D stencils: the returned map groups the points of S by their z
+// offset. The checksum interpolation of layer z combines the checksum
+// vectors of layers z+dz with the 2-D offsets in each group — this is how
+// the per-layer scheme accounts for cross-layer coupling exactly.
+func (op *Op3D[T]) LayerOp() map[int][]Point[T] {
+	groups := make(map[int][]Point[T])
+	for _, p := range op.St.Points {
+		groups[p.DZ] = append(groups[p.DZ], Point[T]{DX: p.DX, DY: p.DY, W: p.W})
+	}
+	return groups
+}
