@@ -117,7 +117,7 @@ func main() {
 	fmt.Printf("wall time:        %.4fs\n", elapsed)
 	fmt.Printf("arithmetic error: %.6g (l2 vs error-free reference)\n", l2)
 	fmt.Printf("protector stats:  %v\n", stats)
-	if plan != nil && len(injector.Hits) == 0 {
+	if plan != nil && len(injector.Hits()) == 0 {
 		fmt.Println("note: the planned injection did not land (out-of-range target)")
 	}
 	if *outFile != "" {

@@ -1,0 +1,3 @@
+module stencilabft
+
+go 1.24

@@ -270,25 +270,8 @@ func (p *Protector[T]) correctBlock(b *block[T], src, dst *grid.Grid[T]) {
 	}
 	locs := checksum.Pair(am, bm, p.pol)
 	for _, loc := range locs {
-		gx, gy := b.x0+loc.X, b.y0+loc.Y
-		// Stable Equation (10) on the block's partial sums.
-		var restA, restB T
-		for y := b.y0; y < b.y1; y++ {
-			if y != gy {
-				restA += dst.At(gx, y)
-			}
-		}
-		for x := b.x0; x < b.x1; x++ {
-			if x != gx {
-				restB += dst.At(x, gy)
-			}
-		}
-		vx := interpA[loc.X] - restA
-		vy := b.interpB[loc.Y] - restB
-		fixed := (vx + vy) / 2
-		dst.Set(gx, gy, fixed)
-		newA[loc.X] = restA + fixed
-		b.newB[loc.Y] = restB + fixed
+		checksum.CorrectRect(dst, b.x0, b.y0, b.x1, b.y1, loc,
+			newA, b.newB, interpA, b.interpB)
 		p.stats.CorrectedPoints++
 	}
 }

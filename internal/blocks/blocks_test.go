@@ -226,7 +226,7 @@ func TestBlockGranularityImprovesSensitivity(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		whole.Step(injW.HookFor(i))
 	}
-	if len(injW.Hits) != 1 {
+	if len(injW.Hits()) != 1 {
 		t.Fatal("injection did not land in whole-domain run")
 	}
 	if whole.Stats().Detections != 0 {

@@ -111,26 +111,8 @@ func (c Corrector[T]) Correct(g *grid.Grid[T], loc Location, direct *Vectors[T],
 		// The direct checksums are non-finite; fall through to the
 		// exact recomputation below after the repair.
 	} else {
-		// Stable evaluation: sum the line remainders without the
-		// corrupted cell, then v = interp - remainder.
-		var restA, restB T
-		for y := 0; y < g.Ny(); y++ {
-			if y != loc.Y {
-				restA += g.At(loc.X, y)
-			}
-		}
-		for x := 0; x < g.Nx(); x++ {
-			if x != loc.X {
-				restB += g.At(x, loc.Y)
-			}
-		}
-		vx := interpA[loc.X] - restA
-		vy := interpB[loc.Y] - restB
-		fixed = (vx + vy) / 2
-		g.Set(loc.X, loc.Y, fixed)
-		direct.A[loc.X] = restA + fixed
-		direct.B[loc.Y] = restB + fixed
-		return old, fixed
+		// Stable evaluation: the whole grid is the rectangle.
+		return CorrectRect(g, 0, 0, g.Nx(), g.Ny(), loc, direct.A, direct.B, interpA, interpB)
 	}
 	g.Set(loc.X, loc.Y, fixed)
 	var sa, sb T
@@ -142,6 +124,38 @@ func (c Corrector[T]) Correct(g *grid.Grid[T], loc Location, direct *Vectors[T],
 	}
 	direct.A[loc.X] = sa
 	direct.B[loc.Y] = sb
+	return old, fixed
+}
+
+// CorrectRect applies the numerically stable Equation-(10) repair to one
+// located error of the rectangle [x0,x1) x [y0,y1) of g — the unit both
+// the tiled (blocks) and the distributed (dist) deployments share. loc is
+// rect-local; directA/directB are the rectangle's partial row/column
+// checksums (patched in place so later iterations stay verifiable), and
+// interpA/interpB the interpolated ones. The corrupted value is recovered
+// as interp minus the sum of the line's other cells, which stays accurate
+// for corruption of any magnitude, then the two estimates are averaged.
+func CorrectRect[T num.Float](g *grid.Grid[T], x0, y0, x1, y1 int, loc Location,
+	directA, directB, interpA, interpB []T) (old, fixed T) {
+	gx, gy := x0+loc.X, y0+loc.Y
+	old = g.At(gx, gy)
+	var restA, restB T
+	for y := y0; y < y1; y++ {
+		if y != gy {
+			restA += g.At(gx, y)
+		}
+	}
+	for x := x0; x < x1; x++ {
+		if x != gx {
+			restB += g.At(x, gy)
+		}
+	}
+	vx := interpA[loc.X] - restA
+	vy := interpB[loc.Y] - restB
+	fixed = (vx + vy) / 2
+	g.Set(gx, gy, fixed)
+	directA[loc.X] = restA + fixed
+	directB[loc.Y] = restB + fixed
 	return old, fixed
 }
 

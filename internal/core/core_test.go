@@ -100,7 +100,7 @@ func TestOnline2DDetectsAndCorrects(t *testing.T) {
 		for i := 0; i < iters; i++ {
 			p.Step(injector.HookFor(i))
 		}
-		if len(injector.Hits) != 1 {
+		if len(injector.Hits()) != 1 {
 			t.Fatalf("trial %d: injection %v did not land", trial, inj)
 		}
 		st := p.Stats()
@@ -233,8 +233,8 @@ func TestOnline2DTwoErrorsSameIteration(t *testing.T) {
 	for i := 0; i < iters; i++ {
 		p.Step(injector.HookFor(i))
 	}
-	if len(injector.Hits) != 2 {
-		t.Fatalf("wanted 2 hits, got %d", len(injector.Hits))
+	if len(injector.Hits()) != 2 {
+		t.Fatalf("wanted 2 hits, got %d", len(injector.Hits()))
 	}
 	st := p.Stats()
 	if st.CorrectedPoints != 2 {
@@ -305,7 +305,7 @@ func TestOnline3DDetectsAndCorrects(t *testing.T) {
 		for i := 0; i < iters; i++ {
 			p.Step(injector.HookFor(i))
 		}
-		if len(injector.Hits) != 1 {
+		if len(injector.Hits()) != 1 {
 			t.Fatalf("trial %d: injection %v did not land", trial, inj)
 		}
 		st := p.Stats()

@@ -1,0 +1,240 @@
+// Package dist is the distributed-memory deployment of the ABFT scheme —
+// the paper's headline setting (Section 1): a 2-D domain decomposed into
+// horizontal row bands over nRanks simulated ranks, each rank running the
+// online detect-and-correct protector on its own band while exchanging only
+// halo rows with its neighbours. No checksum ever crosses a rank: each band
+// owns its checksum pair, halo rows enter the interpolation as locally
+// computed row sums of the received data, and a corruption is detected,
+// located and repaired entirely by the rank that owns it — the method's
+// "intrinsically parallel" property.
+//
+// Ranks are goroutines wired with paired channels in the MPI neighbour
+// pattern (send down/up, receive up/down); a cyclic barrier separates
+// iterations so every rank's halo data is always exactly one iteration
+// fresh, the lockstep of a bulk-synchronous MPI stencil code. The top and
+// bottom ranks resolve their outer halos from the global boundary
+// condition; under Periodic boundaries the ranks are wired as a ring and
+// the wrap-around halo is real remote data like any other.
+package dist
+
+import (
+	"fmt"
+
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/fault"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// Options configure the per-rank protection of a Cluster. The zero value
+// uses the paper's defaults (epsilon 1e-5, residual pairing, sequential
+// per-rank sweeps).
+type Options[T num.Float] struct {
+	// Detector's Epsilon defaults to the paper's 1e-5 when zero, with an
+	// absolute floor of 1.
+	Detector checksum.Detector[T]
+	// PairPolicy selects multi-error pairing (default PairByResidual).
+	PairPolicy checksum.PairPolicy
+	// Pool partitions each rank's local sweep over workers; nil runs each
+	// rank's sweep sequentially on the rank goroutine. The pool is
+	// stateless and safely shared by all ranks.
+	Pool *stencil.Pool
+	// DropBoundaryTerms reproduces the paper's simplified listings for the
+	// x-direction beta terms (ablation A1); leave false for exact
+	// interpolation.
+	DropBoundaryTerms bool
+}
+
+// withDefaults returns a copy with zero fields replaced by defaults.
+func (o Options[T]) withDefaults() Options[T] {
+	if o.Detector.Epsilon == 0 {
+		o.Detector = checksum.NewDetector[T]()
+	}
+	if o.Detector.AbsFloor == 0 {
+		o.Detector.AbsFloor = 1
+	}
+	return o
+}
+
+// Stats aggregates one rank's ABFT counters. TotalStats sums them over the
+// cluster with Add.
+type Stats struct {
+	Iterations      int // completed sweeps
+	Verifications   int // checksum comparisons performed
+	Detections      int // verification events that flagged at least one mismatch
+	CorrectedPoints int // band points repaired in place
+	ChecksumRepairs int // detections attributed to checksum (not domain) corruption
+	HaloExchanges   int // iterations that exchanged or refreshed halo rows
+}
+
+// Add returns the element-wise sum of s and o.
+func (s Stats) Add(o Stats) Stats {
+	s.Iterations += o.Iterations
+	s.Verifications += o.Verifications
+	s.Detections += o.Detections
+	s.CorrectedPoints += o.CorrectedPoints
+	s.ChecksumRepairs += o.ChecksumRepairs
+	s.HaloExchanges += o.HaloExchanges
+	return s
+}
+
+// String renders the counters compactly for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("iters=%d verifications=%d detections=%d corrected=%d checksum-repairs=%d halo-exchanges=%d",
+		s.Iterations, s.Verifications, s.Detections, s.CorrectedPoints, s.ChecksumRepairs, s.HaloExchanges)
+}
+
+// Cluster runs a 2-D stencil domain decomposed into row bands over
+// simulated ranks, each protected by its own online ABFT instance.
+type Cluster[T num.Float] struct {
+	nx, ny int
+	ranks  []*rank[T]
+	bar    *barrier
+	iter   int
+}
+
+// NewCluster decomposes init into nRanks row bands wired with halo
+// channels. Remainder rows are distributed one per rank from the top, so
+// band heights differ by at most one row. Every band must be strictly
+// taller than the stencil's y-radius (the minimum domain an interpolator
+// accepts); a larger nRanks returns an error.
+func NewCluster[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], nRanks int, opt Options[T]) (*Cluster[T], error) {
+	nx, ny := init.Nx(), init.Ny()
+	if err := op.Validate(nx, ny); err != nil {
+		return nil, err
+	}
+	if nRanks < 1 {
+		return nil, fmt.Errorf("dist: invalid rank count %d", nRanks)
+	}
+	ry := op.St.RadiusY()
+	if minBand := ny / nRanks; minBand <= ry {
+		return nil, fmt.Errorf("dist: %d ranks over %d rows leaves bands of %d row(s), need more than the stencil y-radius %d",
+			nRanks, ny, ny/nRanks, ry)
+	}
+	opt = opt.withDefaults()
+
+	c := &Cluster[T]{nx: nx, ny: ny, bar: newBarrier(nRanks)}
+	base, rem := ny/nRanks, ny%nRanks
+	y0 := 0
+	for i := 0; i < nRanks; i++ {
+		h := base
+		if i < rem {
+			h++
+		}
+		r, err := newRank(op, init, i, y0, y0+h, ry, opt)
+		if err != nil {
+			return nil, err
+		}
+		c.ranks = append(c.ranks, r)
+		y0 += h
+	}
+	wireHalos(c.ranks, op.BC == grid.Periodic)
+	return c, nil
+}
+
+// Ranks returns the number of ranks in the cluster.
+func (c *Cluster[T]) Ranks() int { return len(c.ranks) }
+
+// Band returns the global row range [y0, y1) owned by rank i.
+func (c *Cluster[T]) Band(i int) (y0, y1 int) {
+	r := c.ranks[i]
+	return r.y0, r.y1
+}
+
+// Iter returns the number of completed cluster iterations.
+func (c *Cluster[T]) Iter() int { return c.iter }
+
+// Stats returns each rank's counters, indexed by rank.
+func (c *Cluster[T]) Stats() []Stats {
+	out := make([]Stats, len(c.ranks))
+	for i, r := range c.ranks {
+		out[i] = r.stats
+	}
+	return out
+}
+
+// TotalStats returns the cluster-wide sum of the per-rank counters.
+func (c *Cluster[T]) TotalStats() Stats {
+	var total Stats
+	for _, r := range c.ranks {
+		total = total.Add(r.stats)
+	}
+	return total
+}
+
+// Gather reassembles the global domain from the ranks' current band
+// states — the MPI_Gather at the end of a distributed run. Call it between
+// Run calls, never concurrently with one.
+func (c *Cluster[T]) Gather() *grid.Grid[T] {
+	g := grid.New[T](c.nx, c.ny)
+	for _, r := range c.ranks {
+		for y := r.y0; y < r.y1; y++ {
+			copy(g.Row(y), r.buf.Read.Row(r.h+y-r.y0))
+		}
+	}
+	return g
+}
+
+// Run advances the cluster by iters lockstep iterations. plan, when
+// non-nil, schedules bit-flip injections in global coordinates; each
+// injection is routed to the rank owning its row and applied during that
+// rank's local sweep, exactly as a per-rank MPI fault campaign would.
+// Iterations are indexed within this call, starting at 0.
+func (c *Cluster[T]) Run(iters int, plan *fault.Plan) {
+	if iters <= 0 {
+		return
+	}
+	plans := c.routePlan(plan)
+	done := make(chan struct{}, len(c.ranks))
+	for i, r := range c.ranks {
+		go func(r *rank[T], inj *fault.Injector[T]) {
+			for t := 0; t < iters; t++ {
+				r.exchangeHalos()
+				var hook stencil.InjectFunc[T]
+				if inj != nil {
+					hook = inj.HookFor(t)
+				}
+				r.step(hook)
+				c.bar.await()
+			}
+			done <- struct{}{}
+		}(r, plans[i])
+	}
+	for range c.ranks {
+		<-done
+	}
+	c.iter += iters
+}
+
+// routePlan splits a global fault plan into per-rank plans with the
+// injection row translated into the owning rank's extended-grid frame (the
+// coordinate the sweep hook sees). Injections outside the domain, or with
+// a non-zero Z, are dropped. The returned slice holds a nil injector for
+// ranks with no scheduled injection.
+func (c *Cluster[T]) routePlan(plan *fault.Plan) []*fault.Injector[T] {
+	out := make([]*fault.Injector[T], len(c.ranks))
+	if plan == nil {
+		return out
+	}
+	perRank := make([][]fault.Injection, len(c.ranks))
+	for _, inj := range plan.Injections() {
+		if inj.Z != 0 || inj.X < 0 || inj.X >= c.nx || inj.Y < 0 || inj.Y >= c.ny {
+			continue
+		}
+		for i, r := range c.ranks {
+			if inj.Y >= r.y0 && inj.Y < r.y1 {
+				local := inj
+				local.Y = inj.Y - r.y0 + r.h
+				perRank[i] = append(perRank[i], local)
+				break
+			}
+		}
+	}
+	for i, injs := range perRank {
+		if len(injs) > 0 {
+			out[i] = fault.NewInjector[T](fault.NewPlan(injs...))
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+
+	"stencilabft/internal/grid"
+	"stencilabft/internal/stencil"
+)
+
+// TestWireHalosTopology checks the neighbour wiring: edge ranks have no
+// outer channels under non-periodic boundaries, every rank is fully wired
+// in the periodic ring, and a single periodic rank self-exchanges.
+func TestWireHalosTopology(t *testing.T) {
+	build := func(n int, periodic bool) []*rank[float64] {
+		op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+		if periodic {
+			op.BC = grid.Periodic
+		}
+		init := testInit(8, 6*n)
+		c, err := NewCluster(op, init, n, strictOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.ranks
+	}
+
+	ranks := build(3, false)
+	if ranks[0].sendUp != nil || ranks[0].recvUp != nil {
+		t.Fatal("top rank wired upward without periodic boundaries")
+	}
+	if ranks[2].sendDn != nil || ranks[2].recvDn != nil {
+		t.Fatal("bottom rank wired downward without periodic boundaries")
+	}
+	if ranks[1].sendUp == nil || ranks[1].sendDn == nil || ranks[1].recvUp == nil || ranks[1].recvDn == nil {
+		t.Fatal("interior rank not fully wired")
+	}
+	// A send channel must pair with the neighbour's receive channel.
+	if ranks[1].sendUp != ranks[0].recvDn || ranks[1].sendDn != ranks[2].recvUp {
+		t.Fatal("channel pairing broken")
+	}
+
+	ring := build(2, true)
+	for i, r := range ring {
+		if r.sendUp == nil || r.sendDn == nil || r.recvUp == nil || r.recvDn == nil {
+			t.Fatalf("periodic rank %d not fully wired", i)
+		}
+	}
+	if ring[0].sendUp != ring[1].recvDn || ring[1].sendDn != ring[0].recvUp {
+		t.Fatal("ring wrap-around pairing broken")
+	}
+
+	self := build(1, true)
+	if self[0].sendUp != self[0].recvDn || self[0].sendDn != self[0].recvUp {
+		t.Fatal("single periodic rank does not self-exchange")
+	}
+}
+
+// TestFillEdgeHalo checks the ghost-row synthesis of the edge ranks for
+// each non-periodic boundary condition.
+func TestFillEdgeHalo(t *testing.T) {
+	const nx, ny = 5, 9
+	for _, tc := range []struct {
+		bc grid.Boundary
+		// wantTop(x) is the expected ghost value just above the domain,
+		// wantBot(x) just below, given init value 10*y+x.
+		wantTop func(x int) float64
+		wantBot func(x int) float64
+	}{
+		{grid.Clamp, func(x int) float64 { return float64(x) }, func(x int) float64 { return float64(10*(ny-1) + x) }},
+		{grid.Mirror, func(x int) float64 { return float64(10 + x) }, func(x int) float64 { return float64(10*(ny-2) + x) }},
+		{grid.Constant, func(x int) float64 { return 7 }, func(x int) float64 { return 7 }},
+		{grid.Zero, func(x int) float64 { return 0 }, func(x int) float64 { return 0 }},
+	} {
+		op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: tc.bc, BCValue: 7}
+		init := grid.New[float64](nx, ny)
+		init.FillFunc(func(x, y int) float64 { return float64(10*y + x) })
+		c, err := NewCluster(op, init, 3, strictOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, bot := c.ranks[0], c.ranks[2]
+		top.fillEdgeHalo(true)
+		bot.fillEdgeHalo(false)
+		for x := 0; x < nx; x++ {
+			if got := top.buf.Read.At(x, top.bandLo()-1); got != tc.wantTop(x) {
+				t.Fatalf("%v top ghost at x=%d: got %g, want %g", tc.bc, x, got, tc.wantTop(x))
+			}
+			if got := bot.buf.Read.At(x, bot.bandHi()); got != tc.wantBot(x) {
+				t.Fatalf("%v bottom ghost at x=%d: got %g, want %g", tc.bc, x, got, tc.wantBot(x))
+			}
+		}
+	}
+}
+
+// TestExchangeHalos runs one manual exchange round and checks every rank
+// sees its neighbours' boundary rows.
+func TestExchangeHalos(t *testing.T) {
+	const nx, ny, ranks = 4, 12, 3
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	init := grid.New[float64](nx, ny)
+	init.FillFunc(func(x, y int) float64 { return float64(100*y + x) })
+	c, err := NewCluster(op, init, ranks, strictOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, r := range c.ranks {
+		wg.Add(1)
+		go func(r *rank[float64]) {
+			defer wg.Done()
+			r.exchangeHalos()
+		}(r)
+	}
+	wg.Wait()
+
+	// Rank 1 owns rows 4..7: its top halo is row 3, its bottom halo row 8.
+	mid := c.ranks[1]
+	for x := 0; x < nx; x++ {
+		if got := mid.buf.Read.At(x, mid.bandLo()-1); got != float64(300+x) {
+			t.Fatalf("top halo at x=%d: got %g", x, got)
+		}
+		if got := mid.buf.Read.At(x, mid.bandHi()); got != float64(800+x) {
+			t.Fatalf("bottom halo at x=%d: got %g", x, got)
+		}
+	}
+	if mid.stats.HaloExchanges != 1 {
+		t.Fatalf("halo exchange counter %d", mid.stats.HaloExchanges)
+	}
+}
+
+// TestBarrier hammers the cyclic barrier across generations: no party may
+// pass generation g+1 before every party has arrived at generation g.
+func TestBarrier(t *testing.T) {
+	const parties, gens = 8, 200
+	b := newBarrier(parties)
+	var mu sync.Mutex
+	arrived := make([]int, parties)
+
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for g := 0; g < gens; g++ {
+				mu.Lock()
+				arrived[p] = g + 1
+				for _, a := range arrived {
+					if a < g {
+						mu.Unlock()
+						t.Errorf("party passed generation %d while another was at %d", g, a)
+						return
+					}
+				}
+				mu.Unlock()
+				b.await()
+			}
+		}(p)
+	}
+	wg.Wait()
+}

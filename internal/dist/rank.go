@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stencil"
+)
+
+// rank is one simulated MPI rank: a row band [y0, y1) of the global domain
+// stored in a ghost-row-padded local double buffer (h halo rows above and
+// below the band), protected by the online ABFT scheme with band-aware
+// checksum interpolation. All of a rank's state is touched only by its own
+// goroutine; neighbour data arrives as copies through channels.
+type rank[T num.Float] struct {
+	id     int
+	y0, y1 int // global rows owned, [y0, y1)
+	nx     int
+	nyLoc  int // y1 - y0
+	h      int // halo width = stencil y-radius
+
+	// op sweeps the extended local grid: x resolves with the global
+	// boundary condition, y never reaches a boundary (halo rows supply the
+	// data). Its C field, when present, is the band's rows of the global
+	// constant field padded to the extended shape.
+	op  *stencil.Op2D[T]
+	buf *grid.Buffer[T] // extended grids: nx by (nyLoc + 2h)
+
+	ip   *checksum.Interp2D[T] // built for the nx-by-nyLoc band
+	det  checksum.Detector[T]
+	pol  checksum.PairPolicy
+	pool *stencil.Pool
+
+	// Column-checksum state in the extended frame: entries [0,h) and
+	// [h+nyLoc, nyLoc+2h) are halo-row sums refreshed every iteration,
+	// entries [h, h+nyLoc) are the band's verified/fused checksums.
+	prevExtB []T
+	newExtB  []T
+	interpB  []T // band-only, len nyLoc
+
+	// scratch for the detection/correction slow path (band-only)
+	prevA, newA, interpA []T
+
+	// halo plumbing (nil channel = domain edge, resolved from the global
+	// boundary condition instead)
+	sendUp, sendDn chan []T
+	recvUp, recvDn chan []T
+	globalBC       grid.Boundary
+	globalNy       int
+
+	stats Stats
+}
+
+// newRank builds rank id over global rows [y0, y1), copying the band and
+// its initial halo rows out of init.
+func newRank[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], id, y0, y1, h int, opt Options[T]) (*rank[T], error) {
+	nx := init.Nx()
+	nyLoc := y1 - y0
+
+	// The interpolator is built on the band's shape with the band's slice
+	// of the constant field; y-halos are supplied at interpolation time.
+	iop := &stencil.Op2D[T]{St: op.St, BC: op.BC, BCValue: op.BCValue}
+	if op.C != nil {
+		cBand := grid.New[T](nx, nyLoc)
+		for y := 0; y < nyLoc; y++ {
+			copy(cBand.Row(y), op.C.Row(y0+y))
+		}
+		iop.C = cBand
+	}
+	ip, err := checksum.NewInterp2D(iop, nx, nyLoc)
+	if err != nil {
+		return nil, err
+	}
+	ip.DropBoundaryTerms = opt.DropBoundaryTerms
+
+	extNy := nyLoc + 2*h
+	sop := &stencil.Op2D[T]{St: op.St, BC: op.BC, BCValue: op.BCValue}
+	if op.C != nil {
+		cExt := grid.New[T](nx, extNy)
+		for y := 0; y < nyLoc; y++ {
+			copy(cExt.Row(h+y), op.C.Row(y0+y))
+		}
+		sop.C = cExt
+	}
+
+	r := &rank[T]{
+		id: id, y0: y0, y1: y1, nx: nx, nyLoc: nyLoc, h: h,
+		op:       sop,
+		buf:      grid.NewBuffer[T](nx, extNy),
+		ip:       ip,
+		det:      opt.Detector,
+		pol:      opt.PairPolicy,
+		pool:     opt.Pool,
+		prevExtB: make([]T, extNy),
+		newExtB:  make([]T, extNy),
+		interpB:  make([]T, nyLoc),
+		prevA:    make([]T, nx),
+		newA:     make([]T, nx),
+		interpA:  make([]T, nx),
+		globalBC: op.BC,
+		globalNy: init.Ny(),
+	}
+	for y := 0; y < nyLoc; y++ {
+		copy(r.buf.Read.Row(h+y), init.Row(y0+y))
+	}
+	// The initial band data and checksums are assumed correct (Theorem 2).
+	stencil.ChecksumBRect(r.buf.Read, 0, h, nx, h+nyLoc, r.prevExtB[h:h+nyLoc])
+	return r, nil
+}
+
+// bandLo/bandHi bound the band's rows in the extended grid.
+func (r *rank[T]) bandLo() int { return r.h }
+func (r *rank[T]) bandHi() int { return r.h + r.nyLoc }
+
+// step advances the rank one iteration: fused sweep over the band rows,
+// band-aware checksum interpolation, detection, and local correction. The
+// halo rows of the read buffer must already hold iteration-t neighbour
+// data (exchangeHalos runs first).
+func (r *rank[T]) step(hook stencil.InjectFunc[T]) {
+	src, dst := r.buf.Read, r.buf.Write
+
+	// Halo checksums of iteration t: plain row sums of the received halo
+	// rows — no checksum is ever communicated (the paper's zero-overhead
+	// distribution argument).
+	for j := 0; j < r.h; j++ {
+		r.prevExtB[j] = num.Sum(src.Row(j))
+		r.prevExtB[r.bandHi()+j] = num.Sum(src.Row(r.bandHi() + j))
+	}
+
+	if r.pool != nil {
+		r.pool.ForEachChunk(r.nyLoc, func(lo, hi int) {
+			r.op.SweepRange(dst, src, r.bandLo()+lo, r.bandLo()+hi, r.newExtB, hook)
+		})
+	} else {
+		r.op.SweepRange(dst, src, r.bandLo(), r.bandHi(), r.newExtB, hook)
+	}
+
+	edges := checksum.BandEdges[T]{Ext: src, H: r.h, BC: r.globalBC, ConstVal: r.op.BCValue}
+	r.ip.InterpolateBBand(r.prevExtB, r.h, edges, r.interpB)
+	r.stats.Verifications++
+
+	newB := r.newExtB[r.bandLo():r.bandHi()]
+	if r.det.AnyMismatch(newB, r.interpB) {
+		r.stats.Detections++
+		r.locateAndCorrect(src, dst, edges, newB)
+	}
+
+	r.prevExtB, r.newExtB = r.newExtB, r.prevExtB
+	r.buf.Swap()
+	r.stats.Iterations++
+}
+
+// locateAndCorrect is the detection slow path, band-local throughout: lazy
+// row checksums over the band's rows, band-aware A interpolation (the
+// y-window-shift terms read real halo rows), mismatch intersection, and the
+// numerically stable Equation-(10) repair on the band's partial sums.
+func (r *rank[T]) locateAndCorrect(src, dst *grid.Grid[T], edges checksum.EdgeSource[T], newB []T) {
+	stencil.ChecksumARect(src, 0, r.bandLo(), r.nx, r.bandHi(), r.prevA)
+	r.ip.InterpolateABand(r.prevA, edges, r.interpA)
+	stencil.ChecksumARect(dst, 0, r.bandLo(), r.nx, r.bandHi(), r.newA)
+
+	bm := r.det.Compare(newB, r.interpB)
+	am := r.det.Compare(r.newA, r.interpA)
+	if len(am) == 0 || len(bm) == 0 {
+		// Mismatch in one vector only: the corruption sits in a checksum,
+		// not the band. The band is trusted; refresh the column checksums.
+		r.stats.ChecksumRepairs++
+		stencil.ChecksumBRect(dst, 0, r.bandLo(), r.nx, r.bandHi(), newB)
+		return
+	}
+	locs := checksum.Pair(am, bm, r.pol)
+	for _, loc := range locs {
+		checksum.CorrectRect(dst, 0, r.bandLo(), r.nx, r.bandHi(), loc,
+			r.newA, newB, r.interpA, r.interpB)
+		r.stats.CorrectedPoints++
+	}
+}

@@ -11,6 +11,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
@@ -86,9 +87,21 @@ func FixedBit(rng *rand.Rand, iters, nx, ny, nz, bit int) Injection {
 // Injector adapts a plan to the sweep engines' InjectFunc. It counts hits
 // so tests and campaigns can assert the planned flips actually landed
 // (e.g. an injection aimed at an out-of-range iteration never fires).
+// The hit log is mutex-guarded because the parallel sweep engines invoke
+// one hook from every worker of a row/layer partition concurrently.
 type Injector[T num.Float] struct {
 	plan *Plan
-	Hits []Injection // injections that have been applied
+	mu   sync.Mutex
+	hits []Injection
+}
+
+// Hits returns a snapshot of the injections applied so far.
+func (in *Injector[T]) Hits() []Injection {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Injection, len(in.hits))
+	copy(out, in.hits)
+	return out
 }
 
 // NewInjector wraps a plan.
@@ -107,7 +120,9 @@ func (in *Injector[T]) HookFor(iter int) stencil.InjectFunc[T] {
 	return func(x, y, z int, v T) T {
 		for _, j := range injs {
 			if j.X == x && j.Y == y && j.Z == z {
-				in.Hits = append(in.Hits, j)
+				in.mu.Lock()
+				in.hits = append(in.hits, j)
+				in.mu.Unlock()
 				return num.FlipBit(v, j.Bit)
 			}
 		}

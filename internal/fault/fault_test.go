@@ -72,14 +72,14 @@ func TestInjectorHooksOnlyTargetIteration(t *testing.T) {
 	if got := hook(0, 0, 0, 1.5); got != 1.5 {
 		t.Fatalf("non-target point modified: %g", got)
 	}
-	if len(in.Hits) != 0 {
+	if len(in.Hits()) != 0 {
 		t.Fatal("hit recorded for non-target point")
 	}
 	// Target point: sign bit flipped, hit recorded.
 	if got := hook(2, 3, 0, 1.5); got != -1.5 {
 		t.Fatalf("target point not flipped: %g", got)
 	}
-	if len(in.Hits) != 1 {
+	if len(in.Hits()) != 1 {
 		t.Fatal("hit not recorded")
 	}
 }
