@@ -18,29 +18,45 @@
 //
 // # Quick start
 //
+// Declare the run as a Spec and hand it to Build — one factory for every
+// scheme × deployment × dimensionality combination:
+//
 //	op := &stencilabft.Op2D[float32]{
 //		St: stencilabft.Laplace5[float32](0.2),
 //		BC: stencilabft.Clamp,
 //	}
-//	p, err := stencilabft.NewOnline2D(op, initialGrid, stencilabft.Options[float32]{})
+//	p, err := stencilabft.Build(stencilabft.Spec[float32]{
+//		Scheme: stencilabft.Online, // verify + correct every sweep, ~8% overhead
+//		Op2D:   op,
+//		Init:   initialGrid,
+//	})
 //	if err != nil { ... }
-//	for i := 0; i < iterations; i++ {
-//		p.Step(nil) // sweep + verify + correct, ~8% overhead
-//	}
-//	result := p.Grid()
+//	p.Run(iterations)
+//	p.Finalize() // no-op for online; offline verifies the partial period
+//	result, stats := p.Grid(), p.Stats()
 //
-// See examples/ for complete programs and DESIGN.md for the architecture.
+// Swapping Scheme to Offline (periodic checkpoint/rollback), Blocked
+// (per-tile checksums) or None (the unprotected baseline) — or Deployment
+// to Clustered (row bands over ranks exchanging halos through the Transport
+// seam) — changes nothing else about the calling code: every protector
+// satisfies the unified Protector interface. Fault-injection campaigns set
+// Spec.Inject (a declarative bit-flip Plan) or Spec.InjectSource (a custom
+// hook); Step then applies them with no per-call plumbing.
 //
-// # Choosing a protector
+// See examples/ for complete programs and DESIGN.md for the architecture
+// and the Unified API section for the registry and deprecation map.
 //
-//   - Online (NewOnline2D / NewOnline3D): verification after every sweep,
-//     on-the-fly correction with a small floating-point residual. Lowest
-//     time-to-detection; no checkpoint memory.
-//   - Offline (NewOffline2D / NewOffline3D): verification every Δ sweeps,
-//     recovery by rollback to an in-memory checkpoint and recomputation —
-//     the error is erased exactly, at the cost of checkpoint memory and a
-//     recomputation spike when an error occurs.
-//   - None (NewNone2D / NewNone3D): the unprotected baseline.
+// # Choosing a scheme
+//
+//   - Online: verification after every sweep, on-the-fly correction with a
+//     small floating-point residual. Lowest time-to-detection; no
+//     checkpoint memory.
+//   - Offline: verification every Period sweeps, recovery by rollback to an
+//     in-memory checkpoint and recomputation — the error is erased exactly,
+//     at the cost of checkpoint memory and a recomputation spike.
+//   - Blocked: the online scheme per tile; small tiles keep checksum
+//     magnitudes (and the detection floor) low.
+//   - None: the unprotected baseline.
 //
 // All protectors run the same sweep engine and accept a worker Pool for
 // row-partitioned (2-D) or layer-partitioned (3-D) parallel execution.
@@ -133,12 +149,14 @@ func NewStencil[T Float](name string, points ...Point[T]) *Stencil[T] {
 // Detector compares direct against interpolated checksums.
 type Detector[T Float] = checksum.Detector[T]
 
-// Options configure a protector; the zero value uses the paper's defaults
-// (epsilon 1e-5, Δ=16, sequential execution).
+// Options configure a protector built through the deprecated per-scheme
+// constructors; the zero value uses the paper's defaults (epsilon 1e-5,
+// Δ=16, sequential execution). New code declares the same knobs on Spec.
 type Options[T Float] = core.Options[T]
 
-// Stats aggregates what a protector observed (detections, corrections,
-// rollbacks, checkpoint costs).
+// Stats is the unified counter model every protector reports through:
+// per-rank and per-block counters roll up with Merge instead of living in
+// parallel structs.
 type Stats = core.Stats
 
 // Online2D is the per-iteration detect-and-correct protector (Section 3).
@@ -161,36 +179,92 @@ type Offline3D[T Float] = core.Offline3D[T]
 // None3D is the unprotected 3-D baseline runner.
 type None3D[T Float] = core.None3D[T]
 
+// spec2D assembles the Spec a legacy 2-D constructor delegates to Build.
+func spec2D[T Float](s Scheme, op *Op2D[T], init *Grid[T], opt Options[T]) Spec[T] {
+	return Spec[T]{
+		Scheme: s, Op2D: op, Init: init,
+		Detector: opt.Detector, PairPolicy: opt.PairPolicy, Pool: opt.Pool,
+		Period: opt.Period, Recovery: opt.Recovery, InjectSource: opt.Inject,
+		DropBoundaryTerms: opt.DropBoundaryTerms, PaperExactCorrection: opt.PaperExactCorrection,
+	}
+}
+
+// spec3D assembles the Spec a legacy 3-D constructor delegates to Build.
+func spec3D[T Float](s Scheme, op *Op3D[T], init *Grid3D[T], opt Options[T]) Spec[T] {
+	return Spec[T]{
+		Scheme: s, Op3D: op, Init3D: init,
+		Detector: opt.Detector, PairPolicy: opt.PairPolicy, Pool: opt.Pool,
+		Period: opt.Period, Recovery: opt.Recovery, InjectSource: opt.Inject,
+		DropBoundaryTerms: opt.DropBoundaryTerms, PaperExactCorrection: opt.PaperExactCorrection,
+	}
+}
+
 // NewOnline2D builds an online protector for op, starting from init
 // (copied).
+//
+// Deprecated: use Build with Spec{Scheme: Online}.
 func NewOnline2D[T Float](op *Op2D[T], init *Grid[T], opt Options[T]) (*Online2D[T], error) {
-	return core.NewOnline2D(op, init, opt)
+	p, err := Build(spec2D(Online, op, init, opt))
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Online2D[T]), nil
 }
 
 // NewOffline2D builds an offline protector with detection period
 // opt.Period.
+//
+// Deprecated: use Build with Spec{Scheme: Offline}.
 func NewOffline2D[T Float](op *Op2D[T], init *Grid[T], opt Options[T]) (*Offline2D[T], error) {
-	return core.NewOffline2D(op, init, opt)
+	p, err := Build(spec2D(Offline, op, init, opt))
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Offline2D[T]), nil
 }
 
 // NewNone2D builds the unprotected baseline runner.
+//
+// Deprecated: use Build with Spec{Scheme: None}.
 func NewNone2D[T Float](op *Op2D[T], init *Grid[T], opt Options[T]) (*None2D[T], error) {
-	return core.NewNone2D(op, init, opt)
+	p, err := Build(spec2D(None, op, init, opt))
+	if err != nil {
+		return nil, err
+	}
+	return p.(*None2D[T]), nil
 }
 
 // NewOnline3D builds a per-layer online protector for a 3-D domain.
+//
+// Deprecated: use Build with Spec{Scheme: Online, Op3D: op, Init3D: init}.
 func NewOnline3D[T Float](op *Op3D[T], init *Grid3D[T], opt Options[T]) (*Online3D[T], error) {
-	return core.NewOnline3D(op, init, opt)
+	p, err := Build(spec3D(Online, op, init, opt))
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Online3D[T]), nil
 }
 
 // NewOffline3D builds a 3-D offline protector.
+//
+// Deprecated: use Build with Spec{Scheme: Offline, Op3D: op, Init3D: init}.
 func NewOffline3D[T Float](op *Op3D[T], init *Grid3D[T], opt Options[T]) (*Offline3D[T], error) {
-	return core.NewOffline3D(op, init, opt)
+	p, err := Build(spec3D(Offline, op, init, opt))
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Offline3D[T]), nil
 }
 
 // NewNone3D builds the unprotected 3-D baseline runner.
+//
+// Deprecated: use Build with Spec{Scheme: None, Op3D: op, Init3D: init}.
 func NewNone3D[T Float](op *Op3D[T], init *Grid3D[T], opt Options[T]) (*None3D[T], error) {
-	return core.NewNone3D(op, init, opt)
+	p, err := Build(spec3D(None, op, init, opt))
+	if err != nil {
+		return nil, err
+	}
+	return p.(*None3D[T]), nil
 }
 
 // RecoveryMode selects the offline repair strategy.
@@ -207,19 +281,38 @@ const (
 )
 
 // Cluster is the distributed-memory deployment: the domain decomposed into
-// row bands over simulated ranks exchanging halo rows, each rank running
-// the online ABFT scheme independently.
+// row bands over simulated ranks exchanging halo rows through the Transport
+// seam, each rank running the online ABFT scheme independently. It
+// satisfies the unified Protector contract (Grid gathers the global
+// domain); RankStats exposes the per-rank counters Stats merges.
 type Cluster[T Float] = dist.Cluster[T]
 
-// ClusterOptions configure the per-rank protection of a Cluster.
+// ClusterOptions configure the per-rank protection of a Cluster built
+// through the deprecated NewCluster.
+//
+// Deprecated: declare the same knobs on Spec.
 type ClusterOptions[T Float] = dist.Options[T]
 
-// RankStats aggregates one rank's ABFT counters.
+// RankStats aggregates one rank's ABFT counters — the same unified Stats
+// model as every other protector.
+//
+// Deprecated: use Stats.
 type RankStats = dist.Stats
 
-// NewCluster decomposes init into nRanks bands wired with halo channels.
+// NewCluster decomposes init into nRanks bands wired through the transport.
+//
+// Deprecated: use Build with Spec{Scheme: Online, Deployment: Clustered,
+// Ranks: nRanks}.
 func NewCluster[T Float](op *Op2D[T], init *Grid[T], nRanks int, opt ClusterOptions[T]) (*Cluster[T], error) {
-	return dist.NewCluster(op, init, nRanks, opt)
+	p, err := Build(Spec[T]{
+		Scheme: Online, Deployment: Clustered, Op2D: op, Init: init, Ranks: nRanks,
+		Detector: opt.Detector, PairPolicy: opt.PairPolicy, Pool: opt.Pool,
+		DropBoundaryTerms: opt.DropBoundaryTerms, Inject: opt.Inject, Transport: opt.NewTransport,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Cluster[T]), nil
 }
 
 // Calibration reports the error-free checksum noise floor of a
@@ -239,29 +332,46 @@ func CalibrateEpsilon[T Float](op *Op2D[T], init *Grid[T], iters int) (Calibrati
 // and with them the floating-point detection floor — low.
 type Blocked2D[T Float] = blocks.Protector[T]
 
-// BlockOptions configure a tiled protector.
+// BlockOptions configure a tiled protector built through the deprecated
+// NewBlocked2D.
+//
+// Deprecated: declare the same knobs on Spec.
 type BlockOptions[T Float] = blocks.Options[T]
 
-// BlockStats aggregates the tiled protector's counters.
+// BlockStats aggregates the tiled protector's counters — the same unified
+// Stats model as every other protector.
+//
+// Deprecated: use Stats.
 type BlockStats = blocks.Stats
 
 // NewBlocked2D builds a tiled protector with blocks of nominal size bx by
 // by (edge blocks may differ; remainders below the stencil radius merge
 // into their neighbour).
+//
+// Deprecated: use Build with Spec{Scheme: Blocked, BlockX: bx, BlockY: by}.
 func NewBlocked2D[T Float](op *Op2D[T], init *Grid[T], bx, by int, opt BlockOptions[T]) (*Blocked2D[T], error) {
-	return blocks.New(op, init, bx, by, opt)
+	p, err := Build(Spec[T]{
+		Scheme: Blocked, Op2D: op, Init: init, BlockX: bx, BlockY: by,
+		Detector: opt.Detector, PairPolicy: opt.PairPolicy, Pool: opt.Pool,
+		InjectSource: opt.Inject,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.(*Blocked2D[T]), nil
 }
 
 // Injection describes one planned bit-flip for fault-injection campaigns.
 type Injection = fault.Injection
 
-// Plan schedules injections by iteration.
+// Plan schedules injections by iteration; Spec.Inject consumes it.
 type Plan = fault.Plan
 
 // NewPlan builds a fault plan from explicit injections.
 func NewPlan(injs ...Injection) *Plan { return fault.NewPlan(injs...) }
 
-// Injector adapts a plan to the protectors' Step hook.
+// Injector adapts a plan to the InjectSource seam the protectors consult
+// each iteration.
 type Injector[T Float] = fault.Injector[T]
 
 // NewInjector wraps a plan for element type T.

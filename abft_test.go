@@ -7,25 +7,30 @@ import (
 )
 
 // The façade tests exercise the library exactly as a downstream user
-// would: through the root package only.
+// would: through the root package only, via the Spec-driven factory.
 
 func TestPublicQuickstartFlow(t *testing.T) {
 	op := &abft.Op2D[float32]{St: abft.Laplace5[float32](0.2), BC: abft.Clamp}
 	init := abft.New[float32](32, 32)
 	init.FillFunc(func(x, y int) float32 { return 300 })
 
-	p, err := abft.NewOnline2D(op, init, abft.Options[float32]{})
+	p, err := abft.Build(abft.Spec[float32]{
+		Scheme: abft.Online,
+		Op2D:   op,
+		Init:   init,
+		Inject: abft.NewPlan(abft.Injection{Iteration: 5, X: 10, Y: 11, Bit: 30}),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := abft.NewPlan(abft.Injection{Iteration: 5, X: 10, Y: 11, Bit: 30})
-	injector := abft.NewInjector[float32](plan)
-	for i := 0; i < 20; i++ {
-		p.Step(injector.HookFor(i))
-	}
+	p.Run(20)
+	p.Finalize()
 	st := p.Stats()
 	if st.Detections != 1 || st.CorrectedPoints != 1 {
 		t.Fatalf("public online flow: %+v", st)
+	}
+	if p.Grid() == nil || p.Grid3D() != nil {
+		t.Fatal("2-D protector must expose Grid and nil Grid3D")
 	}
 }
 
@@ -34,19 +39,19 @@ func TestPublicOfflineConeFlow(t *testing.T) {
 	init := abft.New[float64](64, 64)
 	init.FillFunc(func(x, y int) float64 { return 100 + float64(x%7) })
 
-	p, err := abft.NewOffline2D(op, init, abft.Options[float64]{
+	p, err := abft.Build(abft.Spec[float64]{
+		Scheme:   abft.Offline,
+		Op2D:     op,
+		Init:     init,
 		Period:   8,
 		Recovery: abft.ConeRecovery,
 		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+		Inject:   abft.NewPlan(abft.Injection{Iteration: 9, X: 30, Y: 33, Bit: 58}),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := abft.NewPlan(abft.Injection{Iteration: 9, X: 30, Y: 33, Bit: 58})
-	injector := abft.NewInjector[float64](plan)
-	for i := 0; i < 24; i++ {
-		p.Step(injector.HookFor(i))
-	}
+	p.Run(24)
 	p.Finalize()
 	st := p.Stats()
 	if st.Detections == 0 || st.ConeRecoveries == 0 {
@@ -59,19 +64,75 @@ func TestPublicClusterFlow(t *testing.T) {
 	init := abft.New[float64](16, 24)
 	init.FillFunc(func(x, y int) float64 { return 50 + float64(y) })
 
-	c, err := abft.NewCluster(op, init, 3, abft.ClusterOptions[float64]{
-		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+	p, err := abft.Build(abft.Spec[float64]{
+		Scheme:     abft.Online,
+		Deployment: abft.Clustered,
+		Op2D:       op,
+		Init:       init,
+		Ranks:      3,
+		Detector:   abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+		Inject:     abft.NewPlan(abft.Injection{Iteration: 4, X: 8, Y: 12, Bit: 60}),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Run(12, abft.NewPlan(abft.Injection{Iteration: 4, X: 8, Y: 12, Bit: 60}))
-	ts := c.TotalStats()
+	p.Run(12)
+	ts := p.Stats()
 	if ts.Detections == 0 || ts.CorrectedPoints == 0 {
 		t.Fatalf("public cluster flow: %+v", ts)
 	}
-	if g := c.Gather(); g.Nx() != 16 || g.Ny() != 24 {
+	if g := p.Grid(); g.Nx() != 16 || g.Ny() != 24 {
 		t.Fatal("gathered grid shape wrong")
+	}
+	// The concrete type is still reachable for cluster-specific extras.
+	c, ok := p.(*abft.Cluster[float64])
+	if !ok {
+		t.Fatalf("cluster spec built %T", p)
+	}
+	perRank := c.RankStats()
+	if len(perRank) != 3 {
+		t.Fatalf("rank stats length %d", len(perRank))
+	}
+	var merged abft.Stats
+	for _, s := range perRank {
+		merged = merged.Merge(s)
+	}
+	// Event counters are per-rank sums; Iterations is normalised to
+	// lockstep sweeps so it compares across deployments.
+	if merged.Iterations != 3*12 || ts.Iterations != 12 {
+		t.Fatalf("iteration counters: merged %d, cluster %d", merged.Iterations, ts.Iterations)
+	}
+	merged.Iterations = ts.Iterations
+	if merged != ts {
+		t.Fatalf("per-rank stats do not merge to the cluster total: %+v vs %+v", merged, ts)
+	}
+}
+
+func TestPublicBlockedFlow(t *testing.T) {
+	op := &abft.Op2D[float64]{St: abft.Laplace5(0.2), BC: abft.Clamp}
+	init := abft.New[float64](48, 48)
+	init.FillFunc(func(x, y int) float64 { return 200 + float64((x*13+y)%11) })
+
+	p, err := abft.Build(abft.Spec[float64]{
+		Scheme:   abft.Blocked,
+		Op2D:     op,
+		Init:     init,
+		BlockX:   16,
+		BlockY:   16,
+		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+		Inject:   abft.NewPlan(abft.Injection{Iteration: 7, X: 20, Y: 30, Bit: 58}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(16)
+	st := p.Stats()
+	if st.Detections == 0 || st.FlaggedBlocks == 0 || st.CorrectedPoints == 0 {
+		t.Fatalf("public blocked flow: %+v", st)
+	}
+	// 48x48 over 16x16 tiles = 9 blocks, each compared every iteration.
+	if st.Verifications != 9*16 {
+		t.Fatalf("blocked verifications %d, want one per block per iteration (%d)", st.Verifications, 9*16)
 	}
 }
 
@@ -86,7 +147,7 @@ func TestPublicCustomStencil(t *testing.T) {
 	op := &abft.Op2D[float32]{St: st, BC: abft.Zero}
 	init := abft.New[float32](8, 8)
 	init.Fill(2)
-	p, err := abft.NewNone2D(op, init, abft.Options[float32]{})
+	p, err := abft.Build(abft.Spec[float32]{Op2D: op, Init: init}) // zero Scheme = None
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,18 +162,52 @@ func TestPublic3DFlow(t *testing.T) {
 	op := &abft.Op3D[float32]{St: st, BC: abft.Clamp}
 	init := abft.New3D[float32](12, 12, 4)
 	init.Fill(100)
-	p, err := abft.NewOffline3D(op, init, abft.Options[float32]{Period: 4, Pool: abft.NewPool()})
+	p, err := abft.Build(abft.Spec[float32]{
+		Scheme: abft.Offline,
+		Op3D:   op,
+		Init3D: init,
+		Period: 4,
+		Pool:   abft.NewPool(),
+		Inject: abft.NewPlan(abft.Injection{Iteration: 3, X: 5, Y: 6, Z: 2, Bit: 30}),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := abft.NewPlan(abft.Injection{Iteration: 3, X: 5, Y: 6, Z: 2, Bit: 30})
-	injector := abft.NewInjector[float32](plan)
-	for i := 0; i < 12; i++ {
-		p.Step(injector.HookFor(i))
-	}
+	p.Run(12)
 	p.Finalize()
 	st2 := p.Stats()
 	if st2.Detections == 0 || st2.Rollbacks == 0 {
 		t.Fatalf("public 3-D offline flow: %+v", st2)
+	}
+	if p.Grid3D() == nil || p.Grid() != nil {
+		t.Fatal("3-D protector must expose Grid3D and nil Grid")
+	}
+}
+
+// TestDeprecatedConstructorsStillWork pins the compatibility contract: the
+// old per-scheme constructors are thin wrappers over Build and must keep
+// returning the concrete types with the configured injection applied.
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	op := &abft.Op2D[float32]{St: abft.Laplace5[float32](0.2), BC: abft.Clamp}
+	init := abft.New[float32](32, 32)
+	init.Fill(300)
+
+	plan := abft.NewPlan(abft.Injection{Iteration: 5, X: 10, Y: 11, Bit: 30})
+	p, err := abft.NewOnline2D(op, init, abft.Options[float32]{Inject: abft.NewInjector[float32](plan)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(20)
+	if st := p.Stats(); st.Detections != 1 || st.CorrectedPoints != 1 {
+		t.Fatalf("deprecated online wrapper: %+v", st)
+	}
+
+	c, err := abft.NewCluster(op, init, 3, abft.ClusterOptions[float32]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(4)
+	if c.Iter() != 4 {
+		t.Fatalf("deprecated cluster wrapper: iter %d", c.Iter())
 	}
 }

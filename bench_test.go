@@ -8,7 +8,7 @@
 // Benchmark sizes default to the paper's small tile (64x64x8) with reduced
 // iteration counts so `go test -bench=.` completes on a laptop; the
 // reported per-op times are what EXPERIMENTS.md compares across methods.
-package stencilabft
+package stencilabft_test
 
 import (
 	"fmt"
@@ -263,7 +263,7 @@ func BenchmarkAblationMultiError(b *testing.B) {
 			b.Fatal(err)
 		}
 		injector := fault.NewInjector[float32](plan)
-		p.Step(injector.HookFor(0))
+		p.StepInject(injector.HookFor(0))
 		if p.Stats().CorrectedPoints != 2 {
 			b.Fatalf("expected 2 corrections, got %+v", p.Stats())
 		}
@@ -298,7 +298,7 @@ func BenchmarkAblationConeRecovery(b *testing.B) {
 				}
 				injector := fault.NewInjector[float64](fault.NewPlan(inj))
 				for it := 0; it < iters; it++ {
-					p.Step(injector.HookFor(it))
+					p.StepInject(injector.HookFor(it))
 				}
 				p.Finalize()
 				st := p.Stats()
@@ -329,8 +329,8 @@ func BenchmarkDistCluster(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				c.Run(iters, nil)
-				if c.TotalStats().Detections != 0 {
+				c.Run(iters)
+				if c.Stats().Detections != 0 {
 					b.Fatal("false positive in bench")
 				}
 			}
@@ -353,7 +353,7 @@ func BenchmarkOnlineStep2D(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				p.Step(nil)
+				p.Step()
 			}
 		})
 		b.Run(fmt.Sprintf("n%d/online", n), func(b *testing.B) {
@@ -363,7 +363,7 @@ func BenchmarkOnlineStep2D(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				p.Step(nil)
+				p.Step()
 			}
 		})
 	}

@@ -1,0 +1,132 @@
+package stencilabft
+
+import (
+	"fmt"
+	"sort"
+
+	"stencilabft/internal/blocks"
+	"stencilabft/internal/core"
+	"stencilabft/internal/dist"
+)
+
+// Protector is the unified contract every runner satisfies, regardless of
+// scheme (none/online/offline/blocked), deployment (local/cluster) or
+// dimensionality. Step advances one sweep — fault injection comes from the
+// Spec, so it takes no arguments; Run advances count sweeps; Grid and
+// Grid3D expose the current state (the accessor matching the spec's
+// dimensionality returns the domain, the other returns nil; a Clustered
+// protector gathers on each Grid call); Finalize discharges end-of-run
+// obligations (the offline schemes verify any partial period; everything
+// else no-ops), folding the old Finalizer type-assertion into the contract.
+type Protector[T Float] interface {
+	Step()
+	Run(count int)
+	Grid() *Grid[T]
+	Grid3D() *Grid3D[T]
+	Iter() int
+	Stats() Stats
+	Finalize()
+}
+
+// Compile-time conformance checks: all six core protectors, the tiled
+// protector and the cluster satisfy the unified contract for both element
+// types.
+var (
+	_ Protector[float32] = (*None2D[float32])(nil)
+	_ Protector[float32] = (*Online2D[float32])(nil)
+	_ Protector[float32] = (*Offline2D[float32])(nil)
+	_ Protector[float32] = (*None3D[float32])(nil)
+	_ Protector[float32] = (*Online3D[float32])(nil)
+	_ Protector[float32] = (*Offline3D[float32])(nil)
+	_ Protector[float32] = (*Blocked2D[float32])(nil)
+	_ Protector[float32] = (*Cluster[float32])(nil)
+	_ Protector[float64] = (*None2D[float64])(nil)
+	_ Protector[float64] = (*Online2D[float64])(nil)
+	_ Protector[float64] = (*Offline2D[float64])(nil)
+	_ Protector[float64] = (*None3D[float64])(nil)
+	_ Protector[float64] = (*Online3D[float64])(nil)
+	_ Protector[float64] = (*Offline3D[float64])(nil)
+	_ Protector[float64] = (*Blocked2D[float64])(nil)
+	_ Protector[float64] = (*Cluster[float64])(nil)
+)
+
+// BuildFunc constructs a protector from a validated Spec — the entry type
+// of the Build registry.
+type BuildFunc[T Float] func(Spec[T]) (Protector[T], error)
+
+// BuildKey is the registry key for a scheme × deployment cell, e.g.
+// "online/cluster" — the string the CLIs' mode flags resolve to.
+func BuildKey(s Scheme, d Deployment) string { return string(s) + "/" + string(d) }
+
+// builders assembles the string-keyed scheme×deployment registry for
+// element type T. Go has no generic package-level variables, so the table
+// is materialised per call; the set of keys is fixed and mirrored by
+// BuildKeys.
+func builders[T Float]() map[string]BuildFunc[T] {
+	return map[string]BuildFunc[T]{
+		BuildKey(None, Local):       buildNone[T],
+		BuildKey(Online, Local):     buildOnline[T],
+		BuildKey(Offline, Local):    buildOffline[T],
+		BuildKey(Blocked, Local):    buildBlocked[T],
+		BuildKey(Online, Clustered): buildCluster[T],
+	}
+}
+
+// BuildKeys lists the registered scheme×deployment combinations, sorted —
+// what a CLI prints when asked for the supported matrix.
+func BuildKeys() []string {
+	m := builders[float32]()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Build constructs the protector declared by spec — the single factory
+// behind every scheme × deployment × dimensionality combination. The
+// concrete type is the matching protector (e.g. *Online2D, *Cluster), so
+// callers needing scheme-specific extras can type-assert, but the unified
+// Protector surface covers the whole run lifecycle.
+func Build[T Float](spec Spec[T]) (Protector[T], error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	b, ok := builders[T]()[BuildKey(spec.Scheme, spec.Deployment)]
+	if !ok {
+		return nil, fmt.Errorf("stencilabft: unsupported combination %q (registered: %v)",
+			BuildKey(spec.Scheme, spec.Deployment), BuildKeys())
+	}
+	return b(spec)
+}
+
+func buildNone[T Float](spec Spec[T]) (Protector[T], error) {
+	if spec.is3D() {
+		return core.NewNone3D(spec.Op3D, spec.Init3D, spec.coreOptions())
+	}
+	return core.NewNone2D(spec.Op2D, spec.Init, spec.coreOptions())
+}
+
+func buildOnline[T Float](spec Spec[T]) (Protector[T], error) {
+	if spec.is3D() {
+		return core.NewOnline3D(spec.Op3D, spec.Init3D, spec.coreOptions())
+	}
+	return core.NewOnline2D(spec.Op2D, spec.Init, spec.coreOptions())
+}
+
+func buildOffline[T Float](spec Spec[T]) (Protector[T], error) {
+	if spec.is3D() {
+		return core.NewOffline3D(spec.Op3D, spec.Init3D, spec.coreOptions())
+	}
+	return core.NewOffline2D(spec.Op2D, spec.Init, spec.coreOptions())
+}
+
+func buildBlocked[T Float](spec Spec[T]) (Protector[T], error) {
+	return blocks.New(spec.Op2D, spec.Init, spec.BlockX, spec.BlockY, spec.blocksOptions())
+}
+
+func buildCluster[T Float](spec Spec[T]) (Protector[T], error) {
+	return dist.NewCluster(spec.Op2D, spec.Init, spec.Ranks, spec.distOptions())
+}

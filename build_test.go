@@ -1,0 +1,254 @@
+package stencilabft_test
+
+import (
+	"fmt"
+	"testing"
+
+	abft "stencilabft"
+	"stencilabft/internal/blocks"
+	"stencilabft/internal/core"
+	"stencilabft/internal/dist"
+	"stencilabft/internal/grid"
+)
+
+// The matrix test drives Build over every Scheme × Deployment × Boundary
+// combination and checks that a valid cell's error-free run is bit-identical
+// to the protector the pre-redesign constructors assembled (the internal
+// package entry points Build's registry wraps), while an unsupported cell
+// fails loudly at Build time instead of mid-run.
+
+const (
+	matrixNx, matrixNy = 33, 40
+	matrixIters        = 12
+	matrixRanks        = 3
+	matrixBlock        = 16
+)
+
+func matrixOp(bc grid.Boundary) *abft.Op2D[float64] {
+	return &abft.Op2D[float64]{St: abft.Laplace5(0.2), BC: bc, BCValue: 42}
+}
+
+func matrixInit() *abft.Grid[float64] {
+	g := abft.New[float64](matrixNx, matrixNy)
+	g.FillFunc(func(x, y int) float64 { return 80 + float64((x*31+y*17)%23) + 0.25*float64(y) })
+	return g
+}
+
+func strictDetector() abft.Detector[float64] {
+	return abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1}
+}
+
+// legacyRun assembles the cell's protector the pre-Build way (the internal
+// constructors the deprecated wrappers used to call directly) and runs it
+// error-free.
+func legacyRun(t *testing.T, s abft.Scheme, d abft.Deployment, bc grid.Boundary) *abft.Grid[float64] {
+	t.Helper()
+	op, init := matrixOp(bc), matrixInit()
+	copt := core.Options[float64]{Detector: strictDetector()}
+	switch {
+	case d == abft.Clustered:
+		c, err := dist.NewCluster(op, init, matrixRanks, dist.Options[float64]{Detector: strictDetector()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(matrixIters)
+		return c.Gather()
+	case s == abft.Blocked:
+		p, err := blocks.New(op, init, matrixBlock, matrixBlock, blocks.Options[float64]{Detector: strictDetector()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(matrixIters)
+		return p.Grid()
+	default:
+		p, err := core.New2D(string(s), op, init, copt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(matrixIters)
+		p.Finalize()
+		return p.Grid()
+	}
+}
+
+func TestBuildMatrixMatchesLegacy(t *testing.T) {
+	schemes := []abft.Scheme{abft.None, abft.Online, abft.Offline, abft.Blocked}
+	deployments := []abft.Deployment{abft.Local, abft.Clustered}
+	boundaries := []grid.Boundary{grid.Clamp, grid.Periodic, grid.Mirror, grid.Constant, grid.Zero}
+
+	for _, s := range schemes {
+		for _, d := range deployments {
+			supported := d == abft.Local || s == abft.Online
+			for _, bc := range boundaries {
+				t.Run(fmt.Sprintf("%s/%s/%s", s, d, bc), func(t *testing.T) {
+					spec := abft.Spec[float64]{
+						Scheme:     s,
+						Deployment: d,
+						Op2D:       matrixOp(bc),
+						Init:       matrixInit(),
+						Detector:   strictDetector(),
+					}
+					if d == abft.Clustered {
+						spec.Ranks = matrixRanks
+					}
+					if s == abft.Blocked {
+						spec.BlockX, spec.BlockY = matrixBlock, matrixBlock
+					}
+					p, err := abft.Build(spec)
+					if !supported {
+						if err == nil {
+							t.Fatalf("unsupported cell %s/%s built without error", s, d)
+						}
+						return
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					p.Run(matrixIters)
+					p.Finalize()
+					if st := p.Stats(); st.Detections != 0 {
+						t.Fatalf("false positive on an error-free run: %+v", st)
+					}
+					want := legacyRun(t, s, d, bc)
+					if diff := p.Grid().MaxAbsDiff(want); diff != 0 {
+						t.Fatalf("Build result deviates from the legacy constructor's by %g", diff)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBuildMatrix3D covers the 3-D cells of the local deployment against
+// the internal New3D constructor.
+func TestBuildMatrix3D(t *testing.T) {
+	op3 := func(bc grid.Boundary) *abft.Op3D[float64] {
+		return &abft.Op3D[float64]{
+			St: abft.SevenPoint3D[float64](0.5, 0.08, 0.08, 0.09, 0.09, 0.06, 0.10),
+			BC: bc, BCValue: 42,
+		}
+	}
+	init3 := func() *abft.Grid3D[float64] {
+		g := abft.New3D[float64](14, 12, 4)
+		g.FillFunc(func(x, y, z int) float64 { return 300 + float64((x*7+y*5+z*3)%13) })
+		return g
+	}
+	for _, s := range []abft.Scheme{abft.None, abft.Online, abft.Offline} {
+		for _, bc := range []grid.Boundary{grid.Clamp, grid.Periodic, grid.Zero} {
+			t.Run(fmt.Sprintf("%s/%s", s, bc), func(t *testing.T) {
+				p, err := abft.Build(abft.Spec[float64]{
+					Scheme:   s,
+					Op3D:     op3(bc),
+					Init3D:   init3(),
+					Detector: strictDetector(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Run(matrixIters)
+				p.Finalize()
+
+				want, err := core.New3D(string(s), op3(bc), init3(), core.Options[float64]{Detector: strictDetector()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want.Run(matrixIters)
+				want.Finalize()
+				if diff := p.Grid3D().MaxAbsDiff(want.Grid3D()); diff != 0 {
+					t.Fatalf("Build 3-D result deviates from the legacy constructor's by %g", diff)
+				}
+			})
+		}
+	}
+}
+
+// TestBuildInvalidSpecs covers the factory's error paths: every malformed
+// or unsupported spec must fail at Build time with a descriptive error.
+func TestBuildInvalidSpecs(t *testing.T) {
+	op, init := matrixOp(grid.Clamp), matrixInit()
+	op3 := &abft.Op3D[float64]{St: abft.SevenPoint3D[float64](0.5, 0.08, 0.08, 0.09, 0.09, 0.06, 0.10), BC: grid.Clamp}
+	init3 := abft.New3D[float64](14, 12, 4)
+
+	cases := []struct {
+		name string
+		spec abft.Spec[float64]
+	}{
+		{"cluster+3D", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op3D: op3, Init3D: init3, Ranks: 2}},
+		{"blocked+offline (block size on a non-blocked scheme)", abft.Spec[float64]{
+			Scheme: abft.Offline, Op2D: op, Init: init, BlockX: matrixBlock, BlockY: matrixBlock}},
+		{"ranks<1", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 0}},
+		{"negative ranks", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: -2}},
+		{"offline+cluster", abft.Spec[float64]{
+			Scheme: abft.Offline, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2}},
+		{"blocked+cluster", abft.Spec[float64]{
+			Scheme: abft.Blocked, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			BlockX: matrixBlock, BlockY: matrixBlock}},
+		{"blocked+3D", abft.Spec[float64]{
+			Scheme: abft.Blocked, Op3D: op3, Init3D: init3, BlockX: matrixBlock, BlockY: matrixBlock}},
+		{"blocked without block size", abft.Spec[float64]{
+			Scheme: abft.Blocked, Op2D: op, Init: init}},
+		{"no operator", abft.Spec[float64]{Scheme: abft.Online}},
+		{"2D op without init", abft.Spec[float64]{Scheme: abft.Online, Op2D: op}},
+		{"3D op without init", abft.Spec[float64]{Scheme: abft.Online, Op3D: op3}},
+		{"both dims", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init, Op3D: op3, Init3D: init3}},
+		{"unknown scheme", abft.Spec[float64]{Scheme: "quantum", Op2D: op, Init: init}},
+		{"unknown deployment", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: "orbital", Op2D: op, Init: init}},
+		{"inject source on cluster", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			InjectSource: abft.NewInjector[float64](nil)}},
+		{"period on cluster", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Period: 16}},
+		{"recovery on cluster", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Recovery: abft.ConeRecovery}},
+		{"paper-exact correction on cluster", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			PaperExactCorrection: true}},
+		{"ranks on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init, Ranks: 4}},
+		{"transport on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init,
+			Transport: func(n int, ring bool) abft.Transport[float64] {
+				return abft.NewChanTransport[float64](n, ring)
+			}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := abft.Build(tc.spec); err == nil {
+				t.Fatalf("invalid spec accepted: %+v", tc.spec)
+			}
+		})
+	}
+}
+
+// TestParseHelpers pins the CLI string → registry key path.
+func TestParseHelpers(t *testing.T) {
+	for _, name := range []string{"none", "online", "offline", "blocked"} {
+		s, err := abft.ParseScheme(name)
+		if err != nil || string(s) != name {
+			t.Fatalf("ParseScheme(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := abft.ParseScheme("bogus"); err == nil {
+		t.Fatal("bogus scheme parsed")
+	}
+	for _, name := range []string{"local", "cluster"} {
+		d, err := abft.ParseDeployment(name)
+		if err != nil || string(d) != name {
+			t.Fatalf("ParseDeployment(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := abft.ParseDeployment("bogus"); err == nil {
+		t.Fatal("bogus deployment parsed")
+	}
+	keys := abft.BuildKeys()
+	if len(keys) != 5 {
+		t.Fatalf("registry keys %v", keys)
+	}
+}

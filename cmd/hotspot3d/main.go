@@ -19,8 +19,7 @@ import (
 	"math/rand"
 	"os"
 
-	"stencilabft/internal/checksum"
-	"stencilabft/internal/core"
+	abft "stencilabft"
 	"stencilabft/internal/fault"
 	"stencilabft/internal/hotspot"
 	"stencilabft/internal/metrics"
@@ -29,11 +28,12 @@ import (
 
 func main() {
 	var (
-		nx        = flag.Int("nx", 64, "tile width")
-		ny        = flag.Int("ny", 64, "tile height")
-		nz        = flag.Int("nz", 8, "layers")
-		iters     = flag.Int("iters", 128, "stencil iterations")
-		mode      = flag.String("abft", "online", "protection: none|online|offline")
+		nx    = flag.Int("nx", 64, "tile width")
+		ny    = flag.Int("ny", 64, "tile height")
+		nz    = flag.Int("nz", 8, "layers")
+		iters = flag.Int("iters", 128, "stencil iterations")
+		mode  = flag.String("abft", "online", "protection: none|online|offline")
+
 		period    = flag.Int("period", 16, "offline detection/checkpoint period")
 		epsilon   = flag.Float64("epsilon", 1e-5, "detection threshold")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -65,16 +65,20 @@ func main() {
 	}
 	op := model.Op(power)
 
-	opt := core.Options[float32]{
-		Detector: checksum.Detector[float32]{Epsilon: float32(*epsilon), AbsFloor: 1},
-		Period:   *period,
+	scheme, err := abft.ParseScheme(*mode)
+	if err != nil {
+		fail(err)
 	}
+	var pool *stencil.Pool
 	if *workers != 0 {
-		opt.Pool = &stencil.Pool{Workers: *workers}
+		pool = &stencil.Pool{Workers: *workers}
 	} else {
-		opt.Pool = stencil.NewPool()
+		pool = stencil.NewPool()
 	}
 
+	// The injector goes in through the pluggable InjectSource seam (rather
+	// than a declarative plan) so the run can report whether the planned
+	// flip actually landed.
 	var plan *fault.Plan
 	if *inject {
 		rng := rand.New(rand.NewSource(*seed + 2))
@@ -87,33 +91,37 @@ func main() {
 		plan = fault.NewPlan(inj)
 		fmt.Printf("injection: %v\n", inj)
 	}
-	injector := fault.NewInjector[float32](plan)
+	injector := abft.NewInjector[float32](plan)
 
 	// Error-free reference for the arithmetic-error report.
-	ref, err := core.NewNone3D(op, init, core.Options[float32]{})
+	ref, err := abft.Build(abft.Spec[float32]{Op3D: op, Init3D: init})
 	if err != nil {
 		fail(err)
 	}
 	ref.Run(*iters)
 
 	timer := metrics.StartTimer()
-	p, err := core.New3D(*mode, op, init, opt)
+	p, err := abft.Build(abft.Spec[float32]{
+		Scheme:       scheme,
+		Op3D:         op,
+		Init3D:       init,
+		Detector:     abft.Detector[float32]{Epsilon: float32(*epsilon), AbsFloor: 1},
+		Pool:         pool,
+		Period:       *period,
+		InjectSource: injector,
+	})
 	if err != nil {
 		fail(err)
 	}
-	for i := 0; i < *iters; i++ {
-		p.Step(injector.HookFor(i))
-	}
-	if f, ok := p.(core.Finalizer); ok {
-		f.Finalize()
-	}
+	p.Run(*iters)
+	p.Finalize()
 	stats := p.Stats()
-	l2 := metrics.L2Error3D(p.Grid(), ref.Grid())
-	final := p.Grid()
+	l2 := metrics.L2Error3D(p.Grid3D(), ref.Grid3D())
+	final := p.Grid3D()
 	elapsed := timer.Seconds()
 
 	fmt.Printf("hotspot3d %dx%dx%d, %d iterations, abft=%s, dt=%.3gs/step\n",
-		*nx, *ny, *nz, *iters, *mode, model.DT())
+		*nx, *ny, *nz, *iters, scheme, model.DT())
 	fmt.Printf("wall time:        %.4fs\n", elapsed)
 	fmt.Printf("arithmetic error: %.6g (l2 vs error-free reference)\n", l2)
 	fmt.Printf("protector stats:  %v\n", stats)

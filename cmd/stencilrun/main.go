@@ -1,11 +1,15 @@
 // Command stencilrun applies a named 2-D stencil kernel to a synthetic
 // domain under a selectable protection method — a debugging and
-// demonstration tool for the library's 2-D path.
+// demonstration tool for the library's 2-D path. Every configuration routes
+// through the unified Spec/Build factory, so the flags map one-to-one onto
+// Spec fields.
 //
 // Usage:
 //
 //	stencilrun -kernel laplace -nx 256 -ny 256 -iters 100 -abft online
-//	stencilrun -kernel advect -bc clamp -inject
+//	stencilrun -kernel advect -bc constant -bcvalue 25 -inject
+//	stencilrun -abft blocked -blocksize 64
+//	stencilrun -ranks 4 -inject
 package main
 
 import (
@@ -15,9 +19,6 @@ import (
 	"os"
 
 	abft "stencilabft"
-	"stencilabft/internal/blocks"
-	"stencilabft/internal/checksum"
-	"stencilabft/internal/core"
 	"stencilabft/internal/fault"
 	"stencilabft/internal/grid"
 	"stencilabft/internal/metrics"
@@ -47,10 +48,12 @@ func boundaryByName(name string) (grid.Boundary, error) {
 		return grid.Periodic, nil
 	case "mirror":
 		return grid.Mirror, nil
+	case "constant":
+		return grid.Constant, nil
 	case "zero":
 		return grid.Zero, nil
 	default:
-		return 0, fmt.Errorf("unknown boundary %q (want clamp|periodic|mirror|zero)", name)
+		return 0, fmt.Errorf("unknown boundary %q (want clamp|periodic|mirror|constant|zero)", name)
 	}
 }
 
@@ -60,13 +63,15 @@ func main() {
 		ny      = flag.Int("ny", 256, "domain height")
 		iters   = flag.Int("iters", 100, "iterations")
 		kernel  = flag.String("kernel", "laplace", "laplace|jacobi4|blur|advect")
-		bcName  = flag.String("bc", "clamp", "clamp|periodic|mirror|zero")
-		mode    = flag.String("abft", "online", "none|online|offline")
+		bcName  = flag.String("bc", "clamp", "clamp|periodic|mirror|constant|zero")
+		bcValue = flag.Float64("bcvalue", 0, "ghost value for -bc constant")
+		mode    = flag.String("abft", "online", "none|online|offline|blocked")
 		period  = flag.Int("period", 16, "offline detection period")
 		epsilon = flag.Float64("epsilon", 1e-5, "detection threshold")
 		inject  = flag.Bool("inject", false, "inject a single random bit-flip")
 		seed    = flag.Int64("seed", 1, "seed")
-		blockSz = flag.Int("blocksize", 0, "apply ABFT per NxN chunk instead of the whole domain (online only)")
+		blockSz = flag.Int("blocksize", 0, "tile edge for -abft blocked (with -abft online, implies blocked)")
+		ranks   = flag.Int("ranks", 0, "decompose over N simulated ranks (cluster deployment, online scheme)")
 	)
 	flag.Parse()
 
@@ -78,7 +83,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	op := &abft.Op2D[float32]{St: st, BC: bc}
+	op := &abft.Op2D[float32]{St: st, BC: bc, BCValue: float32(*bcValue)}
 
 	rng := rand.New(rand.NewSource(*seed))
 	init := abft.New[float32](*nx, *ny)
@@ -90,66 +95,76 @@ func main() {
 		plan = fault.NewPlan(inj)
 		fmt.Printf("injection: %v\n", inj)
 	}
-	injector := fault.NewInjector[float32](plan)
 
-	ref, err := core.NewNone2D(op, init, core.Options[float32]{})
+	scheme, err := abft.ParseScheme(*mode)
+	if err != nil {
+		fail(err)
+	}
+	if *blockSz > 0 {
+		switch scheme {
+		case abft.Online:
+			scheme = abft.Blocked // historical shorthand: -blocksize alone selects tiling
+		case abft.Blocked:
+		default:
+			fail(fmt.Errorf("-blocksize applies to the blocked scheme only (got -abft %s)", scheme))
+		}
+	}
+	deployment := abft.Local
+	if *ranks > 0 {
+		deployment = abft.Clustered
+	}
+
+	// Error-free reference for the arithmetic-error report.
+	ref, err := abft.Build(abft.Spec[float32]{Op2D: op, Init: init})
 	if err != nil {
 		fail(err)
 	}
 	ref.Run(*iters)
 
-	opt := core.Options[float32]{
-		Detector: checksum.Detector[float32]{Epsilon: float32(*epsilon), AbsFloor: 1},
-		Period:   *period,
-		Pool:     stencil.NewPool(),
+	spec := abft.Spec[float32]{
+		Scheme:     scheme,
+		Deployment: deployment,
+		Op2D:       op,
+		Init:       init,
+		Detector:   abft.Detector[float32]{Epsilon: float32(*epsilon), AbsFloor: 1},
+		Pool:       abft.NewPool(),
+		Ranks:      *ranks,
+		Inject:     plan,
 	}
+	if scheme == abft.Offline {
+		spec.Period = *period
+	}
+	if scheme == abft.Blocked {
+		bs := *blockSz
+		if bs <= 0 {
+			bs = 64
+		}
+		spec.BlockX, spec.BlockY = bs, bs
+	}
+
 	timer := metrics.StartTimer()
-	if *blockSz > 0 {
-		runBlocked(op, init, *blockSz, opt, injector, *iters, ref.Grid(), timer)
-		return
-	}
-	p, err := core.New2D(*mode, op, init, opt)
+	p, err := abft.Build(spec)
 	if err != nil {
 		fail(err)
 	}
-	for i := 0; i < *iters; i++ {
-		p.Step(injector.HookFor(i))
-	}
-	if f, ok := p.(core.Finalizer); ok {
-		f.Finalize()
-	}
+	p.Run(*iters)
+	p.Finalize()
 	stats := p.Stats()
 	l2 := metrics.L2Error(p.Grid(), ref.Grid())
 
-	fmt.Printf("stencilrun %s on %dx%d (%s boundaries), %d iterations, abft=%s\n",
-		st.Name, *nx, *ny, bc, *iters, *mode)
+	fmt.Printf("stencilrun %s on %dx%d (%s boundaries), %d iterations, scheme=%s deployment=%s\n",
+		st.Name, *nx, *ny, bc, *iters, scheme, deployment)
 	fmt.Printf("wall time:        %.4fs\n", timer.Seconds())
 	fmt.Printf("arithmetic error: %.6g\n", l2)
 	fmt.Printf("protector stats:  %v\n", stats)
+	if c, ok := p.(*abft.Cluster[float32]); ok {
+		for i, s := range c.RankStats() {
+			fmt.Printf("  rank %d: %v\n", i, s)
+		}
+	}
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "stencilrun:", err)
 	os.Exit(1)
-}
-
-// runBlocked executes the per-chunk deployment (paper Section 3.4): each
-// blocksize x blocksize tile verifies and repairs independently.
-func runBlocked(op *abft.Op2D[float32], init *abft.Grid[float32], bs int,
-	opt core.Options[float32], injector *fault.Injector[float32], iters int,
-	ref *abft.Grid[float32], timer metrics.Timer) {
-	p, err := blocks.New(op, init, bs, bs, blocks.Options[float32]{
-		Detector: opt.Detector,
-		Pool:     opt.Pool,
-	})
-	if err != nil {
-		fail(err)
-	}
-	for i := 0; i < iters; i++ {
-		p.Step(injector.HookFor(i))
-	}
-	fmt.Printf("stencilrun blocked %dx%d chunks (%d blocks)\n", bs, bs, p.Blocks())
-	fmt.Printf("wall time:        %.4fs\n", timer.Seconds())
-	fmt.Printf("arithmetic error: %.6g\n", metrics.L2Error(p.Grid(), ref))
-	fmt.Printf("blocked stats:    %+v\n", p.Stats())
 }

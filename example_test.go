@@ -6,70 +6,82 @@ import (
 	abft "stencilabft"
 )
 
-// ExampleNewOnline2D protects a small Jacobi run against a planned
-// bit-flip and reports the repair.
-func ExampleNewOnline2D() {
+// ExampleBuild protects a small Jacobi run against a planned bit-flip with
+// the online scheme and reports the repair — the whole lifecycle through
+// the unified Spec/Build/Protector surface.
+func ExampleBuild() {
 	op := &abft.Op2D[float32]{St: abft.Laplace5[float32](0.2), BC: abft.Clamp}
 	init := abft.New[float32](32, 32)
 	init.Fill(300)
 
-	p, err := abft.NewOnline2D(op, init, abft.Options[float32]{})
+	p, err := abft.Build(abft.Spec[float32]{
+		Scheme: abft.Online,
+		Op2D:   op,
+		Init:   init,
+		Inject: abft.NewPlan(abft.Injection{Iteration: 3, X: 10, Y: 20, Bit: 30}),
+	})
 	if err != nil {
 		panic(err)
 	}
-	plan := abft.NewPlan(abft.Injection{Iteration: 3, X: 10, Y: 20, Bit: 30})
-	injector := abft.NewInjector[float32](plan)
-	for i := 0; i < 10; i++ {
-		p.Step(injector.HookFor(i))
-	}
+	p.Run(10)
+	p.Finalize()
 	s := p.Stats()
 	fmt.Printf("detections=%d corrected=%d\n", s.Detections, s.CorrectedPoints)
 	// Output: detections=1 corrected=1
 }
 
-// ExampleNewOffline2D shows periodic verification with checkpoint
-// rollback: the corruption is erased exactly.
-func ExampleNewOffline2D() {
+// ExampleBuild_offline shows periodic verification with checkpoint
+// rollback: the corruption is erased exactly. Only the Scheme (and the
+// period) changes versus the online run.
+func ExampleBuild_offline() {
 	op := &abft.Op2D[float32]{St: abft.Laplace5[float32](0.2), BC: abft.Clamp}
 	init := abft.New[float32](32, 32)
 	init.Fill(300)
 
-	p, err := abft.NewOffline2D(op, init, abft.Options[float32]{Period: 4})
+	p, err := abft.Build(abft.Spec[float32]{
+		Scheme: abft.Offline,
+		Op2D:   op,
+		Init:   init,
+		Period: 4,
+		Inject: abft.NewPlan(abft.Injection{Iteration: 5, X: 7, Y: 8, Bit: 30}),
+	})
 	if err != nil {
 		panic(err)
 	}
-	plan := abft.NewPlan(abft.Injection{Iteration: 5, X: 7, Y: 8, Bit: 30})
-	injector := abft.NewInjector[float32](plan)
-	for i := 0; i < 12; i++ {
-		p.Step(injector.HookFor(i))
-	}
+	p.Run(12)
 	p.Finalize()
 	s := p.Stats()
 	fmt.Printf("detections=%d rollbacks=%d recomputed=%d\n", s.Detections, s.Rollbacks, s.RecomputedIters)
 	// Output: detections=1 rollbacks=1 recomputed=4
 }
 
-// ExampleNewCluster runs the distributed-memory deployment: the domain
+// ExampleBuild_cluster runs the distributed-memory deployment: the domain
 // decomposed into row bands over simulated ranks, each protecting its own
 // band with zero checksum communication. The rank owning the injected row
 // repairs it locally.
-func ExampleNewCluster() {
+func ExampleBuild_cluster() {
 	op := &abft.Op2D[float64]{St: abft.Laplace5(0.2), BC: abft.Clamp}
 	init := abft.New[float64](32, 40)
 	init.FillFunc(func(x, y int) float64 { return 250 + float64(y) })
 
-	c, err := abft.NewCluster(op, init, 4, abft.ClusterOptions[float64]{
-		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+	p, err := abft.Build(abft.Spec[float64]{
+		Scheme:     abft.Online,
+		Deployment: abft.Clustered,
+		Op2D:       op,
+		Init:       init,
+		Ranks:      4,
+		Detector:   abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+		// Row 25 lies in rank 2's band (rows 20..29).
+		Inject: abft.NewPlan(abft.Injection{Iteration: 6, X: 11, Y: 25, Bit: 59}),
 	})
 	if err != nil {
 		panic(err)
 	}
-	// Row 25 lies in rank 2's band (rows 20..29).
-	c.Run(16, abft.NewPlan(abft.Injection{Iteration: 6, X: 11, Y: 25, Bit: 59}))
-	for i, s := range c.Stats() {
+	p.Run(16)
+	for i, s := range p.(*abft.Cluster[float64]).RankStats() {
 		fmt.Printf("rank %d: detections=%d corrected=%d\n", i, s.Detections, s.CorrectedPoints)
 	}
-	g := c.Gather()
+	g := p.Grid()
 	fmt.Printf("gathered %dx%d\n", g.Nx(), g.Ny())
 	// Output:
 	// rank 0: detections=0 corrected=0
@@ -106,7 +118,10 @@ func ExampleNewStencil() {
 	init := abft.New[float64](48, 48)
 	init.FillFunc(func(x, y int) float64 { return float64(x + y) })
 
-	p, err := abft.NewOnline2D(op, init, abft.Options[float64]{
+	p, err := abft.Build(abft.Spec[float64]{
+		Scheme:   abft.Online,
+		Op2D:     op,
+		Init:     init,
 		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
 	})
 	if err != nil {

@@ -1,9 +1,11 @@
 // Distributed: the paper's distributed-memory story — a 2-D heat domain
-// decomposed into row bands across simulated ranks (goroutines exchanging
-// halo rows through channels, the MPI pattern), with every rank running the
-// online ABFT scheme on its own band, no checksum communication at all.
-// One rank detects and corrects a bit-flip locally while the others never
-// even notice — the "intrinsically parallel" property of Section 1.
+// decomposed into row bands across simulated ranks, with every rank running
+// the online ABFT scheme on its own band, no checksum communication at all.
+// The ranks exchange halo rows through the dist Transport seam (the default
+// in-process channel backend here; a real MPI or socket transport drops in
+// via Spec.Transport). One rank detects and corrects a bit-flip locally
+// while the others never even notice — the "intrinsically parallel"
+// property of Section 1.
 package main
 
 import (
@@ -30,34 +32,41 @@ func main() {
 	})
 
 	// Single-process reference for comparison.
-	ref, err := abft.NewNone2D(op, init, abft.Options[float64]{})
+	ref, err := abft.Build(abft.Spec[float64]{Op2D: op, Init: init})
 	if err != nil {
 		log.Fatal(err)
 	}
 	ref.Run(iterations)
 
-	// A bit-flip lands in rank 2's band (rows 40..59).
-	plan := abft.NewPlan(abft.Injection{Iteration: 33, X: 50, Y: 47, Bit: 59})
-
-	cluster, err := abft.NewCluster(op, init, ranks, abft.ClusterOptions[float64]{
-		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+	// Same operator and domain, clustered deployment: only the Spec
+	// changes. A bit-flip lands in rank 2's band (rows 40..59) and is
+	// routed to that rank.
+	p, err := abft.Build(abft.Spec[float64]{
+		Scheme:     abft.Online,
+		Deployment: abft.Clustered,
+		Op2D:       op,
+		Init:       init,
+		Ranks:      ranks,
+		Detector:   abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+		Inject:     abft.NewPlan(abft.Injection{Iteration: 33, X: 50, Y: 47, Bit: 59}),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster.Run(iterations, plan)
+	p.Run(iterations)
 
 	fmt.Printf("domain %dx%d over %d ranks, %d iterations, one injected bit-flip\n\n",
 		nx, ny, ranks, iterations)
 	fmt.Println("rank  detections  corrected")
-	for i, s := range cluster.Stats() {
+	cluster := p.(*abft.Cluster[float64])
+	for i, s := range cluster.RankStats() {
 		fmt.Printf("%4d  %10d  %9d\n", i, s.Detections, s.CorrectedPoints)
 	}
 
-	diff := cluster.Gather().MaxAbsDiff(ref.Grid())
+	diff := p.Grid().MaxAbsDiff(ref.Grid())
 	fmt.Printf("\nmax deviation from the single-process error-free run: %g\n", diff)
 
-	ts := cluster.TotalStats()
+	ts := p.Stats() // the per-rank counters merged
 	if ts.Detections == 0 || ts.CorrectedPoints == 0 {
 		log.Fatal("the injected corruption was not handled")
 	}

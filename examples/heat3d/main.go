@@ -69,7 +69,7 @@ func main() {
 	pool := abft.NewPool()
 
 	// Error-free reference run.
-	ref, err := abft.NewNone3D(op, init, abft.Options[float32]{})
+	ref, err := abft.Build(abft.Spec[float32]{Op3D: op, Init3D: init})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,26 +85,23 @@ func main() {
 			Bit: 23 + rng.Intn(9), // exponent and sign bits: visible corruption
 		}
 		plan := abft.NewPlan(inj)
-
-		base, err := abft.NewNone3D(op, init, abft.Options[float32]{Pool: pool})
+		base, err := abft.Build(abft.Spec[float32]{
+			Op3D: op, Init3D: init, Pool: pool, Inject: plan,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		injA := abft.NewInjector[float32](plan)
-		for i := 0; i < iterations; i++ {
-			base.Step(injA.HookFor(i))
-		}
-		unprotected = append(unprotected, l2(base.Grid(), ref.Grid()))
+		base.Run(iterations)
+		unprotected = append(unprotected, l2(base.Grid3D(), ref.Grid3D()))
 
-		prot, err := abft.NewOnline3D(op, init, abft.Options[float32]{Pool: pool})
+		prot, err := abft.Build(abft.Spec[float32]{
+			Scheme: abft.Online, Op3D: op, Init3D: init, Pool: pool, Inject: plan,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		injB := abft.NewInjector[float32](plan)
-		for i := 0; i < iterations; i++ {
-			prot.Step(injB.HookFor(i))
-		}
-		protected = append(protected, l2(prot.Grid(), ref.Grid()))
+		prot.Run(iterations)
+		protected = append(protected, l2(prot.Grid3D(), ref.Grid3D()))
 		if prot.Stats().Detections > 0 {
 			detected++
 		}
@@ -118,7 +115,7 @@ func main() {
 		return s / float64(len(xs))
 	}
 	fmt.Printf("HotSpot3D %dx%dx%d, %d iterations, %d injected runs\n", nx, ny, nz, iterations, campaign)
-	fmt.Printf("peak temperature (reference): %.2f C\n", maxOf(ref.Grid()))
+	fmt.Printf("peak temperature (reference): %.2f C\n", maxOf(ref.Grid3D()))
 	fmt.Printf("mean arithmetic error, unprotected:   %.4g\n", mean(unprotected))
 	fmt.Printf("mean arithmetic error, online ABFT:   %.4g\n", mean(protected))
 	fmt.Printf("injections detected: %d/%d\n", detected, campaign)

@@ -41,28 +41,28 @@ func main() {
 	}
 	img := synthImage()
 
-	p, err := abft.NewOffline2D(op, img, abft.Options[float32]{
+	// Corrupt one pixel's sign bit mid-run: a white speck that a blur
+	// would otherwise smear over a widening neighbourhood.
+	p, err := abft.Build(abft.Spec[float32]{
+		Scheme: abft.Offline,
+		Op2D:   op,
+		Init:   img,
 		Period: period,
 		Pool:   abft.NewPool(),
+		Inject: abft.NewPlan(abft.Injection{Iteration: 29, X: 100, Y: 140, Bit: 31}),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Reference: the same blur with no faults and no protection.
-	ref, err := abft.NewNone2D(op, img, abft.Options[float32]{})
+	ref, err := abft.Build(abft.Spec[float32]{Op2D: op, Init: img})
 	if err != nil {
 		log.Fatal(err)
 	}
 	ref.Run(iterations)
 
-	// Corrupt one pixel's sign bit mid-run: a white speck that a blur
-	// would otherwise smear over a widening neighbourhood.
-	plan := abft.NewPlan(abft.Injection{Iteration: 29, X: 100, Y: 140, Bit: 31})
-	injector := abft.NewInjector[float32](plan)
-	for i := 0; i < iterations; i++ {
-		p.Step(injector.HookFor(i))
-	}
+	p.Run(iterations)
 	p.Finalize()
 
 	stats := p.Stats()

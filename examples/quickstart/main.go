@@ -1,6 +1,6 @@
 // Quickstart: protect a 2-D Jacobi heat kernel against silent data
 // corruption with the online ABFT scheme, inject a bit-flip, and watch it
-// get detected and corrected.
+// get detected and corrected — all through the unified Spec/Build factory.
 package main
 
 import (
@@ -29,22 +29,23 @@ func main() {
 		return 300
 	})
 
-	// The online protector verifies (and corrects) after every sweep.
-	p, err := abft.NewOnline2D(op, init, abft.Options[float32]{
-		Pool: abft.NewPool(), // rows partitioned over GOMAXPROCS workers
+	// Declare the run: the online protector verifies (and corrects) after
+	// every sweep, rows partitioned over GOMAXPROCS workers, with a single
+	// bit-flip planned for the top exponent bit of one point during
+	// iteration 77 — the classic SDC the paper defends against.
+	p, err := abft.Build(abft.Spec[float32]{
+		Scheme: abft.Online,
+		Op2D:   op,
+		Init:   init,
+		Pool:   abft.NewPool(),
+		Inject: abft.NewPlan(abft.Injection{Iteration: 77, X: 13, Y: 99, Bit: 30}),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Plan a single bit-flip in the top exponent bit of one point during
-	// iteration 77 — the classic SDC the paper defends against.
-	plan := abft.NewPlan(abft.Injection{Iteration: 77, X: 13, Y: 99, Bit: 30})
-	injector := abft.NewInjector[float32](plan)
-
-	for i := 0; i < iterations; i++ {
-		p.Step(injector.HookFor(i))
-	}
+	p.Run(iterations)
+	p.Finalize()
 
 	stats := p.Stats()
 	fmt.Printf("ran %d iterations on %dx%d\n", stats.Iterations, nx, ny)

@@ -44,11 +44,13 @@ func initial() *abft.Grid[float32] {
 }
 
 func runWith(drop bool) abft.Stats {
-	opt := abft.Options[float32]{
+	p, err := abft.Build(abft.Spec[float32]{
+		Scheme:            abft.Online,
+		Op2D:              buildOp(),
+		Init:              initial(),
 		Pool:              abft.NewPool(),
 		DropBoundaryTerms: drop,
-	}
-	p, err := abft.NewOnline2D(buildOp(), initial(), opt)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

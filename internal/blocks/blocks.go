@@ -18,17 +18,15 @@ import (
 	"stencilabft/internal/checksum"
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
+	"stencilabft/internal/stats"
 	"stencilabft/internal/stencil"
 )
 
-// Stats aggregates the tiled protector's counters.
-type Stats struct {
-	Iterations      int
-	Detections      int // iterations with at least one flagged block
-	FlaggedBlocks   int // block-level verification failures
-	CorrectedPoints int
-	ChecksumRepairs int
-}
+// Stats aggregates the tiled protector's counters through the unified
+// counter model (FlaggedBlocks is the tile-specific entry: block-level
+// verification failures; Detections counts iterations with at least one
+// flagged block).
+type Stats = stats.Stats
 
 // block is one tile's geometry and checksum state.
 type block[T num.Float] struct {
@@ -54,6 +52,7 @@ type Protector[T num.Float] struct {
 
 	rx, ry int // stencil radii (halo widths)
 	blocks []*block[T]
+	inj    stencil.InjectSource[T]
 
 	iter  int
 	stats Stats
@@ -64,6 +63,11 @@ type Options[T num.Float] struct {
 	Detector   checksum.Detector[T]
 	Pool       *stencil.Pool
 	PairPolicy checksum.PairPolicy
+	// Inject schedules fault injection for Step/Run; nil runs clean.
+	Inject stencil.InjectSource[T]
+	// DropBoundaryTerms reproduces the paper's simplified listings per
+	// tile (ablation A1); leave false for exact interpolation.
+	DropBoundaryTerms bool
 }
 
 // New builds a tiled protector with blocks of nominal size bx-by-by (edge
@@ -94,6 +98,7 @@ func New[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], bx, by int, opt O
 		pool: opt.Pool,
 		det:  opt.Detector,
 		pol:  opt.PairPolicy,
+		inj:  opt.Inject,
 		rx:   rx, ry: ry,
 	}
 	// Cut points along each axis; a trailing remainder smaller than the
@@ -118,6 +123,7 @@ func New[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], bx, by int, opt O
 			if err != nil {
 				return nil, err
 			}
+			ip.DropBoundaryTerms = opt.DropBoundaryTerms
 			b.ip = ip
 			b.prevB = make([]T, b.h())
 			b.newB = make([]T, b.h())
@@ -153,13 +159,22 @@ func (p *Protector[T]) Iter() int { return p.iter }
 // Stats returns the accumulated counters.
 func (p *Protector[T]) Stats() Stats { return p.stats }
 
+// Grid3D returns nil: the tiled protector covers 2-D domains.
+func (p *Protector[T]) Grid3D() *grid.Grid3D[T] { return nil }
+
+// Finalize is a no-op: every block verifies every sweep.
+func (p *Protector[T]) Finalize() {}
+
 // Blocks returns the number of tiles.
 func (p *Protector[T]) Blocks() int { return len(p.blocks) }
 
 // Step advances one sweep with per-block fused checksums, verification and
-// correction. hook, when non-nil, is the fault-injection point (domain
-// coordinates).
-func (p *Protector[T]) Step(hook stencil.InjectFunc[T]) {
+// correction, applying the configured injection source.
+func (p *Protector[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
+
+// StepInject is Step with an explicit per-call injection hook (domain
+// coordinates), applied during the sweep when non-nil.
+func (p *Protector[T]) StepInject(hook stencil.InjectFunc[T]) {
 	src, dst := p.buf.Read, p.buf.Write
 
 	sweep := func(i int) {
@@ -181,6 +196,10 @@ func (p *Protector[T]) Step(hook stencil.InjectFunc[T]) {
 			verify(i)
 		}
 	}
+
+	// One checksum comparison happened per block, so the unified
+	// Verifications counter stays comparable across deployments.
+	p.stats.Verifications += len(p.blocks)
 
 	// Correction runs serially over the (rare) flagged blocks: it reads
 	// neighbouring data while other blocks' state is quiescent.
@@ -205,10 +224,10 @@ func (p *Protector[T]) Step(hook stencil.InjectFunc[T]) {
 	p.stats.Iterations++
 }
 
-// Run advances count iterations with no fault injection.
+// Run advances count iterations, applying the configured injection source.
 func (p *Protector[T]) Run(count int) {
 	for i := 0; i < count; i++ {
-		p.Step(nil)
+		p.Step()
 	}
 }
 

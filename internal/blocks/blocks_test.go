@@ -119,7 +119,7 @@ func TestBlockedDetectsAndCorrects(t *testing.T) {
 		}
 		injector := fault.NewInjector[float64](fault.NewPlan(inj))
 		for i := 0; i < iters; i++ {
-			p.Step(injector.HookFor(i))
+			p.StepInject(injector.HookFor(i))
 		}
 		st := p.Stats()
 		if st.Detections == 0 || st.CorrectedPoints == 0 {
@@ -146,7 +146,7 @@ func TestBlockedLocalisesToOneBlock(t *testing.T) {
 	inj := fault.Injection{Iteration: 5, X: 20, Y: 12, Bit: 58}
 	injector := fault.NewInjector[float64](fault.NewPlan(inj))
 	for i := 0; i < 10; i++ {
-		p.Step(injector.HookFor(i))
+		p.StepInject(injector.HookFor(i))
 	}
 	st := p.Stats()
 	if st.FlaggedBlocks != 1 {
@@ -224,7 +224,7 @@ func TestBlockGranularityImprovesSensitivity(t *testing.T) {
 	}
 	injW := fault.NewInjector[float32](fault.NewPlan(inj))
 	for i := 0; i < 10; i++ {
-		whole.Step(injW.HookFor(i))
+		whole.StepInject(injW.HookFor(i))
 	}
 	if len(injW.Hits()) != 1 {
 		t.Fatal("injection did not land in whole-domain run")
@@ -239,10 +239,42 @@ func TestBlockGranularityImprovesSensitivity(t *testing.T) {
 	}
 	injB := fault.NewInjector[float32](fault.NewPlan(inj))
 	for i := 0; i < 10; i++ {
-		blocked.Step(injB.HookFor(i))
+		blocked.StepInject(injB.HookFor(i))
 	}
 	st := blocked.Stats()
 	if st.Detections == 0 || st.CorrectedPoints == 0 {
 		t.Fatalf("blocked run missed the flip at the same epsilon: %+v", st)
+	}
+}
+
+// TestDropBoundaryTermsPlumbed: with an asymmetric stencil under clamp
+// boundaries the paper's dropped-term interpolation misfires per tile,
+// while the exact default stays silent — proving the A1 ablation knob
+// actually reaches the per-block interpolators.
+func TestDropBoundaryTermsPlumbed(t *testing.T) {
+	op := &stencil.Op2D[float64]{St: stencil.Advect2D(0.3, 0.15), BC: grid.Clamp}
+	init := grid.New[float64](48, 48)
+	init.FillFunc(func(x, y int) float64 {
+		if x < 6 {
+			return 100
+		}
+		return 1
+	})
+	run := func(drop bool) Stats {
+		p, err := New(op, init, 16, 16, Options[float64]{
+			Detector:          checksum.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+			DropBoundaryTerms: drop,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(20)
+		return p.Stats()
+	}
+	if st := run(false); st.Detections != 0 {
+		t.Fatalf("exact interpolation raised false positives: %+v", st)
+	}
+	if st := run(true); st.Detections == 0 {
+		t.Fatal("dropped boundary terms should misfire on an asymmetric stencil")
 	}
 }

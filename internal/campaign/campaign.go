@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	abft "stencilabft"
 	"stencilabft/internal/checksum"
-	"stencilabft/internal/core"
 	"stencilabft/internal/fault"
 	"stencilabft/internal/grid"
 	"stencilabft/internal/hotspot"
@@ -31,6 +31,20 @@ const (
 	Offline
 	OnlinePaperEq10
 )
+
+// scheme maps the method onto the unified factory's Scheme key.
+func (m Method) scheme() abft.Scheme {
+	switch m {
+	case NoABFT:
+		return abft.None
+	case Online, OnlinePaperEq10:
+		return abft.Online
+	case Offline:
+		return abft.Offline
+	default:
+		panic(fmt.Sprintf("campaign: unknown method %d", int(m)))
+	}
+}
 
 // String returns the method's display name as used in the paper's legends.
 func (m Method) String() string {
@@ -101,7 +115,7 @@ func PaperConfigs(scale float64) []TileConfig {
 type Result struct {
 	Seconds float64    // wall time of the iteration loop
 	L2      float64    // arithmetic error vs. the error-free reference (Eq. 11)
-	Stats   core.Stats // protector counters
+	Stats   abft.Stats // protector counters
 }
 
 // Runner caches the problem instance (model, operator, inputs, error-free
@@ -135,77 +149,49 @@ func NewRunner(cfg TileConfig) (*Runner, error) {
 	}
 
 	// Error-free single-threaded reference (paper Section 5.1).
-	refRun, err := core.NewNone3D(op, init, core.Options[float32]{})
+	refRun, err := abft.Build(abft.Spec[float32]{Op3D: op, Init3D: init})
 	if err != nil {
 		return nil, err
 	}
 	refRun.Run(cfg.Iterations)
-	r.ref = refRun.Grid()
+	r.ref = refRun.Grid3D()
 	return r, nil
 }
 
 // Reference returns the cached error-free reference result.
 func (r *Runner) Reference() *grid.Grid3D[float32] { return r.ref }
 
-// options assembles the protector options for the configuration.
-func (r *Runner) options(m Method) core.Options[float32] {
-	return core.Options[float32]{
+// spec assembles the factory input for one repetition under the given
+// method and fault plan.
+func (r *Runner) spec(m Method, plan *fault.Plan) abft.Spec[float32] {
+	return abft.Spec[float32]{
+		Scheme:               m.scheme(),
+		Op3D:                 r.op,
+		Init3D:               r.init,
 		Detector:             checksum.Detector[float32]{Epsilon: r.Cfg.Epsilon, AbsFloor: 1},
 		Pool:                 r.pool,
 		Period:               r.Cfg.Period,
 		PaperExactCorrection: m == OnlinePaperEq10,
+		Inject:               plan,
 	}
 }
 
 // Run executes one repetition under the given method, with the fault plan
-// applied (nil = error-free). Timing covers the iteration loop only, like
-// the paper's built-in execution-time measurement.
+// applied (nil = error-free). Every method routes through the unified
+// factory; timing covers the iteration loop (and the offline finalisation)
+// only, like the paper's built-in execution-time measurement.
 func (r *Runner) Run(m Method, plan *fault.Plan) Result {
-	iters := r.Cfg.Iterations
-	injector := fault.NewInjector[float32](plan)
-	var res Result
-
-	switch m {
-	case NoABFT:
-		p, err := core.NewNone3D(r.op, r.init, r.options(m))
-		if err != nil {
-			panic(err)
-		}
-		t := metrics.StartTimer()
-		for i := 0; i < iters; i++ {
-			p.Step(injector.HookFor(i))
-		}
-		res.Seconds = t.Seconds()
-		res.L2 = metrics.L2Error3D(p.Grid(), r.ref)
-		res.Stats = p.Stats()
-	case Online, OnlinePaperEq10:
-		p, err := core.NewOnline3D(r.op, r.init, r.options(m))
-		if err != nil {
-			panic(err)
-		}
-		t := metrics.StartTimer()
-		for i := 0; i < iters; i++ {
-			p.Step(injector.HookFor(i))
-		}
-		res.Seconds = t.Seconds()
-		res.L2 = metrics.L2Error3D(p.Grid(), r.ref)
-		res.Stats = p.Stats()
-	case Offline:
-		p, err := core.NewOffline3D(r.op, r.init, r.options(m))
-		if err != nil {
-			panic(err)
-		}
-		t := metrics.StartTimer()
-		for i := 0; i < iters; i++ {
-			p.Step(injector.HookFor(i))
-		}
-		p.Finalize()
-		res.Seconds = t.Seconds()
-		res.L2 = metrics.L2Error3D(p.Grid(), r.ref)
-		res.Stats = p.Stats()
-	default:
-		panic(fmt.Sprintf("campaign: unknown method %d", int(m)))
+	p, err := abft.Build(r.spec(m, plan))
+	if err != nil {
+		panic(err)
 	}
+	t := metrics.StartTimer()
+	p.Run(r.Cfg.Iterations)
+	p.Finalize()
+	var res Result
+	res.Seconds = t.Seconds()
+	res.L2 = metrics.L2Error3D(p.Grid3D(), r.ref)
+	res.Stats = p.Stats()
 	return res
 }
 

@@ -16,11 +16,9 @@
 package core
 
 import (
-	"fmt"
-
-	"stencilabft/internal/checkpoint"
 	"stencilabft/internal/checksum"
 	"stencilabft/internal/num"
+	"stencilabft/internal/stats"
 	"stencilabft/internal/stencil"
 )
 
@@ -49,6 +47,10 @@ type Options[T num.Float] struct {
 	// cannot be bounded). Offline2D only: the online protectors repair
 	// algebraically and Offline3D always uses the full rollback.
 	Recovery RecoveryMode
+	// Inject schedules fault injection: Step and Run consult it each
+	// iteration for the hook to apply during the sweep. Nil runs clean.
+	// fault.NewInjector adapts a fault.Plan to this seam.
+	Inject stencil.InjectSource[T]
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.
@@ -65,22 +67,6 @@ func (o Options[T]) withDefaults() Options[T] {
 	return o
 }
 
-// Stats aggregates what a protector observed over a run.
-type Stats struct {
-	Iterations      int // completed sweeps
-	Detections      int // verification events that flagged at least one mismatch
-	CorrectedPoints int // domain points repaired in place (online only)
-	ChecksumRepairs int // detections attributed to checksum (not domain) corruption
-	Rollbacks       int // checkpoint restores (offline only)
-	RecomputedIters int // sweeps re-executed after rollback (offline only)
-	ConeRecoveries  int // detections repaired by light-cone recomputation
-	ConePointsSwept int // point updates spent inside cone recomputation
-	Verifications   int // checksum comparisons performed
-	Checkpoint      checkpoint.Stats
-}
-
-// String renders the counters compactly for logs.
-func (s Stats) String() string {
-	return fmt.Sprintf("iters=%d verifications=%d detections=%d corrected=%d rollbacks=%d recomputed=%d",
-		s.Iterations, s.Verifications, s.Detections, s.CorrectedPoints, s.Rollbacks, s.RecomputedIters)
-}
+// Stats aggregates what a protector observed over a run — the unified
+// counter model shared with the blocks and dist deployments.
+type Stats = stats.Stats

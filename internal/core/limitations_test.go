@@ -36,7 +36,7 @@ func TestOnline2DTwoErrorsSameRowIsBounded(t *testing.T) {
 	}
 	injector := fault.NewInjector[float64](plan)
 	for i := 0; i < iters; i++ {
-		p.Step(injector.HookFor(i))
+		p.StepInject(injector.HookFor(i))
 	}
 	st := p.Stats()
 	if st.Detections == 0 {
@@ -81,7 +81,7 @@ func TestOffline2DTwoErrorsSameRowStillErased(t *testing.T) {
 	}
 	injector := fault.NewInjector[float64](plan)
 	for i := 0; i < iters; i++ {
-		p.Step(injector.HookFor(i))
+		p.StepInject(injector.HookFor(i))
 	}
 	p.Finalize()
 	st := p.Stats()
@@ -120,7 +120,7 @@ func TestOnline2DCancellingErrorsEscape(t *testing.T) {
 		}
 		return v
 	}
-	p.Step(hook)
+	p.StepInject(hook)
 	// The fused column checksum of row 5 is unchanged (+delta-delta), so
 	// the cheap per-iteration detector cannot fire — by design, only the
 	// lazily computed row checksum could see this pattern, and it is

@@ -13,6 +13,7 @@ type None2D[T num.Float] struct {
 	op    *stencil.Op2D[T]
 	buf   *grid.Buffer[T]
 	pool  *stencil.Pool
+	inj   stencil.InjectSource[T]
 	iter  int
 	stats Stats
 }
@@ -22,7 +23,7 @@ func NewNone2D[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], opt Options
 	if err := op.Validate(init.Nx(), init.Ny()); err != nil {
 		return nil, err
 	}
-	return &None2D[T]{op: op, buf: grid.BufferFrom(init), pool: opt.Pool}, nil
+	return &None2D[T]{op: op, buf: grid.BufferFrom(init), pool: opt.Pool, inj: opt.Inject}, nil
 }
 
 // Grid returns the current domain state.
@@ -34,8 +35,18 @@ func (p *None2D[T]) Iter() int { return p.iter }
 // Stats returns the accumulated counters (only Iterations is populated).
 func (p *None2D[T]) Stats() Stats { return p.stats }
 
-// Step advances one sweep with no checksum work.
-func (p *None2D[T]) Step(hook stencil.InjectFunc[T]) {
+// Grid3D returns nil: None2D protects a 2-D domain.
+func (p *None2D[T]) Grid3D() *grid.Grid3D[T] { return nil }
+
+// Finalize is a no-op: the unprotected runner has no end-of-run obligations.
+func (p *None2D[T]) Finalize() {}
+
+// Step advances one sweep, applying the configured injection source.
+func (p *None2D[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
+
+// StepInject advances one sweep with no checksum work, applying hook (when
+// non-nil) during the sweep.
+func (p *None2D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	if p.pool != nil {
 		p.op.SweepParallelHook(p.pool, p.buf.Write, p.buf.Read, nil, hook)
 	} else {
@@ -46,10 +57,10 @@ func (p *None2D[T]) Step(hook stencil.InjectFunc[T]) {
 	p.stats.Iterations++
 }
 
-// Run advances count iterations with no fault injection.
+// Run advances count iterations, applying the configured injection source.
 func (p *None2D[T]) Run(count int) {
 	for i := 0; i < count; i++ {
-		p.Step(nil)
+		p.Step()
 	}
 }
 
@@ -58,6 +69,7 @@ type None3D[T num.Float] struct {
 	op    *stencil.Op3D[T]
 	buf   *grid.Buffer3D[T]
 	pool  *stencil.Pool
+	inj   stencil.InjectSource[T]
 	iter  int
 	stats Stats
 }
@@ -67,11 +79,14 @@ func NewNone3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Optio
 	if err := op.Validate(init.Nx(), init.Ny(), init.Nz()); err != nil {
 		return nil, err
 	}
-	return &None3D[T]{op: op, buf: grid.Buffer3DFrom(init), pool: opt.Pool}, nil
+	return &None3D[T]{op: op, buf: grid.Buffer3DFrom(init), pool: opt.Pool, inj: opt.Inject}, nil
 }
 
-// Grid returns the current domain state.
-func (p *None3D[T]) Grid() *grid.Grid3D[T] { return p.buf.Read }
+// Grid3D returns the current domain state.
+func (p *None3D[T]) Grid3D() *grid.Grid3D[T] { return p.buf.Read }
+
+// Grid returns nil: None3D protects a 3-D domain; use Grid3D.
+func (p *None3D[T]) Grid() *grid.Grid[T] { return nil }
 
 // Iter returns the number of completed sweeps.
 func (p *None3D[T]) Iter() int { return p.iter }
@@ -79,8 +94,15 @@ func (p *None3D[T]) Iter() int { return p.iter }
 // Stats returns the accumulated counters (only Iterations is populated).
 func (p *None3D[T]) Stats() Stats { return p.stats }
 
-// Step advances one sweep with no checksum work.
-func (p *None3D[T]) Step(hook stencil.InjectFunc[T]) {
+// Finalize is a no-op: the unprotected runner has no end-of-run obligations.
+func (p *None3D[T]) Finalize() {}
+
+// Step advances one sweep, applying the configured injection source.
+func (p *None3D[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
+
+// StepInject advances one sweep with no checksum work, applying hook (when
+// non-nil) during the sweep.
+func (p *None3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	if p.pool != nil {
 		p.op.SweepParallelHook(p.pool, p.buf.Write, p.buf.Read, nil, hook)
 	} else {
@@ -93,9 +115,9 @@ func (p *None3D[T]) Step(hook stencil.InjectFunc[T]) {
 	p.stats.Iterations++
 }
 
-// Run advances count iterations with no fault injection.
+// Run advances count iterations, applying the configured injection source.
 func (p *None3D[T]) Run(count int) {
 	for i := 0; i < count; i++ {
-		p.Step(nil)
+		p.Step()
 	}
 }

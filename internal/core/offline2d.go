@@ -26,6 +26,7 @@ type Offline2D[T num.Float] struct {
 	det    checksum.Detector[T]
 	pool   *stencil.Pool
 	period int
+	inj    stencil.InjectSource[T]
 
 	curB     []T // fused column checksums of the current iteration
 	verified []T // column checksums at the last verified iteration
@@ -64,6 +65,7 @@ func NewOffline2D[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], opt Opti
 		det:      opt.Detector,
 		pool:     opt.Pool,
 		period:   opt.Period,
+		inj:      opt.Inject,
 		curB:     make([]T, ny),
 		verified: make([]T, ny),
 		chain:    make([]T, ny),
@@ -101,19 +103,25 @@ func (p *Offline2D[T]) Stats() Stats {
 	return s
 }
 
-// Step advances one sweep, verifying (and recovering) when the detection
-// period elapses.
-func (p *Offline2D[T]) Step(hook stencil.InjectFunc[T]) {
+// Grid3D returns nil: Offline2D protects a 2-D domain.
+func (p *Offline2D[T]) Grid3D() *grid.Grid3D[T] { return nil }
+
+// Step advances one sweep applying the configured injection source,
+// verifying (and recovering) when the detection period elapses.
+func (p *Offline2D[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
+
+// StepInject is Step with an explicit per-call injection hook.
+func (p *Offline2D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	p.sweep(hook)
 	if p.iter-p.lastSafe >= p.period {
 		p.verify(p.iter - p.lastSafe)
 	}
 }
 
-// Run advances count iterations with no fault injection.
+// Run advances count iterations, applying the configured injection source.
 func (p *Offline2D[T]) Run(count int) {
 	for i := 0; i < count; i++ {
-		p.Step(nil)
+		p.Step()
 	}
 }
 

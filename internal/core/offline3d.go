@@ -20,6 +20,7 @@ type Offline3D[T num.Float] struct {
 	det    checksum.Detector[T]
 	pool   *stencil.Pool
 	period int
+	inj    stencil.InjectSource[T]
 
 	curB     [][]T // fused per-layer checksums of the current iteration
 	verified [][]T // per-layer checksums at the last verified iteration
@@ -53,6 +54,7 @@ func NewOffline3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Op
 		det:      opt.Detector,
 		pool:     opt.Pool,
 		period:   opt.Period,
+		inj:      opt.Inject,
 		curB:     makeLayers[T](nz, ny),
 		verified: makeLayers[T](nz, ny),
 		chain:    makeLayers[T](nz, ny),
@@ -75,8 +77,11 @@ func NewOffline3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Op
 	return p, nil
 }
 
-// Grid returns the current domain state.
-func (p *Offline3D[T]) Grid() *grid.Grid3D[T] { return p.buf.Read }
+// Grid3D returns the current domain state.
+func (p *Offline3D[T]) Grid3D() *grid.Grid3D[T] { return p.buf.Read }
+
+// Grid returns nil: Offline3D protects a 3-D domain; use Grid3D.
+func (p *Offline3D[T]) Grid() *grid.Grid[T] { return nil }
 
 // Iter returns the number of completed sweeps.
 func (p *Offline3D[T]) Iter() int { return p.iter }
@@ -88,19 +93,22 @@ func (p *Offline3D[T]) Stats() Stats {
 	return s
 }
 
-// Step advances one sweep, verifying (and recovering) when the detection
-// period elapses.
-func (p *Offline3D[T]) Step(hook stencil.InjectFunc[T]) {
+// Step advances one sweep applying the configured injection source,
+// verifying (and recovering) when the detection period elapses.
+func (p *Offline3D[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
+
+// StepInject is Step with an explicit per-call injection hook.
+func (p *Offline3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	p.sweep(hook)
 	if p.iter-p.lastSafe >= p.period {
 		p.verify(p.iter - p.lastSafe)
 	}
 }
 
-// Run advances count iterations with no fault injection.
+// Run advances count iterations, applying the configured injection source.
 func (p *Offline3D[T]) Run(count int) {
 	for i := 0; i < count; i++ {
-		p.Step(nil)
+		p.Step()
 	}
 }
 

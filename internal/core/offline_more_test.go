@@ -42,7 +42,7 @@ func TestOffline2DTwoFaultsInDistinctPeriods(t *testing.T) {
 	}
 	injector := fault.NewInjector[float64](plan)
 	for i := 0; i < iters; i++ {
-		p.Step(injector.HookFor(i))
+		p.StepInject(injector.HookFor(i))
 	}
 	p.Finalize()
 	st := p.Stats()
@@ -76,7 +76,7 @@ func TestOffline2DFaultInFinalPartialPeriod(t *testing.T) {
 	}
 	injector := fault.NewInjector[float64](plan)
 	for i := 0; i < iters; i++ {
-		p.Step(injector.HookFor(i))
+		p.StepInject(injector.HookFor(i))
 	}
 	if p.Stats().Detections != 0 {
 		t.Fatalf("error detected before Finalize: %+v", p.Stats())
@@ -133,7 +133,7 @@ func TestOnline2DSignBitFlip(t *testing.T) {
 	}
 	injector := fault.NewInjector[float64](plan)
 	for i := 0; i < iters; i++ {
-		p.Step(injector.HookFor(i))
+		p.StepInject(injector.HookFor(i))
 	}
 	st := p.Stats()
 	if st.Detections != 1 || st.CorrectedPoints != 1 {
@@ -158,8 +158,9 @@ func TestNew2DFactory(t *testing.T) {
 		if p.Iter() != 3 {
 			t.Fatalf("%s: iter %d", mode, p.Iter())
 		}
-		if _, ok := p.(Finalizer); ok != (mode == "offline") {
-			t.Fatalf("%s: Finalizer presence wrong", mode)
+		p.Finalize() // part of the unified contract: no-op for none/online
+		if p.Iter() != 3 {
+			t.Fatalf("%s: Finalize changed a clean run's iteration count", mode)
 		}
 	}
 	if _, err := New2D("bogus", op, init, opts64()); err == nil {

@@ -18,6 +18,7 @@ type Online2D[T num.Float] struct {
 	det  checksum.Detector[T]
 	pool *stencil.Pool
 	pol  checksum.PairPolicy
+	inj  stencil.InjectSource[T]
 
 	prevB   []T // verified column checksums of iteration t
 	newB    []T // fused column checksums of iteration t+1
@@ -49,6 +50,7 @@ func NewOnline2D[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], opt Optio
 		det:     opt.Detector,
 		pool:    opt.Pool,
 		pol:     opt.PairPolicy,
+		inj:     opt.Inject,
 		prevB:   make([]T, ny),
 		newB:    make([]T, ny),
 		interpB: make([]T, ny),
@@ -70,10 +72,20 @@ func (p *Online2D[T]) Iter() int { return p.iter }
 // Stats returns the accumulated counters.
 func (p *Online2D[T]) Stats() Stats { return p.stats }
 
+// Grid3D returns nil: Online2D protects a 2-D domain.
+func (p *Online2D[T]) Grid3D() *grid.Grid3D[T] { return nil }
+
+// Finalize is a no-op: the online scheme verifies every sweep, so nothing
+// is ever pending at the end of a run.
+func (p *Online2D[T]) Finalize() {}
+
 // Step advances the domain by one sweep, verifying and (when needed)
-// correcting afterwards. hook, when non-nil, is the fault-injection point
-// applied during the sweep.
-func (p *Online2D[T]) Step(hook stencil.InjectFunc[T]) {
+// correcting afterwards, applying the configured injection source.
+func (p *Online2D[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
+
+// StepInject is Step with an explicit per-call injection hook, applied
+// during the sweep when non-nil.
+func (p *Online2D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	src, dst := p.buf.Read, p.buf.Write
 	if p.pool != nil {
 		p.op.SweepParallelHook(p.pool, dst, src, p.newB, hook)
@@ -96,10 +108,10 @@ func (p *Online2D[T]) Step(hook stencil.InjectFunc[T]) {
 	p.stats.Iterations++
 }
 
-// Run advances count iterations with no fault injection.
+// Run advances count iterations, applying the configured injection source.
 func (p *Online2D[T]) Run(count int) {
 	for i := 0; i < count; i++ {
-		p.Step(nil)
+		p.Step()
 	}
 }
 

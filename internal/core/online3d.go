@@ -19,6 +19,7 @@ type Online3D[T num.Float] struct {
 	det  checksum.Detector[T]
 	pool *stencil.Pool
 	pol  checksum.PairPolicy
+	inj  stencil.InjectSource[T]
 
 	prevB   [][]T // verified per-layer column checksums of iteration t
 	newB    [][]T // fused per-layer column checksums of iteration t+1
@@ -52,6 +53,7 @@ func NewOnline3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Opt
 		det:     opt.Detector,
 		pool:    opt.Pool,
 		pol:     opt.PairPolicy,
+		inj:     opt.Inject,
 		prevB:   makeLayers[T](nz, ny),
 		newB:    makeLayers[T](nz, ny),
 		interpB: makeLayers[T](nz, ny),
@@ -75,8 +77,11 @@ func makeLayers[T num.Float](nz, n int) [][]T {
 	return out
 }
 
-// Grid returns the current domain state.
-func (p *Online3D[T]) Grid() *grid.Grid3D[T] { return p.buf.Read }
+// Grid3D returns the current domain state.
+func (p *Online3D[T]) Grid3D() *grid.Grid3D[T] { return p.buf.Read }
+
+// Grid returns nil: Online3D protects a 3-D domain; use Grid3D.
+func (p *Online3D[T]) Grid() *grid.Grid[T] { return nil }
 
 // Iter returns the number of completed sweeps.
 func (p *Online3D[T]) Iter() int { return p.iter }
@@ -84,11 +89,18 @@ func (p *Online3D[T]) Iter() int { return p.iter }
 // Stats returns the accumulated counters.
 func (p *Online3D[T]) Stats() Stats { return p.stats }
 
-// Step advances one sweep: fused per-layer checksums, per-layer
+// Finalize is a no-op: the online scheme verifies every sweep.
+func (p *Online3D[T]) Finalize() {}
+
+// Step advances one sweep applying the configured injection source; see
+// StepInject for the mechanics.
+func (p *Online3D[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
+
+// StepInject advances one sweep: fused per-layer checksums, per-layer
 // interpolation and comparison, correction in the rare mismatch case. All
 // per-layer phases are partitioned over the pool; the correction slow path
 // runs inside the layer that flagged, with no cross-layer writes.
-func (p *Online3D[T]) Step(hook stencil.InjectFunc[T]) {
+func (p *Online3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	src, dst := p.buf.Read, p.buf.Write
 	nz := src.Nz()
 	for z := 0; z < nz; z++ {
@@ -152,10 +164,10 @@ func (p *Online3D[T]) Step(hook stencil.InjectFunc[T]) {
 	p.stats.Iterations++
 }
 
-// Run advances count iterations with no fault injection.
+// Run advances count iterations, applying the configured injection source.
 func (p *Online3D[T]) Run(count int) {
 	for i := 0; i < count; i++ {
-		p.Step(nil)
+		p.Step()
 	}
 }
 

@@ -6,53 +6,55 @@ import (
 	"stencilabft/internal/stencil"
 )
 
-// Protector2D is the protocol shared by every 2-D runner (None2D,
-// Online2D, Offline2D): advance one sweep with an optional injection hook,
-// expose the current state and the counters. Code that compares protection
-// methods (the campaign drivers, the CLIs) programs against this interface
-// and swaps implementations freely.
-type Protector2D[T num.Float] interface {
-	Step(hook stencil.InjectFunc[T])
+// Protector is the protocol shared by every runner regardless of scheme or
+// dimensionality: advance sweeps, expose the current state and the unified
+// counters, and discharge any end-of-run obligation (Finalize folds the old
+// Finalizer type-assertion hack into the contract — protectors without
+// pending work implement it as a no-op). A 2-D protector returns nil from
+// Grid3D and vice versa; callers pick the accessor matching the spec they
+// built. Fault injection is configured up front (Options.Inject), so Step
+// takes no arguments; StepInject remains on the concrete types for callers
+// that drive injection per call.
+type Protector[T num.Float] interface {
+	Step()
 	Run(count int)
 	Grid() *grid.Grid[T]
+	Grid3D() *grid.Grid3D[T]
 	Iter() int
 	Stats() Stats
-}
-
-// Protector3D is the 3-D analogue.
-type Protector3D[T num.Float] interface {
-	Step(hook stencil.InjectFunc[T])
-	Run(count int)
-	Grid() *grid.Grid3D[T]
-	Iter() int
-	Stats() Stats
-}
-
-// Finalizer is implemented by protectors with end-of-run obligations (the
-// offline ones verify any partial period). Callers should type-assert and
-// invoke it after the last Step.
-type Finalizer interface {
 	Finalize()
 }
 
-// Compile-time interface conformance checks.
+// Protector2D is the historical name of the unified protocol.
+//
+// Deprecated: use Protector.
+type Protector2D[T num.Float] = Protector[T]
+
+// Protector3D is the historical name of the unified protocol.
+//
+// Deprecated: use Protector.
+type Protector3D[T num.Float] = Protector[T]
+
+// Compile-time interface conformance checks for all six core protectors.
 var (
-	_ Protector2D[float32] = (*None2D[float32])(nil)
-	_ Protector2D[float32] = (*Online2D[float32])(nil)
-	_ Protector2D[float32] = (*Offline2D[float32])(nil)
-	_ Protector2D[float64] = (*None2D[float64])(nil)
-	_ Protector2D[float64] = (*Online2D[float64])(nil)
-	_ Protector2D[float64] = (*Offline2D[float64])(nil)
-	_ Protector3D[float32] = (*None3D[float32])(nil)
-	_ Protector3D[float32] = (*Online3D[float32])(nil)
-	_ Protector3D[float32] = (*Offline3D[float32])(nil)
-	_ Finalizer            = (*Offline2D[float32])(nil)
-	_ Finalizer            = (*Offline3D[float64])(nil)
+	_ Protector[float32] = (*None2D[float32])(nil)
+	_ Protector[float32] = (*Online2D[float32])(nil)
+	_ Protector[float32] = (*Offline2D[float32])(nil)
+	_ Protector[float32] = (*None3D[float32])(nil)
+	_ Protector[float32] = (*Online3D[float32])(nil)
+	_ Protector[float32] = (*Offline3D[float32])(nil)
+	_ Protector[float64] = (*None2D[float64])(nil)
+	_ Protector[float64] = (*Online2D[float64])(nil)
+	_ Protector[float64] = (*Offline2D[float64])(nil)
+	_ Protector[float64] = (*None3D[float64])(nil)
+	_ Protector[float64] = (*Online3D[float64])(nil)
+	_ Protector[float64] = (*Offline3D[float64])(nil)
 )
 
-// New2D constructs a protector by mode name ("none", "online", "offline"),
-// the dynamic entry point the CLIs use.
-func New2D[T num.Float](mode string, op *stencil.Op2D[T], init *grid.Grid[T], opt Options[T]) (Protector2D[T], error) {
+// New2D constructs a protector by mode name ("none", "online", "offline").
+// The root package's registry-backed Build is the public entry point; this
+// remains the internal dynamic constructor it delegates to.
+func New2D[T num.Float](mode string, op *stencil.Op2D[T], init *grid.Grid[T], opt Options[T]) (Protector[T], error) {
 	switch mode {
 	case "none":
 		return NewNone2D(op, init, opt)
@@ -66,7 +68,7 @@ func New2D[T num.Float](mode string, op *stencil.Op2D[T], init *grid.Grid[T], op
 }
 
 // New3D constructs a 3-D protector by mode name.
-func New3D[T num.Float](mode string, op *stencil.Op3D[T], init *grid.Grid3D[T], opt Options[T]) (Protector3D[T], error) {
+func New3D[T num.Float](mode string, op *stencil.Op3D[T], init *grid.Grid3D[T], opt Options[T]) (Protector[T], error) {
 	switch mode {
 	case "none":
 		return NewNone3D(op, init, opt)

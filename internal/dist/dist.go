@@ -8,13 +8,13 @@
 // located and repaired entirely by the rank that owns it — the method's
 // "intrinsically parallel" property.
 //
-// Ranks are goroutines wired with paired channels in the MPI neighbour
-// pattern (send down/up, receive up/down); a cyclic barrier separates
-// iterations so every rank's halo data is always exactly one iteration
-// fresh, the lockstep of a bulk-synchronous MPI stencil code. The top and
-// bottom ranks resolve their outer halos from the global boundary
-// condition; under Periodic boundaries the ranks are wired as a ring and
-// the wrap-around halo is real remote data like any other.
+// Ranks are goroutines communicating through the Transport seam. The
+// default ChanTransport wires them with paired channels in the MPI
+// neighbour pattern (send down/up, receive up/down) and separates
+// iterations with a cyclic barrier, so every rank's halo data is always
+// exactly one iteration fresh — the lockstep of a bulk-synchronous MPI
+// stencil code. Real MPI or socket backends implement Transport and plug in
+// via Options.NewTransport.
 package dist
 
 import (
@@ -24,12 +24,13 @@ import (
 	"stencilabft/internal/fault"
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
+	"stencilabft/internal/stats"
 	"stencilabft/internal/stencil"
 )
 
 // Options configure the per-rank protection of a Cluster. The zero value
 // uses the paper's defaults (epsilon 1e-5, residual pairing, sequential
-// per-rank sweeps).
+// per-rank sweeps, in-process channel transport).
 type Options[T num.Float] struct {
 	// Detector's Epsilon defaults to the paper's 1e-5 when zero, with an
 	// absolute floor of 1.
@@ -44,6 +45,16 @@ type Options[T num.Float] struct {
 	// x-direction beta terms (ablation A1); leave false for exact
 	// interpolation.
 	DropBoundaryTerms bool
+	// Inject schedules bit-flip injections in global coordinates for
+	// Step/Run; each injection is routed to the rank owning its row and
+	// applied during that rank's local sweep. Iteration numbers are
+	// absolute (compared against Iter), so plans survive split Run calls.
+	Inject *fault.Plan
+	// NewTransport overrides the communication backend. It receives the
+	// rank count and whether the ranks form a ring (periodic global
+	// boundaries) and returns the Transport the halo exchange and
+	// iteration barrier run through. Nil uses NewChanTransport.
+	NewTransport func(nRanks int, ring bool) Transport[T]
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.
@@ -54,48 +65,31 @@ func (o Options[T]) withDefaults() Options[T] {
 	if o.Detector.AbsFloor == 0 {
 		o.Detector.AbsFloor = 1
 	}
+	if o.NewTransport == nil {
+		o.NewTransport = func(n int, ring bool) Transport[T] { return NewChanTransport[T](n, ring) }
+	}
 	return o
 }
 
-// Stats aggregates one rank's ABFT counters. TotalStats sums them over the
-// cluster with Add.
-type Stats struct {
-	Iterations      int // completed sweeps
-	Verifications   int // checksum comparisons performed
-	Detections      int // verification events that flagged at least one mismatch
-	CorrectedPoints int // band points repaired in place
-	ChecksumRepairs int // detections attributed to checksum (not domain) corruption
-	HaloExchanges   int // iterations that exchanged or refreshed halo rows
-}
-
-// Add returns the element-wise sum of s and o.
-func (s Stats) Add(o Stats) Stats {
-	s.Iterations += o.Iterations
-	s.Verifications += o.Verifications
-	s.Detections += o.Detections
-	s.CorrectedPoints += o.CorrectedPoints
-	s.ChecksumRepairs += o.ChecksumRepairs
-	s.HaloExchanges += o.HaloExchanges
-	return s
-}
-
-// String renders the counters compactly for logs.
-func (s Stats) String() string {
-	return fmt.Sprintf("iters=%d verifications=%d detections=%d corrected=%d checksum-repairs=%d halo-exchanges=%d",
-		s.Iterations, s.Verifications, s.Detections, s.CorrectedPoints, s.ChecksumRepairs, s.HaloExchanges)
-}
+// Stats aggregates one rank's ABFT counters through the unified counter
+// model; Cluster.Stats merges them over the cluster.
+type Stats = stats.Stats
 
 // Cluster runs a 2-D stencil domain decomposed into row bands over
-// simulated ranks, each protected by its own online ABFT instance.
+// simulated ranks, each protected by its own online ABFT instance. It
+// satisfies the same unified protector contract as the local runners: Step
+// and Run apply the injection plan configured in Options, Grid gathers the
+// global domain, Stats merges the per-rank counters.
 type Cluster[T num.Float] struct {
 	nx, ny int
 	ranks  []*rank[T]
-	bar    *barrier
+	tr     Transport[T]
+	plans  []*fault.Injector[T] // per-rank routed Options.Inject (absolute iterations)
 	iter   int
 }
 
-// NewCluster decomposes init into nRanks row bands wired with halo
-// channels. Remainder rows are distributed one per rank from the top, so
+// NewCluster decomposes init into nRanks row bands wired through the
+// transport. Remainder rows are distributed one per rank from the top, so
 // band heights differ by at most one row. Every band must be strictly
 // taller than the stencil's y-radius (the minimum domain an interpolator
 // accepts); a larger nRanks returns an error.
@@ -114,7 +108,8 @@ func NewCluster[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], nRanks int
 	}
 	opt = opt.withDefaults()
 
-	c := &Cluster[T]{nx: nx, ny: ny, bar: newBarrier(nRanks)}
+	c := &Cluster[T]{nx: nx, ny: ny}
+	c.tr = opt.NewTransport(nRanks, op.BC == grid.Periodic)
 	base, rem := ny/nRanks, ny%nRanks
 	y0 := 0
 	for i := 0; i < nRanks; i++ {
@@ -126,10 +121,11 @@ func NewCluster[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], nRanks int
 		if err != nil {
 			return nil, err
 		}
+		r.tr = c.tr
 		c.ranks = append(c.ranks, r)
 		y0 += h
 	}
-	wireHalos(c.ranks, op.BC == grid.Periodic)
+	c.plans = c.routePlan(opt.Inject)
 	return c, nil
 }
 
@@ -145,8 +141,8 @@ func (c *Cluster[T]) Band(i int) (y0, y1 int) {
 // Iter returns the number of completed cluster iterations.
 func (c *Cluster[T]) Iter() int { return c.iter }
 
-// Stats returns each rank's counters, indexed by rank.
-func (c *Cluster[T]) Stats() []Stats {
+// RankStats returns each rank's counters, indexed by rank.
+func (c *Cluster[T]) RankStats() []Stats {
 	out := make([]Stats, len(c.ranks))
 	for i, r := range c.ranks {
 		out[i] = r.stats
@@ -154,14 +150,28 @@ func (c *Cluster[T]) Stats() []Stats {
 	return out
 }
 
-// TotalStats returns the cluster-wide sum of the per-rank counters.
-func (c *Cluster[T]) TotalStats() Stats {
+// Stats returns the cluster-wide merge of the per-rank counters, with
+// Iterations normalised to lockstep sweeps (Iter) so the count stays
+// comparable across deployments: like the local and blocked protectors, a
+// cluster reports one iteration per global sweep. Event counters
+// (Verifications, Detections, HaloExchanges, …) remain per-rank sums, just
+// as the blocked protector counts one verification per block.
+func (c *Cluster[T]) Stats() Stats {
 	var total Stats
 	for _, r := range c.ranks {
-		total = total.Add(r.stats)
+		total = total.Merge(r.stats)
 	}
+	total.Iterations = c.iter
 	return total
 }
+
+// TotalStats is the historical name of Stats. Note the Iterations
+// semantics changed with the unified counter model: it now reports
+// lockstep sweeps (Iter), not the historical per-rank sum — sum
+// RankStats' Iterations for the old value.
+//
+// Deprecated: use Stats.
+func (c *Cluster[T]) TotalStats() Stats { return c.Stats() }
 
 // Gather reassembles the global domain from the ranks' current band
 // states — the MPI_Gather at the end of a distributed run. Call it between
@@ -176,35 +186,89 @@ func (c *Cluster[T]) Gather() *grid.Grid[T] {
 	return g
 }
 
-// Run advances the cluster by iters lockstep iterations. plan, when
-// non-nil, schedules bit-flip injections in global coordinates; each
-// injection is routed to the rank owning its row and applied during that
-// rank's local sweep, exactly as a per-rank MPI fault campaign would.
-// Iterations are indexed within this call, starting at 0.
-func (c *Cluster[T]) Run(iters int, plan *fault.Plan) {
+// Grid gathers and returns the global domain state; an alias for Gather
+// that completes the unified protector contract. Each call reassembles the
+// domain from the rank bands, so hoist it out of hot loops.
+func (c *Cluster[T]) Grid() *grid.Grid[T] { return c.Gather() }
+
+// Grid3D returns nil: the cluster decomposes 2-D domains.
+func (c *Cluster[T]) Grid3D() *grid.Grid3D[T] { return nil }
+
+// Finalize is a no-op: every rank verifies every sweep, so nothing is
+// pending at the end of a run.
+func (c *Cluster[T]) Finalize() {}
+
+// Step advances the cluster by one lockstep iteration, applying the
+// injection plan configured in Options. Each call spawns and joins the
+// rank goroutines, so Step is the cluster's slow path — batch iterations
+// through Run(count) (which keeps the ranks alive across the whole batch)
+// whenever the iteration count is known up front.
+func (c *Cluster[T]) Step() { c.Run(1) }
+
+// Run advances the cluster by count lockstep iterations, applying the
+// injection plan configured in Options (injections match on the absolute
+// iteration number, Iter-based).
+func (c *Cluster[T]) Run(count int) { c.run(count, nil) }
+
+// RunPlan advances the cluster by iters lockstep iterations with an
+// explicit fault plan whose injections are indexed within this call,
+// starting at 0 — the historical entry point. A plan configured in
+// Options.Inject stays live (matched on absolute iterations) alongside the
+// per-call plan.
+//
+// Deprecated: configure Options.Inject and use Run or Step.
+func (c *Cluster[T]) RunPlan(iters int, plan *fault.Plan) { c.run(iters, c.routePlan(plan)) }
+
+// run advances iters lockstep iterations. Each rank's sweep hook composes
+// the configured Options.Inject plan (looked up at the absolute iteration)
+// with the per-call plan (looked up at the in-call offset); perCall may be
+// nil.
+func (c *Cluster[T]) run(iters int, perCall []*fault.Injector[T]) {
 	if iters <= 0 {
 		return
 	}
-	plans := c.routePlan(plan)
+	base := c.iter
 	done := make(chan struct{}, len(c.ranks))
 	for i, r := range c.ranks {
-		go func(r *rank[T], inj *fault.Injector[T]) {
+		var pc *fault.Injector[T]
+		if perCall != nil {
+			pc = perCall[i]
+		}
+		go func(r *rank[T], cfg, pc *fault.Injector[T]) {
 			for t := 0; t < iters; t++ {
 				r.exchangeHalos()
-				var hook stencil.InjectFunc[T]
-				if inj != nil {
-					hook = inj.HookFor(t)
-				}
+				hook := chainHooks(stencil.HookAt[T](injSource(cfg), base+t), stencil.HookAt[T](injSource(pc), t))
 				r.step(hook)
-				c.bar.await()
+				c.tr.Barrier()
 			}
 			done <- struct{}{}
-		}(r, plans[i])
+		}(r, c.plans[i], pc)
 	}
 	for range c.ranks {
 		<-done
 	}
 	c.iter += iters
+}
+
+// injSource widens a possibly-nil concrete injector into the InjectSource
+// seam without producing a non-nil interface around a nil pointer.
+func injSource[T num.Float](inj *fault.Injector[T]) stencil.InjectSource[T] {
+	if inj == nil {
+		return nil
+	}
+	return inj
+}
+
+// chainHooks composes two injection hooks, applying a then b; either (or
+// both) may be nil.
+func chainHooks[T num.Float](a, b stencil.InjectFunc[T]) stencil.InjectFunc[T] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(x, y, z int, v T) T { return b(x, y, z, a(x, y, z, v)) }
 }
 
 // routePlan splits a global fault plan into per-rank plans with the

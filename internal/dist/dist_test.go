@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"stencilabft/internal/checksum"
@@ -50,7 +51,7 @@ func TestClusterMatchesReference(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				c.Run(iters, nil)
+				c.Run(iters)
 				if ts := c.TotalStats(); ts.Detections != 0 {
 					t.Fatalf("false positive: %+v", ts)
 				}
@@ -76,7 +77,7 @@ func TestClusterAsymmetricStencil(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Run(iters, nil)
+	c.Run(iters)
 	if ts := c.TotalStats(); ts.Detections != 0 {
 		t.Fatalf("false positive: %+v", ts)
 	}
@@ -99,7 +100,7 @@ func TestClusterConstantField(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Run(iters, nil)
+	c.Run(iters)
 	if ts := c.TotalStats(); ts.Detections != 0 {
 		t.Fatalf("false positive: %+v", ts)
 	}
@@ -122,9 +123,9 @@ func TestClusterInjectionRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Run(iters, fault.NewPlan(fault.Injection{Iteration: 4, X: 8, Y: 12, Bit: 60}))
+	c.RunPlan(iters, fault.NewPlan(fault.Injection{Iteration: 4, X: 8, Y: 12, Bit: 60}))
 
-	for i, s := range c.Stats() {
+	for i, s := range c.RankStats() {
 		if i == 1 {
 			if s.Detections != 1 || s.CorrectedPoints != 1 {
 				t.Fatalf("owning rank 1: %+v", s)
@@ -153,9 +154,9 @@ func TestClusterBandBoundaryInjection(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Row 8 is rank 1's first row, exchanged into rank 0's halo.
-	c.Run(iters, fault.NewPlan(fault.Injection{Iteration: 5, X: 3, Y: 8, Bit: 58}))
+	c.RunPlan(iters, fault.NewPlan(fault.Injection{Iteration: 5, X: 3, Y: 8, Bit: 58}))
 
-	st := c.Stats()
+	st := c.RankStats()
 	if st[1].Detections != 1 || st[1].CorrectedPoints != 1 {
 		t.Fatalf("owning rank 1: %+v", st[1])
 	}
@@ -181,9 +182,9 @@ func TestClusterPeriodicInjection(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Row 0 is rank 0's first row, wrapped into rank 3's halo.
-	c.Run(iters, fault.NewPlan(fault.Injection{Iteration: 3, X: 5, Y: 0, Bit: 59}))
+	c.RunPlan(iters, fault.NewPlan(fault.Injection{Iteration: 3, X: 5, Y: 0, Bit: 59}))
 
-	st := c.Stats()
+	st := c.RankStats()
 	if st[0].Detections != 1 || st[0].CorrectedPoints != 1 {
 		t.Fatalf("owning rank 0: %+v", st[0])
 	}
@@ -208,11 +209,11 @@ func TestClusterMultiRankInjections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Run(iters, fault.NewPlan(
+	c.RunPlan(iters, fault.NewPlan(
 		fault.Injection{Iteration: 2, X: 4, Y: 2, Bit: 60},   // rank 0
 		fault.Injection{Iteration: 2, X: 15, Y: 27, Bit: 59}, // rank 3
 	))
-	st := c.Stats()
+	st := c.RankStats()
 	for _, i := range []int{0, 3} {
 		if st[i].Detections != 1 || st[i].CorrectedPoints != 1 {
 			t.Fatalf("rank %d: %+v", i, st[i])
@@ -256,7 +257,7 @@ func TestClusterUnevenBands(t *testing.T) {
 	if prevEnd != ny {
 		t.Fatalf("bands cover %d rows, want %d", prevEnd, ny)
 	}
-	c.Run(iters, nil)
+	c.Run(iters)
 	if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
 		t.Fatalf("cluster deviates from reference by %g", diff)
 	}
@@ -305,7 +306,7 @@ func TestClusterPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Run(iters, nil)
+	c.Run(iters)
 	if ts := c.TotalStats(); ts.Detections != 0 {
 		t.Fatalf("false positive: %+v", ts)
 	}
@@ -330,7 +331,7 @@ func TestClusterPoolInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Run(iters, fault.NewPlan(
+	c.RunPlan(iters, fault.NewPlan(
 		fault.Injection{Iteration: 3, X: 5, Y: 2, Bit: 60},
 		fault.Injection{Iteration: 3, X: 60, Y: 29, Bit: 59},
 	))
@@ -352,9 +353,9 @@ func TestClusterRunResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Run(4, nil)
+	c.Run(4)
 	// Iteration 2 of the second call is absolute iteration 6.
-	c.Run(6, fault.NewPlan(fault.Injection{Iteration: 2, X: 8, Y: 4, Bit: 60}))
+	c.RunPlan(6, fault.NewPlan(fault.Injection{Iteration: 2, X: 8, Y: 4, Bit: 60}))
 	if c.Iter() != 10 {
 		t.Fatalf("iteration count %d, want 10", c.Iter())
 	}
@@ -362,15 +363,22 @@ func TestClusterRunResume(t *testing.T) {
 	if ts.Detections != 1 || ts.CorrectedPoints != 1 {
 		t.Fatalf("total stats: %+v", ts)
 	}
-	if ts.Iterations != 10*ranks {
-		t.Fatalf("summed rank iterations %d, want %d", ts.Iterations, 10*ranks)
+	if ts.Iterations != 10 {
+		t.Fatalf("cluster iterations %d, want lockstep sweeps (10), not rank-iterations", ts.Iterations)
+	}
+	summed := 0
+	for _, s := range c.RankStats() {
+		summed += s.Iterations
+	}
+	if summed != 10*ranks {
+		t.Fatalf("summed rank iterations %d, want %d", summed, 10*ranks)
 	}
 	if diff := c.Gather().MaxAbsDiff(want); diff > 1e-6 {
 		t.Fatalf("residual after correction too large: %g", diff)
 	}
 
 	// Run(0) and a nil plan are no-ops.
-	c.Run(0, nil)
+	c.Run(0)
 	if c.Iter() != 10 {
 		t.Fatal("Run(0) advanced the cluster")
 	}
@@ -386,11 +394,11 @@ func TestClusterHaloCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Neither injection can land: one outside the domain, one in 3-D.
-	c.Run(iters, fault.NewPlan(
+	c.RunPlan(iters, fault.NewPlan(
 		fault.Injection{Iteration: 1, X: nx + 5, Y: 3, Bit: 60},
 		fault.Injection{Iteration: 1, X: 3, Y: 3, Z: 1, Bit: 60},
 	))
-	for i, s := range c.Stats() {
+	for i, s := range c.RankStats() {
 		if s.HaloExchanges != iters {
 			t.Fatalf("rank %d halo exchanges %d, want %d", i, s.HaloExchanges, iters)
 		}
@@ -414,5 +422,132 @@ func TestStatsAdd(t *testing.T) {
 	}
 	if s := got.String(); s == "" {
 		t.Fatal("empty String()")
+	}
+}
+
+// countingTransport wraps another Transport and counts traffic — a stand-in
+// for a real MPI/socket backend that proves the cluster runs all its
+// communication through the seam.
+type countingTransport struct {
+	inner    Transport[float64]
+	mu       sync.Mutex
+	sends    int
+	recvs    int
+	barriers int
+}
+
+func (t *countingTransport) Send(from int, d Dir, rows []float64) {
+	t.mu.Lock()
+	t.sends++
+	t.mu.Unlock()
+	t.inner.Send(from, d, rows)
+}
+
+func (t *countingTransport) Recv(to int, d Dir) []float64 {
+	t.mu.Lock()
+	t.recvs++
+	t.mu.Unlock()
+	return t.inner.Recv(to, d)
+}
+
+func (t *countingTransport) Neighbor(id int, d Dir) bool { return t.inner.Neighbor(id, d) }
+
+func (t *countingTransport) Barrier() {
+	t.mu.Lock()
+	t.barriers++
+	t.mu.Unlock()
+	t.inner.Barrier()
+}
+
+// TestClusterCustomTransport swaps the default channel transport for a
+// wrapped one and checks every halo message and barrier goes through it,
+// with results still bit-identical to the reference.
+func TestClusterCustomTransport(t *testing.T) {
+	const nx, ny, iters, ranks = 16, 24, 9, 3
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	init := testInit(nx, ny)
+	want := reference(t, op, init, iters)
+
+	var ct *countingTransport
+	opt := strictOpts()
+	opt.NewTransport = func(n int, ring bool) Transport[float64] {
+		if n != ranks || ring {
+			t.Errorf("NewTransport called with n=%d ring=%v", n, ring)
+		}
+		ct = &countingTransport{inner: NewChanTransport[float64](n, ring)}
+		return ct
+	}
+	c, err := NewCluster(op, init, ranks, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(iters)
+	if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+		t.Fatalf("custom transport deviates from reference by %g", diff)
+	}
+	// 3 ranks, non-periodic: 4 interior edges send+recv per iteration.
+	if ct.sends != 4*iters || ct.recvs != 4*iters {
+		t.Fatalf("transport saw %d sends / %d recvs, want %d each", ct.sends, ct.recvs, 4*iters)
+	}
+	if ct.barriers != ranks*iters {
+		t.Fatalf("transport saw %d barrier arrivals, want %d", ct.barriers, ranks*iters)
+	}
+}
+
+// TestClusterOptionsInject: a plan configured up front is applied by Run
+// with absolute iteration indexing, so it survives split Run calls and
+// Step-by-Step driving.
+func TestClusterOptionsInject(t *testing.T) {
+	const nx, ny, iters, ranks = 16, 24, 12, 3
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	init := testInit(nx, ny)
+	want := reference(t, op, init, iters)
+
+	opt := strictOpts()
+	// Absolute iteration 7: lands inside the second Run call below.
+	opt.Inject = fault.NewPlan(fault.Injection{Iteration: 7, X: 8, Y: 12, Bit: 60})
+	c, err := NewCluster(op, init, ranks, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5)
+	if ts := c.Stats(); ts.Detections != 0 {
+		t.Fatalf("injection fired early: %+v", ts)
+	}
+	c.Run(5)
+	for c.Iter() < iters {
+		c.Step()
+	}
+	ts := c.Stats()
+	if ts.Detections != 1 || ts.CorrectedPoints != 1 {
+		t.Fatalf("absolute-iteration injection not handled exactly once: %+v", ts)
+	}
+	if diff := c.Gather().MaxAbsDiff(want); diff > 1e-6 {
+		t.Fatalf("residual after correction too large: %g", diff)
+	}
+}
+
+// TestClusterRunPlanComposesWithOptionsInject: a plan configured up front
+// stays live (absolute iterations) while RunPlan's per-call plan applies at
+// its in-call offsets; both flips must land and be repaired.
+func TestClusterRunPlanComposesWithOptionsInject(t *testing.T) {
+	const nx, ny, ranks = 16, 24, 3
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	init := testInit(nx, ny)
+
+	opt := strictOpts()
+	// Absolute iteration 6 — inside the RunPlan call below (its 2nd sweep).
+	opt.Inject = fault.NewPlan(fault.Injection{Iteration: 6, X: 3, Y: 2, Bit: 60})
+	c, err := NewCluster(op, init, ranks, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(4)
+	// Per-call iteration 2 = absolute iteration 6 as well, but in a
+	// different rank's band, so both injections fire on the same sweep.
+	c.RunPlan(6, fault.NewPlan(fault.Injection{Iteration: 2, X: 8, Y: 20, Bit: 59}))
+	ts := c.Stats()
+	if ts.Detections != 2 || ts.CorrectedPoints != 2 {
+		t.Fatalf("configured + per-call plans did not both land: %+v", ts)
 	}
 }

@@ -1,54 +1,16 @@
 package dist
 
 import (
-	"sync"
-
 	"stencilabft/internal/grid"
-	"stencilabft/internal/num"
 )
-
-// wireHalos connects adjacent ranks with paired channels in the MPI
-// neighbour pattern. Each channel carries one message per iteration: the
-// sender's h boundary rows, as a view into its read buffer (safe to share
-// because band rows are immutable until the iteration barrier, and the
-// receiver copies before reaching it). Capacity 1 lets every rank post both
-// sends before either receive — the non-blocking Isend/Irecv schedule that
-// makes the exchange deadlock-free in any rank order.
-//
-// Under periodic global boundaries the ranks form a ring: rank 0's upper
-// neighbour is the last rank, so the wrap-around halo is real remote data
-// and the y boundary condition never has to be evaluated locally. With one
-// rank the ring degenerates to a self-exchange through the same channels.
-func wireHalos[T num.Float](ranks []*rank[T], periodic bool) {
-	n := len(ranks)
-	if n == 0 || ranks[0].h == 0 {
-		return // zero y-radius: no rank ever reads a neighbour row
-	}
-	// down[i] carries rank i's bottom rows to the rank below; up[i]
-	// carries rank i's top rows to the rank above.
-	down := make([]chan []T, n)
-	up := make([]chan []T, n)
-	for i := range ranks {
-		down[i] = make(chan []T, 1)
-		up[i] = make(chan []T, 1)
-	}
-	for i, r := range ranks {
-		if i > 0 || periodic {
-			r.sendUp = up[i]
-			r.recvUp = down[(i-1+n)%n]
-		}
-		if i < n-1 || periodic {
-			r.sendDn = down[i]
-			r.recvDn = up[(i+1)%n]
-		}
-	}
-}
 
 // exchangeHalos refreshes the read buffer's halo rows with iteration-t
 // data: boundary-row views are posted to both neighbours first, then the
-// inbound messages are copied into the local ghost rows. Edges without a
-// neighbour (the top and bottom ranks under non-periodic boundaries)
-// synthesise their ghost rows from the global boundary condition instead.
+// inbound messages are copied into the local ghost rows — the non-blocking
+// Isend/Irecv schedule, expressed through the cluster's Transport. Edges
+// without a neighbour (the top and bottom ranks under non-periodic
+// boundaries) synthesise their ghost rows from the global boundary
+// condition instead.
 func (r *rank[T]) exchangeHalos() {
 	if r.h == 0 {
 		return
@@ -56,19 +18,20 @@ func (r *rank[T]) exchangeHalos() {
 	ext := r.buf.Read
 	nx, h, lo, hi := r.nx, r.h, r.bandLo(), r.bandHi()
 	data := ext.Data()
-	if r.sendUp != nil {
-		r.sendUp <- data[lo*nx : (lo+h)*nx] // own top h band rows
+	hasUp, hasDn := r.tr.Neighbor(r.id, Up), r.tr.Neighbor(r.id, Down)
+	if hasUp {
+		r.tr.Send(r.id, Up, data[lo*nx:(lo+h)*nx]) // own top h band rows
 	}
-	if r.sendDn != nil {
-		r.sendDn <- data[(hi-h)*nx : hi*nx] // own bottom h band rows
+	if hasDn {
+		r.tr.Send(r.id, Down, data[(hi-h)*nx:hi*nx]) // own bottom h band rows
 	}
-	if r.recvUp != nil {
-		copy(data[0:h*nx], <-r.recvUp)
+	if hasUp {
+		copy(data[0:h*nx], r.tr.Recv(r.id, Up))
 	} else {
 		r.fillEdgeHalo(true)
 	}
-	if r.recvDn != nil {
-		copy(data[hi*nx:(hi+h)*nx], <-r.recvDn)
+	if hasDn {
+		copy(data[hi*nx:(hi+h)*nx], r.tr.Recv(r.id, Down))
 	} else {
 		r.fillEdgeHalo(false)
 	}
@@ -107,40 +70,4 @@ func (r *rank[T]) fillEdgeHalo(top bool) {
 		}
 		copy(dst, ext.Row(r.bandLo()+ry-r.y0))
 	}
-}
-
-// barrier is a reusable cyclic barrier: await blocks until all n parties
-// have arrived, then releases the generation together — the per-iteration
-// lockstep of the cluster.
-type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
-}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// await blocks until every party has called await for the current
-// generation.
-func (b *barrier) await() {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		b.mu.Unlock()
-		return
-	}
-	for gen == b.gen {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
 }

@@ -8,51 +8,48 @@ import (
 	"stencilabft/internal/stencil"
 )
 
-// TestWireHalosTopology checks the neighbour wiring: edge ranks have no
-// outer channels under non-periodic boundaries, every rank is fully wired
-// in the periodic ring, and a single periodic rank self-exchanges.
-func TestWireHalosTopology(t *testing.T) {
-	build := func(n int, periodic bool) []*rank[float64] {
-		op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
-		if periodic {
-			op.BC = grid.Periodic
-		}
-		init := testInit(8, 6*n)
-		c, err := NewCluster(op, init, n, strictOpts())
-		if err != nil {
-			t.Fatal(err)
-		}
-		return c.ranks
+// TestChanTransportTopology checks the default transport's neighbour
+// wiring: edge ranks have no outer neighbour under non-periodic boundaries,
+// every rank is fully wired in the periodic ring, a message posted by a
+// rank arrives at the right neighbour, and a single periodic rank
+// self-exchanges.
+func TestChanTransportTopology(t *testing.T) {
+	tr := NewChanTransport[float64](3, false)
+	if tr.Neighbor(0, Up) || tr.Neighbor(2, Down) {
+		t.Fatal("edge rank wired outward without periodic boundaries")
+	}
+	if !tr.Neighbor(1, Up) || !tr.Neighbor(1, Down) || !tr.Neighbor(0, Down) || !tr.Neighbor(2, Up) {
+		t.Fatal("interior wiring missing")
+	}
+	// A send must pair with the neighbour's receive on the opposite side.
+	tr.Send(1, Up, []float64{1})
+	if got := tr.Recv(0, Down); got[0] != 1 {
+		t.Fatalf("rank 0 received %v from below, want rank 1's upward message", got)
+	}
+	tr.Send(1, Down, []float64{2})
+	if got := tr.Recv(2, Up); got[0] != 2 {
+		t.Fatalf("rank 2 received %v from above, want rank 1's downward message", got)
 	}
 
-	ranks := build(3, false)
-	if ranks[0].sendUp != nil || ranks[0].recvUp != nil {
-		t.Fatal("top rank wired upward without periodic boundaries")
-	}
-	if ranks[2].sendDn != nil || ranks[2].recvDn != nil {
-		t.Fatal("bottom rank wired downward without periodic boundaries")
-	}
-	if ranks[1].sendUp == nil || ranks[1].sendDn == nil || ranks[1].recvUp == nil || ranks[1].recvDn == nil {
-		t.Fatal("interior rank not fully wired")
-	}
-	// A send channel must pair with the neighbour's receive channel.
-	if ranks[1].sendUp != ranks[0].recvDn || ranks[1].sendDn != ranks[2].recvUp {
-		t.Fatal("channel pairing broken")
-	}
-
-	ring := build(2, true)
-	for i, r := range ring {
-		if r.sendUp == nil || r.sendDn == nil || r.recvUp == nil || r.recvDn == nil {
+	ring := NewChanTransport[float64](2, true)
+	for i := 0; i < 2; i++ {
+		if !ring.Neighbor(i, Up) || !ring.Neighbor(i, Down) {
 			t.Fatalf("periodic rank %d not fully wired", i)
 		}
 	}
-	if ring[0].sendUp != ring[1].recvDn || ring[1].sendDn != ring[0].recvUp {
-		t.Fatal("ring wrap-around pairing broken")
+	ring.Send(0, Up, []float64{3}) // wraps around to rank 1's lower side
+	if got := ring.Recv(1, Down); got[0] != 3 {
+		t.Fatalf("ring wrap-around broken: %v", got)
 	}
 
-	self := build(1, true)
-	if self[0].sendUp != self[0].recvDn || self[0].sendDn != self[0].recvUp {
-		t.Fatal("single periodic rank does not self-exchange")
+	self := NewChanTransport[float64](1, true)
+	self.Send(0, Up, []float64{4})
+	self.Send(0, Down, []float64{5})
+	if got := self.Recv(0, Down); got[0] != 4 {
+		t.Fatalf("self-exchange broken: %v", got)
+	}
+	if got := self.Recv(0, Up); got[0] != 5 {
+		t.Fatalf("self-exchange broken: %v", got)
 	}
 }
 

@@ -41,12 +41,12 @@ type rank[T num.Float] struct {
 	// scratch for the detection/correction slow path (band-only)
 	prevA, newA, interpA []T
 
-	// halo plumbing (nil channel = domain edge, resolved from the global
-	// boundary condition instead)
-	sendUp, sendDn chan []T
-	recvUp, recvDn chan []T
-	globalBC       grid.Boundary
-	globalNy       int
+	// halo plumbing: the cluster's transport; a missing neighbour (domain
+	// edge under non-periodic boundaries) is resolved from the global
+	// boundary condition instead.
+	tr       Transport[T]
+	globalBC grid.Boundary
+	globalNy int
 
 	stats Stats
 }

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"sync"
+
+	"stencilabft/internal/num"
+)
+
+// Dir identifies a halo direction relative to a rank: Up is toward lower
+// rank ids (smaller global y), Down toward higher.
+type Dir int
+
+// Halo directions.
+const (
+	Up Dir = iota
+	Down
+)
+
+// Transport is the cluster's communication seam: it carries halo rows
+// between neighbouring ranks and separates iterations with a barrier —
+// exactly the subset of MPI a bulk-synchronous stencil code needs
+// (Isend/Irecv of boundary rows plus MPI_Barrier). The default backend is
+// ChanTransport (in-process paired channels); a real MPI or socket backend
+// implements this interface and drops in via Options.NewTransport without
+// touching the protection logic.
+//
+// Contract: within one iteration every rank posts its sends (both
+// directions) before its first Recv, and Send must not block when the
+// neighbour has not yet received the previous message — the non-blocking
+// Isend schedule that keeps the exchange deadlock-free in any rank order.
+// The rows slice passed to Send remains valid until the next Barrier; the
+// receiver must copy before passing its own Barrier.
+type Transport[T num.Float] interface {
+	// Send posts rank from's boundary rows toward its neighbour in
+	// direction d. Must only be called when Neighbor(from, d) is true.
+	Send(from int, d Dir, rows []T)
+	// Recv returns the rows the neighbour of rank to in direction d sent
+	// this iteration. Must only be called when Neighbor(to, d) is true.
+	Recv(to int, d Dir) []T
+	// Neighbor reports whether rank id has a neighbour in direction d
+	// (false at the domain edge under non-periodic boundaries; the rank
+	// then synthesises its ghost rows from the boundary condition).
+	Neighbor(id int, d Dir) bool
+	// Barrier blocks until every rank has arrived — the per-iteration
+	// lockstep that keeps halo data exactly one iteration fresh.
+	Barrier()
+}
+
+// ChanTransport is the default in-process Transport: adjacent ranks are
+// wired with paired channels in the MPI neighbour pattern. Each channel
+// carries one message per iteration: the sender's boundary rows as a view
+// into its read buffer (safe to share because band rows are immutable until
+// the iteration barrier, and the receiver copies before reaching it).
+// Capacity 1 lets every rank post both sends before either receive.
+//
+// Under a ring (periodic global boundaries) rank 0's upper neighbour is the
+// last rank, so the wrap-around halo is real remote data; with one rank the
+// ring degenerates to a self-exchange through the same channels.
+type ChanTransport[T num.Float] struct {
+	n    int
+	ring bool
+	up   []chan []T // up[i] carries rank i's top rows to the rank above
+	down []chan []T // down[i] carries rank i's bottom rows to the rank below
+	bar  *barrier
+}
+
+// NewChanTransport wires n ranks with paired halo channels; ring closes the
+// topology into a cycle (periodic boundaries).
+func NewChanTransport[T num.Float](n int, ring bool) *ChanTransport[T] {
+	t := &ChanTransport[T]{
+		n:    n,
+		ring: ring,
+		up:   make([]chan []T, n),
+		down: make([]chan []T, n),
+		bar:  newBarrier(n),
+	}
+	for i := 0; i < n; i++ {
+		t.up[i] = make(chan []T, 1)
+		t.down[i] = make(chan []T, 1)
+	}
+	return t
+}
+
+// Neighbor reports whether rank id has a neighbour in direction d.
+func (t *ChanTransport[T]) Neighbor(id int, d Dir) bool {
+	if t.ring {
+		return true
+	}
+	if d == Up {
+		return id > 0
+	}
+	return id < t.n-1
+}
+
+// Send posts rows on the channel toward rank from's neighbour.
+func (t *ChanTransport[T]) Send(from int, d Dir, rows []T) {
+	if d == Up {
+		t.up[from] <- rows
+	} else {
+		t.down[from] <- rows
+	}
+}
+
+// Recv returns the rows sent toward rank to from direction d: from above,
+// that is the upper neighbour's down-channel; from below, the lower
+// neighbour's up-channel.
+func (t *ChanTransport[T]) Recv(to int, d Dir) []T {
+	if d == Up {
+		return <-t.down[(to-1+t.n)%t.n]
+	}
+	return <-t.up[(to+1)%t.n]
+}
+
+// Barrier blocks until all n ranks have arrived.
+func (t *ChanTransport[T]) Barrier() { t.bar.await() }
+
+// barrier is a reusable cyclic barrier: await blocks until all n parties
+// have arrived, then releases the generation together — the per-iteration
+// lockstep of the cluster.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until every party has called await for the current
+// generation.
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -102,7 +102,7 @@ func TestThermalEquilibrium(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Run(3000)
-	g := p.Grid()
+	g := p.Grid3D()
 
 	var hottest float64
 	for _, v := range g.Data() {
@@ -141,14 +141,14 @@ func TestConvergesToSteadyState(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Run(500)
-	before := p.Grid().Clone()
+	before := p.Grid3D().Clone()
 	p.Run(1)
-	step500 := p.Grid().MaxAbsDiff(before)
+	step500 := p.Grid3D().MaxAbsDiff(before)
 
 	p.Run(1500)
-	before = p.Grid().Clone()
+	before = p.Grid3D().Clone()
 	p.Run(1)
-	step2000 := p.Grid().MaxAbsDiff(before)
+	step2000 := p.Grid3D().MaxAbsDiff(before)
 	if step2000 >= step500 {
 		t.Fatalf("per-step change not shrinking: %g then %g", step500, step2000)
 	}

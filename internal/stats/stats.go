@@ -1,0 +1,74 @@
+// Package stats defines the one Stats model every protector reports
+// through. The core, blocks and dist deployments historically each carried
+// their own counter struct; unifying them lets per-rank and per-block
+// counters roll up into a single aggregate with Merge instead of living in
+// parallel types that cannot be compared or summed. Counters a deployment
+// never touches simply stay zero (e.g. a local online run has no
+// HaloExchanges; an unprotected baseline only counts Iterations).
+package stats
+
+import (
+	"fmt"
+
+	"stencilabft/internal/checkpoint"
+)
+
+// Stats aggregates what a protector observed over a run. It is the single
+// counter model shared by every scheme (none/online/offline/blocked) and
+// deployment (local/cluster); Merge rolls per-rank or per-block instances
+// into a whole-run aggregate.
+type Stats struct {
+	Iterations      int // completed sweeps
+	Verifications   int // checksum comparisons performed
+	Detections      int // verification events that flagged at least one mismatch
+	CorrectedPoints int // domain points repaired in place (online schemes)
+	ChecksumRepairs int // detections attributed to checksum (not domain) corruption
+	Rollbacks       int // checkpoint restores (offline scheme)
+	RecomputedIters int // sweeps re-executed after rollback (offline scheme)
+	ConeRecoveries  int // detections repaired by light-cone recomputation
+	ConePointsSwept int // point updates spent inside cone recomputation
+	FlaggedBlocks   int // block-level verification failures (blocked scheme)
+	HaloExchanges   int // iterations that exchanged or refreshed halo rows (cluster)
+	Checkpoint      checkpoint.Stats
+}
+
+// Merge returns the element-wise sum of s and o — the roll-up used to
+// aggregate per-rank (cluster) or per-repetition (campaign) counters.
+func (s Stats) Merge(o Stats) Stats {
+	s.Iterations += o.Iterations
+	s.Verifications += o.Verifications
+	s.Detections += o.Detections
+	s.CorrectedPoints += o.CorrectedPoints
+	s.ChecksumRepairs += o.ChecksumRepairs
+	s.Rollbacks += o.Rollbacks
+	s.RecomputedIters += o.RecomputedIters
+	s.ConeRecoveries += o.ConeRecoveries
+	s.ConePointsSwept += o.ConePointsSwept
+	s.FlaggedBlocks += o.FlaggedBlocks
+	s.HaloExchanges += o.HaloExchanges
+	s.Checkpoint.Saves += o.Checkpoint.Saves
+	s.Checkpoint.Restores += o.Checkpoint.Restores
+	s.Checkpoint.PointsCopied += o.Checkpoint.PointsCopied
+	return s
+}
+
+// Add is the historical name of Merge.
+//
+// Deprecated: use Merge.
+func (s Stats) Add(o Stats) Stats { return s.Merge(o) }
+
+// String renders the counters compactly for logs. The scheme-agnostic
+// counters are always printed; deployment-specific ones (flagged blocks,
+// halo exchanges) appear only when non-zero, keeping local-run logs short.
+func (s Stats) String() string {
+	out := fmt.Sprintf("iters=%d verifications=%d detections=%d corrected=%d checksum-repairs=%d rollbacks=%d recomputed=%d cone-recoveries=%d cone-points=%d",
+		s.Iterations, s.Verifications, s.Detections, s.CorrectedPoints, s.ChecksumRepairs,
+		s.Rollbacks, s.RecomputedIters, s.ConeRecoveries, s.ConePointsSwept)
+	if s.FlaggedBlocks > 0 {
+		out += fmt.Sprintf(" flagged-blocks=%d", s.FlaggedBlocks)
+	}
+	if s.HaloExchanges > 0 {
+		out += fmt.Sprintf(" halo-exchanges=%d", s.HaloExchanges)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"stencilabft/internal/checkpoint"
+)
+
+func TestMergeSumsEveryCounter(t *testing.T) {
+	a := Stats{
+		Iterations: 1, Verifications: 2, Detections: 3, CorrectedPoints: 4,
+		ChecksumRepairs: 5, Rollbacks: 6, RecomputedIters: 7, ConeRecoveries: 8,
+		ConePointsSwept: 9, FlaggedBlocks: 10, HaloExchanges: 11,
+		Checkpoint: checkpoint.Stats{Saves: 1, Restores: 2, PointsCopied: 3},
+	}
+	b := Stats{
+		Iterations: 10, Verifications: 20, Detections: 30, CorrectedPoints: 40,
+		ChecksumRepairs: 50, Rollbacks: 60, RecomputedIters: 70, ConeRecoveries: 80,
+		ConePointsSwept: 90, FlaggedBlocks: 100, HaloExchanges: 110,
+		Checkpoint: checkpoint.Stats{Saves: 10, Restores: 20, PointsCopied: 30},
+	}
+	want := Stats{
+		Iterations: 11, Verifications: 22, Detections: 33, CorrectedPoints: 44,
+		ChecksumRepairs: 55, Rollbacks: 66, RecomputedIters: 77, ConeRecoveries: 88,
+		ConePointsSwept: 99, FlaggedBlocks: 110, HaloExchanges: 121,
+		Checkpoint: checkpoint.Stats{Saves: 11, Restores: 22, PointsCopied: 33},
+	}
+	if got := a.Merge(b); got != want {
+		t.Fatalf("Merge: %+v", got)
+	}
+	if got := a.Add(b); got != want {
+		t.Fatalf("Add: %+v", got)
+	}
+}
+
+// TestStringShowsRecoveryCounters pins the satellite fix: campaign logs must
+// show cone-recovery and checksum-repair activity, not silently drop it.
+func TestStringShowsRecoveryCounters(t *testing.T) {
+	s := Stats{ConeRecoveries: 2, ConePointsSwept: 640, ChecksumRepairs: 1}.String()
+	for _, want := range []string{"cone-recoveries=2", "cone-points=640", "checksum-repairs=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "flagged-blocks") || strings.Contains(s, "halo-exchanges") {
+		t.Fatalf("zero deployment counters should be elided: %q", s)
+	}
+	withHalo := Stats{HaloExchanges: 7, FlaggedBlocks: 3}.String()
+	for _, want := range []string{"halo-exchanges=7", "flagged-blocks=3"} {
+		if !strings.Contains(withHalo, want) {
+			t.Fatalf("String() = %q, missing %q", withHalo, want)
+		}
+	}
+}

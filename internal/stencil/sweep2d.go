@@ -16,6 +16,24 @@ import (
 // what detection keys on.
 type InjectFunc[T num.Float] func(x, y, z int, v T) T
 
+// InjectSource yields the injection hook for each iteration — the pluggable
+// fault seam a protector consults when it owns its own stepping (Step with
+// no arguments). Returning a nil InjectFunc for an iteration keeps that
+// sweep entirely hook-free on the fast path. fault.Injector is the standard
+// implementation; tests and campaigns may supply their own.
+type InjectSource[T num.Float] interface {
+	HookFor(iter int) InjectFunc[T]
+}
+
+// HookAt resolves an injection source to the hook for one iteration; a nil
+// source yields a nil hook, keeping the sweep's fast path branch-free.
+func HookAt[T num.Float](src InjectSource[T], iter int) InjectFunc[T] {
+	if src == nil {
+		return nil
+	}
+	return src.HookFor(iter)
+}
+
 // Op2D binds a stencil to the context a sweep needs: the boundary
 // condition, the optional Constant-boundary ghost value, and the optional
 // per-point constant term C from Equation (1).

@@ -1,0 +1,298 @@
+package stencilabft
+
+import (
+	"fmt"
+
+	"stencilabft/internal/blocks"
+	"stencilabft/internal/checksum"
+	"stencilabft/internal/core"
+	"stencilabft/internal/dist"
+	"stencilabft/internal/stencil"
+)
+
+// Scheme selects the protection method — the rows of the paper's
+// evaluation matrix.
+type Scheme string
+
+// Protection schemes.
+const (
+	// None is the unprotected baseline runner.
+	None Scheme = "none"
+	// Online verifies after every sweep and corrects on the fly
+	// (Section 3): lowest time-to-detection, no checkpoint memory, a
+	// small floating-point residual after repair.
+	Online Scheme = "online"
+	// Offline verifies every Period sweeps and recovers by rollback to an
+	// in-memory checkpoint and recomputation (Section 4): the error is
+	// erased exactly, at the cost of checkpoint memory and a
+	// recomputation spike.
+	Offline Scheme = "offline"
+	// Blocked applies the online scheme per tile of a 2-D domain
+	// (Section 3.4): each block owns its checksums, keeping magnitudes —
+	// and with them the floating-point detection floor — low.
+	Blocked Scheme = "blocked"
+)
+
+// ParseScheme converts a CLI-style mode name into a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch Scheme(name) {
+	case None, Online, Offline, Blocked:
+		return Scheme(name), nil
+	default:
+		return "", fmt.Errorf("stencilabft: unknown scheme %q (want none|online|offline|blocked)", name)
+	}
+}
+
+// Deployment selects where the protected computation runs.
+type Deployment string
+
+// Deployments.
+const (
+	// Local runs in-process on one domain (optionally over a worker Pool).
+	Local Deployment = "local"
+	// Clustered decomposes the domain into row bands over simulated ranks
+	// exchanging halo rows through the Transport seam, each rank running
+	// the online scheme independently — the paper's distributed-memory
+	// setting.
+	Clustered Deployment = "cluster"
+)
+
+// ParseDeployment converts a CLI-style deployment name into a Deployment.
+func ParseDeployment(name string) (Deployment, error) {
+	switch Deployment(name) {
+	case Local, Clustered:
+		return Deployment(name), nil
+	default:
+		return "", fmt.Errorf("stencilabft: unknown deployment %q (want local|cluster)", name)
+	}
+}
+
+// Spec declares a protected stencil run: which scheme, where it runs, the
+// operator and initial domain, and every tunable the schemes share. It is
+// the single input of Build; the zero values of Scheme and Deployment mean
+// None and Local, and every knob left zero keeps the paper's defaults
+// (epsilon 1e-5, residual pairing, Δ=16, sequential execution, channel
+// transport).
+//
+// Scheme-scoped tunables (Detector, Period, Recovery,
+// PaperExactCorrection) are deliberately ignored by schemes that do not
+// use them, so one Spec can sweep Scheme across a campaign while holding
+// every other knob fixed — the pattern the paper's evaluation harness
+// relies on. Deployment-mismatched knobs, by contrast, are hard Build
+// errors (Ranks or Transport on a Local run, Period/Recovery/
+// PaperExactCorrection or BlockX/BlockY on a Clustered one): there is no
+// seam for them, and silently dropping them would run a different
+// experiment than the spec declares.
+type Spec[T Float] struct {
+	Scheme     Scheme
+	Deployment Deployment
+
+	// Exactly one dimensionality must be set: Op2D with Init, or Op3D
+	// with Init3D. The initial grid is copied; the caller's grid is not
+	// retained.
+	Op2D   *Op2D[T]
+	Init   *Grid[T]
+	Op3D   *Op3D[T]
+	Init3D *Grid3D[T]
+
+	// Detector compares direct against interpolated checksums; the zero
+	// value uses the paper's epsilon 1e-5 with an absolute floor of 1.
+	Detector Detector[T]
+	// PairPolicy selects multi-error pairing (default PairByResidual).
+	PairPolicy PairPolicy
+	// Pool partitions sweeps over workers; nil runs sequentially.
+	Pool *Pool
+	// Period is the offline detection/checkpoint period Δ (default 16).
+	Period int
+	// Recovery selects the offline repair strategy (FullRollback or
+	// ConeRecovery). Offline 2-D only.
+	Recovery RecoveryMode
+	// Ranks is the rank count of a Clustered deployment (required ≥ 1).
+	Ranks int
+	// BlockX, BlockY set the nominal tile size of the Blocked scheme
+	// (required ≥ 1; edge tiles may differ).
+	BlockX, BlockY int
+
+	// Inject schedules planned bit-flips in domain coordinates; Step and
+	// Run apply them at the matching iterations. Under a Clustered
+	// deployment each injection is routed to the rank owning its row.
+	Inject *Plan
+	// InjectSource plugs a custom per-iteration fault hook instead of a
+	// declarative plan (Local deployments only — a Clustered run needs
+	// routable coordinates, use Inject). Takes precedence over Inject.
+	InjectSource InjectSource[T]
+
+	// Transport overrides a Clustered deployment's communication backend;
+	// nil uses the in-process channel transport. See dist.Transport.
+	Transport func(nRanks int, ring bool) Transport[T]
+
+	// DropBoundaryTerms reproduces the paper's simplified listings
+	// (ablation A1); leave false for exact interpolation.
+	DropBoundaryTerms bool
+	// PaperExactCorrection uses the paper's literal Equation (10)
+	// evaluation (Section 5.3's overflow-scale caveat); the default is
+	// the numerically stable equivalent.
+	PaperExactCorrection bool
+}
+
+// withDefaults returns a copy with the zero Scheme and Deployment resolved.
+func (s Spec[T]) withDefaults() Spec[T] {
+	if s.Scheme == "" {
+		s.Scheme = None
+	}
+	if s.Deployment == "" {
+		s.Deployment = Local
+	}
+	return s
+}
+
+// is3D reports whether the spec declares a 3-D run.
+func (s Spec[T]) is3D() bool { return s.Op3D != nil || s.Init3D != nil }
+
+// validate rejects malformed and unsupported specs with a caller-actionable
+// error. It assumes withDefaults has run.
+func (s Spec[T]) validate() error {
+	if _, err := ParseScheme(string(s.Scheme)); err != nil {
+		return err
+	}
+	if _, err := ParseDeployment(string(s.Deployment)); err != nil {
+		return err
+	}
+	has2D := s.Op2D != nil || s.Init != nil
+	has3D := s.is3D()
+	if has2D && has3D {
+		return fmt.Errorf("stencilabft: spec sets both 2-D and 3-D fields; choose Op2D/Init or Op3D/Init3D")
+	}
+	if !has2D && !has3D {
+		return fmt.Errorf("stencilabft: spec needs an operator and an initial grid (Op2D/Init or Op3D/Init3D)")
+	}
+	if has2D && (s.Op2D == nil || s.Init == nil) {
+		return fmt.Errorf("stencilabft: 2-D spec needs both Op2D and Init")
+	}
+	if has3D && (s.Op3D == nil || s.Init3D == nil) {
+		return fmt.Errorf("stencilabft: 3-D spec needs both Op3D and Init3D")
+	}
+	if s.Deployment == Clustered {
+		if has3D {
+			return fmt.Errorf("stencilabft: the cluster deployment decomposes 2-D domains only")
+		}
+		if s.Scheme != Online {
+			return fmt.Errorf("stencilabft: the cluster deployment protects with the online scheme only (got %q)", s.Scheme)
+		}
+		if s.Ranks < 1 {
+			return fmt.Errorf("stencilabft: cluster deployment needs Ranks >= 1 (got %d)", s.Ranks)
+		}
+		if s.InjectSource != nil {
+			return fmt.Errorf("stencilabft: InjectSource is local-only; cluster injection routes a Plan (set Inject)")
+		}
+		// Knobs the per-rank online protection has no seam for: reject
+		// them loudly rather than silently running a different experiment
+		// than the spec appears to declare.
+		if s.Period != 0 {
+			return fmt.Errorf("stencilabft: Period applies to the offline scheme; the cluster deployment is online-only")
+		}
+		if s.Recovery != FullRollback {
+			return fmt.Errorf("stencilabft: Recovery applies to the offline scheme; the cluster deployment is online-only")
+		}
+		if s.PaperExactCorrection {
+			return fmt.Errorf("stencilabft: PaperExactCorrection is not supported by the cluster deployment (ranks always use the stable correction)")
+		}
+	} else {
+		if s.Ranks != 0 {
+			return fmt.Errorf("stencilabft: Ranks applies to the cluster deployment only (deployment %q with Ranks %d)", s.Deployment, s.Ranks)
+		}
+		if s.Transport != nil {
+			return fmt.Errorf("stencilabft: Transport applies to the cluster deployment only")
+		}
+	}
+	if s.Scheme == Blocked {
+		if has3D {
+			return fmt.Errorf("stencilabft: the blocked scheme tiles 2-D domains only")
+		}
+		if s.BlockX < 1 || s.BlockY < 1 {
+			return fmt.Errorf("stencilabft: blocked scheme needs BlockX and BlockY >= 1 (got %dx%d)", s.BlockX, s.BlockY)
+		}
+	} else if s.BlockX != 0 || s.BlockY != 0 {
+		return fmt.Errorf("stencilabft: BlockX/BlockY apply to the blocked scheme only (scheme %q with %dx%d blocks)",
+			s.Scheme, s.BlockX, s.BlockY)
+	}
+	return nil
+}
+
+// injectSource resolves the spec's fault configuration to the per-iteration
+// hook seam local protectors consume.
+func (s Spec[T]) injectSource() InjectSource[T] {
+	if s.InjectSource != nil {
+		return s.InjectSource
+	}
+	if s.Inject != nil {
+		return NewInjector[T](s.Inject)
+	}
+	return nil
+}
+
+// coreOptions maps the shared knobs onto the core protectors' options.
+func (s Spec[T]) coreOptions() core.Options[T] {
+	return core.Options[T]{
+		Detector:             s.Detector,
+		PairPolicy:           s.PairPolicy,
+		Pool:                 s.Pool,
+		Period:               s.Period,
+		DropBoundaryTerms:    s.DropBoundaryTerms,
+		PaperExactCorrection: s.PaperExactCorrection,
+		Recovery:             s.Recovery,
+		Inject:               s.injectSource(),
+	}
+}
+
+// blocksOptions maps the shared knobs onto the tiled protector's options.
+func (s Spec[T]) blocksOptions() blocks.Options[T] {
+	return blocks.Options[T]{
+		Detector:          s.Detector,
+		Pool:              s.Pool,
+		PairPolicy:        s.PairPolicy,
+		Inject:            s.injectSource(),
+		DropBoundaryTerms: s.DropBoundaryTerms,
+	}
+}
+
+// distOptions maps the shared knobs onto the cluster's options.
+func (s Spec[T]) distOptions() dist.Options[T] {
+	return dist.Options[T]{
+		Detector:          s.Detector,
+		PairPolicy:        s.PairPolicy,
+		Pool:              s.Pool,
+		DropBoundaryTerms: s.DropBoundaryTerms,
+		Inject:            s.Inject,
+		NewTransport:      s.Transport,
+	}
+}
+
+// PairPolicy selects how simultaneous multi-error mismatches are paired
+// into locations (PairByResidual, the robust default, or PairByIndex, the
+// paper's Figure 6 ordering).
+type PairPolicy = checksum.PairPolicy
+
+// Pairing policies.
+const (
+	PairByResidual = checksum.PairByResidual
+	PairByIndex    = checksum.PairByIndex
+)
+
+// InjectSource yields the per-iteration fault-injection hook a protector
+// consults when stepping — the pluggable seam behind Spec.InjectSource and
+// Options.Inject. An Injector (NewInjector) is the standard implementation.
+type InjectSource[T Float] = stencil.InjectSource[T]
+
+// Transport is the cluster's communication seam: send/recv of halo rows
+// plus the iteration barrier. The in-process channel backend is the
+// default; real MPI or socket backends implement this interface and plug
+// in via Spec.Transport. See the dist package for the full contract.
+type Transport[T Float] = dist.Transport[T]
+
+// NewChanTransport returns the default in-process paired-channel transport
+// — exported so custom transports can wrap it (e.g. to trace or delay
+// messages) before handing it to Spec.Transport.
+func NewChanTransport[T Float](nRanks int, ring bool) *dist.ChanTransport[T] {
+	return dist.NewChanTransport[T](nRanks, ring)
+}
