@@ -21,6 +21,7 @@ import (
 	"stencilabft/internal/dist"
 	"stencilabft/internal/fault"
 	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
 )
 
@@ -185,16 +186,19 @@ func BenchmarkAblationFusedChecksum(b *testing.B) {
 	bsum := make([]float32, ny)
 
 	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			op.Sweep(dst, src)
 		}
 	})
 	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			op.SweepFused(dst, src, bsum)
 		}
 	})
 	b.Run("separate", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			op.Sweep(dst, src)
 			stencil.ChecksumB(dst, bsum)
@@ -237,10 +241,12 @@ func BenchmarkAblationParallelSweep(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		pool := &stencil.Pool{Workers: workers}
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				op.SweepParallel(pool, dst, src, bsum)
 			}
 		})
+		pool.Close()
 	}
 }
 
@@ -338,6 +344,71 @@ func BenchmarkDistCluster(b *testing.B) {
 	}
 }
 
+// benchSweepKernels compares the generic k-point sweep loop against the
+// specialized kernels (star5, box9, star7) the plan dispatcher selects —
+// the microscopic view of the kernel-specialization win. ForceGeneric pins
+// the baseline to the dynamic loop on the same operator shape; the "fast"
+// variants go through normal dispatch. Results are bit-identical either way
+// (the pin tests in internal/stencil assert it), so this measures pure
+// instruction-selection gain.
+func benchSweepKernels[T num.Float](b *testing.B) {
+	for _, n := range []int{64, 512, 1024} {
+		kernels := []struct {
+			name string
+			st   *stencil.Stencil[T]
+		}{
+			{"star5", stencil.Laplace5[T](0.2)},
+			{"box9", stencil.BoxBlur[T]()},
+		}
+		for _, k := range kernels {
+			src := grid.New[T](n, n)
+			src.FillFunc(func(x, y int) T { return T(x^y) * 0.01 })
+			dst := grid.New[T](n, n)
+			bsum := make([]T, n)
+			for _, mode := range []struct {
+				name  string
+				force bool
+			}{{"generic", true}, {"fast", false}} {
+				op := &stencil.Op2D[T]{St: k.st, BC: grid.Clamp, ForceGeneric: mode.force}
+				b.Run(fmt.Sprintf("%s/n%d/%s", k.name, n, mode.name), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						op.SweepFused(dst, src, bsum)
+					}
+				})
+			}
+		}
+	}
+	// The 3-D star at the paper's tile depth; n is the layer edge.
+	for _, n := range []int{64, 192} {
+		const nz = 8
+		st := stencil.SevenPoint3D[T](0.4, 0.1, 0.1, 0.1, 0.1, 0.05, 0.15)
+		src := grid.New3D[T](n, n, nz)
+		src.FillFunc(func(x, y, z int) T { return T(x^y^z) * 0.01 })
+		dst := grid.New3D[T](n, n, nz)
+		for _, mode := range []struct {
+			name  string
+			force bool
+		}{{"generic", true}, {"fast", false}} {
+			op := &stencil.Op3D[T]{St: st, BC: grid.Clamp, ForceGeneric: mode.force}
+			b.Run(fmt.Sprintf("star7/n%dx%d/%s", n, nz, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					op.Sweep(dst, src)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSweepKernels is the generic-vs-specialized kernel matrix for
+// float32 and float64 — the first point of the recorded perf trajectory
+// (BENCH_pr3.json; the CI bench step regenerates it as an artifact).
+func BenchmarkSweepKernels(b *testing.B) {
+	b.Run("float32", func(b *testing.B) { benchSweepKernels[float32](b) })
+	b.Run("float64", func(b *testing.B) { benchSweepKernels[float64](b) })
+}
+
 // BenchmarkOnlineStep2D isolates the per-iteration cost of the online
 // protector against the unprotected sweep at the paper's two tile edges —
 // the microscopic view of the <8% overhead claim.
@@ -351,6 +422,7 @@ func BenchmarkOnlineStep2D(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p.Step()
@@ -361,6 +433,7 @@ func BenchmarkOnlineStep2D(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p.Step()

@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, one object per benchmark result — the format the perf trajectory
+// files (BENCH_*.json) record and the CI bench step uploads as an artifact.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem . | benchjson -out BENCH_pr3.json
+//	benchjson -in bench.txt -out BENCH_pr3.json
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored, so piping raw `go test` output works directly. The goos/goarch/
+// pkg/cpu context lines are recorded once at the top level so a trajectory
+// point says what machine produced it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, e.g.
+//
+//	BenchmarkSweepKernels/star5/n512/fast-4   100   912345 ns/op   0 B/op   0 allocs/op
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// File is the trajectory-point document: the machine context plus every
+// parsed result.
+type File struct {
+	Context map[string]string `json:"context,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "input file (default: stdin)")
+		out = flag.String("out", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	doc, err := Parse(r)
+	if err != nil {
+		fail(err)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+// Parse reads `go test -bench` output and extracts the context header and
+// every benchmark result line.
+func Parse(r io.Reader) (*File, error) {
+	doc := &File{Context: map[string]string{}, Results: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				doc.Context[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark result lines found")
+	}
+	return doc, nil
+}
+
+// parseLine decodes one result line: name, iteration count, then unit-
+// tagged value pairs (ns/op, B/op, allocs/op; others are ignored).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			ns, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			res.NsPerOp = ns
+			seenNs = true
+		case "B/op":
+			if b, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.BytesPerOp = &b
+			}
+		case "allocs/op":
+			if a, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.AllocsPerOp = &a
+			}
+		}
+	}
+	return res, seenNs
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

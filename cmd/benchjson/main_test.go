@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: stencilabft
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepKernels/float32/star5/n512/generic-4         	     100	   2201000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSweepKernels/float32/star5/n512/fast-4            	     100	    912345 ns/op	       0 B/op	       0 allocs/op
+BenchmarkOnlineStep2D/n512/online-4                        	     100	   1230058 ns/op
+PASS
+ok  	stencilabft	2.601s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["cpu"] == "" {
+		t.Fatalf("context not captured: %v", doc.Context)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(doc.Results))
+	}
+	r := doc.Results[1]
+	if r.Name != "BenchmarkSweepKernels/float32/star5/n512/fast-4" || r.Iterations != 100 || r.NsPerOp != 912345 {
+		t.Fatalf("bad result: %+v", r)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Fatalf("allocs/op not parsed: %+v", r)
+	}
+	// A line without -benchmem columns still parses, with the pointers nil.
+	if doc.Results[2].BytesPerOp != nil || doc.Results[2].AllocsPerOp != nil {
+		t.Fatalf("memless line grew mem fields: %+v", doc.Results[2])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	abft "stencilabft"
 	"stencilabft/internal/fault"
@@ -72,6 +74,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		blockSz = flag.Int("blocksize", 0, "tile edge for -abft blocked (with -abft online, implies blocked)")
 		ranks   = flag.Int("ranks", 0, "decompose over N simulated ranks (cluster deployment, online scheme)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the protected run to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the protected run to this file")
 	)
 	flag.Parse()
 
@@ -142,6 +146,25 @@ func main() {
 		spec.BlockX, spec.BlockY = bs, bs
 	}
 
+	// Profiling covers exactly the protected run (build through Finalize),
+	// not the reference run above or the reporting below, so profiles
+	// isolate the hot path under measurement. fail() flushes a started
+	// profile before exiting so an error never leaves a truncated file.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
 	timer := metrics.StartTimer()
 	p, err := abft.Build(spec)
 	if err != nil {
@@ -149,7 +172,21 @@ func main() {
 	}
 	p.Run(*iters)
 	p.Finalize()
+	flushCPUProfile()
 	stats := p.Stats()
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // settle allocations so the heap profile shows live + cumulative cleanly
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		f.Close()
+	}
 	l2 := metrics.L2Error(p.Grid(), ref.Grid())
 
 	fmt.Printf("stencilrun %s on %dx%d (%s boundaries), %d iterations, scheme=%s deployment=%s\n",
@@ -164,7 +201,19 @@ func main() {
 	}
 }
 
+// stopCPUProfile is set while a CPU profile is being collected;
+// flushCPUProfile runs it once (from the happy path or from fail).
+var stopCPUProfile func()
+
+func flushCPUProfile() {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+		stopCPUProfile = nil
+	}
+}
+
 func fail(err error) {
+	flushCPUProfile()
 	fmt.Fprintln(os.Stderr, "stencilrun:", err)
 	os.Exit(1)
 }

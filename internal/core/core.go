@@ -29,7 +29,10 @@ type Options[T num.Float] struct {
 	Detector checksum.Detector[T]
 	// PairPolicy selects multi-error pairing (default PairByResidual).
 	PairPolicy checksum.PairPolicy
-	// Pool partitions parallel work; nil runs sequentially.
+	// Pool partitions parallel work; nil runs sequentially. The pool's
+	// persistent workers are spawned on first use and live for the pool's
+	// lifetime, so a protected Run(iters) pays the spawn cost once, not
+	// once per sweep; one pool may be shared by several protectors.
 	Pool *stencil.Pool
 	// Period is the offline detection/checkpoint period Δ (default 16,
 	// the paper's Table 1 value). Ignored by online protectors.

@@ -24,6 +24,12 @@ type Online2D[T num.Float] struct {
 	newB    []T // fused column checksums of iteration t+1
 	interpB []T // interpolated column checksums of iteration t+1
 
+	// edgeRead/edgeWrite are the live-edge views of the two buffer halves,
+	// boxed once at construction (boxing a BoundedGrid into the EdgeSource
+	// interface allocates) and swapped alongside the buffer so the hot
+	// path stays allocation-free. edgeRead always views buf.Read.
+	edgeRead, edgeWrite checksum.EdgeSource[T]
+
 	// scratch for the detection/correction slow path
 	prevA, newA, interpA []T
 
@@ -59,6 +65,8 @@ func NewOnline2D[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], opt Optio
 		interpA: make([]T, nx),
 		corr:    checksum.Corrector[T]{PaperExact: opt.PaperExactCorrection},
 	}
+	p.edgeRead = checksum.LiveEdges(p.buf.Read, op.BC, op.BCValue)
+	p.edgeWrite = checksum.LiveEdges(p.buf.Write, op.BC, op.BCValue)
 	stencil.ChecksumB(p.buf.Read, p.prevB)
 	return p, nil
 }
@@ -93,7 +101,7 @@ func (p *Online2D[T]) StepInject(hook stencil.InjectFunc[T]) {
 		p.op.SweepRange(dst, src, 0, src.Ny(), p.newB, hook)
 	}
 
-	edges := checksum.LiveEdges(src, p.op.BC, p.op.BCValue)
+	edges := p.edgeRead
 	p.ip.InterpolateB(p.prevB, edges, p.interpB)
 	p.stats.Verifications++
 
@@ -104,6 +112,7 @@ func (p *Online2D[T]) StepInject(hook stencil.InjectFunc[T]) {
 
 	p.prevB, p.newB = p.newB, p.prevB
 	p.buf.Swap()
+	p.edgeRead, p.edgeWrite = p.edgeWrite, p.edgeRead
 	p.iter++
 	p.stats.Iterations++
 }

@@ -29,7 +29,13 @@ type Online3D[T num.Float] struct {
 	prevA, interpA [][]T
 	newA           []T
 
-	edges []checksum.EdgeSource[T] // live views of the t-buffer layers
+	flagged []bool // per-layer mismatch scratch, reused every step
+
+	// edges are per-layer live views of the current t-buffer (edges[z]
+	// views buf.Read.Layer(z)); edgesAlt views the other half. Boxing a
+	// layer view into the EdgeSource interface allocates, so both sets are
+	// built once and swapped alongside the buffer.
+	edges, edgesAlt []checksum.EdgeSource[T]
 
 	corr  checksum.Corrector[T]
 	iter  int
@@ -47,23 +53,27 @@ func NewOnline3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Opt
 	}
 	ip.DropBoundaryTerms = opt.DropBoundaryTerms
 	p := &Online3D[T]{
-		op:      op,
-		buf:     grid.Buffer3DFrom(init),
-		ip:      ip,
-		det:     opt.Detector,
-		pool:    opt.Pool,
-		pol:     opt.PairPolicy,
-		inj:     opt.Inject,
-		prevB:   makeLayers[T](nz, ny),
-		newB:    makeLayers[T](nz, ny),
-		interpB: makeLayers[T](nz, ny),
-		prevA:   makeLayers[T](nz, nx),
-		interpA: makeLayers[T](nz, nx),
-		newA:    make([]T, nx),
-		edges:   make([]checksum.EdgeSource[T], nz),
-		corr:    checksum.Corrector[T]{PaperExact: opt.PaperExactCorrection},
+		op:       op,
+		buf:      grid.Buffer3DFrom(init),
+		ip:       ip,
+		det:      opt.Detector,
+		pool:     opt.Pool,
+		pol:      opt.PairPolicy,
+		inj:      opt.Inject,
+		prevB:    makeLayers[T](nz, ny),
+		newB:     makeLayers[T](nz, ny),
+		interpB:  makeLayers[T](nz, ny),
+		prevA:    makeLayers[T](nz, nx),
+		interpA:  makeLayers[T](nz, nx),
+		newA:     make([]T, nx),
+		flagged:  make([]bool, nz),
+		edges:    make([]checksum.EdgeSource[T], nz),
+		edgesAlt: make([]checksum.EdgeSource[T], nz),
+		corr:     checksum.Corrector[T]{PaperExact: opt.PaperExactCorrection},
 	}
 	for z := 0; z < nz; z++ {
+		p.edges[z] = checksum.LiveEdges(p.buf.Read.Layer(z), op.BC, op.BCValue)
+		p.edgesAlt[z] = checksum.LiveEdges(p.buf.Write.Layer(z), op.BC, op.BCValue)
 		stencil.ChecksumB(p.buf.Read.Layer(z), p.prevB[z])
 	}
 	return p, nil
@@ -103,9 +113,6 @@ func (p *Online3D[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
 func (p *Online3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	src, dst := p.buf.Read, p.buf.Write
 	nz := src.Nz()
-	for z := 0; z < nz; z++ {
-		p.edges[z] = checksum.LiveEdges(src.Layer(z), p.op.BC, p.op.BCValue)
-	}
 
 	if p.pool != nil {
 		p.op.SweepParallelHook(p.pool, dst, src, p.newB, hook)
@@ -120,7 +127,10 @@ func (p *Online3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	// write buffer and checksums of the flagged layer only, but the
 	// row-checksum interpolation reads neighbouring layers, so doing it
 	// outside the barrier keeps the memory model trivially racefree.
-	flagged := make([]bool, nz)
+	flagged := p.flagged
+	for z := range flagged {
+		flagged[z] = false
+	}
 	detect := func(z int) {
 		p.ip.InterpolateB(z, p.prevB, p.edges, p.interpB[z])
 		if p.det.AnyMismatch(p.newB[z], p.interpB[z]) {
@@ -160,6 +170,7 @@ func (p *Online3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 
 	p.prevB, p.newB = p.newB, p.prevB
 	p.buf.Swap()
+	p.edges, p.edgesAlt = p.edgesAlt, p.edges
 	p.iter++
 	p.stats.Iterations++
 }

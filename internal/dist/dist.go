@@ -38,8 +38,9 @@ type Options[T num.Float] struct {
 	// PairPolicy selects multi-error pairing (default PairByResidual).
 	PairPolicy checksum.PairPolicy
 	// Pool partitions each rank's local sweep over workers; nil runs each
-	// rank's sweep sequentially on the rank goroutine. The pool is
-	// stateless and safely shared by all ranks.
+	// rank's sweep sequentially on the rank goroutine. The pool's
+	// persistent workers are spawned once and safely shared by all ranks:
+	// every rank's row-range jobs interleave over the same goroutines.
 	Pool *stencil.Pool
 	// DropBoundaryTerms reproduces the paper's simplified listings for the
 	// x-direction beta terms (ablation A1); leave false for exact

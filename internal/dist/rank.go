@@ -41,6 +41,12 @@ type rank[T num.Float] struct {
 	// scratch for the detection/correction slow path (band-only)
 	prevA, newA, interpA []T
 
+	// edgeRead/edgeWrite are the BandEdges views of the two buffer halves,
+	// boxed into the EdgeSource interface once at construction and swapped
+	// alongside the buffer so the per-iteration path stays allocation-free.
+	// edgeRead always views buf.Read.
+	edgeRead, edgeWrite checksum.EdgeSource[T]
+
 	// halo plumbing: the cluster's transport; a missing neighbour (domain
 	// edge under non-periodic boundaries) is resolved from the global
 	// boundary condition instead.
@@ -100,6 +106,8 @@ func newRank[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], id, y0, y1, h
 		globalBC: op.BC,
 		globalNy: init.Ny(),
 	}
+	r.edgeRead = checksum.BandEdges[T]{Ext: r.buf.Read, H: h, BC: r.globalBC, ConstVal: r.op.BCValue}
+	r.edgeWrite = checksum.BandEdges[T]{Ext: r.buf.Write, H: h, BC: r.globalBC, ConstVal: r.op.BCValue}
 	for y := 0; y < nyLoc; y++ {
 		copy(r.buf.Read.Row(h+y), init.Row(y0+y))
 	}
@@ -135,7 +143,7 @@ func (r *rank[T]) step(hook stencil.InjectFunc[T]) {
 		r.op.SweepRange(dst, src, r.bandLo(), r.bandHi(), r.newExtB, hook)
 	}
 
-	edges := checksum.BandEdges[T]{Ext: src, H: r.h, BC: r.globalBC, ConstVal: r.op.BCValue}
+	edges := r.edgeRead
 	r.ip.InterpolateBBand(r.prevExtB, r.h, edges, r.interpB)
 	r.stats.Verifications++
 
@@ -147,6 +155,7 @@ func (r *rank[T]) step(hook stencil.InjectFunc[T]) {
 
 	r.prevExtB, r.newExtB = r.newExtB, r.prevExtB
 	r.buf.Swap()
+	r.edgeRead, r.edgeWrite = r.edgeWrite, r.edgeRead
 	r.stats.Iterations++
 }
 

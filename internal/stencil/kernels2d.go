@@ -1,0 +1,137 @@
+package stencil
+
+import "stencilabft/internal/num"
+
+// Hand-unrolled interior row kernels for the 2-D stencil shapes every
+// benchmark and CLI actually runs. Each kernel computes dst over the
+// interior segment [xlo, xhi) of the row starting at flat index base and
+// threads the fused-checksum accumulator through (acc += value per point,
+// in x order), so its results — domain values AND checksums — are
+// bit-identical to the generic k-point loop for a stencil declared in the
+// same canonical point order (see the pin test in kernels_test.go).
+//
+// Within a point, additions happen weight-by-weight in canonical order,
+// exactly the sequence the generic loop performs for the canonical
+// constructors; no reassociation, no explicit FMA. The constant field c is
+// handled by a hoisted branch: two loop bodies instead of a per-point nil
+// check.
+
+// genericRow is the dynamic k-point interior loop over the plan's
+// precomputed offsets and weights — the fallback for arbitrary stencils,
+// and the body the specialized kernels must match bit for bit.
+func genericRow[T num.Float](dst, src, c []T, offs []int, ws []T, base, xlo, xhi int, acc T) T {
+	k := len(offs)
+	for x := xlo; x < xhi; x++ {
+		idx := base + x
+		var v T
+		if c != nil {
+			v = c[idx]
+		}
+		for i := 0; i < k; i++ {
+			v += ws[i] * src[idx+offs[i]]
+		}
+		dst[idx] = v
+		acc += v
+	}
+	return acc
+}
+
+// genericRowHook is genericRow with the fault-injection hook applied to
+// each value before it is stored and accumulated. It is the one hook-path
+// interior loop shared by SweepRange, SweepLayer and SweepRectFused, kept
+// next to genericRow so the pairing — same operations, same order, so the
+// hook path stays bit-identical to the hook-free path — is structural
+// rather than three hand-synchronised copies.
+func genericRowHook[T num.Float](dst, src, c []T, offs []int, ws []T, base, xlo, xhi, y, z int, hook InjectFunc[T], acc T) T {
+	k := len(offs)
+	for x := xlo; x < xhi; x++ {
+		idx := base + x
+		var v T
+		if c != nil {
+			v = c[idx]
+		}
+		for i := 0; i < k; i++ {
+			v += ws[i] * src[idx+offs[i]]
+		}
+		v = hook(x, y, z, v)
+		dst[idx] = v
+		acc += v
+	}
+	return acc
+}
+
+// star5Row applies the five-point star (centre, west, east, north, south)
+// with weights kw[0..4] in that order.
+func star5Row[T num.Float](dst, src, c []T, base, xlo, xhi, nx int, kw *[9]T, acc T) T {
+	wc, ww, we, wn, ws := kw[0], kw[1], kw[2], kw[3], kw[4]
+	if c != nil {
+		for x := xlo; x < xhi; x++ {
+			idx := base + x
+			v := c[idx]
+			v += wc * src[idx]
+			v += ww * src[idx-1]
+			v += we * src[idx+1]
+			v += wn * src[idx-nx]
+			v += ws * src[idx+nx]
+			dst[idx] = v
+			acc += v
+		}
+		return acc
+	}
+	for x := xlo; x < xhi; x++ {
+		idx := base + x
+		var v T // start from zero like the generic loop: 0 + (-0.0) is +0.0
+		v += wc * src[idx]
+		v += ww * src[idx-1]
+		v += we * src[idx+1]
+		v += wn * src[idx-nx]
+		v += ws * src[idx+nx]
+		dst[idx] = v
+		acc += v
+	}
+	return acc
+}
+
+// box9Row applies the full 3x3 box in NinePoint's row-major order
+// (dy = -1..1 outer, dx = -1..1 inner) with weights kw[0..8].
+func box9Row[T num.Float](dst, src, c []T, base, xlo, xhi, nx int, kw *[9]T, acc T) T {
+	w0, w1, w2 := kw[0], kw[1], kw[2]
+	w3, w4, w5 := kw[3], kw[4], kw[5]
+	w6, w7, w8 := kw[6], kw[7], kw[8]
+	if c != nil {
+		for x := xlo; x < xhi; x++ {
+			idx := base + x
+			up, dn := idx-nx, idx+nx
+			v := c[idx]
+			v += w0 * src[up-1]
+			v += w1 * src[up]
+			v += w2 * src[up+1]
+			v += w3 * src[idx-1]
+			v += w4 * src[idx]
+			v += w5 * src[idx+1]
+			v += w6 * src[dn-1]
+			v += w7 * src[dn]
+			v += w8 * src[dn+1]
+			dst[idx] = v
+			acc += v
+		}
+		return acc
+	}
+	for x := xlo; x < xhi; x++ {
+		idx := base + x
+		up, dn := idx-nx, idx+nx
+		var v T // start from zero like the generic loop: 0 + (-0.0) is +0.0
+		v += w0 * src[up-1]
+		v += w1 * src[up]
+		v += w2 * src[up+1]
+		v += w3 * src[idx-1]
+		v += w4 * src[idx]
+		v += w5 * src[idx+1]
+		v += w6 * src[dn-1]
+		v += w7 * src[dn]
+		v += w8 * src[dn+1]
+		dst[idx] = v
+		acc += v
+	}
+	return acc
+}

@@ -1,0 +1,42 @@
+package stencil
+
+import "stencilabft/internal/num"
+
+// star7Row applies the 3-D seven-point star (centre, west, east, north,
+// south, below, above — the SevenPoint3D order) with weights kw[0..6] over
+// the interior segment [xlo, xhi) of the row at flat index base (which
+// already includes the z-plane offset). Same bit-identity contract as the
+// 2-D kernels in kernels2d.go.
+func star7Row[T num.Float](dst, src, c []T, base, xlo, xhi, nx, plane int, kw *[9]T, acc T) T {
+	wc, ww, we, wn, ws, wb, wa := kw[0], kw[1], kw[2], kw[3], kw[4], kw[5], kw[6]
+	if c != nil {
+		for x := xlo; x < xhi; x++ {
+			idx := base + x
+			v := c[idx]
+			v += wc * src[idx]
+			v += ww * src[idx-1]
+			v += we * src[idx+1]
+			v += wn * src[idx-nx]
+			v += ws * src[idx+nx]
+			v += wb * src[idx-plane]
+			v += wa * src[idx+plane]
+			dst[idx] = v
+			acc += v
+		}
+		return acc
+	}
+	for x := xlo; x < xhi; x++ {
+		idx := base + x
+		var v T // start from zero like the generic loop: 0 + (-0.0) is +0.0
+		v += wc * src[idx]
+		v += ww * src[idx-1]
+		v += we * src[idx+1]
+		v += wn * src[idx-nx]
+		v += ws * src[idx+nx]
+		v += wb * src[idx-plane]
+		v += wa * src[idx+plane]
+		dst[idx] = v
+		acc += v
+	}
+	return acc
+}

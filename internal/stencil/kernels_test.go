@@ -1,0 +1,300 @@
+package stencil
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+)
+
+// The pin tests: every specialized kernel must be bit-identical to the
+// generic SweepRange across all five boundary conditions, odd and tiny
+// sizes (down to 2*radius+1), a non-nil constant field C, and a non-nil
+// inject hook. Specialization must never change results — the README's
+// guarantee points here.
+
+var pinBoundaries = []grid.Boundary{grid.Clamp, grid.Periodic, grid.Mirror, grid.Constant, grid.Zero}
+
+// asymmetric weights so no accidental cancellation can mask an
+// order-of-operations difference.
+func pinStencils2D[T num.Float]() []struct {
+	name string
+	st   *Stencil[T]
+	want kernel
+} {
+	return []struct {
+		name string
+		st   *Stencil[T]
+		want kernel
+	}{
+		{"star5", FivePoint[T](0.37, 0.11, -0.13, 0.21, 0.29), kernStar5},
+		{"laplace5", Laplace5[T](0.2), kernStar5},
+		{"box9", NinePoint[T]([9]T{0.01, -0.02, 0.03, 0.05, 0.81, -0.07, 0.11, 0.13, -0.17}), kernBox9},
+		{"jacobi4-generic", Jacobi4[T](), kernGeneric}, // 4 points: no fast kernel, pins the fallback
+	}
+}
+
+func fillRandom2D[T num.Float](g *grid.Grid[T], rng *rand.Rand) {
+	g.FillFunc(func(x, y int) T { return T(rng.Float64()*200 - 100) })
+}
+
+// sweepPair runs the same fused sweep through the specialized op and a
+// ForceGeneric clone and reports the first bitwise difference.
+func sweepPair2D[T num.Float](t *testing.T, st *Stencil[T], bc grid.Boundary, nx, ny int, withC, withHook bool, rng *rand.Rand) {
+	t.Helper()
+	var c *grid.Grid[T]
+	if withC {
+		c = grid.New[T](nx, ny)
+		fillRandom2D(c, rng)
+	}
+	fast := &Op2D[T]{St: st, BC: bc, BCValue: 2.5, C: c}
+	gen := &Op2D[T]{St: st, BC: bc, BCValue: 2.5, C: c, ForceGeneric: true}
+	if got := gen.plan(nx, ny).kern; got != kernGeneric {
+		t.Fatalf("ForceGeneric plan dispatched %v", got)
+	}
+
+	src := grid.New[T](nx, ny)
+	fillRandom2D(src, rng)
+	dstFast := grid.New[T](nx, ny)
+	dstGen := grid.New[T](nx, ny)
+	bFast := make([]T, ny)
+	bGen := make([]T, ny)
+
+	var hook InjectFunc[T]
+	if withHook {
+		hook = func(x, y, z int, v T) T {
+			if x == nx/2 && y == ny/2 {
+				return num.FlipBit(v, 12)
+			}
+			return v
+		}
+	}
+	fast.SweepRange(dstFast, src, 0, ny, bFast, hook)
+	gen.SweepRange(dstGen, src, 0, ny, bGen, hook)
+
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if dstFast.At(x, y) != dstGen.At(x, y) {
+				t.Fatalf("(%d,%d): fast %v != generic %v", x, y, dstFast.At(x, y), dstGen.At(x, y))
+			}
+		}
+		if bFast[y] != bGen[y] {
+			t.Fatalf("b[%d]: fast %v != generic %v", y, bFast[y], bGen[y])
+		}
+	}
+}
+
+func pinKernels2D[T num.Float](t *testing.T, typ string) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range pinStencils2D[T]() {
+		r := max(k.st.RadiusX(), k.st.RadiusY())
+		minN := 2*r + 1
+		sizes := [][2]int{{minN, minN}, {minN, minN + 4}, {minN + 2, minN}, {5, 7}, {16, 17}, {17, 16}}
+		for _, bc := range pinBoundaries {
+			for _, sz := range sizes {
+				nx, ny := sz[0], sz[1]
+				if nx <= r || ny <= r {
+					continue
+				}
+				for _, withC := range []bool{false, true} {
+					for _, withHook := range []bool{false, true} {
+						name := fmt.Sprintf("%s/%s/%s/%dx%d/C=%v/hook=%v", typ, k.name, bc, nx, ny, withC, withHook)
+						t.Run(name, func(t *testing.T) {
+							op := &Op2D[T]{St: k.st, BC: bc}
+							if got := op.plan(nx, ny).kern; got != k.want {
+								t.Fatalf("dispatched %v, want %v", got, k.want)
+							}
+							sweepPair2D(t, k.st, bc, nx, ny, withC, withHook, rng)
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelPin2DFloat32(t *testing.T) { pinKernels2D[float32](t, "float32") }
+func TestKernelPin2DFloat64(t *testing.T) { pinKernels2D[float64](t, "float64") }
+
+func pinKernels3D[T num.Float](t *testing.T, typ string) {
+	rng := rand.New(rand.NewSource(13))
+	stencils := []struct {
+		name string
+		st   *Stencil[T]
+		want kernel
+	}{
+		{"star7", SevenPoint3D[T](0.31, 0.07, -0.05, 0.11, 0.13, 0.17, -0.19), kernStar7},
+		{"star5-per-layer", Laplace5[T](0.2), kernStar5}, // 2-D stencil swept layer-wise still specializes
+	}
+	for _, k := range stencils {
+		r := max(k.st.RadiusX(), max(k.st.RadiusY(), k.st.RadiusZ()))
+		minN := 2*r + 1
+		sizes := [][3]int{{minN, minN, minN}, {minN, minN + 2, minN + 1}, {7, 5, 3}, {9, 8, 4}}
+		for _, bc := range pinBoundaries {
+			for _, sz := range sizes {
+				nx, ny, nz := sz[0], sz[1], sz[2]
+				for _, withC := range []bool{false, true} {
+					for _, withHook := range []bool{false, true} {
+						name := fmt.Sprintf("%s/%s/%s/%dx%dx%d/C=%v/hook=%v", typ, k.name, bc, nx, ny, nz, withC, withHook)
+						t.Run(name, func(t *testing.T) {
+							var c *grid.Grid3D[T]
+							if withC {
+								c = grid.New3D[T](nx, ny, nz)
+								c.FillFunc(func(x, y, z int) T { return T(rng.Float64()*20 - 10) })
+							}
+							fast := &Op3D[T]{St: k.st, BC: bc, BCValue: -1.5, C: c}
+							gen := &Op3D[T]{St: k.st, BC: bc, BCValue: -1.5, C: c, ForceGeneric: true}
+							if got := fast.plan(nx, ny, nz).kern; got != k.want {
+								t.Fatalf("dispatched %v, want %v", got, k.want)
+							}
+							if got := gen.plan(nx, ny, nz).kern; got != kernGeneric {
+								t.Fatalf("ForceGeneric plan dispatched %v", got)
+							}
+
+							src := grid.New3D[T](nx, ny, nz)
+							src.FillFunc(func(x, y, z int) T { return T(rng.Float64()*200 - 100) })
+							dstFast := grid.New3D[T](nx, ny, nz)
+							dstGen := grid.New3D[T](nx, ny, nz)
+							var hook InjectFunc[T]
+							if withHook {
+								hook = func(x, y, z int, v T) T {
+									if x == nx/2 && y == ny/2 && z == nz/2 {
+										return num.FlipBit(v, 9)
+									}
+									return v
+								}
+							}
+							for z := 0; z < nz; z++ {
+								bFast := make([]T, ny)
+								bGen := make([]T, ny)
+								fast.SweepLayer(dstFast, src, z, bFast, hook)
+								gen.SweepLayer(dstGen, src, z, bGen, hook)
+								for y := 0; y < ny; y++ {
+									if bFast[y] != bGen[y] {
+										t.Fatalf("z=%d b[%d]: fast %v != generic %v", z, y, bFast[y], bGen[y])
+									}
+								}
+							}
+							if dstFast.MaxAbsDiff(dstGen) != 0 {
+								t.Fatal("specialized 3-D sweep differs from generic")
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelPin3DFloat32(t *testing.T) { pinKernels3D[float32](t, "float32") }
+func TestKernelPin3DFloat64(t *testing.T) { pinKernels3D[float64](t, "float64") }
+
+// TestKernelPinRect pins SweepRectFused's specialized interior against the
+// generic one over an interior tile, a border-straddling tile and the full
+// domain — the blocked deployment's unit.
+func TestKernelPinRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	st := NinePoint([9]float64{0.01, -0.02, 0.03, 0.05, 0.81, -0.07, 0.11, 0.13, -0.17})
+	for _, bc := range pinBoundaries {
+		for _, rect := range [][4]int{{0, 0, 16, 12}, {3, 2, 9, 11}, {0, 5, 4, 12}} {
+			fast := &Op2D[float64]{St: st, BC: bc, BCValue: 1.25}
+			gen := &Op2D[float64]{St: st, BC: bc, BCValue: 1.25, ForceGeneric: true}
+			src := grid.New[float64](16, 12)
+			fillRandom2D(src, rng)
+			dstFast := grid.New[float64](16, 12)
+			dstGen := grid.New[float64](16, 12)
+			x0, y0, x1, y1 := rect[0], rect[1], rect[2], rect[3]
+			bFast := make([]float64, y1-y0)
+			bGen := make([]float64, y1-y0)
+			fast.SweepRectFused(dstFast, src, x0, y0, x1, y1, bFast, nil)
+			gen.SweepRectFused(dstGen, src, x0, y0, x1, y1, bGen, nil)
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					if dstFast.At(x, y) != dstGen.At(x, y) {
+						t.Fatalf("bc=%s rect=%v (%d,%d): fast %v != generic %v", bc, rect, x, y, dstFast.At(x, y), dstGen.At(x, y))
+					}
+				}
+				if bFast[y-y0] != bGen[y-y0] {
+					t.Fatalf("bc=%s rect=%v b[%d] differs", bc, rect, y-y0)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanInvalidatedOnShapeChange reuses one operator across two domain
+// shapes; the cached plan must be rebuilt, not reused with stale offsets.
+func TestPlanInvalidatedOnShapeChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	op := &Op2D[float64]{St: Laplace5(0.2), BC: grid.Clamp}
+	for _, n := range []int{16, 8, 12} {
+		src := grid.New[float64](n, n)
+		fillRandom2D(src, rng)
+		got := grid.New[float64](n, n)
+		op.Sweep(got, src)
+
+		fresh := &Op2D[float64]{St: Laplace5(0.2), BC: grid.Clamp}
+		want := grid.New[float64](n, n)
+		fresh.Sweep(want, src)
+		if got.MaxAbsDiff(want) != 0 {
+			t.Fatalf("n=%d: plan reuse across shapes corrupted the sweep", n)
+		}
+	}
+}
+
+// TestPlanInvalidatedOnWeightEdit mutates a stencil weight in place between
+// sweeps; the plan cache validates points, so the second sweep must see the
+// new weight.
+func TestPlanInvalidatedOnWeightEdit(t *testing.T) {
+	src := grid.New[float64](8, 8)
+	src.Fill(1)
+	dst := grid.New[float64](8, 8)
+	st := Laplace5(0.2)
+	op := &Op2D[float64]{St: st, BC: grid.Clamp}
+	op.Sweep(dst, src)
+	st.Points[0].W = 0.5 // centre weight: 1-4*0.2 = 0.2 -> 0.5
+	op.Sweep(dst, src)
+	// A fresh operator built from the already-edited stencil never saw the
+	// old weight; a stale plan would keep sweeping with it.
+	fresh := &Op2D[float64]{St: st, BC: grid.Clamp}
+	want := grid.New[float64](8, 8)
+	fresh.Sweep(want, src)
+	if dst.MaxAbsDiff(want) != 0 {
+		t.Fatalf("stale plan after weight edit: got %v want %v", dst.At(4, 4), want.At(4, 4))
+	}
+}
+
+// TestPlanConcurrentFirstUse hammers a cold operator from many goroutines —
+// the plan cache must be race-free (run under -race) and every goroutine's
+// result identical.
+func TestPlanConcurrentFirstUse(t *testing.T) {
+	const n, workers = 32, 8
+	rng := rand.New(rand.NewSource(23))
+	src := grid.New[float64](n, n)
+	fillRandom2D(src, rng)
+	op := &Op2D[float64]{St: Laplace5(0.2), BC: grid.Clamp}
+	want := grid.New[float64](n, n)
+	(&Op2D[float64]{St: Laplace5(0.2), BC: grid.Clamp}).Sweep(want, src)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := grid.New[float64](n, n)
+			op.Sweep(dst, src)
+			if dst.MaxAbsDiff(want) != 0 {
+				errs <- "concurrent first-use sweep differs"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -7,12 +7,33 @@ import (
 	"stencilabft/internal/grid"
 )
 
-// Pool is a simple fork-join worker pool for domain-decomposed sweeps. The
-// zero value runs everything on the calling goroutine; NewPool sizes the
-// pool from GOMAXPROCS. A Pool carries no state between calls and is safe
-// for concurrent use.
+// Pool is a persistent worker pool for domain-decomposed sweeps. The zero
+// value runs everything on the calling goroutine; NewPool sizes the pool
+// from GOMAXPROCS. On the first parallel call the pool spawns Workers-1
+// long-lived goroutines fed row-range jobs over a channel — the calling
+// goroutine always executes the final chunk itself — so a protected
+// Run(iters) pays the goroutine spawn cost once, not iters x workers times
+// (the pre-persistent pool forked fresh goroutines for every sweep).
+//
+// A Pool is safe for concurrent use: multiple ranks or protectors may share
+// one pool, and their jobs interleave over the same workers. Workers must
+// not be changed after the first parallel call. Workers idle on a channel
+// receive between calls; Close releases them when a pool is truly done
+// (letting them idle for the process lifetime is also fine — each parked
+// goroutine costs only its stack).
 type Pool struct {
 	Workers int
+
+	once   sync.Once
+	jobs   chan poolJob
+	closed bool
+}
+
+// poolJob is one row-range task: run fn(lo, hi), then signal wg.
+type poolJob struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	wg     *sync.WaitGroup
 }
 
 // NewPool returns a pool sized to the machine (GOMAXPROCS).
@@ -26,9 +47,46 @@ func (p *Pool) workers() int {
 	return p.Workers
 }
 
+// start spawns the persistent workers, once. Workers-1 goroutines drain the
+// job channel for the pool's lifetime; the caller of each parallel call is
+// the pool's remaining worker.
+func (p *Pool) start() {
+	p.once.Do(func() {
+		jobs := make(chan poolJob, p.workers())
+		p.jobs = jobs
+		for i := 0; i < p.workers()-1; i++ {
+			go func() {
+				for j := range jobs {
+					j.fn(j.lo, j.hi)
+					j.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// Close stops the persistent workers. It must only be called once no
+// parallel call is in flight and no further ones will follow; a pool that
+// was never used in parallel closes as a no-op, and closing twice is safe.
+// A parallel call after Close panics (fail fast, not a silent hang).
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {}) // never started: consume the once so jobs stays nil
+	if p.jobs != nil {
+		close(p.jobs)
+		p.jobs = nil
+	}
+	p.closed = true
+}
+
 // ForEachChunk splits [0, n) into at most workers contiguous chunks and
-// invokes fn(lo, hi) for each, concurrently, returning when all complete.
-// Chunks differ in size by at most one element.
+// invokes fn(lo, hi) for each, returning when all complete. Chunks differ
+// in size by at most one element. The final chunk always runs on the
+// calling goroutine — with a single worker (or n <= 1) the call degenerates
+// to a plain fn(0, n) with no synchronisation at all — and the remaining
+// chunks are dispatched to the persistent workers.
 func (p *Pool) ForEachChunk(n int, fn func(lo, hi int)) {
 	w := p.workers()
 	if w > n {
@@ -40,22 +98,25 @@ func (p *Pool) ForEachChunk(n int, fn func(lo, hi int)) {
 		}
 		return
 	}
+	p.start()
+	jobs := p.jobs
+	if jobs == nil || p.closed {
+		panic("stencil: Pool used after Close")
+	}
 	var wg sync.WaitGroup
+	wg.Add(w - 1)
 	chunk := n / w
 	rem := n % w
 	lo := 0
-	for i := 0; i < w; i++ {
+	for i := 0; i < w-1; i++ {
 		hi := lo + chunk
 		if i < rem {
 			hi++
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		jobs <- poolJob{lo: lo, hi: hi, fn: fn, wg: &wg}
 		lo = hi
 	}
+	fn(lo, n) // the caller is the last worker
 	wg.Wait()
 }
 

@@ -1,0 +1,124 @@
+package stencil
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolPersistentWorkers pins the pool's lifecycle: the workers are
+// spawned once on first use (at most Workers-1 of them — the caller runs
+// the final chunk) and reused across calls, and Close releases them.
+func TestPoolPersistentWorkers(t *testing.T) {
+	const workers = 4
+	before := runtime.NumGoroutine()
+	p := &Pool{Workers: workers}
+	for call := 0; call < 50; call++ {
+		var n int64
+		p.ForEachChunk(64, func(lo, hi int) { atomic.AddInt64(&n, int64(hi-lo)) })
+		if n != 64 {
+			t.Fatalf("call %d covered %d of 64", call, n)
+		}
+	}
+	during := runtime.NumGoroutine()
+	if spawned := during - before; spawned > workers-1 {
+		t.Fatalf("pool spawned %d goroutines over 50 calls, want at most %d persistent workers", spawned, workers-1)
+	}
+	p.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("after Close: %d goroutines, was %d before first use", after, before)
+	}
+}
+
+// TestPoolCloseUnused verifies Close on a never-used pool is a no-op.
+func TestPoolCloseUnused(t *testing.T) {
+	p := &Pool{Workers: 8}
+	p.Close()
+	p.Close() // double Close must not panic either
+}
+
+// TestPoolUseAfterClosePanics verifies a parallel call on a closed pool
+// fails fast with a panic instead of hanging on a dead job channel.
+func TestPoolUseAfterClosePanics(t *testing.T) {
+	p := &Pool{Workers: 4}
+	p.ForEachChunk(8, func(lo, hi int) {})
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForEachChunk after Close did not panic")
+		}
+	}()
+	p.ForEachChunk(8, func(lo, hi int) {})
+}
+
+// TestPoolSharedConcurrently drives one pool from several goroutines at
+// once — the sharing pattern of dist ranks — and checks every call's
+// indices are each covered exactly once.
+func TestPoolSharedConcurrently(t *testing.T) {
+	p := &Pool{Workers: 4}
+	defer p.Close()
+	const callers, n = 6, 97
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				covered := make([]int32, n)
+				p.ForEachChunk(n, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&covered[i], 1)
+					}
+				})
+				for i := range covered {
+					if covered[i] != 1 {
+						errs <- "index covered wrong number of times"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestPoolCallerRunsFinalChunk verifies the calling goroutine executes the
+// final chunk itself: with every persistent worker wedged, a call whose
+// chunk count fits in the job buffer still makes progress on the caller's
+// own chunk before blocking on the others.
+func TestPoolCallerRunsFinalChunk(t *testing.T) {
+	p := &Pool{Workers: 2} // one persistent worker + the caller
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	callerRan := make(chan int, 1)
+	go func() {
+		p.ForEachChunk(2, func(lo, hi int) {
+			if lo == 1 { // final chunk: must run on the caller, even while the worker is wedged
+				callerRan <- lo
+			} else { // chunk [0,1) goes to the lone persistent worker
+				close(started)
+				<-block
+			}
+		})
+	}()
+	<-started
+	select {
+	case <-callerRan:
+		// the caller made progress while the lone worker was blocked
+	case <-time.After(2 * time.Second):
+		t.Fatal("final chunk did not run while the persistent worker was blocked")
+	}
+	close(block)
+}

@@ -24,16 +24,10 @@ func (op *Op2D[T]) SweepRectFused(dst, src *grid.Grid[T], x0, y0, x1, y1 int, b 
 	if x0 < 0 || y0 < 0 || x1 > nx || y1 > ny || x0 > x1 || y0 > y1 {
 		panic("stencil: SweepRectFused rectangle out of range")
 	}
+	pl := op.plan(nx, ny)
 	bg := grid.BoundedGrid[T]{G: src, Cond: op.BC, ConstVal: op.BCValue}
-	pts := op.St.Points
-	k := len(pts)
-	offs := make([]int, k)
-	ws := make([]T, k)
-	for i, p := range pts {
-		offs[i] = p.DX + p.DY*nx
-		ws[i] = p.W
-	}
-	rx, ry := op.St.RadiusX(), op.St.RadiusY()
+	offs, ws := pl.offs, pl.ws
+	rx, ry := pl.rx, pl.ry
 	srcD, dstD := src.Data(), dst.Data()
 	var cD []T
 	if op.C != nil {
@@ -57,20 +51,10 @@ func (op *Op2D[T]) SweepRectFused(dst, src *grid.Grid[T], x0, y0, x1, y1 int, b 
 			dstD[base+x] = v
 			acc += v
 		}
-		for x := xlo; x < xhi; x++ {
-			idx := base + x
-			var v T
-			if cD != nil {
-				v = cD[idx]
-			}
-			for i := 0; i < k; i++ {
-				v += ws[i] * srcD[idx+offs[i]]
-			}
-			if hook != nil {
-				v = hook(x, y, 0, v)
-			}
-			dstD[idx] = v
-			acc += v
+		if hook == nil {
+			acc = pl.sweepRow(dstD, srcD, cD, base, xlo, xhi, acc)
+		} else {
+			acc = genericRowHook(dstD, srcD, cD, offs, ws, base, xlo, xhi, y, 0, hook, acc)
 		}
 		for x := max(xhi, min(xlo, x1)); x < x1; x++ {
 			v := op.pointSlow(bg, cD, x, y, nx)

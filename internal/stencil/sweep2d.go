@@ -42,6 +42,16 @@ type Op2D[T num.Float] struct {
 	BC      grid.Boundary
 	BCValue T             // ghost value when BC == grid.Constant
 	C       *grid.Grid[T] // optional constant field; nil means zero
+
+	// ForceGeneric disables specialized-kernel dispatch, pinning every
+	// sweep to the dynamic k-point loop. Specialization is bit-identical
+	// to the generic loop (kernels_test.go), so this is only a baseline
+	// knob for benchmarks and the pin tests themselves.
+	ForceGeneric bool
+
+	// planc caches the compiled sweep plan (offsets, weights, interior
+	// bounds, kernel choice) for the last-seen shape; see plan.go.
+	planc planCache[plan2d[T]]
 }
 
 // Validate checks the operator against a domain of the given shape.
@@ -84,6 +94,13 @@ func (op *Op2D[T]) SweepFused(dst, src *grid.Grid[T], b []T) {
 // when hook is non-nil. It is the primitive both the parallel engine and
 // the fault injector build on; distinct row ranges touch disjoint rows of
 // dst and disjoint entries of b, so concurrent calls need no locking.
+//
+// The interior of each row runs through the operator's compiled plan
+// (plan.go): precomputed offsets/weights — no per-call allocation — and a
+// hand-unrolled kernel when the stencil matches one of the canonical
+// shapes. A non-nil hook pins the interior to the generic loop, which
+// applies the same operations in the same order, so the hook path stays
+// bit-identical to the hook-free one.
 func (op *Op2D[T]) SweepRange(dst, src *grid.Grid[T], y0, y1 int, b []T, hook InjectFunc[T]) {
 	nx, ny := src.Nx(), src.Ny()
 	if dst == src {
@@ -92,16 +109,10 @@ func (op *Op2D[T]) SweepRange(dst, src *grid.Grid[T], y0, y1 int, b []T, hook In
 	if !dst.SameShape(src) {
 		panic("stencil: sweep shape mismatch")
 	}
+	pl := op.plan(nx, ny)
 	bg := grid.BoundedGrid[T]{G: src, Cond: op.BC, ConstVal: op.BCValue}
-	pts := op.St.Points
-	k := len(pts)
-	offs := make([]int, k)
-	ws := make([]T, k)
-	for i, p := range pts {
-		offs[i] = p.DX + p.DY*nx
-		ws[i] = p.W
-	}
-	rx, ry := op.St.RadiusX(), op.St.RadiusY()
+	offs, ws := pl.offs, pl.ws
+	rx, ry := pl.rx, pl.ry
 	srcD, dstD := src.Data(), dst.Data()
 	var cD []T
 	if op.C != nil {
@@ -125,20 +136,10 @@ func (op *Op2D[T]) SweepRange(dst, src *grid.Grid[T], y0, y1 int, b []T, hook In
 			dstD[base+x] = v
 			acc += v
 		}
-		for x := xlo; x < xhi; x++ {
-			idx := base + x
-			var v T
-			if cD != nil {
-				v = cD[idx]
-			}
-			for i := 0; i < k; i++ {
-				v += ws[i] * srcD[idx+offs[i]]
-			}
-			if hook != nil {
-				v = hook(x, y, 0, v)
-			}
-			dstD[idx] = v
-			acc += v
+		if hook == nil {
+			acc = pl.sweepRow(dstD, srcD, cD, base, xlo, xhi, acc)
+		} else {
+			acc = genericRowHook(dstD, srcD, cD, offs, ws, base, xlo, xhi, y, 0, hook, acc)
 		}
 		for x := max(xhi, min(xlo, nx)); x < nx; x++ {
 			v := op.pointSlow(bg, cD, x, y, nx)

@@ -15,6 +15,13 @@ type Op3D[T num.Float] struct {
 	BC      grid.Boundary
 	BCValue T               // ghost value when BC == grid.Constant
 	C       *grid.Grid3D[T] // optional constant field; nil means zero
+
+	// ForceGeneric disables specialized-kernel dispatch; see Op2D.
+	ForceGeneric bool
+
+	// planc caches the compiled sweep plan for the last-seen shape; see
+	// plan.go.
+	planc planCache[plan3d[T]]
 }
 
 // Validate checks the operator against a domain of the given shape.
@@ -55,17 +62,11 @@ func (op *Op3D[T]) SweepLayer(dst, src *grid.Grid3D[T], z int, b []T, hook Injec
 	if !dst.SameShape(src) {
 		panic("stencil: sweep shape mismatch")
 	}
+	pl := op.plan(nx, ny, nz)
 	bg := grid.BoundedGrid3D[T]{G: src, Cond: op.BC, ConstVal: op.BCValue}
-	pts := op.St.Points
-	k := len(pts)
-	plane := nx * ny
-	offs := make([]int, k)
-	ws := make([]T, k)
-	for i, p := range pts {
-		offs[i] = p.DX + p.DY*nx + p.DZ*plane
-		ws[i] = p.W
-	}
-	rx, ry, rz := op.St.RadiusX(), op.St.RadiusY(), op.St.RadiusZ()
+	offs, ws := pl.offs, pl.ws
+	plane := pl.plane
+	rx, ry, rz := pl.rx, pl.ry, pl.rz
 	srcD, dstD := src.Data(), dst.Data()
 	var cD []T
 	if op.C != nil {
@@ -88,20 +89,10 @@ func (op *Op3D[T]) SweepLayer(dst, src *grid.Grid3D[T], z int, b []T, hook Injec
 			dstD[base+x] = v
 			acc += v
 		}
-		for x := xlo; x < xhi; x++ {
-			idx := base + x
-			var v T
-			if cD != nil {
-				v = cD[idx]
-			}
-			for i := 0; i < k; i++ {
-				v += ws[i] * srcD[idx+offs[i]]
-			}
-			if hook != nil {
-				v = hook(x, y, z, v)
-			}
-			dstD[idx] = v
-			acc += v
+		if hook == nil {
+			acc = pl.sweepRow(dstD, srcD, cD, base, xlo, xhi, acc)
+		} else {
+			acc = genericRowHook(dstD, srcD, cD, offs, ws, base, xlo, xhi, y, z, hook, acc)
 		}
 		for x := max(xhi, min(xlo, nx)); x < nx; x++ {
 			v := op.pointSlow(bg, cD, x, y, z, nx, plane)
