@@ -280,12 +280,21 @@ const (
 	ConeRecovery = core.ConeRecovery
 )
 
-// Cluster is the distributed-memory deployment: the domain decomposed into
-// row bands over simulated ranks exchanging halo rows through the Transport
-// seam, each rank running the online ABFT scheme independently. It
+// Cluster is the 2-D distributed-memory deployment: the domain decomposed
+// over a Cartesian rank grid of simulated ranks (Spec.RanksX × Spec.RanksY,
+// or Spec.Ranks row bands) exchanging halo strips through the Transport
+// seam, each rank running the online ABFT scheme on its own tile. It
 // satisfies the unified Protector contract (Grid gathers the global
-// domain); RankStats exposes the per-rank counters Stats merges.
+// domain); RankStats exposes the per-rank counters Stats merges, including
+// the topology shape and per-direction halo traffic.
 type Cluster[T Float] = dist.Cluster[T]
+
+// Cluster3D is the 3-D distributed-memory deployment: the domain
+// decomposed into z-layer slabs over Spec.Ranks simulated ranks, each
+// running the per-layer online ABFT scheme on its own slab — structurally
+// the 1-D band cluster lifted one dimension. Built by Build from a 3-D
+// Clustered spec.
+type Cluster3D[T Float] = dist.Cluster3D[T]
 
 // ClusterOptions configure the per-rank protection of a Cluster built
 // through the deprecated NewCluster.

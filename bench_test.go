@@ -344,6 +344,46 @@ func BenchmarkDistCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkCluster compares the decomposition topologies at a fixed rank
+// count: 1-D row bands (4x1) against the 2-D Cartesian grid (2x2), at the
+// perf-trajectory domain edges. The work per rank is identical (same
+// points, same per-rank ABFT); what differs is the halo surface — bands
+// exchange 2 full-width rows per interior seam, the grid exchanges shorter
+// rows plus packed columns — so this measures the surface-to-volume
+// economics of the topology, the scaling argument behind 2-D/3-D
+// decompositions. BENCH_pr4.json records the trajectory point.
+func BenchmarkCluster(b *testing.B) {
+	const iters = 4
+	for _, n := range []int{512, 1024} {
+		init := grid.New[float64](n, n)
+		init.FillFunc(func(x, y int) float64 { return 100 + float64((x*31+y*17)%23) })
+		op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+		for _, topo := range []struct {
+			name   string
+			rx, ry int
+		}{
+			{"bands4x1", 1, 4},
+			{"grid2x2", 2, 2},
+		} {
+			b.Run(fmt.Sprintf("n%d/%s", n, topo.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c, err := dist.NewClusterGrid(op, init, topo.rx, topo.ry, dist.Options[float64]{
+						Detector: checksum.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					c.Run(iters)
+					if c.Stats().Detections != 0 {
+						b.Fatal("false positive in bench")
+					}
+				}
+			})
+		}
+	}
+}
+
 // benchSweepKernels compares the generic k-point sweep loop against the
 // specialized kernels (star5, box9, star7) the plan dispatcher selects —
 // the microscopic view of the kernel-specialization win. ForceGeneric pins

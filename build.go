@@ -40,6 +40,7 @@ var (
 	_ Protector[float32] = (*Offline3D[float32])(nil)
 	_ Protector[float32] = (*Blocked2D[float32])(nil)
 	_ Protector[float32] = (*Cluster[float32])(nil)
+	_ Protector[float32] = (*Cluster3D[float32])(nil)
 	_ Protector[float64] = (*None2D[float64])(nil)
 	_ Protector[float64] = (*Online2D[float64])(nil)
 	_ Protector[float64] = (*Offline2D[float64])(nil)
@@ -48,6 +49,7 @@ var (
 	_ Protector[float64] = (*Offline3D[float64])(nil)
 	_ Protector[float64] = (*Blocked2D[float64])(nil)
 	_ Protector[float64] = (*Cluster[float64])(nil)
+	_ Protector[float64] = (*Cluster3D[float64])(nil)
 )
 
 // BuildFunc constructs a protector from a validated Spec — the entry type
@@ -128,5 +130,10 @@ func buildBlocked[T Float](spec Spec[T]) (Protector[T], error) {
 }
 
 func buildCluster[T Float](spec Spec[T]) (Protector[T], error) {
-	return dist.NewCluster(spec.Op2D, spec.Init, spec.Ranks, spec.distOptions())
+	if spec.is3D() {
+		// Validation pinned the topology to layers: z-slab decomposition.
+		return dist.NewCluster3D(spec.Op3D, spec.Init3D, spec.Ranks, spec.distOptions())
+	}
+	rx, ry := spec.rankGrid()
+	return dist.NewClusterGrid(spec.Op2D, spec.Init, rx, ry, spec.distOptions())
 }

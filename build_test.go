@@ -162,6 +162,118 @@ func TestBuildMatrix3D(t *testing.T) {
 	}
 }
 
+// TestBuildClusterTopologies drives the factory across the cluster
+// topology surface: the Ranks shorthand, the explicit bands topology and
+// the equivalent 1-column grid must produce bit-identical runs, and a
+// proper 2-D rank grid must match the single-process reference while
+// tagging its stats with the grid shape.
+func TestBuildClusterTopologies(t *testing.T) {
+	ref, err := abft.Build(abft.Spec[float64]{Op2D: matrixOp(grid.Clamp), Init: matrixInit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(matrixIters)
+
+	build := func(t *testing.T, spec abft.Spec[float64]) *abft.Grid[float64] {
+		t.Helper()
+		spec.Scheme = abft.Online
+		spec.Deployment = abft.Clustered
+		spec.Op2D, spec.Init = matrixOp(grid.Clamp), matrixInit()
+		spec.Detector = strictDetector()
+		p, err := abft.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(matrixIters)
+		if st := p.Stats(); st.Detections != 0 {
+			t.Fatalf("false positive: %+v", st)
+		}
+		return p.Grid()
+	}
+
+	shorthand := build(t, abft.Spec[float64]{Ranks: matrixRanks})
+	if diff := shorthand.MaxAbsDiff(ref.Grid()); diff != 0 {
+		t.Fatalf("Ranks shorthand deviates from reference by %g", diff)
+	}
+	bands := build(t, abft.Spec[float64]{Ranks: matrixRanks, Topology: abft.TopoBands})
+	if diff := bands.MaxAbsDiff(shorthand); diff != 0 {
+		t.Fatalf("explicit bands topology deviates from the Ranks shorthand by %g", diff)
+	}
+	column := build(t, abft.Spec[float64]{RanksX: 1, RanksY: matrixRanks})
+	if diff := column.MaxAbsDiff(shorthand); diff != 0 {
+		t.Fatalf("1-column grid deviates from the Ranks shorthand by %g", diff)
+	}
+	gridded := build(t, abft.Spec[float64]{RanksX: 3, RanksY: 2})
+	if diff := gridded.MaxAbsDiff(ref.Grid()); diff != 0 {
+		t.Fatalf("2-D rank grid deviates from reference by %g", diff)
+	}
+
+	p, err := abft.Build(abft.Spec[float64]{
+		Scheme: abft.Online, Deployment: abft.Clustered,
+		Op2D: matrixOp(grid.Clamp), Init: matrixInit(),
+		Detector: strictDetector(), RanksX: 3, RanksY: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(1)
+	if st := p.Stats(); st.Topology != "grid 2x3" {
+		t.Fatalf("grid run topology %q", st.Topology)
+	}
+	if c, ok := p.(*abft.Cluster[float64]); !ok {
+		t.Fatalf("grid cluster built %T", p)
+	} else if c.Ranks() != 6 {
+		t.Fatalf("grid cluster has %d ranks", c.Ranks())
+	}
+}
+
+// TestBuildCluster3D covers the 3-D face of the cluster deployment: a
+// layer-decomposed run built from a Spec must match the single-process 3-D
+// reference bit for bit, expose per-rank stats through the concrete
+// Cluster3D type, and default its topology to layers.
+func TestBuildCluster3D(t *testing.T) {
+	op3 := func() *abft.Op3D[float64] {
+		return &abft.Op3D[float64]{
+			St: abft.SevenPoint3D[float64](0.5, 0.08, 0.08, 0.09, 0.09, 0.06, 0.10),
+			BC: grid.Clamp,
+		}
+	}
+	init3 := func() *abft.Grid3D[float64] {
+		g := abft.New3D[float64](14, 12, 6)
+		g.FillFunc(func(x, y, z int) float64 { return 300 + float64((x*7+y*5+z*3)%13) })
+		return g
+	}
+	ref, err := abft.Build(abft.Spec[float64]{Op3D: op3(), Init3D: init3()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(matrixIters)
+
+	for _, topo := range []abft.Topology{"", abft.TopoLayers} {
+		p, err := abft.Build(abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Topology: topo,
+			Op3D: op3(), Init3D: init3(), Ranks: 2, Detector: strictDetector(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(matrixIters)
+		if st := p.Stats(); st.Detections != 0 || st.Topology != "layers 2" {
+			t.Fatalf("3-D cluster stats: %+v", st)
+		}
+		if diff := p.Grid3D().MaxAbsDiff(ref.Grid3D()); diff != 0 {
+			t.Fatalf("3-D cluster deviates from reference by %g", diff)
+		}
+		c, ok := p.(*abft.Cluster3D[float64])
+		if !ok {
+			t.Fatalf("3-D cluster built %T", p)
+		}
+		if rs := c.RankStats(); len(rs) != 2 || rs[0].HaloByDir[1] != matrixIters {
+			t.Fatalf("per-rank stats: %+v", rs)
+		}
+	}
+}
+
 // TestBuildInvalidSpecs covers the factory's error paths: every malformed
 // or unsupported spec must fail at Build time with a descriptive error.
 func TestBuildInvalidSpecs(t *testing.T) {
@@ -173,8 +285,31 @@ func TestBuildInvalidSpecs(t *testing.T) {
 		name string
 		spec abft.Spec[float64]
 	}{
-		{"cluster+3D", abft.Spec[float64]{
-			Scheme: abft.Online, Deployment: abft.Clustered, Op3D: op3, Init3D: init3, Ranks: 2}},
+		{"cluster+3D with a 2-D topology", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op3D: op3, Init3D: init3, Ranks: 2,
+			Topology: abft.TopoGrid}},
+		{"cluster+3D with a rank grid (layer clusters take Ranks)", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op3D: op3, Init3D: init3,
+			RanksX: 1, RanksY: 2}},
+		{"cluster+2D with the layers topology", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Topology: abft.TopoLayers}},
+		{"ranks and rank grid both set", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			RanksX: 2, RanksY: 2}},
+		{"rank grid with a zero factor", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, RanksX: 2}},
+		{"bands topology with rank columns", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init,
+			RanksX: 2, RanksY: 2, Topology: abft.TopoBands}},
+		{"unknown topology", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Topology: "hypercube"}},
+		{"topology on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init, Topology: abft.TopoGrid}},
+		{"rank grid too fine for the stencil", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init,
+			RanksX: matrixNx, RanksY: 1}},
 		{"blocked+offline (block size on a non-blocked scheme)", abft.Spec[float64]{
 			Scheme: abft.Offline, Op2D: op, Init: init, BlockX: matrixBlock, BlockY: matrixBlock}},
 		{"ranks<1", abft.Spec[float64]{
@@ -212,10 +347,12 @@ func TestBuildInvalidSpecs(t *testing.T) {
 			PaperExactCorrection: true}},
 		{"ranks on local", abft.Spec[float64]{
 			Scheme: abft.Online, Op2D: op, Init: init, Ranks: 4}},
+		{"rank grid on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init, RanksX: 2, RanksY: 2}},
 		{"transport on local", abft.Spec[float64]{
 			Scheme: abft.Online, Op2D: op, Init: init,
-			Transport: func(n int, ring bool) abft.Transport[float64] {
-				return abft.NewChanTransport[float64](n, ring)
+			Transport: func(rx, ry int, ring bool) abft.Transport[float64] {
+				return abft.NewChanTransport[float64](rx, ry, ring)
 			}}},
 	}
 	for _, tc := range cases {

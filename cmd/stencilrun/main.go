@@ -10,6 +10,7 @@
 //	stencilrun -kernel advect -bc constant -bcvalue 25 -inject
 //	stencilrun -abft blocked -blocksize 64
 //	stencilrun -ranks 4 -inject
+//	stencilrun -rankgrid 2x3 -inject
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	abft "stencilabft"
 	"stencilabft/internal/fault"
@@ -26,6 +29,20 @@ import (
 	"stencilabft/internal/metrics"
 	"stencilabft/internal/stencil"
 )
+
+// parseRankGrid parses the -rankgrid value "RxC" (R rank rows splitting the
+// domain's y axis by C rank columns splitting x) into its two factors.
+func parseRankGrid(s string) (rows, cols int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) == 2 {
+		rows, errR := strconv.Atoi(parts[0])
+		cols, errC := strconv.Atoi(parts[1])
+		if errR == nil && errC == nil {
+			return rows, cols, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("invalid -rankgrid %q (want RxC, e.g. 2x3 for 2 rank rows by 3 rank columns)", s)
+}
 
 func kernelByName(name string) (*stencil.Stencil[float32], error) {
 	switch name {
@@ -73,7 +90,8 @@ func main() {
 		inject  = flag.Bool("inject", false, "inject a single random bit-flip")
 		seed    = flag.Int64("seed", 1, "seed")
 		blockSz = flag.Int("blocksize", 0, "tile edge for -abft blocked (with -abft online, implies blocked)")
-		ranks   = flag.Int("ranks", 0, "decompose over N simulated ranks (cluster deployment, online scheme)")
+		ranks   = flag.Int("ranks", 0, "decompose over N simulated rank row-bands: alias for -rankgrid Nx1 (cluster deployment, online scheme)")
+		rgrid   = flag.String("rankgrid", "", "decompose over an RxC Cartesian rank grid, e.g. 2x3 (cluster deployment, online scheme)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the protected run to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile taken after the protected run to this file")
 	)
@@ -114,7 +132,19 @@ func main() {
 		}
 	}
 	deployment := abft.Local
-	if *ranks > 0 {
+	var ranksX, ranksY int
+	switch {
+	case *rgrid != "" && *ranks > 0:
+		fail(fmt.Errorf("-ranks is the Nx1 shorthand for -rankgrid; set one of them, not both"))
+	case *rgrid != "":
+		rows, cols, err := parseRankGrid(*rgrid)
+		if err != nil {
+			fail(err)
+		}
+		ranksX, ranksY = cols, rows
+		deployment = abft.Clustered
+	case *ranks > 0:
+		ranksX, ranksY = 1, *ranks
 		deployment = abft.Clustered
 	}
 
@@ -132,7 +162,8 @@ func main() {
 		Init:       init,
 		Detector:   abft.Detector[float32]{Epsilon: float32(*epsilon), AbsFloor: 1},
 		Pool:       abft.NewPool(),
-		Ranks:      *ranks,
+		RanksX:     ranksX,
+		RanksY:     ranksY,
 		Inject:     plan,
 	}
 	if scheme == abft.Offline {
@@ -196,7 +227,7 @@ func main() {
 	fmt.Printf("protector stats:  %v\n", stats)
 	if c, ok := p.(*abft.Cluster[float32]); ok {
 		for i, s := range c.RankStats() {
-			fmt.Printf("  rank %d: %v\n", i, s)
+			fmt.Printf("  rank %d tile %v: %v\n", i, c.Tile(i), s)
 		}
 	}
 }

@@ -1,11 +1,15 @@
 // Distributed: the paper's distributed-memory story — a 2-D heat domain
-// decomposed into row bands across simulated ranks, with every rank running
-// the online ABFT scheme on its own band, no checksum communication at all.
-// The ranks exchange halo rows through the dist Transport seam (the default
-// in-process channel backend here; a real MPI or socket transport drops in
-// via Spec.Transport). One rank detects and corrects a bit-flip locally
-// while the others never even notice — the "intrinsically parallel"
-// property of Section 1.
+// decomposed over a Cartesian rank grid (here 3 rank rows × 2 rank
+// columns), with every rank running the online ABFT scheme on its own
+// tile, no checksum communication at all. The ranks exchange halo rows and
+// columns through the dist Transport seam (the default in-process channel
+// backend here; a real MPI or socket transport drops in via
+// Spec.Transport), with corner data threaded through the edge messages so
+// even box kernels stay exact across tile seams. One rank detects and
+// corrects a bit-flip locally while the others never even notice — the
+// "intrinsically parallel" property of Section 1. Setting Ranks: 6 instead
+// of the rank grid reproduces the paper's 1-D row bands with the same
+// code.
 package main
 
 import (
@@ -16,9 +20,9 @@ import (
 )
 
 const (
-	nx, ny     = 96, 120
-	ranks      = 6
-	iterations = 80
+	nx, ny         = 96, 120
+	ranksX, ranksY = 2, 3
+	iterations     = 80
 )
 
 func main() {
@@ -38,35 +42,41 @@ func main() {
 	}
 	ref.Run(iterations)
 
-	// Same operator and domain, clustered deployment: only the Spec
-	// changes. A bit-flip lands in rank 2's band (rows 40..59) and is
-	// routed to that rank.
+	// Same operator and domain, clustered deployment over a 3x2 rank
+	// grid: only the Spec changes. A bit-flip lands right at the seam
+	// corner of rank 0's tile (columns 0..47, rows 0..39) — the point
+	// three neighbouring tiles read as halo data — and is still detected
+	// and repaired by rank 0 alone, before the next exchange exports it.
 	p, err := abft.Build(abft.Spec[float64]{
 		Scheme:     abft.Online,
 		Deployment: abft.Clustered,
 		Op2D:       op,
 		Init:       init,
-		Ranks:      ranks,
+		RanksX:     ranksX,
+		RanksY:     ranksY,
 		Detector:   abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
-		Inject:     abft.NewPlan(abft.Injection{Iteration: 33, X: 50, Y: 47, Bit: 59}),
+		Inject:     abft.NewPlan(abft.Injection{Iteration: 33, X: 47, Y: 39, Bit: 59}),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	p.Run(iterations)
 
-	fmt.Printf("domain %dx%d over %d ranks, %d iterations, one injected bit-flip\n\n",
-		nx, ny, ranks, iterations)
-	fmt.Println("rank  detections  corrected")
+	fmt.Printf("domain %dx%d over a %dx%d rank grid, %d iterations, one injected bit-flip\n\n",
+		nx, ny, ranksY, ranksX, iterations)
+	fmt.Println("rank  tile               detections  corrected  halo msgs (u/d/l/r)")
 	cluster := p.(*abft.Cluster[float64])
 	for i, s := range cluster.RankStats() {
-		fmt.Printf("%4d  %10d  %9d\n", i, s.Detections, s.CorrectedPoints)
+		h := s.HaloByDir
+		fmt.Printf("%4d  %-17v  %10d  %9d  %d/%d/%d/%d\n",
+			i, cluster.Tile(i), s.Detections, s.CorrectedPoints, h[0], h[1], h[2], h[3])
 	}
 
 	diff := p.Grid().MaxAbsDiff(ref.Grid())
 	fmt.Printf("\nmax deviation from the single-process error-free run: %g\n", diff)
 
 	ts := p.Stats() // the per-rank counters merged
+	fmt.Printf("topology: %s\n", ts.Topology)
 	if ts.Detections == 0 || ts.CorrectedPoints == 0 {
 		log.Fatal("the injected corruption was not handled")
 	}

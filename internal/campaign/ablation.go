@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	abft "stencilabft"
 	"stencilabft/internal/checksum"
 	"stencilabft/internal/grid"
 	"stencilabft/internal/metrics"
@@ -13,15 +14,107 @@ import (
 )
 
 // Ablations runs the design-choice experiments called out in DESIGN.md
-// (A1, A2, A3, A5) at the given configuration's in-layer size and renders
-// one table per question. A4 (parallel sweep scaling) lives in the root
-// bench suite where testing.B controls iteration counts.
+// (A1, A2, A3, A5, A7) at the given configuration's in-layer size and
+// renders one table per question. A4 (parallel sweep scaling) lives in the
+// root bench suite where testing.B controls iteration counts.
 func Ablations(cfg TileConfig, w io.Writer) error {
 	ablationBoundaryTerms(cfg, w)
 	ablationFusedChecksum(cfg, w)
 	ablationKahan(cfg, w)
 	ablationPairing(cfg, w)
 	ablationBlockSize(cfg, w)
+	if err := ablationGridTopology(cfg, w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ablationGridTopology (A7): the paper's single-bit-flip fault sweep run on
+// a 2-D (2x2) rank grid, with injection sites classified by where they land
+// relative to the tile seams — interior, seam edge (the point a neighbour
+// reads as halo), the interior cross corner where four tiles meet, and the
+// domain corners. The claim under test is the paper's "intrinsically
+// parallel" property extended to 2-D decompositions: every corruption is
+// detected AND repaired by exactly the rank owning the tile, with zero
+// detections on bystander ranks (no leakage through halo or corner
+// threading), and the repaired result stays within correction residual of
+// the error-free reference.
+func ablationGridTopology(cfg TileConfig, w io.Writer) error {
+	nx, ny := max(cfg.Nx, 16), max(cfg.Ny, 16)
+	iters := max(cfg.Iterations, 16)
+	op := &stencil.Op2D[float32]{St: stencil.BoxBlur[float32](), BC: grid.Clamp}
+	rng := rand.New(rand.NewSource(cfg.Seed + 6))
+	init := grid.New[float32](nx, ny)
+	init.FillFunc(func(x, y int) float32 { return float32(80 + 40*rng.Float64()) })
+
+	// Error-free reference for the residual column.
+	ref, err := abft.Build(abft.Spec[float32]{Op2D: op, Init: init})
+	if err != nil {
+		return err
+	}
+	ref.Run(iters)
+
+	classes := []struct {
+		name string
+		x, y int
+	}{
+		{"tile interior", nx / 4, ny / 4},
+		{"seam edge (x)", nx/2 - 1, ny / 4},
+		{"seam edge (y)", nx / 4, ny/2 - 1},
+		{"interior cross corner", nx/2 - 1, ny/2 - 1},
+		{"domain corner (0,0)", 0, 0},
+		{"domain corner (far)", nx - 1, ny - 1},
+	}
+	// Detectable float32 exponent bits (paper Fig. 10's always-detected
+	// region).
+	bits := []int{24, 26, 28, 30}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("Ablation A7: rank-local repair on a 2x2 rank grid, %dx%d clamp, %d iters, bits %v",
+			nx, ny, iters, bits),
+		"Injection site", "Owner rank", "Injections", "Rank-local detect+repair", "Leaked detections", "Max residual")
+	for _, cl := range classes {
+		var local, leaked int
+		var maxResid float64
+		var owner int
+		for _, bit := range bits {
+			p, err := abft.Build(abft.Spec[float32]{
+				Scheme: abft.Online, Deployment: abft.Clustered,
+				RanksX: 2, RanksY: 2,
+				Op2D: op, Init: init,
+				Detector: checksum.Detector[float32]{Epsilon: cfg.Epsilon, AbsFloor: 1},
+				Inject:   abft.NewPlan(abft.Injection{Iteration: iters / 2, X: cl.x, Y: cl.y, Bit: bit}),
+			})
+			if err != nil {
+				return err
+			}
+			c := p.(*abft.Cluster[float32])
+			owner = c.Decomp().OwnerOf(cl.x, cl.y)
+			p.Run(iters)
+			ownerOK := false
+			for i, s := range c.RankStats() {
+				if i == owner {
+					ownerOK = s.Detections == 1 && s.CorrectedPoints == 1
+				} else {
+					leaked += s.Detections
+				}
+			}
+			if ownerOK {
+				local++
+			}
+			maxResid = num.Max(maxResid, metrics.L2Error(p.Grid(), ref.Grid()))
+		}
+		leakCell := "none"
+		if leaked > 0 {
+			// Rendered as a loud marker so the campaign tests can assert
+			// zero leakage without parsing table geometry.
+			leakCell = fmt.Sprintf("LEAKED:%d", leaked)
+		}
+		t.AddRow(cl.name, owner, len(bits),
+			fmt.Sprintf("%d/%d", local, len(bits)), leakCell, maxResid)
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
 	return nil
 }
 

@@ -51,15 +51,27 @@ func TestAblationsRender(t *testing.T) {
 	}
 	out := sb.String()
 	for _, want := range []string{
-		"Ablation A1", "Ablation A2", "Ablation A3", "Ablation A5",
+		"Ablation A1", "Ablation A2", "Ablation A3", "Ablation A5", "Ablation A7",
 		"noise floor vs chunk width",
 		"dropped (paper listing)",
 		"Kahan compensated",
 		"residual matching (this library)",
+		"rank-local repair on a 2x2 rank grid",
+		"interior cross corner",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("ablations missing %q", want)
 		}
+	}
+	// The locality sweep must be clean for every one of A7's six injection
+	// sites: each row reports all 4 bit positions detected and repaired by
+	// the owning rank ("4/4" — a partial row would render 0/4..3/4 and
+	// lower the count), and no row carries the bystander-leak marker.
+	if got := strings.Count(out, "4/4"); got != 6 {
+		t.Fatalf("A7 rank-local repair rows: got %d clean sites, want 6:\n%s", got, out)
+	}
+	if strings.Contains(out, "LEAKED") {
+		t.Fatalf("A7 detections leaked to bystander ranks:\n%s", out)
 	}
 }
 

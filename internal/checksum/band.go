@@ -19,8 +19,11 @@ import (
 // need no extra communication beyond the halo exchange itself.
 //
 // The x-direction boundary terms beta are evaluated exactly as in
-// InterpolateB; edges must therefore resolve x like the global domain does
-// and serve y values across the extended range [-h, ny+h).
+// InterpolateB; edges must serve y values across the extended range
+// [-h, ny+h) and resolve x outside [0, nx) to whatever the chunk's
+// x-neighbour data is: the global boundary condition for a full-width band
+// (BandEdges), or the materialised halo columns of a tile (TileEdges) —
+// that is how halo columns enter the beta terms of the 2-D decomposition.
 func (ip *Interp2D[T]) InterpolateBBand(bPrevExt []T, h int, edges EdgeSource[T], bNext []T) {
 	if len(bPrevExt) != ip.ny+2*h || len(bNext) != ip.ny {
 		panic(fmt.Sprintf("checksum: InterpolateBBand lengths %d/%d for ny=%d h=%d",
@@ -121,6 +124,24 @@ type OffsetEdges[T num.Float] struct {
 
 // At reads the parent source at the translated coordinates.
 func (oe OffsetEdges[T]) At(x, y int) T { return oe.Src.At(x+oe.X0, y+oe.Y0) }
+
+// TileEdges adapts a fully extended tile grid — halo columns and halo rows
+// (including the corner blocks) materialised in storage — to the EdgeSource
+// contract of the tile interpolators: neither axis is boundary-resolved,
+// because every ghost value a beta/alpha term can ask for is real data in
+// the extended frame, either received from a neighbour or synthesised from
+// the global boundary condition by the halo exchange. This is the edge
+// source of the 2-D rank-grid decomposition, where InterpolateBBand's
+// x-direction beta terms read halo columns exactly the way halo row sums
+// enter the y terms.
+type TileEdges[T num.Float] struct {
+	Ext    *grid.Grid[T] // extended tile: nxLocal+2HX columns, nyLocal+2HY rows
+	HX, HY int           // halo widths
+}
+
+// At returns ũ(x, y) of the tile, with x in [-HX, nxLocal+HX) and y in
+// [-HY, nyLocal+HY) mapped into the extended storage.
+func (te TileEdges[T]) At(x, y int) T { return te.Ext.At(x+te.HX, y+te.HY) }
 
 // BandEdges adapts an extended band grid (ny+2h rows with the halo rows in
 // storage) to the EdgeSource contract of the band interpolators: y is

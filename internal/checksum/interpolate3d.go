@@ -113,6 +113,70 @@ func (ip *Interp3D[T]) InterpolateA(z int, aPrev [][]T, edges []EdgeSource[T], a
 	}
 }
 
+// InterpolateBSlab interpolates layer z's column checksums for a z-slab of
+// a larger 3-D domain — the unit of the layer-decomposed cluster, where
+// each rank owns a slab of full nx-by-ny layers and exchanges halo layers
+// with its z-neighbours instead of applying a boundary condition in z. It
+// is structurally InterpolateBBand lifted one dimension: z is slab-local in
+// [0, nz) where nz is the slab thickness the interpolator was built for,
+// bPrevExt carries nz+2h per-layer checksum vectors ([0, h) the halo layers
+// below in z, [h, h+nz) the slab's own, [h+nz, nz+2h) above; h >= RadiusZ),
+// and edges must hold one per-extended-layer EdgeSource. Halo-layer
+// checksums are plain sums of the received halo layers, so ranks need no
+// extra communication beyond the halo exchange itself. In-layer resolution
+// (the y lookups and the x-direction beta terms) uses the global boundary
+// condition exactly as in InterpolateB, since every slab spans the full
+// in-layer domain.
+func (ip *Interp3D[T]) InterpolateBSlab(z int, bPrevExt [][]T, h int, edges []EdgeSource[T], bNext []T) {
+	if len(bPrevExt) != ip.nz+2*h || len(edges) != ip.nz+2*h || len(bNext) != ip.ny {
+		panic(fmt.Sprintf("checksum: InterpolateBSlab lengths %d/%d/%d for nz=%d h=%d",
+			len(bPrevExt), len(edges), len(bNext), ip.nz, h))
+	}
+	if rz := ip.op.St.RadiusZ(); h < rz {
+		panic(fmt.Sprintf("checksum: halo depth %d below stencil z-radius %d", h, rz))
+	}
+	bc := ip.op.BC
+	for y := 0; y < ip.ny; y++ {
+		v := ip.cB[z][y]
+		for _, p := range ip.op.St.Points {
+			// Halo layers substitute for boundary resolution in z:
+			// z+p.DZ in [-h, nz+h) indexes bPrevExt directly.
+			zz := z + p.DZ + h
+			term := resolve1D(bPrevExt[zz], y+p.DY, bc, ip.ghostSumB)
+			if p.DX != 0 && bc != grid.Periodic && !ip.DropBoundaryTerms {
+				term += ip.betaLayer(edges[zz], p.DX, y+p.DY)
+			}
+			v += p.W * term
+		}
+		bNext[y] = v
+	}
+}
+
+// InterpolateASlab interpolates layer z's row checksums for a z-slab, the
+// x-axis analogue of InterpolateBSlab.
+func (ip *Interp3D[T]) InterpolateASlab(z int, aPrevExt [][]T, h int, edges []EdgeSource[T], aNext []T) {
+	if len(aPrevExt) != ip.nz+2*h || len(edges) != ip.nz+2*h || len(aNext) != ip.nx {
+		panic(fmt.Sprintf("checksum: InterpolateASlab lengths %d/%d/%d for nz=%d h=%d",
+			len(aPrevExt), len(edges), len(aNext), ip.nz, h))
+	}
+	if rz := ip.op.St.RadiusZ(); h < rz {
+		panic(fmt.Sprintf("checksum: halo depth %d below stencil z-radius %d", h, rz))
+	}
+	bc := ip.op.BC
+	for x := 0; x < ip.nx; x++ {
+		v := ip.cA[z][x]
+		for _, p := range ip.op.St.Points {
+			zz := z + p.DZ + h
+			term := resolve1D(aPrevExt[zz], x+p.DX, bc, ip.ghostSumA)
+			if p.DY != 0 && bc != grid.Periodic && !ip.DropBoundaryTerms {
+				term += ip.alphaLayer(edges[zz], p.DY, x+p.DX)
+			}
+			v += p.W * term
+		}
+		aNext[x] = v
+	}
+}
+
 func (ip *Interp3D[T]) betaLayer(edges EdgeSource[T], dx, yy int) T {
 	var v T
 	if dx < 0 {

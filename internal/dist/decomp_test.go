@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDecompTilesPartitionDomain: for a spread of domain and grid shapes,
+// the tiles must cover every domain point exactly once, agree with OwnerOf,
+// and differ by at most one point per axis.
+func TestDecompTilesPartitionDomain(t *testing.T) {
+	for _, tc := range []struct{ nx, ny, rx, ry int }{
+		{33, 40, 1, 3}, {33, 40, 3, 1}, {33, 40, 3, 2}, {33, 40, 2, 3},
+		{7, 7, 7, 1}, {16, 23, 4, 4}, {5, 5, 1, 1},
+	} {
+		t.Run(fmt.Sprintf("%dx%d/%dx%d", tc.nx, tc.ny, tc.ry, tc.rx), func(t *testing.T) {
+			d := Decomp{Nx: tc.nx, Ny: tc.ny, RanksX: tc.rx, RanksY: tc.ry}
+			owned := make([]int, tc.nx*tc.ny)
+			for i := range owned {
+				owned[i] = -1
+			}
+			baseW, baseH := tc.nx/tc.rx, tc.ny/tc.ry
+			for id := 0; id < d.NumRanks(); id++ {
+				tile := d.TileOf(id)
+				if w := tile.Nx(); w != baseW && w != baseW+1 {
+					t.Fatalf("rank %d tile width %d, want %d or %d", id, w, baseW, baseW+1)
+				}
+				if h := tile.Ny(); h != baseH && h != baseH+1 {
+					t.Fatalf("rank %d tile height %d, want %d or %d", id, h, baseH, baseH+1)
+				}
+				for y := tile.Y0; y < tile.Y1; y++ {
+					for x := tile.X0; x < tile.X1; x++ {
+						if prev := owned[y*tc.nx+x]; prev != -1 {
+							t.Fatalf("point (%d,%d) owned by ranks %d and %d", x, y, prev, id)
+						}
+						owned[y*tc.nx+x] = id
+						if got := d.OwnerOf(x, y); got != id {
+							t.Fatalf("OwnerOf(%d,%d) = %d, want %d", x, y, got, id)
+						}
+						if !tile.Contains(x, y) {
+							t.Fatalf("tile %v does not contain its own point (%d,%d)", tile, x, y)
+						}
+					}
+				}
+			}
+			for i, id := range owned {
+				if id == -1 {
+					t.Fatalf("point %d unowned", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDecompCoords pins the row-major id convention and its inverse.
+func TestDecompCoords(t *testing.T) {
+	d := Decomp{Nx: 30, Ny: 30, RanksX: 3, RanksY: 2}
+	for id := 0; id < 6; id++ {
+		cx, cy := d.Coords(id)
+		if got := d.RankAt(cx, cy); got != id {
+			t.Fatalf("RankAt(Coords(%d)) = %d", id, got)
+		}
+	}
+	if cx, cy := d.Coords(4); cx != 1 || cy != 1 {
+		t.Fatalf("Coords(4) = (%d,%d), want (1,1)", cx, cy)
+	}
+	if d.String() != "2x3" {
+		t.Fatalf("String() = %q, want rows x cols", d.String())
+	}
+}
+
+// TestDecompNeighbor checks edge cut-off without wrap and torus closure
+// with it.
+func TestDecompNeighbor(t *testing.T) {
+	d := Decomp{Nx: 30, Ny: 30, RanksX: 3, RanksY: 2}
+	// Rank 0 (top-left): no Up/Left without wrap.
+	if _, ok := d.Neighbor(0, Up, false); ok {
+		t.Fatal("top row has an Up neighbour without wrap")
+	}
+	if _, ok := d.Neighbor(0, Left, false); ok {
+		t.Fatal("left column has a Left neighbour without wrap")
+	}
+	if nb, ok := d.Neighbor(0, Right, false); !ok || nb != 1 {
+		t.Fatalf("Neighbor(0, Right) = %d,%v", nb, ok)
+	}
+	if nb, ok := d.Neighbor(0, Down, false); !ok || nb != 3 {
+		t.Fatalf("Neighbor(0, Down) = %d,%v", nb, ok)
+	}
+	// Torus wrap.
+	if nb, ok := d.Neighbor(0, Up, true); !ok || nb != 3 {
+		t.Fatalf("wrap Neighbor(0, Up) = %d,%v", nb, ok)
+	}
+	if nb, ok := d.Neighbor(0, Left, true); !ok || nb != 2 {
+		t.Fatalf("wrap Neighbor(0, Left) = %d,%v", nb, ok)
+	}
+}
+
+// TestDecompValidate: thin tiles are rejected with an actionable error, and
+// the boundary cases just inside the limit pass.
+func TestDecompValidate(t *testing.T) {
+	// 16 columns over 8 rank columns leaves 2-wide tiles: the narrowest
+	// radius-1 fit.
+	if err := (Decomp{Nx: 16, Ny: 8, RanksX: 8, RanksY: 4}).Validate(1, 1); err != nil {
+		t.Fatalf("tightest valid grid rejected: %v", err)
+	}
+	if err := (Decomp{Nx: 16, Ny: 8, RanksX: 16, RanksY: 1}).Validate(1, 1); err == nil {
+		t.Fatal("1-wide tiles accepted at radius 1")
+	}
+	if err := (Decomp{Nx: 16, Ny: 8, RanksX: 1, RanksY: 8}).Validate(1, 1); err == nil {
+		t.Fatal("1-tall tiles accepted at radius 1")
+	}
+	if err := (Decomp{Nx: 16, Ny: 8, RanksX: 0, RanksY: 2}).Validate(1, 1); err == nil {
+		t.Fatal("zero rank columns accepted")
+	}
+	if err := (Decomp{Nx: 16, Ny: 8, RanksX: 2, RanksY: -1}).Validate(1, 1); err == nil {
+		t.Fatal("negative rank rows accepted")
+	}
+}

@@ -1,25 +1,26 @@
 // Package dist is the distributed-memory deployment of the ABFT scheme —
-// the paper's headline setting (Section 1): a 2-D domain decomposed into
-// horizontal row bands over nRanks simulated ranks, each rank running the
-// online detect-and-correct protector on its own band while exchanging only
-// halo rows with its neighbours. No checksum ever crosses a rank: each band
-// owns its checksum pair, halo rows enter the interpolation as locally
-// computed row sums of the received data, and a corruption is detected,
-// located and repaired entirely by the rank that owns it — the method's
-// "intrinsically parallel" property.
+// the paper's headline setting (Section 1): a domain decomposed over
+// simulated ranks, each rank running the online detect-and-correct
+// protector on the subdomain it owns while exchanging only halo strips with
+// its neighbours. No checksum ever crosses a rank: each tile owns its
+// checksum pair, halo strips enter the interpolation as locally computed
+// sums of the received data, and a corruption is detected, located and
+// repaired entirely by the rank that owns it — the method's "intrinsically
+// parallel" property.
 //
-// Ranks are goroutines communicating through the Transport seam. The
-// default ChanTransport wires them with paired channels in the MPI
-// neighbour pattern (send down/up, receive up/down) and separates
-// iterations with a cyclic barrier, so every rank's halo data is always
-// exactly one iteration fresh — the lockstep of a bulk-synchronous MPI
-// stencil code. Real MPI or socket backends implement Transport and plug in
-// via Options.NewTransport.
+// The decomposition is topology-neutral, described by Decomp: a 2-D domain
+// splits over a RanksX-by-RanksY Cartesian rank grid (NewClusterGrid; the
+// historical 1-D row bands are the RanksX == 1 column), and a 3-D domain
+// splits into z-layer slabs (NewCluster3D), which reuse the band structure
+// along z. Ranks are goroutines communicating through the Transport seam.
+// The default ChanTransport wires them with paired channels in the MPI
+// neighbour pattern and separates iterations with a cyclic barrier, so
+// every rank's halo data is always exactly one iteration fresh — the
+// lockstep of a bulk-synchronous MPI stencil code. Real MPI or socket
+// backends implement Transport and plug in via Options.NewTransport.
 package dist
 
 import (
-	"fmt"
-
 	"stencilabft/internal/checksum"
 	"stencilabft/internal/fault"
 	"stencilabft/internal/grid"
@@ -47,15 +48,17 @@ type Options[T num.Float] struct {
 	// interpolation.
 	DropBoundaryTerms bool
 	// Inject schedules bit-flip injections in global coordinates for
-	// Step/Run; each injection is routed to the rank owning its row and
+	// Step/Run; each injection is routed to the rank owning its point and
 	// applied during that rank's local sweep. Iteration numbers are
 	// absolute (compared against Iter), so plans survive split Run calls.
 	Inject *fault.Plan
 	// NewTransport overrides the communication backend. It receives the
-	// rank count and whether the ranks form a ring (periodic global
-	// boundaries) and returns the Transport the halo exchange and
-	// iteration barrier run through. Nil uses NewChanTransport.
-	NewTransport func(nRanks int, ring bool) Transport[T]
+	// rank-grid shape (columns × rows; a 3-D layer cluster passes its slab
+	// chain as 1 × nRanks) and whether the grid closes into a torus
+	// (periodic global boundaries), and returns the Transport the halo
+	// exchange and iteration barrier run through. Nil uses
+	// NewChanTransport.
+	NewTransport func(ranksX, ranksY int, ring bool) Transport[T]
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.
@@ -67,64 +70,67 @@ func (o Options[T]) withDefaults() Options[T] {
 		o.Detector.AbsFloor = 1
 	}
 	if o.NewTransport == nil {
-		o.NewTransport = func(n int, ring bool) Transport[T] { return NewChanTransport[T](n, ring) }
+		o.NewTransport = func(rx, ry int, ring bool) Transport[T] { return NewChanTransport[T](rx, ry, ring) }
 	}
 	return o
 }
 
 // Stats aggregates one rank's ABFT counters through the unified counter
-// model; Cluster.Stats merges them over the cluster.
+// model; Cluster.Stats merges them over the cluster. Topology carries the
+// cluster's rank-grid shape and HaloByDir the per-direction message counts
+// (indexed by Dir), so 1-D band versus 2-D grid communication overhead is
+// directly observable.
 type Stats = stats.Stats
 
-// Cluster runs a 2-D stencil domain decomposed into row bands over
-// simulated ranks, each protected by its own online ABFT instance. It
+// Cluster runs a 2-D stencil domain decomposed over a Cartesian rank grid
+// of simulated ranks, each protected by its own online ABFT instance. It
 // satisfies the same unified protector contract as the local runners: Step
 // and Run apply the injection plan configured in Options, Grid gathers the
 // global domain, Stats merges the per-rank counters.
 type Cluster[T num.Float] struct {
-	nx, ny int
+	decomp Decomp
 	ranks  []*rank[T]
 	tr     Transport[T]
 	plans  []*fault.Injector[T] // per-rank routed Options.Inject (absolute iterations)
 	iter   int
 }
 
-// NewCluster decomposes init into nRanks row bands wired through the
-// transport. Remainder rows are distributed one per rank from the top, so
-// band heights differ by at most one row. Every band must be strictly
-// taller than the stencil's y-radius (the minimum domain an interpolator
-// accepts); a larger nRanks returns an error.
+// NewCluster decomposes init into nRanks horizontal row bands — the Nx1
+// shorthand for NewClusterGrid(op, init, 1, nRanks, opt), kept because row
+// bands are the paper's presentation of the distributed setting.
 func NewCluster[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], nRanks int, opt Options[T]) (*Cluster[T], error) {
+	return NewClusterGrid(op, init, 1, nRanks, opt)
+}
+
+// NewClusterGrid decomposes init over a ranksX-by-ranksY Cartesian rank
+// grid wired through the transport. Remainder points are distributed one
+// per rank from the low end of each axis, so tile edges differ by at most
+// one point. Every tile must be strictly wider than the stencil's x-radius
+// and strictly taller than its y-radius (the minimum domain an interpolator
+// accepts, and what lets Clamp/Mirror ghost synthesis resolve inside the
+// tile); a finer grid returns an error.
+func NewClusterGrid[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], ranksX, ranksY int, opt Options[T]) (*Cluster[T], error) {
 	nx, ny := init.Nx(), init.Ny()
 	if err := op.Validate(nx, ny); err != nil {
 		return nil, err
 	}
-	if nRanks < 1 {
-		return nil, fmt.Errorf("dist: invalid rank count %d", nRanks)
-	}
-	ry := op.St.RadiusY()
-	if minBand := ny / nRanks; minBand <= ry {
-		return nil, fmt.Errorf("dist: %d ranks over %d rows leaves bands of %d row(s), need more than the stencil y-radius %d",
-			nRanks, ny, ny/nRanks, ry)
+	d := Decomp{Nx: nx, Ny: ny, RanksX: ranksX, RanksY: ranksY}
+	hx, hy := op.St.RadiusX(), op.St.RadiusY()
+	if err := d.Validate(hx, hy); err != nil {
+		return nil, err
 	}
 	opt = opt.withDefaults()
 
-	c := &Cluster[T]{nx: nx, ny: ny}
-	c.tr = opt.NewTransport(nRanks, op.BC == grid.Periodic)
-	base, rem := ny/nRanks, ny%nRanks
-	y0 := 0
-	for i := 0; i < nRanks; i++ {
-		h := base
-		if i < rem {
-			h++
-		}
-		r, err := newRank(op, init, i, y0, y0+h, ry, opt)
+	c := &Cluster[T]{decomp: d}
+	c.tr = opt.NewTransport(ranksX, ranksY, op.BC == grid.Periodic)
+	for i := 0; i < d.NumRanks(); i++ {
+		r, err := newRank(op, init, i, d.TileOf(i), hx, hy, opt)
 		if err != nil {
 			return nil, err
 		}
 		r.tr = c.tr
+		r.stats.Topology = "grid " + d.String()
 		c.ranks = append(c.ranks, r)
-		y0 += h
 	}
 	c.plans = c.routePlan(opt.Inject)
 	return c, nil
@@ -133,10 +139,19 @@ func NewCluster[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], nRanks int
 // Ranks returns the number of ranks in the cluster.
 func (c *Cluster[T]) Ranks() int { return len(c.ranks) }
 
-// Band returns the global row range [y0, y1) owned by rank i.
+// Decomp returns the cluster's decomposition geometry.
+func (c *Cluster[T]) Decomp() Decomp { return c.decomp }
+
+// Tile returns the global sub-rectangle owned by rank i.
+func (c *Cluster[T]) Tile(i int) Tile { return c.ranks[i].tile }
+
+// Band returns the global row range [y0, y1) owned by rank i — meaningful
+// for the 1-D row-band (RanksX == 1) topology it predates.
+//
+// Deprecated: use Tile.
 func (c *Cluster[T]) Band(i int) (y0, y1 int) {
-	r := c.ranks[i]
-	return r.y0, r.y1
+	t := c.ranks[i].tile
+	return t.Y0, t.Y1
 }
 
 // Iter returns the number of completed cluster iterations.
@@ -155,8 +170,9 @@ func (c *Cluster[T]) RankStats() []Stats {
 // Iterations normalised to lockstep sweeps (Iter) so the count stays
 // comparable across deployments: like the local and blocked protectors, a
 // cluster reports one iteration per global sweep. Event counters
-// (Verifications, Detections, HaloExchanges, …) remain per-rank sums, just
-// as the blocked protector counts one verification per block.
+// (Verifications, Detections, HaloExchanges, the per-direction HaloByDir, …)
+// remain per-rank sums, just as the blocked protector counts one
+// verification per block.
 func (c *Cluster[T]) Stats() Stats {
 	var total Stats
 	for _, r := range c.ranks {
@@ -174,14 +190,14 @@ func (c *Cluster[T]) Stats() Stats {
 // Deprecated: use Stats.
 func (c *Cluster[T]) TotalStats() Stats { return c.Stats() }
 
-// Gather reassembles the global domain from the ranks' current band
+// Gather reassembles the global domain from the ranks' current tile
 // states — the MPI_Gather at the end of a distributed run. Call it between
 // Run calls, never concurrently with one.
 func (c *Cluster[T]) Gather() *grid.Grid[T] {
-	g := grid.New[T](c.nx, c.ny)
+	g := grid.New[T](c.decomp.Nx, c.decomp.Ny)
 	for _, r := range c.ranks {
-		for y := r.y0; y < r.y1; y++ {
-			copy(g.Row(y), r.buf.Read.Row(r.h+y-r.y0))
+		for y := r.tile.Y0; y < r.tile.Y1; y++ {
+			copy(g.Row(y)[r.tile.X0:r.tile.X1], r.buf.Read.Row(r.loY() + y - r.tile.Y0)[r.loX():r.hiX()])
 		}
 	}
 	return g
@@ -189,10 +205,11 @@ func (c *Cluster[T]) Gather() *grid.Grid[T] {
 
 // Grid gathers and returns the global domain state; an alias for Gather
 // that completes the unified protector contract. Each call reassembles the
-// domain from the rank bands, so hoist it out of hot loops.
+// domain from the rank tiles, so hoist it out of hot loops.
 func (c *Cluster[T]) Grid() *grid.Grid[T] { return c.Gather() }
 
-// Grid3D returns nil: the cluster decomposes 2-D domains.
+// Grid3D returns nil: this cluster decomposes 2-D domains (Cluster3D is
+// the z-layer deployment).
 func (c *Cluster[T]) Grid3D() *grid.Grid3D[T] { return nil }
 
 // Finalize is a no-op: every rank verifies every sweep, so nothing is
@@ -273,10 +290,10 @@ func chainHooks[T num.Float](a, b stencil.InjectFunc[T]) stencil.InjectFunc[T] {
 }
 
 // routePlan splits a global fault plan into per-rank plans with the
-// injection row translated into the owning rank's extended-grid frame (the
-// coordinate the sweep hook sees). Injections outside the domain, or with
-// a non-zero Z, are dropped. The returned slice holds a nil injector for
-// ranks with no scheduled injection.
+// injection point translated into the owning rank's extended-grid frame
+// (the coordinate the sweep hook sees). Injections outside the domain, or
+// with a non-zero Z, are dropped. The returned slice holds a nil injector
+// for ranks with no scheduled injection.
 func (c *Cluster[T]) routePlan(plan *fault.Plan) []*fault.Injector[T] {
 	out := make([]*fault.Injector[T], len(c.ranks))
 	if plan == nil {
@@ -284,17 +301,15 @@ func (c *Cluster[T]) routePlan(plan *fault.Plan) []*fault.Injector[T] {
 	}
 	perRank := make([][]fault.Injection, len(c.ranks))
 	for _, inj := range plan.Injections() {
-		if inj.Z != 0 || inj.X < 0 || inj.X >= c.nx || inj.Y < 0 || inj.Y >= c.ny {
+		if inj.Z != 0 || inj.X < 0 || inj.X >= c.decomp.Nx || inj.Y < 0 || inj.Y >= c.decomp.Ny {
 			continue
 		}
-		for i, r := range c.ranks {
-			if inj.Y >= r.y0 && inj.Y < r.y1 {
-				local := inj
-				local.Y = inj.Y - r.y0 + r.h
-				perRank[i] = append(perRank[i], local)
-				break
-			}
-		}
+		i := c.decomp.OwnerOf(inj.X, inj.Y)
+		r := c.ranks[i]
+		local := inj
+		local.X = inj.X - r.tile.X0 + r.hx
+		local.Y = inj.Y - r.tile.Y0 + r.hy
+		perRank[i] = append(perRank[i], local)
 	}
 	for i, injs := range perRank {
 		if len(injs) > 0 {

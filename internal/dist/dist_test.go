@@ -436,11 +436,11 @@ type countingTransport struct {
 	barriers int
 }
 
-func (t *countingTransport) Send(from int, d Dir, rows []float64) {
+func (t *countingTransport) Send(from int, d Dir, data []float64) {
 	t.mu.Lock()
 	t.sends++
 	t.mu.Unlock()
-	t.inner.Send(from, d, rows)
+	t.inner.Send(from, d, data)
 }
 
 func (t *countingTransport) Recv(to int, d Dir) []float64 {
@@ -470,11 +470,11 @@ func TestClusterCustomTransport(t *testing.T) {
 
 	var ct *countingTransport
 	opt := strictOpts()
-	opt.NewTransport = func(n int, ring bool) Transport[float64] {
-		if n != ranks || ring {
-			t.Errorf("NewTransport called with n=%d ring=%v", n, ring)
+	opt.NewTransport = func(rx, ry int, ring bool) Transport[float64] {
+		if rx != 1 || ry != ranks || ring {
+			t.Errorf("NewTransport called with grid %dx%d ring=%v", rx, ry, ring)
 		}
-		ct = &countingTransport{inner: NewChanTransport[float64](n, ring)}
+		ct = &countingTransport{inner: NewChanTransport[float64](rx, ry, ring)}
 		return ct
 	}
 	c, err := NewCluster(op, init, ranks, opt)

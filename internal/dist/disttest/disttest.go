@@ -1,0 +1,239 @@
+// Package disttest is the conformance harness for dist.Transport backends.
+// The in-process channel transport, a future MPI or socket backend, or any
+// wrapper (tracing, delaying, counting) can run the same suite: neighbour
+// geometry over 1-D chains and 2-D rank grids, message routing and payload
+// integrity in all four directions, torus wrap-around and self-exchange
+// degeneracies, the two-phase send-before-receive ordering the halo
+// exchange relies on, and barrier generation ordering.
+//
+// Usage, from the backend's own test file:
+//
+//	disttest.Run(t, func(rx, ry int, ring bool) dist.Transport[float64] {
+//		return dist.NewChanTransport[float64](rx, ry, ring)
+//	})
+package disttest
+
+import (
+	"sync"
+	"testing"
+
+	"stencilabft/internal/dist"
+)
+
+// Factory builds the Transport under test for a ranksX-by-ranksY rank grid
+// (rank ids row-major, the Decomp convention); ring closes both axes into a
+// torus.
+type Factory func(ranksX, ranksY int, ring bool) dist.Transport[float64]
+
+// Run executes the full conformance suite against transports built by f.
+func Run(t *testing.T, f Factory) {
+	t.Run("Neighbors1D", func(t *testing.T) { neighbors1D(t, f) })
+	t.Run("Neighbors2D", func(t *testing.T) { neighbors2D(t, f) })
+	t.Run("Routing1D", func(t *testing.T) { routing1D(t, f) })
+	t.Run("Routing2D", func(t *testing.T) { routing2D(t, f) })
+	t.Run("SelfExchange", func(t *testing.T) { selfExchange(t, f) })
+	t.Run("ExchangeOrdering", func(t *testing.T) { exchangeOrdering(t, f) })
+	t.Run("BarrierOrdering", func(t *testing.T) { barrierOrdering(t, f) })
+}
+
+// neighbors1D checks the band-chain wiring: edge ranks have no outer
+// neighbour without a ring, every rank is fully wired with one, and no
+// rank of a 1-column chain ever has a Left/Right neighbour without wrap.
+func neighbors1D(t *testing.T, f Factory) {
+	tr := f(1, 3, false)
+	if tr.Neighbor(0, dist.Up) || tr.Neighbor(2, dist.Down) {
+		t.Fatal("edge rank wired outward without periodic boundaries")
+	}
+	if !tr.Neighbor(1, dist.Up) || !tr.Neighbor(1, dist.Down) || !tr.Neighbor(0, dist.Down) || !tr.Neighbor(2, dist.Up) {
+		t.Fatal("interior wiring missing")
+	}
+	for id := 0; id < 3; id++ {
+		if tr.Neighbor(id, dist.Left) || tr.Neighbor(id, dist.Right) {
+			t.Fatalf("1-column chain rank %d has an x neighbour", id)
+		}
+	}
+	ring := f(1, 2, true)
+	for i := 0; i < 2; i++ {
+		if !ring.Neighbor(i, dist.Up) || !ring.Neighbor(i, dist.Down) {
+			t.Fatalf("periodic rank %d not fully wired in y", i)
+		}
+	}
+}
+
+// neighbors2D checks the Cartesian grid wiring of a 3x2 grid (3 columns, 2
+// rows): corners have exactly two neighbours without wrap, everyone has
+// four with it.
+func neighbors2D(t *testing.T, f Factory) {
+	tr := f(3, 2, false)
+	// Rank 0 is the top-left corner: only Right and Down.
+	if tr.Neighbor(0, dist.Up) || tr.Neighbor(0, dist.Left) {
+		t.Fatal("top-left corner wired outward")
+	}
+	if !tr.Neighbor(0, dist.Right) || !tr.Neighbor(0, dist.Down) {
+		t.Fatal("top-left corner missing inward wiring")
+	}
+	// Rank 5 is the bottom-right corner: only Left and Up.
+	if tr.Neighbor(5, dist.Down) || tr.Neighbor(5, dist.Right) {
+		t.Fatal("bottom-right corner wired outward")
+	}
+	if !tr.Neighbor(5, dist.Left) || !tr.Neighbor(5, dist.Up) {
+		t.Fatal("bottom-right corner missing inward wiring")
+	}
+	// Rank 1 (top edge, middle column): everything but Up.
+	if tr.Neighbor(1, dist.Up) || !tr.Neighbor(1, dist.Left) || !tr.Neighbor(1, dist.Right) || !tr.Neighbor(1, dist.Down) {
+		t.Fatal("top-edge wiring wrong")
+	}
+	torus := f(3, 2, true)
+	for id := 0; id < 6; id++ {
+		for d := dist.Dir(0); d < dist.NumDirs; d++ {
+			if !torus.Neighbor(id, d) {
+				t.Fatalf("torus rank %d missing %v neighbour", id, d)
+			}
+		}
+	}
+}
+
+// routing1D checks that a message posted toward a direction arrives at the
+// adjacent rank when received from the opposite side, including the ring
+// wrap-around.
+func routing1D(t *testing.T, f Factory) {
+	tr := f(1, 3, false)
+	tr.Send(1, dist.Up, []float64{1})
+	if got := tr.Recv(0, dist.Down); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("rank 0 received %v from below, want rank 1's upward message", got)
+	}
+	tr.Send(1, dist.Down, []float64{2})
+	if got := tr.Recv(2, dist.Up); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("rank 2 received %v from above, want rank 1's downward message", got)
+	}
+
+	ring := f(1, 2, true)
+	ring.Send(0, dist.Up, []float64{3}) // wraps around to rank 1's lower side
+	if got := ring.Recv(1, dist.Down); got[0] != 3 {
+		t.Fatalf("ring wrap-around broken: %v", got)
+	}
+}
+
+// routing2D checks all four directions on a 2x2 grid, payload integrity
+// included, plus the x-axis wrap of the torus.
+func routing2D(t *testing.T, f Factory) {
+	tr := f(2, 2, false)
+	// Ranks: 0 1
+	//        2 3
+	tr.Send(0, dist.Right, []float64{10, 11})
+	if got := tr.Recv(1, dist.Left); len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("rank 1 received %v from the left, want rank 0's rightward payload", got)
+	}
+	tr.Send(3, dist.Left, []float64{20})
+	if got := tr.Recv(2, dist.Right); got[0] != 20 {
+		t.Fatalf("rank 2 received %v from the right, want rank 3's leftward message", got)
+	}
+	tr.Send(3, dist.Up, []float64{30})
+	if got := tr.Recv(1, dist.Down); got[0] != 30 {
+		t.Fatalf("rank 1 received %v from below, want rank 3's upward message", got)
+	}
+	tr.Send(0, dist.Down, []float64{40})
+	if got := tr.Recv(2, dist.Up); got[0] != 40 {
+		t.Fatalf("rank 2 received %v from above, want rank 0's downward message", got)
+	}
+
+	torus := f(2, 2, true)
+	torus.Send(0, dist.Left, []float64{50}) // wraps to rank 1's right side
+	if got := torus.Recv(1, dist.Right); got[0] != 50 {
+		t.Fatalf("torus x wrap broken: %v", got)
+	}
+	torus.Send(2, dist.Down, []float64{60}) // wraps to rank 0's upper side
+	if got := torus.Recv(0, dist.Up); got[0] != 60 {
+		t.Fatalf("torus y wrap broken: %v", got)
+	}
+}
+
+// selfExchange checks the single-rank torus degeneracy on both axes: a
+// rank's own opposite-direction message must come back to it.
+func selfExchange(t *testing.T, f Factory) {
+	self := f(1, 1, true)
+	self.Send(0, dist.Up, []float64{4})
+	self.Send(0, dist.Down, []float64{5})
+	if got := self.Recv(0, dist.Down); got[0] != 4 {
+		t.Fatalf("y self-exchange broken: %v", got)
+	}
+	if got := self.Recv(0, dist.Up); got[0] != 5 {
+		t.Fatalf("y self-exchange broken: %v", got)
+	}
+	self.Send(0, dist.Left, []float64{6})
+	self.Send(0, dist.Right, []float64{7})
+	if got := self.Recv(0, dist.Right); got[0] != 6 {
+		t.Fatalf("x self-exchange broken: %v", got)
+	}
+	if got := self.Recv(0, dist.Left); got[0] != 7 {
+		t.Fatalf("x self-exchange broken: %v", got)
+	}
+}
+
+// exchangeOrdering drives the halo exchange's two-phase schedule from every
+// rank of a 2x2 torus concurrently for several barrier-separated
+// iterations: phase 1 posts Left/Right then receives, phase 2 posts
+// Up/Down then receives. Sends must never block (the non-blocking Isend
+// contract) and every received payload must carry the sender's current
+// iteration — halo data exactly one barrier generation fresh.
+func exchangeOrdering(t *testing.T, f Factory) {
+	const iters = 20
+	tr := f(2, 2, true)
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				stamp := func(d dist.Dir) []float64 { return []float64{float64(id), float64(it), float64(d)} }
+				check := func(d dist.Dir, got []float64) {
+					if len(got) != 3 || int(got[1]) != it || dist.Dir(got[2]) != d.Opposite() {
+						t.Errorf("rank %d iter %d from %v: stale or misrouted payload %v", id, it, d, got)
+					}
+				}
+				tr.Send(id, dist.Left, stamp(dist.Left))
+				tr.Send(id, dist.Right, stamp(dist.Right))
+				check(dist.Left, tr.Recv(id, dist.Left))
+				check(dist.Right, tr.Recv(id, dist.Right))
+				tr.Send(id, dist.Up, stamp(dist.Up))
+				tr.Send(id, dist.Down, stamp(dist.Down))
+				check(dist.Up, tr.Recv(id, dist.Up))
+				check(dist.Down, tr.Recv(id, dist.Down))
+				tr.Barrier()
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// barrierOrdering hammers the transport's barrier across generations from
+// a 2x2 grid's worth of parties: no party may pass generation g+1 before
+// every party has arrived at generation g.
+func barrierOrdering(t *testing.T, f Factory) {
+	const parties, gens = 4, 200
+	tr := f(2, 2, false)
+	var mu sync.Mutex
+	arrived := make([]int, parties)
+
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for g := 0; g < gens; g++ {
+				mu.Lock()
+				arrived[p] = g + 1
+				for _, a := range arrived {
+					if a < g {
+						mu.Unlock()
+						t.Errorf("party passed generation %d while another was at %d", g, a)
+						return
+					}
+				}
+				mu.Unlock()
+				tr.Barrier()
+			}
+		}(p)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,298 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"stencilabft/internal/fault"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/stencil"
+)
+
+// TestClusterGridMatchesReference: an error-free run over a 2-D rank grid
+// must reproduce the single-process sweep bit for bit, for every boundary
+// condition and for grid shapes covering vertical strips (1 row of ranks),
+// horizontal bands (1 column), and proper R×C grids with tiles meeting at
+// interior cross points. BoxBlur's diagonal points make the corner-halo
+// threading load-bearing: a stale or missing corner value would break
+// bit-identity immediately.
+func TestClusterGridMatchesReference(t *testing.T) {
+	const nx, ny, iters = 33, 40, 12
+	shapes := []struct{ rx, ry int }{{3, 1}, {1, 3}, {2, 3}, {3, 2}}
+	kernels := []struct {
+		name string
+		st   *stencil.Stencil[float64]
+	}{
+		{"star5", stencil.Laplace5(0.2)},
+		{"box9", stencil.BoxBlur[float64]()},
+	}
+	for _, bc := range []grid.Boundary{grid.Clamp, grid.Periodic, grid.Mirror, grid.Constant, grid.Zero} {
+		for _, k := range kernels {
+			for _, sh := range shapes {
+				t.Run(fmt.Sprintf("%s/%s/%dx%d", bc, k.name, sh.ry, sh.rx), func(t *testing.T) {
+					op := &stencil.Op2D[float64]{St: k.st, BC: bc, BCValue: 42}
+					init := testInit(nx, ny)
+					want := reference(t, op, init, iters)
+
+					c, err := NewClusterGrid(op, init, sh.rx, sh.ry, strictOpts())
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.Run(iters)
+					if ts := c.Stats(); ts.Detections != 0 {
+						t.Fatalf("false positive: %+v", ts)
+					}
+					if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+						t.Fatalf("grid cluster deviates from reference by %g", diff)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestClusterGridAsymmetricStencil exercises the tile seams with a stencil
+// whose boundary terms do not cancel (Advect2D): the halo-column beta terms
+// and halo-row alpha terms must keep a 2x2 grid detection-free and bitwise
+// equal to the reference.
+func TestClusterGridAsymmetricStencil(t *testing.T) {
+	const nx, ny, iters = 24, 30, 10
+	op := &stencil.Op2D[float64]{St: stencil.Advect2D(0.3, 0.15), BC: grid.Clamp}
+	init := testInit(nx, ny)
+	want := reference(t, op, init, iters)
+
+	c, err := NewClusterGrid(op, init, 2, 2, strictOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(iters)
+	if ts := c.Stats(); ts.Detections != 0 {
+		t.Fatalf("false positive: %+v", ts)
+	}
+	if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+		t.Fatalf("grid cluster deviates from reference by %g", diff)
+	}
+}
+
+// TestClusterGridConstantField verifies the per-tile x/y slicing of the
+// constant field C in both the sweep and the interpolator.
+func TestClusterGridConstantField(t *testing.T) {
+	const nx, ny, iters = 20, 28, 8
+	cfield := grid.New[float64](nx, ny)
+	cfield.FillFunc(func(x, y int) float64 { return 0.01 * float64(x-y) })
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.15), BC: grid.Clamp, C: cfield}
+	init := testInit(nx, ny)
+	want := reference(t, op, init, iters)
+
+	c, err := NewClusterGrid(op, init, 2, 2, strictOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(iters)
+	if ts := c.Stats(); ts.Detections != 0 {
+		t.Fatalf("false positive: %+v", ts)
+	}
+	if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+		t.Fatalf("grid cluster deviates from reference by %g", diff)
+	}
+}
+
+// TestClusterGridInjectionLocality lands a bit-flip at tile interiors,
+// tile edges (points whose halo copy a neighbour reads), interior tile
+// corners (the cross point of four tiles) and domain corners. In every
+// case the rank owning the point must detect and repair it alone — the
+// paper's "intrinsically parallel" property extended to 2-D seams — and
+// the repaired run must stay within correction residual of the reference.
+func TestClusterGridInjectionLocality(t *testing.T) {
+	const nx, ny, iters = 16, 24, 12
+	// 2x2 grid: tiles split at x=8 and y=12.
+	cases := []struct {
+		name  string
+		x, y  int
+		owner int
+	}{
+		{"tile-interior", 4, 6, 0},
+		{"vertical-seam-left", 7, 6, 0},
+		{"vertical-seam-right", 8, 6, 1},
+		{"horizontal-seam-top", 4, 11, 0},
+		{"interior-cross-corner", 7, 11, 0},
+		{"interior-cross-corner-opposite", 8, 12, 3},
+		{"domain-corner-origin", 0, 0, 0},
+		{"domain-corner-far", 15, 23, 3},
+	}
+	for _, bc := range []grid.Boundary{grid.Clamp, grid.Periodic} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/%s", bc, tc.name), func(t *testing.T) {
+				op := &stencil.Op2D[float64]{St: stencil.BoxBlur[float64](), BC: bc}
+				init := testInit(nx, ny)
+				want := reference(t, op, init, iters)
+
+				opt := strictOpts()
+				opt.Inject = fault.NewPlan(fault.Injection{Iteration: 5, X: tc.x, Y: tc.y, Bit: 58})
+				c, err := NewClusterGrid(op, init, 2, 2, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := c.Decomp().OwnerOf(tc.x, tc.y); got != tc.owner {
+					t.Fatalf("test setup: OwnerOf(%d,%d) = %d, want %d", tc.x, tc.y, got, tc.owner)
+				}
+				c.Run(iters)
+				for i, s := range c.RankStats() {
+					if i == tc.owner {
+						if s.Detections != 1 || s.CorrectedPoints != 1 {
+							t.Fatalf("owning rank %d: %+v", i, s)
+						}
+					} else if s.Detections != 0 || s.CorrectedPoints != 0 {
+						t.Fatalf("bystander rank %d saw the error: %+v", i, s)
+					}
+				}
+				if diff := c.Gather().MaxAbsDiff(want); diff > 1e-6 {
+					t.Fatalf("residual after correction too large: %g", diff)
+				}
+			})
+		}
+	}
+}
+
+// TestClusterGridMultiRankInjections lands one flip in each of two
+// diagonally opposite tiles during the same iteration; both must repair
+// independently.
+func TestClusterGridMultiRankInjections(t *testing.T) {
+	const nx, ny, iters = 20, 32, 10
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	init := testInit(nx, ny)
+
+	opt := strictOpts()
+	opt.Inject = fault.NewPlan(
+		fault.Injection{Iteration: 2, X: 4, Y: 2, Bit: 60},   // rank 0 (top-left)
+		fault.Injection{Iteration: 2, X: 15, Y: 27, Bit: 59}, // rank 3 (bottom-right)
+	)
+	c, err := NewClusterGrid(op, init, 2, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(iters)
+	st := c.RankStats()
+	for _, i := range []int{0, 3} {
+		if st[i].Detections != 1 || st[i].CorrectedPoints != 1 {
+			t.Fatalf("rank %d: %+v", i, st[i])
+		}
+	}
+	for _, i := range []int{1, 2} {
+		if st[i].Detections != 0 {
+			t.Fatalf("bystander rank %d: %+v", i, st[i])
+		}
+	}
+	if ts := c.Stats(); ts.Detections != 2 || ts.CorrectedPoints != 2 {
+		t.Fatalf("total: %+v", ts)
+	}
+}
+
+// TestClusterGridTilesAndStats checks the Tile accessor against the
+// decomposition, the topology tag, and the per-direction halo counters: a
+// 2x3 clamp grid's interior column ranks send both left and right, edge
+// column ranks one side only, and every rank refreshes halos once per
+// iteration.
+func TestClusterGridTilesAndStats(t *testing.T) {
+	const nx, ny, iters = 33, 40, 6
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	c, err := NewClusterGrid(op, testInit(nx, ny), 3, 2, strictOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Decomp()
+	if d.RanksX != 3 || d.RanksY != 2 || c.Ranks() != 6 {
+		t.Fatalf("decomp %+v over %d ranks", d, c.Ranks())
+	}
+	for i := 0; i < c.Ranks(); i++ {
+		if got, want := c.Tile(i), d.TileOf(i); got != want {
+			t.Fatalf("Tile(%d) = %v, want %v", i, got, want)
+		}
+	}
+	c.Run(iters)
+	for i, s := range c.RankStats() {
+		if s.Topology != "grid 2x3" {
+			t.Fatalf("rank %d topology %q", i, s.Topology)
+		}
+		if s.HaloExchanges != iters {
+			t.Fatalf("rank %d halo exchanges %d, want %d", i, s.HaloExchanges, iters)
+		}
+		cx, cy := d.Coords(i)
+		wantDir := [4]int{}
+		if cy > 0 {
+			wantDir[Up] = iters
+		}
+		if cy < d.RanksY-1 {
+			wantDir[Down] = iters
+		}
+		if cx > 0 {
+			wantDir[Left] = iters
+		}
+		if cx < d.RanksX-1 {
+			wantDir[Right] = iters
+		}
+		if s.HaloByDir != wantDir {
+			t.Fatalf("rank %d (%d,%d) per-direction counters %v, want %v", i, cx, cy, s.HaloByDir, wantDir)
+		}
+	}
+	ts := c.Stats()
+	if ts.Topology != "grid 2x3" {
+		t.Fatalf("merged topology %q", ts.Topology)
+	}
+	// 2x3 grid, clamp: 7 interior edges, each exchanged from both sides.
+	wantMsgs := 14 * iters
+	if got := ts.HaloByDir[Up] + ts.HaloByDir[Down] + ts.HaloByDir[Left] + ts.HaloByDir[Right]; got != wantMsgs {
+		t.Fatalf("total messages %d, want %d", got, wantMsgs)
+	}
+}
+
+// TestClusterGridPool runs the per-rank tile sweeps over a shared worker
+// pool; the partitioned sweep must stay bitwise identical to the
+// sequential one.
+func TestClusterGridPool(t *testing.T) {
+	const nx, ny, iters = 32, 36, 10
+	op := &stencil.Op2D[float64]{St: stencil.BoxBlur[float64](), BC: grid.Clamp}
+	init := testInit(nx, ny)
+	want := reference(t, op, init, iters)
+
+	opt := strictOpts()
+	opt.Pool = &stencil.Pool{Workers: 4}
+	c, err := NewClusterGrid(op, init, 2, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(iters)
+	if ts := c.Stats(); ts.Detections != 0 {
+		t.Fatalf("false positive: %+v", ts)
+	}
+	if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+		t.Fatalf("pooled grid cluster deviates from reference by %g", diff)
+	}
+}
+
+// TestClusterGridValidation covers the grid constructor's error paths:
+// degenerate factors and tiles at or below the stencil radius on either
+// axis, with errors that name the axis.
+func TestClusterGridValidation(t *testing.T) {
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	init := testInit(16, 8)
+
+	if _, err := NewClusterGrid(op, init, 0, 2, Options[float64]{}); err == nil {
+		t.Fatal("zero rank columns accepted")
+	}
+	if _, err := NewClusterGrid(op, init, 2, -1, Options[float64]{}); err == nil {
+		t.Fatal("negative rank rows accepted")
+	}
+	// 16 columns over 16 rank columns leaves 1-wide tiles at radius 1.
+	if _, err := NewClusterGrid(op, init, 16, 1, Options[float64]{}); err == nil {
+		t.Fatal("tiles at the stencil x-radius accepted")
+	}
+	// 8 rows over 8 rank rows leaves 1-tall tiles at radius 1.
+	if _, err := NewClusterGrid(op, init, 1, 8, Options[float64]{}); err == nil {
+		t.Fatal("tiles at the stencil y-radius accepted")
+	}
+	// 8x4 ranks over 16x8 leaves 2x2 tiles: the tightest radius-1 fit.
+	if _, err := NewClusterGrid(op, init, 8, 4, Options[float64]{}); err != nil {
+		t.Fatalf("tightest valid grid rejected: %v", err)
+	}
+}

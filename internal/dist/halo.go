@@ -4,57 +4,144 @@ import (
 	"stencilabft/internal/grid"
 )
 
-// exchangeHalos refreshes the read buffer's halo rows with iteration-t
-// data: boundary-row views are posted to both neighbours first, then the
-// inbound messages are copied into the local ghost rows — the non-blocking
-// Isend/Irecv schedule, expressed through the cluster's Transport. Edges
-// without a neighbour (the top and bottom ranks under non-periodic
-// boundaries) synthesise their ghost rows from the global boundary
-// condition instead.
+// exchangeHalos refreshes the read buffer's halo strips with iteration-t
+// data in two phases — the non-blocking Isend/Irecv schedule of a 2-D
+// Cartesian MPI stencil code, expressed through the cluster's Transport.
+//
+// Phase 1 (x): boundary columns over the tile's own rows are packed and
+// posted Left/Right, then inbound strips are copied into the halo columns.
+// Phase 2 (y): boundary rows at FULL extended width — including the halo
+// columns that phase 1 just filled — are posted Up/Down, so each message
+// threads the corner data the 9-point box kernels and the interpolation's
+// beta terms need to the diagonal neighbour without any extra diagonal
+// channel. Edges without a neighbour (the domain border under non-periodic
+// boundaries) synthesise their ghost strips from the global boundary
+// condition instead, in the same order, which makes a corner ghost resolve
+// each axis independently exactly like grid.BoundedGrid does.
 func (r *rank[T]) exchangeHalos() {
-	if r.h == 0 {
-		return
-	}
 	ext := r.buf.Read
-	nx, h, lo, hi := r.nx, r.h, r.bandLo(), r.bandHi()
-	data := ext.Data()
-	hasUp, hasDn := r.tr.Neighbor(r.id, Up), r.tr.Neighbor(r.id, Down)
-	if hasUp {
-		r.tr.Send(r.id, Up, data[lo*nx:(lo+h)*nx]) // own top h band rows
+	if r.hx > 0 {
+		hasL, hasR := r.tr.Neighbor(r.id, Left), r.tr.Neighbor(r.id, Right)
+		if hasL {
+			r.packCols(ext, r.loX(), r.sendL) // own leftmost hx tile columns
+			r.tr.Send(r.id, Left, r.sendL)
+			r.stats.HaloByDir[Left]++
+		}
+		if hasR {
+			r.packCols(ext, r.hiX()-r.hx, r.sendR) // own rightmost hx tile columns
+			r.tr.Send(r.id, Right, r.sendR)
+			r.stats.HaloByDir[Right]++
+		}
+		if hasL {
+			r.unpackCols(ext, 0, r.tr.Recv(r.id, Left))
+		} else {
+			r.fillSideHalo(true)
+		}
+		if hasR {
+			r.unpackCols(ext, r.hiX(), r.tr.Recv(r.id, Right))
+		} else {
+			r.fillSideHalo(false)
+		}
 	}
-	if hasDn {
-		r.tr.Send(r.id, Down, data[(hi-h)*nx:hi*nx]) // own bottom h band rows
-	}
-	if hasUp {
-		copy(data[0:h*nx], r.tr.Recv(r.id, Up))
-	} else {
-		r.fillEdgeHalo(true)
-	}
-	if hasDn {
-		copy(data[hi*nx:(hi+h)*nx], r.tr.Recv(r.id, Down))
-	} else {
-		r.fillEdgeHalo(false)
+	if r.hy > 0 {
+		nxExt := r.nxLoc + 2*r.hx
+		data := ext.Data()
+		hasU, hasD := r.tr.Neighbor(r.id, Up), r.tr.Neighbor(r.id, Down)
+		if hasU {
+			r.tr.Send(r.id, Up, data[r.loY()*nxExt:(r.loY()+r.hy)*nxExt]) // own top hy rows, full width
+			r.stats.HaloByDir[Up]++
+		}
+		if hasD {
+			r.tr.Send(r.id, Down, data[(r.hiY()-r.hy)*nxExt:r.hiY()*nxExt]) // own bottom hy rows, full width
+			r.stats.HaloByDir[Down]++
+		}
+		if hasU {
+			copy(data[0:r.hy*nxExt], r.tr.Recv(r.id, Up))
+		} else {
+			r.fillEdgeHalo(true)
+		}
+		if hasD {
+			copy(data[r.hiY()*nxExt:(r.hiY()+r.hy)*nxExt], r.tr.Recv(r.id, Down))
+		} else {
+			r.fillEdgeHalo(false)
+		}
 	}
 	r.stats.HaloExchanges++
 }
 
-// fillEdgeHalo synthesises the ghost rows beyond the global domain edge by
-// applying the global boundary condition row-wise. Clamp and Mirror resolve
-// to rows this rank owns (a band is strictly taller than the radius, so a
-// reflected row never leaves it); Constant and Zero substitute the fixed
-// ghost value. Refreshing these rows every iteration is what keeps the
-// band interpolation exact at the domain edge: the checksum layer treats
-// them as Constant-style ghost data that happens to track the band.
+// packCols copies the hx-wide column strip starting at extended column x0,
+// over the tile's own rows, row-major into buf (len hx*nyLoc).
+func (r *rank[T]) packCols(ext *grid.Grid[T], x0 int, buf []T) {
+	i := 0
+	for y := r.loY(); y < r.hiY(); y++ {
+		copy(buf[i:i+r.hx], ext.Row(y)[x0:x0+r.hx])
+		i += r.hx
+	}
+}
+
+// unpackCols copies a received column strip into the hx-wide halo region
+// starting at extended column x0, over the tile's own rows.
+func (r *rank[T]) unpackCols(ext *grid.Grid[T], x0 int, buf []T) {
+	i := 0
+	for y := r.loY(); y < r.hiY(); y++ {
+		copy(ext.Row(y)[x0:x0+r.hx], buf[i:i+r.hx])
+		i += r.hx
+	}
+}
+
+// fillSideHalo synthesises the ghost columns beyond the global domain's x
+// edge over the tile's own rows by applying the global boundary condition
+// column-wise. Clamp and Mirror resolve to columns this rank owns (a tile
+// is strictly wider than the radius, so a reflected column never leaves
+// it); Constant and Zero substitute the fixed ghost value.
+func (r *rank[T]) fillSideHalo(left bool) {
+	ext := r.buf.Read
+	for j := 0; j < r.hx; j++ {
+		var gx, col int // global ghost column and its extended-frame index
+		if left {
+			gx = r.tile.X0 - r.hx + j
+			col = j
+		} else {
+			gx = r.tile.X1 + j
+			col = r.hiX() + j
+		}
+		rx, ok := r.globalBC.ResolveIndex(gx, r.globalNx)
+		if !ok {
+			v := T(0)
+			if r.globalBC == grid.Constant {
+				v = r.op.BCValue
+			}
+			for y := r.loY(); y < r.hiY(); y++ {
+				ext.Row(y)[col] = v
+			}
+			continue
+		}
+		src := r.loX() + rx - r.tile.X0
+		for y := r.loY(); y < r.hiY(); y++ {
+			row := ext.Row(y)
+			row[col] = row[src]
+		}
+	}
+}
+
+// fillEdgeHalo synthesises the ghost rows beyond the global domain's y edge
+// at full extended width by applying the global boundary condition
+// row-wise. Copying the whole extended source row — x halos included, just
+// filled by phase 1 — is what keeps the corner ghosts exact: the value at
+// (ghost x, ghost y) becomes the x-resolved value of the y-resolved row,
+// i.e. both axes resolve independently, matching grid.BoundedGrid.
+// Refreshing these rows every iteration is what keeps the tile
+// interpolation exact at the domain edge.
 func (r *rank[T]) fillEdgeHalo(top bool) {
 	ext := r.buf.Read
-	for j := 0; j < r.h; j++ {
+	for j := 0; j < r.hy; j++ {
 		var gy, row int // global ghost row and its extended-frame index
 		if top {
-			gy = r.y0 - r.h + j
+			gy = r.tile.Y0 - r.hy + j
 			row = j
 		} else {
-			gy = r.y1 + j
-			row = r.bandHi() + j
+			gy = r.tile.Y1 + j
+			row = r.hiY() + j
 		}
 		dst := ext.Row(row)
 		ry, ok := r.globalBC.ResolveIndex(gy, r.globalNy)
@@ -68,6 +155,6 @@ func (r *rank[T]) fillEdgeHalo(top bool) {
 			}
 			continue
 		}
-		copy(dst, ext.Row(r.bandLo()+ry-r.y0))
+		copy(dst, ext.Row(r.loY()+ry-r.tile.Y0))
 	}
 }

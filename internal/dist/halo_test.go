@@ -8,51 +8,6 @@ import (
 	"stencilabft/internal/stencil"
 )
 
-// TestChanTransportTopology checks the default transport's neighbour
-// wiring: edge ranks have no outer neighbour under non-periodic boundaries,
-// every rank is fully wired in the periodic ring, a message posted by a
-// rank arrives at the right neighbour, and a single periodic rank
-// self-exchanges.
-func TestChanTransportTopology(t *testing.T) {
-	tr := NewChanTransport[float64](3, false)
-	if tr.Neighbor(0, Up) || tr.Neighbor(2, Down) {
-		t.Fatal("edge rank wired outward without periodic boundaries")
-	}
-	if !tr.Neighbor(1, Up) || !tr.Neighbor(1, Down) || !tr.Neighbor(0, Down) || !tr.Neighbor(2, Up) {
-		t.Fatal("interior wiring missing")
-	}
-	// A send must pair with the neighbour's receive on the opposite side.
-	tr.Send(1, Up, []float64{1})
-	if got := tr.Recv(0, Down); got[0] != 1 {
-		t.Fatalf("rank 0 received %v from below, want rank 1's upward message", got)
-	}
-	tr.Send(1, Down, []float64{2})
-	if got := tr.Recv(2, Up); got[0] != 2 {
-		t.Fatalf("rank 2 received %v from above, want rank 1's downward message", got)
-	}
-
-	ring := NewChanTransport[float64](2, true)
-	for i := 0; i < 2; i++ {
-		if !ring.Neighbor(i, Up) || !ring.Neighbor(i, Down) {
-			t.Fatalf("periodic rank %d not fully wired", i)
-		}
-	}
-	ring.Send(0, Up, []float64{3}) // wraps around to rank 1's lower side
-	if got := ring.Recv(1, Down); got[0] != 3 {
-		t.Fatalf("ring wrap-around broken: %v", got)
-	}
-
-	self := NewChanTransport[float64](1, true)
-	self.Send(0, Up, []float64{4})
-	self.Send(0, Down, []float64{5})
-	if got := self.Recv(0, Down); got[0] != 4 {
-		t.Fatalf("self-exchange broken: %v", got)
-	}
-	if got := self.Recv(0, Up); got[0] != 5 {
-		t.Fatalf("self-exchange broken: %v", got)
-	}
-}
-
 // TestFillEdgeHalo checks the ghost-row synthesis of the edge ranks for
 // each non-periodic boundary condition.
 func TestFillEdgeHalo(t *testing.T) {
@@ -80,27 +35,57 @@ func TestFillEdgeHalo(t *testing.T) {
 		top.fillEdgeHalo(true)
 		bot.fillEdgeHalo(false)
 		for x := 0; x < nx; x++ {
-			if got := top.buf.Read.At(x, top.bandLo()-1); got != tc.wantTop(x) {
+			if got := top.buf.Read.At(top.loX()+x, top.loY()-1); got != tc.wantTop(x) {
 				t.Fatalf("%v top ghost at x=%d: got %g, want %g", tc.bc, x, got, tc.wantTop(x))
 			}
-			if got := bot.buf.Read.At(x, bot.bandHi()); got != tc.wantBot(x) {
+			if got := bot.buf.Read.At(bot.loX()+x, bot.hiY()); got != tc.wantBot(x) {
 				t.Fatalf("%v bottom ghost at x=%d: got %g, want %g", tc.bc, x, got, tc.wantBot(x))
 			}
 		}
 	}
 }
 
-// TestExchangeHalos runs one manual exchange round and checks every rank
-// sees its neighbours' boundary rows.
-func TestExchangeHalos(t *testing.T) {
-	const nx, ny, ranks = 4, 12, 3
-	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
-	init := grid.New[float64](nx, ny)
-	init.FillFunc(func(x, y int) float64 { return float64(100*y + x) })
-	c, err := NewCluster(op, init, ranks, strictOpts())
-	if err != nil {
-		t.Fatal(err)
+// TestFillSideHalo checks the ghost-column synthesis of the x-edge tiles of
+// a 2-D rank grid for each non-periodic boundary condition — the x analogue
+// of TestFillEdgeHalo the tile decomposition introduces.
+func TestFillSideHalo(t *testing.T) {
+	const nx, ny = 9, 6
+	for _, tc := range []struct {
+		bc grid.Boundary
+		// wantLeft(y) is the expected ghost value just left of the domain,
+		// wantRight(y) just right, given init value 10*y+x.
+		wantLeft  func(y int) float64
+		wantRight func(y int) float64
+	}{
+		{grid.Clamp, func(y int) float64 { return float64(10 * y) }, func(y int) float64 { return float64(10*y + nx - 1) }},
+		{grid.Mirror, func(y int) float64 { return float64(10*y + 1) }, func(y int) float64 { return float64(10*y + nx - 2) }},
+		{grid.Constant, func(y int) float64 { return 7 }, func(y int) float64 { return 7 }},
+		{grid.Zero, func(y int) float64 { return 0 }, func(y int) float64 { return 0 }},
+	} {
+		op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: tc.bc, BCValue: 7}
+		init := grid.New[float64](nx, ny)
+		init.FillFunc(func(x, y int) float64 { return float64(10*y + x) })
+		c, err := NewClusterGrid(op, init, 3, 1, strictOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		left, right := c.ranks[0], c.ranks[2]
+		left.fillSideHalo(true)
+		right.fillSideHalo(false)
+		for y := 0; y < ny; y++ {
+			if got := left.buf.Read.At(left.loX()-1, left.loY()+y); got != tc.wantLeft(y) {
+				t.Fatalf("%v left ghost at y=%d: got %g, want %g", tc.bc, y, got, tc.wantLeft(y))
+			}
+			if got := right.buf.Read.At(right.hiX(), right.loY()+y); got != tc.wantRight(y) {
+				t.Fatalf("%v right ghost at y=%d: got %g, want %g", tc.bc, y, got, tc.wantRight(y))
+			}
+		}
 	}
+}
+
+// exchangeAll runs one manual halo-exchange round on every rank
+// concurrently (the exchange is rendezvous-based, so it needs all ranks).
+func exchangeAll(c *Cluster[float64]) {
 	var wg sync.WaitGroup
 	for _, r := range c.ranks {
 		wg.Add(1)
@@ -110,19 +95,103 @@ func TestExchangeHalos(t *testing.T) {
 		}(r)
 	}
 	wg.Wait()
+}
+
+// TestExchangeHalos runs one manual exchange round on a band chain and
+// checks every rank sees its neighbours' boundary rows.
+func TestExchangeHalos(t *testing.T) {
+	const nx, ny, ranks = 4, 12, 3
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	init := grid.New[float64](nx, ny)
+	init.FillFunc(func(x, y int) float64 { return float64(100*y + x) })
+	c, err := NewCluster(op, init, ranks, strictOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exchangeAll(c)
 
 	// Rank 1 owns rows 4..7: its top halo is row 3, its bottom halo row 8.
 	mid := c.ranks[1]
 	for x := 0; x < nx; x++ {
-		if got := mid.buf.Read.At(x, mid.bandLo()-1); got != float64(300+x) {
+		if got := mid.buf.Read.At(mid.loX()+x, mid.loY()-1); got != float64(300+x) {
 			t.Fatalf("top halo at x=%d: got %g", x, got)
 		}
-		if got := mid.buf.Read.At(x, mid.bandHi()); got != float64(800+x) {
+		if got := mid.buf.Read.At(mid.loX()+x, mid.hiY()); got != float64(800+x) {
 			t.Fatalf("bottom halo at x=%d: got %g", x, got)
 		}
 	}
 	if mid.stats.HaloExchanges != 1 {
 		t.Fatalf("halo exchange counter %d", mid.stats.HaloExchanges)
+	}
+	if mid.stats.HaloByDir != [4]int{1, 1, 0, 0} {
+		t.Fatalf("band rank per-direction counters %v, want up/down only", mid.stats.HaloByDir)
+	}
+}
+
+// TestExchangeHalosGridCorners runs one manual exchange round on a 2x2 rank
+// grid and checks that every halo strip — columns, rows, and crucially the
+// corner blocks threaded through the full-width row messages — holds
+// exactly the value the global domain has at that point, with the domain
+// border synthesised by the boundary condition.
+func TestExchangeHalosGridCorners(t *testing.T) {
+	const nx, ny = 8, 6
+	op := &stencil.Op2D[float64]{St: stencil.BoxBlur[float64](), BC: grid.Clamp}
+	init := grid.New[float64](nx, ny)
+	init.FillFunc(func(x, y int) float64 { return float64(100*y + x) })
+	c, err := NewClusterGrid(op, init, 2, 2, strictOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exchangeAll(c)
+
+	// Every extended-frame cell of every rank must equal the global
+	// boundary-resolved value at its global coordinate.
+	bg := grid.BoundedGrid[float64]{G: init, Cond: grid.Clamp}
+	for i, r := range c.ranks {
+		for ey := 0; ey < r.nyLoc+2*r.hy; ey++ {
+			for ex := 0; ex < r.nxLoc+2*r.hx; ex++ {
+				gx := r.tile.X0 - r.hx + ex
+				gy := r.tile.Y0 - r.hy + ey
+				want := bg.At(gx, gy)
+				if got := r.buf.Read.At(ex, ey); got != want {
+					t.Fatalf("rank %d (tile %v) extended cell (%d,%d) = global (%d,%d): got %g, want %g",
+						i, r.tile, ex, ey, gx, gy, got, want)
+				}
+			}
+		}
+		if r.stats.HaloByDir[Up]+r.stats.HaloByDir[Down] != 1 || r.stats.HaloByDir[Left]+r.stats.HaloByDir[Right] != 1 {
+			t.Fatalf("rank %d of a 2x2 grid sent %v messages, want one per wired axis side", i, r.stats.HaloByDir)
+		}
+	}
+}
+
+// TestExchangeHalosPeriodicTorus is the corner check under periodic
+// boundaries, where every halo — wrap-around corners included — is real
+// remote data.
+func TestExchangeHalosPeriodicTorus(t *testing.T) {
+	const nx, ny = 8, 6
+	op := &stencil.Op2D[float64]{St: stencil.BoxBlur[float64](), BC: grid.Periodic}
+	init := grid.New[float64](nx, ny)
+	init.FillFunc(func(x, y int) float64 { return float64(100*y + x) })
+	c, err := NewClusterGrid(op, init, 2, 2, strictOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exchangeAll(c)
+
+	bg := grid.BoundedGrid[float64]{G: init, Cond: grid.Periodic}
+	for i, r := range c.ranks {
+		for ey := 0; ey < r.nyLoc+2*r.hy; ey++ {
+			for ex := 0; ex < r.nxLoc+2*r.hx; ex++ {
+				want := bg.At(r.tile.X0-r.hx+ex, r.tile.Y0-r.hy+ey)
+				if got := r.buf.Read.At(ex, ey); got != want {
+					t.Fatalf("rank %d extended cell (%d,%d): got %g, want %g", i, ex, ey, got, want)
+				}
+			}
+		}
+		if r.stats.HaloByDir != [4]int{1, 1, 1, 1} {
+			t.Fatalf("torus rank %d sent %v messages, want one per direction", i, r.stats.HaloByDir)
+		}
 	}
 }
 

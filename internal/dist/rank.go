@@ -7,41 +7,51 @@ import (
 	"stencilabft/internal/stencil"
 )
 
-// rank is one simulated MPI rank: a row band [y0, y1) of the global domain
-// stored in a ghost-row-padded local double buffer (h halo rows above and
-// below the band), protected by the online ABFT scheme with band-aware
-// checksum interpolation. All of a rank's state is touched only by its own
-// goroutine; neighbour data arrives as copies through channels.
+// rank is one simulated MPI rank: an arbitrary tile [x0,x1) × [y0,y1) of
+// the global domain stored in a ghost-padded local double buffer (hx halo
+// columns left and right, hy halo rows above and below, corners included),
+// protected by the online ABFT scheme with tile-aware checksum
+// interpolation. The historical row band is the full-width tile of a 1-D
+// (RanksX == 1) rank grid — same code path. All of a rank's state is
+// touched only by its own goroutine; neighbour data arrives as copies
+// through channels.
 type rank[T num.Float] struct {
-	id     int
-	y0, y1 int // global rows owned, [y0, y1)
-	nx     int
-	nyLoc  int // y1 - y0
-	h      int // halo width = stencil y-radius
+	id   int
+	tile Tile // global sub-rectangle owned
 
-	// op sweeps the extended local grid: x resolves with the global
-	// boundary condition, y never reaches a boundary (halo rows supply the
-	// data). Its C field, when present, is the band's rows of the global
-	// constant field padded to the extended shape.
+	nxLoc, nyLoc int // tile shape
+	hx, hy       int // halo widths = stencil x/y radii
+
+	// op sweeps the extended local grid. Every point of the tile rect is
+	// interior to the extended frame (hx >= RadiusX, hy >= RadiusY), so
+	// the sweep reads only materialised storage — real neighbour halos or
+	// BC-synthesised ghosts — and never resolves a boundary itself. Its C
+	// field, when present, is the tile's slice of the global constant
+	// field padded to the extended shape.
 	op  *stencil.Op2D[T]
-	buf *grid.Buffer[T] // extended grids: nx by (nyLoc + 2h)
+	buf *grid.Buffer[T] // extended grids: (nxLoc+2hx) by (nyLoc+2hy)
 
-	ip   *checksum.Interp2D[T] // built for the nx-by-nyLoc band
+	ip   *checksum.Interp2D[T] // built for the nxLoc-by-nyLoc tile
 	det  checksum.Detector[T]
 	pol  checksum.PairPolicy
 	pool *stencil.Pool
 
-	// Column-checksum state in the extended frame: entries [0,h) and
-	// [h+nyLoc, nyLoc+2h) are halo-row sums refreshed every iteration,
-	// entries [h, h+nyLoc) are the band's verified/fused checksums.
+	// Column-checksum state in the extended y frame: entries [0, hy) and
+	// [hy+nyLoc, nyLoc+2hy) are halo-row sums over the tile's own columns,
+	// refreshed every iteration; entries [hy, hy+nyLoc) are the tile's
+	// verified/fused checksums.
 	prevExtB []T
 	newExtB  []T
-	interpB  []T // band-only, len nyLoc
+	interpB  []T // tile-only, len nyLoc
 
-	// scratch for the detection/correction slow path (band-only)
-	prevA, newA, interpA []T
+	// Row-checksum scratch for the detection/correction slow path:
+	// prevExtA covers the extended x range [-hx, nxLoc+hx) — the halo
+	// entries are halo-column sums over the tile's rows, the tile
+	// generalisation of the band's ã resolution — newA/interpA are
+	// tile-only.
+	prevExtA, newA, interpA []T
 
-	// edgeRead/edgeWrite are the BandEdges views of the two buffer halves,
+	// edgeRead/edgeWrite are the TileEdges views of the two buffer halves,
 	// boxed into the EdgeSource interface once at construction and swapped
 	// alongside the buffer so the per-iteration path stays allocation-free.
 	// edgeRead always views buf.Read.
@@ -50,49 +60,54 @@ type rank[T num.Float] struct {
 	// halo plumbing: the cluster's transport; a missing neighbour (domain
 	// edge under non-periodic boundaries) is resolved from the global
 	// boundary condition instead.
-	tr       Transport[T]
-	globalBC grid.Boundary
-	globalNy int
+	tr                 Transport[T]
+	globalBC           grid.Boundary
+	globalNx, globalNy int
+
+	// sendL/sendR are the packed column strips posted Left/Right, owned by
+	// the rank and rewritten only after the iteration barrier, satisfying
+	// the transport's payload-lifetime contract.
+	sendL, sendR []T
 
 	stats Stats
 }
 
-// newRank builds rank id over global rows [y0, y1), copying the band and
-// its initial halo rows out of init.
-func newRank[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], id, y0, y1, h int, opt Options[T]) (*rank[T], error) {
-	nx := init.Nx()
-	nyLoc := y1 - y0
+// newRank builds rank id over the global tile t, copying the tile and its
+// initial halo data out of init.
+func newRank[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], id int, t Tile, hx, hy int, opt Options[T]) (*rank[T], error) {
+	nxLoc, nyLoc := t.Nx(), t.Ny()
 
-	// The interpolator is built on the band's shape with the band's slice
-	// of the constant field; y-halos are supplied at interpolation time.
+	// The interpolator is built on the tile's shape with the tile's slice
+	// of the constant field; x and y halos are supplied at interpolation
+	// time.
 	iop := &stencil.Op2D[T]{St: op.St, BC: op.BC, BCValue: op.BCValue}
 	if op.C != nil {
-		cBand := grid.New[T](nx, nyLoc)
+		cTile := grid.New[T](nxLoc, nyLoc)
 		for y := 0; y < nyLoc; y++ {
-			copy(cBand.Row(y), op.C.Row(y0+y))
+			copy(cTile.Row(y), op.C.Row(t.Y0 + y)[t.X0:t.X1])
 		}
-		iop.C = cBand
+		iop.C = cTile
 	}
-	ip, err := checksum.NewInterp2D(iop, nx, nyLoc)
+	ip, err := checksum.NewInterp2D(iop, nxLoc, nyLoc)
 	if err != nil {
 		return nil, err
 	}
 	ip.DropBoundaryTerms = opt.DropBoundaryTerms
 
-	extNy := nyLoc + 2*h
+	extNx, extNy := nxLoc+2*hx, nyLoc+2*hy
 	sop := &stencil.Op2D[T]{St: op.St, BC: op.BC, BCValue: op.BCValue}
 	if op.C != nil {
-		cExt := grid.New[T](nx, extNy)
+		cExt := grid.New[T](extNx, extNy)
 		for y := 0; y < nyLoc; y++ {
-			copy(cExt.Row(h+y), op.C.Row(y0+y))
+			copy(cExt.Row(hy + y)[hx:hx+nxLoc], op.C.Row(t.Y0 + y)[t.X0:t.X1])
 		}
 		sop.C = cExt
 	}
 
 	r := &rank[T]{
-		id: id, y0: y0, y1: y1, nx: nx, nyLoc: nyLoc, h: h,
+		id: id, tile: t, nxLoc: nxLoc, nyLoc: nyLoc, hx: hx, hy: hy,
 		op:       sop,
-		buf:      grid.NewBuffer[T](nx, extNy),
+		buf:      grid.NewBuffer[T](extNx, extNy),
 		ip:       ip,
 		det:      opt.Detector,
 		pol:      opt.PairPolicy,
@@ -100,54 +115,59 @@ func newRank[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], id, y0, y1, h
 		prevExtB: make([]T, extNy),
 		newExtB:  make([]T, extNy),
 		interpB:  make([]T, nyLoc),
-		prevA:    make([]T, nx),
-		newA:     make([]T, nx),
-		interpA:  make([]T, nx),
+		prevExtA: make([]T, extNx),
+		newA:     make([]T, nxLoc),
+		interpA:  make([]T, nxLoc),
 		globalBC: op.BC,
+		globalNx: init.Nx(),
 		globalNy: init.Ny(),
+		sendL:    make([]T, hx*nyLoc),
+		sendR:    make([]T, hx*nyLoc),
 	}
-	r.edgeRead = checksum.BandEdges[T]{Ext: r.buf.Read, H: h, BC: r.globalBC, ConstVal: r.op.BCValue}
-	r.edgeWrite = checksum.BandEdges[T]{Ext: r.buf.Write, H: h, BC: r.globalBC, ConstVal: r.op.BCValue}
+	r.edgeRead = checksum.TileEdges[T]{Ext: r.buf.Read, HX: hx, HY: hy}
+	r.edgeWrite = checksum.TileEdges[T]{Ext: r.buf.Write, HX: hx, HY: hy}
 	for y := 0; y < nyLoc; y++ {
-		copy(r.buf.Read.Row(h+y), init.Row(y0+y))
+		copy(r.buf.Read.Row(hy + y)[hx:hx+nxLoc], init.Row(t.Y0 + y)[t.X0:t.X1])
 	}
-	// The initial band data and checksums are assumed correct (Theorem 2).
-	stencil.ChecksumBRect(r.buf.Read, 0, h, nx, h+nyLoc, r.prevExtB[h:h+nyLoc])
+	// The initial tile data and checksums are assumed correct (Theorem 2).
+	stencil.ChecksumBRect(r.buf.Read, hx, hy, hx+nxLoc, hy+nyLoc, r.prevExtB[hy:hy+nyLoc])
 	return r, nil
 }
 
-// bandLo/bandHi bound the band's rows in the extended grid.
-func (r *rank[T]) bandLo() int { return r.h }
-func (r *rank[T]) bandHi() int { return r.h + r.nyLoc }
+// loX/hiX and loY/hiY bound the tile in the extended grid.
+func (r *rank[T]) loX() int { return r.hx }
+func (r *rank[T]) hiX() int { return r.hx + r.nxLoc }
+func (r *rank[T]) loY() int { return r.hy }
+func (r *rank[T]) hiY() int { return r.hy + r.nyLoc }
 
-// step advances the rank one iteration: fused sweep over the band rows,
-// band-aware checksum interpolation, detection, and local correction. The
-// halo rows of the read buffer must already hold iteration-t neighbour
+// step advances the rank one iteration: fused sweep over the tile rect,
+// tile-aware checksum interpolation, detection, and local correction. The
+// halo strips of the read buffer must already hold iteration-t neighbour
 // data (exchangeHalos runs first).
 func (r *rank[T]) step(hook stencil.InjectFunc[T]) {
 	src, dst := r.buf.Read, r.buf.Write
 
-	// Halo checksums of iteration t: plain row sums of the received halo
-	// rows — no checksum is ever communicated (the paper's zero-overhead
-	// distribution argument).
-	for j := 0; j < r.h; j++ {
-		r.prevExtB[j] = num.Sum(src.Row(j))
-		r.prevExtB[r.bandHi()+j] = num.Sum(src.Row(r.bandHi() + j))
+	// Halo checksums of iteration t: plain sums of the received halo rows
+	// over the tile's own columns — no checksum is ever communicated (the
+	// paper's zero-overhead distribution argument).
+	for j := 0; j < r.hy; j++ {
+		r.prevExtB[j] = num.Sum(src.Row(j)[r.loX():r.hiX()])
+		r.prevExtB[r.hiY()+j] = num.Sum(src.Row(r.hiY() + j)[r.loX():r.hiX()])
 	}
 
 	if r.pool != nil {
 		r.pool.ForEachChunk(r.nyLoc, func(lo, hi int) {
-			r.op.SweepRange(dst, src, r.bandLo()+lo, r.bandLo()+hi, r.newExtB, hook)
+			r.op.SweepRectFused(dst, src, r.loX(), r.loY()+lo, r.hiX(), r.loY()+hi, r.newExtB[r.loY()+lo:], hook)
 		})
 	} else {
-		r.op.SweepRange(dst, src, r.bandLo(), r.bandHi(), r.newExtB, hook)
+		r.op.SweepRectFused(dst, src, r.loX(), r.loY(), r.hiX(), r.hiY(), r.newExtB[r.loY():], hook)
 	}
 
 	edges := r.edgeRead
-	r.ip.InterpolateBBand(r.prevExtB, r.h, edges, r.interpB)
+	r.ip.InterpolateBBand(r.prevExtB, r.hy, edges, r.interpB)
 	r.stats.Verifications++
 
-	newB := r.newExtB[r.bandLo():r.bandHi()]
+	newB := r.newExtB[r.loY():r.hiY()]
 	if r.det.AnyMismatch(newB, r.interpB) {
 		r.stats.Detections++
 		r.locateAndCorrect(src, dst, edges, newB)
@@ -159,27 +179,28 @@ func (r *rank[T]) step(hook stencil.InjectFunc[T]) {
 	r.stats.Iterations++
 }
 
-// locateAndCorrect is the detection slow path, band-local throughout: lazy
-// row checksums over the band's rows, band-aware A interpolation (the
-// y-window-shift terms read real halo rows), mismatch intersection, and the
-// numerically stable Equation-(10) repair on the band's partial sums.
+// locateAndCorrect is the detection slow path, tile-local throughout: lazy
+// row checksums over the extended x range (halo-column sums serve as the
+// out-of-tile ã values), tile-aware A interpolation (the y-window-shift
+// terms read real halo rows), mismatch intersection, and the numerically
+// stable Equation-(10) repair on the tile's partial sums.
 func (r *rank[T]) locateAndCorrect(src, dst *grid.Grid[T], edges checksum.EdgeSource[T], newB []T) {
-	stencil.ChecksumARect(src, 0, r.bandLo(), r.nx, r.bandHi(), r.prevA)
-	r.ip.InterpolateABand(r.prevA, edges, r.interpA)
-	stencil.ChecksumARect(dst, 0, r.bandLo(), r.nx, r.bandHi(), r.newA)
+	stencil.ChecksumARect(src, 0, r.loY(), r.loX()+r.hiX(), r.hiY(), r.prevExtA)
+	r.ip.InterpolateABlock(r.prevExtA, r.hx, edges, r.interpA)
+	stencil.ChecksumARect(dst, r.loX(), r.loY(), r.hiX(), r.hiY(), r.newA)
 
 	bm := r.det.Compare(newB, r.interpB)
 	am := r.det.Compare(r.newA, r.interpA)
 	if len(am) == 0 || len(bm) == 0 {
 		// Mismatch in one vector only: the corruption sits in a checksum,
-		// not the band. The band is trusted; refresh the column checksums.
+		// not the tile. The tile is trusted; refresh the column checksums.
 		r.stats.ChecksumRepairs++
-		stencil.ChecksumBRect(dst, 0, r.bandLo(), r.nx, r.bandHi(), newB)
+		stencil.ChecksumBRect(dst, r.loX(), r.loY(), r.hiX(), r.hiY(), newB)
 		return
 	}
 	locs := checksum.Pair(am, bm, r.pol)
 	for _, loc := range locs {
-		checksum.CorrectRect(dst, 0, r.bandLo(), r.nx, r.bandHi(), loc,
+		checksum.CorrectRect(dst, r.loX(), r.loY(), r.hiX(), r.hiY(), loc,
 			r.newA, newB, r.interpA, r.interpB)
 		r.stats.CorrectedPoints++
 	}

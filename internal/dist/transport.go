@@ -1,117 +1,155 @@
 package dist
 
 import (
+	"fmt"
 	"sync"
 
 	"stencilabft/internal/num"
 )
 
-// Dir identifies a halo direction relative to a rank: Up is toward lower
-// rank ids (smaller global y), Down toward higher.
+// Dir identifies a halo direction relative to a rank in the Cartesian rank
+// grid: Up is toward smaller grid row cy (smaller global y), Down toward
+// larger, Left toward smaller grid column cx (smaller global x), Right
+// toward larger. The 1-D row-band chain uses Up/Down only.
 type Dir int
 
-// Halo directions.
+// Halo directions. NumDirs sizes per-direction tables (e.g. the
+// stats.Stats.HaloByDir counters, which are indexed by Dir in this order).
 const (
 	Up Dir = iota
 	Down
+	Left
+	Right
+	NumDirs = 4
 )
 
-// Transport is the cluster's communication seam: it carries halo rows
-// between neighbouring ranks and separates iterations with a barrier —
-// exactly the subset of MPI a bulk-synchronous stencil code needs
-// (Isend/Irecv of boundary rows plus MPI_Barrier). The default backend is
+// String returns the direction's display name.
+func (d Dir) String() string {
+	switch d {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	default:
+		return fmt.Sprintf("dir(%d)", int(d))
+	}
+}
+
+// Opposite returns the direction a message sent toward d arrives from.
+func (d Dir) Opposite() Dir {
+	switch d {
+	case Up:
+		return Down
+	case Down:
+		return Up
+	case Left:
+		return Right
+	default:
+		return Left
+	}
+}
+
+// Transport is the cluster's communication seam: it carries halo payloads
+// between neighbouring ranks of a ranksX-by-ranksY Cartesian rank grid
+// (rank ids row-major, id = cy*ranksX + cx — the Decomp convention) and
+// separates iterations with a barrier — exactly the subset of MPI a
+// bulk-synchronous stencil code needs (MPI_Cart_create neighbours,
+// Isend/Irecv of boundary strips, MPI_Barrier). The default backend is
 // ChanTransport (in-process paired channels); a real MPI or socket backend
 // implements this interface and drops in via Options.NewTransport without
-// touching the protection logic.
+// touching the protection logic. The disttest package is the conformance
+// harness any backend can run.
 //
-// Contract: within one iteration every rank posts its sends (both
-// directions) before its first Recv, and Send must not block when the
-// neighbour has not yet received the previous message — the non-blocking
-// Isend schedule that keeps the exchange deadlock-free in any rank order.
-// The rows slice passed to Send remains valid until the next Barrier; the
-// receiver must copy before passing its own Barrier.
+// Contract: within one iteration every rank performs at most one Send and
+// one Recv per direction, in two phases — first Left/Right (packed boundary
+// columns), then Up/Down (full extended-width boundary rows, which thread
+// the corner data received in the first phase to the diagonal neighbours).
+// Inside each phase a rank posts all its sends before its first Recv, and
+// Send must not block — the non-blocking Isend schedule that keeps the
+// exchange deadlock-free in any rank order. The payload slice passed to
+// Send remains valid until the sender's next Barrier; the receiver must
+// copy it out before passing its own Barrier.
 type Transport[T num.Float] interface {
-	// Send posts rank from's boundary rows toward its neighbour in
+	// Send posts rank from's boundary strip toward its neighbour in
 	// direction d. Must only be called when Neighbor(from, d) is true.
-	Send(from int, d Dir, rows []T)
-	// Recv returns the rows the neighbour of rank to in direction d sent
+	Send(from int, d Dir, data []T)
+	// Recv returns the strip the neighbour of rank to in direction d sent
 	// this iteration. Must only be called when Neighbor(to, d) is true.
 	Recv(to int, d Dir) []T
 	// Neighbor reports whether rank id has a neighbour in direction d
 	// (false at the domain edge under non-periodic boundaries; the rank
-	// then synthesises its ghost rows from the boundary condition).
+	// then synthesises its ghost strip from the boundary condition).
 	Neighbor(id int, d Dir) bool
 	// Barrier blocks until every rank has arrived — the per-iteration
 	// lockstep that keeps halo data exactly one iteration fresh.
 	Barrier()
 }
 
-// ChanTransport is the default in-process Transport: adjacent ranks are
-// wired with paired channels in the MPI neighbour pattern. Each channel
-// carries one message per iteration: the sender's boundary rows as a view
-// into its read buffer (safe to share because band rows are immutable until
-// the iteration barrier, and the receiver copies before reaching it).
-// Capacity 1 lets every rank post both sends before either receive.
+// ChanTransport is the default in-process Transport: adjacent ranks of the
+// Cartesian grid are wired with paired channels in the MPI neighbour
+// pattern. Each channel carries one message per iteration per direction: a
+// boundary strip, either as a view into the sender's read buffer (row
+// strips, immutable until the iteration barrier) or as a sender-owned pack
+// buffer (column strips, rewritten only after the barrier); the receiver
+// copies before reaching its own barrier. Capacity 1 lets every rank post
+// its phase's sends before either receive.
 //
-// Under a ring (periodic global boundaries) rank 0's upper neighbour is the
-// last rank, so the wrap-around halo is real remote data; with one rank the
-// ring degenerates to a self-exchange through the same channels.
+// Under a ring (periodic global boundaries) both axes close into a torus,
+// so wrap-around halos are real remote data; a single rank on an axis
+// degenerates to a self-exchange through the same channels.
 type ChanTransport[T num.Float] struct {
-	n    int
+	geo  Decomp // rank-grid shape only (Nx/Ny unused)
 	ring bool
-	up   []chan []T // up[i] carries rank i's top rows to the rank above
-	down []chan []T // down[i] carries rank i's bottom rows to the rank below
+	ch   [NumDirs][]chan []T // ch[d][i] carries rank i's strip toward direction d
 	bar  *barrier
 }
 
-// NewChanTransport wires n ranks with paired halo channels; ring closes the
-// topology into a cycle (periodic boundaries).
-func NewChanTransport[T num.Float](n int, ring bool) *ChanTransport[T] {
+// NewChanTransport wires a ranksX-by-ranksY rank grid with paired halo
+// channels; ring closes both axes into a torus (periodic boundaries). The
+// 1-D row-band chain is the (1, nRanks) shape.
+func NewChanTransport[T num.Float](ranksX, ranksY int, ring bool) *ChanTransport[T] {
+	n := ranksX * ranksY
 	t := &ChanTransport[T]{
-		n:    n,
+		geo:  Decomp{RanksX: ranksX, RanksY: ranksY},
 		ring: ring,
-		up:   make([]chan []T, n),
-		down: make([]chan []T, n),
 		bar:  newBarrier(n),
 	}
-	for i := 0; i < n; i++ {
-		t.up[i] = make(chan []T, 1)
-		t.down[i] = make(chan []T, 1)
+	for d := range t.ch {
+		t.ch[d] = make([]chan []T, n)
+		for i := 0; i < n; i++ {
+			t.ch[d][i] = make(chan []T, 1)
+		}
 	}
 	return t
 }
 
 // Neighbor reports whether rank id has a neighbour in direction d.
 func (t *ChanTransport[T]) Neighbor(id int, d Dir) bool {
-	if t.ring {
-		return true
-	}
-	if d == Up {
-		return id > 0
-	}
-	return id < t.n-1
+	_, ok := t.geo.Neighbor(id, d, t.ring)
+	return ok
 }
 
-// Send posts rows on the channel toward rank from's neighbour.
-func (t *ChanTransport[T]) Send(from int, d Dir, rows []T) {
-	if d == Up {
-		t.up[from] <- rows
-	} else {
-		t.down[from] <- rows
-	}
+// Send posts data on the channel toward rank from's neighbour in
+// direction d.
+func (t *ChanTransport[T]) Send(from int, d Dir, data []T) {
+	t.ch[d][from] <- data
 }
 
-// Recv returns the rows sent toward rank to from direction d: from above,
-// that is the upper neighbour's down-channel; from below, the lower
-// neighbour's up-channel.
+// Recv returns the strip sent toward rank to from direction d: the
+// d-neighbour's message posted toward the opposite direction.
 func (t *ChanTransport[T]) Recv(to int, d Dir) []T {
-	if d == Up {
-		return <-t.down[(to-1+t.n)%t.n]
+	nb, ok := t.geo.Neighbor(to, d, t.ring)
+	if !ok {
+		panic(fmt.Sprintf("dist: Recv(%d, %v) without a neighbour", to, d))
 	}
-	return <-t.up[(to+1)%t.n]
+	return <-t.ch[d.Opposite()][nb]
 }
 
-// Barrier blocks until all n ranks have arrived.
+// Barrier blocks until all ranks have arrived.
 func (t *ChanTransport[T]) Barrier() { t.bar.await() }
 
 // barrier is a reusable cyclic barrier: await blocks until all n parties

@@ -1,0 +1,17 @@
+package dist_test
+
+import (
+	"testing"
+
+	"stencilabft/internal/dist"
+	"stencilabft/internal/dist/disttest"
+)
+
+// TestChanTransportConformance runs the default in-process channel backend
+// through the disttest conformance harness — the same suite a future MPI or
+// socket Transport implementation runs to prove itself a drop-in.
+func TestChanTransportConformance(t *testing.T) {
+	disttest.Run(t, func(rx, ry int, ring bool) dist.Transport[float64] {
+		return dist.NewChanTransport[float64](rx, ry, ring)
+	})
+}

@@ -28,8 +28,18 @@ type Stats struct {
 	ConeRecoveries  int // detections repaired by light-cone recomputation
 	ConePointsSwept int // point updates spent inside cone recomputation
 	FlaggedBlocks   int // block-level verification failures (blocked scheme)
-	HaloExchanges   int // iterations that exchanged or refreshed halo rows (cluster)
-	Checkpoint      checkpoint.Stats
+	HaloExchanges   int // iterations that exchanged or refreshed halo strips (cluster)
+	// HaloByDir counts halo messages actually sent per direction, indexed
+	// by dist.Dir (up, down, left, right) — a 1-D band cluster only ever
+	// populates up/down, a 2-D rank grid all four, making the extra
+	// communication of finer topologies directly observable. Synthesised
+	// boundary ghosts (no neighbour) are not counted: they cost no
+	// communication.
+	HaloByDir [4]int
+	// Topology names the decomposition shape of a clustered run (e.g.
+	// "grid 4x1", "grid 2x3", "layers 4"); empty for local deployments.
+	Topology   string
+	Checkpoint checkpoint.Stats
 }
 
 // Merge returns the element-wise sum of s and o — the roll-up used to
@@ -46,6 +56,12 @@ func (s Stats) Merge(o Stats) Stats {
 	s.ConePointsSwept += o.ConePointsSwept
 	s.FlaggedBlocks += o.FlaggedBlocks
 	s.HaloExchanges += o.HaloExchanges
+	for d := range s.HaloByDir {
+		s.HaloByDir[d] += o.HaloByDir[d]
+	}
+	if s.Topology == "" {
+		s.Topology = o.Topology
+	}
 	s.Checkpoint.Saves += o.Checkpoint.Saves
 	s.Checkpoint.Restores += o.Checkpoint.Restores
 	s.Checkpoint.PointsCopied += o.Checkpoint.PointsCopied
@@ -67,8 +83,15 @@ func (s Stats) String() string {
 	if s.FlaggedBlocks > 0 {
 		out += fmt.Sprintf(" flagged-blocks=%d", s.FlaggedBlocks)
 	}
+	if s.Topology != "" {
+		out += fmt.Sprintf(" topology=%q", s.Topology)
+	}
 	if s.HaloExchanges > 0 {
 		out += fmt.Sprintf(" halo-exchanges=%d", s.HaloExchanges)
+	}
+	if s.HaloByDir != [4]int{} {
+		out += fmt.Sprintf(" halo-dir[up/down/left/right]=%d/%d/%d/%d",
+			s.HaloByDir[0], s.HaloByDir[1], s.HaloByDir[2], s.HaloByDir[3])
 	}
 	return out
 }

@@ -50,10 +50,11 @@ type Deployment string
 const (
 	// Local runs in-process on one domain (optionally over a worker Pool).
 	Local Deployment = "local"
-	// Clustered decomposes the domain into row bands over simulated ranks
-	// exchanging halo rows through the Transport seam, each rank running
-	// the online scheme independently — the paper's distributed-memory
-	// setting.
+	// Clustered decomposes the domain over simulated ranks exchanging halo
+	// strips through the Transport seam, each rank running the online
+	// scheme independently — the paper's distributed-memory setting. The
+	// decomposition shape is chosen by Topology: a Cartesian rank grid
+	// (2-D domains) or z-layer slabs (3-D domains).
 	Clustered Deployment = "cluster"
 )
 
@@ -64,6 +65,36 @@ func ParseDeployment(name string) (Deployment, error) {
 		return Deployment(name), nil
 	default:
 		return "", fmt.Errorf("stencilabft: unknown deployment %q (want local|cluster)", name)
+	}
+}
+
+// Topology selects how a Clustered deployment decomposes its domain over
+// the ranks — the shape knob of the topology-neutral decomposition layer.
+type Topology string
+
+// Topologies.
+const (
+	// TopoGrid decomposes a 2-D domain over a RanksX-by-RanksY Cartesian
+	// rank grid (the default for 2-D clustered runs). The historical row
+	// bands are its RanksX == 1 column; production stencil codes prefer
+	// squarer grids for their lower surface-to-volume ratio.
+	TopoGrid Topology = "grid"
+	// TopoBands decomposes a 2-D domain into horizontal row bands — an
+	// explicit alias for the Nx1 grid, kept because it is the paper's
+	// presentation of the distributed setting.
+	TopoBands Topology = "bands"
+	// TopoLayers decomposes a 3-D domain into z-layer slabs of Ranks ranks
+	// (the default, and only, topology for 3-D clustered runs).
+	TopoLayers Topology = "layers"
+)
+
+// ParseTopology converts a CLI-style topology name into a Topology.
+func ParseTopology(name string) (Topology, error) {
+	switch Topology(name) {
+	case TopoGrid, TopoBands, TopoLayers:
+		return Topology(name), nil
+	default:
+		return "", fmt.Errorf("stencilabft: unknown topology %q (want grid|bands|layers)", name)
 	}
 }
 
@@ -79,10 +110,10 @@ func ParseDeployment(name string) (Deployment, error) {
 // use them, so one Spec can sweep Scheme across a campaign while holding
 // every other knob fixed — the pattern the paper's evaluation harness
 // relies on. Deployment-mismatched knobs, by contrast, are hard Build
-// errors (Ranks or Transport on a Local run, Period/Recovery/
-// PaperExactCorrection or BlockX/BlockY on a Clustered one): there is no
-// seam for them, and silently dropping them would run a different
-// experiment than the spec declares.
+// errors (Topology, Ranks/RanksX/RanksY or Transport on a Local run,
+// Period/Recovery/PaperExactCorrection or BlockX/BlockY on a Clustered
+// one): there is no seam for them, and silently dropping them would run a
+// different experiment than the spec declares.
 type Spec[T Float] struct {
 	Scheme     Scheme
 	Deployment Deployment
@@ -107,15 +138,26 @@ type Spec[T Float] struct {
 	// Recovery selects the offline repair strategy (FullRollback or
 	// ConeRecovery). Offline 2-D only.
 	Recovery RecoveryMode
-	// Ranks is the rank count of a Clustered deployment (required ≥ 1).
+	// Topology selects the Clustered decomposition shape; the zero value
+	// resolves to TopoGrid for 2-D domains and TopoLayers for 3-D ones.
+	Topology Topology
+	// Ranks is the Nx1 shorthand of a Clustered deployment's rank count:
+	// for a 2-D domain it declares Ranks row bands (a Ranks-by-1 grid),
+	// for a 3-D domain the number of z-layer slabs. Mutually exclusive
+	// with RanksX/RanksY.
 	Ranks int
+	// RanksX, RanksY shape the 2-D Cartesian rank grid of a Clustered
+	// deployment: RanksX columns (splitting the domain's x axis) by RanksY
+	// rows (splitting y). Set both, or use the Ranks shorthand instead.
+	RanksX, RanksY int
 	// BlockX, BlockY set the nominal tile size of the Blocked scheme
 	// (required ≥ 1; edge tiles may differ).
 	BlockX, BlockY int
 
 	// Inject schedules planned bit-flips in domain coordinates; Step and
 	// Run apply them at the matching iterations. Under a Clustered
-	// deployment each injection is routed to the rank owning its row.
+	// deployment each injection is routed to the rank owning its tile (or
+	// z-layer slab).
 	Inject *Plan
 	// InjectSource plugs a custom per-iteration fault hook instead of a
 	// declarative plan (Local deployments only — a Clustered run needs
@@ -123,8 +165,11 @@ type Spec[T Float] struct {
 	InjectSource InjectSource[T]
 
 	// Transport overrides a Clustered deployment's communication backend;
-	// nil uses the in-process channel transport. See dist.Transport.
-	Transport func(nRanks int, ring bool) Transport[T]
+	// nil uses the in-process channel transport. It receives the rank-grid
+	// shape (columns × rows; a 3-D layer cluster passes its slab chain as
+	// 1 × Ranks) and whether periodic boundaries close the grid into a
+	// torus. See dist.Transport.
+	Transport func(ranksX, ranksY int, ring bool) Transport[T]
 
 	// DropBoundaryTerms reproduces the paper's simplified listings
 	// (ablation A1); leave false for exact interpolation.
@@ -173,14 +218,40 @@ func (s Spec[T]) validate() error {
 		return fmt.Errorf("stencilabft: 3-D spec needs both Op3D and Init3D")
 	}
 	if s.Deployment == Clustered {
-		if has3D {
-			return fmt.Errorf("stencilabft: the cluster deployment decomposes 2-D domains only")
-		}
 		if s.Scheme != Online {
 			return fmt.Errorf("stencilabft: the cluster deployment protects with the online scheme only (got %q)", s.Scheme)
 		}
-		if s.Ranks < 1 {
-			return fmt.Errorf("stencilabft: cluster deployment needs Ranks >= 1 (got %d)", s.Ranks)
+		topo := s.topology()
+		if _, err := ParseTopology(string(topo)); err != nil {
+			return err
+		}
+		if has3D && topo != TopoLayers {
+			return fmt.Errorf("stencilabft: a 3-D cluster decomposes into z-layer slabs; topology %q is 2-D-only (use TopoLayers or leave Topology empty)", topo)
+		}
+		if !has3D && topo == TopoLayers {
+			return fmt.Errorf("stencilabft: the layers topology decomposes 3-D domains (this spec is 2-D; use TopoGrid or TopoBands)")
+		}
+		hasGrid := s.RanksX != 0 || s.RanksY != 0
+		if s.Ranks != 0 && hasGrid {
+			return fmt.Errorf("stencilabft: set either Ranks (the Nx1 shorthand) or RanksX/RanksY, not both (got Ranks %d with grid %dx%d)",
+				s.Ranks, s.RanksY, s.RanksX)
+		}
+		if topo == TopoLayers {
+			if hasGrid {
+				return fmt.Errorf("stencilabft: RanksX/RanksY shape 2-D rank grids; a layer cluster takes its slab count from Ranks")
+			}
+			if s.Ranks < 1 {
+				return fmt.Errorf("stencilabft: layer cluster needs Ranks >= 1 (got %d)", s.Ranks)
+			}
+		} else {
+			rx, ry := s.rankGrid()
+			if rx < 1 || ry < 1 {
+				return fmt.Errorf("stencilabft: cluster deployment needs Ranks >= 1 or a RanksX x RanksY grid with both factors >= 1 (got Ranks %d, grid %dx%d)",
+					s.Ranks, s.RanksY, s.RanksX)
+			}
+			if topo == TopoBands && rx != 1 {
+				return fmt.Errorf("stencilabft: the bands topology is the 1-column grid; got %d rank columns (use TopoGrid)", rx)
+			}
 		}
 		if s.InjectSource != nil {
 			return fmt.Errorf("stencilabft: InjectSource is local-only; cluster injection routes a Plan (set Inject)")
@@ -198,8 +269,12 @@ func (s Spec[T]) validate() error {
 			return fmt.Errorf("stencilabft: PaperExactCorrection is not supported by the cluster deployment (ranks always use the stable correction)")
 		}
 	} else {
-		if s.Ranks != 0 {
-			return fmt.Errorf("stencilabft: Ranks applies to the cluster deployment only (deployment %q with Ranks %d)", s.Deployment, s.Ranks)
+		if s.Ranks != 0 || s.RanksX != 0 || s.RanksY != 0 {
+			return fmt.Errorf("stencilabft: Ranks/RanksX/RanksY apply to the cluster deployment only (deployment %q with %d/%d/%d)",
+				s.Deployment, s.Ranks, s.RanksX, s.RanksY)
+		}
+		if s.Topology != "" {
+			return fmt.Errorf("stencilabft: Topology applies to the cluster deployment only")
 		}
 		if s.Transport != nil {
 			return fmt.Errorf("stencilabft: Transport applies to the cluster deployment only")
@@ -217,6 +292,27 @@ func (s Spec[T]) validate() error {
 			s.Scheme, s.BlockX, s.BlockY)
 	}
 	return nil
+}
+
+// topology resolves the spec's Topology with its dimensionality-dependent
+// default: grid for 2-D clustered runs, layers for 3-D ones.
+func (s Spec[T]) topology() Topology {
+	if s.Topology != "" {
+		return s.Topology
+	}
+	if s.is3D() {
+		return TopoLayers
+	}
+	return TopoGrid
+}
+
+// rankGrid resolves the 2-D rank-grid shape (columns, rows): RanksX/RanksY
+// when set, else the Ranks shorthand as Ranks row bands (a 1-column grid).
+func (s Spec[T]) rankGrid() (ranksX, ranksY int) {
+	if s.RanksX != 0 || s.RanksY != 0 {
+		return s.RanksX, s.RanksY
+	}
+	return 1, s.Ranks
 }
 
 // injectSource resolves the spec's fault configuration to the per-iteration
@@ -291,8 +387,9 @@ type InjectSource[T Float] = stencil.InjectSource[T]
 type Transport[T Float] = dist.Transport[T]
 
 // NewChanTransport returns the default in-process paired-channel transport
-// — exported so custom transports can wrap it (e.g. to trace or delay
-// messages) before handing it to Spec.Transport.
-func NewChanTransport[T Float](nRanks int, ring bool) *dist.ChanTransport[T] {
-	return dist.NewChanTransport[T](nRanks, ring)
+// for a ranksX-by-ranksY rank grid — exported so custom transports can wrap
+// it (e.g. to trace or delay messages) before handing it to Spec.Transport.
+// A 1-D band or layer chain is the (1, nRanks) shape.
+func NewChanTransport[T Float](ranksX, ranksY int, ring bool) *dist.ChanTransport[T] {
+	return dist.NewChanTransport[T](ranksX, ranksY, ring)
 }
