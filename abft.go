@@ -316,7 +316,7 @@ func NewCluster[T Float](op *Op2D[T], init *Grid[T], nRanks int, opt ClusterOpti
 	p, err := Build(Spec[T]{
 		Scheme: Online, Deployment: Clustered, Op2D: op, Init: init, Ranks: nRanks,
 		Detector: opt.Detector, PairPolicy: opt.PairPolicy, Pool: opt.Pool,
-		DropBoundaryTerms: opt.DropBoundaryTerms, Inject: opt.Inject, Transport: opt.NewTransport,
+		DropBoundaryTerms: opt.DropBoundaryTerms, Inject: opt.Inject, NewTransport: opt.NewTransport,
 	})
 	if err != nil {
 		return nil, err

@@ -135,5 +135,30 @@ func buildCluster[T Float](spec Spec[T]) (Protector[T], error) {
 		return dist.NewCluster3D(spec.Op3D, spec.Init3D, spec.Ranks, spec.distOptions())
 	}
 	rx, ry := spec.rankGrid()
-	return dist.NewClusterGrid(spec.Op2D, spec.Init, rx, ry, spec.distOptions())
+	opt := spec.distOptions()
+	if spec.Transport == TransportTCP {
+		// Validate the decomposition before opening any socket, so a
+		// malformed spec fails without leaking a half-bootstrapped
+		// transport (and without making peer processes wait for us).
+		d := dist.Decomp{Nx: spec.Init.Nx(), Ny: spec.Init.Ny(), RanksX: rx, RanksY: ry}
+		if err := d.Validate(spec.Op2D.St.RadiusX(), spec.Op2D.St.RadiusY()); err != nil {
+			return nil, err
+		}
+		tr, err := dist.NewTCPTransport[T](dist.TCPConfig{
+			RanksX: rx, RanksY: ry, Ring: spec.Op2D.BC == Periodic,
+			LocalRanks: []int{spec.Rank}, Rendezvous: spec.Rendezvous, Bind: spec.Bind,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opt.LocalRanks = []int{spec.Rank}
+		opt.NewTransport = func(int, int, bool) Transport[T] { return tr }
+		c, err := dist.NewClusterGrid(spec.Op2D, spec.Init, rx, ry, opt)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+	return dist.NewClusterGrid(spec.Op2D, spec.Init, rx, ry, opt)
 }

@@ -2,6 +2,8 @@ package stencilabft_test
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"testing"
 
 	abft "stencilabft"
@@ -351,9 +353,42 @@ func TestBuildInvalidSpecs(t *testing.T) {
 			Scheme: abft.Online, Op2D: op, Init: init, RanksX: 2, RanksY: 2}},
 		{"transport on local", abft.Spec[float64]{
 			Scheme: abft.Online, Op2D: op, Init: init,
-			Transport: func(rx, ry int, ring bool) abft.Transport[float64] {
+			NewTransport: func(rx, ry int, ring bool) abft.Transport[float64] {
 				return abft.NewChanTransport[float64](rx, ry, ring)
 			}}},
+		{"transport kind on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init, Transport: abft.TransportChan}},
+		{"unknown transport kind", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Transport: "carrier-pigeon"}},
+		{"named and custom transport together", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Transport: abft.TransportChan,
+			NewTransport: func(rx, ry int, ring bool) abft.Transport[float64] {
+				return abft.NewChanTransport[float64](rx, ry, ring)
+			}}},
+		{"tcp without rendezvous", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Transport: abft.TransportTCP}},
+		{"tcp rank out of range", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Transport: abft.TransportTCP, Rendezvous: "127.0.0.1:9", Rank: 2}},
+		{"tcp on a 3-D layer cluster", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op3D: op3, Init3D: init3, Ranks: 2,
+			Transport: abft.TransportTCP, Rendezvous: "127.0.0.1:9"}},
+		{"rendezvous without tcp", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Rendezvous: "127.0.0.1:9"}},
+		{"rank without tcp", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Rank: 1}},
+		{"rank/rendezvous on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init, Rendezvous: "127.0.0.1:9"}},
+		{"bind on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init, Bind: "10.0.0.5:0"}},
+		{"bind without tcp", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			Bind: "10.0.0.5:0"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -387,5 +422,178 @@ func TestParseHelpers(t *testing.T) {
 	keys := abft.BuildKeys()
 	if len(keys) != 5 {
 		t.Fatalf("registry keys %v", keys)
+	}
+	for _, name := range []string{"chan", "tcp"} {
+		k, err := abft.ParseTransport(name)
+		if err != nil || string(k) != name {
+			t.Fatalf("ParseTransport(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := abft.ParseTransport("carrier-pigeon"); err == nil {
+		t.Fatal("bogus transport parsed")
+	}
+}
+
+// buildTCPHosts builds one single-rank tcp protector per rank of a 2x2
+// grid, concurrently — four Build calls standing in for four OS processes
+// meeting at a loopback rendezvous.
+func buildTCPHosts(t *testing.T, base abft.Spec[float64], ranks int) []abft.Protector[float64] {
+	t.Helper()
+	// Reserve a port, free it, let rank 0's Build re-bind it. Another
+	// process can steal the port in that window, so the whole bootstrap
+	// retries on a fresh port — the same exposure stencilrun -launch has.
+	for attempt := 0; ; attempt++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendezvous := ln.Addr().String()
+		ln.Close()
+
+		hosts := make([]abft.Protector[float64], ranks)
+		errs := make([]error, ranks)
+		var wg sync.WaitGroup
+		for k := 0; k < ranks; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				spec := base
+				spec.Transport = abft.TransportTCP
+				spec.Rank = k
+				spec.Rendezvous = rendezvous
+				hosts[k], errs[k] = abft.Build(spec)
+			}(k)
+		}
+		wg.Wait()
+		failed := false
+		for k, err := range errs {
+			if err != nil {
+				failed = true
+				if attempt >= 2 {
+					t.Fatalf("Build for tcp rank %d: %v", k, err)
+				}
+			}
+		}
+		if failed {
+			for _, p := range hosts {
+				if c, ok := p.(*abft.Cluster[float64]); ok {
+					c.Close()
+				}
+			}
+			t.Logf("tcp bootstrap attempt %d failed (port stolen in the handover window?); retrying", attempt)
+			continue
+		}
+		t.Cleanup(func() {
+			for _, p := range hosts {
+				if c, ok := p.(*abft.Cluster[float64]); ok {
+					c.Close()
+				}
+			}
+		})
+		return hosts
+	}
+}
+
+// runTCPHosts advances every host by iters in lockstep (each host drives
+// its own rank; the transport's barrier couples them) and returns the
+// union of the gathered tiles plus the merged stats.
+func runTCPHosts(t *testing.T, hosts []abft.Protector[float64], iters, nx, ny int) (*abft.Grid[float64], abft.Stats) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, p := range hosts {
+		wg.Add(1)
+		go func(p abft.Protector[float64]) {
+			defer wg.Done()
+			p.Run(iters)
+		}(p)
+	}
+	wg.Wait()
+	global := abft.New[float64](nx, ny)
+	var merged abft.Stats
+	for _, p := range hosts {
+		c := p.(*abft.Cluster[float64])
+		part := c.Grid()
+		for _, id := range c.LocalRanks() {
+			tile := c.Tile(id)
+			for y := tile.Y0; y < tile.Y1; y++ {
+				copy(global.Row(y)[tile.X0:tile.X1], part.Row(y)[tile.X0:tile.X1])
+			}
+		}
+		st := p.Stats()
+		st.Iterations = 0 // each host reports the same lockstep count; count it once below
+		merged = merged.Merge(st)
+	}
+	merged.Iterations = hosts[0].Stats().Iterations
+	return global, merged
+}
+
+// TestBuildTCPClusterMultiHost runs a 2x2 tcp cluster as four single-rank
+// Build calls over loopback sockets and checks the union of the gathered
+// tiles is bit-identical to the single-process reference — the Build-level
+// version of what stencilrun -launch runs as real OS processes in CI.
+func TestBuildTCPClusterMultiHost(t *testing.T) {
+	const nx, ny, iters = 48, 40, 12
+	op := &abft.Op2D[float64]{St: abft.Laplace5[float64](0.22), BC: abft.Mirror}
+	init := abft.New[float64](nx, ny)
+	init.FillFunc(func(x, y int) float64 { return float64(x*31+y*17) / 7 })
+
+	ref, err := abft.Build(abft.Spec[float64]{Op2D: op, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(iters)
+
+	base := abft.Spec[float64]{
+		Scheme: abft.Online, Deployment: abft.Clustered,
+		Op2D: op, Init: init, RanksX: 2, RanksY: 2,
+	}
+	hosts := buildTCPHosts(t, base, 4)
+	global, merged := runTCPHosts(t, hosts, iters, nx, ny)
+
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if global.At(x, y) != ref.Grid().At(x, y) {
+				t.Fatalf("gathered grid differs from the reference at (%d,%d): %v != %v",
+					x, y, global.At(x, y), ref.Grid().At(x, y))
+			}
+		}
+	}
+	if merged.HaloExchanges == 0 || merged.Verifications == 0 {
+		t.Fatalf("merged stats look empty: %+v", merged)
+	}
+}
+
+// TestBuildTCPClusterInjection checks a global fault plan routed by four
+// independent single-rank hosts is applied exactly once cluster-wide:
+// every host routes the same plan, only the owner injects, and that owner
+// detects and repairs locally.
+func TestBuildTCPClusterInjection(t *testing.T) {
+	const nx, ny, iters = 48, 40, 12
+	op := &abft.Op2D[float64]{St: abft.Laplace5[float64](0.22), BC: abft.Clamp}
+	init := abft.New[float64](nx, ny)
+	init.FillFunc(func(x, y int) float64 { return 100 + float64((x+y)%13) })
+
+	base := abft.Spec[float64]{
+		Scheme: abft.Online, Deployment: abft.Clustered,
+		Op2D: op, Init: init, RanksX: 2, RanksY: 2,
+		Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+		Inject:   abft.NewPlan(abft.Injection{Iteration: 5, X: 30, Y: 10, Bit: 55}),
+	}
+	hosts := buildTCPHosts(t, base, 4)
+	_, merged := runTCPHosts(t, hosts, iters, nx, ny)
+
+	if merged.Detections != 1 || merged.CorrectedPoints != 1 {
+		t.Fatalf("injected flip not handled exactly once across hosts: %+v", merged)
+	}
+	// The point (30, 10) belongs to rank 1 (top-right tile of the 2x2
+	// grid); the other hosts must have stayed clean.
+	for k, p := range hosts {
+		st := p.Stats()
+		if k == 1 && st.Detections != 1 {
+			t.Fatalf("owning host missed the flip: %+v", st)
+		}
+		if k != 1 && st.Detections != 0 {
+			t.Fatalf("non-owning host %d detected: %+v", k, st)
+		}
 	}
 }

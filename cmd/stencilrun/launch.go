@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	abft "stencilabft"
+	"stencilabft/internal/dist"
+	"stencilabft/internal/metrics"
+	"stencilabft/internal/stats"
+)
+
+// The -launch parent: fork one OS process per rank of the grid over
+// loopback TCP, merge the children's stats, reassemble the global domain
+// from their tile files, and verify the run — bit-identical to an
+// in-process single-process reference when error-free, detected-and-
+// repaired when -inject is on. Any child failure or verification miss is a
+// non-zero exit, which is what the CI multiprocess job gates on.
+
+// childStatsPrefix marks the machine-readable stats line a tcp rank
+// process prints for its -launch parent.
+const childStatsPrefix = "CHILDSTATS "
+
+// printChildStats emits this rank's counters for the parent to merge.
+func printChildStats(rank int, st abft.Stats) error {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s%d %s\n", childStatsPrefix, rank, b)
+	return nil
+}
+
+// runLaunch forks p.ranksX*p.ranksY rank processes of this same binary
+// over loopback, then verifies their merged result.
+func runLaunch(c config, p plan) error {
+	n := p.ranksX * p.ranksY
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	// The rendezvous: an explicit -rendezvous wins (e.g. a fixed port an
+	// external observer knows); otherwise reserve a loopback port, then
+	// free it for rank 0's process to bind. The children retry their
+	// dial, so start order does not matter; the only race is another
+	// process stealing the port in the handover window, which the
+	// bit-identical check would surface.
+	rendezvous := c.rendezvous
+	if rendezvous == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		rendezvous = ln.Addr().String()
+		ln.Close()
+	}
+
+	tileDir, err := os.MkdirTemp("", "stencilrun-tiles-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tileDir)
+
+	fmt.Printf("stencilrun -launch: %d rank processes over a %dx%d grid, rendezvous %s\n",
+		n, p.ranksY, p.ranksX, rendezvous)
+
+	timer := metrics.StartTimer()
+	cmds := make([]*exec.Cmd, n)
+	outs := make([]bytes.Buffer, n)
+	for k := 0; k < n; k++ {
+		args := []string{
+			"-nx", fmt.Sprint(c.nx), "-ny", fmt.Sprint(c.ny), "-iters", fmt.Sprint(c.iters),
+			"-kernel", c.kernel, "-bc", c.bcName, "-bcvalue", fmt.Sprint(c.bcValue),
+			"-abft", c.mode, "-epsilon", fmt.Sprint(c.epsilon), "-seed", fmt.Sprint(c.seed),
+			"-rankgrid", fmt.Sprintf("%dx%d", p.ranksY, p.ranksX),
+			"-transport", "tcp", "-rank", fmt.Sprint(k), "-rendezvous", rendezvous,
+			"-tileout", tilePath(tileDir, k),
+		}
+		if c.inject {
+			args = append(args, "-inject")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = &outs[k]
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting rank %d: %w", k, err)
+		}
+		cmds[k] = cmd
+	}
+	var firstErr error
+	for k, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d process failed: %w (its output follows)\n%s", k, err, outs[k].String())
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	wall := timer.Seconds()
+
+	// Merge the children's counters. Every child reports the same
+	// lockstep Iterations, so the merge normalises it back to one global
+	// sweep count, the same convention Cluster.Stats uses in-process.
+	perRank := make([]abft.Stats, n)
+	for k := range cmds {
+		st, err := childStats(outs[k].Bytes(), k)
+		if err != nil {
+			return err
+		}
+		perRank[k] = st
+	}
+	merged := stats.MergeAll(perRank)
+	merged.Iterations = perRank[0].Iterations
+
+	// Reassemble the global domain from the tile files.
+	op, init, _, err := c.domain()
+	if err != nil {
+		return err
+	}
+	decomp := dist.Decomp{Nx: c.nx, Ny: c.ny, RanksX: p.ranksX, RanksY: p.ranksY}
+	global := abft.New[float32](c.nx, c.ny)
+	for k := 0; k < n; k++ {
+		if err := readTileInto(tilePath(tileDir, k), k, decomp.TileOf(k), global); err != nil {
+			return err
+		}
+	}
+
+	// The single-process reference: same operator, same seeded domain.
+	ref, err := abft.Build(abft.Spec[float32]{Op2D: op, Init: init})
+	if err != nil {
+		return err
+	}
+	ref.Run(c.iters)
+
+	fmt.Printf("wall time:        %.4fs (%d processes)\n", wall, n)
+	fmt.Printf("merged stats:     %v\n", merged)
+	for k, st := range perRank {
+		fmt.Printf("  rank %d tile %v: %v\n", k, decomp.TileOf(k), st)
+	}
+
+	if c.inject {
+		if merged.Detections < 1 || merged.CorrectedPoints+merged.ChecksumRepairs < 1 {
+			return fmt.Errorf("the injected corruption was not detected/repaired by any rank process (merged stats: %v)", merged)
+		}
+		fmt.Printf("arithmetic error: %.6g (post-repair residual vs the error-free reference)\n",
+			metrics.L2Error(global, ref.Grid()))
+		fmt.Printf("injection handled: detections=%d corrected=%d checksum-repairs=%d across %d processes\n",
+			merged.Detections, merged.CorrectedPoints, merged.ChecksumRepairs, n)
+		return nil
+	}
+
+	refGrid := ref.Grid()
+	for y := 0; y < c.ny; y++ {
+		for x := 0; x < c.nx; x++ {
+			if global.At(x, y) != refGrid.At(x, y) {
+				return fmt.Errorf("gathered grid differs from the single-process reference at (%d,%d): %v != %v (rank %d's tile)",
+					x, y, global.At(x, y), refGrid.At(x, y), decomp.OwnerOf(x, y))
+			}
+		}
+	}
+	fmt.Printf("gathered grid is bit-identical to the single-process reference (%dx%d points, %d processes)\n",
+		c.nx, c.ny, n)
+	return nil
+}
+
+// childStats extracts the CHILDSTATS line rank k printed.
+func childStats(out []byte, k int) (abft.Stats, error) {
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, childStatsPrefix) {
+			continue
+		}
+		rankField, payload, ok := strings.Cut(strings.TrimPrefix(line, childStatsPrefix), " ")
+		if rank, err := strconv.Atoi(rankField); !ok || err != nil || rank != k {
+			continue
+		}
+		if !strings.HasPrefix(payload, "{") {
+			return abft.Stats{}, fmt.Errorf("rank %d stats line %q carries no JSON payload", k, line)
+		}
+		var st abft.Stats
+		if err := json.Unmarshal([]byte(payload), &st); err != nil {
+			return st, fmt.Errorf("rank %d stats line %q: %w", k, line, err)
+		}
+		return st, nil
+	}
+	return abft.Stats{}, fmt.Errorf("rank %d printed no %s line; its output:\n%s", k, strings.TrimSpace(childStatsPrefix), out)
+}
+
+// Tile files: how a rank process hands its final tile to the -launch
+// parent. A small sanity header guards against mixed-up runs, then the
+// tile's rows as raw little-endian float32 bits — bit-exact, which is the
+// whole point of the gather comparison.
+const tileMagic = uint32(0x5354544C) // "STTL"
+
+type tileHeader struct {
+	Magic          uint32
+	Version        uint32
+	Rank           uint32
+	X0, Y0, X1, Y1 uint32
+}
+
+func tilePath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("tile-%d.bin", rank))
+}
+
+// writeTile saves rank's tile region of g (a full-size grid with only the
+// tile filled, as Cluster.Gather returns under LocalRanks).
+func writeTile(path string, rank int, t dist.Tile, g *abft.Grid[float32]) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	hdr := tileHeader{Magic: tileMagic, Version: 1, Rank: uint32(rank),
+		X0: uint32(t.X0), Y0: uint32(t.Y0), X1: uint32(t.X1), Y1: uint32(t.Y1)}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		f.Close()
+		return err
+	}
+	for y := t.Y0; y < t.Y1; y++ {
+		if err := binary.Write(w, binary.LittleEndian, g.Row(y)[t.X0:t.X1]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readTileInto loads rank k's tile file, validates it against the expected
+// geometry, and copies the rows into the global grid.
+func readTileInto(path string, k int, want dist.Tile, global *abft.Grid[float32]) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("rank %d wrote no tile: %w", k, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr tileHeader
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return fmt.Errorf("rank %d tile header: %w", k, err)
+	}
+	if hdr.Magic != tileMagic || hdr.Version != 1 {
+		return fmt.Errorf("rank %d tile file %s is not a version-1 stencilrun tile", k, path)
+	}
+	got := dist.Tile{X0: int(hdr.X0), Y0: int(hdr.Y0), X1: int(hdr.X1), Y1: int(hdr.Y1)}
+	if int(hdr.Rank) != k || got != want {
+		return fmt.Errorf("rank %d tile file claims rank %d tile %v, want tile %v", k, hdr.Rank, got, want)
+	}
+	for y := want.Y0; y < want.Y1; y++ {
+		if err := binary.Read(r, binary.LittleEndian, global.Row(y)[want.X0:want.X1]); err != nil {
+			return fmt.Errorf("rank %d tile row %d: %w", k, y, err)
+		}
+	}
+	return nil
+}

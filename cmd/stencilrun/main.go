@@ -11,6 +11,23 @@
 //	stencilrun -abft blocked -blocksize 64
 //	stencilrun -ranks 4 -inject
 //	stencilrun -rankgrid 2x3 -inject
+//
+// Multi-process clusters (the tcp transport): every rank is a real OS
+// process. Either fork a whole cluster over loopback in one command:
+//
+//	stencilrun -launch 4 -rankgrid 2x2 -inject
+//
+// or start each rank process by hand (on one host or several), meeting at
+// a rendezvous address served by rank 0's process:
+//
+//	stencilrun -rankgrid 2x2 -transport tcp -rank 0 -rendezvous host:9777 &
+//	stencilrun -rankgrid 2x2 -transport tcp -rank 1 -rendezvous host:9777 &
+//	...
+//
+// The -launch parent merges the children's stats and verifies the gathered
+// grid is bit-identical to an in-process single-process reference run (or,
+// with -inject, that the corruption was detected and repaired); it exits
+// non-zero otherwise, which is what CI gates on.
 package main
 
 import (
@@ -30,6 +47,44 @@ import (
 	"stencilabft/internal/stencil"
 )
 
+// config holds the raw flag values; plan (via config.resolve) is the
+// validated run description derived from them. Keeping resolve a pure
+// function of config is what makes the flag-combination rules unit-testable.
+type config struct {
+	nx, ny, iters int
+	kernel        string
+	bcName        string
+	bcValue       float64
+	mode          string
+	period        int
+	epsilon       float64
+	inject        bool
+	seed          int64
+	blockSize     int
+
+	ranks    int
+	rankGrid string
+
+	transport  string // "" = auto: tcp when -rank/-rendezvous/-launch appear, else chan
+	rank       int    // -1 = unset
+	rendezvous string
+	bind       string
+	launch     int
+	tileOut    string
+
+	cpuProf, memProf string
+}
+
+// plan is the resolved, validated run: which scheme runs where, over which
+// rank grid, through which transport, and in which process role.
+type plan struct {
+	scheme         abft.Scheme
+	deployment     abft.Deployment
+	ranksX, ranksY int // 0x0 for local deployments
+	transport      abft.TransportKind
+	launch         bool // parent role: fork the cluster and merge
+}
+
 // parseRankGrid parses the -rankgrid value "RxC" (R rank rows splitting the
 // domain's y axis by C rank columns splitting x) into its two factors.
 func parseRankGrid(s string) (rows, cols int, err error) {
@@ -42,6 +97,116 @@ func parseRankGrid(s string) (rows, cols int, err error) {
 		}
 	}
 	return 0, 0, fmt.Errorf("invalid -rankgrid %q (want RxC, e.g. 2x3 for 2 rank rows by 3 rank columns)", s)
+}
+
+// resolve validates the flag combination up front — every tcp/launch
+// misconfiguration fails here with an actionable message, before any
+// socket is opened or child process forked.
+func (c config) resolve() (plan, error) {
+	var p plan
+
+	scheme, err := abft.ParseScheme(c.mode)
+	if err != nil {
+		return p, err
+	}
+	if c.blockSize > 0 {
+		switch scheme {
+		case abft.Online:
+			scheme = abft.Blocked // historical shorthand: -blocksize alone selects tiling
+		case abft.Blocked:
+		default:
+			return p, fmt.Errorf("-blocksize applies to the blocked scheme only (got -abft %s)", scheme)
+		}
+	}
+	p.scheme = scheme
+
+	// Rank-grid shape.
+	p.deployment = abft.Local
+	switch {
+	case c.rankGrid != "" && c.ranks > 0:
+		return p, fmt.Errorf("-ranks is the Nx1 shorthand for -rankgrid; set one of them, not both")
+	case c.rankGrid != "":
+		rows, cols, err := parseRankGrid(c.rankGrid)
+		if err != nil {
+			return p, err
+		}
+		p.ranksX, p.ranksY = cols, rows
+		p.deployment = abft.Clustered
+	case c.ranks > 0:
+		p.ranksX, p.ranksY = 1, c.ranks
+		p.deployment = abft.Clustered
+	}
+
+	if c.launch < 0 {
+		return p, fmt.Errorf("-launch %d: the process count must be positive", c.launch)
+	}
+
+	// Transport: explicit flag, or inferred from the tcp-only flags.
+	wantsTCP := c.rank >= 0 || c.rendezvous != "" || c.launch > 0
+	name := c.transport
+	if name == "" {
+		if wantsTCP {
+			name = string(abft.TransportTCP)
+		} else {
+			name = string(abft.TransportChan)
+		}
+	}
+	kind, err := abft.ParseTransport(name)
+	if err != nil {
+		return p, err
+	}
+	p.transport = kind
+
+	if kind == abft.TransportChan {
+		switch {
+		case c.launch > 0:
+			return p, fmt.Errorf("-launch forks a multi-process tcp cluster; it cannot run over the in-process chan transport (drop -transport chan, or drop -launch)")
+		case c.rank >= 0:
+			return p, fmt.Errorf("-rank names this process's rank under -transport tcp; the chan transport hosts every rank in-process")
+		case c.rendezvous != "":
+			return p, fmt.Errorf("-rendezvous is the tcp cluster's meeting point; the chan transport needs none")
+		case c.bind != "":
+			return p, fmt.Errorf("-bind shapes a tcp rank process's data listener; the chan transport opens no sockets")
+		case c.tileOut != "":
+			return p, fmt.Errorf("-tileout is written by tcp rank processes for the -launch parent to gather; the chan transport gathers in-process")
+		}
+		return p, nil
+	}
+
+	// tcp from here on.
+	if p.deployment != abft.Clustered {
+		return p, fmt.Errorf("-transport tcp deploys a cluster: set -rankgrid RxC (or -ranks N) to shape it")
+	}
+	if p.scheme != abft.Online {
+		return p, fmt.Errorf("the cluster deployment protects with the online scheme only (got -abft %s)", p.scheme)
+	}
+	n := p.ranksX * p.ranksY
+	if c.launch > 0 {
+		if c.rank >= 0 {
+			return p, fmt.Errorf("-launch is the parent role (fork every rank); -rank is the child role (be one rank) — set one, not both")
+		}
+		if c.tileOut != "" {
+			return p, fmt.Errorf("-tileout is set by the -launch parent on its children; don't set it yourself")
+		}
+		if c.bind != "" {
+			return p, fmt.Errorf("-launch forks its cluster over loopback; -bind is for hand-started rank processes spanning hosts")
+		}
+		if c.launch != n {
+			return p, fmt.Errorf("-launch %d must match the rank grid: -rankgrid %dx%d needs %d processes", c.launch, p.ranksY, p.ranksX, n)
+		}
+		if c.cpuProf != "" || c.memProf != "" {
+			return p, fmt.Errorf("-cpuprofile/-memprofile profile one process; run a single rank with -transport tcp -rank K to profile it")
+		}
+		p.launch = true
+		return p, nil
+	}
+	if c.rank < 0 || c.rendezvous == "" {
+		return p, fmt.Errorf("-transport tcp runs one rank per process: set -rank K and -rendezvous host:port (or -launch %d to fork the whole cluster over loopback)", n)
+	}
+	if c.rank >= n {
+		return p, fmt.Errorf("-rank %d outside the %d-rank cluster (-rankgrid %dx%d)", c.rank, n, p.ranksY, p.ranksX)
+	}
+	return p, nil
 }
 
 func kernelByName(name string) (*stencil.Stencil[float32], error) {
@@ -76,119 +241,143 @@ func boundaryByName(name string) (grid.Boundary, error) {
 	}
 }
 
-func main() {
-	var (
-		nx      = flag.Int("nx", 256, "domain width")
-		ny      = flag.Int("ny", 256, "domain height")
-		iters   = flag.Int("iters", 100, "iterations")
-		kernel  = flag.String("kernel", "laplace", "laplace|jacobi4|blur|advect")
-		bcName  = flag.String("bc", "clamp", "clamp|periodic|mirror|constant|zero")
-		bcValue = flag.Float64("bcvalue", 0, "ghost value for -bc constant")
-		mode    = flag.String("abft", "online", "none|online|offline|blocked")
-		period  = flag.Int("period", 16, "offline detection period")
-		epsilon = flag.Float64("epsilon", 1e-5, "detection threshold")
-		inject  = flag.Bool("inject", false, "inject a single random bit-flip")
-		seed    = flag.Int64("seed", 1, "seed")
-		blockSz = flag.Int("blocksize", 0, "tile edge for -abft blocked (with -abft online, implies blocked)")
-		ranks   = flag.Int("ranks", 0, "decompose over N simulated rank row-bands: alias for -rankgrid Nx1 (cluster deployment, online scheme)")
-		rgrid   = flag.String("rankgrid", "", "decompose over an RxC Cartesian rank grid, e.g. 2x3 (cluster deployment, online scheme)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the protected run to this file (go tool pprof)")
-		memProf = flag.String("memprofile", "", "write a heap profile taken after the protected run to this file")
-	)
-	flag.Parse()
-
-	st, err := kernelByName(*kernel)
+// domain builds the operator, the deterministically-seeded initial grid and
+// the (optional) injection plan. Every process of a tcp cluster calls this
+// with the same flags, so every process derives identical state — which is
+// what lets each rank carve its tile locally and lets the whole cluster
+// route one global injection plan without communicating it.
+func (c config) domain() (*abft.Op2D[float32], *abft.Grid[float32], *fault.Plan, error) {
+	st, err := kernelByName(c.kernel)
 	if err != nil {
-		fail(err)
+		return nil, nil, nil, err
 	}
-	bc, err := boundaryByName(*bcName)
+	bc, err := boundaryByName(c.bcName)
 	if err != nil {
-		fail(err)
+		return nil, nil, nil, err
 	}
-	op := &abft.Op2D[float32]{St: st, BC: bc, BCValue: float32(*bcValue)}
+	op := &abft.Op2D[float32]{St: st, BC: bc, BCValue: float32(c.bcValue)}
 
-	rng := rand.New(rand.NewSource(*seed))
-	init := abft.New[float32](*nx, *ny)
+	rng := rand.New(rand.NewSource(c.seed))
+	init := abft.New[float32](c.nx, c.ny)
 	init.FillFunc(func(x, y int) float32 { return 100 + 50*rng.Float32() })
 
 	var plan *fault.Plan
-	if *inject {
-		inj := fault.RandomSingle(rng, *iters, *nx, *ny, 1, 32)
+	if c.inject {
+		inj := fault.RandomSingle(rng, c.iters, c.nx, c.ny, 1, 32)
 		plan = fault.NewPlan(inj)
 		fmt.Printf("injection: %v\n", inj)
 	}
+	return op, init, plan, nil
+}
 
-	scheme, err := abft.ParseScheme(*mode)
-	if err != nil {
-		fail(err)
-	}
-	if *blockSz > 0 {
-		switch scheme {
-		case abft.Online:
-			scheme = abft.Blocked // historical shorthand: -blocksize alone selects tiling
-		case abft.Blocked:
-		default:
-			fail(fmt.Errorf("-blocksize applies to the blocked scheme only (got -abft %s)", scheme))
-		}
-	}
-	deployment := abft.Local
-	var ranksX, ranksY int
-	switch {
-	case *rgrid != "" && *ranks > 0:
-		fail(fmt.Errorf("-ranks is the Nx1 shorthand for -rankgrid; set one of them, not both"))
-	case *rgrid != "":
-		rows, cols, err := parseRankGrid(*rgrid)
-		if err != nil {
-			fail(err)
-		}
-		ranksX, ranksY = cols, rows
-		deployment = abft.Clustered
-	case *ranks > 0:
-		ranksX, ranksY = 1, *ranks
-		deployment = abft.Clustered
-	}
-
-	// Error-free reference for the arithmetic-error report.
-	ref, err := abft.Build(abft.Spec[float32]{Op2D: op, Init: init})
-	if err != nil {
-		fail(err)
-	}
-	ref.Run(*iters)
-
+// spec assembles the Build input for this process's protected run.
+func (c config) spec(p plan, op *abft.Op2D[float32], init *abft.Grid[float32], injectPlan *fault.Plan) abft.Spec[float32] {
 	spec := abft.Spec[float32]{
-		Scheme:     scheme,
-		Deployment: deployment,
+		Scheme:     p.scheme,
+		Deployment: p.deployment,
 		Op2D:       op,
 		Init:       init,
-		Detector:   abft.Detector[float32]{Epsilon: float32(*epsilon), AbsFloor: 1},
+		Detector:   abft.Detector[float32]{Epsilon: float32(c.epsilon), AbsFloor: 1},
 		Pool:       abft.NewPool(),
-		RanksX:     ranksX,
-		RanksY:     ranksY,
-		Inject:     plan,
+		RanksX:     p.ranksX,
+		RanksY:     p.ranksY,
+		Inject:     injectPlan,
 	}
-	if scheme == abft.Offline {
-		spec.Period = *period
+	if p.transport == abft.TransportTCP {
+		spec.Transport = abft.TransportTCP
+		spec.Rank = c.rank
+		spec.Rendezvous = c.rendezvous
+		spec.Bind = c.bind
 	}
-	if scheme == abft.Blocked {
-		bs := *blockSz
+	if p.scheme == abft.Offline {
+		spec.Period = c.period
+	}
+	if p.scheme == abft.Blocked {
+		bs := c.blockSize
 		if bs <= 0 {
 			bs = 64
 		}
 		spec.BlockX, spec.BlockY = bs, bs
+	}
+	return spec
+}
+
+func main() {
+	var c config
+	flag.IntVar(&c.nx, "nx", 256, "domain width")
+	flag.IntVar(&c.ny, "ny", 256, "domain height")
+	flag.IntVar(&c.iters, "iters", 100, "iterations")
+	flag.StringVar(&c.kernel, "kernel", "laplace", "laplace|jacobi4|blur|advect")
+	flag.StringVar(&c.bcName, "bc", "clamp", "clamp|periodic|mirror|constant|zero")
+	flag.Float64Var(&c.bcValue, "bcvalue", 0, "ghost value for -bc constant")
+	flag.StringVar(&c.mode, "abft", "online", "none|online|offline|blocked")
+	flag.IntVar(&c.period, "period", 16, "offline detection period")
+	flag.Float64Var(&c.epsilon, "epsilon", 1e-5, "detection threshold")
+	flag.BoolVar(&c.inject, "inject", false, "inject a single random bit-flip")
+	flag.Int64Var(&c.seed, "seed", 1, "seed")
+	flag.IntVar(&c.blockSize, "blocksize", 0, "tile edge for -abft blocked (with -abft online, implies blocked)")
+	flag.IntVar(&c.ranks, "ranks", 0, "decompose over N simulated rank row-bands: alias for -rankgrid Nx1 (cluster deployment, online scheme)")
+	flag.StringVar(&c.rankGrid, "rankgrid", "", "decompose over an RxC Cartesian rank grid, e.g. 2x3 (cluster deployment, online scheme)")
+	flag.StringVar(&c.transport, "transport", "", "cluster communication backend: chan (in-process, default) or tcp (one rank per OS process)")
+	flag.IntVar(&c.rank, "rank", -1, "the rank this process hosts (-transport tcp)")
+	flag.StringVar(&c.rendezvous, "rendezvous", "", "host:port the tcp cluster's processes meet at (rank 0's process serves it)")
+	flag.StringVar(&c.bind, "bind", "", "address this rank's tcp data listener binds and advertises (default 127.0.0.1:0; bind a routable interface, e.g. 10.0.0.5:0, for multi-host clusters)")
+	flag.IntVar(&c.launch, "launch", 0, "fork N rank processes over loopback, merge their stats and verify the gathered grid (implies -transport tcp)")
+	flag.StringVar(&c.tileOut, "tileout", "", "write this rank's final tile to a file (set by the -launch parent)")
+	flag.StringVar(&c.cpuProf, "cpuprofile", "", "write a CPU profile of the protected run to this file (go tool pprof)")
+	flag.StringVar(&c.memProf, "memprofile", "", "write a heap profile taken after the protected run to this file")
+	flag.Parse()
+
+	p, err := c.resolve()
+	if err != nil {
+		fail(err)
+	}
+	if p.launch {
+		if err := runLaunch(c, p); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := runProcess(c, p); err != nil {
+		fail(err)
+	}
+}
+
+// runProcess runs this process's share of the computation: the whole
+// domain for local and chan-cluster deployments, or one rank's tile for a
+// tcp rank process.
+func runProcess(c config, p plan) error {
+	op, init, injectPlan, err := c.domain()
+	if err != nil {
+		return err
+	}
+	tcpRank := p.transport == abft.TransportTCP
+
+	// Error-free reference for the arithmetic-error report. A tcp rank
+	// process skips it: the -launch parent (or the operator) owns the
+	// cross-process comparison, and a full-domain run per rank would
+	// defeat the point of distributing.
+	var ref abft.Protector[float32]
+	if !tcpRank {
+		ref, err = abft.Build(abft.Spec[float32]{Op2D: op, Init: init})
+		if err != nil {
+			return err
+		}
+		ref.Run(c.iters)
 	}
 
 	// Profiling covers exactly the protected run (build through Finalize),
 	// not the reference run above or the reporting below, so profiles
 	// isolate the hot path under measurement. fail() flushes a started
 	// profile before exiting so an error never leaves a truncated file.
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
+	if c.cpuProf != "" {
+		f, err := os.Create(c.cpuProf)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
-			fail(err)
+			return err
 		}
 		stopCPUProfile = func() {
 			pprof.StopCPUProfile()
@@ -197,39 +386,55 @@ func main() {
 	}
 
 	timer := metrics.StartTimer()
-	p, err := abft.Build(spec)
+	prot, err := abft.Build(c.spec(p, op, init, injectPlan))
 	if err != nil {
-		fail(err)
+		return err
 	}
-	p.Run(*iters)
-	p.Finalize()
+	prot.Run(c.iters)
+	prot.Finalize()
 	flushCPUProfile()
-	stats := p.Stats()
+	stats := prot.Stats()
 
-	if *memProf != "" {
-		f, err := os.Create(*memProf)
+	if c.memProf != "" {
+		f, err := os.Create(c.memProf)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		runtime.GC() // settle allocations so the heap profile shows live + cumulative cleanly
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Close()
-			fail(err)
+			return err
 		}
 		f.Close()
 	}
-	l2 := metrics.L2Error(p.Grid(), ref.Grid())
 
-	fmt.Printf("stencilrun %s on %dx%d (%s boundaries), %d iterations, scheme=%s deployment=%s\n",
-		st.Name, *nx, *ny, bc, *iters, scheme, deployment)
+	fmt.Printf("stencilrun %s on %dx%d (%s boundaries), %d iterations, scheme=%s deployment=%s transport=%s\n",
+		op.St.Name, c.nx, c.ny, op.BC, c.iters, p.scheme, p.deployment, p.transport)
 	fmt.Printf("wall time:        %.4fs\n", timer.Seconds())
-	fmt.Printf("arithmetic error: %.6g\n", l2)
+	if ref != nil {
+		fmt.Printf("arithmetic error: %.6g\n", metrics.L2Error(prot.Grid(), ref.Grid()))
+	}
 	fmt.Printf("protector stats:  %v\n", stats)
-	if c, ok := p.(*abft.Cluster[float32]); ok {
-		for i, s := range c.RankStats() {
-			fmt.Printf("  rank %d tile %v: %v\n", i, c.Tile(i), s)
+	if cl, ok := prot.(*abft.Cluster[float32]); ok {
+		ids := cl.LocalRanks()
+		for i, s := range cl.RankStats() {
+			fmt.Printf("  rank %d tile %v: %v\n", ids[i], cl.Tile(ids[i]), s)
+		}
+		if tcpRank {
+			if c.tileOut != "" {
+				if err := writeTile(c.tileOut, c.rank, cl.Tile(c.rank), prot.Grid()); err != nil {
+					return err
+				}
+			}
+			if err := printChildStats(c.rank, stats); err != nil {
+				return err
+			}
+			if err := cl.Close(); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // stopCPUProfile is set while a CPU profile is being collected;

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	abft "stencilabft"
+)
+
+// base returns the flag defaults, as flag.Parse would leave them with no
+// arguments.
+func base() config {
+	return config{
+		nx: 256, ny: 256, iters: 100, kernel: "laplace", bcName: "clamp",
+		mode: "online", period: 16, epsilon: 1e-5, seed: 1, rank: -1,
+	}
+}
+
+// TestResolveValidCombinations pins the supported flag shapes and what
+// they resolve to.
+func TestResolveValidCombinations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*config)
+		want plan
+	}{
+		{"defaults: local online over chan", func(c *config) {},
+			plan{scheme: abft.Online, deployment: abft.Local, transport: abft.TransportChan}},
+		{"ranks shorthand: chan cluster", func(c *config) { c.ranks = 4 },
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 1, ranksY: 4, transport: abft.TransportChan}},
+		{"rank grid: chan cluster", func(c *config) { c.rankGrid = "2x3" },
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 3, ranksY: 2, transport: abft.TransportChan}},
+		{"blocksize implies blocked", func(c *config) { c.blockSize = 32 },
+			plan{scheme: abft.Blocked, deployment: abft.Local, transport: abft.TransportChan}},
+		{"tcp rank process", func(c *config) { c.rankGrid = "2x2"; c.transport = "tcp"; c.rank = 3; c.rendezvous = "127.0.0.1:9777" },
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP}},
+		{"tcp rank process with a bind address", func(c *config) {
+			c.rankGrid = "2x2"
+			c.rank = 1
+			c.rendezvous = "10.0.0.5:9777"
+			c.bind = "10.0.0.6:0"
+		},
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP}},
+		{"rank+rendezvous imply tcp", func(c *config) { c.rankGrid = "2x2"; c.rank = 0; c.rendezvous = "127.0.0.1:9777" },
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP}},
+		{"launch implies tcp parent", func(c *config) { c.rankGrid = "2x2"; c.launch = 4 },
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP, launch: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base()
+			tc.mut(&c)
+			got, err := c.resolve()
+			if err != nil {
+				t.Fatalf("resolve: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("resolve = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestResolveRejectsBadCombinations pins the up-front validation of the
+// transport flag combinations: every misconfiguration fails before any
+// socket or child process exists, with a message naming the fix.
+func TestResolveRejectsBadCombinations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*config)
+		want string // substring of the error
+	}{
+		{"tcp without rank/rendezvous/launch",
+			func(c *config) { c.rankGrid = "2x2"; c.transport = "tcp" }, "-rank K and -rendezvous"},
+		{"tcp without a rank grid",
+			func(c *config) { c.transport = "tcp"; c.rank = 0; c.rendezvous = "h:1" }, "-rankgrid"},
+		{"tcp rank without rendezvous",
+			func(c *config) { c.rankGrid = "2x2"; c.rank = 1 }, "-rendezvous"},
+		{"tcp rank out of range",
+			func(c *config) { c.rankGrid = "2x2"; c.rank = 4; c.rendezvous = "h:1" }, "outside the 4-rank cluster"},
+		{"launch with chan transport",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.transport = "chan" }, "chan transport"},
+		{"launch with rank",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.rank = 0; c.rendezvous = "h:1" }, "parent role"},
+		{"launch count mismatching the grid",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 3 }, "must match the rank grid"},
+		{"launch with a profile flag",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.cpuProf = "p.out" }, "one process"},
+		{"launch with tileout",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.tileOut = "t.bin" }, "-tileout"},
+		{"rank with explicit chan",
+			func(c *config) { c.rankGrid = "2x2"; c.transport = "chan"; c.rank = 1 }, "-rank"},
+		{"rendezvous with explicit chan",
+			func(c *config) { c.rankGrid = "2x2"; c.transport = "chan"; c.rendezvous = "h:1" }, "-rendezvous"},
+		{"tileout without tcp",
+			func(c *config) { c.rankGrid = "2x2"; c.tileOut = "t.bin" }, "-tileout"},
+		{"bind with explicit chan",
+			func(c *config) { c.rankGrid = "2x2"; c.transport = "chan"; c.bind = "10.0.0.5:0" }, "-bind"},
+		{"bind with launch",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.bind = "10.0.0.5:0" }, "-bind"},
+		{"tcp with a non-online scheme",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.mode = "offline" }, "online scheme only"},
+		{"unknown transport",
+			func(c *config) { c.rankGrid = "2x2"; c.transport = "carrier-pigeon" }, "unknown transport"},
+		{"ranks and rankgrid together",
+			func(c *config) { c.ranks = 4; c.rankGrid = "2x2" }, "not both"},
+		{"malformed rankgrid",
+			func(c *config) { c.rankGrid = "2by2" }, "invalid -rankgrid"},
+		{"blocksize on offline",
+			func(c *config) { c.mode = "offline"; c.blockSize = 32 }, "-blocksize"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base()
+			tc.mut(&c)
+			_, err := c.resolve()
+			if err == nil {
+				t.Fatalf("invalid flag combination accepted: %+v", c)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestChildStatsMalformedLines pins the parent's stats-line parser against
+// truncated or corrupt child output: a diagnostic error, never a panic.
+func TestChildStatsMalformedLines(t *testing.T) {
+	good := []byte("noise\n" + childStatsPrefix + `2 {"Iterations":7}` + "\n")
+	st, err := childStats(good, 2)
+	if err != nil || st.Iterations != 7 {
+		t.Fatalf("good line: %+v, %v", st, err)
+	}
+	for name, out := range map[string][]byte{
+		"no stats line":     []byte("just logs\n"),
+		"payload without {": []byte(childStatsPrefix + "2 x\n"),
+		"wrong rank":        []byte(childStatsPrefix + `1 {"Iterations":7}` + "\n"),
+		"broken JSON":       []byte(childStatsPrefix + "2 {\n"),
+		"empty output":      nil,
+	} {
+		if _, err := childStats(out, 2); err == nil {
+			t.Errorf("%s: accepted %q", name, out)
+		}
+	}
+}
+
+// TestResolveRejectsNegativeLaunch pins the negative -launch rejection.
+func TestResolveRejectsNegativeLaunch(t *testing.T) {
+	c := base()
+	c.rankGrid = "2x2"
+	c.launch = -4
+	if _, err := c.resolve(); err == nil || !strings.Contains(err.Error(), "must be positive") {
+		t.Fatalf("negative -launch: %v", err)
+	}
+}

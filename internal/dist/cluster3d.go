@@ -49,6 +49,9 @@ func NewCluster3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], nRanks
 		return nil, fmt.Errorf("dist: %d ranks over %d layers leaves slabs of %d layer(s), need more than the stencil z-radius %d (at most %d rank(s) fit)",
 			nRanks, nz, nz/nRanks, rz, maxParts(nz, rz))
 	}
+	if opt.LocalRanks != nil {
+		return nil, fmt.Errorf("dist: LocalRanks (multi-process hosting) supports 2-D grid clusters only; the 3-D layer cluster runs all slabs in-process")
+	}
 	opt = opt.withDefaults()
 
 	c := &Cluster3D[T]{nx: nx, ny: ny, nz: nz, decomp: d}

@@ -115,6 +115,18 @@ func (d Decomp) Neighbor(id int, dir Dir, wrap bool) (nb int, ok bool) {
 	return d.RankAt(cx, cy), true
 }
 
+// diameter returns the longest shortest path between two ranks of the grid
+// graph — the number of neighbour-token rounds a distributed barrier needs
+// before every rank provably knows every other rank has arrived. Wrapped
+// axes halve the distance (the torus shortcut); a single rank has diameter
+// zero.
+func (d Decomp) diameter(wrap bool) int {
+	if wrap {
+		return d.RanksX/2 + d.RanksY/2
+	}
+	return (d.RanksX - 1) + (d.RanksY - 1)
+}
+
 // Validate rejects degenerate rank grids and tiles too thin for a stencil
 // of radius (rx, ry): the checksum interpolators (and Mirror/Clamp halo
 // synthesis) need every tile strictly wider than rx and strictly taller

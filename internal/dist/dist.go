@@ -21,6 +21,10 @@
 package dist
 
 import (
+	"fmt"
+	"io"
+	"sort"
+
 	"stencilabft/internal/checksum"
 	"stencilabft/internal/fault"
 	"stencilabft/internal/grid"
@@ -59,6 +63,15 @@ type Options[T num.Float] struct {
 	// exchange and iteration barrier run through. Nil uses
 	// NewChanTransport.
 	NewTransport func(ranksX, ranksY int, ring bool) Transport[T]
+	// LocalRanks restricts which ranks of the grid this Cluster
+	// materialises (nil = all) — the multi-process deployment, where each
+	// OS process hosts a subset (typically one) of the ranks and the rest
+	// live behind a cross-process Transport such as TCPTransport. The
+	// transport must span the full grid: the default in-process channel
+	// backend cannot (its barrier would wait for ranks that run
+	// elsewhere), so LocalRanks requires NewTransport. 2-D grid clusters
+	// only; Cluster3D rejects it.
+	LocalRanks []int
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.
@@ -82,16 +95,24 @@ func (o Options[T]) withDefaults() Options[T] {
 // directly observable.
 type Stats = stats.Stats
 
-// Cluster runs a 2-D stencil domain decomposed over a Cartesian rank grid
-// of simulated ranks, each protected by its own online ABFT instance. It
-// satisfies the same unified protector contract as the local runners: Step
-// and Run apply the injection plan configured in Options, Grid gathers the
-// global domain, Stats merges the per-rank counters.
+// Cluster runs a 2-D stencil domain decomposed over a Cartesian rank grid,
+// each rank protected by its own online ABFT instance. It satisfies the
+// same unified protector contract as the local runners: Step and Run apply
+// the injection plan configured in Options, Grid gathers the global domain,
+// Stats merges the per-rank counters.
+//
+// By default every rank is a goroutine in this process; under
+// Options.LocalRanks the Cluster materialises only the listed ranks and the
+// rest of the grid lives in peer processes behind a cross-process
+// Transport — Step/Run then advance the hosted ranks in lockstep with the
+// remote ones through the transport's barrier, and Gather/Stats cover the
+// hosted tiles only.
 type Cluster[T num.Float] struct {
 	decomp Decomp
-	ranks  []*rank[T]
+	local  []int      // materialised rank ids, sorted (all of them by default)
+	ranks  []*rank[T] // aligned with local
 	tr     Transport[T]
-	plans  []*fault.Injector[T] // per-rank routed Options.Inject (absolute iterations)
+	plans  []*fault.Injector[T] // per-materialised-rank routed Options.Inject (absolute iterations)
 	iter   int
 }
 
@@ -119,11 +140,18 @@ func NewClusterGrid[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], ranksX
 	if err := d.Validate(hx, hy); err != nil {
 		return nil, err
 	}
+	local, err := resolveLocalRanks(opt.LocalRanks, d.NumRanks())
+	if err != nil {
+		return nil, err
+	}
+	if opt.LocalRanks != nil && opt.NewTransport == nil {
+		return nil, fmt.Errorf("dist: LocalRanks hosts %d of %d ranks in this process; the default in-process channel transport cannot reach the others — set NewTransport to a cross-process backend (e.g. NewTCPTransport)", len(local), d.NumRanks())
+	}
 	opt = opt.withDefaults()
 
-	c := &Cluster[T]{decomp: d}
+	c := &Cluster[T]{decomp: d, local: local}
 	c.tr = opt.NewTransport(ranksX, ranksY, op.BC == grid.Periodic)
-	for i := 0; i < d.NumRanks(); i++ {
+	for _, i := range local {
 		r, err := newRank(op, init, i, d.TileOf(i), hx, hy, opt)
 		if err != nil {
 			return nil, err
@@ -136,28 +164,62 @@ func NewClusterGrid[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], ranksX
 	return c, nil
 }
 
-// Ranks returns the number of ranks in the cluster.
-func (c *Cluster[T]) Ranks() int { return len(c.ranks) }
+// resolveLocalRanks normalises an Options.LocalRanks list against an n-rank
+// grid: nil means every rank; explicit lists are sorted, bounds-checked and
+// must be duplicate-free.
+func resolveLocalRanks(list []int, n int) ([]int, error) {
+	if list == nil {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("dist: LocalRanks is empty; a cluster must host at least one rank (nil hosts all)")
+	}
+	local := append([]int(nil), list...)
+	sort.Ints(local)
+	for i, id := range local {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("dist: local rank %d outside the %d-rank grid", id, n)
+		}
+		if i > 0 && local[i-1] == id {
+			return nil, fmt.Errorf("dist: local rank %d listed twice", id)
+		}
+	}
+	return local, nil
+}
+
+// Ranks returns the number of ranks in the whole cluster — including, for
+// a LocalRanks deployment, the ranks hosted by peer processes.
+func (c *Cluster[T]) Ranks() int { return c.decomp.NumRanks() }
+
+// LocalRanks returns the rank ids materialised in this process, sorted.
+// For a default (all-local) cluster this is 0..Ranks()-1.
+func (c *Cluster[T]) LocalRanks() []int { return append([]int(nil), c.local...) }
 
 // Decomp returns the cluster's decomposition geometry.
 func (c *Cluster[T]) Decomp() Decomp { return c.decomp }
 
-// Tile returns the global sub-rectangle owned by rank i.
-func (c *Cluster[T]) Tile(i int) Tile { return c.ranks[i].tile }
+// Tile returns the global sub-rectangle owned by rank i — pure geometry,
+// answerable for remote ranks too.
+func (c *Cluster[T]) Tile(i int) Tile { return c.decomp.TileOf(i) }
 
 // Band returns the global row range [y0, y1) owned by rank i — meaningful
 // for the 1-D row-band (RanksX == 1) topology it predates.
 //
 // Deprecated: use Tile.
 func (c *Cluster[T]) Band(i int) (y0, y1 int) {
-	t := c.ranks[i].tile
+	t := c.decomp.TileOf(i)
 	return t.Y0, t.Y1
 }
 
 // Iter returns the number of completed cluster iterations.
 func (c *Cluster[T]) Iter() int { return c.iter }
 
-// RankStats returns each rank's counters, indexed by rank.
+// RankStats returns the materialised ranks' counters, aligned with
+// LocalRanks — for a default cluster, indexed by rank id.
 func (c *Cluster[T]) RankStats() []Stats {
 	out := make([]Stats, len(c.ranks))
 	for i, r := range c.ranks {
@@ -192,7 +254,9 @@ func (c *Cluster[T]) TotalStats() Stats { return c.Stats() }
 
 // Gather reassembles the global domain from the ranks' current tile
 // states — the MPI_Gather at the end of a distributed run. Call it between
-// Run calls, never concurrently with one.
+// Run calls, never concurrently with one. Under LocalRanks only the hosted
+// tiles are filled (remote tiles stay zero): a multi-process deployment
+// gathers by collecting each process's tiles, as stencilrun -launch does.
 func (c *Cluster[T]) Gather() *grid.Grid[T] {
 	g := grid.New[T](c.decomp.Nx, c.decomp.Ny)
 	for _, r := range c.ranks {
@@ -215,6 +279,17 @@ func (c *Cluster[T]) Grid3D() *grid.Grid3D[T] { return nil }
 // Finalize is a no-op: every rank verifies every sweep, so nothing is
 // pending at the end of a run.
 func (c *Cluster[T]) Finalize() {}
+
+// Close tears down the cluster's transport if the backend holds resources
+// (the TCP backend's sockets and goroutines; the in-process channel
+// backend has nothing to release and Close is then a no-op). Call it after
+// the final Run/Gather of a multi-process deployment.
+func (c *Cluster[T]) Close() error {
+	if closer, ok := c.tr.(io.Closer); ok {
+		return closer.Close()
+	}
+	return nil
+}
 
 // Step advances the cluster by one lockstep iteration, applying the
 // injection plan configured in Options. Each call spawns and joins the
@@ -291,29 +366,38 @@ func chainHooks[T num.Float](a, b stencil.InjectFunc[T]) stencil.InjectFunc[T] {
 
 // routePlan splits a global fault plan into per-rank plans with the
 // injection point translated into the owning rank's extended-grid frame
-// (the coordinate the sweep hook sees). Injections outside the domain, or
-// with a non-zero Z, are dropped. The returned slice holds a nil injector
-// for ranks with no scheduled injection.
+// (the coordinate the sweep hook sees). Injections outside the domain,
+// with a non-zero Z, or owned by a rank another process hosts are dropped —
+// each process routes the same global plan, so every injection is applied
+// exactly once cluster-wide. The returned slice aligns with c.ranks and
+// holds a nil injector for ranks with no scheduled injection.
 func (c *Cluster[T]) routePlan(plan *fault.Plan) []*fault.Injector[T] {
 	out := make([]*fault.Injector[T], len(c.ranks))
 	if plan == nil {
 		return out
+	}
+	pos := make(map[int]int, len(c.local))
+	for p, id := range c.local {
+		pos[id] = p
 	}
 	perRank := make([][]fault.Injection, len(c.ranks))
 	for _, inj := range plan.Injections() {
 		if inj.Z != 0 || inj.X < 0 || inj.X >= c.decomp.Nx || inj.Y < 0 || inj.Y >= c.decomp.Ny {
 			continue
 		}
-		i := c.decomp.OwnerOf(inj.X, inj.Y)
-		r := c.ranks[i]
+		p, hosted := pos[c.decomp.OwnerOf(inj.X, inj.Y)]
+		if !hosted {
+			continue
+		}
+		r := c.ranks[p]
 		local := inj
 		local.X = inj.X - r.tile.X0 + r.hx
 		local.Y = inj.Y - r.tile.Y0 + r.hy
-		perRank[i] = append(perRank[i], local)
+		perRank[p] = append(perRank[p], local)
 	}
-	for i, injs := range perRank {
+	for p, injs := range perRank {
 		if len(injs) > 0 {
-			out[i] = fault.NewInjector[T](fault.NewPlan(injs...))
+			out[p] = fault.NewInjector[T](fault.NewPlan(injs...))
 		}
 	}
 	return out

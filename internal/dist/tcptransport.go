@@ -1,0 +1,858 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stencilabft/internal/num"
+)
+
+// TCPConfig configures a TCPTransport: the rank-grid geometry it spans, the
+// subset of ranks this process hosts, and the rendezvous bootstrap that
+// turns N independent processes into one wired cluster.
+type TCPConfig struct {
+	// RanksX, RanksY shape the Cartesian rank grid (columns × rows), the
+	// same convention as Decomp; Ring closes both axes into a torus
+	// (periodic global boundaries).
+	RanksX, RanksY int
+	Ring           bool
+
+	// LocalRanks lists the ranks this process hosts (each rank of the grid
+	// must be hosted by exactly one process across the cluster). Nil hosts
+	// every rank in-process — halo traffic still crosses real loopback
+	// sockets, which is what lets one process certify the backend.
+	LocalRanks []int
+
+	// Rendezvous is the host:port every process meets at to exchange data
+	// listener addresses. The process hosting rank 0 binds and serves it;
+	// the others dial it with retry until DialTimeout. It may be empty only
+	// when LocalRanks covers the whole grid (nothing to exchange).
+	Rendezvous string
+
+	// RendezvousListener optionally supplies a pre-bound listener for the
+	// rendezvous service instead of binding Rendezvous — how tests avoid
+	// bind races on a picked port. Only the rank-0 host may set it.
+	RendezvousListener net.Listener
+
+	// Bind is the address the per-process halo data listener binds
+	// (default "127.0.0.1:0"). Use a routable interface ("0.0.0.0:0") for
+	// multi-host LAN clusters.
+	Bind string
+
+	// DialTimeout bounds the whole bootstrap: rendezvous dial-with-retry,
+	// the wait for all ranks to register, and the per-neighbour data
+	// connections. Default 30s.
+	DialTimeout time.Duration
+
+	// IOTimeout bounds each halo receive and each barrier-token wait once
+	// the cluster is running, so a hung peer surfaces as an error instead
+	// of a deadlock. Default 2m; negative disables the bound.
+	IOTimeout time.Duration
+}
+
+const (
+	defaultDialTimeout = 30 * time.Second
+	defaultIOTimeout   = 2 * time.Minute
+	dialRetryStep      = 20 * time.Millisecond
+)
+
+// withDefaults returns a copy of cfg with zero fields defaulted.
+func (cfg TCPConfig) withDefaults() TCPConfig {
+	if cfg.Bind == "" {
+		cfg.Bind = "127.0.0.1:0"
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = defaultDialTimeout
+	}
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = defaultIOTimeout
+	}
+	if cfg.IOTimeout < 0 {
+		cfg.IOTimeout = 0 // 0 means "no bound" internally
+	}
+	return cfg
+}
+
+// edgeKey identifies a directed halo edge from one rank's point of view:
+// for inbound boxes, {rank, d} holds what rank's d-neighbour sent; for
+// outbound edges, {rank, d} carries what rank sends toward d.
+type edgeKey struct {
+	rank int
+	dir  Dir
+}
+
+// tokenMsg is a decoded barrier token.
+type tokenMsg struct {
+	gen   uint32
+	round uint16
+}
+
+// edgeBox is the inbound queue of one directed edge. A connection-reader
+// goroutine fills it; the owning rank drains it from Recv and Barrier. When
+// the connection dies the box is poisoned: done closes and err holds the
+// cause, so a blocked receiver wakes with a real error instead of hanging.
+type edgeBox[T num.Float] struct {
+	halo chan []T
+	tok  chan tokenMsg
+
+	// bound guards the edge's one-connection invariant: the barrier's
+	// lockstep and the halo sequencing rely on per-edge FIFO order, which
+	// two interleaving reader streams would break.
+	bound atomic.Bool
+
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+func newEdgeBox[T num.Float](tokCap int) *edgeBox[T] {
+	return &edgeBox[T]{
+		halo: make(chan []T, 4),
+		tok:  make(chan tokenMsg, tokCap),
+		done: make(chan struct{}),
+	}
+}
+
+// poison records the first error and wakes every blocked receiver.
+func (b *edgeBox[T]) poison(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+		close(b.done)
+	}
+	b.mu.Unlock()
+}
+
+func (b *edgeBox[T]) cause() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// recvHalo returns the next halo strip, the poisoning error, or a timeout.
+func (b *edgeBox[T]) recvHalo(timeout time.Duration) ([]T, error) {
+	select {
+	case d := <-b.halo:
+		return d, nil
+	default:
+	}
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case d := <-b.halo:
+		return d, nil
+	case <-b.done:
+		// Drain anything enqueued before the connection died.
+		select {
+		case d := <-b.halo:
+			return d, nil
+		default:
+		}
+		return nil, b.cause()
+	case <-expire:
+		return nil, fmt.Errorf("timed out after %v waiting for the halo strip", timeout)
+	}
+}
+
+// recvToken returns the next barrier token, the poisoning error, or a
+// timeout.
+func (b *edgeBox[T]) recvToken(timeout time.Duration) (tokenMsg, error) {
+	select {
+	case m := <-b.tok:
+		return m, nil
+	default:
+	}
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case m := <-b.tok:
+		return m, nil
+	case <-b.done:
+		select {
+		case m := <-b.tok:
+			return m, nil
+		default:
+		}
+		return tokenMsg{}, b.cause()
+	case <-expire:
+		return tokenMsg{}, fmt.Errorf("timed out after %v waiting for the barrier token", timeout)
+	}
+}
+
+// outEdge is the outbound half of one directed edge: a persistent
+// connection fed by a writer goroutine, so Send never blocks on the socket.
+type outEdge struct {
+	ch   chan []byte
+	conn net.Conn
+}
+
+// TCPTransport is the socket backend of the Transport seam: the same
+// 4-direction halo contract and barrier semantics as ChanTransport, carried
+// over per-neighbour persistent TCP connections so the ranks can be real OS
+// processes on one host (loopback) or several (LAN). Construction is a
+// rendezvous bootstrap — every process publishes its data listener address
+// at cfg.Rendezvous, receives the full address book, and dials one
+// persistent connection per outbound directed edge.
+//
+// The iteration barrier is a generation-tagged token exchange with the
+// neighbours: each round every hosted rank posts a token on all its
+// outbound edges, then collects one on all its inbound edges, and the
+// number of rounds equals the rank graph's diameter — by induction a rank
+// that completes round r knows every rank within distance r has entered the
+// barrier, so completing all rounds is the global barrier the lockstep
+// schedule needs. No coordinator, no extra connections: the tokens ride the
+// halo edges.
+//
+// A transport fault (peer process death, wire-version mismatch, corrupt
+// frame, timeout) is fatal to the calling rank: Recv and Barrier panic with
+// a wrapped error naming the rank, direction and barrier generation —
+// MPI_ERRORS_ARE_FATAL semantics, which is what a bulk-synchronous stencil
+// wants since no iteration can complete without its neighbours.
+type TCPTransport[T num.Float] struct {
+	geo    Decomp
+	ring   bool
+	local  []int
+	rounds int
+	ioWait time.Duration
+
+	ln    net.Listener
+	boxes map[edgeKey]*edgeBox[T]
+	outs  map[edgeKey]*outEdge
+
+	// Local-party cyclic barrier: the last hosted rank to arrive runs the
+	// cross-process token exchange on behalf of all hosted ranks, then
+	// releases the generation.
+	barMu    sync.Mutex
+	barCond  *sync.Cond
+	barN     int
+	barCount int
+	barGen   int
+
+	gen    atomic.Uint32 // completed barrier generations, for error reports
+	quit   chan struct{}
+	flushq chan struct{} // closed first on Close: writers drain their queues
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	wgW    sync.WaitGroup // writer goroutines, joined before connections close
+
+	connMu sync.Mutex
+	conns  []net.Conn
+}
+
+// NewTCPTransport bootstraps the socket backend for cfg's rank grid and
+// wires every directed halo edge of the hosted ranks. It returns once all
+// rendezvous registration and per-neighbour connections are established, so
+// a successful return means the hosted ranks can run.
+func NewTCPTransport[T num.Float](cfg TCPConfig) (*TCPTransport[T], error) {
+	cfg = cfg.withDefaults()
+	geo := Decomp{RanksX: cfg.RanksX, RanksY: cfg.RanksY}
+	n := geo.NumRanks()
+	if cfg.RanksX < 1 || cfg.RanksY < 1 {
+		return nil, fmt.Errorf("dist: tcp transport needs a rank grid with both factors >= 1 (got %dx%d)", cfg.RanksY, cfg.RanksX)
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("dist: tcp transport rank ids are 16-bit on the wire; %d ranks exceed that", n)
+	}
+	local, err := resolveLocalRanks(cfg.LocalRanks, n)
+	if err != nil {
+		return nil, err
+	}
+	allLocal := len(local) == n
+	if cfg.Rendezvous == "" && cfg.RendezvousListener == nil && !allLocal {
+		return nil, fmt.Errorf("dist: tcp transport hosting %d of %d ranks needs a rendezvous address to find its peers", len(local), n)
+	}
+
+	t := &TCPTransport[T]{
+		geo:    geo,
+		ring:   cfg.Ring,
+		local:  local,
+		rounds: geo.diameter(cfg.Ring),
+		ioWait: cfg.IOTimeout,
+		barN:   len(local),
+		boxes:  make(map[edgeKey]*edgeBox[T]),
+		outs:   make(map[edgeKey]*outEdge),
+		quit:   make(chan struct{}),
+		flushq: make(chan struct{}),
+	}
+	t.barCond = sync.NewCond(&t.barMu)
+
+	ln, err := net.Listen("tcp", cfg.Bind)
+	if err != nil {
+		return nil, fmt.Errorf("dist: tcp transport data listener: %w", err)
+	}
+	t.ln = ln
+
+	// Inbound boxes exist before any connection can arrive, so a frame for
+	// an edge the geometry does not declare is a protocol error, never a
+	// missing map entry. Token capacity covers the rounds of two
+	// generations — a neighbour can run at most one generation ahead.
+	tokCap := 2*t.rounds + 2
+	for _, id := range local {
+		for d := Dir(0); d < NumDirs; d++ {
+			if _, ok := geo.Neighbor(id, d, cfg.Ring); ok {
+				t.boxes[edgeKey{id, d}] = newEdgeBox[T](tokCap)
+			}
+		}
+	}
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.acceptLoop()
+	}()
+
+	book, err := t.exchangeAddresses(cfg)
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	if err := t.dialEdges(cfg, book); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Addr returns the data listener's address — where neighbours dial this
+// process's hosted ranks.
+func (t *TCPTransport[T]) Addr() string { return t.ln.Addr().String() }
+
+// LocalRanks returns the ranks this transport hosts, sorted.
+func (t *TCPTransport[T]) LocalRanks() []int { return append([]int(nil), t.local...) }
+
+// exchangeAddresses produces the rank → data-listener address book. With
+// every rank local the book is trivial; otherwise the rank-0 host serves
+// the rendezvous point and everyone else registers with it.
+func (t *TCPTransport[T]) exchangeAddresses(cfg TCPConfig) (map[int]string, error) {
+	self := t.Addr()
+	if cfg.Rendezvous == "" && cfg.RendezvousListener == nil {
+		book := make(map[int]string, t.geo.NumRanks())
+		for i := 0; i < t.geo.NumRanks(); i++ {
+			book[i] = self
+		}
+		return book, nil
+	}
+	if t.local[0] == 0 {
+		ln := cfg.RendezvousListener
+		if ln == nil {
+			var err error
+			ln, err = net.Listen("tcp", cfg.Rendezvous)
+			if err != nil {
+				return nil, fmt.Errorf("dist: rendezvous listener %s: %w", cfg.Rendezvous, err)
+			}
+		}
+		return serveRendezvous(ln, t.geo.NumRanks(), t.local, self, cfg.DialTimeout)
+	}
+	return registerAtRendezvous(cfg.Rendezvous, t.local, self, cfg.DialTimeout)
+}
+
+// serveRendezvous runs the bootstrap service on the rank-0 host: collect a
+// register frame from every peer process until all n ranks are accounted
+// for, then publish the complete address book to every registered
+// connection. The listener is closed before returning — rendezvous is a
+// bootstrap, not a runtime dependency.
+func serveRendezvous(ln net.Listener, n int, selfRanks []int, selfAddr string, deadline time.Duration) (map[int]string, error) {
+	defer ln.Close()
+	book := make(map[int]string, n)
+	for _, id := range selfRanks {
+		book[id] = selfAddr
+	}
+	expire := time.Now().Add(deadline)
+	var peers []net.Conn
+	defer func() {
+		for _, c := range peers {
+			c.Close()
+		}
+	}()
+	// Bound the whole collection by the deadline: a TCP listener takes it
+	// directly; any other (wrapped) listener gets a watchdog that closes
+	// it at expiry, failing Accept with the same x-of-n diagnosis.
+	tl, hasDeadline := ln.(*net.TCPListener)
+	if !hasDeadline {
+		watchdog := time.AfterFunc(time.Until(expire), func() { ln.Close() })
+		defer watchdog.Stop()
+	}
+	for len(book) < n {
+		if hasDeadline {
+			tl.SetDeadline(expire)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("dist: rendezvous: %d of %d ranks registered before the %v deadline: %w", len(book), n, deadline, err)
+		}
+		conn.SetDeadline(expire)
+		f, err := readFrame(conn)
+		if err != nil || f.kind != frameRegister {
+			// Not a peer: a port scanner, health probe, or stray connect
+			// on the (possibly well-known) rendezvous port. Drop it and
+			// keep accepting — only registered peers can fail the
+			// bootstrap.
+			conn.Close()
+			continue
+		}
+		var reg registerMsg
+		if err := json.Unmarshal(f.payload, &reg); err != nil {
+			conn.Close()
+			continue
+		}
+		if err := admitRegistration(book, reg, n); err != nil {
+			nack, _ := json.Marshal(nackMsg{Error: err.Error()})
+			conn.Write(appendFrame(nil, frame{kind: frameNack, payload: nack}))
+			conn.Close()
+			return nil, fmt.Errorf("dist: rendezvous: %w", err)
+		}
+		for _, id := range reg.Ranks {
+			book[id] = reg.Addr
+		}
+		peers = append(peers, conn)
+	}
+	payload, err := json.Marshal(bookMsg{Addrs: book})
+	if err != nil {
+		return nil, err
+	}
+	buf := appendFrame(nil, frame{kind: frameBook, payload: payload})
+	for _, c := range peers {
+		if _, err := c.Write(buf); err != nil {
+			return nil, fmt.Errorf("dist: rendezvous: publishing the address book: %w", err)
+		}
+	}
+	return book, nil
+}
+
+// admitRegistration validates one register message against the book so far.
+func admitRegistration(book map[int]string, reg registerMsg, n int) error {
+	if reg.Addr == "" || len(reg.Ranks) == 0 {
+		return fmt.Errorf("registration without ranks or address")
+	}
+	for _, id := range reg.Ranks {
+		if id < 0 || id >= n {
+			return fmt.Errorf("registered rank %d outside the %d-rank grid", id, n)
+		}
+		if prev, dup := book[id]; dup {
+			return fmt.Errorf("rank %d registered twice (%s and %s)", id, prev, reg.Addr)
+		}
+	}
+	return nil
+}
+
+// registerAtRendezvous dials the rendezvous service (with retry, since the
+// rank-0 host may not be up yet), registers this process's ranks and
+// listener address, and blocks until the full address book arrives.
+func registerAtRendezvous(addr string, ranks []int, selfAddr string, deadline time.Duration) (map[int]string, error) {
+	conn, err := dialRetry(addr, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rendezvous at %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(deadline))
+	payload, err := json.Marshal(registerMsg{Ranks: ranks, Addr: selfAddr})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(appendFrame(nil, frame{kind: frameRegister, payload: payload})); err != nil {
+		return nil, fmt.Errorf("dist: rendezvous registration: %w", err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rendezvous: waiting for the address book: %w", err)
+	}
+	switch f.kind {
+	case frameBook:
+		var book bookMsg
+		if err := json.Unmarshal(f.payload, &book); err != nil {
+			return nil, fmt.Errorf("dist: rendezvous address book payload: %w", err)
+		}
+		return book.Addrs, nil
+	case frameNack:
+		var nack nackMsg
+		json.Unmarshal(f.payload, &nack)
+		return nil, fmt.Errorf("dist: rendezvous rejected registration: %s", nack.Error)
+	default:
+		return nil, fmt.Errorf("dist: rendezvous answered with frame kind %d, want the address book", f.kind)
+	}
+}
+
+// registerMsg and bookMsg are the rendezvous bootstrap payloads (JSON: the
+// bootstrap runs once per process, so self-describing beats compact).
+type registerMsg struct {
+	Ranks []int  `json:"ranks"`
+	Addr  string `json:"addr"`
+}
+
+type bookMsg struct {
+	Addrs map[int]string `json:"addrs"`
+}
+
+type nackMsg struct {
+	Error string `json:"error"`
+}
+
+// dialRetry dials addr until it succeeds or the deadline passes — the
+// connect-retry that lets processes start in any order.
+func dialRetry(addr string, deadline time.Duration) (net.Conn, error) {
+	expire := time.Now().Add(deadline)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		remain := time.Until(expire)
+		if remain <= 0 {
+			return nil, fmt.Errorf("gave up connecting to %s after %v (%d attempts): %w", addr, deadline, attempt, lastErr)
+		}
+		step := dialRetryStep
+		if step > remain {
+			step = remain
+		}
+		conn, err := net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(step)
+	}
+}
+
+// dialEdges opens one persistent connection per outbound directed edge of
+// the hosted ranks, announces the edge with a hello frame, and starts its
+// writer goroutine.
+func (t *TCPTransport[T]) dialEdges(cfg TCPConfig, book map[int]string) error {
+	for _, id := range t.local {
+		for d := Dir(0); d < NumDirs; d++ {
+			nb, ok := t.geo.Neighbor(id, d, t.ring)
+			if !ok {
+				continue
+			}
+			addr, ok := book[nb]
+			if !ok {
+				return fmt.Errorf("dist: address book has no entry for rank %d (neighbour %v of rank %d)", nb, d, id)
+			}
+			conn, err := dialRetry(addr, cfg.DialTimeout)
+			if err != nil {
+				return fmt.Errorf("dist: halo edge rank %d --%v--> rank %d: %w", id, d, nb, err)
+			}
+			hello := appendFrame(nil, frame{kind: frameHello, from: uint16(id), to: uint16(nb), dir: byte(d)})
+			if _, err := conn.Write(hello); err != nil {
+				conn.Close()
+				return fmt.Errorf("dist: halo edge rank %d --%v--> rank %d: hello: %w", id, d, nb, err)
+			}
+			oe := &outEdge{ch: make(chan []byte, 64), conn: conn}
+			t.outs[edgeKey{id, d}] = oe
+			t.track(conn)
+			t.wgW.Add(1)
+			go func() {
+				defer t.wgW.Done()
+				t.writeLoop(oe)
+			}()
+		}
+	}
+	return nil
+}
+
+// writeLoop drains one outbound edge's frame queue onto its socket. A write
+// error is terminal for the edge; the peer's death will also surface on the
+// receive side, so the loop keeps draining to avoid blocking senders. On
+// Close the loop first flushes everything already queued — the last
+// iteration's barrier tokens must reach the peers that are still completing
+// that barrier — and only then exits, letting Close take the connections
+// down.
+func (t *TCPTransport[T]) writeLoop(oe *outEdge) {
+	var dead bool
+	write := func(buf []byte) {
+		if dead {
+			return
+		}
+		// The write deadline is what keeps Close from hanging on a
+		// hung-but-alive peer whose receive buffer is full: IOTimeout
+		// bounds the send side here just as it bounds the receive side
+		// in recvHalo/recvToken.
+		if t.ioWait > 0 {
+			oe.conn.SetWriteDeadline(time.Now().Add(t.ioWait))
+		}
+		if _, err := oe.conn.Write(buf); err != nil {
+			dead = true
+		}
+	}
+	for {
+		select {
+		case buf := <-oe.ch:
+			write(buf)
+		case <-t.flushq:
+			for {
+				select {
+				case buf := <-oe.ch:
+					write(buf)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// acceptLoop admits inbound edge connections until the listener closes.
+func (t *TCPTransport[T]) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.track(conn)
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one inbound edge connection: validate the hello, bind
+// the connection to its inbound box, then pump halo strips and barrier
+// tokens into it until the connection dies — at which point the box is
+// poisoned so the owning rank sees the cause.
+func (t *TCPTransport[T]) serveConn(conn net.Conn) {
+	hello, err := readFrame(conn)
+	if err != nil || hello.kind != frameHello {
+		// Unidentifiable peer: nothing to poison. Drop the connection.
+		conn.Close()
+		return
+	}
+	from, to, d := int(hello.from), int(hello.to), Dir(hello.dir)
+	if d >= NumDirs {
+		conn.Close()
+		return
+	}
+	// A frame sent toward d arrives from direction d.Opposite().
+	box, ok := t.boxes[edgeKey{to, d.Opposite()}]
+	if !ok {
+		conn.Close()
+		return
+	}
+	if !box.bound.CompareAndSwap(false, true) {
+		// The edge already has its persistent connection; any later
+		// hello naming it (a stray reconnect, a misconfigured foreign
+		// cluster) is dropped rather than letting a second stream
+		// interleave into — or poison — the live FIFO box. If the first
+		// connection is in fact dead, its reader poisons the box and the
+		// rank fails with that cause.
+		conn.Close()
+		return
+	}
+	if nb, ok := t.geo.Neighbor(to, d.Opposite(), t.ring); !ok || nb != from {
+		// First claimant of the edge but the claim contradicts this
+		// process's geometry: the real peer is misconfigured (e.g. a
+		// different -rankgrid). Fail the edge loudly.
+		box.poison(fmt.Errorf("dist: hello from rank %d claiming to be rank %d's %v neighbour, geometry says rank %d", from, to, d.Opposite(), nb))
+		conn.Close()
+		return
+	}
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			box.poison(fmt.Errorf("dist: halo connection from rank %d: %w", from, err))
+			conn.Close()
+			return
+		}
+		switch f.kind {
+		case frameHalo:
+			data, err := decodeElems[T](f.elem, f.payload)
+			if err != nil {
+				box.poison(fmt.Errorf("dist: halo frame from rank %d: %w", from, err))
+				conn.Close()
+				return
+			}
+			select {
+			case box.halo <- data:
+			case <-t.quit:
+				conn.Close()
+				return
+			}
+		case frameToken:
+			select {
+			case box.tok <- tokenMsg{gen: f.gen, round: f.round}:
+			case <-t.quit:
+				conn.Close()
+				return
+			}
+		default:
+			box.poison(fmt.Errorf("dist: unexpected frame kind %d from rank %d on a halo edge", f.kind, from))
+			conn.Close()
+			return
+		}
+	}
+}
+
+// track remembers a connection for Close. A connection accepted or dialed
+// concurrently with Close (after its snapshot of the list) is closed here
+// instead of tracked, so no reader can outlive Close's wait.
+func (t *TCPTransport[T]) track(conn net.Conn) {
+	t.connMu.Lock()
+	if t.closed.Load() {
+		t.connMu.Unlock()
+		conn.Close()
+		return
+	}
+	t.conns = append(t.conns, conn)
+	t.connMu.Unlock()
+}
+
+// Neighbor reports whether rank id has a neighbour in direction d — pure
+// Decomp geometry, identical to the channel backend.
+func (t *TCPTransport[T]) Neighbor(id int, d Dir) bool {
+	_, ok := t.geo.Neighbor(id, d, t.ring)
+	return ok
+}
+
+// Send posts rank from's boundary strip toward its neighbour in direction
+// d. The strip is serialised into a fresh wire buffer before Send returns,
+// so the caller may reuse the slice after its next Barrier exactly as the
+// Transport contract allows; the socket write happens on the edge's writer
+// goroutine, so Send never blocks on the network.
+func (t *TCPTransport[T]) Send(from int, d Dir, data []T) {
+	oe, ok := t.outs[edgeKey{from, d}]
+	if !ok {
+		panic(fmt.Sprintf("dist: Send(%d, %v) without a neighbour", from, d))
+	}
+	nb, _ := t.geo.Neighbor(from, d, t.ring)
+	out := encodeHaloFrame(uint16(from), uint16(nb), byte(d), t.gen.Load(), data)
+	select {
+	case oe.ch <- out:
+	case <-t.quit:
+	}
+}
+
+// Recv returns the strip the neighbour of rank to in direction d sent this
+// iteration. A transport fault is fatal (see the type comment); tests and
+// tolerant callers can use the error-returning recv.
+func (t *TCPTransport[T]) Recv(to int, d Dir) []T {
+	data, err := t.recv(to, d)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// recv is Recv with the error surfaced: the returned error wraps the
+// underlying cause and names the receiving rank, the direction and the
+// barrier generation it happened in.
+func (t *TCPTransport[T]) recv(to int, d Dir) ([]T, error) {
+	box, ok := t.boxes[edgeKey{to, d}]
+	if !ok {
+		panic(fmt.Sprintf("dist: Recv(%d, %v) without a neighbour", to, d))
+	}
+	data, err := box.recvHalo(t.ioWait)
+	if err != nil {
+		return nil, fmt.Errorf("dist: tcp recv for rank %d from %v at generation %d: %w", to, d, t.gen.Load(), err)
+	}
+	return data, nil
+}
+
+// Barrier blocks until every rank of the grid — hosted here or in peer
+// processes — has arrived at the current generation. The last hosted rank
+// to arrive runs the token exchange for all hosted ranks, then releases
+// them together.
+func (t *TCPTransport[T]) Barrier() {
+	t.barMu.Lock()
+	gen := t.barGen
+	t.barCount++
+	if t.barCount == t.barN {
+		err := t.exchangeTokens(uint32(gen))
+		t.barCount = 0
+		t.barGen++
+		t.gen.Store(uint32(t.barGen))
+		t.barCond.Broadcast()
+		t.barMu.Unlock()
+		if err != nil {
+			panic(err)
+		}
+		return
+	}
+	for gen == t.barGen {
+		t.barCond.Wait()
+	}
+	t.barMu.Unlock()
+}
+
+// exchangeTokens runs the neighbour token rounds of barrier generation gen
+// on behalf of every hosted rank. Each round posts one token per outbound
+// edge and collects one per inbound edge; diameter-many rounds make the
+// barrier global (see the type comment).
+func (t *TCPTransport[T]) exchangeTokens(gen uint32) error {
+	for round := 1; round <= t.rounds; round++ {
+		for _, id := range t.local {
+			for d := Dir(0); d < NumDirs; d++ {
+				oe, ok := t.outs[edgeKey{id, d}]
+				if !ok {
+					continue
+				}
+				f := frame{kind: frameToken, from: uint16(id), dir: byte(d), gen: gen, round: uint16(round)}
+				if nb, ok := t.geo.Neighbor(id, d, t.ring); ok {
+					f.to = uint16(nb)
+				}
+				buf := appendFrame(make([]byte, 0, wireHeaderSize), f)
+				select {
+				case oe.ch <- buf:
+				case <-t.quit:
+					return errors.New("dist: transport closed during barrier")
+				}
+			}
+		}
+		for _, id := range t.local {
+			for d := Dir(0); d < NumDirs; d++ {
+				box, ok := t.boxes[edgeKey{id, d}]
+				if !ok {
+					continue
+				}
+				tok, err := box.recvToken(t.ioWait)
+				if err != nil {
+					return fmt.Errorf("dist: tcp barrier for rank %d from %v at generation %d (round %d/%d): %w",
+						id, d, gen, round, t.rounds, err)
+				}
+				if tok.gen != gen || int(tok.round) != round {
+					return fmt.Errorf("dist: tcp barrier for rank %d from %v: token for generation %d round %d, want generation %d round %d (lockstep violated)",
+						id, d, tok.gen, tok.round, gen, round)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Close tears the transport down: listener, every edge connection, and all
+// reader/writer goroutines. Safe to call more than once. Ranks blocked in
+// Recv or Barrier when their peer's transport closes observe a poisoned
+// edge, not a hang.
+func (t *TCPTransport[T]) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Flush before teardown: tokens of the final barrier may still sit in
+	// the outbound queues, and neighbours completing that barrier need
+	// them before their connection reads EOF.
+	close(t.flushq)
+	t.wgW.Wait()
+	close(t.quit)
+	t.ln.Close()
+	t.connMu.Lock()
+	conns := t.conns
+	t.conns = nil
+	t.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	for _, box := range t.boxes {
+		box.poison(errors.New("dist: transport closed"))
+	}
+	return nil
+}

@@ -15,3 +15,17 @@ func TestChanTransportConformance(t *testing.T) {
 		return dist.NewChanTransport[float64](rx, ry, ring)
 	})
 }
+
+// TestTCPTransportConformance certifies the socket backend with the exact
+// same suite: every rank hosted in one process, but every halo strip and
+// barrier token crossing a real loopback TCP connection.
+func TestTCPTransportConformance(t *testing.T) {
+	disttest.Run(t, func(rx, ry int, ring bool) dist.Transport[float64] {
+		tr, err := dist.NewTCPTransport[float64](dist.TCPConfig{RanksX: rx, RanksY: ry, Ring: ring})
+		if err != nil {
+			t.Fatalf("NewTCPTransport(%dx%d, ring=%v): %v", rx, ry, ring, err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	})
+}

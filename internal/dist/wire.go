@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+
+	"stencilabft/internal/num"
+)
+
+// The TCP transport's wire format: every message is one length-prefixed
+// binary frame with a fixed little-endian header. The header is versioned —
+// a peer built from a different wire revision is rejected at the first
+// frame, not silently misparsed — and self-describing enough (from/to rank,
+// direction, element width, barrier generation and round) that a receiver
+// can route any frame from the header alone.
+//
+//	offset  size  field
+//	0       2     magic "SB" (stencil binary)
+//	2       1     wire version (wireVersion)
+//	3       1     frame kind (hello | halo | token | register | book | nack)
+//	4       2     from rank (uint16)
+//	6       2     to rank (uint16)
+//	8       1     direction (dist.Dir; the direction `from` sent toward)
+//	9       1     element width in bytes (4 = float32, 8 = float64, 0 = none)
+//	10      4     barrier generation (uint32; token frames)
+//	14      2     barrier round (uint16; token frames)
+//	16      4     payload length in bytes (uint32)
+//	20      —     payload
+//
+// Halo payloads are raw IEEE-754 element bits, little-endian, in the pack
+// order of the exchange (row-major strips). Bootstrap payloads (register,
+// book, nack) are JSON — they run once per process, so self-describing
+// beats compact there.
+
+const (
+	wireMagic0  = 'S'
+	wireMagic1  = 'B'
+	wireVersion = 1
+
+	wireHeaderSize = 20
+
+	// maxFramePayload caps a frame's declared payload so a corrupt or
+	// malicious header cannot make the receiver allocate unbounded memory.
+	maxFramePayload = 1 << 30
+)
+
+// Frame kinds.
+const (
+	frameHello    = byte(iota + 1) // opens a directed halo edge: {from, to, dir}
+	frameHalo                      // one boundary strip, payload = elements
+	frameToken                     // barrier token: {gen, round}
+	frameRegister                  // rendezvous: JSON {ranks, addr}
+	frameBook                      // rendezvous: JSON {addrs: rank → listen addr}
+	frameNack                      // rendezvous rejection: JSON {error}
+)
+
+// frame is the decoded form of one wire message.
+type frame struct {
+	kind     byte
+	from, to uint16
+	dir      byte
+	elem     byte
+	gen      uint32
+	round    uint16
+	payload  []byte
+}
+
+// putHeader writes f's header fields into h (len wireHeaderSize) with the
+// given payload length.
+func putHeader(h []byte, f frame, payloadLen int) {
+	h[0], h[1] = wireMagic0, wireMagic1
+	h[2] = wireVersion
+	h[3] = f.kind
+	binary.LittleEndian.PutUint16(h[4:6], f.from)
+	binary.LittleEndian.PutUint16(h[6:8], f.to)
+	h[8] = f.dir
+	h[9] = f.elem
+	binary.LittleEndian.PutUint32(h[10:14], f.gen)
+	binary.LittleEndian.PutUint16(h[14:16], f.round)
+	binary.LittleEndian.PutUint32(h[16:20], uint32(payloadLen))
+}
+
+// appendFrame serialises f onto dst and returns the extended slice.
+func appendFrame(dst []byte, f frame) []byte {
+	var h [wireHeaderSize]byte
+	putHeader(h[:], f, len(f.payload))
+	dst = append(dst, h[:]...)
+	return append(dst, f.payload...)
+}
+
+// encodeHaloFrame serialises one halo strip into a single wire buffer —
+// header reserved up front, elements appended in place, length back-filled
+// — avoiding the intermediate payload buffer appendFrame would need. This
+// is the per-edge-per-iteration hot path of Send.
+func encodeHaloFrame[T num.Float](from, to uint16, dir byte, gen uint32, data []T) []byte {
+	es := elemSize[T]()
+	buf := make([]byte, wireHeaderSize, wireHeaderSize+len(data)*int(es))
+	putHeader(buf, frame{kind: frameHalo, from: from, to: to, dir: dir, elem: es, gen: gen}, 0)
+	buf = appendElems(buf, data)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(buf)-wireHeaderSize))
+	return buf
+}
+
+// readFrame reads and validates one frame from r. It checks the magic and
+// the wire version before trusting any other header field, so a
+// version-mismatched peer is rejected with an actionable error instead of
+// being misparsed.
+func readFrame(r io.Reader) (frame, error) {
+	var h [wireHeaderSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return frame{}, err
+	}
+	if h[0] != wireMagic0 || h[1] != wireMagic1 {
+		return frame{}, fmt.Errorf("dist: bad wire magic %#02x%02x (not a stencilabft transport peer?)", h[0], h[1])
+	}
+	if h[2] != wireVersion {
+		return frame{}, fmt.Errorf("dist: wire version mismatch: peer speaks version %d, this binary speaks %d", h[2], wireVersion)
+	}
+	n := binary.LittleEndian.Uint32(h[16:20])
+	if n > maxFramePayload {
+		return frame{}, fmt.Errorf("dist: frame payload length %d exceeds the %d-byte cap (corrupt header?)", n, maxFramePayload)
+	}
+	f := frame{
+		kind:  h[3],
+		from:  binary.LittleEndian.Uint16(h[4:6]),
+		to:    binary.LittleEndian.Uint16(h[6:8]),
+		dir:   h[8],
+		elem:  h[9],
+		gen:   binary.LittleEndian.Uint32(h[10:14]),
+		round: binary.LittleEndian.Uint16(h[14:16]),
+	}
+	if n > 0 {
+		f.payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return frame{}, fmt.Errorf("dist: truncated frame payload (want %d bytes): %w", n, err)
+		}
+	}
+	return f, nil
+}
+
+// elemSize returns the wire element width of T in bytes (4 or 8). Sizeof,
+// unlike a type assertion, stays correct for named float types (~float32).
+func elemSize[T num.Float]() byte {
+	var v T
+	return byte(unsafe.Sizeof(v))
+}
+
+// appendElems serialises data as little-endian IEEE-754 bits onto dst. The
+// conversions through float32/float64 are exact: T's underlying type has
+// the same width.
+func appendElems[T num.Float](dst []byte, data []T) []byte {
+	if elemSize[T]() == 4 {
+		for _, v := range data {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v)))
+		}
+		return dst
+	}
+	for _, v := range data {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(v)))
+	}
+	return dst
+}
+
+// decodeElems parses a halo payload back into elements, validating the
+// declared element width against T and the payload length against it.
+func decodeElems[T num.Float](elem byte, payload []byte) ([]T, error) {
+	want := elemSize[T]()
+	if elem != want {
+		return nil, fmt.Errorf("dist: halo element width %d bytes, this rank runs %d-byte elements (mixed float32/float64 cluster?)", elem, want)
+	}
+	if len(payload)%int(want) != 0 {
+		return nil, fmt.Errorf("dist: halo payload of %d bytes is not a whole number of %d-byte elements", len(payload), want)
+	}
+	out := make([]T, len(payload)/int(want))
+	if want == 4 {
+		for i := range out {
+			out[i] = T(math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:])))
+		}
+		return out, nil
+	}
+	for i := range out {
+		out[i] = T(math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:])))
+	}
+	return out, nil
+}

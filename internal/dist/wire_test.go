@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWireFrameRoundTrip pins the frame encoding: every header field and
+// the payload survive a serialise/parse cycle.
+func TestWireFrameRoundTrip(t *testing.T) {
+	in := frame{
+		kind: frameToken, from: 3, to: 7, dir: byte(Left), elem: 8,
+		gen: 0xDEADBEEF, round: 12, payload: []byte{1, 2, 3, 4, 5},
+	}
+	out, err := readFrame(bytes.NewReader(appendFrame(nil, in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.kind != in.kind || out.from != in.from || out.to != in.to ||
+		out.dir != in.dir || out.elem != in.elem || out.gen != in.gen ||
+		out.round != in.round || !bytes.Equal(out.payload, in.payload) {
+		t.Fatalf("round trip mangled the frame: sent %+v, got %+v", in, out)
+	}
+}
+
+// TestWireVersionMismatch checks a frame from another wire revision is
+// rejected with an error naming both versions — the contract the satellite
+// failure-path tests and serveConn rely on.
+func TestWireVersionMismatch(t *testing.T) {
+	buf := appendFrame(nil, frame{kind: frameHalo})
+	buf[2] = wireVersion + 3
+	_, err := readFrame(bytes.NewReader(buf))
+	if err == nil {
+		t.Fatal("mismatched wire version accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "version 4") || !strings.Contains(msg, "speaks 1") {
+		t.Errorf("version error %q does not name peer and own versions", msg)
+	}
+}
+
+// TestWireBadMagicAndTruncation covers the remaining reject paths: foreign
+// bytes, an oversized declared payload, and a payload cut short.
+func TestWireBadMagicAndTruncation(t *testing.T) {
+	if _, err := readFrame(bytes.NewReader(bytes.Repeat([]byte{'x'}, wireHeaderSize))); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("foreign bytes accepted: %v", err)
+	}
+
+	huge := appendFrame(nil, frame{kind: frameHalo})
+	huge[16], huge[17], huge[18], huge[19] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := readFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("oversized payload length accepted: %v", err)
+	}
+
+	cut := appendFrame(nil, frame{kind: frameHalo, elem: 8, payload: make([]byte, 64)})
+	if _, err := readFrame(bytes.NewReader(cut[:len(cut)-8])); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated payload accepted: %v", err)
+	}
+}
+
+// TestWireElems pins the halo payload codec: bit-exact round trips for both
+// element widths (including NaN payload bits and signed zero) and rejection
+// of width mismatches and ragged payloads.
+func TestWireElems(t *testing.T) {
+	f64 := []float64{0, math.Copysign(0, -1), 1.5, -2.75e300, math.NaN()}
+	got64, err := decodeElems[float64](8, appendElems(nil, f64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f64 {
+		if math.Float64bits(got64[i]) != math.Float64bits(f64[i]) {
+			t.Errorf("float64[%d]: bits %x -> %x", i, math.Float64bits(f64[i]), math.Float64bits(got64[i]))
+		}
+	}
+
+	f32 := []float32{0, 1.5, -3.25e30, float32(math.NaN())}
+	got32, err := decodeElems[float32](4, appendElems(nil, f32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f32 {
+		if math.Float32bits(got32[i]) != math.Float32bits(f32[i]) {
+			t.Errorf("float32[%d]: bits %x -> %x", i, math.Float32bits(f32[i]), math.Float32bits(got32[i]))
+		}
+	}
+
+	if _, err := decodeElems[float64](4, make([]byte, 8)); err == nil || !strings.Contains(err.Error(), "element width") {
+		t.Errorf("width mismatch accepted: %v", err)
+	}
+	if _, err := decodeElems[float64](8, make([]byte, 12)); err == nil || !strings.Contains(err.Error(), "whole number") {
+		t.Errorf("ragged payload accepted: %v", err)
+	}
+}
+
+// TestEncodeHaloFrameMatchesAppendFrame pins the single-allocation halo
+// encoder against the general frame serialiser byte for byte.
+func TestEncodeHaloFrameMatchesAppendFrame(t *testing.T) {
+	data := []float64{1.5, -2.25, 3.125}
+	want := appendFrame(nil, frame{
+		kind: frameHalo, from: 3, to: 5, dir: byte(Up), elem: 8, gen: 17,
+		payload: appendElems(nil, data),
+	})
+	got := encodeHaloFrame(3, 5, byte(Up), 17, data)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encodeHaloFrame:\n got %x\nwant %x", got, want)
+	}
+}

@@ -68,6 +68,17 @@ func (s Stats) Merge(o Stats) Stats {
 	return s
 }
 
+// MergeAll rolls a set of per-rank (or per-repetition) counters into one
+// aggregate — what a multi-process launcher does with the Stats each rank
+// process reported. An empty slice yields the zero Stats.
+func MergeAll(all []Stats) Stats {
+	var total Stats
+	for _, s := range all {
+		total = total.Merge(s)
+	}
+	return total
+}
+
 // Add is the historical name of Merge.
 //
 // Deprecated: use Merge.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -51,5 +52,38 @@ func TestStringShowsRecoveryCounters(t *testing.T) {
 		if !strings.Contains(withHalo, want) {
 			t.Fatalf("String() = %q, missing %q", withHalo, want)
 		}
+	}
+}
+
+// TestMergeAll pins the multi-process roll-up: per-rank counters from N
+// rank processes sum element-wise (with JSON round-tripping, since that is
+// how a -launch parent receives them).
+func TestMergeAll(t *testing.T) {
+	if got := (MergeAll(nil)); got != (Stats{}) {
+		t.Fatalf("MergeAll(nil) = %+v", got)
+	}
+	parts := []Stats{
+		{Iterations: 10, Detections: 1, HaloExchanges: 10, HaloByDir: [4]int{0, 10, 0, 0}, Topology: "grid 2x1"},
+		{Iterations: 10, CorrectedPoints: 1, HaloExchanges: 10, HaloByDir: [4]int{10, 0, 0, 0}, Topology: "grid 2x1"},
+	}
+	var wire []Stats
+	for _, p := range parts {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Stats
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		wire = append(wire, back)
+	}
+	got := MergeAll(wire)
+	want := Stats{
+		Iterations: 20, Detections: 1, CorrectedPoints: 1, HaloExchanges: 20,
+		HaloByDir: [4]int{10, 10, 0, 0}, Topology: "grid 2x1",
+	}
+	if got != want {
+		t.Fatalf("MergeAll = %+v, want %+v", got, want)
 	}
 }

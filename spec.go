@@ -98,6 +98,33 @@ func ParseTopology(name string) (Topology, error) {
 	}
 }
 
+// TransportKind names a Clustered deployment's communication backend — the
+// CLI-facing selector behind Spec.Transport.
+type TransportKind string
+
+// Transport backends.
+const (
+	// TransportChan is the default in-process backend: ranks are
+	// goroutines wired with paired channels. One process, zero sockets.
+	TransportChan TransportKind = "chan"
+	// TransportTCP is the socket backend: each rank is hosted by a real OS
+	// process (Spec.Rank names the one this process runs) and halo strips,
+	// barrier tokens and the bootstrap travel over loopback or LAN TCP
+	// connections meeting at Spec.Rendezvous — the deployment the paper's
+	// distributed-memory cost model assumes.
+	TransportTCP TransportKind = "tcp"
+)
+
+// ParseTransport converts a CLI-style transport name into a TransportKind.
+func ParseTransport(name string) (TransportKind, error) {
+	switch TransportKind(name) {
+	case TransportChan, TransportTCP:
+		return TransportKind(name), nil
+	default:
+		return "", fmt.Errorf("stencilabft: unknown transport %q (want chan|tcp)", name)
+	}
+}
+
 // Spec declares a protected stencil run: which scheme, where it runs, the
 // operator and initial domain, and every tunable the schemes share. It is
 // the single input of Build; the zero values of Scheme and Deployment mean
@@ -164,12 +191,32 @@ type Spec[T Float] struct {
 	// routable coordinates, use Inject). Takes precedence over Inject.
 	InjectSource InjectSource[T]
 
-	// Transport overrides a Clustered deployment's communication backend;
-	// nil uses the in-process channel transport. It receives the rank-grid
-	// shape (columns × rows; a 3-D layer cluster passes its slab chain as
-	// 1 × Ranks) and whether periodic boundaries close the grid into a
-	// torus. See dist.Transport.
-	Transport func(ranksX, ranksY int, ring bool) Transport[T]
+	// Transport selects a Clustered deployment's communication backend by
+	// name: TransportChan (the default — simulated ranks as goroutines) or
+	// TransportTCP (each rank a real OS process; requires Rank and
+	// Rendezvous, 2-D grid topologies only).
+	Transport TransportKind
+	// Rank is the single rank of the grid this process hosts under
+	// TransportTCP; the other ranks live in peer processes built from the
+	// same Spec with their own Rank. Grid, Gather and Stats then cover
+	// this rank's tile only.
+	Rank int
+	// Rendezvous is the host:port the TCP cluster's processes meet at to
+	// exchange data-listener addresses. The process with Rank 0 binds and
+	// serves it; the others dial it with retry.
+	Rendezvous string
+	// Bind is the address this process's TCP data listener binds and
+	// advertises (default "127.0.0.1:0" — loopback clusters). For a
+	// multi-host cluster bind the routable interface the peers can dial,
+	// e.g. "10.0.0.5:0": the listener's resolved address is what gets
+	// published at the rendezvous.
+	Bind string
+	// NewTransport plugs a custom communication backend (e.g. a tracing or
+	// delaying wrapper); it takes precedence over Transport, which must
+	// then be left empty. It receives the rank-grid shape (columns × rows;
+	// a 3-D layer cluster passes its slab chain as 1 × Ranks) and whether
+	// periodic boundaries close the grid into a torus. See dist.Transport.
+	NewTransport func(ranksX, ranksY int, ring bool) Transport[T]
 
 	// DropBoundaryTerms reproduces the paper's simplified listings
 	// (ablation A1); leave false for exact interpolation.
@@ -256,6 +303,36 @@ func (s Spec[T]) validate() error {
 		if s.InjectSource != nil {
 			return fmt.Errorf("stencilabft: InjectSource is local-only; cluster injection routes a Plan (set Inject)")
 		}
+		if s.Transport != "" {
+			if _, err := ParseTransport(string(s.Transport)); err != nil {
+				return err
+			}
+			if s.NewTransport != nil {
+				return fmt.Errorf("stencilabft: set either Transport (a named backend) or NewTransport (a custom factory), not both")
+			}
+		}
+		if s.Transport == TransportTCP {
+			if s.topology() == TopoLayers {
+				return fmt.Errorf("stencilabft: the tcp transport hosts one rank per process and supports 2-D grid topologies only (the 3-D layer cluster runs in-process)")
+			}
+			if s.Rendezvous == "" {
+				return fmt.Errorf("stencilabft: the tcp transport needs Rendezvous (host:port every rank process meets at)")
+			}
+			rx, ry := s.rankGrid()
+			if s.Rank < 0 || s.Rank >= rx*ry {
+				return fmt.Errorf("stencilabft: Rank %d outside the %d-rank tcp cluster (grid %dx%d)", s.Rank, rx*ry, ry, rx)
+			}
+		} else {
+			if s.Rendezvous != "" {
+				return fmt.Errorf("stencilabft: Rendezvous applies to the tcp transport only (set Transport: TransportTCP)")
+			}
+			if s.Rank != 0 {
+				return fmt.Errorf("stencilabft: Rank selects this process's rank under the tcp transport only (set Transport: TransportTCP)")
+			}
+			if s.Bind != "" {
+				return fmt.Errorf("stencilabft: Bind shapes the tcp transport's data listener only (set Transport: TransportTCP)")
+			}
+		}
 		// Knobs the per-rank online protection has no seam for: reject
 		// them loudly rather than silently running a different experiment
 		// than the spec appears to declare.
@@ -276,8 +353,11 @@ func (s Spec[T]) validate() error {
 		if s.Topology != "" {
 			return fmt.Errorf("stencilabft: Topology applies to the cluster deployment only")
 		}
-		if s.Transport != nil {
-			return fmt.Errorf("stencilabft: Transport applies to the cluster deployment only")
+		if s.Transport != "" || s.NewTransport != nil {
+			return fmt.Errorf("stencilabft: Transport/NewTransport apply to the cluster deployment only")
+		}
+		if s.Rendezvous != "" || s.Rank != 0 || s.Bind != "" {
+			return fmt.Errorf("stencilabft: Rank/Rendezvous/Bind apply to the cluster deployment's tcp transport only")
 		}
 	}
 	if s.Scheme == Blocked {
@@ -352,7 +432,9 @@ func (s Spec[T]) blocksOptions() blocks.Options[T] {
 	}
 }
 
-// distOptions maps the shared knobs onto the cluster's options.
+// distOptions maps the shared knobs onto the cluster's options. The tcp
+// transport and its LocalRanks hosting are filled in by Build, which owns
+// the socket bootstrap.
 func (s Spec[T]) distOptions() dist.Options[T] {
 	return dist.Options[T]{
 		Detector:          s.Detector,
@@ -360,7 +442,7 @@ func (s Spec[T]) distOptions() dist.Options[T] {
 		Pool:              s.Pool,
 		DropBoundaryTerms: s.DropBoundaryTerms,
 		Inject:            s.Inject,
-		NewTransport:      s.Transport,
+		NewTransport:      s.NewTransport,
 	}
 }
 
@@ -380,16 +462,31 @@ const (
 // Options.Inject. An Injector (NewInjector) is the standard implementation.
 type InjectSource[T Float] = stencil.InjectSource[T]
 
-// Transport is the cluster's communication seam: send/recv of halo rows
-// plus the iteration barrier. The in-process channel backend is the
-// default; real MPI or socket backends implement this interface and plug
-// in via Spec.Transport. See the dist package for the full contract.
+// Transport is the cluster's communication seam: send/recv of halo strips
+// in all four directions plus the iteration barrier. The in-process
+// channel backend is the default; the TCP backend (Spec.Transport:
+// TransportTCP) runs each rank as a real OS process; custom backends
+// implement this interface and plug in via Spec.NewTransport. See the dist
+// package for the full contract.
 type Transport[T Float] = dist.Transport[T]
 
 // NewChanTransport returns the default in-process paired-channel transport
-// for a ranksX-by-ranksY rank grid — exported so custom transports can wrap
-// it (e.g. to trace or delay messages) before handing it to Spec.Transport.
-// A 1-D band or layer chain is the (1, nRanks) shape.
+// for a ranksX-by-ranksY rank grid — exported so custom transports can
+// wrap it (e.g. to trace or delay messages) before handing it to
+// Spec.NewTransport. A 1-D band or layer chain is the (1, nRanks) shape.
 func NewChanTransport[T Float](ranksX, ranksY int, ring bool) *dist.ChanTransport[T] {
 	return dist.NewChanTransport[T](ranksX, ranksY, ring)
+}
+
+// TCPConfig configures a stand-alone TCP transport built with
+// NewTCPTransport — the escape hatch for hosting several ranks in one
+// process or tuning bootstrap deadlines; Build's TransportTCP path covers
+// the common one-rank-per-process case without it.
+type TCPConfig = dist.TCPConfig
+
+// NewTCPTransport bootstraps the socket Transport backend directly (see
+// dist.NewTCPTransport). Hand the result to Spec.NewTransport, and Close
+// it when the run is over.
+func NewTCPTransport[T Float](cfg TCPConfig) (*dist.TCPTransport[T], error) {
+	return dist.NewTCPTransport[T](cfg)
 }
