@@ -23,6 +23,7 @@ import (
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // benchConfig is the tile the benches run: the paper's small configuration
@@ -477,6 +478,45 @@ func BenchmarkOnlineStep2D(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkClusterTelemetry runs the same 2x2 clustered workload with
+// telemetry off (nil collector: the hot path pays only nil checks), with
+// phase counters plus the span recorder, and with counters only (span ring
+// disabled). The off/counters gap is the acceptance number for PR 6: the
+// instrumentation must stay within 2% of the uninstrumented run
+// (BENCH_pr6.json records the measured point). ReportAllocs pins the
+// disabled case's zero-allocation claim at cluster scope.
+func BenchmarkClusterTelemetry(b *testing.B) {
+	const n, iters = 512, 4
+	init := grid.New[float64](n, n)
+	init.FillFunc(func(x, y int) float64 { return 100 + float64((x*31+y*17)%23) })
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	for _, mode := range []struct {
+		name string
+		tel  func() *telemetry.Collector
+	}{
+		{"off", func() *telemetry.Collector { return nil }},
+		{"on", func() *telemetry.Collector { return telemetry.New(0) }},
+		{"counters-only", func() *telemetry.Collector { return telemetry.New(-1) }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := dist.NewClusterGrid(op, init, 2, 2, dist.Options[float64]{
+					Detector:  checksum.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+					Telemetry: mode.tel(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Run(iters)
+				if c.Stats().Detections != 0 {
+					b.Fatal("false positive in bench")
+				}
 			}
 		})
 	}

@@ -17,6 +17,7 @@ import (
 	"stencilabft/internal/dist"
 	"stencilabft/internal/metrics"
 	"stencilabft/internal/stats"
+	"stencilabft/internal/telemetry"
 )
 
 // The -launch parent: fork one OS process per rank of the grid over
@@ -89,6 +90,17 @@ func runLaunch(c config, p plan) error {
 		if c.inject {
 			args = append(args, "-inject")
 		}
+		if c.trace != "" {
+			args = append(args, "-trace", childTracePath(tileDir, k))
+		}
+		// Profiles are per-process by nature; forward them with a rank
+		// suffix so the children don't clobber one file.
+		if c.cpuProf != "" {
+			args = append(args, "-cpuprofile", fmt.Sprintf("%s.rank%d", c.cpuProf, k))
+		}
+		if c.memProf != "" {
+			args = append(args, "-memprofile", fmt.Sprintf("%s.rank%d", c.memProf, k))
+		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = &outs[k]
 		cmd.Stderr = os.Stderr
@@ -107,6 +119,16 @@ func runLaunch(c config, p plan) error {
 		return firstErr
 	}
 	wall := timer.Seconds()
+
+	// Merge the children's trace timelines onto one file. Every child
+	// stamped its spans with absolute wall-clock timestamps under its own
+	// global rank pid, so the merge is a concatenation plus a re-base of
+	// the time origin.
+	if c.trace != "" {
+		if err := mergeChildTraces(c.trace, tileDir, n); err != nil {
+			return err
+		}
+	}
 
 	// Merge the children's counters. Every child reports the same
 	// lockstep Iterations, so the merge normalises it back to one global
@@ -170,6 +192,46 @@ func runLaunch(c config, p plan) error {
 	}
 	fmt.Printf("gathered grid is bit-identical to the single-process reference (%dx%d points, %d processes)\n",
 		c.nx, c.ny, n)
+	return nil
+}
+
+// childTracePath is where the -launch parent tells rank k to write its
+// per-process trace file, next to the tile files.
+func childTracePath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("trace-%d.json", rank))
+}
+
+// mergeChildTraces concatenates the children's trace files onto one
+// re-based timeline and writes it to path.
+func mergeChildTraces(path, dir string, n int) error {
+	parts := make([]telemetry.TraceFile, 0, n)
+	for k := 0; k < n; k++ {
+		f, err := os.Open(childTracePath(dir, k))
+		if err != nil {
+			return fmt.Errorf("rank %d wrote no trace: %w", k, err)
+		}
+		tf, err := telemetry.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("rank %d trace: %w", k, err)
+		}
+		parts = append(parts, tf)
+	}
+	merged := telemetry.MergeTraces(parts)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(merged); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: merged %d rank timelines (%d lanes) into %s\n",
+		n, len(merged.RankLanes()), path)
 	return nil
 }
 

@@ -73,6 +73,9 @@ type config struct {
 	tileOut    string
 
 	cpuProf, memProf string
+
+	trace       string // write a Chrome trace-event timeline to this file
+	metricsAddr string // serve expvar, pprof and Prometheus text on this address
 }
 
 // plan is the resolved, validated run: which scheme runs where, over which
@@ -194,8 +197,8 @@ func (c config) resolve() (plan, error) {
 		if c.launch != n {
 			return p, fmt.Errorf("-launch %d must match the rank grid: -rankgrid %dx%d needs %d processes", c.launch, p.ranksY, p.ranksX, n)
 		}
-		if c.cpuProf != "" || c.memProf != "" {
-			return p, fmt.Errorf("-cpuprofile/-memprofile profile one process; run a single rank with -transport tcp -rank K to profile it")
+		if c.metricsAddr != "" {
+			return p, fmt.Errorf("-metrics serves one process's counters; the -launch children would collide on the address (start rank processes by hand, each with its own -metrics)")
 		}
 		p.launch = true
 		return p, nil
@@ -324,8 +327,10 @@ func main() {
 	flag.StringVar(&c.bind, "bind", "", "address this rank's tcp data listener binds and advertises (default 127.0.0.1:0; bind a routable interface, e.g. 10.0.0.5:0, for multi-host clusters)")
 	flag.IntVar(&c.launch, "launch", 0, "fork N rank processes over loopback, merge their stats and verify the gathered grid (implies -transport tcp)")
 	flag.StringVar(&c.tileOut, "tileout", "", "write this rank's final tile to a file (set by the -launch parent)")
-	flag.StringVar(&c.cpuProf, "cpuprofile", "", "write a CPU profile of the protected run to this file (go tool pprof)")
-	flag.StringVar(&c.memProf, "memprofile", "", "write a heap profile taken after the protected run to this file")
+	flag.StringVar(&c.cpuProf, "cpuprofile", "", "write a CPU profile of the protected run to this file (go tool pprof; a -launch parent forwards it to each child with a .rankN suffix)")
+	flag.StringVar(&c.memProf, "memprofile", "", "write a heap profile taken after the protected run to this file (forwarded per child under -launch, .rankN suffix)")
+	flag.StringVar(&c.trace, "trace", "", "write a Chrome trace-event timeline of the run to this file (open in chrome://tracing or ui.perfetto.dev; a -launch parent merges its children's timelines)")
+	flag.StringVar(&c.metricsAddr, "metrics", "", "serve live observability on this address while the run executes: Prometheus text at /metrics, expvar at /debug/vars, pprof at /debug/pprof/")
 	flag.Parse()
 
 	p, err := c.resolve()
@@ -385,15 +390,37 @@ func runProcess(c config, p plan) error {
 		}
 	}
 
+	// Telemetry rides along whenever an observability sink wants it; runs
+	// without -trace/-metrics build with a nil collector and pay nothing.
+	var tel *abft.Telemetry
+	if c.trace != "" || c.metricsAddr != "" {
+		tel = abft.NewTelemetry(0)
+	}
+
 	timer := metrics.StartTimer()
-	prot, err := abft.Build(c.spec(p, op, init, injectPlan))
+	spec := c.spec(p, op, init, injectPlan)
+	spec.Telemetry = tel
+	prot, err := abft.Build(spec)
 	if err != nil {
 		return err
+	}
+	if c.metricsAddr != "" {
+		ln, err := serveMetrics(c.metricsAddr, tel, prot)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
 	}
 	prot.Run(c.iters)
 	prot.Finalize()
 	flushCPUProfile()
 	stats := prot.Stats()
+
+	if c.trace != "" {
+		if err := writeTraceFile(c.trace, tel); err != nil {
+			return err
+		}
+	}
 
 	if c.memProf != "" {
 		f, err := os.Create(c.memProf)

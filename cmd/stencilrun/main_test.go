@@ -45,6 +45,14 @@ func TestResolveValidCombinations(t *testing.T) {
 			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP}},
 		{"launch implies tcp parent", func(c *config) { c.rankGrid = "2x2"; c.launch = 4 },
 			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP, launch: true}},
+		{"launch forwards profiles and trace", func(c *config) {
+			c.rankGrid = "2x2"
+			c.launch = 4
+			c.cpuProf = "p.out"
+			c.memProf = "m.out"
+			c.trace = "t.json"
+		},
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP, launch: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -84,8 +92,8 @@ func TestResolveRejectsBadCombinations(t *testing.T) {
 			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.rank = 0; c.rendezvous = "h:1" }, "parent role"},
 		{"launch count mismatching the grid",
 			func(c *config) { c.rankGrid = "2x2"; c.launch = 3 }, "must match the rank grid"},
-		{"launch with a profile flag",
-			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.cpuProf = "p.out" }, "one process"},
+		{"launch with metrics",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.metricsAddr = ":0" }, "-metrics"},
 		{"launch with tileout",
 			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.tileOut = "t.bin" }, "-tileout"},
 		{"rank with explicit chan",

@@ -1,0 +1,80 @@
+// Command tracecheck validates a Chrome trace-event file written by
+// stencilrun -trace: the file must parse, carry the expected number of
+// rank lanes, and contain named phase spans. It prints a one-line summary
+// and exits non-zero on any miss — the CI multiprocess job gates on it.
+//
+// Usage:
+//
+//	tracecheck -lanes 4 trace.json
+//	tracecheck -lanes 4 -phases sweep,verify,barrier-wait trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stencilabft/internal/telemetry"
+)
+
+func main() {
+	lanes := flag.Int("lanes", 0, "required number of rank lanes (0 accepts any non-zero count)")
+	phases := flag.String("phases", "", "comma-separated phase names that must each appear as a span")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail(fmt.Errorf("usage: tracecheck [-lanes N] [-phases a,b,c] trace.json"))
+	}
+	if err := check(flag.Arg(0), *lanes, *phases); err != nil {
+		fail(err)
+	}
+}
+
+func check(path string, wantLanes int, wantPhases string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tf, err := telemetry.ParseTrace(f)
+	if err != nil {
+		return err
+	}
+
+	gotLanes := tf.RankLanes()
+	switch {
+	case wantLanes > 0 && len(gotLanes) != wantLanes:
+		return fmt.Errorf("%s: %d rank lanes %v, want %d", path, len(gotLanes), gotLanes, wantLanes)
+	case wantLanes == 0 && len(gotLanes) == 0:
+		return fmt.Errorf("%s: no rank lane carries any span", path)
+	}
+
+	gotPhases := tf.PhaseNames()
+	if wantPhases != "" {
+		have := map[string]bool{}
+		for _, n := range gotPhases {
+			have[n] = true
+		}
+		for _, want := range strings.Split(wantPhases, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && !have[want] {
+				return fmt.Errorf("%s: no %q span (phases present: %s)", path, want, strings.Join(gotPhases, ","))
+			}
+		}
+	}
+
+	spans := 0
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	fmt.Printf("tracecheck: %s ok — %d spans across %d rank lanes %v, phases %s\n",
+		path, spans, len(gotLanes), gotLanes, strings.Join(gotPhases, ","))
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@ import (
 	"stencilabft/internal/num"
 	"stencilabft/internal/stats"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // Stats aggregates the tiled protector's counters through the unified
@@ -56,6 +57,7 @@ type Protector[T num.Float] struct {
 
 	iter  int
 	stats Stats
+	tel   *telemetry.Recorder // nil when telemetry is disabled
 }
 
 // Options configure the tiled protector.
@@ -68,6 +70,10 @@ type Options[T num.Float] struct {
 	// DropBoundaryTerms reproduces the paper's simplified listings per
 	// tile (ablation A1); leave false for exact interpolation.
 	DropBoundaryTerms bool
+	// Telemetry, when non-nil, attributes the protector's wall-clock to
+	// phases (sweep, verify, repair); the tiled protector is a single rank
+	// and records through one Recorder. Nil disables timing at no cost.
+	Telemetry *telemetry.Recorder
 }
 
 // New builds a tiled protector with blocks of nominal size bx-by-by (edge
@@ -100,6 +106,7 @@ func New[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], bx, by int, opt O
 		pol:  opt.PairPolicy,
 		inj:  opt.Inject,
 		rx:   rx, ry: ry,
+		tel: opt.Telemetry,
 	}
 	// Cut points along each axis; a trailing remainder smaller than the
 	// stencil radius + 1 is merged into the previous block, since an
@@ -176,6 +183,7 @@ func (p *Protector[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
 // coordinates), applied during the sweep when non-nil.
 func (p *Protector[T]) StepInject(hook stencil.InjectFunc[T]) {
 	src, dst := p.buf.Read, p.buf.Write
+	p.tel.SetIter(p.iter)
 
 	sweep := func(i int) {
 		b := p.blocks[i]
@@ -185,16 +193,23 @@ func (p *Protector[T]) StepInject(hook stencil.InjectFunc[T]) {
 		b := p.blocks[i]
 		p.verifyBlock(b, src)
 	}
+	t0 := p.tel.Begin()
 	if p.pool != nil {
 		p.pool.ForEach(len(p.blocks), sweep)
+		t1 := p.tel.Begin()
+		p.tel.End(telemetry.PhaseSweep, t0)
 		p.pool.ForEach(len(p.blocks), verify)
+		t0 = t1
 	} else {
 		for i := range p.blocks {
 			sweep(i)
 		}
+		t1 := p.tel.Begin()
+		p.tel.End(telemetry.PhaseSweep, t0)
 		for i := range p.blocks {
 			verify(i)
 		}
+		t0 = t1
 	}
 
 	// One checksum comparison happened per block, so the unified
@@ -207,13 +222,21 @@ func (p *Protector[T]) StepInject(hook stencil.InjectFunc[T]) {
 	for _, b := range p.blocks {
 		if b.flagged {
 			any = true
-			p.stats.FlaggedBlocks++
-			p.correctBlock(b, src, dst)
-			b.flagged = false
+			break
 		}
 	}
+	p.tel.End(telemetry.PhaseVerify, t0)
 	if any {
+		t0 = p.tel.Begin()
+		for _, b := range p.blocks {
+			if b.flagged {
+				p.stats.FlaggedBlocks++
+				p.correctBlock(b, src, dst)
+				b.flagged = false
+			}
+		}
 		p.stats.Detections++
+		p.tel.End(telemetry.PhaseRepair, t0)
 	}
 
 	for _, b := range p.blocks {

@@ -20,6 +20,7 @@ import (
 	"stencilabft/internal/num"
 	"stencilabft/internal/stats"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // Options configure a protector. The zero value is usable: paper-default
@@ -54,6 +55,12 @@ type Options[T num.Float] struct {
 	// iteration for the hook to apply during the sweep. Nil runs clean.
 	// fault.NewInjector adapts a fault.Plan to this seam.
 	Inject stencil.InjectSource[T]
+	// Telemetry, when non-nil, attributes the protector's wall-clock to
+	// phases (sweep, verify, repair) — a local protector is a single rank,
+	// so it records through one Recorder (telemetry.Collector.Recorder(0)
+	// by convention). Nil disables timing: the step then pays only nil
+	// checks, no clock reads, no allocations.
+	Telemetry *telemetry.Recorder
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.

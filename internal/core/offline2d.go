@@ -6,6 +6,7 @@ import (
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // Offline2D protects a 2-D stencil run with the paper's offline ABFT
@@ -45,6 +46,7 @@ type Offline2D[T num.Float] struct {
 	iter     int // completed sweeps
 	lastSafe int // iteration of the last verified checkpoint
 	stats    Stats
+	tel      *telemetry.Recorder // nil when telemetry is disabled
 }
 
 // NewOffline2D builds an offline protector for op with detection period
@@ -71,6 +73,7 @@ func NewOffline2D[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], opt Opti
 		chain:    make([]T, ny),
 		chainNxt: make([]T, ny),
 		ring:     make([]*checksum.EdgeSnapshot[T], opt.Period),
+		tel:      opt.Telemetry,
 	}
 	r := ip.EdgeRadius()
 	for i := range p.ring {
@@ -138,12 +141,15 @@ func (p *Offline2D[T]) Finalize() {
 // interpolation chain will need.
 func (p *Offline2D[T]) sweep(hook stencil.InjectFunc[T]) {
 	src, dst := p.buf.Read, p.buf.Write
+	p.tel.SetIter(p.iter)
+	t0 := p.tel.Begin()
 	p.ring[(p.iter-p.lastSafe)%p.period].Capture(src)
 	if p.pool != nil {
 		p.op.SweepParallelHook(p.pool, dst, src, p.curB, hook)
 	} else {
 		p.op.SweepRange(dst, src, 0, src.Ny(), p.curB, hook)
 	}
+	p.tel.End(telemetry.PhaseSweep, t0)
 	p.buf.Swap()
 	p.iter++
 	p.stats.Iterations++
@@ -158,12 +164,15 @@ func (p *Offline2D[T]) sweep(hook stencil.InjectFunc[T]) {
 // does, counting every extra rollback.
 func (p *Offline2D[T]) verify(steps int) {
 	p.stats.Verifications++
+	t0 := p.tel.Begin()
 	copy(p.chain, p.verified)
 	for s := 0; s < steps; s++ {
 		p.ip.InterpolateB(p.chain, p.ring[s], p.chainNxt)
 		p.chain, p.chainNxt = p.chainNxt, p.chain
 	}
-	if !p.det.AnyMismatch(p.curB, p.chain) {
+	mismatch := p.det.AnyMismatch(p.curB, p.chain)
+	p.tel.End(telemetry.PhaseVerify, t0)
+	if !mismatch {
 		p.markVerified()
 		return
 	}
@@ -171,16 +180,25 @@ func (p *Offline2D[T]) verify(steps int) {
 	// Try light-cone recovery first when configured: repair in place,
 	// re-verify, and only fall back to a full rollback if the cone could
 	// not be bounded or the repair did not reconcile the checksums.
-	if p.recovery == ConeRecovery && p.coneRecover(steps) {
-		p.stats.ConeRecoveries++
-		p.markVerified()
-		return
+	if p.recovery == ConeRecovery {
+		t0 = p.tel.Begin()
+		ok := p.coneRecover(steps)
+		p.tel.End(telemetry.PhaseRepair, t0)
+		if ok {
+			p.stats.ConeRecoveries++
+			p.markVerified()
+			return
+		}
 	}
 	// Corruption somewhere in the last `steps` sweeps: roll back and
-	// recompute the segment.
+	// recompute the segment. The recomputation attributes itself: the
+	// replayed sweeps count as Sweep time and the re-verification as
+	// Verify time; only the checkpoint restore is charged to Repair.
 	p.stats.Rollbacks++
 	target := p.iter
+	t0 = p.tel.Begin()
 	p.store.Restore(p.buf.Read, p.curB)
+	p.tel.End(telemetry.PhaseRepair, t0)
 	copy(p.verified, p.curB)
 	p.iter = p.lastSafe
 	for p.iter < target {

@@ -6,6 +6,7 @@ import (
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // Offline3D applies the offline scheme to a 3-D domain: per-layer fused
@@ -34,6 +35,7 @@ type Offline3D[T num.Float] struct {
 	iter     int
 	lastSafe int
 	stats    Stats
+	tel      *telemetry.Recorder // nil when telemetry is disabled
 }
 
 // NewOffline3D builds an offline protector for op with detection period
@@ -61,6 +63,7 @@ func NewOffline3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Op
 		chainNxt: makeLayers[T](nz, ny),
 		ring:     make([][]*checksum.EdgeSnapshot[T], opt.Period),
 		edges:    make([]checksum.EdgeSource[T], nz),
+		tel:      opt.Telemetry,
 	}
 	r := ip.EdgeRadius()
 	for s := range p.ring {
@@ -124,6 +127,8 @@ func (p *Offline3D[T]) sweep(hook stencil.InjectFunc[T]) {
 	src, dst := p.buf.Read, p.buf.Write
 	nz := src.Nz()
 	step := (p.iter - p.lastSafe) % p.period
+	p.tel.SetIter(p.iter)
+	t0 := p.tel.Begin()
 	capture := func(z int) { p.ring[step][z].Capture(src.Layer(z)) }
 	if p.pool != nil {
 		p.pool.ForEach(nz, capture)
@@ -134,6 +139,7 @@ func (p *Offline3D[T]) sweep(hook stencil.InjectFunc[T]) {
 			p.op.SweepLayer(dst, src, z, p.curB[z], hook)
 		}
 	}
+	p.tel.End(telemetry.PhaseSweep, t0)
 	p.buf.Swap()
 	p.iter++
 	p.stats.Iterations++
@@ -145,6 +151,7 @@ func (p *Offline3D[T]) sweep(hook stencil.InjectFunc[T]) {
 // recomputes the segment.
 func (p *Offline3D[T]) verify(steps int) {
 	p.stats.Verifications++
+	t0 := p.tel.Begin()
 	nz := p.buf.Read.Nz()
 	for z := 0; z < nz; z++ {
 		copy(p.chain[z], p.verified[z])
@@ -170,6 +177,7 @@ func (p *Offline3D[T]) verify(steps int) {
 			break
 		}
 	}
+	p.tel.End(telemetry.PhaseVerify, t0)
 	if !dirty {
 		for z := 0; z < nz; z++ {
 			copy(p.verified[z], p.curB[z])
@@ -181,7 +189,11 @@ func (p *Offline3D[T]) verify(steps int) {
 	p.stats.Detections++
 	p.stats.Rollbacks++
 	target := p.iter
+	// Recomputed sweeps and the re-verification attribute themselves;
+	// only the checkpoint restore is charged to Repair.
+	t0 = p.tel.Begin()
 	p.store.Restore(p.buf.Read, p.curB)
+	p.tel.End(telemetry.PhaseRepair, t0)
 	for z := 0; z < nz; z++ {
 		copy(p.verified[z], p.curB[z])
 	}

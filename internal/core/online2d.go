@@ -5,6 +5,7 @@ import (
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // Online2D protects a 2-D stencil run with the paper's online ABFT scheme
@@ -36,6 +37,7 @@ type Online2D[T num.Float] struct {
 	corr  checksum.Corrector[T]
 	iter  int
 	stats Stats
+	tel   *telemetry.Recorder // nil when telemetry is disabled
 }
 
 // NewOnline2D builds an online protector for op, starting from the initial
@@ -64,6 +66,7 @@ func NewOnline2D[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], opt Optio
 		newA:    make([]T, nx),
 		interpA: make([]T, nx),
 		corr:    checksum.Corrector[T]{PaperExact: opt.PaperExactCorrection},
+		tel:     opt.Telemetry,
 	}
 	p.edgeRead = checksum.LiveEdges(p.buf.Read, op.BC, op.BCValue)
 	p.edgeWrite = checksum.LiveEdges(p.buf.Write, op.BC, op.BCValue)
@@ -95,19 +98,27 @@ func (p *Online2D[T]) Step() { p.StepInject(stencil.HookAt(p.inj, p.iter)) }
 // during the sweep when non-nil.
 func (p *Online2D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	src, dst := p.buf.Read, p.buf.Write
+	p.tel.SetIter(p.iter)
+	t0 := p.tel.Begin()
 	if p.pool != nil {
 		p.op.SweepParallelHook(p.pool, dst, src, p.newB, hook)
 	} else {
 		p.op.SweepRange(dst, src, 0, src.Ny(), p.newB, hook)
 	}
+	p.tel.End(telemetry.PhaseSweep, t0)
 
+	t0 = p.tel.Begin()
 	edges := p.edgeRead
 	p.ip.InterpolateB(p.prevB, edges, p.interpB)
 	p.stats.Verifications++
 
-	if p.det.AnyMismatch(p.newB, p.interpB) {
+	mismatch := p.det.AnyMismatch(p.newB, p.interpB)
+	p.tel.End(telemetry.PhaseVerify, t0)
+	if mismatch {
 		p.stats.Detections++
+		t0 = p.tel.Begin()
 		p.locateAndCorrect(src, dst, edges)
+		p.tel.End(telemetry.PhaseRepair, t0)
 	}
 
 	p.prevB, p.newB = p.newB, p.prevB

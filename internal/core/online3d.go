@@ -5,6 +5,7 @@ import (
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // Online3D applies the online scheme per z-layer of a 3-D domain (paper
@@ -40,6 +41,7 @@ type Online3D[T num.Float] struct {
 	corr  checksum.Corrector[T]
 	iter  int
 	stats Stats
+	tel   *telemetry.Recorder // nil when telemetry is disabled
 }
 
 // NewOnline3D builds an online protector for op, starting from init
@@ -70,6 +72,7 @@ func NewOnline3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], opt Opt
 		edges:    make([]checksum.EdgeSource[T], nz),
 		edgesAlt: make([]checksum.EdgeSource[T], nz),
 		corr:     checksum.Corrector[T]{PaperExact: opt.PaperExactCorrection},
+		tel:      opt.Telemetry,
 	}
 	for z := 0; z < nz; z++ {
 		p.edges[z] = checksum.LiveEdges(p.buf.Read.Layer(z), op.BC, op.BCValue)
@@ -114,6 +117,8 @@ func (p *Online3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 	src, dst := p.buf.Read, p.buf.Write
 	nz := src.Nz()
 
+	p.tel.SetIter(p.iter)
+	t0 := p.tel.Begin()
 	if p.pool != nil {
 		p.op.SweepParallelHook(p.pool, dst, src, p.newB, hook)
 	} else {
@@ -121,12 +126,14 @@ func (p *Online3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 			p.op.SweepLayer(dst, src, z, p.newB[z], hook)
 		}
 	}
+	p.tel.End(telemetry.PhaseSweep, t0)
 
 	// Interpolate and detect per layer. Mismatching layers are collected
 	// and corrected after the parallel phase: corrections mutate the
 	// write buffer and checksums of the flagged layer only, but the
 	// row-checksum interpolation reads neighbouring layers, so doing it
 	// outside the barrier keeps the memory model trivially racefree.
+	t0 = p.tel.Begin()
 	flagged := p.flagged
 	for z := range flagged {
 		flagged[z] = false
@@ -153,8 +160,10 @@ func (p *Online3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 			break
 		}
 	}
+	p.tel.End(telemetry.PhaseVerify, t0)
 	if anyFlagged {
 		p.stats.Detections++
+		t0 = p.tel.Begin()
 		// The row-checksum interpolation of layer z needs prevA of
 		// layers z+dz; compute prevA for every layer once (the slow
 		// path is rare and O(nx*ny*nz) total, the cost of one sweep).
@@ -166,6 +175,7 @@ func (p *Online3D[T]) StepInject(hook stencil.InjectFunc[T]) {
 				p.correctLayer(z, dst)
 			}
 		}
+		p.tel.End(telemetry.PhaseRepair, t0)
 	}
 
 	p.prevB, p.newB = p.newB, p.prevB

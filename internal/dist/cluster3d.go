@@ -7,6 +7,7 @@ import (
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // Cluster3D runs a 3-D stencil domain decomposed into z-layer slabs over
@@ -64,6 +65,7 @@ func NewCluster3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], nRanks
 		}
 		r.tr = c.tr
 		r.stats.Topology = fmt.Sprintf("layers %d", nRanks)
+		r.tel = opt.Telemetry.Recorder(i)
 		c.ranks = append(c.ranks, r)
 	}
 	c.plans = c.routePlan(opt.Inject)
@@ -82,11 +84,21 @@ func (c *Cluster3D[T]) Slab(i int) (z0, z1 int) {
 // Iter returns the number of completed cluster iterations.
 func (c *Cluster3D[T]) Iter() int { return c.iter }
 
-// RankStats returns each rank's counters, indexed by rank.
+// RankStats returns each rank's counters, indexed by rank. When telemetry
+// is enabled each entry carries that rank's phase-time breakdown.
 func (c *Cluster3D[T]) RankStats() []Stats {
 	out := make([]Stats, len(c.ranks))
+	m, haveM := c.TransportMetrics()
 	for i, r := range c.ranks {
 		out[i] = r.stats
+		out[i].Timing = r.tel.Timing()
+		if haveM {
+			out[i].Transport = m.PerRank(r.id)
+		}
+	}
+	if haveM && len(out) > 0 {
+		out[0].Transport.DialRetries += m.DialRetries
+		out[0].Transport.PoisonEvents += m.Poisoned
 	}
 	return out
 }
@@ -95,11 +107,21 @@ func (c *Cluster3D[T]) RankStats() []Stats {
 // Iterations normalised to lockstep sweeps (Iter), like the 2-D cluster.
 func (c *Cluster3D[T]) Stats() Stats {
 	var total Stats
-	for _, r := range c.ranks {
-		total = total.Merge(r.stats)
+	for _, s := range c.RankStats() {
+		total = total.Merge(s)
 	}
 	total.Iterations = c.iter
 	return total
+}
+
+// TransportMetrics returns the transport's per-edge traffic snapshot when
+// the backend counts its traffic (both built-ins do).
+func (c *Cluster3D[T]) TransportMetrics() (telemetry.TransportMetrics, bool) {
+	m, ok := c.tr.(MetricsSource)
+	if !ok {
+		return telemetry.TransportMetrics{}, false
+	}
+	return m.Metrics(), true
 }
 
 // Gather reassembles the global domain from the ranks' current slab states.
@@ -141,9 +163,12 @@ func (c *Cluster3D[T]) Run(count int) {
 	for i, r := range c.ranks {
 		go func(r *rank3d[T], cfg *fault.Injector[T]) {
 			for t := 0; t < count; t++ {
+				r.tel.SetIter(base + t)
 				r.exchangeHalos()
 				r.step(stencil.HookAt[T](injSource(cfg), base+t))
+				tb := r.tel.Begin()
 				c.tr.Barrier()
+				r.tel.End(telemetry.PhaseBarrierWait, tb)
 			}
 			done <- struct{}{}
 		}(r, c.plans[i])

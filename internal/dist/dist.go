@@ -31,6 +31,7 @@ import (
 	"stencilabft/internal/num"
 	"stencilabft/internal/stats"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // Options configure the per-rank protection of a Cluster. The zero value
@@ -72,6 +73,12 @@ type Options[T num.Float] struct {
 	// elsewhere), so LocalRanks requires NewTransport. 2-D grid clusters
 	// only; Cluster3D rejects it.
 	LocalRanks []int
+	// Telemetry, when non-nil, hands each materialised rank a phase-timer
+	// and span recorder (keyed by global rank id), making sweep, halo
+	// exchange, verification and barrier-wait time attributable per rank.
+	// Nil disables instrumentation entirely: the rank step then pays only
+	// nil checks, adding zero allocations and no clock reads.
+	Telemetry *telemetry.Collector
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.
@@ -158,6 +165,7 @@ func NewClusterGrid[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], ranksX
 		}
 		r.tr = c.tr
 		r.stats.Topology = "grid " + d.String()
+		r.tel = opt.Telemetry.Recorder(i)
 		c.ranks = append(c.ranks, r)
 	}
 	c.plans = c.routePlan(opt.Inject)
@@ -219,11 +227,23 @@ func (c *Cluster[T]) Band(i int) (y0, y1 int) {
 func (c *Cluster[T]) Iter() int { return c.iter }
 
 // RankStats returns the materialised ranks' counters, aligned with
-// LocalRanks — for a default cluster, indexed by rank id.
+// LocalRanks — for a default cluster, indexed by rank id. When telemetry
+// is enabled each entry carries that rank's phase-time breakdown.
 func (c *Cluster[T]) RankStats() []Stats {
 	out := make([]Stats, len(c.ranks))
+	m, haveM := c.TransportMetrics()
 	for i, r := range c.ranks {
 		out[i] = r.stats
+		out[i].Timing = r.tel.Timing()
+		if haveM {
+			out[i].Transport = m.PerRank(r.id)
+		}
+	}
+	// The transport-global counters have no owning rank; park them on the
+	// first entry so merging RankStats reproduces the cluster totals.
+	if haveM && len(out) > 0 {
+		out[0].Transport.DialRetries += m.DialRetries
+		out[0].Transport.PoisonEvents += m.Poisoned
 	}
 	return out
 }
@@ -237,11 +257,28 @@ func (c *Cluster[T]) RankStats() []Stats {
 // verification per block.
 func (c *Cluster[T]) Stats() Stats {
 	var total Stats
-	for _, r := range c.ranks {
-		total = total.Merge(r.stats)
+	for _, s := range c.RankStats() {
+		total = total.Merge(s)
 	}
 	total.Iterations = c.iter
 	return total
+}
+
+// MetricsSource is implemented by transports that count their traffic.
+// Both built-in backends do; a custom Options.NewTransport backend may
+// not, in which case the cluster's Stats simply carry a zero Transport.
+type MetricsSource interface {
+	Metrics() telemetry.TransportMetrics
+}
+
+// TransportMetrics returns the transport's per-edge traffic snapshot, or
+// ok == false when the backend does not implement MetricsSource.
+func (c *Cluster[T]) TransportMetrics() (telemetry.TransportMetrics, bool) {
+	m, ok := c.tr.(MetricsSource)
+	if !ok {
+		return telemetry.TransportMetrics{}, false
+	}
+	return m.Metrics(), true
 }
 
 // TotalStats is the historical name of Stats. Note the Iterations
@@ -329,10 +366,13 @@ func (c *Cluster[T]) run(iters int, perCall []*fault.Injector[T]) {
 		}
 		go func(r *rank[T], cfg, pc *fault.Injector[T]) {
 			for t := 0; t < iters; t++ {
+				r.tel.SetIter(base + t)
 				r.exchangeHalos()
 				hook := chainHooks(stencil.HookAt[T](injSource(cfg), base+t), stencil.HookAt[T](injSource(pc), t))
 				r.step(hook)
+				tb := r.tel.Begin()
 				c.tr.Barrier()
+				r.tel.End(telemetry.PhaseBarrierWait, tb)
 			}
 			done <- struct{}{}
 		}(r, c.plans[i], pc)

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"stencilabft/internal/grid"
+	"stencilabft/internal/telemetry"
 )
 
 // exchangeHalos refreshes the read buffer's halo strips with iteration-t
@@ -23,24 +24,46 @@ func (r *rank[T]) exchangeHalos() {
 	if r.hx > 0 {
 		hasL, hasR := r.tr.Neighbor(r.id, Left), r.tr.Neighbor(r.id, Right)
 		if hasL {
+			t0 := r.tel.Begin()
 			r.packCols(ext, r.loX(), r.sendL) // own leftmost hx tile columns
+			t1 := r.tel.Begin()
+			r.tel.End(telemetry.PhasePack, t0)
 			r.tr.Send(r.id, Left, r.sendL)
+			r.tel.End(telemetry.PhaseSend, t1)
 			r.stats.HaloByDir[Left]++
 		}
 		if hasR {
+			t0 := r.tel.Begin()
 			r.packCols(ext, r.hiX()-r.hx, r.sendR) // own rightmost hx tile columns
+			t1 := r.tel.Begin()
+			r.tel.End(telemetry.PhasePack, t0)
 			r.tr.Send(r.id, Right, r.sendR)
+			r.tel.End(telemetry.PhaseSend, t1)
 			r.stats.HaloByDir[Right]++
 		}
 		if hasL {
-			r.unpackCols(ext, 0, r.tr.Recv(r.id, Left))
+			t0 := r.tel.Begin()
+			in := r.tr.Recv(r.id, Left)
+			t1 := r.tel.Begin()
+			r.tel.End(telemetry.PhaseRecvWait, t0)
+			r.unpackCols(ext, 0, in)
+			r.tel.End(telemetry.PhaseUnpack, t1)
 		} else {
+			t0 := r.tel.Begin()
 			r.fillSideHalo(true)
+			r.tel.End(telemetry.PhaseUnpack, t0)
 		}
 		if hasR {
-			r.unpackCols(ext, r.hiX(), r.tr.Recv(r.id, Right))
+			t0 := r.tel.Begin()
+			in := r.tr.Recv(r.id, Right)
+			t1 := r.tel.Begin()
+			r.tel.End(telemetry.PhaseRecvWait, t0)
+			r.unpackCols(ext, r.hiX(), in)
+			r.tel.End(telemetry.PhaseUnpack, t1)
 		} else {
+			t0 := r.tel.Begin()
 			r.fillSideHalo(false)
+			r.tel.End(telemetry.PhaseUnpack, t0)
 		}
 	}
 	if r.hy > 0 {
@@ -48,22 +71,40 @@ func (r *rank[T]) exchangeHalos() {
 		data := ext.Data()
 		hasU, hasD := r.tr.Neighbor(r.id, Up), r.tr.Neighbor(r.id, Down)
 		if hasU {
+			t0 := r.tel.Begin()
 			r.tr.Send(r.id, Up, data[r.loY()*nxExt:(r.loY()+r.hy)*nxExt]) // own top hy rows, full width
+			r.tel.End(telemetry.PhaseSend, t0)
 			r.stats.HaloByDir[Up]++
 		}
 		if hasD {
+			t0 := r.tel.Begin()
 			r.tr.Send(r.id, Down, data[(r.hiY()-r.hy)*nxExt:r.hiY()*nxExt]) // own bottom hy rows, full width
+			r.tel.End(telemetry.PhaseSend, t0)
 			r.stats.HaloByDir[Down]++
 		}
 		if hasU {
-			copy(data[0:r.hy*nxExt], r.tr.Recv(r.id, Up))
+			t0 := r.tel.Begin()
+			in := r.tr.Recv(r.id, Up)
+			t1 := r.tel.Begin()
+			r.tel.End(telemetry.PhaseRecvWait, t0)
+			copy(data[0:r.hy*nxExt], in)
+			r.tel.End(telemetry.PhaseUnpack, t1)
 		} else {
+			t0 := r.tel.Begin()
 			r.fillEdgeHalo(true)
+			r.tel.End(telemetry.PhaseUnpack, t0)
 		}
 		if hasD {
-			copy(data[r.hiY()*nxExt:(r.hiY()+r.hy)*nxExt], r.tr.Recv(r.id, Down))
+			t0 := r.tel.Begin()
+			in := r.tr.Recv(r.id, Down)
+			t1 := r.tel.Begin()
+			r.tel.End(telemetry.PhaseRecvWait, t0)
+			copy(data[r.hiY()*nxExt:(r.hiY()+r.hy)*nxExt], in)
+			r.tel.End(telemetry.PhaseUnpack, t1)
 		} else {
+			t0 := r.tel.Begin()
 			r.fillEdgeHalo(false)
+			r.tel.End(telemetry.PhaseUnpack, t0)
 		}
 	}
 	r.stats.HaloExchanges++

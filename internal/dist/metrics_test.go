@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"testing"
+
+	"stencilabft/internal/telemetry"
+)
+
+// TestTCPEdgeMetricsCountTraffic drives a known exchange pattern over a
+// split 1x2 TCP pair and pins the per-edge counters against it: halo
+// frames and payload bytes exactly (8-byte float64 elements, wire headers
+// excluded), barrier tokens and bootstrap traffic not counted.
+func TestTCPEdgeMetricsCountTraffic(t *testing.T) {
+	tr0, tr1 := splitTCPPair(t, false)
+
+	const iters = 3
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < iters; i++ {
+			tr1.Send(1, Up, []float64{3, 4})
+			if _, err := tr1.recv(1, Up); err != nil {
+				t.Errorf("iter %d: rank 1 recv: %v", i, err)
+				return
+			}
+			tr1.Barrier()
+		}
+	}()
+	for i := 0; i < iters; i++ {
+		tr0.Send(0, Down, []float64{1, 2})
+		if _, err := tr0.recv(0, Down); err != nil {
+			t.Fatalf("iter %d: rank 0 recv: %v", i, err)
+		}
+		tr0.Barrier()
+	}
+	<-done
+
+	const wantBytes = iters * 2 * 8 // 3 frames of two float64s
+	m0 := tr0.Metrics()
+	if len(m0.Edges) != 1 {
+		t.Fatalf("rank-0 process reports %d edges, want its 1 local edge: %+v", len(m0.Edges), m0.Edges)
+	}
+	e := m0.Edges[0]
+	if e.From != 0 || e.To != 1 || e.Dir != "down" {
+		t.Fatalf("edge identity = %d->%d %s, want 0->1 down", e.From, e.To, e.Dir)
+	}
+	if e.FramesSent != iters || e.BytesSent != wantBytes {
+		t.Errorf("sent = %d frames / %d bytes, want %d / %d (barrier tokens must not count)",
+			e.FramesSent, e.BytesSent, iters, wantBytes)
+	}
+	if e.FramesRecv != iters || e.BytesRecv != wantBytes {
+		t.Errorf("recv = %d frames / %d bytes, want %d / %d", e.FramesRecv, e.BytesRecv, iters, wantBytes)
+	}
+	if m0.DialRetries != 0 || m0.Poisoned != 0 {
+		t.Errorf("healthy run reports dial-retries=%d poisoned=%d", m0.DialRetries, m0.Poisoned)
+	}
+
+	// The paired process observes the mirror edge with the same counts.
+	m1 := tr1.Metrics()
+	if len(m1.Edges) != 1 {
+		t.Fatalf("rank-1 process reports %d edges: %+v", len(m1.Edges), m1.Edges)
+	}
+	r := m1.Edges[0]
+	if r.From != 1 || r.To != 0 || r.Dir != "up" {
+		t.Fatalf("mirror edge identity = %d->%d %s, want 1->0 up", r.From, r.To, r.Dir)
+	}
+	if r.FramesSent != iters || r.BytesSent != wantBytes || r.FramesRecv != iters || r.BytesRecv != wantBytes {
+		t.Errorf("mirror edge counters = %+v, want %d frames / %d bytes each way", r, iters, wantBytes)
+	}
+
+	// The two per-process snapshots concatenate into the full cluster view —
+	// the identity the -launch stats roll-up relies on.
+	total := telemetry.TransportMetrics{Edges: append(m0.Edges, m1.Edges...)}.Totals()
+	if total.FramesSent != 2*iters || total.BytesSent != 2*wantBytes ||
+		total.FramesRecv != 2*iters || total.BytesRecv != 2*wantBytes {
+		t.Errorf("cluster totals = %+v", total)
+	}
+}
+
+// TestTCPPoisonCounted kills one side of a live pair mid-stream and checks
+// the survivor counts the torn-down edge as a poison event, while its own
+// deliberate Close does not.
+func TestTCPPoisonCounted(t *testing.T) {
+	tr0, tr1 := splitTCPPair(t, false)
+
+	tr1.Close() // peer "dies"
+	if _, err := tr0.recv(0, Down); err == nil {
+		t.Fatal("recv from a dead peer succeeded")
+	}
+	if got := tr0.Metrics().Poisoned; got < 1 {
+		t.Fatalf("poison events = %d, want >= 1 after peer death", got)
+	}
+	if got := tr1.Metrics().Poisoned; got != 0 {
+		t.Fatalf("deliberate Close counted %d poison events on its own transport", got)
+	}
+}
+
+// TestChanEdgeMetricsCountTraffic pins the channel backend's counters on a
+// 2x1 grid: the same per-edge model as TCP so runs are comparable across
+// transports.
+func TestChanEdgeMetricsCountTraffic(t *testing.T) {
+	tr := NewChanTransport[float32](2, 1, false)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tr.Send(1, Left, []float32{3, 4, 5})
+		tr.Recv(1, Left)
+	}()
+	tr.Send(0, Right, []float32{1, 2, 3})
+	tr.Recv(0, Right)
+	<-done
+
+	m := tr.Metrics()
+	if len(m.Edges) != 2 {
+		t.Fatalf("2x1 grid has %d directed edges, want 2: %+v", len(m.Edges), m.Edges)
+	}
+	e := m.Edges[0] // sorted: (0, 1, right) first
+	if e.From != 0 || e.To != 1 || e.Dir != "right" {
+		t.Fatalf("first edge = %d->%d %s", e.From, e.To, e.Dir)
+	}
+	if e.FramesSent != 1 || e.BytesSent != 12 || e.FramesRecv != 1 || e.BytesRecv != 12 {
+		t.Errorf("edge counters = %+v, want 1 frame / 12 bytes (three float32s) each way", e)
+	}
+}

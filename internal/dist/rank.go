@@ -5,6 +5,7 @@ import (
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // rank is one simulated MPI rank: an arbitrary tile [x0,x1) × [y0,y1) of
@@ -70,6 +71,10 @@ type rank[T num.Float] struct {
 	sendL, sendR []T
 
 	stats Stats
+	// tel times the rank's phases; nil (telemetry disabled) makes every
+	// Begin/End a nil-check no-op, keeping the step allocation-free and
+	// clock-free.
+	tel *telemetry.Recorder
 }
 
 // newRank builds rank id over the global tile t, copying the tile and its
@@ -150,11 +155,14 @@ func (r *rank[T]) step(hook stencil.InjectFunc[T]) {
 	// Halo checksums of iteration t: plain sums of the received halo rows
 	// over the tile's own columns — no checksum is ever communicated (the
 	// paper's zero-overhead distribution argument).
+	t0 := r.tel.Begin()
 	for j := 0; j < r.hy; j++ {
 		r.prevExtB[j] = num.Sum(src.Row(j)[r.loX():r.hiX()])
 		r.prevExtB[r.hiY()+j] = num.Sum(src.Row(r.hiY() + j)[r.loX():r.hiX()])
 	}
+	r.tel.End(telemetry.PhaseVerify, t0)
 
+	t0 = r.tel.Begin()
 	if r.pool != nil {
 		r.pool.ForEachChunk(r.nyLoc, func(lo, hi int) {
 			r.op.SweepRectFused(dst, src, r.loX(), r.loY()+lo, r.hiX(), r.loY()+hi, r.newExtB[r.loY()+lo:], hook)
@@ -162,15 +170,21 @@ func (r *rank[T]) step(hook stencil.InjectFunc[T]) {
 	} else {
 		r.op.SweepRectFused(dst, src, r.loX(), r.loY(), r.hiX(), r.hiY(), r.newExtB[r.loY():], hook)
 	}
+	r.tel.End(telemetry.PhaseSweep, t0)
 
+	t0 = r.tel.Begin()
 	edges := r.edgeRead
 	r.ip.InterpolateBBand(r.prevExtB, r.hy, edges, r.interpB)
 	r.stats.Verifications++
 
 	newB := r.newExtB[r.loY():r.hiY()]
-	if r.det.AnyMismatch(newB, r.interpB) {
+	mismatch := r.det.AnyMismatch(newB, r.interpB)
+	r.tel.End(telemetry.PhaseVerify, t0)
+	if mismatch {
 		r.stats.Detections++
+		t0 = r.tel.Begin()
 		r.locateAndCorrect(src, dst, edges, newB)
+		r.tel.End(telemetry.PhaseRepair, t0)
 	}
 
 	r.prevExtB, r.newExtB = r.newExtB, r.prevExtB

@@ -5,6 +5,7 @@ import (
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // rank3d is one simulated rank of the 3-D layer-decomposed cluster: a slab
@@ -64,6 +65,7 @@ type rank3d[T num.Float] struct {
 
 	corr  checksum.Corrector[T]
 	stats Stats
+	tel   *telemetry.Recorder // nil when telemetry is disabled
 }
 
 // newRank3D builds rank id over global layers [z0, z1), copying the slab
@@ -158,22 +160,40 @@ func (r *rank3d[T]) exchangeHalos() {
 	data := r.buf.Read.Data()
 	hasUp, hasDn := r.tr.Neighbor(r.id, Up), r.tr.Neighbor(r.id, Down)
 	if hasUp {
+		t0 := r.tel.Begin()
 		r.tr.Send(r.id, Up, data[r.slabLo()*plane:(r.slabLo()+r.h)*plane]) // own bottom h slab layers
+		r.tel.End(telemetry.PhaseSend, t0)
 		r.stats.HaloByDir[Up]++
 	}
 	if hasDn {
+		t0 := r.tel.Begin()
 		r.tr.Send(r.id, Down, data[(r.slabHi()-r.h)*plane:r.slabHi()*plane]) // own top h slab layers
+		r.tel.End(telemetry.PhaseSend, t0)
 		r.stats.HaloByDir[Down]++
 	}
 	if hasUp {
-		copy(data[0:r.h*plane], r.tr.Recv(r.id, Up))
+		t0 := r.tel.Begin()
+		in := r.tr.Recv(r.id, Up)
+		t1 := r.tel.Begin()
+		r.tel.End(telemetry.PhaseRecvWait, t0)
+		copy(data[0:r.h*plane], in)
+		r.tel.End(telemetry.PhaseUnpack, t1)
 	} else {
+		t0 := r.tel.Begin()
 		r.fillEdgeHalo(true)
+		r.tel.End(telemetry.PhaseUnpack, t0)
 	}
 	if hasDn {
-		copy(data[r.slabHi()*plane:(r.slabHi()+r.h)*plane], r.tr.Recv(r.id, Down))
+		t0 := r.tel.Begin()
+		in := r.tr.Recv(r.id, Down)
+		t1 := r.tel.Begin()
+		r.tel.End(telemetry.PhaseRecvWait, t0)
+		copy(data[r.slabHi()*plane:(r.slabHi()+r.h)*plane], in)
+		r.tel.End(telemetry.PhaseUnpack, t1)
 	} else {
+		t0 := r.tel.Begin()
 		r.fillEdgeHalo(false)
+		r.tel.End(telemetry.PhaseUnpack, t0)
 	}
 	r.stats.HaloExchanges++
 }
@@ -216,11 +236,14 @@ func (r *rank3d[T]) step(hook stencil.InjectFunc[T]) {
 
 	// Halo checksums of iteration t: plain per-layer column sums of the
 	// received halo layers — no checksum is ever communicated.
+	t0 := r.tel.Begin()
 	for j := 0; j < r.h; j++ {
 		stencil.ChecksumB(src.Layer(j), r.prevExtB[j])
 		stencil.ChecksumB(src.Layer(r.slabHi()+j), r.prevExtB[r.slabHi()+j])
 	}
+	r.tel.End(telemetry.PhaseVerify, t0)
 
+	t0 = r.tel.Begin()
 	sweep := func(z int) {
 		r.op.SweepLayer(dst, src, r.slabLo()+z, r.newExtB[r.slabLo()+z], hook)
 	}
@@ -231,9 +254,11 @@ func (r *rank3d[T]) step(hook stencil.InjectFunc[T]) {
 			sweep(z)
 		}
 	}
+	r.tel.End(telemetry.PhaseSweep, t0)
 
 	// Interpolate and detect per slab layer; corrections run after the
 	// parallel phase, mutating only the flagged layer.
+	t0 = r.tel.Begin()
 	flagged := r.flagged
 	for z := range flagged {
 		flagged[z] = false
@@ -260,8 +285,10 @@ func (r *rank3d[T]) step(hook stencil.InjectFunc[T]) {
 			break
 		}
 	}
+	r.tel.End(telemetry.PhaseVerify, t0)
 	if anyFlagged {
 		r.stats.Detections++
+		t0 = r.tel.Begin()
 		// The row-checksum interpolation of a flagged layer reads prevA of
 		// its z-neighbours, halo layers included; compute them all once
 		// (the slow path is rare, the cost of one sweep).
@@ -273,6 +300,7 @@ func (r *rank3d[T]) step(hook stencil.InjectFunc[T]) {
 				r.correctLayer(z, dst)
 			}
 		}
+		r.tel.End(telemetry.PhaseRepair, t0)
 	}
 
 	r.prevExtB, r.newExtB = r.newExtB, r.prevExtB

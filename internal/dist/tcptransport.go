@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"stencilabft/internal/num"
+	"stencilabft/internal/telemetry"
 )
 
 // TCPConfig configures a TCPTransport: the rank-grid geometry it spans, the
@@ -105,6 +106,10 @@ type edgeBox[T num.Float] struct {
 	// two interleaving reader streams would break.
 	bound atomic.Bool
 
+	// Halo traffic received on this edge (frames and payload bytes),
+	// counted by the connection reader as frames land in the box.
+	framesRecv, bytesRecv atomic.Int64
+
 	mu   sync.Mutex
 	err  error
 	done chan struct{}
@@ -118,14 +123,18 @@ func newEdgeBox[T num.Float](tokCap int) *edgeBox[T] {
 	}
 }
 
-// poison records the first error and wakes every blocked receiver.
-func (b *edgeBox[T]) poison(err error) {
+// poison records the first error and wakes every blocked receiver. It
+// reports whether this call was the one that poisoned the box, so fault
+// paths can count poison events without double-counting repeats.
+func (b *edgeBox[T]) poison(err error) bool {
 	b.mu.Lock()
-	if b.err == nil {
+	first := b.err == nil
+	if first {
 		b.err = err
 		close(b.done)
 	}
 	b.mu.Unlock()
+	return first
 }
 
 func (b *edgeBox[T]) cause() error {
@@ -197,6 +206,26 @@ func (b *edgeBox[T]) recvToken(timeout time.Duration) (tokenMsg, error) {
 type outEdge struct {
 	ch   chan []byte
 	conn net.Conn
+
+	// framesSent/bytesSent count halo traffic enqueued on the edge (payload
+	// bytes, headers and tokens excluded, so counts compare across
+	// backends); queueHW is the deepest writer-queue backlog observed at
+	// any enqueue — tokens included, since backlog is a property of the
+	// socket, not of what is queued. A non-trivial queueHW means the halo
+	// cadence outran this socket.
+	framesSent, bytesSent, queueHW atomic.Int64
+}
+
+// noteDepth records the writer queue's depth after an enqueue, keeping the
+// high-water mark.
+func (oe *outEdge) noteDepth() {
+	d := int64(len(oe.ch))
+	for {
+		cur := oe.queueHW.Load()
+		if d <= cur || oe.queueHW.CompareAndSwap(cur, d) {
+			return
+		}
+	}
 }
 
 // TCPTransport is the socket backend of the Transport seam: the same
@@ -240,6 +269,9 @@ type TCPTransport[T num.Float] struct {
 	barN     int
 	barCount int
 	barGen   int
+
+	dialRetries atomic.Int64 // bootstrap connect attempts beyond each first
+	poisoned    atomic.Int64 // edges killed by I/O faults (Close's deliberate poisons excluded)
 
 	gen    atomic.Uint32 // completed barrier generations, for error reports
 	quit   chan struct{}
@@ -356,7 +388,7 @@ func (t *TCPTransport[T]) exchangeAddresses(cfg TCPConfig) (map[int]string, erro
 		}
 		return serveRendezvous(ln, t.geo.NumRanks(), t.local, self, cfg.DialTimeout)
 	}
-	return registerAtRendezvous(cfg.Rendezvous, t.local, self, cfg.DialTimeout)
+	return registerAtRendezvous(cfg.Rendezvous, t.local, self, cfg.DialTimeout, &t.dialRetries)
 }
 
 // serveRendezvous runs the bootstrap service on the rank-0 host: collect a
@@ -451,8 +483,8 @@ func admitRegistration(book map[int]string, reg registerMsg, n int) error {
 // registerAtRendezvous dials the rendezvous service (with retry, since the
 // rank-0 host may not be up yet), registers this process's ranks and
 // listener address, and blocks until the full address book arrives.
-func registerAtRendezvous(addr string, ranks []int, selfAddr string, deadline time.Duration) (map[int]string, error) {
-	conn, err := dialRetry(addr, deadline)
+func registerAtRendezvous(addr string, ranks []int, selfAddr string, deadline time.Duration, retries *atomic.Int64) (map[int]string, error) {
+	conn, err := dialRetry(addr, deadline, retries)
 	if err != nil {
 		return nil, fmt.Errorf("dist: rendezvous at %s: %w", addr, err)
 	}
@@ -501,8 +533,10 @@ type nackMsg struct {
 }
 
 // dialRetry dials addr until it succeeds or the deadline passes — the
-// connect-retry that lets processes start in any order.
-func dialRetry(addr string, deadline time.Duration) (net.Conn, error) {
+// connect-retry that lets processes start in any order. Every failed
+// attempt is tallied into retries (when non-nil): a non-zero count after a
+// successful bootstrap measures how long this process waited for its peers.
+func dialRetry(addr string, deadline time.Duration, retries *atomic.Int64) (net.Conn, error) {
 	expire := time.Now().Add(deadline)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -519,6 +553,9 @@ func dialRetry(addr string, deadline time.Duration) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
+		if retries != nil {
+			retries.Add(1)
+		}
 		time.Sleep(step)
 	}
 }
@@ -537,7 +574,7 @@ func (t *TCPTransport[T]) dialEdges(cfg TCPConfig, book map[int]string) error {
 			if !ok {
 				return fmt.Errorf("dist: address book has no entry for rank %d (neighbour %v of rank %d)", nb, d, id)
 			}
-			conn, err := dialRetry(addr, cfg.DialTimeout)
+			conn, err := dialRetry(addr, cfg.DialTimeout, &t.dialRetries)
 			if err != nil {
 				return fmt.Errorf("dist: halo edge rank %d --%v--> rank %d: %w", id, d, nb, err)
 			}
@@ -652,14 +689,14 @@ func (t *TCPTransport[T]) serveConn(conn net.Conn) {
 		// First claimant of the edge but the claim contradicts this
 		// process's geometry: the real peer is misconfigured (e.g. a
 		// different -rankgrid). Fail the edge loudly.
-		box.poison(fmt.Errorf("dist: hello from rank %d claiming to be rank %d's %v neighbour, geometry says rank %d", from, to, d.Opposite(), nb))
+		t.poisonEdge(box, fmt.Errorf("dist: hello from rank %d claiming to be rank %d's %v neighbour, geometry says rank %d", from, to, d.Opposite(), nb))
 		conn.Close()
 		return
 	}
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
-			box.poison(fmt.Errorf("dist: halo connection from rank %d: %w", from, err))
+			t.poisonEdge(box, fmt.Errorf("dist: halo connection from rank %d: %w", from, err))
 			conn.Close()
 			return
 		}
@@ -667,10 +704,12 @@ func (t *TCPTransport[T]) serveConn(conn net.Conn) {
 		case frameHalo:
 			data, err := decodeElems[T](f.elem, f.payload)
 			if err != nil {
-				box.poison(fmt.Errorf("dist: halo frame from rank %d: %w", from, err))
+				t.poisonEdge(box, fmt.Errorf("dist: halo frame from rank %d: %w", from, err))
 				conn.Close()
 				return
 			}
+			box.framesRecv.Add(1)
+			box.bytesRecv.Add(int64(len(f.payload)))
 			select {
 			case box.halo <- data:
 			case <-t.quit:
@@ -685,10 +724,20 @@ func (t *TCPTransport[T]) serveConn(conn net.Conn) {
 				return
 			}
 		default:
-			box.poison(fmt.Errorf("dist: unexpected frame kind %d from rank %d on a halo edge", f.kind, from))
+			t.poisonEdge(box, fmt.Errorf("dist: unexpected frame kind %d from rank %d on a halo edge", f.kind, from))
 			conn.Close()
 			return
 		}
+	}
+}
+
+// poisonEdge poisons a box on an I/O fault and counts the event — the
+// health counter Close's deliberate end-of-run poisons stay out of. During
+// teardown a dying connection races Close; treat faults after Close began
+// as part of the shutdown, not as failures.
+func (t *TCPTransport[T]) poisonEdge(box *edgeBox[T], err error) {
+	if box.poison(err) && !t.closed.Load() {
+		t.poisoned.Add(1)
 	}
 }
 
@@ -727,6 +776,9 @@ func (t *TCPTransport[T]) Send(from int, d Dir, data []T) {
 	out := encodeHaloFrame(uint16(from), uint16(nb), byte(d), t.gen.Load(), data)
 	select {
 	case oe.ch <- out:
+		oe.framesSent.Add(1)
+		oe.bytesSent.Add(int64(len(out) - wireHeaderSize))
+		oe.noteDepth()
 	case <-t.quit:
 	}
 }
@@ -802,6 +854,7 @@ func (t *TCPTransport[T]) exchangeTokens(gen uint32) error {
 				buf := appendFrame(make([]byte, 0, wireHeaderSize), f)
 				select {
 				case oe.ch <- buf:
+					oe.noteDepth() // tokens count toward backlog, not halo frames
 				case <-t.quit:
 					return errors.New("dist: transport closed during barrier")
 				}
@@ -855,4 +908,35 @@ func (t *TCPTransport[T]) Close() error {
 		box.poison(errors.New("dist: transport closed"))
 	}
 	return nil
+}
+
+// Metrics returns the per-edge halo traffic of the hosted ranks plus the
+// backend's health counters. Each process of a multi-process cluster
+// reports its own edges; the launcher's MergeAll sums the totals. Safe to
+// call live (the counters are atomic) and after Close.
+func (t *TCPTransport[T]) Metrics() telemetry.TransportMetrics {
+	var m telemetry.TransportMetrics
+	for _, id := range t.local {
+		for d := Dir(0); d < NumDirs; d++ {
+			nb, ok := t.geo.Neighbor(id, d, t.ring)
+			if !ok {
+				continue
+			}
+			e := telemetry.EdgeStat{From: id, To: nb, Dir: d.String()}
+			if oe, ok := t.outs[edgeKey{id, d}]; ok {
+				e.FramesSent = oe.framesSent.Load()
+				e.BytesSent = oe.bytesSent.Load()
+				e.QueueHW = oe.queueHW.Load()
+			}
+			if box, ok := t.boxes[edgeKey{id, d}]; ok {
+				e.FramesRecv = box.framesRecv.Load()
+				e.BytesRecv = box.bytesRecv.Load()
+			}
+			m.Edges = append(m.Edges, e)
+		}
+	}
+	m.SortEdges()
+	m.DialRetries = t.dialRetries.Load()
+	m.Poisoned = t.poisoned.Load()
+	return m
 }

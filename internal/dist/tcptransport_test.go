@@ -157,7 +157,7 @@ func newHalfTCP(t *testing.T) (*TCPTransport[float64], net.Conn) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go registerAtRendezvous(rdvLn.Addr().String(), []int{1}, peerLn.Addr().String(), 5*time.Second)
+	go registerAtRendezvous(rdvLn.Addr().String(), []int{1}, peerLn.Addr().String(), 5*time.Second, nil)
 	tr, err := NewTCPTransport[float64](TCPConfig{
 		RanksX: 1, RanksY: 2,
 		LocalRanks: []int{0}, Rendezvous: rdvLn.Addr().String(), RendezvousListener: rdvLn,
@@ -276,7 +276,7 @@ func TestTCPRendezvousDuplicateRankRejected(t *testing.T) {
 		serveErr <- err
 	}()
 	// First registrant claims rank 0 — already owned by the server.
-	_, err = registerAtRendezvous(addr, []int{0}, "127.0.0.1:2", 2*time.Second)
+	_, err = registerAtRendezvous(addr, []int{0}, "127.0.0.1:2", 2*time.Second, nil)
 	if err == nil || !strings.Contains(err.Error(), "registered twice") {
 		t.Fatalf("duplicate registration not rejected: %v", err)
 	}
@@ -315,7 +315,7 @@ func TestTCPRendezvousSurvivesStrayConnections(t *testing.T) {
 	}
 
 	// The real peer still registers fine.
-	book, err := registerAtRendezvous(addr, []int{1}, "127.0.0.1:2", 5*time.Second)
+	book, err := registerAtRendezvous(addr, []int{1}, "127.0.0.1:2", 5*time.Second, nil)
 	if err != nil {
 		t.Fatalf("registration after stray connections: %v", err)
 	}

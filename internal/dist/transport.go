@@ -3,8 +3,10 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"stencilabft/internal/num"
+	"stencilabft/internal/telemetry"
 )
 
 // Dir identifies a halo direction relative to a rank in the Cartesian rank
@@ -106,6 +108,63 @@ type ChanTransport[T num.Float] struct {
 	ring bool
 	ch   [NumDirs][]chan []T // ch[d][i] carries rank i's strip toward direction d
 	bar  *barrier
+	em   *edgeCounters
+}
+
+// edgeCounters tallies halo frames and payload bytes per (rank, direction)
+// — [dir][rank], the sender's or receiver's view of one directed edge.
+// Atomics, because rank goroutines update them concurrently with each
+// other and with live metric scrapes; one Add per halo frame (not per
+// point), so the cost is noise against the strip copy itself.
+type edgeCounters struct {
+	sentN, sentB, recvN, recvB [NumDirs][]atomic.Int64
+}
+
+func newEdgeCounters(n int) *edgeCounters {
+	em := &edgeCounters{}
+	for d := 0; d < NumDirs; d++ {
+		em.sentN[d] = make([]atomic.Int64, n)
+		em.sentB[d] = make([]atomic.Int64, n)
+		em.recvN[d] = make([]atomic.Int64, n)
+		em.recvB[d] = make([]atomic.Int64, n)
+	}
+	return em
+}
+
+func (em *edgeCounters) sent(d Dir, rank int, bytes int) {
+	em.sentN[d][rank].Add(1)
+	em.sentB[d][rank].Add(int64(bytes))
+}
+
+func (em *edgeCounters) recvd(d Dir, rank int, bytes int) {
+	em.recvN[d][rank].Add(1)
+	em.recvB[d][rank].Add(int64(bytes))
+}
+
+// snapshot renders the counters as the per-edge metrics of a geo-shaped
+// grid: one EdgeStat per existing directed edge, pairing what rank From
+// sent toward direction d with what it received back from that neighbour.
+func (em *edgeCounters) snapshot(geo Decomp, ring bool) telemetry.TransportMetrics {
+	var m telemetry.TransportMetrics
+	for i := 0; i < geo.NumRanks(); i++ {
+		for d := Dir(0); d < NumDirs; d++ {
+			nb, ok := geo.Neighbor(i, d, ring)
+			if !ok {
+				continue
+			}
+			m.Edges = append(m.Edges, telemetry.EdgeStat{
+				From:       i,
+				To:         nb,
+				Dir:        d.String(),
+				FramesSent: em.sentN[d][i].Load(),
+				BytesSent:  em.sentB[d][i].Load(),
+				FramesRecv: em.recvN[d][i].Load(),
+				BytesRecv:  em.recvB[d][i].Load(),
+			})
+		}
+	}
+	m.SortEdges()
+	return m
 }
 
 // NewChanTransport wires a ranksX-by-ranksY rank grid with paired halo
@@ -124,6 +183,7 @@ func NewChanTransport[T num.Float](ranksX, ranksY int, ring bool) *ChanTransport
 			t.ch[d][i] = make(chan []T, 1)
 		}
 	}
+	t.em = newEdgeCounters(n)
 	return t
 }
 
@@ -136,6 +196,7 @@ func (t *ChanTransport[T]) Neighbor(id int, d Dir) bool {
 // Send posts data on the channel toward rank from's neighbour in
 // direction d.
 func (t *ChanTransport[T]) Send(from int, d Dir, data []T) {
+	t.em.sent(d, from, len(data)*int(elemSize[T]()))
 	t.ch[d][from] <- data
 }
 
@@ -146,11 +207,19 @@ func (t *ChanTransport[T]) Recv(to int, d Dir) []T {
 	if !ok {
 		panic(fmt.Sprintf("dist: Recv(%d, %v) without a neighbour", to, d))
 	}
-	return <-t.ch[d.Opposite()][nb]
+	data := <-t.ch[d.Opposite()][nb]
+	t.em.recvd(d, to, len(data)*int(elemSize[T]()))
+	return data
 }
 
 // Barrier blocks until all ranks have arrived.
 func (t *ChanTransport[T]) Barrier() { t.bar.await() }
+
+// Metrics returns the per-edge halo traffic counted so far. The channel
+// backend has no writer queues, dials or poison — those stay zero.
+func (t *ChanTransport[T]) Metrics() telemetry.TransportMetrics {
+	return t.em.snapshot(t.geo, t.ring)
+}
 
 // barrier is a reusable cyclic barrier: await blocks until all n parties
 // have arrived, then releases the generation together — the per-iteration

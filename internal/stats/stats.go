@@ -9,6 +9,7 @@ package stats
 
 import (
 	"fmt"
+	"strings"
 
 	"stencilabft/internal/checkpoint"
 )
@@ -38,8 +39,111 @@ type Stats struct {
 	HaloByDir [4]int
 	// Topology names the decomposition shape of a clustered run (e.g.
 	// "grid 4x1", "grid 2x3", "layers 4"); empty for local deployments.
+	// Merging two different topologies yields "mixed(a; b)".
 	Topology   string
 	Checkpoint checkpoint.Stats
+	// Timing is the phase-time breakdown recorded by the telemetry layer;
+	// zero (RanksTimed == 0) when telemetry is disabled.
+	Timing Timing
+	// Transport is the communication-backend counter roll-up; zero for
+	// local deployments or transports without metrics.
+	Transport Transport
+}
+
+// Timing is the wall-clock phase breakdown of a telemetry-enabled run:
+// nanoseconds accumulated per phase, summed across ranks, plus the
+// extremes of barrier-wait needed for the imbalance report. The phase
+// taxonomy (and the recording) lives in internal/telemetry; stats only
+// carries the numbers so they ride Stats through MergeAll — including
+// across process boundaries via the launcher's CHILDSTATS JSON.
+type Timing struct {
+	PackNs     int64 // packing halo strips into send buffers
+	SendNs     int64 // posting strips to the transport
+	RecvWaitNs int64 // blocked waiting on neighbour strips
+	UnpackNs   int64 // copying received strips into halo regions
+	SweepNs    int64 // stencil sweeps over owned tiles
+	VerifyNs   int64 // checksum bookkeeping, interpolation, comparison
+	RepairNs   int64 // fault localisation and correction
+	BarrierNs  int64 // waiting at the iteration barrier
+
+	// RanksTimed counts the ranks that contributed a breakdown; 0 means
+	// telemetry was off and the struct is meaningless.
+	RanksTimed int
+	// MaxBarrierNs / MaxBarrierOn: the largest single-rank barrier wait
+	// and the rank that waited it. MinBarrierNs / StragglerRank: the
+	// smallest. The rank that waits *least* at the barrier is the one the
+	// others wait for — the straggler.
+	MaxBarrierNs  int64
+	MaxBarrierOn  int
+	MinBarrierNs  int64
+	StragglerRank int
+}
+
+// Merge rolls two breakdowns together: phase times sum, the barrier
+// extremes keep the winning rank id. Either side may be zero (untimed).
+func (t Timing) Merge(o Timing) Timing {
+	if o.RanksTimed == 0 {
+		return t
+	}
+	if t.RanksTimed == 0 {
+		return o
+	}
+	t.PackNs += o.PackNs
+	t.SendNs += o.SendNs
+	t.RecvWaitNs += o.RecvWaitNs
+	t.UnpackNs += o.UnpackNs
+	t.SweepNs += o.SweepNs
+	t.VerifyNs += o.VerifyNs
+	t.RepairNs += o.RepairNs
+	t.BarrierNs += o.BarrierNs
+	t.RanksTimed += o.RanksTimed
+	if o.MaxBarrierNs > t.MaxBarrierNs {
+		t.MaxBarrierNs, t.MaxBarrierOn = o.MaxBarrierNs, o.MaxBarrierOn
+	}
+	if o.MinBarrierNs < t.MinBarrierNs {
+		t.MinBarrierNs, t.StragglerRank = o.MinBarrierNs, o.StragglerRank
+	}
+	return t
+}
+
+// Straggler derives the imbalance report: the rank the cluster waits for
+// and how skewed the barrier waits are (max over mean). ok is false when
+// fewer than two ranks were timed — a single rank cannot be imbalanced.
+func (t Timing) Straggler() (rank int, maxOverMean float64, ok bool) {
+	if t.RanksTimed < 2 {
+		return 0, 0, false
+	}
+	mean := float64(t.BarrierNs) / float64(t.RanksTimed)
+	if mean <= 0 {
+		return t.StragglerRank, 0, true
+	}
+	return t.StragglerRank, float64(t.MaxBarrierNs) / mean, true
+}
+
+// Transport is the communication-backend counter roll-up: halo frames and
+// payload bytes over all edges, plus the TCP backend's health counters.
+type Transport struct {
+	FramesSent     int64 // halo frames enqueued to neighbours
+	FramesRecv     int64 // halo frames received from neighbours
+	BytesSent      int64 // halo payload bytes sent (headers excluded)
+	BytesRecv      int64 // halo payload bytes received
+	QueueHighWater int64 // deepest writer-queue backlog seen on any edge (TCP)
+	DialRetries    int64 // bootstrap connection retries (TCP)
+	PoisonEvents   int64 // edges torn down by I/O errors (TCP; Close excluded)
+}
+
+// Merge sums the counters; QueueHighWater, a high-water mark, takes max.
+func (t Transport) Merge(o Transport) Transport {
+	t.FramesSent += o.FramesSent
+	t.FramesRecv += o.FramesRecv
+	t.BytesSent += o.BytesSent
+	t.BytesRecv += o.BytesRecv
+	if o.QueueHighWater > t.QueueHighWater {
+		t.QueueHighWater = o.QueueHighWater
+	}
+	t.DialRetries += o.DialRetries
+	t.PoisonEvents += o.PoisonEvents
+	return t
 }
 
 // Merge returns the element-wise sum of s and o — the roll-up used to
@@ -59,13 +163,51 @@ func (s Stats) Merge(o Stats) Stats {
 	for d := range s.HaloByDir {
 		s.HaloByDir[d] += o.HaloByDir[d]
 	}
-	if s.Topology == "" {
-		s.Topology = o.Topology
-	}
+	s.Topology = mergeTopology(s.Topology, o.Topology)
+	s.Timing = s.Timing.Merge(o.Timing)
+	s.Transport = s.Transport.Merge(o.Transport)
 	s.Checkpoint.Saves += o.Checkpoint.Saves
 	s.Checkpoint.Restores += o.Checkpoint.Restores
 	s.Checkpoint.PointsCopied += o.Checkpoint.PointsCopied
 	return s
+}
+
+// mergeTopology combines two topology names. Equal or one-sided-empty
+// merges keep the name; genuinely different topologies become
+// "mixed(a; b)" — the historical first-wins rule silently mislabelled
+// multi-topology campaign aggregates as whichever ran first. Merging a
+// mixed name flattens: components are deduplicated, never nested.
+func mergeTopology(a, b string) string {
+	if a == b || b == "" {
+		return a
+	}
+	if a == "" {
+		return b
+	}
+	parts := topologyParts(a)
+	for _, p := range topologyParts(b) {
+		seen := false
+		for _, q := range parts {
+			if p == q {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "mixed(" + strings.Join(parts, "; ") + ")"
+}
+
+func topologyParts(s string) []string {
+	if inner, ok := strings.CutPrefix(s, "mixed("); ok && strings.HasSuffix(inner, ")") {
+		return strings.Split(strings.TrimSuffix(inner, ")"), "; ")
+	}
+	return []string{s}
 }
 
 // MergeAll rolls a set of per-rank (or per-repetition) counters into one
@@ -103,6 +245,45 @@ func (s Stats) String() string {
 	if s.HaloByDir != [4]int{} {
 		out += fmt.Sprintf(" halo-dir[up/down/left/right]=%d/%d/%d/%d",
 			s.HaloByDir[0], s.HaloByDir[1], s.HaloByDir[2], s.HaloByDir[3])
+	}
+	if s.Timing.RanksTimed > 0 {
+		out += "\n" + s.Timing.String()
+	}
+	if s.Transport != (Transport{}) {
+		out += "\n" + s.Transport.String()
+	}
+	return out
+}
+
+// String renders the phase breakdown as milliseconds plus the imbalance
+// report, e.g.:
+//
+//	timing[ms] sweep=12.3 verify=4.5 ... barrier-wait=2.1 (ranks=4)
+//	imbalance: straggler=rank 2 max/mean barrier-wait=3.10
+func (t Timing) String() string {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	out := fmt.Sprintf("timing[ms] sweep=%.2f verify=%.2f repair=%.2f pack=%.2f send=%.2f recv-wait=%.2f unpack=%.2f barrier-wait=%.2f (ranks=%d)",
+		ms(t.SweepNs), ms(t.VerifyNs), ms(t.RepairNs), ms(t.PackNs), ms(t.SendNs),
+		ms(t.RecvWaitNs), ms(t.UnpackNs), ms(t.BarrierNs), t.RanksTimed)
+	if rank, ratio, ok := t.Straggler(); ok {
+		out += fmt.Sprintf("\nimbalance: straggler=rank %d max/mean barrier-wait=%.2f (max rank %d waited %.2fms, straggler waited %.2fms)",
+			rank, ratio, t.MaxBarrierOn, ms(t.MaxBarrierNs), ms(t.MinBarrierNs))
+	}
+	return out
+}
+
+// String renders the transport counters compactly for logs.
+func (t Transport) String() string {
+	out := fmt.Sprintf("transport frames[sent/recv]=%d/%d bytes[sent/recv]=%d/%d",
+		t.FramesSent, t.FramesRecv, t.BytesSent, t.BytesRecv)
+	if t.QueueHighWater > 0 {
+		out += fmt.Sprintf(" queue-hw=%d", t.QueueHighWater)
+	}
+	if t.DialRetries > 0 {
+		out += fmt.Sprintf(" dial-retries=%d", t.DialRetries)
+	}
+	if t.PoisonEvents > 0 {
+		out += fmt.Sprintf(" poison-events=%d", t.PoisonEvents)
 	}
 	return out
 }

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCollectorWritePrometheus pins the phase-counter exposition lines and
+// their label shape against hand-set accumulator values.
+func TestCollectorWritePrometheus(t *testing.T) {
+	c := New(0)
+	r := c.Recorder(2)
+	r.ns[PhaseSweep].Store(1_500_000_000) // 1.5 s
+	r.count[PhaseSweep].Store(3)
+	r.dropped = 7
+
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE stencilabft_phase_seconds_total counter",
+		`stencilabft_phase_seconds_total{rank="2",phase="sweep"} 1.5`,
+		`stencilabft_phase_intervals_total{rank="2",phase="sweep"} 3`,
+		`stencilabft_phase_intervals_total{rank="2",phase="repair"} 0`,
+		`stencilabft_spans_dropped_total{rank="2"} 7`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+
+	var nilC *Collector
+	buf.Reset()
+	if err := nilC.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil collector wrote %q, %v", buf.String(), err)
+	}
+}
+
+// TestTransportWritePrometheus pins the per-edge exposition: sent/recv
+// lines per edge, the zero-suppressed queue high-water gauge, and the
+// transport-global counters.
+func TestTransportWritePrometheus(t *testing.T) {
+	m := TransportMetrics{
+		Edges: []EdgeStat{
+			{From: 0, To: 1, Dir: "right", FramesSent: 40, BytesSent: 163840, FramesRecv: 40, BytesRecv: 163840, QueueHW: 3},
+			{From: 1, To: 0, Dir: "left", FramesSent: 40, BytesSent: 163840, FramesRecv: 40, BytesRecv: 163840},
+		},
+		DialRetries: 2,
+	}
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`stencilabft_transport_frames_total{from="0",to="1",dir="right",op="sent"} 40`,
+		`stencilabft_transport_frames_total{from="0",to="1",dir="right",op="recv"} 40`,
+		`stencilabft_transport_bytes_total{from="1",to="0",dir="left",op="sent"} 163840`,
+		`stencilabft_transport_queue_high_water{from="0",to="1",dir="right"} 3`,
+		"stencilabft_transport_dial_retries_total 2",
+		"stencilabft_transport_poison_events_total 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `stencilabft_transport_queue_high_water{from="1"`) {
+		t.Errorf("zero queue high-water not suppressed:\n%s", out)
+	}
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsFree pins the disabled-instrument contract: every
+// hot-path method of a nil recorder is a safe no-op that allocates nothing.
+func TestNilRecorderIsFree(t *testing.T) {
+	var r *Recorder
+	start := r.Begin()
+	if !start.IsZero() {
+		t.Fatalf("nil Begin read the clock: %v", start)
+	}
+	r.End(PhaseSweep, start) // must not panic
+	r.SetIter(7)
+	if r.Rank() != -1 {
+		t.Fatalf("nil Rank = %d, want -1", r.Rank())
+	}
+	if r.PhaseNs(PhaseSweep) != 0 || r.PhaseCount(PhaseSweep) != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder reports non-zero counters")
+	}
+	if got := r.Spans(nil); got != nil {
+		t.Fatalf("nil Spans = %v", got)
+	}
+	if tm := r.Timing(); tm.RanksTimed != 0 {
+		t.Fatalf("nil Timing claims %d ranks", tm.RanksTimed)
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		t0 := r.Begin()
+		r.End(PhaseSweep, t0)
+		r.SetIter(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocates %v per Begin/End", allocs)
+	}
+}
+
+// TestEnabledRecorderZeroAlloc pins the enabled hot path: Begin/End write
+// into preallocated storage only.
+func TestEnabledRecorderZeroAlloc(t *testing.T) {
+	r := New(64).Recorder(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		t0 := r.Begin()
+		r.End(PhaseVerify, t0)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled recorder allocates %v per Begin/End", allocs)
+	}
+}
+
+// TestPhaseAccumulators pins the counter bookkeeping: durations sum per
+// phase, intervals count per phase, other phases stay untouched.
+func TestPhaseAccumulators(t *testing.T) {
+	r := New(0).Recorder(3)
+	if r.Rank() != 3 {
+		t.Fatalf("Rank = %d", r.Rank())
+	}
+	base := time.Now().Add(-time.Millisecond)
+	r.End(PhaseSweep, base)
+	r.End(PhaseSweep, base)
+	r.End(PhaseRepair, base)
+
+	if got := r.PhaseCount(PhaseSweep); got != 2 {
+		t.Fatalf("sweep intervals = %d, want 2", got)
+	}
+	if got := r.PhaseCount(PhaseRepair); got != 1 {
+		t.Fatalf("repair intervals = %d, want 1", got)
+	}
+	if got := r.PhaseCount(PhaseVerify); got != 0 {
+		t.Fatalf("verify intervals = %d, want 0", got)
+	}
+	if ns := r.PhaseNs(PhaseSweep); ns < 2*int64(time.Millisecond) {
+		t.Fatalf("sweep ns = %d, want >= 2ms", ns)
+	}
+}
+
+// TestSpanRingCapacityAndEviction pins the fixed-capacity ring: it retains
+// the most recent spanCap spans oldest-first and counts evictions.
+func TestSpanRingCapacityAndEviction(t *testing.T) {
+	const cap = 4
+	r := New(cap).Recorder(0)
+	for i := 0; i < 7; i++ {
+		r.SetIter(i)
+		t0 := r.Begin()
+		r.End(PhaseSweep, t0)
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	spans := r.Spans(nil)
+	if len(spans) != cap {
+		t.Fatalf("retained %d spans, want %d", len(spans), cap)
+	}
+	for i, s := range spans {
+		if want := int32(3 + i); s.Iter != want {
+			t.Fatalf("span %d carries iter %d, want %d (oldest-first order broken)", i, s.Iter, want)
+		}
+		if s.Phase != PhaseSweep || s.Dur < 0 || s.Start < 0 {
+			t.Fatalf("span %d malformed: %+v", i, s)
+		}
+	}
+}
+
+// TestNegativeSpanCapDisablesSpans pins the counters-only mode: phase
+// accumulators still work, no span is ever retained or dropped.
+func TestNegativeSpanCapDisablesSpans(t *testing.T) {
+	r := New(-1).Recorder(0)
+	for i := 0; i < 10; i++ {
+		t0 := r.Begin()
+		r.End(PhaseSweep, t0)
+	}
+	if n := len(r.Spans(nil)); n != 0 {
+		t.Fatalf("counters-only recorder retained %d spans", n)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("counters-only recorder dropped %d", r.Dropped())
+	}
+	if r.PhaseCount(PhaseSweep) != 10 {
+		t.Fatalf("intervals = %d, want 10", r.PhaseCount(PhaseSweep))
+	}
+}
+
+// TestCollectorRecorderIdentity pins the per-rank handout: one recorder per
+// rank id, stable across calls, first-seen order, nil-collector nil result.
+func TestCollectorRecorderIdentity(t *testing.T) {
+	c := New(0)
+	a, b := c.Recorder(2), c.Recorder(0)
+	if c.Recorder(2) != a {
+		t.Fatal("Recorder(2) not stable across calls")
+	}
+	recs := c.Recorders()
+	if len(recs) != 2 || recs[0] != a || recs[1] != b {
+		t.Fatalf("Recorders order = %v, want [rank2, rank0] first-seen", recs)
+	}
+
+	var nilC *Collector
+	if nilC.Recorder(0) != nil {
+		t.Fatal("nil collector handed out a recorder")
+	}
+	if nilC.Recorders() != nil {
+		t.Fatal("nil collector lists recorders")
+	}
+	if !nilC.Base().IsZero() {
+		t.Fatal("nil collector has a base time")
+	}
+}
+
+// TestRecorderTiming pins the single-rank fold: every accumulator lands on
+// its stats field and the rank's own barrier-wait seeds both extremes.
+func TestRecorderTiming(t *testing.T) {
+	r := New(0).Recorder(5)
+	base := time.Now().Add(-time.Millisecond)
+	r.End(PhaseBarrierWait, base)
+	r.End(PhaseSweep, base)
+
+	tm := r.Timing()
+	if tm.RanksTimed != 1 {
+		t.Fatalf("RanksTimed = %d", tm.RanksTimed)
+	}
+	if tm.SweepNs != r.PhaseNs(PhaseSweep) || tm.BarrierNs != r.PhaseNs(PhaseBarrierWait) {
+		t.Fatalf("Timing fields do not mirror accumulators: %+v", tm)
+	}
+	if tm.MaxBarrierNs != tm.BarrierNs || tm.MinBarrierNs != tm.BarrierNs {
+		t.Fatalf("barrier extremes not seeded from own wait: %+v", tm)
+	}
+	if tm.MaxBarrierOn != 5 || tm.StragglerRank != 5 {
+		t.Fatalf("barrier extreme ranks = %d/%d, want 5/5", tm.MaxBarrierOn, tm.StragglerRank)
+	}
+}
+
+// TestCollectorTimingMerge pins the process-local roll-up: phase sums and
+// the min-barrier straggler across recorders.
+func TestCollectorTimingMerge(t *testing.T) {
+	c := New(0)
+	now := time.Now()
+	c.Recorder(0).End(PhaseBarrierWait, now.Add(-3*time.Millisecond))
+	c.Recorder(1).End(PhaseBarrierWait, now.Add(-time.Millisecond))
+	c.Recorder(2).End(PhaseBarrierWait, now.Add(-9*time.Millisecond))
+
+	tm := c.Timing()
+	if tm.RanksTimed != 3 {
+		t.Fatalf("RanksTimed = %d", tm.RanksTimed)
+	}
+	if tm.MaxBarrierOn != 2 {
+		t.Fatalf("max barrier on rank %d, want 2", tm.MaxBarrierOn)
+	}
+	if tm.StragglerRank != 1 {
+		t.Fatalf("straggler rank %d, want 1 (least barrier wait)", tm.StragglerRank)
+	}
+	rank, ratio, ok := tm.Straggler()
+	if !ok || rank != 1 || ratio <= 1 {
+		t.Fatalf("Straggler() = %d, %v, %v", rank, ratio, ok)
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pinnedCollector builds a collector with hand-written spans and a fixed
+// epoch so trace output is byte-deterministic. Same-package access to the
+// span ring replaces the real clock.
+func pinnedCollector() *Collector {
+	c := New(8)
+	r := c.Recorder(1)
+	r.spans[0] = Span{Start: 1_000, Dur: 500, Iter: 0, Phase: PhaseSweep}
+	r.spans[1] = Span{Start: 2_000, Dur: 250, Iter: 1, Phase: PhaseVerify}
+	r.head = 2
+	r.n = 2
+	c.rebase(time.Unix(100, 0))
+	return c
+}
+
+// TestWriteTraceGolden pins the exact Chrome trace-event bytes: field
+// names, event phases, µs conversion of the ns span offsets against the
+// collector epoch, and the lane-naming metadata event.
+func TestWriteTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pinnedCollector().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"rank 1"}},` +
+		`{"name":"sweep","ph":"X","ts":100000001,"dur":0.5,"pid":1,"tid":0,"args":{"iter":0}},` +
+		`{"name":"verify","ph":"X","ts":100000002,"dur":0.25,"pid":1,"tid":0,"args":{"iter":1}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("trace bytes drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestTraceRoundtrip pins that ParseTrace reads back what WriteTrace
+// emitted, and that the lane/phase summaries see through it.
+func TestTraceRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pinnedCollector().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(tf.TraceEvents))
+	}
+	if got := tf.RankLanes(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("RankLanes = %v", got)
+	}
+	if got := tf.PhaseNames(); !reflect.DeepEqual(got, []string{"sweep", "verify"}) {
+		t.Fatalf("PhaseNames = %v", got)
+	}
+}
+
+// TestEmptyTraceIsValid pins the degenerate exports: a collector with no
+// spans, and a nil collector, both write "traceEvents": [] — never null,
+// so chrome://tracing and jq both accept the file.
+func TestEmptyTraceIsValid(t *testing.T) {
+	for name, c := range map[string]*Collector{"empty": New(0), "nil": nil} {
+		var buf bytes.Buffer
+		if err := c.WriteTrace(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+			t.Fatalf("%s collector wrote %s", name, buf.String())
+		}
+		if tf, err := ParseTrace(&buf); err != nil || len(tf.TraceEvents) != 0 {
+			t.Fatalf("%s: reparse = %+v, %v", name, tf, err)
+		}
+	}
+}
+
+// TestMergeTraces pins the -launch parent's merge: lanes from separate
+// per-process files stay distinct, the earliest span lands at ts 0, and
+// relative offsets (the wall-clock alignment across processes) survive.
+func TestMergeTraces(t *testing.T) {
+	a := TraceFile{TraceEvents: []TraceEvent{
+		{Name: "process_name", Ph: "M", Pid: 0},
+		{Name: "sweep", Ph: "X", Ts: 70, Dur: 5, Pid: 0},
+	}}
+	b := TraceFile{TraceEvents: []TraceEvent{
+		{Name: "process_name", Ph: "M", Pid: 1},
+		{Name: "sweep", Ph: "X", Ts: 50, Dur: 5, Pid: 1},
+	}}
+	m := MergeTraces([]TraceFile{a, b})
+	if got := m.RankLanes(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("merged lanes = %v", got)
+	}
+	var ts []float64
+	for _, e := range m.TraceEvents {
+		if e.Ph == "X" {
+			ts = append(ts, e.Ts)
+		}
+	}
+	if !reflect.DeepEqual(ts, []float64{20, 0}) {
+		t.Fatalf("re-based span ts = %v, want [20 0]", ts)
+	}
+
+	if empty := MergeTraces(nil); empty.TraceEvents == nil {
+		t.Fatal("merge of nothing yields null traceEvents")
+	}
+}

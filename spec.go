@@ -2,12 +2,14 @@ package stencilabft
 
 import (
 	"fmt"
+	"io"
 
 	"stencilabft/internal/blocks"
 	"stencilabft/internal/checksum"
 	"stencilabft/internal/core"
 	"stencilabft/internal/dist"
 	"stencilabft/internal/stencil"
+	"stencilabft/internal/telemetry"
 )
 
 // Scheme selects the protection method — the rows of the paper's
@@ -225,6 +227,14 @@ type Spec[T Float] struct {
 	// evaluation (Section 5.3's overflow-scale caveat); the default is
 	// the numerically stable equivalent.
 	PaperExactCorrection bool
+
+	// Telemetry, when non-nil, records per-rank phase timings and span
+	// timelines (see NewTelemetry). A Clustered deployment registers one
+	// Recorder per rank; Local protectors record as rank 0. The per-rank
+	// breakdown lands on Stats.Timing (RankStats carries each rank's own),
+	// the span timeline exports as a Chrome trace via WriteTrace. Nil
+	// disables telemetry entirely — the hot path then pays only nil checks.
+	Telemetry *Telemetry
 }
 
 // withDefaults returns a copy with the zero Scheme and Deployment resolved.
@@ -418,6 +428,7 @@ func (s Spec[T]) coreOptions() core.Options[T] {
 		PaperExactCorrection: s.PaperExactCorrection,
 		Recovery:             s.Recovery,
 		Inject:               s.injectSource(),
+		Telemetry:            s.Telemetry.Recorder(0),
 	}
 }
 
@@ -429,6 +440,7 @@ func (s Spec[T]) blocksOptions() blocks.Options[T] {
 		PairPolicy:        s.PairPolicy,
 		Inject:            s.injectSource(),
 		DropBoundaryTerms: s.DropBoundaryTerms,
+		Telemetry:         s.Telemetry.Recorder(0),
 	}
 }
 
@@ -443,8 +455,31 @@ func (s Spec[T]) distOptions() dist.Options[T] {
 		DropBoundaryTerms: s.DropBoundaryTerms,
 		Inject:            s.Inject,
 		NewTransport:      s.NewTransport,
+		Telemetry:         s.Telemetry,
 	}
 }
+
+// Telemetry collects per-rank phase timers and span timelines for one run;
+// build one with NewTelemetry, set it on Spec.Telemetry, and export through
+// WriteTrace / WritePrometheus / Stats.Timing after (or during — the phase
+// accumulators are safe to scrape live) the run.
+type Telemetry = telemetry.Collector
+
+// Recorder is one rank's telemetry handle: phase accumulators plus a
+// fixed-capacity span ring. A nil Recorder is a no-op, which is how
+// disabled telemetry stays free on the hot path.
+type Recorder = telemetry.Recorder
+
+// NewTelemetry builds a telemetry collector whose per-rank span rings hold
+// spanCap spans each (0 picks the 4096 default; negative disables span
+// recording, keeping only the phase accumulators).
+func NewTelemetry(spanCap int) *Telemetry { return telemetry.New(spanCap) }
+
+// WriteTrace exports a collector's span timeline as Chrome trace-event JSON
+// (open in chrome://tracing or https://ui.perfetto.dev): one lane per rank,
+// one slice per recorded phase interval. A nil collector writes an empty
+// but valid trace.
+func WriteTrace(w io.Writer, c *Telemetry) error { return c.WriteTrace(w) }
 
 // PairPolicy selects how simultaneous multi-error mismatches are paired
 // into locations (PairByResidual, the robust default, or PairByIndex, the
