@@ -22,6 +22,7 @@ import (
 	"stencilabft/internal/fault"
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
+	"stencilabft/internal/resilience"
 	"stencilabft/internal/stencil"
 	"stencilabft/internal/telemetry"
 )
@@ -517,6 +518,63 @@ func BenchmarkClusterTelemetry(b *testing.B) {
 				if c.Stats().Detections != 0 {
 					b.Fatal("false positive in bench")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterBuddy runs the same 2x2 clustered workload with buddy
+// checkpointing off and at the default drill period j=16 — every rank
+// packs its restartable state straight into its bank slot and mirrors it
+// across a halo edge once per period, overlapped with the barrier wait.
+// One op is a 96-iteration segment (6 checkpoint rounds) of a long-lived
+// cluster, so the number is the steady-state marginal cost — banks warm,
+// construction excluded — matching how a resilient run actually amortises.
+// The off/j16 gap is the acceptance number for PR 7: the resilience tax
+// must stay within 10% of the unprotected cluster (BENCH_pr7.json records
+// the measured point).
+func BenchmarkClusterBuddy(b *testing.B) {
+	const n, iters, period = 512, 96, 16
+	init := grid.New[float64](n, n)
+	init.FillFunc(func(x, y int) float64 { return 100 + float64((x*31+y*17)%23) })
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	for _, mode := range []struct {
+		name   string
+		period int
+	}{
+		{"off", 0},
+		{"j16", period},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := dist.Options[float64]{
+				Detector: checksum.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+			}
+			var buddy *resilience.Buddy[float64]
+			if mode.period > 0 {
+				buddy = resilience.NewBuddy[float64](mode.period, nil)
+				opt.AfterStep = buddy.AfterStep
+			}
+			c, err := dist.NewClusterGrid(op, init, 2, 2, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if buddy != nil {
+				if err := buddy.Attach(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			c.Run(iters) // warm-up segment: banks allocated, pages faulted
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Run(iters)
+			}
+			b.StopTimer()
+			if c.Stats().Detections != 0 {
+				b.Fatal("false positive in bench")
+			}
+			if buddy != nil && buddy.Stats().Saves == 0 {
+				b.Fatal("no checkpoint round ran in bench")
 			}
 		})
 	}

@@ -144,14 +144,18 @@ func buildCluster[T Float](spec Spec[T]) (Protector[T], error) {
 		if err := d.Validate(spec.Op2D.St.RadiusX(), spec.Op2D.St.RadiusY()); err != nil {
 			return nil, err
 		}
+		local := spec.LocalRanks
+		if len(local) == 0 {
+			local = []int{spec.Rank}
+		}
 		tr, err := dist.NewTCPTransport[T](dist.TCPConfig{
 			RanksX: rx, RanksY: ry, Ring: spec.Op2D.BC == Periodic,
-			LocalRanks: []int{spec.Rank}, Rendezvous: spec.Rendezvous, Bind: spec.Bind,
+			LocalRanks: local, Rendezvous: spec.Rendezvous, Bind: spec.Bind,
 		})
 		if err != nil {
 			return nil, err
 		}
-		opt.LocalRanks = []int{spec.Rank}
+		opt.LocalRanks = local
 		opt.NewTransport = func(int, int, bool) Transport[T] { return tr }
 		c, err := dist.NewClusterGrid(spec.Op2D, spec.Init, rx, ry, opt)
 		if err != nil {

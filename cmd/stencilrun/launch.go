@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -12,10 +13,12 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	abft "stencilabft"
 	"stencilabft/internal/dist"
 	"stencilabft/internal/metrics"
+	"stencilabft/internal/resilience"
 	"stencilabft/internal/stats"
 	"stencilabft/internal/telemetry"
 )
@@ -72,51 +75,110 @@ func runLaunch(c config, p plan) error {
 	}
 	defer os.RemoveAll(tileDir)
 
+	// Fail-stop recovery: the parent hosts the coordinator the children
+	// report rank deaths to, and its Respawn callback is how a replacement
+	// process for a dead rank gets forked — routed through a channel so the
+	// wait loop below stays the single owner of the child bookkeeping.
+	var control string
+	respawns := make(chan resilience.Plan, 4)
+	if c.recover {
+		co, err := resilience.StartCoordinator(resilience.CoordinatorConfig{
+			RanksX: p.ranksX, RanksY: p.ranksY,
+			Respawn: func(plan resilience.Plan) error {
+				respawns <- plan
+				return nil
+			},
+			OnDecision: func(plan resilience.Plan) {
+				if plan.Err == "" {
+					fmt.Printf("coordinator: rank %d declared dead; cluster rolls back to generation %d as epoch %d\n",
+						plan.Dead, plan.RestartGen, plan.Epoch)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer co.Close()
+		control = co.Addr()
+		fmt.Printf("stencilrun -launch: recovery coordinator at %s (buddy period %d)\n", control, c.buddy)
+	}
+
 	fmt.Printf("stencilrun -launch: %d rank processes over a %dx%d grid, rendezvous %s\n",
 		n, p.ranksY, p.ranksX, rendezvous)
 
 	timer := metrics.StartTimer()
-	cmds := make([]*exec.Cmd, n)
-	outs := make([]bytes.Buffer, n)
+	type child struct {
+		rank, epoch int
+		cmd         *exec.Cmd
+		out         *bytes.Buffer
+	}
+	type exitMsg struct {
+		idx int
+		err error
+	}
+	var children []*child
+	exits := make(chan exitMsg, 2*n)
+	spawn := func(rank, epoch int) error {
+		ch := &child{rank: rank, epoch: epoch, out: &bytes.Buffer{}}
+		ch.cmd = exec.Command(exe, childArgs(c, p, rendezvous, control, tileDir, rank, epoch)...)
+		ch.cmd.Stdout = ch.out
+		ch.cmd.Stderr = os.Stderr
+		if err := ch.cmd.Start(); err != nil {
+			return fmt.Errorf("starting rank %d (epoch %d): %w", rank, epoch, err)
+		}
+		idx := len(children)
+		children = append(children, ch)
+		go func() { exits <- exitMsg{idx, ch.cmd.Wait()} }()
+		return nil
+	}
 	for k := 0; k < n; k++ {
-		args := []string{
-			"-nx", fmt.Sprint(c.nx), "-ny", fmt.Sprint(c.ny), "-iters", fmt.Sprint(c.iters),
-			"-kernel", c.kernel, "-bc", c.bcName, "-bcvalue", fmt.Sprint(c.bcValue),
-			"-abft", c.mode, "-epsilon", fmt.Sprint(c.epsilon), "-seed", fmt.Sprint(c.seed),
-			"-rankgrid", fmt.Sprintf("%dx%d", p.ranksY, p.ranksX),
-			"-transport", "tcp", "-rank", fmt.Sprint(k), "-rendezvous", rendezvous,
-			"-tileout", tilePath(tileDir, k),
-		}
-		if c.inject {
-			args = append(args, "-inject")
-		}
-		if c.trace != "" {
-			args = append(args, "-trace", childTracePath(tileDir, k))
-		}
-		// Profiles are per-process by nature; forward them with a rank
-		// suffix so the children don't clobber one file.
-		if c.cpuProf != "" {
-			args = append(args, "-cpuprofile", fmt.Sprintf("%s.rank%d", c.cpuProf, k))
-		}
-		if c.memProf != "" {
-			args = append(args, "-memprofile", fmt.Sprintf("%s.rank%d", c.memProf, k))
-		}
-		cmd := exec.Command(exe, args...)
-		cmd.Stdout = &outs[k]
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			return fmt.Errorf("starting rank %d: %w", k, err)
-		}
-		cmds[k] = cmd
-	}
-	var firstErr error
-	for k, cmd := range cmds {
-		if err := cmd.Wait(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("rank %d process failed: %w (its output follows)\n%s", k, err, outs[k].String())
+		if err := spawn(k, 0); err != nil {
+			return err
 		}
 	}
-	if firstErr != nil {
-		return firstErr
+
+	// The wait loop: every rank must end with one successful terminal
+	// process. Without -recover the first failure aborts the launch; with it
+	// a death is diagnosed and the loop keeps serving exits and respawns
+	// until the cluster completes (or nothing that could complete remains).
+	finished := make(map[int]*child, n)
+	running := n
+	deaths := 0
+	for len(finished) < n {
+		if running == 0 {
+			select {
+			case plan := <-respawns:
+				if err := spawn(plan.Dead, plan.Epoch); err != nil {
+					return err
+				}
+				running++
+			case <-time.After(15 * time.Second):
+				return fmt.Errorf("no rank processes left and no respawn pending (%d of %d ranks finished)", len(finished), n)
+			}
+			continue
+		}
+		select {
+		case plan := <-respawns:
+			if err := spawn(plan.Dead, plan.Epoch); err != nil {
+				return err
+			}
+			running++
+		case e := <-exits:
+			running--
+			ch := children[e.idx]
+			if e.err == nil {
+				finished[ch.rank] = ch
+				continue
+			}
+			if !c.recover {
+				return fmt.Errorf("rank %d process failed: %w (its output follows)\n%s", ch.rank, e.err, ch.out.String())
+			}
+			deaths++
+			fmt.Println(deathReport(ch.rank, ch.epoch, e.err, ch.out.Bytes()))
+			if deaths > n {
+				return fmt.Errorf("%d rank processes died — more than the cluster holds; giving up", deaths)
+			}
+		}
 	}
 	wall := timer.Seconds()
 
@@ -134,8 +196,8 @@ func runLaunch(c config, p plan) error {
 	// lockstep Iterations, so the merge normalises it back to one global
 	// sweep count, the same convention Cluster.Stats uses in-process.
 	perRank := make([]abft.Stats, n)
-	for k := range cmds {
-		st, err := childStats(outs[k].Bytes(), k)
+	for k := 0; k < n; k++ {
+		st, err := childStats(finished[k].out.Bytes(), k)
 		if err != nil {
 			return err
 		}
@@ -143,6 +205,18 @@ func runLaunch(c config, p plan) error {
 	}
 	merged := stats.MergeAll(perRank)
 	merged.Iterations = perRank[0].Iterations
+
+	// A scheduled fault drill that left no trace in the counters means the
+	// kill never landed or the survivors never recovered — either way the
+	// run did not exercise what it claims, so the gate fails it.
+	if p.dieIter > 0 && c.recover {
+		if deaths < 1 {
+			return fmt.Errorf("the -die %s drill killed no rank process (merged stats: %v)", c.die, merged)
+		}
+		if merged.Recoveries < 1 {
+			return fmt.Errorf("the -die %s drill completed without any recorded recovery (merged stats: %v)", c.die, merged)
+		}
+	}
 
 	// Reassemble the global domain from the tile files.
 	op, init, _, err := c.domain()
@@ -193,6 +267,97 @@ func runLaunch(c config, p plan) error {
 	fmt.Printf("gathered grid is bit-identical to the single-process reference (%dx%d points, %d processes)\n",
 		c.nx, c.ny, n)
 	return nil
+}
+
+// childArgs assembles a rank child's command line. epoch > 0 marks a
+// respawned claimant, which fetches its rendezvous, restart generation and
+// tile state from the coordinator (-control) instead of the original
+// bootstrap address — so it gets no -rendezvous and never a -die-at.
+func childArgs(c config, p plan, rendezvous, control, tileDir string, rank, epoch int) []string {
+	args := []string{
+		"-nx", fmt.Sprint(c.nx), "-ny", fmt.Sprint(c.ny), "-iters", fmt.Sprint(c.iters),
+		"-kernel", c.kernel, "-bc", c.bcName, "-bcvalue", fmt.Sprint(c.bcValue),
+		"-abft", c.mode, "-epsilon", fmt.Sprint(c.epsilon), "-seed", fmt.Sprint(c.seed),
+		"-rankgrid", fmt.Sprintf("%dx%d", p.ranksY, p.ranksX),
+		"-transport", "tcp", "-rank", fmt.Sprint(rank),
+		"-tileout", tilePath(tileDir, rank),
+	}
+	if epoch > 0 {
+		args = append(args, "-epoch", fmt.Sprint(epoch))
+	} else {
+		args = append(args, "-rendezvous", rendezvous)
+	}
+	if c.buddy > 0 {
+		args = append(args, "-buddy", fmt.Sprint(c.buddy))
+	}
+	if control != "" {
+		args = append(args, "-control", control)
+	}
+	if epoch == 0 && p.dieIter > 0 && rank == p.dieRank {
+		args = append(args, "-die-at", fmt.Sprint(p.dieIter))
+	}
+	if c.inject {
+		args = append(args, "-inject")
+	}
+	if c.trace != "" {
+		args = append(args, "-trace", childTracePath(tileDir, rank))
+	}
+	// Profiles are per-process by nature; forward them with a rank suffix
+	// so the children don't clobber one file.
+	if c.cpuProf != "" {
+		args = append(args, "-cpuprofile", fmt.Sprintf("%s.rank%d", c.cpuProf, rank))
+	}
+	if c.memProf != "" {
+		args = append(args, "-memprofile", fmt.Sprintf("%s.rank%d", c.memProf, rank))
+	}
+	return args
+}
+
+// childGenPrefix marks the machine-readable progress line a -buddy rank
+// process prints at every completed buddy checkpoint: "CHILDGEN rank gen".
+// It is what lets the parent say how far a dead rank had gotten.
+const childGenPrefix = "CHILDGEN "
+
+// lastChildGen scans a child's captured output for the newest buddy
+// checkpoint generation it reported for rank.
+func lastChildGen(out []byte, rank int) (gen int, ok bool) {
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, childGenPrefix) {
+			continue
+		}
+		rankField, genField, found := strings.Cut(strings.TrimPrefix(line, childGenPrefix), " ")
+		if !found {
+			continue
+		}
+		r, errR := strconv.Atoi(rankField)
+		g, errG := strconv.Atoi(strings.TrimSpace(genField))
+		if errR != nil || errG != nil || r != rank {
+			continue
+		}
+		if !ok || g > gen {
+			gen, ok = g, true
+		}
+	}
+	return gen, ok
+}
+
+// deathReport names a dead rank process, how it exited, and the last buddy
+// checkpoint generation it had reported — the launcher-side diagnostic for
+// a fail-stop event.
+func deathReport(rank, epoch int, err error, out []byte) string {
+	cause := err.Error()
+	var ee *exec.ExitError
+	if errors.As(err, &ee) && ee.ProcessState != nil {
+		cause = ee.ProcessState.String()
+	}
+	progress := "no buddy checkpoint reported"
+	if gen, ok := lastChildGen(out, rank); ok {
+		progress = fmt.Sprintf("last buddy checkpoint at generation %d", gen)
+	}
+	return fmt.Sprintf("rank %d process (epoch %d) died: %s; %s", rank, epoch, cause, progress)
 }
 
 // childTracePath is where the -launch parent tells rank k to write its

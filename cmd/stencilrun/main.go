@@ -39,11 +39,14 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	abft "stencilabft"
 	"stencilabft/internal/fault"
 	"stencilabft/internal/grid"
 	"stencilabft/internal/metrics"
+	"stencilabft/internal/resilience"
 	"stencilabft/internal/stencil"
 )
 
@@ -72,6 +75,16 @@ type config struct {
 	launch     int
 	tileOut    string
 
+	buddy    int    // buddy checkpoint period j for tcp clusters (0 = off)
+	control  string // recovery coordinator address (tcp rank processes)
+	recover  bool   // -launch parent: host a coordinator and respawn dead ranks
+	epoch    int    // incarnation a tcp rank process joins at (> 0: respawned claimant)
+	dieAt    int    // tcp rank process: kill own process after completing this iteration (fault drill)
+	die      string // -launch parent: "R@I" routes -die-at I to child rank R (fault drill)
+	ckptPath string // disk checkpoint base path (local and chan deployments)
+	ckptEach int    // disk checkpoint interval (0 = one checkpoint at the end)
+	restore  string // resume from the newest checkpoint under this base path
+
 	cpuProf, memProf string
 
 	trace       string // write a Chrome trace-event timeline to this file
@@ -86,6 +99,22 @@ type plan struct {
 	ranksX, ranksY int // 0x0 for local deployments
 	transport      abft.TransportKind
 	launch         bool // parent role: fork the cluster and merge
+	dieRank        int  // -die target rank (meaningful when dieIter > 0)
+	dieIter        int  // -die target iteration; 0 = no fault drill scheduled
+}
+
+// parseDie parses the -die value "R@I": kill rank R's process once it
+// completes iteration I.
+func parseDie(s string) (rank, iter int, err error) {
+	r, i, ok := strings.Cut(s, "@")
+	if ok {
+		rank, errR := strconv.Atoi(r)
+		iter, errI := strconv.Atoi(i)
+		if errR == nil && errI == nil {
+			return rank, iter, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("invalid -die %q (want R@I, e.g. 3@50: kill rank 3's process after iteration 50)", s)
 }
 
 // parseRankGrid parses the -rankgrid value "RxC" (R rank rows splitting the
@@ -160,8 +189,38 @@ func (c config) resolve() (plan, error) {
 	}
 	p.transport = kind
 
+	// Disk checkpointing: whole-domain saves, so a single-process concern.
+	if c.ckptEach < 0 {
+		return p, fmt.Errorf("-ckptperiod %d: the checkpoint interval must be positive", c.ckptEach)
+	}
+	if c.ckptEach > 0 && c.ckptPath == "" {
+		return p, fmt.Errorf("-ckptperiod sets how often -checkpoint saves; set -checkpoint path too")
+	}
+	if c.restore != "" && c.inject {
+		return p, fmt.Errorf("-restore resumes a finished run's trajectory; -inject schedules faults relative to a fresh run — combine them and the injection lands at a different point than it names")
+	}
+	if c.buddy < 0 {
+		return p, fmt.Errorf("-buddy %d: the checkpoint period must be positive", c.buddy)
+	}
+	if c.dieAt < 0 {
+		return p, fmt.Errorf("-die-at %d: the kill iteration must be positive", c.dieAt)
+	}
+	if c.epoch < 0 {
+		return p, fmt.Errorf("-epoch %d: the incarnation number cannot be negative", c.epoch)
+	}
+
 	if kind == abft.TransportChan {
 		switch {
+		case c.buddy > 0:
+			return p, fmt.Errorf("-buddy mirrors checkpoints between rank processes; the chan transport hosts every rank in one process (use -checkpoint for disk checkpoints)")
+		case c.control != "":
+			return p, fmt.Errorf("-control joins a tcp rank process to a recovery coordinator; the chan transport has no processes to lose")
+		case c.recover:
+			return p, fmt.Errorf("-recover respawns dead rank processes under -launch; the chan transport has none")
+		case c.epoch > 0:
+			return p, fmt.Errorf("-epoch numbers a tcp rank process's incarnation; the chan transport has no respawns")
+		case c.dieAt > 0 || c.die != "":
+			return p, fmt.Errorf("-die/-die-at kill a tcp rank process mid-run; the chan transport hosts every rank in-process")
 		case c.launch > 0:
 			return p, fmt.Errorf("-launch forks a multi-process tcp cluster; it cannot run over the in-process chan transport (drop -transport chan, or drop -launch)")
 		case c.rank >= 0:
@@ -184,9 +243,37 @@ func (c config) resolve() (plan, error) {
 		return p, fmt.Errorf("the cluster deployment protects with the online scheme only (got -abft %s)", p.scheme)
 	}
 	n := p.ranksX * p.ranksY
+	if c.ckptPath != "" || c.restore != "" {
+		return p, fmt.Errorf("-checkpoint/-restore save and load the whole domain from one process; a tcp cluster checkpoints through -buddy (and survives deaths with -recover)")
+	}
 	if c.launch > 0 {
 		if c.rank >= 0 {
 			return p, fmt.Errorf("-launch is the parent role (fork every rank); -rank is the child role (be one rank) — set one, not both")
+		}
+		if c.control != "" {
+			return p, fmt.Errorf("-control is wired onto the children by the -launch parent itself (add -recover); hand-started rank processes set it to the coordinator's address")
+		}
+		if c.epoch > 0 {
+			return p, fmt.Errorf("-epoch marks a respawned rank process; the -launch parent sets it when respawning")
+		}
+		if c.dieAt > 0 {
+			return p, fmt.Errorf("-die-at kills one rank process; under -launch name the victim with -die R@I")
+		}
+		if c.recover && c.buddy < 1 {
+			return p, fmt.Errorf("-recover rolls dead ranks back to a buddy checkpoint; set -buddy j to take them")
+		}
+		if c.die != "" {
+			r, i, err := parseDie(c.die)
+			if err != nil {
+				return p, err
+			}
+			if r < 0 || r >= n {
+				return p, fmt.Errorf("-die %s targets rank %d outside the %d-rank cluster (-rankgrid %dx%d)", c.die, r, n, p.ranksY, p.ranksX)
+			}
+			if i < 1 {
+				return p, fmt.Errorf("-die %s: the kill iteration must be >= 1", c.die)
+			}
+			p.dieRank, p.dieIter = r, i
 		}
 		if c.tileOut != "" {
 			return p, fmt.Errorf("-tileout is set by the -launch parent on its children; don't set it yourself")
@@ -203,11 +290,30 @@ func (c config) resolve() (plan, error) {
 		p.launch = true
 		return p, nil
 	}
-	if c.rank < 0 || c.rendezvous == "" {
+	if c.recover {
+		return p, fmt.Errorf("-recover is the -launch parent's job (host the coordinator, respawn the dead); a rank process just sets -control")
+	}
+	if c.die != "" {
+		return p, fmt.Errorf("-die routes a kill through the -launch parent; a rank process kills itself with -die-at I")
+	}
+	respawned := c.epoch > 0
+	if respawned && c.control == "" {
+		return p, fmt.Errorf("-epoch %d marks a respawned rank process, which fetches its state and rendezvous from the coordinator: set -control addr", c.epoch)
+	}
+	if c.control != "" && c.buddy < 1 {
+		return p, fmt.Errorf("-control recovers by rolling back to buddy checkpoints; set -buddy j to take them")
+	}
+	if c.rank < 0 || (c.rendezvous == "" && !respawned) {
 		return p, fmt.Errorf("-transport tcp runs one rank per process: set -rank K and -rendezvous host:port (or -launch %d to fork the whole cluster over loopback)", n)
 	}
 	if c.rank >= n {
 		return p, fmt.Errorf("-rank %d outside the %d-rank cluster (-rankgrid %dx%d)", c.rank, n, p.ranksY, p.ranksX)
+	}
+	if c.dieAt > 0 && c.buddy < 1 {
+		return p, fmt.Errorf("-die-at drills a death mid-run; without -buddy checkpoints nothing can recover it")
+	}
+	if c.buddy > 0 && c.metricsAddr != "" {
+		return p, fmt.Errorf("-metrics pins one cluster's counters to an address; a -buddy run rebuilds its cluster across recovery epochs (drop one of them)")
 	}
 	return p, nil
 }
@@ -327,6 +433,15 @@ func main() {
 	flag.StringVar(&c.bind, "bind", "", "address this rank's tcp data listener binds and advertises (default 127.0.0.1:0; bind a routable interface, e.g. 10.0.0.5:0, for multi-host clusters)")
 	flag.IntVar(&c.launch, "launch", 0, "fork N rank processes over loopback, merge their stats and verify the gathered grid (implies -transport tcp)")
 	flag.StringVar(&c.tileOut, "tileout", "", "write this rank's final tile to a file (set by the -launch parent)")
+	flag.IntVar(&c.buddy, "buddy", 0, "mirror each rank's state to a buddy rank every j iterations (tcp clusters; enables fail-stop recovery)")
+	flag.StringVar(&c.control, "control", "", "recovery coordinator address this tcp rank process reports faults to (requires -buddy)")
+	flag.BoolVar(&c.recover, "recover", false, "host a recovery coordinator and respawn dead rank processes (-launch parent; requires -buddy)")
+	flag.IntVar(&c.epoch, "epoch", 0, "cluster incarnation this rank process joins at; > 0 marks a respawned claimant that fetches its state from -control")
+	flag.IntVar(&c.dieAt, "die-at", 0, "kill this rank's own process after completing iteration N — a fail-stop fault drill (tcp rank processes)")
+	flag.StringVar(&c.die, "die", "", "fault drill under -launch: R@I kills rank R's process after iteration I (pair with -recover to survive it)")
+	flag.StringVar(&c.ckptPath, "checkpoint", "", "write disk checkpoints of the whole domain under this base path (single-process runs; see -ckptperiod)")
+	flag.IntVar(&c.ckptEach, "ckptperiod", 0, "iterations between -checkpoint saves (default: one checkpoint when the run finishes)")
+	flag.StringVar(&c.restore, "restore", "", "resume from the newest valid checkpoint under this base path (or an exact checkpoint file)")
 	flag.StringVar(&c.cpuProf, "cpuprofile", "", "write a CPU profile of the protected run to this file (go tool pprof; a -launch parent forwards it to each child with a .rankN suffix)")
 	flag.StringVar(&c.memProf, "memprofile", "", "write a heap profile taken after the protected run to this file (forwarded per child under -launch, .rankN suffix)")
 	flag.StringVar(&c.trace, "trace", "", "write a Chrome trace-event timeline of the run to this file (open in chrome://tracing or ui.perfetto.dev; a -launch parent merges its children's timelines)")
@@ -371,6 +486,27 @@ func runProcess(c config, p plan) error {
 		ref.Run(c.iters)
 	}
 
+	// Restoring resumes the same trajectory the checkpoint was cut from, so
+	// the reference above (the full run from the seeded domain) is still the
+	// right comparison: a bit-exact resume converges to the same state.
+	startIter := 0
+	runInit := init
+	if c.restore != "" {
+		g, _, iter, err := resilience.LoadLatest[float32](c.restore)
+		if err != nil {
+			return err
+		}
+		if g.Nx() != c.nx || g.Ny() != c.ny {
+			return fmt.Errorf("checkpoint under %s is a %dx%d domain; this run is %dx%d", c.restore, g.Nx(), g.Ny(), c.nx, c.ny)
+		}
+		if iter > c.iters {
+			return fmt.Errorf("checkpoint under %s is at iteration %d, past -iters %d", c.restore, iter, c.iters)
+		}
+		runInit = g
+		startIter = iter
+		fmt.Printf("restored iteration %d from %s\n", iter, c.restore)
+	}
+
 	// Profiling covers exactly the protected run (build through Finalize),
 	// not the reference run above or the reporting below, so profiles
 	// isolate the hot path under measurement. fail() flushes a started
@@ -398,23 +534,34 @@ func runProcess(c config, p plan) error {
 	}
 
 	timer := metrics.StartTimer()
-	spec := c.spec(p, op, init, injectPlan)
-	spec.Telemetry = tel
-	prot, err := abft.Build(spec)
-	if err != nil {
-		return err
-	}
-	if c.metricsAddr != "" {
-		ln, err := serveMetrics(c.metricsAddr, tel, prot)
+	var prot abft.Protector[float32]
+	var extra abft.Stats
+	if tcpRank && c.buddy > 0 {
+		prot, extra, err = runResilient(c, p, op, init, injectPlan, tel)
 		if err != nil {
 			return err
 		}
-		defer ln.Close()
+	} else {
+		spec := c.spec(p, op, runInit, injectPlan)
+		spec.Telemetry = tel
+		prot, err = abft.Build(spec)
+		if err != nil {
+			return err
+		}
+		if c.metricsAddr != "" {
+			ln, err := serveMetrics(c.metricsAddr, tel, prot)
+			if err != nil {
+				return err
+			}
+			defer ln.Close()
+		}
+		if err := runChunked(prot, c, startIter); err != nil {
+			return err
+		}
 	}
-	prot.Run(c.iters)
 	prot.Finalize()
 	flushCPUProfile()
-	stats := prot.Stats()
+	stats := prot.Stats().Merge(extra)
 
 	if c.trace != "" {
 		if err := writeTraceFile(c.trace, tel); err != nil {
@@ -462,6 +609,100 @@ func runProcess(c config, p plan) error {
 		}
 	}
 	return nil
+}
+
+// runChunked drives the protected run to -iters, cutting it at every
+// absolute multiple of the disk-checkpoint period when -checkpoint is set so
+// each boundary's domain state lands in the rotation files.
+func runChunked(prot abft.Protector[float32], c config, startIter int) error {
+	if c.ckptPath == "" {
+		prot.Run(c.iters - startIter)
+		return nil
+	}
+	saver := resilience.NewDiskSaver[float32](c.ckptPath)
+	period := c.ckptEach
+	if period <= 0 {
+		period = c.iters // one checkpoint when the run finishes
+	}
+	for done := startIter; done < c.iters; {
+		next := done - done%period + period
+		if next > c.iters {
+			next = c.iters
+		}
+		prot.Run(next - done)
+		done = next
+		if err := saver.Save(done, prot.Grid(), nil); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint: iteration %d saved under %s\n", done, c.ckptPath)
+	}
+	return nil
+}
+
+// runResilient is the tcp rank process's fault-tolerant path: the cluster is
+// built through a factory so fail-stop recovery can rebuild it per epoch,
+// buddy checkpoints flow every -buddy iterations, and with -control a peer
+// process's death rolls the run back instead of killing it.
+func runResilient(c config, p plan, op *abft.Op2D[float32], init *abft.Grid[float32], injectPlan *fault.Plan, tel *abft.Telemetry) (abft.Protector[float32], abft.Stats, error) {
+	var extra abft.Stats
+	factory := func(epoch int, rdv string, localRanks []int, after func(rank, iter int)) (*abft.Cluster[float32], error) {
+		hook := after
+		if c.dieAt > 0 && epoch == 0 {
+			hook = func(r, it int) {
+				after(r, it)
+				if r == c.rank && it+1 == c.dieAt {
+					killSelf()
+				}
+			}
+		}
+		spec := c.spec(p, op, init, injectPlan)
+		spec.Telemetry = tel
+		spec.Rendezvous = rdv
+		spec.LocalRanks = localRanks
+		spec.AfterStep = hook
+		prot, err := abft.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		return prot.(*abft.Cluster[float32]), nil
+	}
+	var genMu sync.Mutex
+	cfg := resilience.Config[float32]{
+		Total: c.iters, Period: c.buddy, Control: c.control,
+		LocalRanks: []int{c.rank}, Factory: factory, Telemetry: tel,
+		Rendezvous: c.rendezvous,
+		OnCheckpoint: func(rank, gen int) {
+			genMu.Lock()
+			fmt.Printf("%s%d %d\n", childGenPrefix, rank, gen)
+			genMu.Unlock()
+		},
+	}
+	if c.epoch > 0 {
+		adoption, state, err := resilience.RequestAdoption[float32](c.control, c.rank, 30*time.Second)
+		if err != nil {
+			return nil, extra, fmt.Errorf("claiming rank %d from the coordinator: %w", c.rank, err)
+		}
+		cfg.Epoch, cfg.Rendezvous, cfg.StartIter = adoption.Epoch, adoption.Rendezvous, adoption.RestartGen
+		if state != nil {
+			cfg.InitialState = map[int][]float32{c.rank: state}
+		}
+		fmt.Printf("respawned as rank %d at epoch %d, resuming from generation %d\n", c.rank, adoption.Epoch, adoption.RestartGen)
+	}
+	cl, extra, err := resilience.Run(cfg)
+	if err != nil {
+		return nil, extra, err
+	}
+	return cl, extra, nil
+}
+
+// killSelf delivers an unconditional SIGKILL to this process — the fault
+// drill behind -die-at: no deferred cleanup, no goodbye on any socket;
+// exactly how a crashed or OOM-killed rank process looks to its peers.
+func killSelf() {
+	if p, err := os.FindProcess(os.Getpid()); err == nil {
+		p.Kill()
+	}
+	select {} // unreachable: SIGKILL is not catchable
 }
 
 // stopCPUProfile is set while a CPU profile is being collected;

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -53,6 +57,36 @@ func TestResolveValidCombinations(t *testing.T) {
 			c.trace = "t.json"
 		},
 			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP, launch: true}},
+		{"tcp rank with buddy checkpointing and a coordinator", func(c *config) {
+			c.rankGrid = "2x2"
+			c.rank = 1
+			c.rendezvous = "127.0.0.1:9777"
+			c.buddy = 16
+			c.control = "127.0.0.1:9900"
+		},
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP}},
+		{"respawned claimant needs no rendezvous", func(c *config) {
+			c.rankGrid = "2x2"
+			c.transport = "tcp"
+			c.rank = 3
+			c.epoch = 2
+			c.buddy = 16
+			c.control = "127.0.0.1:9900"
+		},
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP}},
+		{"launch with recovery and a fault drill", func(c *config) {
+			c.rankGrid = "2x2"
+			c.launch = 4
+			c.recover = true
+			c.buddy = 8
+			c.die = "3@50"
+		},
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP,
+				launch: true, dieRank: 3, dieIter: 50}},
+		{"local run with periodic disk checkpoints", func(c *config) { c.ckptPath = "ck/run"; c.ckptEach = 25 },
+			plan{scheme: abft.Online, deployment: abft.Local, transport: abft.TransportChan}},
+		{"local run restored from disk", func(c *config) { c.restore = "ck/run" },
+			plan{scheme: abft.Online, deployment: abft.Local, transport: abft.TransportChan}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -116,6 +150,42 @@ func TestResolveRejectsBadCombinations(t *testing.T) {
 			func(c *config) { c.rankGrid = "2by2" }, "invalid -rankgrid"},
 		{"blocksize on offline",
 			func(c *config) { c.mode = "offline"; c.blockSize = 32 }, "-blocksize"},
+		{"ckptperiod without checkpoint",
+			func(c *config) { c.ckptEach = 25 }, "-checkpoint"},
+		{"restore with inject",
+			func(c *config) { c.restore = "ck/run"; c.inject = true }, "-inject"},
+		{"buddy on the chan transport",
+			func(c *config) { c.rankGrid = "2x2"; c.buddy = 16 }, "-buddy"},
+		{"control without buddy",
+			func(c *config) { c.rankGrid = "2x2"; c.rank = 1; c.rendezvous = "h:1"; c.control = "h:2" }, "-buddy"},
+		{"recover without launch",
+			func(c *config) { c.rankGrid = "2x2"; c.rank = 1; c.rendezvous = "h:1"; c.buddy = 8; c.recover = true }, "-launch"},
+		{"recover without buddy",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.recover = true }, "-buddy"},
+		{"control on the launch parent",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.buddy = 8; c.control = "h:2" }, "-control"},
+		{"epoch without control",
+			func(c *config) { c.rankGrid = "2x2"; c.transport = "tcp"; c.rank = 3; c.epoch = 1; c.buddy = 8 }, "-control"},
+		{"malformed die",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.recover = true; c.buddy = 8; c.die = "3-50" }, "invalid -die"},
+		{"die targeting a rank outside the grid",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.recover = true; c.buddy = 8; c.die = "4@50" }, "outside the 4-rank cluster"},
+		{"die on a rank process",
+			func(c *config) { c.rankGrid = "2x2"; c.rank = 1; c.rendezvous = "h:1"; c.buddy = 8; c.die = "3@50" }, "-die-at"},
+		{"die-at on the launch parent",
+			func(c *config) { c.rankGrid = "2x2"; c.launch = 4; c.buddy = 8; c.dieAt = 50 }, "-die R@I"},
+		{"die-at without buddy",
+			func(c *config) { c.rankGrid = "2x2"; c.rank = 1; c.rendezvous = "h:1"; c.dieAt = 50 }, "-buddy"},
+		{"disk checkpoint on a tcp rank",
+			func(c *config) { c.rankGrid = "2x2"; c.rank = 1; c.rendezvous = "h:1"; c.ckptPath = "ck/run" }, "-buddy"},
+		{"metrics with buddy recovery",
+			func(c *config) {
+				c.rankGrid = "2x2"
+				c.rank = 1
+				c.rendezvous = "h:1"
+				c.buddy = 8
+				c.metricsAddr = ":0"
+			}, "-metrics"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -149,6 +219,94 @@ func TestChildStatsMalformedLines(t *testing.T) {
 	} {
 		if _, err := childStats(out, 2); err == nil {
 			t.Errorf("%s: accepted %q", name, out)
+		}
+	}
+}
+
+// TestDiskCheckpointRoundTrip drives the CLI's disk-checkpoint path end to
+// end: checkpoint a run cut off at iteration 16, restore and finish it, and
+// require the resumed run's final checkpoint file to be byte-identical to an
+// uninterrupted run's — same iteration stamp, same IEEE-754 grid bits.
+func TestDiskCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	run := func(mut func(*config)) {
+		t.Helper()
+		c := base()
+		c.nx, c.ny, c.iters = 48, 40, 24
+		mut(&c)
+		p, err := c.resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runProcess(c, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(func(c *config) { c.ckptPath = filepath.Join(dir, "part"); c.ckptEach = 8; c.iters = 16 })
+	run(func(c *config) { c.restore = filepath.Join(dir, "part"); c.ckptPath = filepath.Join(dir, "resumed") })
+	run(func(c *config) { c.ckptPath = filepath.Join(dir, "full") })
+	resumed, err := os.ReadFile(filepath.Join(dir, "resumed.a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, "full.a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, full) {
+		t.Fatal("the restored run's final checkpoint differs from the uninterrupted run's")
+	}
+}
+
+// TestParseDie pins the R@I fault-drill syntax.
+func TestParseDie(t *testing.T) {
+	r, i, err := parseDie("3@50")
+	if err != nil || r != 3 || i != 50 {
+		t.Fatalf("parseDie(3@50) = %d, %d, %v", r, i, err)
+	}
+	for _, bad := range []string{"", "3", "@", "3@", "@50", "a@b", "3@50@7"} {
+		if _, _, err := parseDie(bad); err == nil {
+			t.Errorf("parseDie(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLastChildGen pins the CHILDGEN progress-line scanner the death
+// diagnostics rely on: newest generation for the right rank, noise and
+// malformed lines skipped.
+func TestLastChildGen(t *testing.T) {
+	out := []byte("noise\n" +
+		childGenPrefix + "3 8\n" +
+		childGenPrefix + "2 40\n" + // another rank's line
+		childGenPrefix + "3 16\n" +
+		childGenPrefix + "bogus line\n" +
+		childGenPrefix + "3 x\n")
+	gen, ok := lastChildGen(out, 3)
+	if !ok || gen != 16 {
+		t.Fatalf("lastChildGen = %d, %v (want 16, true)", gen, ok)
+	}
+	if _, ok := lastChildGen(out, 0); ok {
+		t.Fatal("rank 0 never reported a checkpoint, but one was found")
+	}
+	if _, ok := lastChildGen(nil, 3); ok {
+		t.Fatal("empty output produced a generation")
+	}
+}
+
+// TestDeathReport pins the launcher's fail-stop diagnostic: it names the
+// rank, the exit cause and the last checkpointed generation.
+func TestDeathReport(t *testing.T) {
+	out := []byte(childGenPrefix + "3 24\n")
+	got := deathReport(3, 0, fmt.Errorf("signal: killed"), out)
+	for _, want := range []string{"rank 3", "signal: killed", "generation 24"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report %q does not mention %q", got, want)
+		}
+	}
+	got = deathReport(1, 2, fmt.Errorf("exit status 1"), nil)
+	for _, want := range []string{"rank 1", "epoch 2", "exit status 1", "no buddy checkpoint"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report %q does not mention %q", got, want)
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"stencilabft/internal/checksum"
 	"stencilabft/internal/fault"
@@ -73,6 +74,14 @@ type Options[T num.Float] struct {
 	// elsewhere), so LocalRanks requires NewTransport. 2-D grid clusters
 	// only; Cluster3D rejects it.
 	LocalRanks []int
+	// AfterStep, when non-nil, runs on each materialised rank's goroutine
+	// after its sweep/verify/repair step of every iteration, before the
+	// iteration barrier — the seam the resilience layer hangs buddy
+	// checkpointing on, so snapshot traffic overlaps the barrier wait
+	// instead of serialising with the compute. It receives the global rank
+	// id and the absolute iteration just completed. It must not touch other
+	// ranks' state.
+	AfterStep func(rank, iter int)
 	// Telemetry, when non-nil, hands each materialised rank a phase-timer
 	// and span recorder (keyed by global rank id), making sweep, halo
 	// exchange, verification and barrier-wait time attributable per rank.
@@ -115,12 +124,13 @@ type Stats = stats.Stats
 // remote ones through the transport's barrier, and Gather/Stats cover the
 // hosted tiles only.
 type Cluster[T num.Float] struct {
-	decomp Decomp
-	local  []int      // materialised rank ids, sorted (all of them by default)
-	ranks  []*rank[T] // aligned with local
-	tr     Transport[T]
-	plans  []*fault.Injector[T] // per-materialised-rank routed Options.Inject (absolute iterations)
-	iter   int
+	decomp    Decomp
+	local     []int      // materialised rank ids, sorted (all of them by default)
+	ranks     []*rank[T] // aligned with local
+	tr        Transport[T]
+	plans     []*fault.Injector[T] // per-materialised-rank routed Options.Inject (absolute iterations)
+	afterStep func(rank, iter int)
+	iter      int
 }
 
 // NewCluster decomposes init into nRanks horizontal row bands — the Nx1
@@ -156,7 +166,7 @@ func NewClusterGrid[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], ranksX
 	}
 	opt = opt.withDefaults()
 
-	c := &Cluster[T]{decomp: d, local: local}
+	c := &Cluster[T]{decomp: d, local: local, afterStep: opt.AfterStep}
 	c.tr = opt.NewTransport(ranksX, ranksY, op.BC == grid.Periodic)
 	for _, i := range local {
 		r, err := newRank(op, init, i, d.TileOf(i), hx, hy, opt)
@@ -337,8 +347,22 @@ func (c *Cluster[T]) Step() { c.Run(1) }
 
 // Run advances the cluster by count lockstep iterations, applying the
 // injection plan configured in Options (injections match on the absolute
-// iteration number, Iter-based).
-func (c *Cluster[T]) Run(count int) { c.run(count, nil) }
+// iteration number, Iter-based). A transport fault is fatal, matching the
+// TCP backend's MPI_ERRORS_ARE_FATAL semantics; use RunRecover to survive
+// one.
+func (c *Cluster[T]) Run(count int) {
+	if err := c.run(count, nil); err != nil {
+		panic(err)
+	}
+}
+
+// RunRecover is the fault-tolerant Run: a transport fault (typically a
+// *Fault from a dead peer process) is returned instead of panicking, after
+// every hosted rank has unwound. On fault the cluster's iteration counter
+// is NOT advanced — the hosted tiles are mid-iteration garbage and the
+// caller (the resilience layer) is expected to restore a checkpoint with
+// RestoreState/SetIter, or rebuild the cluster, before running again.
+func (c *Cluster[T]) RunRecover(count int) error { return c.run(count, nil) }
 
 // RunPlan advances the cluster by iters lockstep iterations with an
 // explicit fault plan whose injections are indexed within this call,
@@ -347,41 +371,125 @@ func (c *Cluster[T]) Run(count int) { c.run(count, nil) }
 // per-call plan.
 //
 // Deprecated: configure Options.Inject and use Run or Step.
-func (c *Cluster[T]) RunPlan(iters int, plan *fault.Plan) { c.run(iters, c.routePlan(plan)) }
+func (c *Cluster[T]) RunPlan(iters int, plan *fault.Plan) {
+	if err := c.run(iters, c.routePlan(plan)); err != nil {
+		panic(err)
+	}
+}
 
 // run advances iters lockstep iterations. Each rank's sweep hook composes
 // the configured Options.Inject plan (looked up at the absolute iteration)
 // with the per-call plan (looked up at the in-call offset); perCall may be
-// nil.
-func (c *Cluster[T]) run(iters int, perCall []*fault.Injector[T]) {
+// nil. A rank goroutine that panics with an error (the transport fault
+// path) aborts the transport so its sibling ranks unwind from their own
+// blocked Recv/Barrier calls, and run returns the first such fault once
+// every rank has stopped. Non-error panics (programming bugs) abort the
+// siblings too, then re-panic.
+func (c *Cluster[T]) run(iters int, perCall []*fault.Injector[T]) error {
 	if iters <= 0 {
-		return
+		return nil
 	}
 	base := c.iter
 	done := make(chan struct{}, len(c.ranks))
+	var faultMu sync.Mutex
+	var firstFault error
 	for i, r := range c.ranks {
 		var pc *fault.Injector[T]
 		if perCall != nil {
 			pc = perCall[i]
 		}
 		go func(r *rank[T], cfg, pc *fault.Injector[T]) {
+			defer func() {
+				p := recover()
+				if p != nil {
+					err, ok := p.(error)
+					if ok {
+						faultMu.Lock()
+						if firstFault == nil {
+							firstFault = err
+						}
+						faultMu.Unlock()
+						p = nil
+					} else {
+						err = fmt.Errorf("dist: rank %d panic: %v", r.id, p)
+					}
+					c.abortTransport(err)
+				}
+				done <- struct{}{}
+				if p != nil {
+					panic(p)
+				}
+			}()
 			for t := 0; t < iters; t++ {
 				r.tel.SetIter(base + t)
 				r.exchangeHalos()
 				hook := chainHooks(stencil.HookAt[T](injSource(cfg), base+t), stencil.HookAt[T](injSource(pc), t))
 				r.step(hook)
+				if c.afterStep != nil {
+					c.afterStep(r.id, base+t)
+				}
 				tb := r.tel.Begin()
 				c.tr.Barrier()
 				r.tel.End(telemetry.PhaseBarrierWait, tb)
 			}
-			done <- struct{}{}
 		}(r, c.plans[i], pc)
 	}
 	for range c.ranks {
 		<-done
 	}
-	c.iter += iters
+	faultMu.Lock()
+	err := firstFault
+	faultMu.Unlock()
+	if err == nil {
+		c.iter += iters
+	}
+	return err
 }
+
+// abortTransport wakes every rank blocked in the transport with cause, when
+// the backend supports it. Both built-in backends do; a custom backend
+// without Abort leaves sibling ranks to fail on their own timeouts.
+func (c *Cluster[T]) abortTransport(cause error) {
+	if a, ok := c.tr.(Aborter); ok {
+		a.Abort(cause)
+	}
+}
+
+// Transport exposes the cluster's communication backend — how the
+// resilience layer reaches the checkpoint-carrier and abort capabilities of
+// the transport it configured.
+func (c *Cluster[T]) Transport() Transport[T] { return c.tr }
+
+// SetIter rebases the cluster's absolute iteration counter — the rollback
+// half of a checkpoint restore. Injection plans and telemetry keep working
+// across a rebase because both are keyed on absolute iterations.
+func (c *Cluster[T]) SetIter(n int) { c.iter = n }
+
+// rankByID returns the hosted rank with the given global id.
+func (c *Cluster[T]) rankByID(id int) *rank[T] {
+	for p, rid := range c.local {
+		if rid == id {
+			return c.ranks[p]
+		}
+	}
+	panic(fmt.Sprintf("dist: rank %d is not hosted by this cluster", id))
+}
+
+// StateLen returns the packed resilience-snapshot length of hosted rank id
+// (tile points plus verified checksums), in elements.
+func (c *Cluster[T]) StateLen(id int) int { return c.rankByID(id).stateLen() }
+
+// PackState serialises hosted rank id's restartable state into dst (len >=
+// StateLen(id)): tile rows in row-major order, then the verified column
+// checksums. Bit-exact; see rank.packState. Call it only between
+// iterations — from Options.AfterStep (on the rank's own goroutine) or
+// while no Run is in flight.
+func (c *Cluster[T]) PackState(id int, dst []T) { c.rankByID(id).packState(dst) }
+
+// RestoreState overwrites hosted rank id's tile and verified checksums from
+// a PackState snapshot. The rank's halo strips refresh at its next
+// exchange. Pair with SetIter to complete a rollback.
+func (c *Cluster[T]) RestoreState(id int, src []T) { c.rankByID(id).unpackState(src) }
 
 // injSource widens a possibly-nil concrete injector into the InjectSource
 // seam without producing a non-nil interface around a nil pointer.

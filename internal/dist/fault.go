@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"fmt"
+
+	"stencilabft/internal/num"
+)
+
+// Fault is the structured form of a transport failure: which hosted rank
+// observed it, on which edge, against which peer, and at which barrier
+// generation. Recv and Barrier panic with a *Fault under the TCP backend's
+// MPI_ERRORS_ARE_FATAL semantics; Cluster.RunRecover catches it and hands
+// it to the resilience layer, which needs exactly these fields to report
+// the failure to the recovery coordinator (the peer is the suspect, the
+// generation bounds the rollback).
+type Fault struct {
+	// Rank is the hosted rank whose Recv or Barrier failed.
+	Rank int
+	// Dir is the edge direction the failure surfaced on.
+	Dir Dir
+	// Peer is the geometric neighbour behind that edge — the dead-rank
+	// suspect. -1 when the edge has no neighbour or the peer is unknown.
+	Peer int
+	// Gen is the barrier generation (completed lockstep iterations within
+	// the current Run) at the time of the failure.
+	Gen int
+	// Barrier reports whether the failure surfaced in the token exchange
+	// rather than a halo receive.
+	Barrier bool
+	// Err is the underlying cause (connection error, timeout, poisoned
+	// edge).
+	Err error
+}
+
+// Error renders the fault the way the historical wrapped errors did, so
+// operators and tests keep seeing rank, direction and generation.
+func (f *Fault) Error() string {
+	what := "tcp recv"
+	if f.Barrier {
+		what = "tcp barrier"
+	}
+	return fmt.Sprintf("dist: %s for rank %d from %v at generation %d: %v", what, f.Rank, f.Dir, f.Gen, f.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (f *Fault) Unwrap() error { return f.Err }
+
+// Aborter is implemented by transports that can wake every blocked
+// receiver with a cause — how one rank's fault unblocks its siblings so a
+// tolerant run can unwind instead of hanging. Both built-in backends
+// implement it.
+type Aborter interface {
+	// Abort poisons every pending and future Recv/Barrier with cause.
+	// Idempotent; the first cause wins.
+	Abort(cause error)
+}
+
+// CkptCarrier is implemented by transports that can carry buddy-checkpoint
+// snapshots over the halo edges as a distinct frame kind, keeping them out
+// of the halo FIFO sequencing. Both built-in backends implement it.
+type CkptCarrier[T num.Float] interface {
+	// SendCkpt posts rank from's packed snapshot (stamped with the
+	// checkpoint iteration gen) toward its neighbour in direction d. Same
+	// non-blocking contract and payload lifetime as Send.
+	SendCkpt(from int, d Dir, gen int, data []T)
+	// RecvCkpt returns the next snapshot the neighbour of rank to in
+	// direction d sent, with its iteration stamp. Unlike Recv it returns
+	// transport faults instead of panicking: checkpoint exchange is the
+	// resilience layer's own traffic, and that layer wants errors.
+	RecvCkpt(to int, d Dir) (data []T, gen int, err error)
+}

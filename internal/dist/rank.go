@@ -139,6 +139,33 @@ func newRank[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], id int, t Til
 	return r, nil
 }
 
+// stateLen is the size of the rank's packed resilience snapshot: the tile
+// points plus the verified column checksums. Halo strips are excluded — a
+// restored rank refreshes them at its first exchange — and so is the row
+// checksum scratch, which the detection slow path recomputes on demand.
+func (r *rank[T]) stateLen() int { return r.nxLoc*r.nyLoc + r.nyLoc }
+
+// packState serialises the rank's restartable state into dst (len
+// stateLen()): tile rows in row-major order, then the verified checksums.
+// Pure copies of IEEE-754 values — a pack/unpack round trip is bit-exact,
+// which is what makes recovery bit-identical to the uninterrupted run.
+func (r *rank[T]) packState(dst []T) {
+	for y := 0; y < r.nyLoc; y++ {
+		copy(dst[y*r.nxLoc:(y+1)*r.nxLoc], r.buf.Read.Row(r.loY() + y)[r.loX():r.hiX()])
+	}
+	copy(dst[r.nxLoc*r.nyLoc:], r.prevExtB[r.loY():r.hiY()])
+}
+
+// unpackState is packState's inverse: it overwrites the tile and its
+// verified checksums from src, leaving the halo strips to the next
+// exchange.
+func (r *rank[T]) unpackState(src []T) {
+	for y := 0; y < r.nyLoc; y++ {
+		copy(r.buf.Read.Row(r.loY() + y)[r.loX():r.hiX()], src[y*r.nxLoc:(y+1)*r.nxLoc])
+	}
+	copy(r.prevExtB[r.loY():r.hiY()], src[r.nxLoc*r.nyLoc:])
+}
+
 // loX/hiX and loY/hiY bound the tile in the extended grid.
 func (r *rank[T]) loX() int { return r.hx }
 func (r *rank[T]) hiX() int { return r.hx + r.nxLoc }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -100,14 +101,16 @@ type tokenMsg struct {
 type edgeBox[T num.Float] struct {
 	halo chan []T
 	tok  chan tokenMsg
+	ck   chan ckptParcel[T] // buddy snapshots; at most one in flight per period
 
 	// bound guards the edge's one-connection invariant: the barrier's
 	// lockstep and the halo sequencing rely on per-edge FIFO order, which
 	// two interleaving reader streams would break.
 	bound atomic.Bool
 
-	// Halo traffic received on this edge (frames and payload bytes),
-	// counted by the connection reader as frames land in the box.
+	// Halo and checkpoint traffic received on this edge (frames and
+	// payload bytes), counted by the connection reader as frames land in
+	// the box.
 	framesRecv, bytesRecv atomic.Int64
 
 	mu   sync.Mutex
@@ -119,6 +122,7 @@ func newEdgeBox[T num.Float](tokCap int) *edgeBox[T] {
 	return &edgeBox[T]{
 		halo: make(chan []T, 4),
 		tok:  make(chan tokenMsg, tokCap),
+		ck:   make(chan ckptParcel[T], 2),
 		done: make(chan struct{}),
 	}
 }
@@ -169,6 +173,35 @@ func (b *edgeBox[T]) recvHalo(timeout time.Duration) ([]T, error) {
 		return nil, b.cause()
 	case <-expire:
 		return nil, fmt.Errorf("timed out after %v waiting for the halo strip", timeout)
+	}
+}
+
+// recvCkpt returns the next buddy snapshot, the poisoning error, or a
+// timeout.
+func (b *edgeBox[T]) recvCkpt(timeout time.Duration) (ckptParcel[T], error) {
+	select {
+	case p := <-b.ck:
+		return p, nil
+	default:
+	}
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case p := <-b.ck:
+		return p, nil
+	case <-b.done:
+		select {
+		case p := <-b.ck:
+			return p, nil
+		default:
+		}
+		return ckptParcel[T]{}, b.cause()
+	case <-expire:
+		return ckptParcel[T]{}, fmt.Errorf("timed out after %v waiting for the buddy checkpoint", timeout)
 	}
 }
 
@@ -269,6 +302,7 @@ type TCPTransport[T num.Float] struct {
 	barN     int
 	barCount int
 	barGen   int
+	barErr   error // first barrier fault or Abort cause; sticky, fails every later Barrier
 
 	dialRetries atomic.Int64 // bootstrap connect attempts beyond each first
 	poisoned    atomic.Int64 // edges killed by I/O faults (Close's deliberate poisons excluded)
@@ -723,6 +757,21 @@ func (t *TCPTransport[T]) serveConn(conn net.Conn) {
 				conn.Close()
 				return
 			}
+		case frameCkpt:
+			data, err := decodeElems[T](f.elem, f.payload)
+			if err != nil {
+				t.poisonEdge(box, fmt.Errorf("dist: checkpoint frame from rank %d: %w", from, err))
+				conn.Close()
+				return
+			}
+			box.framesRecv.Add(1)
+			box.bytesRecv.Add(int64(len(f.payload)))
+			select {
+			case box.ck <- ckptParcel[T]{gen: int(f.gen), data: data}:
+			case <-t.quit:
+				conn.Close()
+				return
+			}
 		default:
 			t.poisonEdge(box, fmt.Errorf("dist: unexpected frame kind %d from rank %d on a halo edge", f.kind, from))
 			conn.Close()
@@ -794,9 +843,9 @@ func (t *TCPTransport[T]) Recv(to int, d Dir) []T {
 	return data
 }
 
-// recv is Recv with the error surfaced: the returned error wraps the
-// underlying cause and names the receiving rank, the direction and the
-// barrier generation it happened in.
+// recv is Recv with the error surfaced: the returned error is a *Fault
+// wrapping the underlying cause and naming the receiving rank, the
+// direction, the suspect peer and the barrier generation it happened in.
 func (t *TCPTransport[T]) recv(to int, d Dir) ([]T, error) {
 	box, ok := t.boxes[edgeKey{to, d}]
 	if !ok {
@@ -804,9 +853,59 @@ func (t *TCPTransport[T]) recv(to int, d Dir) ([]T, error) {
 	}
 	data, err := box.recvHalo(t.ioWait)
 	if err != nil {
-		return nil, fmt.Errorf("dist: tcp recv for rank %d from %v at generation %d: %w", to, d, t.gen.Load(), err)
+		return nil, &Fault{Rank: to, Dir: d, Peer: t.peerOf(to, d), Gen: int(t.gen.Load()), Err: err}
 	}
 	return data, nil
+}
+
+// peerOf names the geometric neighbour behind rank to's inbound edge d, or
+// -1 when the geometry has none.
+func (t *TCPTransport[T]) peerOf(to int, d Dir) int {
+	if nb, ok := t.geo.Neighbor(to, d, t.ring); ok {
+		return nb
+	}
+	return -1
+}
+
+// SendCkpt posts rank from's packed buddy snapshot toward its neighbour in
+// direction d, stamped with the checkpoint iteration. Checkpoints ride the
+// same persistent edge connections as halos but as their own frame kind and
+// inbound queue, so overlapping a buddy save with the halo exchange never
+// perturbs the halo FIFO the lockstep relies on.
+func (t *TCPTransport[T]) SendCkpt(from int, d Dir, gen int, data []T) {
+	oe, ok := t.outs[edgeKey{from, d}]
+	if !ok {
+		panic(fmt.Sprintf("dist: SendCkpt(%d, %v) without a neighbour", from, d))
+	}
+	nb, _ := t.geo.Neighbor(from, d, t.ring)
+	es := elemSize[T]()
+	out := make([]byte, wireHeaderSize, wireHeaderSize+len(data)*int(es))
+	putHeader(out, frame{kind: frameCkpt, from: uint16(from), to: uint16(nb), dir: byte(d), elem: es, gen: uint32(gen)}, 0)
+	out = appendElems(out, data)
+	binary.LittleEndian.PutUint32(out[16:20], uint32(len(out)-wireHeaderSize))
+	select {
+	case oe.ch <- out:
+		oe.framesSent.Add(1)
+		oe.bytesSent.Add(int64(len(out) - wireHeaderSize))
+		oe.noteDepth()
+	case <-t.quit:
+	}
+}
+
+// RecvCkpt returns the next buddy snapshot the neighbour of rank to in
+// direction d sent, with its iteration stamp. Unlike Recv it returns
+// transport faults instead of panicking — checkpoint traffic belongs to the
+// resilience layer, which handles its own errors.
+func (t *TCPTransport[T]) RecvCkpt(to int, d Dir) ([]T, int, error) {
+	box, ok := t.boxes[edgeKey{to, d}]
+	if !ok {
+		panic(fmt.Sprintf("dist: RecvCkpt(%d, %v) without a neighbour", to, d))
+	}
+	p, err := box.recvCkpt(t.ioWait)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dist: ckpt recv for rank %d from %v: %w", to, d, err)
+	}
+	return p.data, p.gen, nil
 }
 
 // Barrier blocks until every rank of the grid — hosted here or in peer
@@ -815,23 +914,59 @@ func (t *TCPTransport[T]) recv(to int, d Dir) ([]T, error) {
 // them together.
 func (t *TCPTransport[T]) Barrier() {
 	t.barMu.Lock()
+	if t.barErr != nil {
+		err := t.barErr
+		t.barMu.Unlock()
+		panic(err)
+	}
 	gen := t.barGen
 	t.barCount++
 	if t.barCount == t.barN {
 		err := t.exchangeTokens(uint32(gen))
 		t.barCount = 0
-		t.barGen++
-		t.gen.Store(uint32(t.barGen))
+		if err != nil && t.barErr == nil {
+			t.barErr = err
+		}
+		fail := t.barErr
+		if fail == nil {
+			t.barGen++
+			t.gen.Store(uint32(t.barGen))
+		}
 		t.barCond.Broadcast()
 		t.barMu.Unlock()
-		if err != nil {
-			panic(err)
+		if fail != nil {
+			panic(fail)
 		}
 		return
 	}
-	for gen == t.barGen {
+	for gen == t.barGen && t.barErr == nil {
 		t.barCond.Wait()
 	}
+	released := gen != t.barGen
+	err := t.barErr
+	t.barMu.Unlock()
+	if !released && err != nil {
+		panic(err)
+	}
+}
+
+// Abort poisons every inbound edge and fails the local barrier with cause,
+// waking every hosted rank blocked in Recv, RecvCkpt or Barrier. It is how
+// one rank's transport fault unwinds its siblings in the same process so a
+// tolerant run (Cluster.RunRecover) can hand the fault to the resilience
+// layer instead of hanging on a barrier no one will complete. Idempotent;
+// the first cause wins. Boxes are poisoned before the barrier lock is taken
+// because the exchanging rank holds barMu while blocked in recvToken — the
+// poison is what wakes it.
+func (t *TCPTransport[T]) Abort(cause error) {
+	for _, box := range t.boxes {
+		box.poison(cause)
+	}
+	t.barMu.Lock()
+	if t.barErr == nil {
+		t.barErr = cause
+	}
+	t.barCond.Broadcast()
 	t.barMu.Unlock()
 }
 
@@ -868,12 +1003,13 @@ func (t *TCPTransport[T]) exchangeTokens(gen uint32) error {
 				}
 				tok, err := box.recvToken(t.ioWait)
 				if err != nil {
-					return fmt.Errorf("dist: tcp barrier for rank %d from %v at generation %d (round %d/%d): %w",
-						id, d, gen, round, t.rounds, err)
+					return &Fault{Rank: id, Dir: d, Peer: t.peerOf(id, d), Gen: int(gen), Barrier: true,
+						Err: fmt.Errorf("round %d/%d: %w", round, t.rounds, err)}
 				}
 				if tok.gen != gen || int(tok.round) != round {
-					return fmt.Errorf("dist: tcp barrier for rank %d from %v: token for generation %d round %d, want generation %d round %d (lockstep violated)",
-						id, d, tok.gen, tok.round, gen, round)
+					return &Fault{Rank: id, Dir: d, Peer: t.peerOf(id, d), Gen: int(gen), Barrier: true,
+						Err: fmt.Errorf("token for generation %d round %d, want generation %d round %d (lockstep violated)",
+							tok.gen, tok.round, gen, round)}
 				}
 			}
 		}

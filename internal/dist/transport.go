@@ -106,9 +106,23 @@ type Transport[T num.Float] interface {
 type ChanTransport[T num.Float] struct {
 	geo  Decomp // rank-grid shape only (Nx/Ny unused)
 	ring bool
-	ch   [NumDirs][]chan []T // ch[d][i] carries rank i's strip toward direction d
+	ch   [NumDirs][]chan []T           // ch[d][i] carries rank i's strip toward direction d
+	ck   [NumDirs][]chan ckptParcel[T] // ck[d][i] carries rank i's buddy snapshot toward d
 	bar  *barrier
 	em   *edgeCounters
+
+	// Abort support: quit closes once with the first cause, waking every
+	// blocked channel operation so a tolerant caller can unwind.
+	abortOnce sync.Once
+	abortErr  error
+	quit      chan struct{}
+}
+
+// ckptParcel is one buddy-checkpoint snapshot in flight: the packed rank
+// state and the iteration it was taken at.
+type ckptParcel[T num.Float] struct {
+	gen  int
+	data []T
 }
 
 // edgeCounters tallies halo frames and payload bytes per (rank, direction)
@@ -176,11 +190,14 @@ func NewChanTransport[T num.Float](ranksX, ranksY int, ring bool) *ChanTransport
 		geo:  Decomp{RanksX: ranksX, RanksY: ranksY},
 		ring: ring,
 		bar:  newBarrier(n),
+		quit: make(chan struct{}),
 	}
 	for d := range t.ch {
 		t.ch[d] = make([]chan []T, n)
+		t.ck[d] = make([]chan ckptParcel[T], n)
 		for i := 0; i < n; i++ {
 			t.ch[d][i] = make(chan []T, 1)
+			t.ck[d][i] = make(chan ckptParcel[T], 1)
 		}
 	}
 	t.em = newEdgeCounters(n)
@@ -197,22 +214,70 @@ func (t *ChanTransport[T]) Neighbor(id int, d Dir) bool {
 // direction d.
 func (t *ChanTransport[T]) Send(from int, d Dir, data []T) {
 	t.em.sent(d, from, len(data)*int(elemSize[T]()))
-	t.ch[d][from] <- data
+	select {
+	case t.ch[d][from] <- data:
+	case <-t.quit:
+	}
 }
 
 // Recv returns the strip sent toward rank to from direction d: the
-// d-neighbour's message posted toward the opposite direction.
+// d-neighbour's message posted toward the opposite direction. On an
+// aborted transport it panics with a *Fault carrying the abort cause, the
+// same fatal semantics as the TCP backend.
 func (t *ChanTransport[T]) Recv(to int, d Dir) []T {
 	nb, ok := t.geo.Neighbor(to, d, t.ring)
 	if !ok {
 		panic(fmt.Sprintf("dist: Recv(%d, %v) without a neighbour", to, d))
 	}
-	data := <-t.ch[d.Opposite()][nb]
-	t.em.recvd(d, to, len(data)*int(elemSize[T]()))
-	return data
+	select {
+	case data := <-t.ch[d.Opposite()][nb]:
+		t.em.recvd(d, to, len(data)*int(elemSize[T]()))
+		return data
+	case <-t.quit:
+		panic(&Fault{Rank: to, Dir: d, Peer: nb, Gen: t.bar.generation(), Err: t.abortErr})
+	}
 }
 
-// Barrier blocks until all ranks have arrived.
+// SendCkpt posts rank from's buddy snapshot toward direction d — the
+// CkptCarrier seam of the resilience layer's buddy checkpointing.
+func (t *ChanTransport[T]) SendCkpt(from int, d Dir, gen int, data []T) {
+	t.em.sent(d, from, len(data)*int(elemSize[T]()))
+	select {
+	case t.ck[d][from] <- ckptParcel[T]{gen: gen, data: data}:
+	case <-t.quit:
+	}
+}
+
+// RecvCkpt returns the next buddy snapshot sent toward rank to from
+// direction d, with its iteration stamp; on an aborted transport it
+// returns the cause.
+func (t *ChanTransport[T]) RecvCkpt(to int, d Dir) ([]T, int, error) {
+	nb, ok := t.geo.Neighbor(to, d, t.ring)
+	if !ok {
+		panic(fmt.Sprintf("dist: RecvCkpt(%d, %v) without a neighbour", to, d))
+	}
+	select {
+	case p := <-t.ck[d.Opposite()][nb]:
+		t.em.recvd(d, to, len(p.data)*int(elemSize[T]()))
+		return p.data, p.gen, nil
+	case <-t.quit:
+		return nil, 0, t.abortErr
+	}
+}
+
+// Abort wakes every blocked Send/Recv/Barrier with cause — how a tolerant
+// cluster run unwinds its surviving rank goroutines after one of them
+// faults. Idempotent; the first cause wins.
+func (t *ChanTransport[T]) Abort(cause error) {
+	t.abortOnce.Do(func() {
+		t.abortErr = cause
+		close(t.quit)
+	})
+	t.bar.abort(cause)
+}
+
+// Barrier blocks until all ranks have arrived, or panics with the abort
+// cause when the transport was aborted.
 func (t *ChanTransport[T]) Barrier() { t.bar.await() }
 
 // Metrics returns the per-edge halo traffic counted so far. The channel
@@ -223,13 +288,16 @@ func (t *ChanTransport[T]) Metrics() telemetry.TransportMetrics {
 
 // barrier is a reusable cyclic barrier: await blocks until all n parties
 // have arrived, then releases the generation together — the per-iteration
-// lockstep of the cluster.
+// lockstep of the cluster. An aborted barrier is permanently failed:
+// every pending and future await panics with the cause, so no party can
+// hang waiting for one that died.
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	n     int
 	count int
 	gen   int
+	fail  error
 }
 
 func newBarrier(n int) *barrier {
@@ -239,9 +307,14 @@ func newBarrier(n int) *barrier {
 }
 
 // await blocks until every party has called await for the current
-// generation.
+// generation, or panics with the abort cause.
 func (b *barrier) await() {
 	b.mu.Lock()
+	if b.fail != nil {
+		err := b.fail
+		b.mu.Unlock()
+		panic(err)
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -251,8 +324,30 @@ func (b *barrier) await() {
 		b.mu.Unlock()
 		return
 	}
-	for gen == b.gen {
+	for gen == b.gen && b.fail == nil {
 		b.cond.Wait()
 	}
+	err := b.fail
 	b.mu.Unlock()
+	if err != nil {
+		panic(err)
+	}
+}
+
+// abort fails the barrier with cause (first cause wins) and wakes every
+// waiter.
+func (b *barrier) abort(cause error) {
+	b.mu.Lock()
+	if b.fail == nil {
+		b.fail = cause
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// generation returns the number of completed barrier generations.
+func (b *barrier) generation() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gen
 }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -20,7 +21,7 @@ import (
 //	offset  size  field
 //	0       2     magic "SB" (stencil binary)
 //	2       1     wire version (wireVersion)
-//	3       1     frame kind (hello | halo | token | register | book | nack)
+//	3       1     frame kind (hello | halo | token | register | book | nack | ckpt | dead | adopt | state)
 //	4       2     from rank (uint16)
 //	6       2     to rank (uint16)
 //	8       1     direction (dist.Dir; the direction `from` sent toward)
@@ -55,7 +56,87 @@ const (
 	frameRegister                  // rendezvous: JSON {ranks, addr}
 	frameBook                      // rendezvous: JSON {addrs: rank → listen addr}
 	frameNack                      // rendezvous rejection: JSON {error}
+	frameCkpt                      // buddy checkpoint: gen = iteration, payload = packed rank state
+	frameDead                      // recovery control: JSON fault report / death notice
+	frameAdopt                     // recovery control: JSON plan / adoption request
+	frameState                     // recovery control: gen = iteration, payload = dead rank's packed state
 )
+
+// The recovery control plane (internal/resilience) speaks the same wire
+// format as the halo edges, so a coordinator endpoint rejects foreign
+// traffic with the same magic/version checks. These exports are that
+// package's surface; the halo data path keeps using the unexported kinds.
+const (
+	FrameCkpt  = frameCkpt
+	FrameDead  = frameDead
+	FrameAdopt = frameAdopt
+	FrameState = frameState
+)
+
+// WireFrame is the decoded form of one control-plane message: the kind,
+// the iteration stamp carried in the header's generation field, and the
+// raw payload (JSON for FrameDead/FrameAdopt, packed elements for
+// FrameState).
+type WireFrame struct {
+	Kind    byte
+	Gen     uint32
+	Elem    byte
+	Payload []byte
+}
+
+// ReadWireFrame reads and validates one control-plane frame from r.
+func ReadWireFrame(r io.Reader) (WireFrame, error) {
+	f, err := readFrame(r)
+	if err != nil {
+		return WireFrame{}, err
+	}
+	return WireFrame{Kind: f.kind, Gen: f.gen, Elem: f.elem, Payload: f.payload}, nil
+}
+
+// WriteWireFrame re-emits a decoded control-plane frame verbatim — how the
+// recovery coordinator relays a state frame from the guard to the adopter
+// without knowing the element type.
+func WriteWireFrame(w io.Writer, f WireFrame) error {
+	_, err := w.Write(appendFrame(nil, frame{kind: f.Kind, elem: f.Elem, gen: f.Gen, payload: f.Payload}))
+	return err
+}
+
+// WriteJSONFrame marshals v and writes it to w as a frame of the given
+// kind — the control plane's request/response unit.
+func WriteJSONFrame(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(appendFrame(nil, frame{kind: kind, payload: payload}))
+	return err
+}
+
+// WriteStateFrame writes a packed rank state stamped with its checkpoint
+// iteration — how a buddy streams a dead rank's snapshot through the
+// coordinator to its new host.
+func WriteStateFrame[T num.Float](w io.Writer, gen int, data []T) error {
+	es := elemSize[T]()
+	buf := make([]byte, wireHeaderSize, wireHeaderSize+len(data)*int(es))
+	putHeader(buf, frame{kind: frameState, elem: es, gen: uint32(gen)}, 0)
+	buf = appendElems(buf, data)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(buf)-wireHeaderSize))
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeStateFrame parses a FrameState payload back into elements and the
+// checkpoint iteration it was taken at.
+func DecodeStateFrame[T num.Float](f WireFrame) ([]T, int, error) {
+	if f.Kind != frameState {
+		return nil, 0, fmt.Errorf("dist: frame kind %d is not a state frame", f.Kind)
+	}
+	data, err := decodeElems[T](f.Elem, f.Payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, int(f.Gen), nil
+}
 
 // frame is the decoded form of one wire message.
 type frame struct {

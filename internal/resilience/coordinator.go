@@ -1,0 +1,401 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"stencilabft/internal/dist"
+)
+
+// CoordinatorConfig configures the recovery coordinator — one per cluster,
+// hosted by a process that outlives any single rank (the stencilrun
+// -launch parent, or a dedicated process for hand-started clusters).
+type CoordinatorConfig struct {
+	// RanksX, RanksY shape the rank grid the coordinator arbitrates for.
+	RanksX, RanksY int
+	// Addr is the control listen address (default "127.0.0.1:0").
+	Addr string
+	// Listener optionally supplies a pre-bound control listener.
+	Listener net.Listener
+	// RendezvousHost is the host fresh post-recovery rendezvous ports are
+	// reserved on (default "127.0.0.1"). Single-host clusters only; a
+	// multi-host deployment must make this routable from every rank host.
+	RendezvousHost string
+	// Timeout bounds each control connection's I/O and a respawned
+	// process's window to claim its plan. Default 30s.
+	Timeout time.Duration
+	// Respawn, when non-nil, is called once per recovery round to start a
+	// replacement process for the dead rank (the plan describes what the
+	// newcomer must claim via RequestAdoption). Nil selects adopt mode: the
+	// dead rank's guard process absorbs the rank instead.
+	Respawn func(Plan) error
+	// MaxRounds caps recovery rounds before the coordinator starts
+	// answering reports with an error plan (default 3) — the backstop
+	// against a crash-looping replacement.
+	MaxRounds int
+	// OnDecision, when non-nil, observes each recovery plan as it is
+	// published — the launch parent's diagnostics hook.
+	OnDecision func(Plan)
+}
+
+// Coordinator runs the rendezvous-led recovery protocol's deciding side:
+// it collects fault reports from surviving processes, declares the missing
+// rank dead by elimination once every other rank is accounted for, agrees
+// the rollback generation, places the dead rank (respawn or adoption),
+// relays the buddy snapshot where needed, and issues the fresh rendezvous
+// the rebuilt transport bootstraps through.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	n   int
+	ln  net.Listener
+
+	mu      sync.Mutex
+	epoch   int
+	reports []reportConn
+	adoptCh chan pendingAdoption
+
+	wg sync.WaitGroup
+}
+
+type reportConn struct {
+	conn net.Conn
+	rep  Report
+}
+
+type pendingAdoption struct {
+	plan  Plan
+	state dist.WireFrame // valid when plan.RestartGen > 0
+}
+
+// StartCoordinator binds the control listener and begins serving.
+func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	d := dist.Decomp{RanksX: cfg.RanksX, RanksY: cfg.RanksY}
+	if d.NumRanks() < 2 {
+		return nil, fmt.Errorf("resilience: a %s grid cannot lose a rank and keep running", d)
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.RendezvousHost == "" {
+		cfg.RendezvousHost = "127.0.0.1"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 3
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: control listener %s: %w", cfg.Addr, err)
+		}
+	}
+	c := &Coordinator{cfg: cfg, n: d.NumRanks(), ln: ln, adoptCh: make(chan pendingAdoption, 1)}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.serve()
+	}()
+	return c, nil
+}
+
+// Addr returns the control listener's address — what rank processes pass
+// as their recovery control endpoint.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close stops the coordinator. In-flight recovery rounds are abandoned.
+func (c *Coordinator) Close() error {
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Coordinator) serve() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handle(conn)
+		}()
+	}
+}
+
+func (c *Coordinator) handle(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	f, err := dist.ReadWireFrame(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch f.Kind {
+	case dist.FrameDead:
+		var rep Report
+		if json.Unmarshal(f.Payload, &rep) != nil {
+			conn.Close()
+			return
+		}
+		c.addReport(conn, rep)
+	case dist.FrameAdopt:
+		var req AdoptRequest
+		if json.Unmarshal(f.Payload, &req) != nil {
+			conn.Close()
+			return
+		}
+		c.serveAdoption(conn, req)
+	default:
+		conn.Close()
+	}
+}
+
+// addReport registers one survivor. The survivor whose report completes
+// the round (every rank but one accounted for) runs the decision on its
+// handler goroutine; everyone else's connection parks until the decision
+// writes their plan.
+func (c *Coordinator) addReport(conn net.Conn, rep Report) {
+	c.mu.Lock()
+	c.reports = append(c.reports, reportConn{conn, rep})
+	seen := map[int]bool{}
+	for _, rc := range c.reports {
+		for _, id := range rc.rep.Ranks {
+			seen[id] = true
+		}
+	}
+	if len(seen) < c.n-1 {
+		c.mu.Unlock()
+		return // keep the connection parked until the round completes
+	}
+	round := c.reports
+	c.reports = nil
+	c.epoch++
+	epoch := c.epoch
+	c.mu.Unlock()
+
+	c.decide(round, seen, epoch)
+}
+
+// decide runs one recovery round: declare the dead rank, agree the restart
+// generation, place the tile, publish the plans, relay state.
+func (c *Coordinator) decide(round []reportConn, seen map[int]bool, epoch int) {
+	defer func() {
+		for _, rc := range round {
+			rc.conn.Close()
+		}
+	}()
+	dead := -1
+	for id := 0; id < c.n; id++ {
+		if !seen[id] {
+			dead = id
+			break
+		}
+	}
+
+	base := Plan{Dead: dead, Epoch: epoch}
+	if epoch > c.cfg.MaxRounds {
+		base.Err = fmt.Sprintf("recovery round %d exceeds the %d-round cap", epoch, c.cfg.MaxRounds)
+		c.publish(round, base, -1)
+		return
+	}
+	base.RestartGen = restartGen(round, dead)
+	rdv, err := reserveAddr(c.cfg.RendezvousHost)
+	if err != nil {
+		base.Err = fmt.Sprintf("reserving a fresh rendezvous: %v", err)
+		c.publish(round, base, -1)
+		return
+	}
+	base.Rendezvous = rdv
+
+	guard := c.guardIndex(round, dead, base.RestartGen)
+	if guard < 0 {
+		base.Err = fmt.Sprintf("no survivor guards rank %d at generation %d", dead, base.RestartGen)
+		c.publish(round, base, -1)
+		return
+	}
+
+	if c.cfg.Respawn == nil {
+		// Adopt mode: the guard absorbs the dead rank; its buddy copy is
+		// already in the guard's ward bank, so no state crosses the wire.
+		c.publish(round, base, guard)
+		if c.cfg.OnDecision != nil {
+			c.cfg.OnDecision(base)
+		}
+		return
+	}
+
+	// Respawn mode: everyone gets the base plan; the guard also uploads the
+	// dead rank's snapshot, which the coordinator parks for the replacement
+	// process to claim.
+	guardPlan := base
+	guardPlan.SendState = base.RestartGen > 0
+	for i, rc := range round {
+		p := base
+		if i == guard {
+			p = guardPlan
+		}
+		dist.WriteJSONFrame(rc.conn, dist.FrameAdopt, p)
+	}
+	pending := pendingAdoption{plan: base}
+	pending.plan.Adopt = true
+	if guardPlan.SendState {
+		f, err := dist.ReadWireFrame(round[guard].conn)
+		if err != nil || f.Kind != dist.FrameState {
+			if c.cfg.OnDecision != nil {
+				base.Err = fmt.Sprintf("guard upload failed: %v", err)
+				c.cfg.OnDecision(base)
+			}
+			return
+		}
+		pending.state = f
+		// Acknowledge so the guard can close its connection and rebuild.
+		dist.WriteJSONFrame(round[guard].conn, dist.FrameAdopt, struct{}{})
+	}
+	// Park the adoption before starting the replacement, so the claim can
+	// never race an empty slot.
+	select {
+	case <-c.adoptCh: // drop a stale unclaimed round
+	default:
+	}
+	c.adoptCh <- pending
+	if err := c.cfg.Respawn(pending.plan); err != nil && c.cfg.OnDecision != nil {
+		base.Err = fmt.Sprintf("respawn failed: %v", err)
+		c.cfg.OnDecision(base)
+		return
+	}
+	if c.cfg.OnDecision != nil {
+		c.cfg.OnDecision(base)
+	}
+}
+
+// publish sends every survivor its plan; round[adopter] (when >= 0) gets
+// the adopt bit.
+func (c *Coordinator) publish(round []reportConn, base Plan, adopter int) {
+	for i, rc := range round {
+		p := base
+		p.Adopt = i == adopter
+		dist.WriteJSONFrame(rc.conn, dist.FrameAdopt, p)
+	}
+}
+
+// serveAdoption answers a replacement process's claim with the parked plan
+// and snapshot.
+func (c *Coordinator) serveAdoption(conn net.Conn, req AdoptRequest) {
+	defer conn.Close()
+	var pending pendingAdoption
+	select {
+	case pending = <-c.adoptCh:
+	case <-time.After(c.cfg.Timeout):
+		dist.WriteJSONFrame(conn, dist.FrameAdopt, Plan{Err: fmt.Sprintf("no recovery round is waiting for rank %d", req.Rank)})
+		return
+	}
+	if pending.plan.Dead != req.Rank {
+		c.adoptCh <- pending
+		dist.WriteJSONFrame(conn, dist.FrameAdopt, Plan{Err: fmt.Sprintf("pending recovery is for rank %d, not rank %d", pending.plan.Dead, req.Rank)})
+		return
+	}
+	if err := dist.WriteJSONFrame(conn, dist.FrameAdopt, pending.plan); err != nil {
+		return
+	}
+	if pending.plan.RestartGen > 0 {
+		dist.WriteWireFrame(conn, pending.state)
+	}
+}
+
+// restartGen picks the newest generation that every surviving rank has
+// banked for itself and some survivor guards for the dead rank.
+// Generation 0 — rebuild from the deterministic initial state — is always
+// feasible, so recovery never gets stuck; it just recomputes more.
+func restartGen(round []reportConn, dead int) int {
+	selfGens := map[int]map[int]bool{} // rank -> set of banked gens
+	deadGens := map[int]bool{}
+	survivors := []int{}
+	for _, rc := range round {
+		for id, gens := range rc.rep.SelfGens {
+			if selfGens[id] == nil {
+				selfGens[id] = map[int]bool{}
+			}
+			for _, g := range gens {
+				selfGens[id][g] = true
+			}
+		}
+		for _, g := range rc.rep.WardGens[dead] {
+			deadGens[g] = true
+		}
+		survivors = append(survivors, rc.rep.Ranks...)
+	}
+	candidates := map[int]bool{}
+	for g := range deadGens {
+		candidates[g] = true
+	}
+	sorted := make([]int, 0, len(candidates))
+	for g := range candidates {
+		sorted = append(sorted, g)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	for _, g := range sorted {
+		ok := true
+		for _, id := range survivors {
+			if !selfGens[id][g] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+	return 0
+}
+
+// guardIndex finds the report that can source the dead rank's state: for a
+// non-zero restart generation, the process whose ward bank holds it; for
+// generation 0, the process hosting the dead rank's buddy (adoption
+// placement still wants the geometric guard).
+func (c *Coordinator) guardIndex(round []reportConn, dead, gen int) int {
+	if gen > 0 {
+		for i, rc := range round {
+			for _, g := range rc.rep.WardGens[dead] {
+				if g == gen {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	d := dist.Decomp{RanksX: c.cfg.RanksX, RanksY: c.cfg.RanksY}
+	buddy, _, err := BuddyOf(d, dead)
+	if err != nil {
+		return -1
+	}
+	for i, rc := range round {
+		for _, id := range rc.rep.Ranks {
+			if id == buddy {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// reserveAddr reserves a free port on host by binding and immediately
+// releasing it — the same reserve-and-free pattern the launch bootstrap
+// uses. The tiny race window (another process grabbing the port before
+// the transport rebinds it) fails the rebuild loudly, not silently.
+func reserveAddr(host string) (string, error) {
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}

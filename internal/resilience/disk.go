@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"stencilabft/internal/checkpoint"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/num"
+)
+
+// Disk-backed whole-cluster restart: the buddy scheme survives one rank;
+// losing the whole job (power cut, scheduler preemption, deliberate stop)
+// needs durable state. DiskSaver alternates between two files derived from
+// one base path so a crash — or bit rot caught by the checkpoint file's
+// CRC — mid-way through one save still leaves the previous snapshot
+// restorable; checkpoint.WriteFile's tmp-and-rename already makes each
+// individual save atomic.
+
+// DiskSaver writes alternating whole-domain checkpoints under a base path.
+type DiskSaver[T num.Float] struct {
+	base string
+	n    int
+}
+
+// NewDiskSaver checkpoints to base+".a" and base+".b" alternately.
+func NewDiskSaver[T num.Float](base string) *DiskSaver[T] {
+	return &DiskSaver[T]{base: base}
+}
+
+// Paths returns the two alternating file paths for a base path.
+func Paths(base string) [2]string { return [2]string{base + ".a", base + ".b"} }
+
+// Save writes the domain and its checksum vector at iteration iter to the
+// next file in the rotation.
+func (s *DiskSaver[T]) Save(iter int, g *grid.Grid[T], b []T) error {
+	p := Paths(s.base)[s.n%2]
+	s.n++
+	return checkpoint.WriteFile(p, iter, g, b)
+}
+
+// LoadLatest reads the newest valid checkpoint under base — trying both
+// rotation files, tolerating one being missing or corrupt — and returns
+// the domain, checksum vector and iteration. A base naming a plain
+// existing file (no rotation suffix) is read directly, so restores work
+// from explicitly named snapshots too.
+func LoadLatest[T num.Float](base string) (*grid.Grid[T], []T, int, error) {
+	if _, err := os.Stat(base); err == nil {
+		return checkpoint.ReadFile[T](base)
+	}
+	var (
+		bestG    *grid.Grid[T]
+		bestB    []T
+		bestIter = -1
+		lastErr  error
+	)
+	for _, p := range Paths(base) {
+		g, b, iter, err := checkpoint.ReadFile[T](p)
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				lastErr = err
+			}
+			continue
+		}
+		if iter > bestIter {
+			bestG, bestB, bestIter = g, b, iter
+		}
+	}
+	if bestIter < 0 {
+		if lastErr != nil {
+			return nil, nil, 0, fmt.Errorf("resilience: no valid checkpoint under %s: %w", base, lastErr)
+		}
+		return nil, nil, 0, fmt.Errorf("resilience: no checkpoint found under %s (tried %s and %s)", base, Paths(base)[0], Paths(base)[1])
+	}
+	return bestG, bestB, bestIter, nil
+}

@@ -1,0 +1,98 @@
+// Package resilience adds fail-stop fault tolerance to the distributed ABFT
+// clusters: buddy checkpointing over the existing halo edges, a
+// rendezvous-led recovery protocol that absorbs a dead rank into a
+// surviving or respawned process, and disk-backed whole-cluster restart.
+// The online ABFT scheme of the paper protects a live rank's data against
+// silent corruption; this package protects the cluster against losing a
+// rank entirely — the two compose, since both roll forward from verified
+// state.
+//
+// The failure model is single fail-stop per recovery round: one rank
+// process dies (SIGKILL, OOM, node loss), its peers observe broken
+// connections, and every survivor plus the recovery coordinator agree on a
+// rollback generation that buddy copies can reconstruct. Simultaneous
+// multi-rank loss is out of scope (the buddy of a dead rank must survive),
+// matching the classic buddy-checkpointing guarantee.
+package resilience
+
+import (
+	"fmt"
+
+	"stencilabft/internal/dist"
+)
+
+// Buddy pairing runs along the x axis of the rank grid when it has more
+// than one column, else along y. Even indices pair with the next index,
+// odd with the previous; the last index of an odd-length axis leans on its
+// lower neighbour. The pairing is adjacency-preserving by construction —
+// a rank's buddy is always a grid neighbour, so checkpoint frames ride the
+// halo edge that already exists (the issue's "no new connections" design).
+//
+// On an odd-length axis the pairing is asymmetric at the tail: with three
+// columns, rank 2's buddy is rank 1, while rank 1's buddy is rank 0 — rank
+// 1 then guards two wards (0 and 2). WardsOf enumerates exactly this.
+
+// buddyAxis reports whether pairing runs along x and the axis length.
+func buddyAxis(d dist.Decomp) (alongX bool, n int) {
+	if d.RanksX > 1 {
+		return true, d.RanksX
+	}
+	return false, d.RanksY
+}
+
+// BuddyOf returns the rank holding id's checkpoint copies and the halo
+// direction from id toward it. It errors on a single-rank grid, which has
+// nowhere to mirror state to.
+func BuddyOf(d dist.Decomp, id int) (buddy int, dir dist.Dir, err error) {
+	if d.NumRanks() < 2 {
+		return 0, 0, fmt.Errorf("resilience: a %s grid has no buddy for rank %d (need at least 2 ranks)", d, id)
+	}
+	cx, cy := d.Coords(id)
+	alongX, n := buddyAxis(d)
+	idx := cy
+	if alongX {
+		idx = cx
+	}
+	step := 1
+	if idx%2 == 1 || idx+1 >= n {
+		step = -1
+	}
+	if alongX {
+		buddy = d.RankAt(cx+step, cy)
+		dir = dist.Right
+		if step < 0 {
+			dir = dist.Left
+		}
+	} else {
+		buddy = d.RankAt(cx, cy+step)
+		dir = dist.Down
+		if step < 0 {
+			dir = dist.Up
+		}
+	}
+	return buddy, dir, nil
+}
+
+// WardsOf lists the ranks whose buddy is id — the wards id guards copies
+// for — along with the halo direction each ward's checkpoint frames arrive
+// from (the direction of the ward as seen from id).
+func WardsOf(d dist.Decomp, id int) []Ward {
+	var out []Ward
+	for _, dir := range []dist.Dir{dist.Up, dist.Down, dist.Left, dist.Right} {
+		nb, ok := d.Neighbor(id, dir, false)
+		if !ok {
+			continue
+		}
+		if b, _, err := BuddyOf(d, nb); err == nil && b == id {
+			out = append(out, Ward{Rank: nb, Dir: dir})
+		}
+	}
+	return out
+}
+
+// Ward names one rank whose checkpoints this rank guards and the inbound
+// halo direction its snapshots arrive from.
+type Ward struct {
+	Rank int
+	Dir  dist.Dir
+}

@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"stencilabft/internal/dist"
+	"stencilabft/internal/num"
+	"stencilabft/internal/stats"
+	"stencilabft/internal/telemetry"
+)
+
+// Factory builds one incarnation of this process's cluster: the epoch
+// numbers the incarnation (0 before any failure), rendezvous is the
+// transport bootstrap address for that epoch, localRanks the ranks to
+// host (it grows when this process adopts a dead rank), and afterStep must
+// be installed as dist.Options.AfterStep — it is the runner's buddy
+// checkpointing hook.
+type Factory[T num.Float] func(epoch int, rendezvous string, localRanks []int, afterStep func(rank, iter int)) (*dist.Cluster[T], error)
+
+// Config configures a fault-tolerant run of one process's ranks.
+type Config[T num.Float] struct {
+	// Total is the absolute iteration count the run must reach.
+	Total int
+	// Period is the buddy checkpoint interval j (iterations); < 1 disables
+	// buddy checkpointing, leaving faults fatal.
+	Period int
+	// Control is the recovery coordinator's address; empty leaves faults
+	// fatal (the first transport fault is returned as an error).
+	Control string
+	// Timeout bounds each control-plane exchange (default 30s).
+	Timeout time.Duration
+	// LocalRanks are the ranks this process hosts initially.
+	LocalRanks []int
+	// Factory builds each cluster incarnation.
+	Factory Factory[T]
+	// Epoch and Rendezvous identify the first incarnation (nonzero for a
+	// respawned process joining mid-recovery, from its adoption plan).
+	Epoch      int
+	Rendezvous string
+	// StartIter is the absolute iteration the first incarnation starts at;
+	// InitialState carries pre-restored rank states to install (a respawned
+	// process's adopted snapshot, or a disk checkpoint). Ranks without an
+	// entry start from the built cluster's deterministic initial state,
+	// which is only sound when StartIter is 0.
+	StartIter    int
+	InitialState map[int][]T
+	// Telemetry attributes ckpt-save/ckpt-send/recover-wait/restore phase
+	// time per rank; nil disables instrumentation.
+	Telemetry *telemetry.Collector
+	// OnCheckpoint, when non-nil, observes every completed buddy checkpoint
+	// (rank, generation) — the launcher's liveness/progress feed. Called
+	// from rank goroutines; it must be safe for concurrent use.
+	OnCheckpoint func(rank, gen int)
+	// MaxRecoveries caps how many faults this process survives (default 3).
+	MaxRecoveries int
+}
+
+// Run drives this process's ranks to Config.Total iterations, surviving
+// rank-process deaths along the way: on a transport fault it reports to
+// the coordinator, rolls back to the agreed checkpoint generation, rebuilds
+// the cluster for the new epoch (adopting the dead rank when told to), and
+// resumes. It returns the final cluster — its tiles hold the converged
+// state for gathering — plus the resilience counters (recoveries,
+// rollbacks, recomputed iterations, checkpoint costs) for the caller to
+// merge into the run's stats.
+func Run[T num.Float](cfg Config[T]) (*dist.Cluster[T], stats.Stats, error) {
+	var extra stats.Stats
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxRecoveries <= 0 {
+		cfg.MaxRecoveries = 3
+	}
+	if len(cfg.LocalRanks) == 0 {
+		return nil, extra, fmt.Errorf("resilience: Config.LocalRanks is empty")
+	}
+	buddy := NewBuddy[T](cfg.Period, cfg.Telemetry)
+	localRanks := append([]int(nil), cfg.LocalRanks...)
+	epoch, rdv := cfg.Epoch, cfg.Rendezvous
+	startIter := cfg.StartIter
+	pending := cfg.InitialState
+	recoveries := 0
+
+	for {
+		hook := func(rank, iter int) {
+			buddy.AfterStep(rank, iter)
+			if cfg.OnCheckpoint != nil && cfg.Period > 0 && (iter+1)%cfg.Period == 0 {
+				cfg.OnCheckpoint(rank, iter+1)
+			}
+		}
+		cl, err := cfg.Factory(epoch, rdv, localRanks, hook)
+		if err != nil {
+			return nil, extra, fmt.Errorf("resilience: building epoch %d: %w", epoch, err)
+		}
+		if err := buddy.Attach(cl); err != nil {
+			cl.Close()
+			return nil, extra, err
+		}
+		rec := cfg.Telemetry.Recorder(localRanks[0])
+
+		if startIter > 0 {
+			t0 := rec.Begin()
+			for _, id := range localRanks {
+				st := pending[id]
+				if st == nil {
+					st = buddy.SelfState(id, startIter)
+				}
+				if st == nil {
+					cl.Close()
+					return nil, extra, fmt.Errorf("resilience: rank %d has no state banked at generation %d", id, startIter)
+				}
+				cl.RestoreState(id, st)
+				buddy.Seed(id, startIter, st)
+			}
+			cl.SetIter(startIter)
+			rec.End(telemetry.PhaseRestore, t0)
+		}
+		pending = nil
+
+		runErr := cl.RunRecover(cfg.Total - startIter)
+		if runErr == nil {
+			extra.Checkpoint = buddy.Stats()
+			return cl, extra, nil
+		}
+		cl.Close()
+		recoveries++
+		if cfg.Control == "" || cfg.Period < 1 || recoveries > cfg.MaxRecoveries {
+			return nil, extra, runErr
+		}
+
+		rep := Report{Ranks: localRanks, Suspect: -1, SelfGens: buddy.SelfGens(), WardGens: buddy.WardGens()}
+		var f *dist.Fault
+		if errors.As(runErr, &f) {
+			rep.Suspect = f.Peer
+			rep.Gen = startIter + f.Gen
+		}
+		t0 := rec.Begin()
+		plan, err := ReportFault(cfg.Control, rep, buddy.WardState, cfg.Timeout)
+		rec.End(telemetry.PhaseRecoverWait, t0)
+		if err != nil {
+			return nil, extra, fmt.Errorf("%v (recovering from: %v)", err, runErr)
+		}
+
+		extra.Recoveries++
+		extra.Rollbacks++
+		if lost := rep.Gen - plan.RestartGen; lost > 0 {
+			extra.RecomputedIters += lost
+		}
+		buddy.Rollback(plan.RestartGen)
+		if plan.Adopt {
+			if plan.RestartGen > 0 {
+				st := buddy.AdoptWard(plan.Dead, plan.RestartGen)
+				if st == nil {
+					return nil, extra, fmt.Errorf("resilience: told to adopt rank %d at generation %d without its buddy copy", plan.Dead, plan.RestartGen)
+				}
+				pending = map[int][]T{plan.Dead: append([]T(nil), st...)}
+			}
+			localRanks = append(localRanks, plan.Dead)
+			sort.Ints(localRanks)
+		}
+		epoch, rdv = plan.Epoch, plan.Rendezvous
+		startIter = plan.RestartGen
+	}
+}

@@ -24,8 +24,9 @@ type Stats struct {
 	Detections      int // verification events that flagged at least one mismatch
 	CorrectedPoints int // domain points repaired in place (online schemes)
 	ChecksumRepairs int // detections attributed to checksum (not domain) corruption
-	Rollbacks       int // checkpoint restores (offline scheme)
-	RecomputedIters int // sweeps re-executed after rollback (offline scheme)
+	Rollbacks       int // checkpoint restores (offline scheme, fail-stop recovery)
+	RecomputedIters int // sweeps re-executed after rollback (offline scheme, fail-stop recovery)
+	Recoveries      int // completed fail-stop recovery cycles (dead rank absorbed, lockstep resumed)
 	ConeRecoveries  int // detections repaired by light-cone recomputation
 	ConePointsSwept int // point updates spent inside cone recomputation
 	FlaggedBlocks   int // block-level verification failures (blocked scheme)
@@ -66,6 +67,13 @@ type Timing struct {
 	RepairNs   int64 // fault localisation and correction
 	BarrierNs  int64 // waiting at the iteration barrier
 
+	// Fail-stop resilience phases; all zero unless buddy checkpointing or
+	// a recovery ran.
+	CkptSaveNs    int64 // packing buddy-checkpoint snapshots
+	CkptSendNs    int64 // posting snapshots to the buddy rank
+	RecoverWaitNs int64 // stalled between fault detection and the recovery plan
+	RestoreNs     int64 // rebuilding transport and restoring checkpointed state
+
 	// RanksTimed counts the ranks that contributed a breakdown; 0 means
 	// telemetry was off and the struct is meaningless.
 	RanksTimed int
@@ -96,6 +104,10 @@ func (t Timing) Merge(o Timing) Timing {
 	t.VerifyNs += o.VerifyNs
 	t.RepairNs += o.RepairNs
 	t.BarrierNs += o.BarrierNs
+	t.CkptSaveNs += o.CkptSaveNs
+	t.CkptSendNs += o.CkptSendNs
+	t.RecoverWaitNs += o.RecoverWaitNs
+	t.RestoreNs += o.RestoreNs
 	t.RanksTimed += o.RanksTimed
 	if o.MaxBarrierNs > t.MaxBarrierNs {
 		t.MaxBarrierNs, t.MaxBarrierOn = o.MaxBarrierNs, o.MaxBarrierOn
@@ -156,6 +168,7 @@ func (s Stats) Merge(o Stats) Stats {
 	s.ChecksumRepairs += o.ChecksumRepairs
 	s.Rollbacks += o.Rollbacks
 	s.RecomputedIters += o.RecomputedIters
+	s.Recoveries += o.Recoveries
 	s.ConeRecoveries += o.ConeRecoveries
 	s.ConePointsSwept += o.ConePointsSwept
 	s.FlaggedBlocks += o.FlaggedBlocks
@@ -236,6 +249,9 @@ func (s Stats) String() string {
 	if s.FlaggedBlocks > 0 {
 		out += fmt.Sprintf(" flagged-blocks=%d", s.FlaggedBlocks)
 	}
+	if s.Recoveries > 0 {
+		out += fmt.Sprintf(" recoveries=%d", s.Recoveries)
+	}
 	if s.Topology != "" {
 		out += fmt.Sprintf(" topology=%q", s.Topology)
 	}
@@ -265,6 +281,10 @@ func (t Timing) String() string {
 	out := fmt.Sprintf("timing[ms] sweep=%.2f verify=%.2f repair=%.2f pack=%.2f send=%.2f recv-wait=%.2f unpack=%.2f barrier-wait=%.2f (ranks=%d)",
 		ms(t.SweepNs), ms(t.VerifyNs), ms(t.RepairNs), ms(t.PackNs), ms(t.SendNs),
 		ms(t.RecvWaitNs), ms(t.UnpackNs), ms(t.BarrierNs), t.RanksTimed)
+	if t.CkptSaveNs|t.CkptSendNs|t.RecoverWaitNs|t.RestoreNs != 0 {
+		out += fmt.Sprintf("\nresilience[ms] ckpt-save=%.2f ckpt-send=%.2f recover-wait=%.2f restore=%.2f",
+			ms(t.CkptSaveNs), ms(t.CkptSendNs), ms(t.RecoverWaitNs), ms(t.RestoreNs))
+	}
 	if rank, ratio, ok := t.Straggler(); ok {
 		out += fmt.Sprintf("\nimbalance: straggler=rank %d max/mean barrier-wait=%.2f (max rank %d waited %.2fms, straggler waited %.2fms)",
 			rank, ratio, t.MaxBarrierOn, ms(t.MaxBarrierNs), ms(t.MinBarrierNs))

@@ -64,13 +64,29 @@ const (
 	// waits long is early; the rank everyone else waits for — the
 	// straggler — shows the minimum barrier-wait time.
 	PhaseBarrierWait
+	// PhaseCkptSave is packing a rank's tile and verified checksums into a
+	// buddy-checkpoint snapshot (the fail-stop resilience layer's periodic
+	// memory copy).
+	PhaseCkptSave
+	// PhaseCkptSend is posting the snapshot to the buddy rank's edge. Like
+	// PhaseSend this is serialisation only on the TCP backend; the socket
+	// write overlaps the following iterations.
+	PhaseCkptSend
+	// PhaseRecoverWait is the fail-stop recovery stall: from detecting a
+	// dead neighbour until the coordinator's recovery plan arrives.
+	PhaseRecoverWait
+	// PhaseRestore is executing the recovery plan: rebuilding the
+	// transport, restoring checkpointed state and rolling the iteration
+	// counter back.
+	PhaseRestore
 
 	// NumPhases sizes per-phase tables.
-	NumPhases = 8
+	NumPhases = 12
 )
 
 var phaseNames = [NumPhases]string{
 	"pack", "send", "recv-wait", "unpack", "sweep", "verify", "repair", "barrier-wait",
+	"ckpt-save", "ckpt-send", "recover-wait", "restore",
 }
 
 // String returns the phase's display name (also the span name in traces and
@@ -233,6 +249,10 @@ func (r *Recorder) Timing() stats.Timing {
 		VerifyNs:      r.ns[PhaseVerify].Load(),
 		RepairNs:      r.ns[PhaseRepair].Load(),
 		BarrierNs:     bar,
+		CkptSaveNs:    r.ns[PhaseCkptSave].Load(),
+		CkptSendNs:    r.ns[PhaseCkptSend].Load(),
+		RecoverWaitNs: r.ns[PhaseRecoverWait].Load(),
+		RestoreNs:     r.ns[PhaseRestore].Load(),
 		RanksTimed:    1,
 		MaxBarrierNs:  bar,
 		MaxBarrierOn:  r.rank,

@@ -30,7 +30,12 @@ func TestNilRecorderIsFree(t *testing.T) {
 
 	allocs := testing.AllocsPerRun(1000, func() {
 		t0 := r.Begin()
-		r.End(PhaseSweep, t0)
+		// Every phase of the taxonomy — including the resilience phases
+		// (ckpt-save, ckpt-send, recover-wait, restore) — must stay a free
+		// no-op on the disabled instrument.
+		for p := Phase(0); p < NumPhases; p++ {
+			r.End(p, t0)
+		}
 		r.SetIter(3)
 	})
 	if allocs != 0 {
@@ -39,15 +44,63 @@ func TestNilRecorderIsFree(t *testing.T) {
 }
 
 // TestEnabledRecorderZeroAlloc pins the enabled hot path: Begin/End write
-// into preallocated storage only.
+// into preallocated storage only, for every phase of the taxonomy.
 func TestEnabledRecorderZeroAlloc(t *testing.T) {
 	r := New(64).Recorder(0)
 	allocs := testing.AllocsPerRun(1000, func() {
-		t0 := r.Begin()
-		r.End(PhaseVerify, t0)
+		for p := Phase(0); p < NumPhases; p++ {
+			t0 := r.Begin()
+			r.End(p, t0)
+		}
 	})
 	if allocs != 0 {
 		t.Fatalf("enabled recorder allocates %v per Begin/End", allocs)
+	}
+}
+
+// TestPhaseNamesCoverTaxonomy pins that every phase — the resilience
+// additions included — has a distinct display name (span names in traces
+// and phase labels on the Prometheus page depend on it).
+func TestPhaseNamesCoverTaxonomy(t *testing.T) {
+	seen := make(map[string]Phase, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		name := p.String()
+		if name == "" || name == "phase(?)" {
+			t.Fatalf("phase %d has no display name", p)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("phases %d and %d share the name %q", prev, p, name)
+		}
+		seen[name] = p
+	}
+	for _, want := range []string{"ckpt-save", "ckpt-send", "recover-wait", "restore"} {
+		if _, ok := seen[want]; !ok {
+			t.Fatalf("resilience phase %q missing from the taxonomy", want)
+		}
+	}
+}
+
+// TestRecorderTimingResiliencePhases pins the fold of the resilience
+// phases onto their stats.Timing fields.
+func TestRecorderTimingResiliencePhases(t *testing.T) {
+	r := New(0).Recorder(0)
+	base := time.Now().Add(-time.Millisecond)
+	r.End(PhaseCkptSave, base)
+	r.End(PhaseCkptSend, base)
+	r.End(PhaseRecoverWait, base)
+	r.End(PhaseRestore, base)
+
+	tm := r.Timing()
+	if tm.CkptSaveNs != r.PhaseNs(PhaseCkptSave) || tm.CkptSendNs != r.PhaseNs(PhaseCkptSend) ||
+		tm.RecoverWaitNs != r.PhaseNs(PhaseRecoverWait) || tm.RestoreNs != r.PhaseNs(PhaseRestore) {
+		t.Fatalf("resilience Timing fields do not mirror accumulators: %+v", tm)
+	}
+	if tm.CkptSaveNs < int64(time.Millisecond) {
+		t.Fatalf("ckpt-save ns = %d, want >= 1ms", tm.CkptSaveNs)
+	}
+	sum := tm.Merge(tm)
+	if sum.RestoreNs != 2*tm.RestoreNs || sum.CkptSendNs != 2*tm.CkptSendNs {
+		t.Fatalf("Timing.Merge does not sum resilience phases: %+v", sum)
 	}
 }
 

@@ -203,6 +203,10 @@ type Spec[T Float] struct {
 	// same Spec with their own Rank. Grid, Gather and Stats then cover
 	// this rank's tile only.
 	Rank int
+	// LocalRanks widens a TransportTCP process's hosting beyond the single
+	// Rank — the seam fail-stop recovery uses when a survivor adopts a dead
+	// rank's tile. When set it must contain Rank; empty means {Rank}.
+	LocalRanks []int
 	// Rendezvous is the host:port the TCP cluster's processes meet at to
 	// exchange data-listener addresses. The process with Rank 0 binds and
 	// serves it; the others dial it with retry.
@@ -227,6 +231,12 @@ type Spec[T Float] struct {
 	// evaluation (Section 5.3's overflow-scale caveat); the default is
 	// the numerically stable equivalent.
 	PaperExactCorrection bool
+
+	// AfterStep, when non-nil, runs on each rank's goroutine after its
+	// sweep completes and before the iteration barrier — the seam buddy
+	// checkpointing (internal/resilience) hangs off, so checkpoint traffic
+	// overlaps the barrier wait. Clustered deployments only.
+	AfterStep func(rank, iter int)
 
 	// Telemetry, when non-nil, records per-rank phase timings and span
 	// timelines (see NewTelemetry). A Clustered deployment registers one
@@ -332,7 +342,22 @@ func (s Spec[T]) validate() error {
 			if s.Rank < 0 || s.Rank >= rx*ry {
 				return fmt.Errorf("stencilabft: Rank %d outside the %d-rank tcp cluster (grid %dx%d)", s.Rank, rx*ry, ry, rx)
 			}
+			if len(s.LocalRanks) > 0 {
+				hasRank := false
+				for _, id := range s.LocalRanks {
+					if id < 0 || id >= rx*ry {
+						return fmt.Errorf("stencilabft: LocalRanks entry %d outside the %d-rank tcp cluster (grid %dx%d)", id, rx*ry, ry, rx)
+					}
+					hasRank = hasRank || id == s.Rank
+				}
+				if !hasRank {
+					return fmt.Errorf("stencilabft: LocalRanks %v does not contain Rank %d", s.LocalRanks, s.Rank)
+				}
+			}
 		} else {
+			if len(s.LocalRanks) > 0 {
+				return fmt.Errorf("stencilabft: LocalRanks widens the tcp transport's hosting only (set Transport: TransportTCP)")
+			}
 			if s.Rendezvous != "" {
 				return fmt.Errorf("stencilabft: Rendezvous applies to the tcp transport only (set Transport: TransportTCP)")
 			}
@@ -356,6 +381,12 @@ func (s Spec[T]) validate() error {
 			return fmt.Errorf("stencilabft: PaperExactCorrection is not supported by the cluster deployment (ranks always use the stable correction)")
 		}
 	} else {
+		if s.AfterStep != nil {
+			return fmt.Errorf("stencilabft: AfterStep hooks the cluster deployment's rank loop only")
+		}
+		if len(s.LocalRanks) > 0 {
+			return fmt.Errorf("stencilabft: LocalRanks apply to the cluster deployment's tcp transport only")
+		}
 		if s.Ranks != 0 || s.RanksX != 0 || s.RanksY != 0 {
 			return fmt.Errorf("stencilabft: Ranks/RanksX/RanksY apply to the cluster deployment only (deployment %q with %d/%d/%d)",
 				s.Deployment, s.Ranks, s.RanksX, s.RanksY)
@@ -455,6 +486,7 @@ func (s Spec[T]) distOptions() dist.Options[T] {
 		DropBoundaryTerms: s.DropBoundaryTerms,
 		Inject:            s.Inject,
 		NewTransport:      s.NewTransport,
+		AfterStep:         s.AfterStep,
 		Telemetry:         s.Telemetry,
 	}
 }
