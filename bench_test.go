@@ -11,6 +11,7 @@
 package stencilabft_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -575,6 +576,79 @@ func BenchmarkClusterBuddy(b *testing.B) {
 			}
 			if buddy != nil && buddy.Stats().Saves == 0 {
 				b.Fatal("no checkpoint round ran in bench")
+			}
+		})
+	}
+}
+
+// BenchmarkClusterCRC prices the v2 checksummed wire (PR 8): every tcp
+// frame now carries a CRC-32C over header and payload plus a per-edge
+// sequence number — the integrity layer the chaos harness drills. The
+// wire/roundtrip case isolates the framing itself (seal + parse + CRC
+// verify of one halo-sized frame, throughput reported); the cluster cases
+// run the same 2x2 workload on the chan backend (no frames at all) and on
+// the tcp backend over in-process loopback, so the gap bounds the whole
+// socket+framing tax and the recorded point (BENCH_pr8.json) tracks it
+// across PRs. Fault-free steady state: no reconnects, no resends — the
+// healing machinery must cost nothing until a fault engages it.
+func BenchmarkClusterCRC(b *testing.B) {
+	b.Run("wire/roundtrip", func(b *testing.B) {
+		payload := make([]byte, 256*8) // one 256-column float64 halo strip
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		var buf bytes.Buffer
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := dist.WriteWireFrame(&buf, dist.WireFrame{Kind: dist.FrameState, Gen: uint32(i), Elem: 8, Payload: payload}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dist.ReadWireFrame(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	const n, iters = 512, 8
+	init := grid.New[float64](n, n)
+	init.FillFunc(func(x, y int) float64 { return 100 + float64((x*31+y*17)%23) })
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	for _, backend := range []struct {
+		name string
+		tcp  bool
+	}{
+		{"chan2x2", false},
+		{"tcp2x2", true},
+	} {
+		b.Run(backend.name, func(b *testing.B) {
+			opt := dist.Options[float64]{
+				Detector: checksum.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+			}
+			if backend.tcp {
+				opt.NewTransport = func(rx, ry int, ring bool) dist.Transport[float64] {
+					tr, err := dist.NewTCPTransport[float64](dist.TCPConfig{RanksX: rx, RanksY: ry, Ring: ring})
+					if err != nil {
+						b.Fatal(err)
+					}
+					return tr
+				}
+			}
+			c, err := dist.NewClusterGrid(op, init, 2, 2, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			c.Run(iters) // warm-up segment: connections dialed, pages faulted
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Run(iters)
+			}
+			b.StopTimer()
+			if c.Stats().Detections != 0 {
+				b.Fatal("false positive in bench")
 			}
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	abft "stencilabft"
 	"stencilabft/internal/blocks"
@@ -389,6 +390,21 @@ func TestBuildInvalidSpecs(t *testing.T) {
 		{"bind without tcp", abft.Spec[float64]{
 			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
 			Bind: "10.0.0.5:0"}},
+		{"death deadline without tcp", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			DeathDeadline: time.Second}},
+		{"conn hook without tcp", abft.Spec[float64]{
+			Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+			WrapConn: func(c net.Conn, from, to int, d abft.Dir) net.Conn { return c }}},
+		{"recv timeout on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init, RecvTimeout: time.Second}},
+		{"transport wrapper on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init,
+			WrapTransport: func(tr abft.Transport[float64], rx, ry int, ring bool) abft.Transport[float64] {
+				return tr
+			}}},
+		{"death deadline on local", abft.Spec[float64]{
+			Scheme: abft.Online, Op2D: op, Init: init, DeathDeadline: time.Second}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	abft "stencilabft"
+	"stencilabft/internal/chaos"
+)
+
+// The -chaos surface: a JSON fault plan is split by the resolved backend —
+// wire faults (drop/dup/reorder/corrupt/killconn/partition) ride the tcp
+// transport's connection hook, where the self-healing layer must absorb
+// them bit-identically; seam faults (delay/stall, plus drop/partition on
+// the channel backend) wrap the transport itself. One harness is built per
+// process and survives recovery epochs, so an edge's scripted fault indices
+// keep counting across rebuilt connections and clusters.
+
+// chaosHarness owns this process's injectors and applies them to every
+// Spec the run builds.
+type chaosHarness struct {
+	seed int64
+	wire *chaos.Injector // conn-level faults (tcp only)
+	seam *chaos.Injector // transport-level faults (any backend)
+
+	// needTimeout is set when the seam plan suppresses messages outright
+	// (drop/partition): a suppressed message must end as a classified
+	// timeout fault, never a hang, so apply bounds the receives.
+	needTimeout bool
+}
+
+// newChaosHarness loads the -chaos plan and splits it for the resolved
+// transport. Plans whose faults need a wire (frame corruption on the
+// channel backend) are rejected here, before any socket opens.
+func newChaosHarness(c config, p plan) (*chaosHarness, error) {
+	if c.chaos == "" {
+		return nil, nil
+	}
+	cp, err := chaos.Load(c.chaos)
+	if err != nil {
+		return nil, err
+	}
+	seamFaults, connFaults, err := cp.Split(p.transport == abft.TransportTCP)
+	if err != nil {
+		return nil, err
+	}
+	h := &chaosHarness{seed: c.chaosSeed}
+	if len(connFaults) > 0 {
+		h.wire = chaos.NewInjector(connFaults, c.chaosSeed)
+	}
+	if len(seamFaults) > 0 {
+		h.seam = chaos.NewInjector(seamFaults, c.chaosSeed)
+		for _, f := range seamFaults {
+			if f.Type == chaos.Drop || f.Type == chaos.Partition {
+				h.needTimeout = true
+			}
+		}
+	}
+	return h, nil
+}
+
+// apply installs the harness's injectors onto one Spec. Safe to call once
+// per cluster incarnation — the injectors (and their per-edge fault
+// counters) are shared across calls.
+func (h *chaosHarness) apply(spec *abft.Spec[float32]) {
+	if h == nil {
+		return
+	}
+	if h.wire != nil {
+		spec.WrapConn = h.wire.WrapConn()
+	}
+	if h.seam != nil {
+		in := h.seam
+		spec.WrapTransport = func(tr abft.Transport[float32], rx, ry int, ring bool) abft.Transport[float32] {
+			return chaos.Wrap(tr, in, rx, ry, ring)
+		}
+		if h.needTimeout && spec.RecvTimeout == 0 {
+			spec.RecvTimeout = 10 * time.Second
+		}
+	}
+}
+
+// total reports how many injections fired so far across both seams.
+func (h *chaosHarness) total() int64 {
+	if h == nil {
+		return 0
+	}
+	var t int64
+	if h.wire != nil {
+		t += h.wire.Total()
+	}
+	if h.seam != nil {
+		t += h.seam.Total()
+	}
+	return t
+}
+
+// summary renders the merged per-type injection tallies, e.g.
+// "corrupt=1 drop=2 stall=4".
+func (h *chaosHarness) summary() string {
+	merged := map[string]int64{}
+	if h.wire != nil {
+		for k, v := range h.wire.Stats() {
+			merged[k] += v
+		}
+	}
+	if h.seam != nil {
+		for k, v := range h.seam.Stats() {
+			merged[k] += v
+		}
+	}
+	if len(merged) == 0 {
+		return "nothing (no fault in the plan fired)"
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, merged[k]))
+	}
+	return strings.Join(parts, " ")
+}

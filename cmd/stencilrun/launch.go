@@ -84,15 +84,22 @@ func runLaunch(c config, p plan) error {
 	if c.recover {
 		co, err := resilience.StartCoordinator(resilience.CoordinatorConfig{
 			RanksX: p.ranksX, RanksY: p.ranksY,
+			DiskDir: c.ckptDir,
 			Respawn: func(plan resilience.Plan) error {
 				respawns <- plan
 				return nil
 			},
 			OnDecision: func(plan resilience.Plan) {
-				if plan.Err == "" {
-					fmt.Printf("coordinator: rank %d declared dead; cluster rolls back to generation %d as epoch %d\n",
-						plan.Dead, plan.RestartGen, plan.Epoch)
+				if plan.Err != "" {
+					return
 				}
+				if len(plan.DeadRanks) > 0 {
+					fmt.Printf("coordinator: ranks %v declared dead together; cluster restores generation %d from disk (%s) as epoch %d\n",
+						plan.DeadRanks, plan.RestartGen, plan.Disk, plan.Epoch)
+					return
+				}
+				fmt.Printf("coordinator: rank %d declared dead; cluster rolls back to generation %d as epoch %d\n",
+					plan.Dead, plan.RestartGen, plan.Epoch)
 			},
 		})
 		if err != nil {
@@ -299,6 +306,12 @@ func childArgs(c config, p plan, rendezvous, control, tileDir string, rank, epoc
 	if c.inject {
 		args = append(args, "-inject")
 	}
+	if c.ckptDir != "" {
+		args = append(args, "-ckptdir", c.ckptDir)
+	}
+	if c.chaos != "" {
+		args = append(args, "-chaos", c.chaos, "-chaosseed", fmt.Sprint(c.chaosSeed))
+	}
 	if c.trace != "" {
 		args = append(args, "-trace", childTracePath(tileDir, rank))
 	}
@@ -314,13 +327,17 @@ func childArgs(c config, p plan, rendezvous, control, tileDir string, rank, epoc
 }
 
 // childGenPrefix marks the machine-readable progress line a -buddy rank
-// process prints at every completed buddy checkpoint: "CHILDGEN rank gen".
-// It is what lets the parent say how far a dead rank had gotten.
+// process prints at every completed buddy checkpoint:
+// "CHILDGEN rank gen reconnects resends" — the trailing pair is the
+// transport's healing counters at that point. It is what lets the parent
+// say how far a dead rank had gotten and how hard its connections fought.
 const childGenPrefix = "CHILDGEN "
 
 // lastChildGen scans a child's captured output for the newest buddy
-// checkpoint generation it reported for rank.
-func lastChildGen(out []byte, rank int) (gen int, ok bool) {
+// checkpoint generation it reported for rank, plus the transport healing
+// counters (reconnects, resent frames) stamped on that line. Two-field
+// lines from older builds still parse, with zero counters.
+func lastChildGen(out []byte, rank int) (gen int, reconnects, resends int64, ok bool) {
 	sc := bufio.NewScanner(bytes.NewReader(out))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -328,25 +345,31 @@ func lastChildGen(out []byte, rank int) (gen int, ok bool) {
 		if !strings.HasPrefix(line, childGenPrefix) {
 			continue
 		}
-		rankField, genField, found := strings.Cut(strings.TrimPrefix(line, childGenPrefix), " ")
-		if !found {
+		fields := strings.Fields(strings.TrimPrefix(line, childGenPrefix))
+		if len(fields) < 2 {
 			continue
 		}
-		r, errR := strconv.Atoi(rankField)
-		g, errG := strconv.Atoi(strings.TrimSpace(genField))
+		r, errR := strconv.Atoi(fields[0])
+		g, errG := strconv.Atoi(fields[1])
 		if errR != nil || errG != nil || r != rank {
 			continue
 		}
+		var rc, rs int64
+		if len(fields) >= 4 {
+			rc, _ = strconv.ParseInt(fields[2], 10, 64)
+			rs, _ = strconv.ParseInt(fields[3], 10, 64)
+		}
 		if !ok || g > gen {
-			gen, ok = g, true
+			gen, reconnects, resends, ok = g, rc, rs, true
 		}
 	}
-	return gen, ok
+	return gen, reconnects, resends, ok
 }
 
-// deathReport names a dead rank process, how it exited, and the last buddy
-// checkpoint generation it had reported — the launcher-side diagnostic for
-// a fail-stop event.
+// deathReport names a dead rank process, how it exited, the last buddy
+// checkpoint generation it had reported, and how much transport healing
+// (reconnects, resent frames) it had done by then — the launcher-side
+// diagnostic for a fail-stop event.
 func deathReport(rank, epoch int, err error, out []byte) string {
 	cause := err.Error()
 	var ee *exec.ExitError
@@ -354,8 +377,11 @@ func deathReport(rank, epoch int, err error, out []byte) string {
 		cause = ee.ProcessState.String()
 	}
 	progress := "no buddy checkpoint reported"
-	if gen, ok := lastChildGen(out, rank); ok {
+	if gen, reconnects, resends, ok := lastChildGen(out, rank); ok {
 		progress = fmt.Sprintf("last buddy checkpoint at generation %d", gen)
+		if reconnects > 0 || resends > 0 {
+			progress += fmt.Sprintf(" after %d reconnects and %d resent frames", reconnects, resends)
+		}
 	}
 	return fmt.Sprintf("rank %d process (epoch %d) died: %s; %s", rank, epoch, cause, progress)
 }

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	abft "stencilabft"
+	"stencilabft/internal/dist"
 	"stencilabft/internal/fault"
 	"stencilabft/internal/grid"
 	"stencilabft/internal/metrics"
@@ -84,6 +85,11 @@ type config struct {
 	ckptPath string // disk checkpoint base path (local and chan deployments)
 	ckptEach int    // disk checkpoint interval (0 = one checkpoint at the end)
 	restore  string // resume from the newest checkpoint under this base path
+	ckptDir  string // shared per-rank checkpoint directory (tcp clusters; double-death fallback)
+
+	chaos     string // chaos fault-plan file (cluster deployments)
+	chaosSeed int64  // chaos injection seed
+	soak      int    // repeat the whole run N times, advancing the chaos seed each pass
 
 	cpuProf, memProf string
 
@@ -208,6 +214,18 @@ func (c config) resolve() (plan, error) {
 	if c.epoch < 0 {
 		return p, fmt.Errorf("-epoch %d: the incarnation number cannot be negative", c.epoch)
 	}
+	if c.soak < 0 {
+		return p, fmt.Errorf("-soak %d: the pass count must be positive", c.soak)
+	}
+	if c.soak > 0 && c.chaos == "" {
+		return p, fmt.Errorf("-soak repeats a run under a chaos plan; set -chaos plan.json")
+	}
+	if c.chaos != "" && p.deployment != abft.Clustered {
+		return p, fmt.Errorf("-chaos injects faults into a cluster's transport; shape one with -rankgrid RxC (or -ranks N)")
+	}
+	if c.chaos != "" && c.inject {
+		return p, fmt.Errorf("-chaos drills the transport (healed bit-identically) and -inject corrupts the domain (detected and repaired) — run the drills separately so each gate means something")
+	}
 
 	if kind == abft.TransportChan {
 		switch {
@@ -217,6 +235,8 @@ func (c config) resolve() (plan, error) {
 			return p, fmt.Errorf("-control joins a tcp rank process to a recovery coordinator; the chan transport has no processes to lose")
 		case c.recover:
 			return p, fmt.Errorf("-recover respawns dead rank processes under -launch; the chan transport has none")
+		case c.ckptDir != "":
+			return p, fmt.Errorf("-ckptdir persists each rank process's buddy checkpoints; the chan transport hosts every rank in one process (use -checkpoint)")
 		case c.epoch > 0:
 			return p, fmt.Errorf("-epoch numbers a tcp rank process's incarnation; the chan transport has no respawns")
 		case c.dieAt > 0 || c.die != "":
@@ -245,6 +265,9 @@ func (c config) resolve() (plan, error) {
 	n := p.ranksX * p.ranksY
 	if c.ckptPath != "" || c.restore != "" {
 		return p, fmt.Errorf("-checkpoint/-restore save and load the whole domain from one process; a tcp cluster checkpoints through -buddy (and survives deaths with -recover)")
+	}
+	if c.ckptDir != "" && c.buddy < 1 {
+		return p, fmt.Errorf("-ckptdir persists buddy checkpoints to disk; set -buddy j to take them")
 	}
 	if c.launch > 0 {
 		if c.rank >= 0 {
@@ -292,6 +315,9 @@ func (c config) resolve() (plan, error) {
 	}
 	if c.recover {
 		return p, fmt.Errorf("-recover is the -launch parent's job (host the coordinator, respawn the dead); a rank process just sets -control")
+	}
+	if c.soak > 0 {
+		return p, fmt.Errorf("-soak repeats whole clusters; run it on the -launch parent (or loop your own launcher), not on one rank process")
 	}
 	if c.die != "" {
 		return p, fmt.Errorf("-die routes a kill through the -launch parent; a rank process kills itself with -die-at I")
@@ -442,6 +468,10 @@ func main() {
 	flag.StringVar(&c.ckptPath, "checkpoint", "", "write disk checkpoints of the whole domain under this base path (single-process runs; see -ckptperiod)")
 	flag.IntVar(&c.ckptEach, "ckptperiod", 0, "iterations between -checkpoint saves (default: one checkpoint when the run finishes)")
 	flag.StringVar(&c.restore, "restore", "", "resume from the newest valid checkpoint under this base path (or an exact checkpoint file)")
+	flag.StringVar(&c.ckptDir, "ckptdir", "", "shared directory where each tcp rank process also persists its buddy checkpoints — the whole-cluster fallback a buddy-pair double death restores from (requires -buddy; with -launch -recover the coordinator escalates to it)")
+	flag.StringVar(&c.chaos, "chaos", "", "inject transport faults from this JSON plan (cluster deployments; wire-level faults need -transport tcp)")
+	flag.Int64Var(&c.chaosSeed, "chaosseed", 1, "seed for -chaos injection: the same plan, seed and workload replays the same faults")
+	flag.IntVar(&c.soak, "soak", 0, "repeat the whole run N times under -chaos, advancing the chaos seed each pass; every pass must verify")
 	flag.StringVar(&c.cpuProf, "cpuprofile", "", "write a CPU profile of the protected run to this file (go tool pprof; a -launch parent forwards it to each child with a .rankN suffix)")
 	flag.StringVar(&c.memProf, "memprofile", "", "write a heap profile taken after the protected run to this file (forwarded per child under -launch, .rankN suffix)")
 	flag.StringVar(&c.trace, "trace", "", "write a Chrome trace-event timeline of the run to this file (open in chrome://tracing or ui.perfetto.dev; a -launch parent merges its children's timelines)")
@@ -452,14 +482,27 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if p.launch {
-		if err := runLaunch(c, p); err != nil {
+	// Soak mode: the same run repeated with an advancing chaos seed, every
+	// pass fully verified — the long-tail sieve for heal-path races.
+	passes := 1
+	if c.soak > 0 {
+		passes = c.soak
+	}
+	for s := 0; s < passes; s++ {
+		cc := c
+		cc.chaosSeed = c.chaosSeed + int64(s)
+		if passes > 1 {
+			fmt.Printf("soak: pass %d/%d (chaos seed %d)\n", s+1, passes, cc.chaosSeed)
+		}
+		if p.launch {
+			if err := runLaunch(cc, p); err != nil {
+				fail(err)
+			}
+			continue
+		}
+		if err := runProcess(cc, p); err != nil {
 			fail(err)
 		}
-		return
-	}
-	if err := runProcess(c, p); err != nil {
-		fail(err)
 	}
 }
 
@@ -533,17 +576,23 @@ func runProcess(c config, p plan) error {
 		tel = abft.NewTelemetry(0)
 	}
 
+	harness, err := newChaosHarness(c, p)
+	if err != nil {
+		return err
+	}
+
 	timer := metrics.StartTimer()
 	var prot abft.Protector[float32]
 	var extra abft.Stats
 	if tcpRank && c.buddy > 0 {
-		prot, extra, err = runResilient(c, p, op, init, injectPlan, tel)
+		prot, extra, err = runResilient(c, p, op, init, injectPlan, tel, harness)
 		if err != nil {
 			return err
 		}
 	} else {
 		spec := c.spec(p, op, runInit, injectPlan)
 		spec.Telemetry = tel
+		harness.apply(&spec)
 		prot, err = abft.Build(spec)
 		if err != nil {
 			return err
@@ -589,6 +638,24 @@ func runProcess(c config, p plan) error {
 		fmt.Printf("arithmetic error: %.6g\n", metrics.L2Error(prot.Grid(), ref.Grid()))
 	}
 	fmt.Printf("protector stats:  %v\n", stats)
+	if harness != nil {
+		fmt.Printf("chaos: injected %s (plan %s, seed %d)\n", harness.summary(), c.chaos, c.chaosSeed)
+		if !tcpRank && ref != nil {
+			// Transport chaos must be invisible in the result: every absorbed
+			// or healed fault leaves the run bit-identical to the fault-free
+			// reference. (A tcp rank process leaves this gate to its -launch
+			// parent's cross-process gather comparison.)
+			g, rg := prot.Grid(), ref.Grid()
+			for y := 0; y < c.ny; y++ {
+				for x := 0; x < c.nx; x++ {
+					if g.At(x, y) != rg.At(x, y) {
+						return fmt.Errorf("chaos run deviates from the fault-free reference at (%d,%d): %v != %v", x, y, g.At(x, y), rg.At(x, y))
+					}
+				}
+			}
+			fmt.Println("chaos: result is bit-identical to the fault-free reference")
+		}
+	}
 	if cl, ok := prot.(*abft.Cluster[float32]); ok {
 		ids := cl.LocalRanks()
 		for i, s := range cl.RankStats() {
@@ -613,11 +680,19 @@ func runProcess(c config, p plan) error {
 
 // runChunked drives the protected run to -iters, cutting it at every
 // absolute multiple of the disk-checkpoint period when -checkpoint is set so
-// each boundary's domain state lands in the rotation files.
+// each boundary's domain state lands in the rotation files. Under -chaos a
+// cluster runs through RunRecover so an injected fault the transport cannot
+// absorb ends as a classified error naming the edge, never a panic.
 func runChunked(prot abft.Protector[float32], c config, startIter int) error {
-	if c.ckptPath == "" {
-		prot.Run(c.iters - startIter)
+	step := func(n int) error {
+		if cl, ok := prot.(*abft.Cluster[float32]); ok && c.chaos != "" {
+			return cl.RunRecover(n)
+		}
+		prot.Run(n)
 		return nil
+	}
+	if c.ckptPath == "" {
+		return step(c.iters - startIter)
 	}
 	saver := resilience.NewDiskSaver[float32](c.ckptPath)
 	period := c.ckptEach
@@ -629,7 +704,9 @@ func runChunked(prot abft.Protector[float32], c config, startIter int) error {
 		if next > c.iters {
 			next = c.iters
 		}
-		prot.Run(next - done)
+		if err := step(next - done); err != nil {
+			return err
+		}
 		done = next
 		if err := saver.Save(done, prot.Grid(), nil); err != nil {
 			return err
@@ -643,8 +720,12 @@ func runChunked(prot abft.Protector[float32], c config, startIter int) error {
 // built through a factory so fail-stop recovery can rebuild it per epoch,
 // buddy checkpoints flow every -buddy iterations, and with -control a peer
 // process's death rolls the run back instead of killing it.
-func runResilient(c config, p plan, op *abft.Op2D[float32], init *abft.Grid[float32], injectPlan *fault.Plan, tel *abft.Telemetry) (abft.Protector[float32], abft.Stats, error) {
+func runResilient(c config, p plan, op *abft.Op2D[float32], init *abft.Grid[float32], injectPlan *fault.Plan, tel *abft.Telemetry, harness *chaosHarness) (abft.Protector[float32], abft.Stats, error) {
 	var extra abft.Stats
+	// The live cluster, tracked across incarnations so progress lines can
+	// report its transport's healing counters.
+	var curMu sync.Mutex
+	var cur *abft.Cluster[float32]
 	factory := func(epoch int, rdv string, localRanks []int, after func(rank, iter int)) (*abft.Cluster[float32], error) {
 		hook := after
 		if c.dieAt > 0 && epoch == 0 {
@@ -660,20 +741,38 @@ func runResilient(c config, p plan, op *abft.Op2D[float32], init *abft.Grid[floa
 		spec.Rendezvous = rdv
 		spec.LocalRanks = localRanks
 		spec.AfterStep = hook
+		harness.apply(&spec)
 		prot, err := abft.Build(spec)
 		if err != nil {
 			return nil, err
 		}
-		return prot.(*abft.Cluster[float32]), nil
+		cl := prot.(*abft.Cluster[float32])
+		curMu.Lock()
+		cur = cl
+		curMu.Unlock()
+		return cl, nil
 	}
 	var genMu sync.Mutex
 	cfg := resilience.Config[float32]{
 		Total: c.iters, Period: c.buddy, Control: c.control,
 		LocalRanks: []int{c.rank}, Factory: factory, Telemetry: tel,
 		Rendezvous: c.rendezvous,
+		DiskDir:    c.ckptDir,
 		OnCheckpoint: func(rank, gen int) {
+			// "CHILDGEN rank gen reconnects resends": the healing counters
+			// ride each progress line, so a parent diagnosing a death can say
+			// how hard the transport fought before losing the process.
+			var reconnects, resends int64
+			curMu.Lock()
+			if cur != nil {
+				if m, ok := cur.Transport().(dist.MetricsSource); ok {
+					tm := m.Metrics()
+					reconnects, resends = tm.Reconnects, tm.Resends
+				}
+			}
+			curMu.Unlock()
 			genMu.Lock()
-			fmt.Printf("%s%d %d\n", childGenPrefix, rank, gen)
+			fmt.Printf("%s%d %d %d %d\n", childGenPrefix, rank, gen, reconnects, resends)
 			genMu.Unlock()
 		},
 	}

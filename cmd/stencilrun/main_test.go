@@ -87,6 +87,31 @@ func TestResolveValidCombinations(t *testing.T) {
 			plan{scheme: abft.Online, deployment: abft.Local, transport: abft.TransportChan}},
 		{"local run restored from disk", func(c *config) { c.restore = "ck/run" },
 			plan{scheme: abft.Online, deployment: abft.Local, transport: abft.TransportChan}},
+		{"chaos plan on a chan cluster", func(c *config) { c.ranks = 4; c.chaos = "plan.json" },
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 1, ranksY: 4, transport: abft.TransportChan}},
+		{"chaos soak on the launch parent", func(c *config) {
+			c.rankGrid = "2x2"
+			c.launch = 4
+			c.chaos = "plan.json"
+			c.soak = 3
+		},
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP, launch: true}},
+		{"tcp rank with buddy and a disk checkpoint dir", func(c *config) {
+			c.rankGrid = "2x2"
+			c.rank = 1
+			c.rendezvous = "127.0.0.1:9777"
+			c.buddy = 8
+			c.ckptDir = "ck"
+		},
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP}},
+		{"launch with recovery and the double-death disk fallback", func(c *config) {
+			c.rankGrid = "2x2"
+			c.launch = 4
+			c.recover = true
+			c.buddy = 8
+			c.ckptDir = "ck"
+		},
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportTCP, launch: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -186,6 +211,31 @@ func TestResolveRejectsBadCombinations(t *testing.T) {
 				c.buddy = 8
 				c.metricsAddr = ":0"
 			}, "-metrics"},
+		{"chaos on a local run",
+			func(c *config) { c.chaos = "plan.json" }, "cluster's transport"},
+		{"chaos with inject",
+			func(c *config) { c.ranks = 4; c.chaos = "plan.json"; c.inject = true }, "each gate means something"},
+		{"soak without chaos",
+			func(c *config) { c.ranks = 4; c.soak = 3 }, "-chaos plan.json"},
+		{"negative soak",
+			func(c *config) { c.ranks = 4; c.chaos = "plan.json"; c.soak = -1 }, "must be positive"},
+		{"soak on a tcp rank process",
+			func(c *config) {
+				c.rankGrid = "2x2"
+				c.rank = 1
+				c.rendezvous = "h:1"
+				c.chaos = "plan.json"
+				c.soak = 2
+			}, "-launch parent"},
+		{"ckptdir on the chan transport",
+			func(c *config) { c.ranks = 4; c.ckptDir = "ck" }, "every rank in one process"},
+		{"ckptdir without buddy",
+			func(c *config) {
+				c.rankGrid = "2x2"
+				c.rank = 1
+				c.rendezvous = "h:1"
+				c.ckptDir = "ck"
+			}, "set -buddy j"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -272,39 +322,54 @@ func TestParseDie(t *testing.T) {
 }
 
 // TestLastChildGen pins the CHILDGEN progress-line scanner the death
-// diagnostics rely on: newest generation for the right rank, noise and
-// malformed lines skipped.
+// diagnostics rely on: newest generation for the right rank with its
+// healing counters, noise, malformed and legacy two-field lines handled.
 func TestLastChildGen(t *testing.T) {
 	out := []byte("noise\n" +
-		childGenPrefix + "3 8\n" +
-		childGenPrefix + "2 40\n" + // another rank's line
-		childGenPrefix + "3 16\n" +
+		childGenPrefix + "3 8 0 0\n" +
+		childGenPrefix + "2 40 9 9\n" + // another rank's line
+		childGenPrefix + "3 16 2 11\n" +
 		childGenPrefix + "bogus line\n" +
 		childGenPrefix + "3 x\n")
-	gen, ok := lastChildGen(out, 3)
-	if !ok || gen != 16 {
-		t.Fatalf("lastChildGen = %d, %v (want 16, true)", gen, ok)
+	gen, reconnects, resends, ok := lastChildGen(out, 3)
+	if !ok || gen != 16 || reconnects != 2 || resends != 11 {
+		t.Fatalf("lastChildGen = %d, %d, %d, %v (want 16, 2, 11, true)", gen, reconnects, resends, ok)
 	}
-	if _, ok := lastChildGen(out, 0); ok {
+	if _, _, _, ok := lastChildGen(out, 0); ok {
 		t.Fatal("rank 0 never reported a checkpoint, but one was found")
 	}
-	if _, ok := lastChildGen(nil, 3); ok {
+	if _, _, _, ok := lastChildGen(nil, 3); ok {
 		t.Fatal("empty output produced a generation")
+	}
+	// A two-field line from an older build parses with zero counters.
+	gen, reconnects, resends, ok = lastChildGen([]byte(childGenPrefix+"5 32\n"), 5)
+	if !ok || gen != 32 || reconnects != 0 || resends != 0 {
+		t.Fatalf("legacy line: %d, %d, %d, %v (want 32, 0, 0, true)", gen, reconnects, resends, ok)
 	}
 }
 
 // TestDeathReport pins the launcher's fail-stop diagnostic: it names the
-// rank, the exit cause and the last checkpointed generation.
+// rank, the exit cause, the last checkpointed generation, and any transport
+// healing the child had done before it died.
 func TestDeathReport(t *testing.T) {
-	out := []byte(childGenPrefix + "3 24\n")
+	out := []byte(childGenPrefix + "3 24 0 0\n")
 	got := deathReport(3, 0, fmt.Errorf("signal: killed"), out)
 	for _, want := range []string{"rank 3", "signal: killed", "generation 24"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("report %q does not mention %q", got, want)
 		}
 	}
+	if strings.Contains(got, "reconnects") {
+		t.Errorf("report %q mentions reconnects for a child that never healed", got)
+	}
 	got = deathReport(1, 2, fmt.Errorf("exit status 1"), nil)
 	for _, want := range []string{"rank 1", "epoch 2", "exit status 1", "no buddy checkpoint"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report %q does not mention %q", got, want)
+		}
+	}
+	got = deathReport(2, 1, fmt.Errorf("signal: killed"), []byte(childGenPrefix+"2 40 3 17\n"))
+	for _, want := range []string{"generation 40", "3 reconnects", "17 resent frames"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("report %q does not mention %q", got, want)
 		}

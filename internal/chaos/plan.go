@@ -1,0 +1,180 @@
+// Package chaos is the deterministic fault-injection harness of the
+// transport stack: a JSON fault plan describes wire and scheduling faults
+// (dropped, duplicated, reordered or corrupted frames, killed connections,
+// edge partitions, delayed messages, stalled ranks), and a seeded injector
+// applies them at one of two seams — a frame-aware net.Conn wrapper hooked
+// into dist.TCPConfig.WrapConn (wire faults the self-healing TCP layer
+// must absorb bit-identically) and a dist.Transport wrapper that works on
+// any backend (scheduling faults, plus message drops that must surface as
+// clean classified faults where no wire layer can heal them).
+//
+// Everything is deterministic under a seed: the same plan, seed and
+// workload injects the same faults at the same frame indices, so a CI
+// failure replays locally. Probabilistic fields (prob) turn the same plans
+// into soak mode — every frame diced independently per edge, still
+// reproducible from the seed.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Fault types. Wire faults (injected below the TCP transport, healed by
+// it): Drop, Dup, Reorder, Corrupt, KillConn, Partition. Seam faults
+// (injected above any transport): Drop, Partition (surface as classified
+// faults), Delay, Stall (absorbed by the lockstep).
+const (
+	Drop      = "drop"      // frame/message never sent
+	Delay     = "delay"     // message held for Ms before sending (seam only)
+	Dup       = "dup"       // frame written twice (wire only)
+	Reorder   = "reorder"   // frame held and written after its successor (wire only)
+	Corrupt   = "corrupt"   // one payload bit flipped after sealing (wire only)
+	KillConn  = "killconn"  // connection closed mid-stream (wire only)
+	Partition = "partition" // every write on the edge fails for Ms (wire) or Count messages vanish (seam)
+	Stall     = "stall"     // rank sleeps Ms before a send — a straggler (seam only)
+)
+
+// Edge names a directed halo edge by global rank ids.
+type Edge struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Fault is one scripted injection. At/Count select deterministic targets
+// by the edge's (or rank's) running message index; Prob instead dices
+// every message independently — soak mode. Exactly one of the two styles
+// per fault: Prob > 0 ignores At/Count.
+type Fault struct {
+	// Type is one of the fault-type constants above.
+	Type string `json:"type"`
+	// Edge restricts the fault to one directed edge; nil applies it to
+	// every edge (allowed only with Prob, where determinism per edge still
+	// holds through the per-edge RNG).
+	Edge *Edge `json:"edge,omitempty"`
+	// At is the 0-based per-edge message index the fault starts firing at
+	// (for Stall: the per-rank send index).
+	At int `json:"at,omitempty"`
+	// Count is how many consecutive messages are affected (default 1).
+	Count int `json:"count,omitempty"`
+	// Ms is the duration in milliseconds of a Delay, Stall or wire
+	// Partition.
+	Ms int `json:"ms,omitempty"`
+	// Prob, when > 0, fires the fault on each message independently with
+	// this probability (seeded, reproducible) instead of At/Count.
+	Prob float64 `json:"prob,omitempty"`
+	// Rank is the rank a Stall applies to.
+	Rank int `json:"rank,omitempty"`
+}
+
+// window returns the deterministic [At, At+n) firing window.
+func (f Fault) window() (lo, hi int) {
+	n := f.Count
+	if n < 1 {
+		n = 1
+	}
+	return f.At, f.At + n
+}
+
+// matchesEdge reports whether the fault applies to the directed edge
+// from → to.
+func (f Fault) matchesEdge(from, to int) bool {
+	return f.Edge == nil || (f.Edge.From == from && f.Edge.To == to)
+}
+
+// Plan is a parsed fault plan.
+type Plan struct {
+	Faults []Fault `json:"faults"`
+}
+
+// Parse decodes and validates a JSON fault plan.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("chaos: parsing fault plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads and parses a fault plan file.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reading fault plan: %w", err)
+	}
+	return Parse(data)
+}
+
+// Validate checks every fault for schema errors: unknown types, missing
+// targets, nonsensical parameters.
+func (p *Plan) Validate() error {
+	if len(p.Faults) == 0 {
+		return fmt.Errorf("chaos: fault plan has no faults")
+	}
+	for i, f := range p.Faults {
+		where := fmt.Sprintf("chaos: fault %d (%s)", i, f.Type)
+		switch f.Type {
+		case Drop, Dup, Reorder, Corrupt, KillConn, Partition, Delay:
+			if f.Edge == nil && f.Prob <= 0 {
+				return fmt.Errorf("%s: needs an edge (or prob > 0 to dice every edge)", where)
+			}
+		case Stall:
+			if f.Rank < 0 {
+				return fmt.Errorf("%s: needs a rank to stall", where)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d has unknown type %q", i, f.Type)
+		}
+		switch f.Type {
+		case Delay, Stall:
+			if f.Ms <= 0 {
+				return fmt.Errorf("%s: needs ms > 0", where)
+			}
+		}
+		if f.At < 0 || f.Count < 0 {
+			return fmt.Errorf("%s: at/count must be non-negative", where)
+		}
+		if f.Prob < 0 || f.Prob > 1 {
+			return fmt.Errorf("%s: prob %v outside [0, 1]", where, f.Prob)
+		}
+		if f.Edge != nil && (f.Edge.From < 0 || f.Edge.To < 0) {
+			return fmt.Errorf("%s: edge ranks must be non-negative", where)
+		}
+	}
+	return nil
+}
+
+// Split partitions the plan's faults by injection seam for the given
+// backend. With wire support (the TCP transport), every wire-capable fault
+// injects below the transport — where the self-healing layer absorbs it
+// bit-identically — and only Delay/Stall stay at the transport seam.
+// Without wire support (the in-process channel backend), Drop and
+// Partition inject at the seam (they then surface as clean classified
+// faults: there is no wire layer to heal them) and the wire-only faults
+// are rejected — a plan asking for frame corruption on a backend with no
+// frames is a configuration error, not a no-op.
+func (p *Plan) Split(wire bool) (seam, conn []Fault, err error) {
+	for i, f := range p.Faults {
+		switch f.Type {
+		case Delay, Stall:
+			seam = append(seam, f)
+		case Drop, Partition:
+			if wire {
+				conn = append(conn, f)
+			} else {
+				seam = append(seam, f)
+			}
+		case Dup, Reorder, Corrupt, KillConn:
+			if wire {
+				conn = append(conn, f)
+			} else {
+				return nil, nil, fmt.Errorf("chaos: fault %d (%s) needs a wire-level transport (tcp); the channel backend has no frames to corrupt", i, f.Type)
+			}
+		}
+	}
+	return seam, conn, nil
+}

@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"time"
+
+	"stencilabft/internal/dist"
+	"stencilabft/internal/num"
+	"stencilabft/internal/telemetry"
+)
+
+// Transport-seam injection: a dist.Transport wrapper that works on any
+// backend. Faults here act on whole messages, above the wire: a Drop
+// suppresses the Send entirely (the receiver's timeout turns it into a
+// clean classified fault — there is no wire layer to heal it), a
+// Partition drops a window of consecutive messages on the edge, a Delay
+// holds the sending rank before the Send, and a Stall sleeps a rank — the
+// straggler. Delay and Stall are absorbed by the lockstep barrier and
+// must leave the result bit-identical; Drop and Partition must end in a
+// classified *dist.Fault, never a hang (configure a receive timeout:
+// dist.Options.RecvTimeout on the channel backend, TCPConfig.IOTimeout on
+// TCP).
+type Transport[T num.Float] struct {
+	inner dist.Transport[T]
+	in    *Injector
+	geo   dist.Decomp
+	ring  bool
+}
+
+// Wrap layers seam-level fault injection over any transport backend. The
+// rank-grid shape (the same arguments dist.Options.NewTransport receives)
+// lets the wrapper resolve each Send's destination rank for edge matching.
+func Wrap[T num.Float](tr dist.Transport[T], in *Injector, ranksX, ranksY int, ring bool) *Transport[T] {
+	return &Transport[T]{inner: tr, in: in, geo: dist.Decomp{RanksX: ranksX, RanksY: ranksY}, ring: ring}
+}
+
+// Inner returns the wrapped transport.
+func (t *Transport[T]) Inner() dist.Transport[T] { return t.inner }
+
+// apply runs the seam faults for one outgoing message on the edge
+// from → to and reports whether the message should be suppressed.
+func (t *Transport[T]) apply(from, to int) (suppress bool) {
+	st := t.in.edge(from, to)
+	st.mu.Lock()
+	idx := st.count
+	st.count++
+	var sleep time.Duration
+	for _, f := range st.faults {
+		if !st.fires(f, idx) {
+			continue
+		}
+		switch f.Type {
+		case Drop:
+			t.in.drops.Add(1)
+			suppress = true
+		case Partition:
+			t.in.partitions.Add(1)
+			suppress = true
+		case Delay:
+			t.in.delays.Add(1)
+			sleep += time.Duration(f.Ms) * time.Millisecond
+		}
+	}
+	st.mu.Unlock()
+	t.stall(from)
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return suppress
+}
+
+// stall sleeps the rank if a Stall fault fires on its send counter.
+func (t *Transport[T]) stall(rank int) {
+	st := t.in.rank(rank)
+	st.mu.Lock()
+	idx := st.count
+	st.count++
+	var sleep time.Duration
+	for _, f := range st.faults {
+		if st.fires(f, idx) {
+			t.in.stalls.Add(1)
+			sleep += time.Duration(f.Ms) * time.Millisecond
+		}
+	}
+	st.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+// Send forwards the strip unless a seam fault suppresses it.
+func (t *Transport[T]) Send(from int, d dist.Dir, data []T) {
+	to, _ := t.geo.Neighbor(from, d, t.ring)
+	if t.apply(from, to) {
+		return
+	}
+	t.inner.Send(from, d, data)
+}
+
+// Recv passes through: seam faults act on the sending side only.
+func (t *Transport[T]) Recv(to int, d dist.Dir) []T { return t.inner.Recv(to, d) }
+
+// Neighbor passes through.
+func (t *Transport[T]) Neighbor(id int, d dist.Dir) bool { return t.inner.Neighbor(id, d) }
+
+// Barrier passes through.
+func (t *Transport[T]) Barrier() { t.inner.Barrier() }
+
+// SendCkpt forwards the snapshot unless a seam fault suppresses it — buddy
+// checkpoint traffic rides the same edges and is diced by the same
+// counters. Panics if the wrapped backend is not a CkptCarrier, matching
+// the unwrapped contract.
+func (t *Transport[T]) SendCkpt(from int, d dist.Dir, gen int, data []T) {
+	car := t.inner.(dist.CkptCarrier[T])
+	to, _ := t.geo.Neighbor(from, d, t.ring)
+	if t.apply(from, to) {
+		return
+	}
+	car.SendCkpt(from, d, gen, data)
+}
+
+// RecvCkpt passes through.
+func (t *Transport[T]) RecvCkpt(to int, d dist.Dir) ([]T, int, error) {
+	return t.inner.(dist.CkptCarrier[T]).RecvCkpt(to, d)
+}
+
+// Abort passes through when the backend supports it.
+func (t *Transport[T]) Abort(cause error) {
+	if a, ok := t.inner.(dist.Aborter); ok {
+		a.Abort(cause)
+	}
+}
+
+// Metrics passes through when the backend counts traffic, so telemetry
+// keeps working under chaos.
+func (t *Transport[T]) Metrics() telemetry.TransportMetrics {
+	if m, ok := t.inner.(dist.MetricsSource); ok {
+		return m.Metrics()
+	}
+	return telemetry.TransportMetrics{}
+}
+
+// Close passes through when the backend holds resources.
+func (t *Transport[T]) Close() error {
+	if c, ok := t.inner.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -134,6 +134,35 @@ func ReadFile[T num.Float](path string) (*grid.Grid[T], []T, int, error) {
 	return g, b, int(hdr.Iteration), nil
 }
 
+// PeekIter verifies a checkpoint file's CRC and returns the iteration it
+// snapshots, without decoding the payload and without caring about the
+// element type — what a coordinator scanning many ranks' rotations for a
+// common restart generation needs.
+func PeekIter(path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(raw) < 4 {
+		return 0, fmt.Errorf("checkpoint: %s: truncated", path)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)); got != binary.LittleEndian.Uint32(tail) {
+		return 0, fmt.Errorf("checkpoint: %s: CRC mismatch (corrupt checkpoint)", path)
+	}
+	var hdr fileHeader
+	if err := binary.Read(&sliceReader{buf: body}, binary.LittleEndian, &hdr); err != nil {
+		return 0, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if hdr.Magic != fileMagic {
+		return 0, fmt.Errorf("checkpoint: %s: not a checkpoint file", path)
+	}
+	if hdr.Version != fileVersion {
+		return 0, fmt.Errorf("checkpoint: %s: unsupported version %d", path, hdr.Version)
+	}
+	return int(hdr.Iteration), nil
+}
+
 // sliceReader is a minimal io.Reader over a byte slice that tracks the
 // remaining length (bytes.Reader would work too; this avoids the import
 // for two call sites).

@@ -25,6 +25,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"stencilabft/internal/checksum"
 	"stencilabft/internal/fault"
@@ -58,6 +59,13 @@ type Options[T num.Float] struct {
 	// applied during that rank's local sweep. Iteration numbers are
 	// absolute (compared against Iter), so plans survive split Run calls.
 	Inject *fault.Plan
+	// RecvTimeout bounds each halo/checkpoint receive of the default
+	// in-process channel transport, so a stalled sibling rank surfaces as a
+	// classified *Fault (ClassTimeout) instead of a hang — the analogue of
+	// TCPConfig.IOTimeout. Zero waits forever (the historical behaviour).
+	// Ignored when NewTransport is set: a custom backend configures its own
+	// timeouts.
+	RecvTimeout time.Duration
 	// NewTransport overrides the communication backend. It receives the
 	// rank-grid shape (columns × rows; a 3-D layer cluster passes its slab
 	// chain as 1 × nRanks) and whether the grid closes into a torus
@@ -65,6 +73,11 @@ type Options[T num.Float] struct {
 	// exchange and iteration barrier run through. Nil uses
 	// NewChanTransport.
 	NewTransport func(ranksX, ranksY int, ring bool) Transport[T]
+	// WrapTransport, when non-nil, layers a wrapper over whichever backend
+	// NewTransport resolves to — tracing, delaying, or chaos fault
+	// injection (internal/chaos) — without replacing the backend itself.
+	// It receives the built transport plus the same shape arguments.
+	WrapTransport func(tr Transport[T], ranksX, ranksY int, ring bool) Transport[T]
 	// LocalRanks restricts which ranks of the grid this Cluster
 	// materialises (nil = all) — the multi-process deployment, where each
 	// OS process hosts a subset (typically one) of the ranks and the rest
@@ -99,7 +112,18 @@ func (o Options[T]) withDefaults() Options[T] {
 		o.Detector.AbsFloor = 1
 	}
 	if o.NewTransport == nil {
-		o.NewTransport = func(rx, ry int, ring bool) Transport[T] { return NewChanTransport[T](rx, ry, ring) }
+		timeout := o.RecvTimeout
+		o.NewTransport = func(rx, ry int, ring bool) Transport[T] {
+			t := NewChanTransport[T](rx, ry, ring)
+			t.SetRecvTimeout(timeout)
+			return t
+		}
+	}
+	if o.WrapTransport != nil {
+		base, wrap := o.NewTransport, o.WrapTransport
+		o.NewTransport = func(rx, ry int, ring bool) Transport[T] {
+			return wrap(base(rx, ry, ring), rx, ry, ring)
+		}
 	}
 	return o
 }
@@ -254,6 +278,10 @@ func (c *Cluster[T]) RankStats() []Stats {
 	if haveM && len(out) > 0 {
 		out[0].Transport.DialRetries += m.DialRetries
 		out[0].Transport.PoisonEvents += m.Poisoned
+		out[0].Transport.Reconnects += m.Reconnects
+		out[0].Transport.Resends += m.Resends
+		out[0].Transport.CrcErrors += m.CrcErrors
+		out[0].Transport.DupFrames += m.DupFrames
 	}
 	return out
 }

@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -52,15 +51,55 @@ type TCPConfig struct {
 	DialTimeout time.Duration
 
 	// IOTimeout bounds each halo receive and each barrier-token wait once
-	// the cluster is running, so a hung peer surfaces as an error instead
-	// of a deadlock. Default 2m; negative disables the bound.
+	// the cluster is running, so a hung peer surfaces as a classified
+	// timeout fault instead of a deadlock. Default 2m; negative disables
+	// the bound.
 	IOTimeout time.Duration
+
+	// DeathDeadline bounds transient-fault healing: how long a broken edge
+	// may spend reconnecting (sender side) or waiting for its peer to
+	// reconnect (receiver side) before the edge is declared permanently
+	// dead and the buddy-recovery ladder takes over. Default 15s; negative
+	// disables healing entirely — the first disconnect is fatal, the
+	// pre-healing behaviour.
+	DeathDeadline time.Duration
+
+	// ResendWindow is how many sealed data frames each outbound edge
+	// retains for replay after a reconnect. A window too small to cover
+	// the frames in flight when a connection died makes the edge
+	// unhealable (it is then declared dead). Default 64 — an order of
+	// magnitude above one barrier generation's traffic per edge.
+	ResendWindow int
+
+	// KeepalivePeriod is the idle interval after which an outbound edge
+	// writes a heartbeat frame, so a silently severed connection is
+	// discovered (and healed) between halo exchanges instead of at the
+	// next one. Default DeathDeadline/3 when healing is enabled; negative
+	// disables keepalives.
+	KeepalivePeriod time.Duration
+
+	// WrapConn, when non-nil, wraps every outbound data connection as it
+	// is established — at bootstrap and on every reconnect. This is the
+	// chaos-injection seam: a wrapper that drops, corrupts, duplicates,
+	// reorders or kills frames exercises exactly the healing machinery a
+	// flaky network would. from/to name the directed edge, d the direction
+	// from sends toward.
+	WrapConn func(conn net.Conn, from, to int, d Dir) net.Conn
 }
 
+// DefaultDeathDeadline is the TCPConfig.DeathDeadline a zero config gets:
+// how long a broken edge may heal before its peer is classified dead.
+// Exported because control-plane timeouts (the recovery coordinator's
+// stall escalation) must outlast the detection cascade it implies.
+const DefaultDeathDeadline = 15 * time.Second
+
 const (
-	defaultDialTimeout = 30 * time.Second
-	defaultIOTimeout   = 2 * time.Minute
-	dialRetryStep      = 20 * time.Millisecond
+	defaultDialTimeout  = 30 * time.Second
+	defaultIOTimeout    = 2 * time.Minute
+	defaultResendWindow = 64
+	dialRetryStep       = 20 * time.Millisecond
+	reconnectBackoffMin = 10 * time.Millisecond
+	reconnectBackoffMax = 640 * time.Millisecond
 )
 
 // withDefaults returns a copy of cfg with zero fields defaulted.
@@ -76,6 +115,21 @@ func (cfg TCPConfig) withDefaults() TCPConfig {
 	}
 	if cfg.IOTimeout < 0 {
 		cfg.IOTimeout = 0 // 0 means "no bound" internally
+	}
+	if cfg.DeathDeadline == 0 {
+		cfg.DeathDeadline = DefaultDeathDeadline
+	}
+	if cfg.DeathDeadline < 0 {
+		cfg.DeathDeadline = 0 // 0 means "healing disabled" internally
+	}
+	if cfg.ResendWindow == 0 {
+		cfg.ResendWindow = defaultResendWindow
+	}
+	if cfg.KeepalivePeriod == 0 && cfg.DeathDeadline > 0 {
+		cfg.KeepalivePeriod = cfg.DeathDeadline / 3
+	}
+	if cfg.KeepalivePeriod < 0 {
+		cfg.KeepalivePeriod = 0
 	}
 	return cfg
 }
@@ -94,36 +148,65 @@ type tokenMsg struct {
 	round uint16
 }
 
+// classedError carries a FaultClass alongside a poison cause, so Recv and
+// Barrier can classify the *Fault they raise from the box's stored error.
+type classedError struct {
+	class FaultClass
+	err   error
+}
+
+func (e *classedError) Error() string { return e.err.Error() }
+func (e *classedError) Unwrap() error { return e.err }
+
+// classOf extracts the FaultClass a poison path attached to err.
+func classOf(err error) FaultClass {
+	var ce *classedError
+	if errors.As(err, &ce) {
+		return ce.class
+	}
+	return ClassUnknown
+}
+
 // edgeBox is the inbound queue of one directed edge. A connection-reader
-// goroutine fills it; the owning rank drains it from Recv and Barrier. When
-// the connection dies the box is poisoned: done closes and err holds the
-// cause, so a blocked receiver wakes with a real error instead of hanging.
+// goroutine fills it; the owning rank drains it from Recv and Barrier.
+//
+// Unlike the pre-healing design, the binding between the box and its
+// connection is not permanent: when a connection dies the box enters a
+// grace period (the death deadline) during which a reconnecting peer may
+// rebind it with a fresh hello and resume the sequence exactly where the
+// old stream left off. Only deadline expiry — or a fault reconnection
+// cannot heal — poisons the box: done closes and err holds the cause, so
+// a blocked receiver wakes with a real, classified error instead of
+// hanging.
 type edgeBox[T num.Float] struct {
 	halo chan []T
 	tok  chan tokenMsg
 	ck   chan ckptParcel[T] // buddy snapshots; at most one in flight per period
 
-	// bound guards the edge's one-connection invariant: the barrier's
-	// lockstep and the halo sequencing rely on per-edge FIFO order, which
-	// two interleaving reader streams would break.
-	bound atomic.Bool
-
 	// Halo and checkpoint traffic received on this edge (frames and
 	// payload bytes), counted by the connection reader as frames land in
-	// the box.
+	// the box; dupFrames counts replayed data frames dropped by the
+	// sequence dedup, crcErrors frames rejected by the wire checksum.
 	framesRecv, bytesRecv atomic.Int64
+	dupFrames, crcErrors  atomic.Int64
 
-	mu   sync.Mutex
-	err  error
-	done chan struct{}
+	mu         sync.Mutex
+	err        error
+	done       chan struct{}
+	nextSeq    uint32        // next data-frame sequence expected; starts at 1
+	reader     chan struct{} // closed when the currently bound reader exits; nil if none
+	readerConn net.Conn      // the currently bound connection
+	bindCount  int           // how many connections have ever bound this edge
+	deathT     *time.Timer   // pending death-deadline poison after a disconnect
 }
 
 func newEdgeBox[T num.Float](tokCap int) *edgeBox[T] {
 	return &edgeBox[T]{
-		halo: make(chan []T, 4),
-		tok:  make(chan tokenMsg, tokCap),
-		ck:   make(chan ckptParcel[T], 2),
-		done: make(chan struct{}),
+		halo:    make(chan []T, 4),
+		tok:     make(chan tokenMsg, tokCap),
+		ck:      make(chan ckptParcel[T], 2),
+		done:    make(chan struct{}),
+		nextSeq: 1,
 	}
 }
 
@@ -145,6 +228,48 @@ func (b *edgeBox[T]) cause() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.err
+}
+
+// admitSeq applies the per-edge sequence discipline to one inbound data
+// frame: in-order frames advance the expectation, already-seen frames are
+// duplicates from a replay (dropped silently — dedup is what makes the
+// resend window idempotent), and a gap means frames were lost on a live
+// stream — unhealable in place, so the reader must force the sender to
+// reconnect and replay by dropping the connection. seq 0 is unsequenced
+// (hand-crafted frames in tests) and always admitted.
+func (b *edgeBox[T]) admitSeq(seq uint32) (accept bool, gapErr error) {
+	if seq == 0 {
+		return true, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case seq == b.nextSeq:
+		b.nextSeq++
+		return true, nil
+	case seq < b.nextSeq:
+		b.dupFrames.Add(1)
+		return false, nil
+	default:
+		return false, fmt.Errorf("dist: sequence gap on the edge: got frame %d, expected %d (frames lost on the wire)", seq, b.nextSeq)
+	}
+}
+
+// heartbeatGap checks a keepalive's sequence claim against the edge's
+// expectation: the frame's seq is the sender's last sealed sequence
+// number, so seq >= nextSeq means frames were sealed that never arrived —
+// a silent loss on an otherwise idle edge. seq 0 is an unsequenced probe
+// (nothing sealed yet) and always passes.
+func (b *edgeBox[T]) heartbeatGap(seq uint32) error {
+	if seq == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if seq >= b.nextSeq {
+		return fmt.Errorf("dist: sequence gap on the edge: keepalive claims frame %d was sent, expected %d next (frames lost on the wire)", seq, b.nextSeq)
+	}
+	return nil
 }
 
 // recvHalo returns the next halo strip, the poisoning error, or a timeout.
@@ -172,7 +297,8 @@ func (b *edgeBox[T]) recvHalo(timeout time.Duration) ([]T, error) {
 		}
 		return nil, b.cause()
 	case <-expire:
-		return nil, fmt.Errorf("timed out after %v waiting for the halo strip", timeout)
+		return nil, &classedError{class: ClassTimeout,
+			err: fmt.Errorf("timed out after %v waiting for the halo strip", timeout)}
 	}
 }
 
@@ -201,7 +327,8 @@ func (b *edgeBox[T]) recvCkpt(timeout time.Duration) (ckptParcel[T], error) {
 		}
 		return ckptParcel[T]{}, b.cause()
 	case <-expire:
-		return ckptParcel[T]{}, fmt.Errorf("timed out after %v waiting for the buddy checkpoint", timeout)
+		return ckptParcel[T]{}, &classedError{class: ClassTimeout,
+			err: fmt.Errorf("timed out after %v waiting for the buddy checkpoint", timeout)}
 	}
 }
 
@@ -230,23 +357,40 @@ func (b *edgeBox[T]) recvToken(timeout time.Duration) (tokenMsg, error) {
 		}
 		return tokenMsg{}, b.cause()
 	case <-expire:
-		return tokenMsg{}, fmt.Errorf("timed out after %v waiting for the barrier token", timeout)
+		return tokenMsg{}, &classedError{class: ClassTimeout,
+			err: fmt.Errorf("timed out after %v waiting for the barrier token", timeout)}
 	}
 }
 
 // outEdge is the outbound half of one directed edge: a persistent
-// connection fed by a writer goroutine, so Send never blocks on the socket.
+// connection fed by a writer goroutine, so Send never blocks on the
+// socket. The writer owns the edge's sequence counter and resend window —
+// every data frame is stamped, sealed and retained before it hits the
+// wire, so after a reconnect the writer can replay exactly the frames the
+// receiver names in its hello acknowledgement.
 type outEdge struct {
-	ch   chan []byte
-	conn net.Conn
+	ch       chan []byte
+	conn     net.Conn
+	addr     string
+	from, to int
+	dir      Dir
+	hello    []byte // sealed hello frame, re-sent on every reconnect
+
+	// Writer-goroutine-owned reliability state (no locks needed).
+	seq     uint32   // last data sequence assigned
+	flushed uint32   // last sequence successfully written to the current conn
+	ring    [][]byte // sealed frames (seq-len(ring)+1 .. seq], oldest first
+	dead    bool     // edge declared unhealable; frames are dropped
 
 	// framesSent/bytesSent count halo traffic enqueued on the edge (payload
 	// bytes, headers and tokens excluded, so counts compare across
 	// backends); queueHW is the deepest writer-queue backlog observed at
 	// any enqueue — tokens included, since backlog is a property of the
 	// socket, not of what is queued. A non-trivial queueHW means the halo
-	// cadence outran this socket.
+	// cadence outran this socket. reconnects counts connections rebuilt
+	// after an I/O fault, resends data frames replayed from the window.
 	framesSent, bytesSent, queueHW atomic.Int64
+	reconnects, resends            atomic.Int64
 }
 
 // noteDepth records the writer queue's depth after an enqueue, keeping the
@@ -278,17 +422,27 @@ func (oe *outEdge) noteDepth() {
 // schedule needs. No coordinator, no extra connections: the tokens ride the
 // halo edges.
 //
-// A transport fault (peer process death, wire-version mismatch, corrupt
-// frame, timeout) is fatal to the calling rank: Recv and Barrier panic with
-// a wrapped error naming the rank, direction and barrier generation —
+// Transient wire faults are healed in place, invisibly to the ranks: every
+// data frame carries a CRC-32C and a per-edge sequence number; a receiver
+// that sees corruption, loss or reordering drops the connection, and the
+// sender rebuilds it with bounded exponential backoff, re-handshakes
+// (hello → helloAck naming the next expected sequence) and replays its
+// resend window — exactly-once delivery restored, no recovery epoch,
+// bit-identical results. Only a fault that outlives the death deadline
+// becomes fatal: Recv and Barrier then panic with a classified *Fault
+// naming the rank, direction, generation and class —
 // MPI_ERRORS_ARE_FATAL semantics, which is what a bulk-synchronous stencil
 // wants since no iteration can complete without its neighbours.
 type TCPTransport[T num.Float] struct {
-	geo    Decomp
-	ring   bool
-	local  []int
-	rounds int
-	ioWait time.Duration
+	geo       Decomp
+	ring      bool
+	local     []int
+	rounds    int
+	ioWait    atomic.Int64  // recv/write deadline in ns; 0 = unbounded
+	deadline  time.Duration // death deadline; 0 = healing disabled
+	keepalive time.Duration
+	window    int
+	wrapConn  func(conn net.Conn, from, to int, d Dir) net.Conn
 
 	ln    net.Listener
 	boxes map[edgeKey]*edgeBox[T]
@@ -342,18 +496,22 @@ func NewTCPTransport[T num.Float](cfg TCPConfig) (*TCPTransport[T], error) {
 	}
 
 	t := &TCPTransport[T]{
-		geo:    geo,
-		ring:   cfg.Ring,
-		local:  local,
-		rounds: geo.diameter(cfg.Ring),
-		ioWait: cfg.IOTimeout,
-		barN:   len(local),
-		boxes:  make(map[edgeKey]*edgeBox[T]),
-		outs:   make(map[edgeKey]*outEdge),
-		quit:   make(chan struct{}),
-		flushq: make(chan struct{}),
+		geo:       geo,
+		ring:      cfg.Ring,
+		local:     local,
+		rounds:    geo.diameter(cfg.Ring),
+		deadline:  cfg.DeathDeadline,
+		keepalive: cfg.KeepalivePeriod,
+		window:    cfg.ResendWindow,
+		wrapConn:  cfg.WrapConn,
+		barN:      len(local),
+		boxes:     make(map[edgeKey]*edgeBox[T]),
+		outs:      make(map[edgeKey]*outEdge),
+		quit:      make(chan struct{}),
+		flushq:    make(chan struct{}),
 	}
 	t.barCond = sync.NewCond(&t.barMu)
+	t.ioWait.Store(int64(cfg.IOTimeout))
 
 	ln, err := net.Listen("tcp", cfg.Bind)
 	if err != nil {
@@ -594,8 +752,41 @@ func dialRetry(addr string, deadline time.Duration, retries *atomic.Int64) (net.
 	}
 }
 
+// wrap applies the chaos-injection hook (when configured) to a freshly
+// established outbound connection.
+func (t *TCPTransport[T]) wrap(conn net.Conn, oe *outEdge) net.Conn {
+	if t.wrapConn == nil {
+		return conn
+	}
+	return t.wrapConn(conn, oe.from, oe.to, oe.dir)
+}
+
+// handshake announces the edge on a fresh connection and waits for the
+// receiver's acknowledgement naming the next sequence it expects — 1 on a
+// first binding, the resume point after a reconnect.
+func (t *TCPTransport[T]) handshake(conn net.Conn, oe *outEdge, deadline time.Duration) (uint32, error) {
+	if deadline > 0 {
+		conn.SetDeadline(time.Now().Add(deadline))
+		defer conn.SetDeadline(time.Time{})
+	}
+	if _, err := conn.Write(oe.hello); err != nil {
+		return 0, fmt.Errorf("hello: %w", err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		return 0, fmt.Errorf("waiting for hello ack: %w", err)
+	}
+	if f.kind != frameHelloAck {
+		return 0, fmt.Errorf("peer answered the hello with frame kind %d, want an ack", f.kind)
+	}
+	if f.seq == 0 {
+		return 0, fmt.Errorf("peer acked with sequence 0")
+	}
+	return f.seq, nil
+}
+
 // dialEdges opens one persistent connection per outbound directed edge of
-// the hosted ranks, announces the edge with a hello frame, and starts its
+// the hosted ranks, performs the hello/ack handshake, and starts its
 // writer goroutine.
 func (t *TCPTransport[T]) dialEdges(cfg TCPConfig, book map[int]string) error {
 	for _, id := range t.local {
@@ -608,16 +799,27 @@ func (t *TCPTransport[T]) dialEdges(cfg TCPConfig, book map[int]string) error {
 			if !ok {
 				return fmt.Errorf("dist: address book has no entry for rank %d (neighbour %v of rank %d)", nb, d, id)
 			}
+			oe := &outEdge{
+				ch:    make(chan []byte, 64),
+				addr:  addr,
+				from:  id,
+				to:    nb,
+				dir:   d,
+				hello: appendFrame(nil, frame{kind: frameHello, from: uint16(id), to: uint16(nb), dir: byte(d)}),
+			}
 			conn, err := dialRetry(addr, cfg.DialTimeout, &t.dialRetries)
 			if err != nil {
 				return fmt.Errorf("dist: halo edge rank %d --%v--> rank %d: %w", id, d, nb, err)
 			}
-			hello := appendFrame(nil, frame{kind: frameHello, from: uint16(id), to: uint16(nb), dir: byte(d)})
-			if _, err := conn.Write(hello); err != nil {
+			conn = t.wrap(conn, oe)
+			ack, err := t.handshake(conn, oe, cfg.DialTimeout)
+			if err != nil {
 				conn.Close()
-				return fmt.Errorf("dist: halo edge rank %d --%v--> rank %d: hello: %w", id, d, nb, err)
+				return fmt.Errorf("dist: halo edge rank %d --%v--> rank %d: %w", id, d, nb, err)
 			}
-			oe := &outEdge{ch: make(chan []byte, 64), conn: conn}
+			oe.conn = conn
+			oe.seq = ack - 1
+			oe.flushed = ack - 1
 			t.outs[edgeKey{id, d}] = oe
 			t.track(conn)
 			t.wgW.Add(1)
@@ -630,43 +832,186 @@ func (t *TCPTransport[T]) dialEdges(cfg TCPConfig, book map[int]string) error {
 	return nil
 }
 
-// writeLoop drains one outbound edge's frame queue onto its socket. A write
-// error is terminal for the edge; the peer's death will also surface on the
-// receive side, so the loop keeps draining to avoid blocking senders. On
-// Close the loop first flushes everything already queued — the last
-// iteration's barrier tokens must reach the peers that are still completing
-// that barrier — and only then exits, letting Close take the connections
-// down.
+// writeLoop drains one outbound edge's frame queue onto its socket. The
+// loop owns the edge's sequence counter and resend window: every data
+// frame is stamped and retained before the write, a write error triggers
+// reconnect-with-backoff and replay, and only a reconnect that cannot
+// complete within the death deadline (or a replay the window no longer
+// covers) declares the edge dead — after which frames are dropped and the
+// peer's receive side classifies the failure. When the queue idles, a
+// keepalive heartbeat probes the connection so silent severance is healed
+// before the next halo exchange needs the edge. On Close the loop first
+// flushes everything already queued — the last iteration's barrier tokens
+// must reach the peers that are still completing that barrier — and only
+// then exits, letting Close take the connections down.
 func (t *TCPTransport[T]) writeLoop(oe *outEdge) {
-	var dead bool
-	write := func(buf []byte) {
-		if dead {
-			return
-		}
-		// The write deadline is what keeps Close from hanging on a
-		// hung-but-alive peer whose receive buffer is full: IOTimeout
-		// bounds the send side here just as it bounds the receive side
-		// in recvHalo/recvToken.
-		if t.ioWait > 0 {
-			oe.conn.SetWriteDeadline(time.Now().Add(t.ioWait))
-		}
-		if _, err := oe.conn.Write(buf); err != nil {
-			dead = true
-		}
+	var hb <-chan time.Time
+	if t.keepalive > 0 {
+		ticker := time.NewTicker(t.keepalive)
+		defer ticker.Stop()
+		hb = ticker.C
 	}
 	for {
 		select {
 		case buf := <-oe.ch:
-			write(buf)
+			t.dispatch(oe, buf, false)
+		case <-hb:
+			t.heartbeat(oe)
 		case <-t.flushq:
 			for {
 				select {
 				case buf := <-oe.ch:
-					write(buf)
+					t.dispatch(oe, buf, true)
 				default:
 					return
 				}
 			}
+		}
+	}
+}
+
+// dispatch stamps one data frame with the edge's next sequence number,
+// seals it (length + CRC), retains it in the resend window, and flushes.
+func (t *TCPTransport[T]) dispatch(oe *outEdge, buf []byte, closing bool) {
+	oe.seq++
+	sealFrame(buf, oe.seq)
+	oe.ring = append(oe.ring, buf)
+	if len(oe.ring) > t.window {
+		n := copy(oe.ring, oe.ring[len(oe.ring)-t.window:])
+		for i := n; i < len(oe.ring); i++ {
+			oe.ring[i] = nil
+		}
+		oe.ring = oe.ring[:n]
+	}
+	t.flush(oe, closing)
+}
+
+// flush writes every retained frame newer than the flushed watermark to
+// the connection, reconnecting (and rewinding the watermark to the
+// receiver's ack) on write errors. During Close's final drain reconnects
+// ioDur is the current I/O deadline; 0 means unbounded waits.
+func (t *TCPTransport[T]) ioDur() time.Duration { return time.Duration(t.ioWait.Load()) }
+
+// SetRecvTimeout adjusts the I/O deadline after construction — the same
+// knob as TCPConfig.IOTimeout, but settable late so harnesses can bound
+// waits uniformly across backends. Non-positive means wait forever.
+func (t *TCPTransport[T]) SetRecvTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.ioWait.Store(int64(d))
+}
+
+// are skipped — the peers are going away too.
+func (t *TCPTransport[T]) flush(oe *outEdge, closing bool) {
+	for oe.flushed < oe.seq && !oe.dead {
+		idx := len(oe.ring) - int(oe.seq-oe.flushed)
+		if idx < 0 {
+			// Frames past the window were never written — the receiver can
+			// no longer be made whole.
+			oe.dead = true
+			return
+		}
+		buf := oe.ring[idx]
+		if d := t.ioDur(); d > 0 {
+			oe.conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		if _, err := oe.conn.Write(buf); err == nil {
+			oe.flushed++
+			continue
+		}
+		if closing || !t.reconnect(oe) {
+			oe.dead = true
+			return
+		}
+	}
+}
+
+// heartbeat writes an unsequenced keepalive frame on an idle edge; a
+// failure is the early discovery of a severed connection, healed by the
+// same reconnect-and-replay path a halo write would take.
+func (t *TCPTransport[T]) heartbeat(oe *outEdge) {
+	if oe.dead {
+		return
+	}
+	if oe.flushed < oe.seq {
+		// Data is pending; flushing it probes the connection anyway.
+		t.flush(oe, false)
+		return
+	}
+	// The keepalive carries the last sealed sequence number so the receiver
+	// can detect a swallowed frame even when no data follows it.
+	buf := appendFrame(nil, frame{kind: frameHeartbeat, from: uint16(oe.from), to: uint16(oe.to), dir: byte(oe.dir), seq: oe.seq})
+	if d := t.ioDur(); d > 0 {
+		oe.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if _, err := oe.conn.Write(buf); err != nil {
+		if !t.reconnect(oe) {
+			oe.dead = true
+			return
+		}
+		t.flush(oe, false)
+	}
+}
+
+// reconnect rebuilds a broken edge connection with bounded exponential
+// backoff inside the death deadline: dial, re-wrap (the chaos hook applies
+// to reconnects too), re-handshake, and rewind the flush watermark to the
+// receiver's acknowledged resume point so flush replays what was lost.
+// Returns false when the edge cannot be healed — deadline exhausted,
+// transport closing, or the receiver needs frames the window no longer
+// retains.
+func (t *TCPTransport[T]) reconnect(oe *outEdge) bool {
+	if t.deadline <= 0 {
+		return false
+	}
+	oe.conn.Close()
+	expire := time.Now().Add(t.deadline)
+	backoff := reconnectBackoffMin
+	for {
+		if t.closed.Load() {
+			return false
+		}
+		remain := time.Until(expire)
+		if remain <= 0 {
+			return false
+		}
+		if conn, err := net.DialTimeout("tcp", oe.addr, remain); err == nil {
+			conn = t.wrap(conn, oe)
+			hsDeadline := t.deadline
+			if remain < hsDeadline {
+				hsDeadline = remain
+			}
+			ack, herr := t.handshake(conn, oe, hsDeadline)
+			if herr == nil {
+				ringBase := oe.seq - uint32(len(oe.ring)) + 1
+				if len(oe.ring) > 0 && ack < ringBase {
+					// The receiver lost frames older than the resend window
+					// retains; the edge cannot be made whole.
+					conn.Close()
+					return false
+				}
+				if ack > oe.seq+1 {
+					ack = oe.seq + 1
+				}
+				if ack-1 < oe.flushed {
+					oe.resends.Add(int64(oe.flushed - (ack - 1)))
+				}
+				oe.flushed = ack - 1
+				oe.conn = conn
+				t.track(conn)
+				oe.reconnects.Add(1)
+				return true
+			}
+			conn.Close()
+		}
+		select {
+		case <-t.quit:
+			return false
+		case <-time.After(backoff):
+		}
+		if backoff < reconnectBackoffMax {
+			backoff *= 2
 		}
 	}
 }
@@ -687,10 +1032,84 @@ func (t *TCPTransport[T]) acceptLoop() {
 	}
 }
 
+// bindEdge claims box for conn, superseding (and waiting out) any reader
+// still bound to a previous connection so frames from two streams can
+// never interleave into the FIFO. It returns the sequence to acknowledge
+// and a release func the reader must run on exit, or ok == false when the
+// edge cannot be (re)bound — poisoned, or the transport is closing.
+func (t *TCPTransport[T]) bindEdge(box *edgeBox[T], conn net.Conn) (ack uint32, release func(), ok bool) {
+	for {
+		box.mu.Lock()
+		if box.err != nil {
+			box.mu.Unlock()
+			return 0, nil, false
+		}
+		prev, prevConn := box.reader, box.readerConn
+		if prev == nil {
+			mine := make(chan struct{})
+			box.reader = mine
+			box.readerConn = conn
+			box.bindCount++
+			if box.deathT != nil {
+				box.deathT.Stop()
+				box.deathT = nil
+			}
+			ack = box.nextSeq
+			box.mu.Unlock()
+			release = func() {
+				box.mu.Lock()
+				if box.reader == mine {
+					box.reader = nil
+					box.readerConn = nil
+				}
+				box.mu.Unlock()
+				close(mine)
+			}
+			return ack, release, true
+		}
+		box.mu.Unlock()
+		// A previous connection still holds the edge: it is dead or dying
+		// (the peer would not reconnect otherwise). Force its reader out
+		// and wait for it, so delivery stays single-streamed.
+		prevConn.Close()
+		select {
+		case <-prev:
+		case <-t.quit:
+			return 0, nil, false
+		}
+	}
+}
+
+// edgeDown handles a bound connection's death: with healing enabled the
+// box enters a grace period — a reconnecting peer may rebind it — and
+// only the death deadline expiring poisons it as a permanent, classified
+// fault; with healing disabled (or cause already classified as beyond
+// repair) the box is poisoned immediately.
+func (t *TCPTransport[T]) edgeDown(box *edgeBox[T], from int, cause error) {
+	if t.closed.Load() {
+		return
+	}
+	if t.deadline <= 0 {
+		t.poisonEdge(box, &classedError{class: ClassPermanent,
+			err: fmt.Errorf("dist: halo connection from rank %d: %w", from, cause)})
+		return
+	}
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if box.err != nil || box.deathT != nil {
+		return
+	}
+	box.deathT = time.AfterFunc(t.deadline, func() {
+		t.poisonEdge(box, &classedError{class: ClassPermanent,
+			err: fmt.Errorf("dist: rank %d down: connection lost and no reconnect within the %v death deadline: %w", from, t.deadline, cause)})
+	})
+}
+
 // serveConn handles one inbound edge connection: validate the hello, bind
-// the connection to its inbound box, then pump halo strips and barrier
-// tokens into it until the connection dies — at which point the box is
-// poisoned so the owning rank sees the cause.
+// (or rebind) the connection to its inbound box, acknowledge with the next
+// expected sequence, then pump halo strips, barrier tokens and checkpoints
+// into the box until the connection dies — at which point the box enters
+// its reconnect grace period (or is poisoned, when healing is off).
 func (t *TCPTransport[T]) serveConn(conn net.Conn) {
 	hello, err := readFrame(conn)
 	if err != nil || hello.kind != frameHello {
@@ -709,36 +1128,78 @@ func (t *TCPTransport[T]) serveConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	if !box.bound.CompareAndSwap(false, true) {
-		// The edge already has its persistent connection; any later
-		// hello naming it (a stray reconnect, a misconfigured foreign
-		// cluster) is dropped rather than letting a second stream
-		// interleave into — or poison — the live FIFO box. If the first
-		// connection is in fact dead, its reader poisons the box and the
-		// rank fails with that cause.
-		conn.Close()
-		return
-	}
 	if nb, ok := t.geo.Neighbor(to, d.Opposite(), t.ring); !ok || nb != from {
-		// First claimant of the edge but the claim contradicts this
-		// process's geometry: the real peer is misconfigured (e.g. a
-		// different -rankgrid). Fail the edge loudly.
-		t.poisonEdge(box, fmt.Errorf("dist: hello from rank %d claiming to be rank %d's %v neighbour, geometry says rank %d", from, to, d.Opposite(), nb))
+		// The claim contradicts this process's geometry. On a never-bound
+		// edge the real peer is misconfigured (e.g. a different -rankgrid):
+		// fail the edge loudly. On a live edge it is a stray foreign
+		// connection: drop it without disturbing the healthy stream.
+		box.mu.Lock()
+		fresh := box.bindCount == 0
+		box.mu.Unlock()
+		if fresh {
+			t.poisonEdge(box, fmt.Errorf("dist: hello from rank %d claiming to be rank %d's %v neighbour, geometry says rank %d", from, to, d.Opposite(), nb))
+		}
 		conn.Close()
 		return
 	}
+	ack, release, ok := t.bindEdge(box, conn)
+	if !ok {
+		conn.Close()
+		return
+	}
+	defer release()
+	if d := t.ioDur(); d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if _, err := conn.Write(appendFrame(nil, frame{kind: frameHelloAck, from: uint16(to), to: uint16(from), dir: byte(d), seq: ack})); err != nil {
+		t.edgeDown(box, from, fmt.Errorf("hello ack: %w", err))
+		conn.Close()
+		return
+	}
+	conn.SetWriteDeadline(time.Time{})
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
-			t.poisonEdge(box, fmt.Errorf("dist: halo connection from rank %d: %w", from, err))
+			if isCorruptFrame(err) {
+				// A corrupted frame: reject the stream and let the sender
+				// reconnect and replay — the CRC turned silent corruption
+				// into a healable transient.
+				box.crcErrors.Add(1)
+			}
+			t.edgeDown(box, from, fmt.Errorf("dist: halo connection from rank %d: %w", from, err))
 			conn.Close()
 			return
+		}
+		if f.kind == frameHeartbeat {
+			// A keepalive carries the sender's last sealed sequence number, so
+			// an idle edge still discovers a swallowed frame: if the sender
+			// claims to have sent frames we never admitted, that is a gap with
+			// no follow-up data frame to expose it.
+			if gapErr := box.heartbeatGap(f.seq); gapErr != nil {
+				t.edgeDown(box, from, fmt.Errorf("dist: halo connection from rank %d: %w", from, gapErr))
+				conn.Close()
+				return
+			}
+			continue
+		}
+		accept, gapErr := box.admitSeq(f.seq)
+		if gapErr != nil {
+			// Frames were lost on a live stream (a chaos drop, a flaky
+			// middlebox). Drop the connection: the sender reconnects,
+			// learns our resume point from the ack, and replays.
+			t.edgeDown(box, from, fmt.Errorf("dist: halo connection from rank %d: %w", from, gapErr))
+			conn.Close()
+			return
+		}
+		if !accept {
+			continue // duplicate from a replay; already delivered
 		}
 		switch f.kind {
 		case frameHalo:
 			data, err := decodeElems[T](f.elem, f.payload)
 			if err != nil {
-				t.poisonEdge(box, fmt.Errorf("dist: halo frame from rank %d: %w", from, err))
+				t.poisonEdge(box, &classedError{class: ClassCorrupt,
+					err: fmt.Errorf("dist: halo frame from rank %d: %w", from, err)})
 				conn.Close()
 				return
 			}
@@ -760,7 +1221,8 @@ func (t *TCPTransport[T]) serveConn(conn net.Conn) {
 		case frameCkpt:
 			data, err := decodeElems[T](f.elem, f.payload)
 			if err != nil {
-				t.poisonEdge(box, fmt.Errorf("dist: checkpoint frame from rank %d: %w", from, err))
+				t.poisonEdge(box, &classedError{class: ClassCorrupt,
+					err: fmt.Errorf("dist: checkpoint frame from rank %d: %w", from, err)})
 				conn.Close()
 				return
 			}
@@ -814,7 +1276,8 @@ func (t *TCPTransport[T]) Neighbor(id int, d Dir) bool {
 // Send posts rank from's boundary strip toward its neighbour in direction
 // d. The strip is serialised into a fresh wire buffer before Send returns,
 // so the caller may reuse the slice after its next Barrier exactly as the
-// Transport contract allows; the socket write happens on the edge's writer
+// Transport contract allows; the socket write (and the sequence stamping,
+// CRC sealing and resend-window bookkeeping) happens on the edge's writer
 // goroutine, so Send never blocks on the network.
 func (t *TCPTransport[T]) Send(from int, d Dir, data []T) {
 	oe, ok := t.outs[edgeKey{from, d}]
@@ -845,15 +1308,16 @@ func (t *TCPTransport[T]) Recv(to int, d Dir) []T {
 
 // recv is Recv with the error surfaced: the returned error is a *Fault
 // wrapping the underlying cause and naming the receiving rank, the
-// direction, the suspect peer and the barrier generation it happened in.
+// direction, the suspect peer, the barrier generation it happened in, and
+// the failure class.
 func (t *TCPTransport[T]) recv(to int, d Dir) ([]T, error) {
 	box, ok := t.boxes[edgeKey{to, d}]
 	if !ok {
 		panic(fmt.Sprintf("dist: Recv(%d, %v) without a neighbour", to, d))
 	}
-	data, err := box.recvHalo(t.ioWait)
+	data, err := box.recvHalo(t.ioDur())
 	if err != nil {
-		return nil, &Fault{Rank: to, Dir: d, Peer: t.peerOf(to, d), Gen: int(t.gen.Load()), Err: err}
+		return nil, &Fault{Rank: to, Dir: d, Peer: t.peerOf(to, d), Gen: int(t.gen.Load()), Class: classOf(err), Err: err}
 	}
 	return data, nil
 }
@@ -880,9 +1344,8 @@ func (t *TCPTransport[T]) SendCkpt(from int, d Dir, gen int, data []T) {
 	nb, _ := t.geo.Neighbor(from, d, t.ring)
 	es := elemSize[T]()
 	out := make([]byte, wireHeaderSize, wireHeaderSize+len(data)*int(es))
-	putHeader(out, frame{kind: frameCkpt, from: uint16(from), to: uint16(nb), dir: byte(d), elem: es, gen: uint32(gen)}, 0)
+	putHeader(out, frame{kind: frameCkpt, from: uint16(from), to: uint16(nb), dir: byte(d), elem: es, gen: uint32(gen)})
 	out = appendElems(out, data)
-	binary.LittleEndian.PutUint32(out[16:20], uint32(len(out)-wireHeaderSize))
 	select {
 	case oe.ch <- out:
 		oe.framesSent.Add(1)
@@ -901,7 +1364,7 @@ func (t *TCPTransport[T]) RecvCkpt(to int, d Dir) ([]T, int, error) {
 	if !ok {
 		panic(fmt.Sprintf("dist: RecvCkpt(%d, %v) without a neighbour", to, d))
 	}
-	p, err := box.recvCkpt(t.ioWait)
+	p, err := box.recvCkpt(t.ioDur())
 	if err != nil {
 		return nil, 0, fmt.Errorf("dist: ckpt recv for rank %d from %v: %w", to, d, err)
 	}
@@ -1001,9 +1464,9 @@ func (t *TCPTransport[T]) exchangeTokens(gen uint32) error {
 				if !ok {
 					continue
 				}
-				tok, err := box.recvToken(t.ioWait)
+				tok, err := box.recvToken(t.ioDur())
 				if err != nil {
-					return &Fault{Rank: id, Dir: d, Peer: t.peerOf(id, d), Gen: int(gen), Barrier: true,
+					return &Fault{Rank: id, Dir: d, Peer: t.peerOf(id, d), Gen: int(gen), Barrier: true, Class: classOf(err),
 						Err: fmt.Errorf("round %d/%d: %w", round, t.rounds, err)}
 				}
 				if tok.gen != gen || int(tok.round) != round {
@@ -1041,15 +1504,25 @@ func (t *TCPTransport[T]) Close() error {
 	}
 	t.wg.Wait()
 	for _, box := range t.boxes {
+		box.mu.Lock()
+		if box.deathT != nil {
+			box.deathT.Stop()
+			box.deathT = nil
+		}
+		box.mu.Unlock()
 		box.poison(errors.New("dist: transport closed"))
 	}
 	return nil
 }
 
 // Metrics returns the per-edge halo traffic of the hosted ranks plus the
-// backend's health counters. Each process of a multi-process cluster
-// reports its own edges; the launcher's MergeAll sums the totals. Safe to
-// call live (the counters are atomic) and after Close.
+// backend's health counters — including the self-healing ones: connections
+// rebuilt (Reconnects), frames replayed from resend windows (Resends),
+// frames rejected by the wire CRC (CrcErrors) and replay duplicates
+// dropped by the sequence dedup (DupFrames). Each process of a
+// multi-process cluster reports its own edges; the launcher's MergeAll
+// sums the totals. Safe to call live (the counters are atomic) and after
+// Close.
 func (t *TCPTransport[T]) Metrics() telemetry.TransportMetrics {
 	var m telemetry.TransportMetrics
 	for _, id := range t.local {
@@ -1063,10 +1536,14 @@ func (t *TCPTransport[T]) Metrics() telemetry.TransportMetrics {
 				e.FramesSent = oe.framesSent.Load()
 				e.BytesSent = oe.bytesSent.Load()
 				e.QueueHW = oe.queueHW.Load()
+				m.Reconnects += oe.reconnects.Load()
+				m.Resends += oe.resends.Load()
 			}
 			if box, ok := t.boxes[edgeKey{id, d}]; ok {
 				e.FramesRecv = box.framesRecv.Load()
 				e.BytesRecv = box.bytesRecv.Load()
+				m.CrcErrors += box.crcErrors.Load()
+				m.DupFrames += box.dupFrames.Load()
 			}
 			m.Edges = append(m.Edges, e)
 		}

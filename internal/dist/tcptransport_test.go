@@ -1,11 +1,86 @@
 package dist
 
 import (
+	"errors"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// flakyConn induces one transient connection failure: when the shared
+// countdown hits zero the write fails and the connection closes — the
+// wire-level fault the self-healing path must absorb.
+type flakyConn struct {
+	net.Conn
+	countdown *atomic.Int32
+}
+
+func (c *flakyConn) Write(b []byte) (int, error) {
+	if c.countdown.Add(-1) == 0 {
+		c.Conn.Close()
+		return 0, errors.New("induced transient connection failure")
+	}
+	return c.Conn.Write(b)
+}
+
+// TestTCPTransientDisconnectHeals kills the 1->0 edge connection mid-run
+// and checks the transport heals it invisibly: every strip still arrives
+// in order with the right bits, no error ever surfaces, and the metrics
+// show the reconnect happened.
+func TestTCPTransientDisconnectHeals(t *testing.T) {
+	var countdown atomic.Int32
+	countdown.Store(5) // fail the 5th write on the wrapped edge, once
+	tr0, tr1 := splitTCPPair(t, false, func(cfg *TCPConfig) {
+		cfg.DeathDeadline = 5 * time.Second
+		cfg.WrapConn = func(conn net.Conn, from, to int, d Dir) net.Conn {
+			if from == 1 && to == 0 {
+				return &flakyConn{Conn: conn, countdown: &countdown}
+			}
+			return conn
+		}
+	})
+
+	const iters = 10
+	errs := make(chan error, 1)
+	go func() {
+		defer close(errs)
+		for i := 0; i < iters; i++ {
+			tr1.Send(1, Up, []float64{float64(100 + i)})
+			got, err := tr1.recv(1, Up)
+			if err != nil || got[0] != float64(i) {
+				errs <- err
+				return
+			}
+			tr1.Barrier()
+		}
+	}()
+	for i := 0; i < iters; i++ {
+		tr0.Send(0, Down, []float64{float64(i)})
+		got, err := tr0.recv(0, Down)
+		if err != nil {
+			t.Fatalf("iteration %d: recv after induced disconnect: %v", i, err)
+		}
+		if got[0] != float64(100+i) {
+			t.Fatalf("iteration %d: got %v, want %v — healing broke delivery order", i, got[0], 100+i)
+		}
+		tr0.Barrier()
+	}
+	if err, bad := <-errs; bad {
+		t.Fatalf("rank 1 side: %v", err)
+	}
+	if countdown.Load() > 0 {
+		t.Fatal("the induced failure never fired; the test exercised nothing")
+	}
+	m := tr1.Metrics()
+	if m.Reconnects < 1 {
+		t.Errorf("Reconnects = %d, want >= 1 (the healed edge)", m.Reconnects)
+	}
+	if m0 := tr0.Metrics(); m0.Poisoned != 0 || m.Poisoned != 0 {
+		t.Errorf("poison events %d/%d, want 0/0 — a transient fault must not kill an edge", m0.Poisoned, m.Poisoned)
+	}
+}
 
 // newLoopbackTCP builds an all-local TCP transport for tests: every rank
 // hosted in this process, halo traffic over real loopback sockets, no
@@ -22,9 +97,16 @@ func newLoopbackTCP(t *testing.T, rx, ry int, ring bool) *TCPTransport[float64] 
 
 // splitTCPPair wires the two ranks of a 1x2 chain as two separate
 // TCPTransport instances meeting at a rendezvous — the in-process stand-in
-// for two OS processes. Returns the transports hosting rank 0 and rank 1.
-func splitTCPPair(t *testing.T, ring bool) (*TCPTransport[float64], *TCPTransport[float64]) {
+// for two OS processes. mod (optional) adjusts each side's config before
+// construction. Returns the transports hosting rank 0 and rank 1.
+func splitTCPPair(t *testing.T, ring bool, mod ...func(*TCPConfig)) (*TCPTransport[float64], *TCPTransport[float64]) {
 	t.Helper()
+	apply := func(cfg TCPConfig) TCPConfig {
+		for _, m := range mod {
+			m(&cfg)
+		}
+		return cfg
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -36,18 +118,18 @@ func splitTCPPair(t *testing.T, ring bool) (*TCPTransport[float64], *TCPTranspor
 	}
 	ch0 := make(chan result, 1)
 	go func() {
-		tr, err := NewTCPTransport[float64](TCPConfig{
+		tr, err := NewTCPTransport[float64](apply(TCPConfig{
 			RanksX: 1, RanksY: 2, Ring: ring,
 			LocalRanks: []int{0}, Rendezvous: addr, RendezvousListener: ln,
 			DialTimeout: 5 * time.Second,
-		})
+		}))
 		ch0 <- result{tr, err}
 	}()
-	tr1, err := NewTCPTransport[float64](TCPConfig{
+	tr1, err := NewTCPTransport[float64](apply(TCPConfig{
 		RanksX: 1, RanksY: 2, Ring: ring,
 		LocalRanks: []int{1}, Rendezvous: addr,
 		DialTimeout: 5 * time.Second,
-	})
+	}))
 	if err != nil {
 		t.Fatalf("rank-1 transport: %v", err)
 	}
@@ -67,7 +149,9 @@ func splitTCPPair(t *testing.T, ring bool) (*TCPTransport[float64], *TCPTranspor
 // and checks the survivor's receive fails with a wrapped error naming the
 // rank, the direction and the barrier generation instead of hanging.
 func TestTCPRecvErrorOnPeerDeath(t *testing.T) {
-	tr0, tr1 := splitTCPPair(t, false)
+	// Healing disabled: the peer's death must surface immediately as a
+	// permanent fault, not after a reconnect grace period.
+	tr0, tr1 := splitTCPPair(t, false, func(cfg *TCPConfig) { cfg.DeathDeadline = -1 })
 
 	// One healthy iteration first, so the failure happens mid-stream.
 	done := make(chan struct{})
@@ -133,11 +217,11 @@ func TestTCPConnectRetryDeadline(t *testing.T) {
 
 // newHalfTCP builds a transport hosting only rank 0 of a 1x2 chain while
 // the test plays rank 1's process with raw sockets: it registers a dummy
-// data listener at the rendezvous, swallows the transport's outbound edge
-// dial, and returns a raw connection on which the test can write
-// hand-crafted frames for the (genuinely unbound) inbound edge rank 1
-// --Up--> rank 0.
-func newHalfTCP(t *testing.T) (*TCPTransport[float64], net.Conn) {
+// data listener at the rendezvous, answers the transport's outbound edge
+// handshake (hello → helloAck) and swallows everything after it, and
+// returns a raw connection on which the test can write hand-crafted frames
+// for the (genuinely unbound) inbound edge rank 1 --Up--> rank 0.
+func newHalfTCP(t *testing.T, mod ...func(*TCPConfig)) (*TCPTransport[float64], net.Conn) {
 	t.Helper()
 	peerLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -146,11 +230,22 @@ func newHalfTCP(t *testing.T) (*TCPTransport[float64], net.Conn) {
 	t.Cleanup(func() { peerLn.Close() })
 	go func() {
 		for {
-			c, err := peerLn.Accept() // park the transport's outbound dial
+			c, err := peerLn.Accept()
 			if err != nil {
 				return
 			}
-			defer c.Close()
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					f, err := readFrame(c)
+					if err != nil {
+						return
+					}
+					if f.kind == frameHello {
+						c.Write(appendFrame(nil, frame{kind: frameHelloAck, from: f.to, to: f.from, dir: f.dir, seq: 1}))
+					}
+				}
+			}(c)
 		}
 	}()
 	rdvLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -158,11 +253,15 @@ func newHalfTCP(t *testing.T) (*TCPTransport[float64], net.Conn) {
 		t.Fatal(err)
 	}
 	go registerAtRendezvous(rdvLn.Addr().String(), []int{1}, peerLn.Addr().String(), 5*time.Second, nil)
-	tr, err := NewTCPTransport[float64](TCPConfig{
+	cfg := TCPConfig{
 		RanksX: 1, RanksY: 2,
 		LocalRanks: []int{0}, Rendezvous: rdvLn.Addr().String(), RendezvousListener: rdvLn,
 		DialTimeout: 5 * time.Second, IOTimeout: 5 * time.Second,
-	})
+	}
+	for _, m := range mod {
+		m(&cfg)
+	}
+	tr, err := NewTCPTransport[float64](cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +280,9 @@ func newHalfTCP(t *testing.T) (*TCPTransport[float64], net.Conn) {
 // version; the receiving edge must reject it with an error naming both
 // versions.
 func TestTCPWireVersionRejected(t *testing.T) {
-	tr, conn := newHalfTCP(t)
+	// Healing off: the protocol error must poison the edge immediately with
+	// the version cause, not wait out a reconnect grace period.
+	tr, conn := newHalfTCP(t, func(cfg *TCPConfig) { cfg.DeathDeadline = -1 })
 
 	// Valid hello for the directed edge rank 1 --Up--> rank 0, so the
 	// connection binds to a real inbound box...
@@ -222,24 +323,30 @@ func TestTCPRejectsMixedElementWidth(t *testing.T) {
 	}
 }
 
-// TestTCPDuplicateEdgeRejected checks the per-edge one-connection
-// invariant: a second hello for an already-bound edge is dropped and the
-// original stream keeps working.
-func TestTCPDuplicateEdgeRejected(t *testing.T) {
+// TestTCPEdgeRebind checks the reconnect protocol on the receive side: a
+// second hello for an already-bound edge supersedes the old connection, the
+// helloAck names the resume sequence, replayed duplicates are deduplicated,
+// and in-order frames on the new connection are delivered — the receiver
+// half of transparent healing.
+func TestTCPEdgeRebind(t *testing.T) {
 	tr, conn := newHalfTCP(t)
 
 	if _, err := conn.Write(appendFrame(nil, frame{kind: frameHello, from: 1, to: 0, dir: byte(Up)})); err != nil {
 		t.Fatal(err)
 	}
+	if ack, err := readFrame(conn); err != nil || ack.kind != frameHelloAck || ack.seq != 1 {
+		t.Fatalf("first hello ack: %+v, %v", ack, err)
+	}
 	payload := appendElems(nil, []float64{11})
-	if _, err := conn.Write(appendFrame(nil, frame{kind: frameHalo, from: 1, to: 0, dir: byte(Up), elem: 8, payload: payload})); err != nil {
+	if _, err := conn.Write(appendFrame(nil, frame{kind: frameHalo, from: 1, to: 0, dir: byte(Up), elem: 8, seq: 1, payload: payload})); err != nil {
 		t.Fatal(err)
 	}
 	if got, err := tr.recv(0, Down); err != nil || got[0] != 11 {
 		t.Fatalf("first stream: %v, %v", got, err)
 	}
 
-	// A stray reconnect announcing the same edge must not interleave.
+	// The peer "reconnects": the new hello takes the edge over and the ack
+	// names the next sequence the box expects.
 	dup, err := net.Dial("tcp", tr.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -248,16 +355,56 @@ func TestTCPDuplicateEdgeRejected(t *testing.T) {
 	if _, err := dup.Write(appendFrame(nil, frame{kind: frameHello, from: 1, to: 0, dir: byte(Up)})); err != nil {
 		t.Fatal(err)
 	}
-	payload = appendElems(nil, []float64{666})
-	dup.Write(appendFrame(nil, frame{kind: frameHalo, from: 1, to: 0, dir: byte(Up), elem: 8, payload: payload}))
+	if ack, err := readFrame(dup); err != nil || ack.kind != frameHelloAck || ack.seq != 2 {
+		t.Fatalf("rebind hello ack: %+v, %v (want resume at seq 2)", ack, err)
+	}
 
-	// The original connection still delivers, unpolluted by the stray.
+	// A replay of the already-delivered frame is deduplicated; the next
+	// in-order frame is delivered.
+	stale := appendElems(nil, []float64{99})
+	if _, err := dup.Write(appendFrame(nil, frame{kind: frameHalo, from: 1, to: 0, dir: byte(Up), elem: 8, seq: 1, payload: stale})); err != nil {
+		t.Fatal(err)
+	}
 	payload = appendElems(nil, []float64{22})
-	if _, err := conn.Write(appendFrame(nil, frame{kind: frameHalo, from: 1, to: 0, dir: byte(Up), elem: 8, payload: payload})); err != nil {
+	if _, err := dup.Write(appendFrame(nil, frame{kind: frameHalo, from: 1, to: 0, dir: byte(Up), elem: 8, seq: 2, payload: payload})); err != nil {
 		t.Fatal(err)
 	}
 	if got, err := tr.recv(0, Down); err != nil || got[0] != 22 {
-		t.Fatalf("original stream after duplicate hello: %v, %v", got, err)
+		t.Fatalf("stream after rebind: %v, %v", got, err)
+	}
+	if m := tr.Metrics(); m.DupFrames != 1 {
+		t.Errorf("DupFrames = %d, want 1 (the replayed frame)", m.DupFrames)
+	}
+}
+
+// TestTCPCorruptFrameRejected flips a payload bit after sealing and checks
+// the receiving edge rejects the frame via the wire CRC, attributing the
+// corruption to the edge.
+func TestTCPCorruptFrameRejected(t *testing.T) {
+	tr, conn := newHalfTCP(t, func(cfg *TCPConfig) { cfg.DeathDeadline = -1 })
+
+	if _, err := conn.Write(appendFrame(nil, frame{kind: frameHello, from: 1, to: 0, dir: byte(Up)})); err != nil {
+		t.Fatal(err)
+	}
+	bad := appendFrame(nil, frame{kind: frameHalo, from: 1, to: 0, dir: byte(Up), elem: 8, seq: 1,
+		payload: appendElems(nil, []float64{3.5})})
+	bad[len(bad)-3] ^= 0x10 // one flipped bit in the payload
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := tr.recv(0, Down)
+	if err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"CRC mismatch", "rank 1", "corrupted on the wire"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("corruption error %q does not name %q", msg, want)
+		}
+	}
+	if m := tr.Metrics(); m.CrcErrors != 1 {
+		t.Errorf("CrcErrors = %d, want 1", m.CrcErrors)
 	}
 }
 

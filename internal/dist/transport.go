@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stencilabft/internal/num"
 	"stencilabft/internal/telemetry"
@@ -111,6 +112,11 @@ type ChanTransport[T num.Float] struct {
 	bar  *barrier
 	em   *edgeCounters
 
+	// recvTimeout, when positive, bounds every Recv/RecvCkpt wait so a
+	// stalled sibling rank surfaces as a classified timeout fault instead
+	// of a hang — the channel backend's analogue of TCPConfig.IOTimeout.
+	recvTimeout time.Duration
+
 	// Abort support: quit closes once with the first cause, waking every
 	// blocked channel operation so a tolerant caller can unwind.
 	abortOnce sync.Once
@@ -204,6 +210,22 @@ func NewChanTransport[T num.Float](ranksX, ranksY int, ring bool) *ChanTransport
 	return t
 }
 
+// SetRecvTimeout bounds every subsequent Recv/RecvCkpt wait (<= 0 waits
+// forever, the default). Call before the cluster runs; a timeout expiring
+// surfaces as a panic with a *Fault of class ClassTimeout, the same stalled-
+// peer semantics as the TCP backend's IOTimeout.
+func (t *ChanTransport[T]) SetRecvTimeout(d time.Duration) { t.recvTimeout = d }
+
+// expiry returns a channel that fires after the configured receive timeout,
+// plus the timer to stop (both nil when unbounded).
+func (t *ChanTransport[T]) expiry() (<-chan time.Time, *time.Timer) {
+	if t.recvTimeout <= 0 {
+		return nil, nil
+	}
+	tm := time.NewTimer(t.recvTimeout)
+	return tm.C, tm
+}
+
 // Neighbor reports whether rank id has a neighbour in direction d.
 func (t *ChanTransport[T]) Neighbor(id int, d Dir) bool {
 	_, ok := t.geo.Neighbor(id, d, t.ring)
@@ -229,12 +251,19 @@ func (t *ChanTransport[T]) Recv(to int, d Dir) []T {
 	if !ok {
 		panic(fmt.Sprintf("dist: Recv(%d, %v) without a neighbour", to, d))
 	}
+	expire, tm := t.expiry()
+	if tm != nil {
+		defer tm.Stop()
+	}
 	select {
 	case data := <-t.ch[d.Opposite()][nb]:
 		t.em.recvd(d, to, len(data)*int(elemSize[T]()))
 		return data
 	case <-t.quit:
 		panic(&Fault{Rank: to, Dir: d, Peer: nb, Gen: t.bar.generation(), Err: t.abortErr})
+	case <-expire:
+		panic(&Fault{Rank: to, Dir: d, Peer: nb, Gen: t.bar.generation(), Class: ClassTimeout,
+			Err: fmt.Errorf("timed out after %v waiting for the halo strip", t.recvTimeout)})
 	}
 }
 
@@ -256,12 +285,18 @@ func (t *ChanTransport[T]) RecvCkpt(to int, d Dir) ([]T, int, error) {
 	if !ok {
 		panic(fmt.Sprintf("dist: RecvCkpt(%d, %v) without a neighbour", to, d))
 	}
+	expire, tm := t.expiry()
+	if tm != nil {
+		defer tm.Stop()
+	}
 	select {
 	case p := <-t.ck[d.Opposite()][nb]:
 		t.em.recvd(d, to, len(p.data)*int(elemSize[T]()))
 		return p.data, p.gen, nil
 	case <-t.quit:
 		return nil, 0, t.abortErr
+	case <-expire:
+		return nil, 0, fmt.Errorf("dist: ckpt recv for rank %d from %v: timed out after %v", to, d, t.recvTimeout)
 	}
 }
 

@@ -1,7 +1,9 @@
 package dist_test
 
 import (
+	"net"
 	"testing"
+	"time"
 
 	"stencilabft/internal/dist"
 	"stencilabft/internal/dist/disttest"
@@ -24,6 +26,43 @@ func TestTCPTransportConformance(t *testing.T) {
 		tr, err := dist.NewTCPTransport[float64](dist.TCPConfig{RanksX: rx, RanksY: ry, Ring: ring})
 		if err != nil {
 			t.Fatalf("NewTCPTransport(%dx%d, ring=%v): %v", rx, ry, ring, err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	})
+}
+
+// TestChanTransportChaos runs the channel backend through the chaos
+// cases: seam drops must fault cleanly, stragglers must be absorbed. The
+// channel backend has no wire, so the wire-fault cases are skipped.
+func TestChanTransportChaos(t *testing.T) {
+	disttest.RunChaos(t, func(rx, ry int, ring bool) dist.Transport[float64] {
+		return dist.NewChanTransport[float64](rx, ry, ring)
+	}, nil)
+}
+
+// TestTCPTransportChaos certifies the socket backend's self-healing layer
+// under scripted wire faults: dropped, duplicated, reordered and corrupted
+// frames plus transient disconnects must all end in bit-identical delivery
+// with no poisoned edges, and seam faults behave exactly as on the channel
+// backend. The short keepalive lets idle-edge losses heal in test time.
+func TestTCPTransportChaos(t *testing.T) {
+	disttest.RunChaos(t, func(rx, ry int, ring bool) dist.Transport[float64] {
+		tr, err := dist.NewTCPTransport[float64](dist.TCPConfig{RanksX: rx, RanksY: ry, Ring: ring})
+		if err != nil {
+			t.Fatalf("NewTCPTransport(%dx%d, ring=%v): %v", rx, ry, ring, err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	}, func(rx, ry int, ring bool, wrap func(net.Conn, int, int, dist.Dir) net.Conn) dist.Transport[float64] {
+		tr, err := dist.NewTCPTransport[float64](dist.TCPConfig{
+			RanksX: rx, RanksY: ry, Ring: ring,
+			WrapConn:        wrap,
+			DeathDeadline:   5 * time.Second,
+			KeepalivePeriod: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("NewTCPTransport(%dx%d, ring=%v, chaos): %v", rx, ry, ring, err)
 		}
 		t.Cleanup(func() { tr.Close() })
 		return tr

@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChanRecvTimeoutFault starves a receive on the channel backend with a
+// timeout set and requires a classified *Fault — a stalled sibling rank
+// must surface as a diagnosable timeout, not a hang and not a bare panic.
+func TestChanRecvTimeoutFault(t *testing.T) {
+	tr := NewChanTransport[float64](1, 2, false)
+	tr.SetRecvTimeout(50 * time.Millisecond)
+
+	var fault *Fault
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			var ok bool
+			if fault, ok = p.(*Fault); !ok {
+				panic(p)
+			}
+		}()
+		tr.Recv(1, Up) // rank 0 never sends
+	}()
+	if fault == nil {
+		t.Fatal("starved Recv returned instead of panicking with a *Fault")
+	}
+	if fault.Class != ClassTimeout {
+		t.Fatalf("starved Recv classified as %v, want %v: %v", fault.Class, ClassTimeout, fault)
+	}
+	if fault.Rank != 1 {
+		t.Fatalf("fault names rank %d, want the starved receiver 1: %v", fault.Rank, fault)
+	}
+	if msg := fault.Error(); !strings.Contains(msg, "timeout") || !strings.Contains(msg, "timed out") {
+		t.Fatalf("fault message %q does not say what happened", msg)
+	}
+}
+
+// TestChanRecvNoTimeoutStillBlocks pins the historical default: without a
+// timeout the receive waits, so lockstep ranks are never spuriously
+// faulted. (Bounded here by delivering late rather than never.)
+func TestChanRecvNoTimeoutStillBlocks(t *testing.T) {
+	tr := NewChanTransport[float64](1, 2, false)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		tr.Send(0, Down, []float64{7})
+	}()
+	if got := tr.Recv(1, Up); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("late delivery lost: %v", got)
+	}
+}
+
+// TestChanRecvCkptTimeout starves a checkpoint receive; the carrier seam
+// returns an error (the resilience layer degrades, it does not crash).
+func TestChanRecvCkptTimeout(t *testing.T) {
+	tr := NewChanTransport[float64](1, 2, false)
+	tr.SetRecvTimeout(50 * time.Millisecond)
+	if _, _, err := tr.RecvCkpt(1, Up); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("starved RecvCkpt returned %v, want a timeout error", err)
+	}
+}
+
+// TestOptionsRecvTimeoutPlumbed proves the Options knob reaches the
+// default channel backend: a cluster-built transport with RecvTimeout set
+// faults a starved receive instead of hanging.
+func TestOptionsRecvTimeoutPlumbed(t *testing.T) {
+	o := Options[float64]{RecvTimeout: 50 * time.Millisecond}.withDefaults()
+	tr := o.NewTransport(1, 2, false)
+	var fault *Fault
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				fault, _ = p.(*Fault)
+			}
+		}()
+		tr.Recv(0, Down)
+	}()
+	if fault == nil || fault.Class != ClassTimeout {
+		t.Fatalf("Options.RecvTimeout not plumbed: fault %v", fault)
+	}
+}

@@ -3,7 +3,9 @@ package dist
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"unsafe"
@@ -21,15 +23,24 @@ import (
 //	offset  size  field
 //	0       2     magic "SB" (stencil binary)
 //	2       1     wire version (wireVersion)
-//	3       1     frame kind (hello | halo | token | register | book | nack | ckpt | dead | adopt | state)
+//	3       1     frame kind (hello | helloAck | halo | token | ... | heartbeat)
 //	4       2     from rank (uint16)
 //	6       2     to rank (uint16)
 //	8       1     direction (dist.Dir; the direction `from` sent toward)
 //	9       1     element width in bytes (4 = float32, 8 = float64, 0 = none)
 //	10      4     barrier generation (uint32; token frames)
 //	14      2     barrier round (uint16; token frames)
-//	16      4     payload length in bytes (uint32)
-//	20      —     payload
+//	16      4     sequence number (uint32; per-edge, data frames only, 0 = unsequenced)
+//	20      4     payload length in bytes (uint32)
+//	24      4     CRC-32C over header[0:24] + payload
+//	28      —     payload
+//
+// Version 2 added the sequence number and the checksum. The CRC turns a
+// corrupted frame (a flipped bit on the wire, a chaos injection) into a
+// detected, attributable error at the receiving edge instead of silently
+// desynchronizing the stream; the sequence number is what lets a rebuilt
+// connection resume exactly where the old one left off (duplicates are
+// dropped, gaps force a reconnect-and-replay).
 //
 // Halo payloads are raw IEEE-754 element bits, little-endian, in the pack
 // order of the exchange (row-major strips). Bootstrap payloads (register,
@@ -39,27 +50,33 @@ import (
 const (
 	wireMagic0  = 'S'
 	wireMagic1  = 'B'
-	wireVersion = 1
+	wireVersion = 2
 
-	wireHeaderSize = 20
+	wireHeaderSize = 28
 
 	// maxFramePayload caps a frame's declared payload so a corrupt or
 	// malicious header cannot make the receiver allocate unbounded memory.
 	maxFramePayload = 1 << 30
 )
 
+// crcTable is the Castagnoli polynomial table every frame checksum uses —
+// the same CRC-32C the checkpoint file format trusts.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 // Frame kinds.
 const (
-	frameHello    = byte(iota + 1) // opens a directed halo edge: {from, to, dir}
-	frameHalo                      // one boundary strip, payload = elements
-	frameToken                     // barrier token: {gen, round}
-	frameRegister                  // rendezvous: JSON {ranks, addr}
-	frameBook                      // rendezvous: JSON {addrs: rank → listen addr}
-	frameNack                      // rendezvous rejection: JSON {error}
-	frameCkpt                      // buddy checkpoint: gen = iteration, payload = packed rank state
-	frameDead                      // recovery control: JSON fault report / death notice
-	frameAdopt                     // recovery control: JSON plan / adoption request
-	frameState                     // recovery control: gen = iteration, payload = dead rank's packed state
+	frameHello     = byte(iota + 1) // opens a directed halo edge: {from, to, dir}
+	frameHalo                       // one boundary strip, payload = elements
+	frameToken                      // barrier token: {gen, round}
+	frameRegister                   // rendezvous: JSON {ranks, addr}
+	frameBook                       // rendezvous: JSON {addrs: rank → listen addr}
+	frameNack                       // rendezvous rejection: JSON {error}
+	frameCkpt                       // buddy checkpoint: gen = iteration, payload = packed rank state
+	frameDead                       // recovery control: JSON fault report / death notice
+	frameAdopt                      // recovery control: JSON plan / adoption request
+	frameState                      // recovery control: gen = iteration, payload = dead rank's packed state
+	frameHelloAck                   // edge handshake reply: seq = next sequence the receiver expects
+	frameHeartbeat                  // idle keepalive; unsequenced, receiver discards it
 )
 
 // The recovery control plane (internal/resilience) speaks the same wire
@@ -118,9 +135,9 @@ func WriteJSONFrame(w io.Writer, kind byte, v any) error {
 func WriteStateFrame[T num.Float](w io.Writer, gen int, data []T) error {
 	es := elemSize[T]()
 	buf := make([]byte, wireHeaderSize, wireHeaderSize+len(data)*int(es))
-	putHeader(buf, frame{kind: frameState, elem: es, gen: uint32(gen)}, 0)
+	putHeader(buf, frame{kind: frameState, elem: es, gen: uint32(gen)})
 	buf = appendElems(buf, data)
-	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(buf)-wireHeaderSize))
+	sealFrame(buf, 0)
 	_, err := w.Write(buf)
 	return err
 }
@@ -146,12 +163,14 @@ type frame struct {
 	elem     byte
 	gen      uint32
 	round    uint16
+	seq      uint32
 	payload  []byte
 }
 
-// putHeader writes f's header fields into h (len wireHeaderSize) with the
-// given payload length.
-func putHeader(h []byte, f frame, payloadLen int) {
+// putHeader writes f's header fields into h (len wireHeaderSize). The
+// payload length and CRC are left zero; sealFrame fills them once the
+// payload is in place.
+func putHeader(h []byte, f frame) {
 	h[0], h[1] = wireMagic0, wireMagic1
 	h[2] = wireVersion
 	h[3] = f.kind
@@ -161,34 +180,71 @@ func putHeader(h []byte, f frame, payloadLen int) {
 	h[9] = f.elem
 	binary.LittleEndian.PutUint32(h[10:14], f.gen)
 	binary.LittleEndian.PutUint16(h[14:16], f.round)
-	binary.LittleEndian.PutUint32(h[16:20], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(h[16:20], f.seq)
+	binary.LittleEndian.PutUint32(h[20:24], 0)
+	binary.LittleEndian.PutUint32(h[24:28], 0)
 }
 
-// appendFrame serialises f onto dst and returns the extended slice.
+// sealFrame finalises a serialised frame in place: stamps the sequence
+// number, backfills the payload length, and computes the CRC-32C over the
+// header (CRC field excluded) and payload. It is the last step before a
+// frame may hit the wire — any later mutation invalidates the checksum,
+// which is the point: the receiver's CRC check covers everything.
+func sealFrame(buf []byte, seq uint32) {
+	binary.LittleEndian.PutUint32(buf[16:20], seq)
+	binary.LittleEndian.PutUint32(buf[20:24], uint32(len(buf)-wireHeaderSize))
+	crc := crc32.Update(0, crcTable, buf[:24])
+	crc = crc32.Update(crc, crcTable, buf[wireHeaderSize:])
+	binary.LittleEndian.PutUint32(buf[24:28], crc)
+}
+
+// frameSeq reads the sequence number of a serialised frame.
+func frameSeq(buf []byte) uint32 { return binary.LittleEndian.Uint32(buf[16:20]) }
+
+// appendFrame serialises and seals f onto dst and returns the extended
+// slice.
 func appendFrame(dst []byte, f frame) []byte {
+	start := len(dst)
 	var h [wireHeaderSize]byte
-	putHeader(h[:], f, len(f.payload))
+	putHeader(h[:], f)
 	dst = append(dst, h[:]...)
-	return append(dst, f.payload...)
+	dst = append(dst, f.payload...)
+	sealFrame(dst[start:], f.seq)
+	return dst
 }
 
 // encodeHaloFrame serialises one halo strip into a single wire buffer —
-// header reserved up front, elements appended in place, length back-filled
-// — avoiding the intermediate payload buffer appendFrame would need. This
-// is the per-edge-per-iteration hot path of Send.
+// header reserved up front, elements appended in place, then sealed —
+// avoiding the intermediate payload buffer appendFrame would need. This
+// is the per-edge-per-iteration hot path of Send. The frame is returned
+// unsealed: the edge's writer goroutine owns the per-edge sequence counter
+// and seals (seq + length + CRC) at dispatch, so the checksum is computed
+// exactly once per frame.
 func encodeHaloFrame[T num.Float](from, to uint16, dir byte, gen uint32, data []T) []byte {
 	es := elemSize[T]()
 	buf := make([]byte, wireHeaderSize, wireHeaderSize+len(data)*int(es))
-	putHeader(buf, frame{kind: frameHalo, from: from, to: to, dir: dir, elem: es, gen: gen}, 0)
-	buf = appendElems(buf, data)
-	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(buf)-wireHeaderSize))
-	return buf
+	putHeader(buf, frame{kind: frameHalo, from: from, to: to, dir: dir, elem: es, gen: gen})
+	return appendElems(buf, data)
+}
+
+// wireCorruptError marks a frame rejected by the CRC check — the receiver
+// classifies it as corruption (and heals by forcing the sender to
+// reconnect and replay) rather than as a protocol error.
+type wireCorruptError struct{ msg string }
+
+func (e *wireCorruptError) Error() string { return e.msg }
+
+// isCorruptFrame reports whether err is a CRC rejection from readFrame.
+func isCorruptFrame(err error) bool {
+	var ce *wireCorruptError
+	return errors.As(err, &ce)
 }
 
 // readFrame reads and validates one frame from r. It checks the magic and
-// the wire version before trusting any other header field, so a
-// version-mismatched peer is rejected with an actionable error instead of
-// being misparsed.
+// the wire version before trusting any other header field, then verifies
+// the CRC-32C over header and payload, so a version-mismatched peer or a
+// corrupted frame is rejected with an actionable error instead of being
+// misparsed.
 func readFrame(r io.Reader) (frame, error) {
 	var h [wireHeaderSize]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
@@ -198,9 +254,9 @@ func readFrame(r io.Reader) (frame, error) {
 		return frame{}, fmt.Errorf("dist: bad wire magic %#02x%02x (not a stencilabft transport peer?)", h[0], h[1])
 	}
 	if h[2] != wireVersion {
-		return frame{}, fmt.Errorf("dist: wire version mismatch: peer speaks version %d, this binary speaks %d", h[2], wireVersion)
+		return frame{}, fmt.Errorf("dist: wire version mismatch: peer speaks version %d, this binary speaks version %d", h[2], wireVersion)
 	}
-	n := binary.LittleEndian.Uint32(h[16:20])
+	n := binary.LittleEndian.Uint32(h[20:24])
 	if n > maxFramePayload {
 		return frame{}, fmt.Errorf("dist: frame payload length %d exceeds the %d-byte cap (corrupt header?)", n, maxFramePayload)
 	}
@@ -212,12 +268,19 @@ func readFrame(r io.Reader) (frame, error) {
 		elem:  h[9],
 		gen:   binary.LittleEndian.Uint32(h[10:14]),
 		round: binary.LittleEndian.Uint16(h[14:16]),
+		seq:   binary.LittleEndian.Uint32(h[16:20]),
 	}
 	if n > 0 {
 		f.payload = make([]byte, n)
 		if _, err := io.ReadFull(r, f.payload); err != nil {
 			return frame{}, fmt.Errorf("dist: truncated frame payload (want %d bytes): %w", n, err)
 		}
+	}
+	crc := crc32.Update(0, crcTable, h[:24])
+	crc = crc32.Update(crc, crcTable, f.payload)
+	if want := binary.LittleEndian.Uint32(h[24:28]); crc != want {
+		return frame{}, &wireCorruptError{msg: fmt.Sprintf(
+			"dist: frame CRC mismatch (kind %d seq %d, got %#08x want %#08x): corrupted on the wire", f.kind, f.seq, crc, want)}
 	}
 	return f, nil
 }

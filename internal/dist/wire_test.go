@@ -35,7 +35,7 @@ func TestWireVersionMismatch(t *testing.T) {
 	if err == nil {
 		t.Fatal("mismatched wire version accepted")
 	}
-	if msg := err.Error(); !strings.Contains(msg, "version 4") || !strings.Contains(msg, "speaks 1") {
+	if msg := err.Error(); !strings.Contains(msg, "version 5") || !strings.Contains(msg, "speaks version 2") {
 		t.Errorf("version error %q does not name peer and own versions", msg)
 	}
 }
@@ -48,7 +48,7 @@ func TestWireBadMagicAndTruncation(t *testing.T) {
 	}
 
 	huge := appendFrame(nil, frame{kind: frameHalo})
-	huge[16], huge[17], huge[18], huge[19] = 0xFF, 0xFF, 0xFF, 0xFF
+	huge[20], huge[21], huge[22], huge[23] = 0xFF, 0xFF, 0xFF, 0xFF
 	if _, err := readFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "cap") {
 		t.Errorf("oversized payload length accepted: %v", err)
 	}
@@ -98,10 +98,11 @@ func TestWireElems(t *testing.T) {
 func TestEncodeHaloFrameMatchesAppendFrame(t *testing.T) {
 	data := []float64{1.5, -2.25, 3.125}
 	want := appendFrame(nil, frame{
-		kind: frameHalo, from: 3, to: 5, dir: byte(Up), elem: 8, gen: 17,
+		kind: frameHalo, from: 3, to: 5, dir: byte(Up), elem: 8, gen: 17, seq: 9,
 		payload: appendElems(nil, data),
 	})
 	got := encodeHaloFrame(3, 5, byte(Up), 17, data)
+	sealFrame(got, 9) // the writer goroutine's final step
 	if !bytes.Equal(got, want) {
 		t.Fatalf("encodeHaloFrame:\n got %x\nwant %x", got, want)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"stencilabft/internal/checkpoint"
 	"stencilabft/internal/dist"
+	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/telemetry"
 )
@@ -34,6 +35,9 @@ type Buddy[T num.Float] struct {
 	lens   map[int]int      // hosted rank -> packed state length
 	buddy  map[int]dist.Dir // hosted rank -> direction toward its buddy
 	inward map[int][]Ward   // hosted rank -> wards whose frames it collects
+
+	diskDir string                // "" = memory-only (the default)
+	disk    map[int]*DiskSaver[T] // hosted rank -> its rotation under diskDir
 }
 
 // NewBuddy builds the engine with period j (j < 1 disables checkpointing:
@@ -70,6 +74,20 @@ func (b *Buddy[T]) Attach(cl *dist.Cluster[T]) error {
 	return nil
 }
 
+// EnableDisk additionally persists every periodic snapshot to a per-rank
+// rotation under dir (see RankBase) — the third rung of the recovery
+// ladder, reached when a buddy pair dies together and neither memory bank
+// survives. Savers are created lazily per hosted rank and persist across
+// Attach calls, so a re-built cluster keeps extending the same rotations.
+func (b *Buddy[T]) EnableDisk(dir string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.diskDir = dir
+	if b.disk == nil {
+		b.disk = make(map[int]*DiskSaver[T])
+	}
+}
+
 // AfterStep is the hook to install as dist.Options.AfterStep. It runs on
 // the rank's own goroutine; the banks are mutex-guarded because several
 // hosted ranks may checkpoint concurrently.
@@ -90,6 +108,15 @@ func (b *Buddy[T]) AfterStep(rank, iter int) {
 	pack := b.self.SaveSlot(rank, gen, b.lens[rank])
 	b.mu.Unlock()
 	b.cl.PackState(rank, pack)
+	if saver := b.diskSaver(rank); saver != nil {
+		// Persist the packed vector as a 1×N snapshot so the whole-cluster
+		// fallback can replay even when both halves of a buddy pair die.
+		// Best-effort: a full disk must not fail the step — the memory banks
+		// still cover single-rank faults.
+		g := grid.New[T](len(pack), 1)
+		copy(g.Data(), pack)
+		_ = saver.Save(gen, g, nil)
+	}
 	rec.End(telemetry.PhaseCkptSave, t0)
 
 	if b.car == nil {
@@ -116,6 +143,22 @@ func (b *Buddy[T]) AfterStep(rank, iter int) {
 		b.mu.Unlock()
 	}
 	rec.End(telemetry.PhaseCkptSend, t0)
+}
+
+// diskSaver returns (creating lazily) rank's disk rotation, or nil when
+// disk persistence is off.
+func (b *Buddy[T]) diskSaver(rank int) *DiskSaver[T] {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.diskDir == "" {
+		return nil
+	}
+	s, ok := b.disk[rank]
+	if !ok {
+		s = NewDiskSaver[T](RankBase(b.diskDir, rank))
+		b.disk[rank] = s
+	}
+	return s
 }
 
 // SelfGens lists the retained own-snapshot generations per hosted rank.

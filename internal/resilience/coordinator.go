@@ -37,6 +37,23 @@ type CoordinatorConfig struct {
 	// answering reports with an error plan (default 3) — the backstop
 	// against a crash-looping replacement.
 	MaxRounds int
+	// DiskDir, when set, arms the double-death escalation: if a recovery
+	// round stalls because two or more ranks never report (a buddy pair
+	// died together, so neither memory bank survives), the coordinator
+	// declares them all dead and plans a whole-cluster restore from the
+	// per-rank disk rotations under this directory (see RankBase). Empty
+	// disables escalation — a stalled round just times out.
+	DiskDir string
+	// StallWait is how long a partial round may sit with no new report
+	// arriving before escalation triggers (the clock restarts on every
+	// report). It must exceed the gap between consecutive survivor reports:
+	// detection cascades outward from the dead rank one transport death
+	// deadline per hop (a survivor not adjacent to the victim only faults
+	// when its faulted neighbours tear down their connections), so the gap
+	// is about one death deadline. Default dist.DefaultDeathDeadline plus
+	// Timeout/4 of margin; deployments running a custom DeathDeadline
+	// should scale StallWait with it.
+	StallWait time.Duration
 	// OnDecision, when non-nil, observes each recovery plan as it is
 	// published — the launch parent's diagnostics hook.
 	OnDecision func(Plan)
@@ -53,10 +70,12 @@ type Coordinator struct {
 	n   int
 	ln  net.Listener
 
-	mu      sync.Mutex
-	epoch   int
-	reports []reportConn
-	adoptCh chan pendingAdoption
+	mu          sync.Mutex
+	epoch       int
+	reports     []reportConn
+	adoptCh     chan pendingAdoption
+	stall       *time.Timer  // armed while a partial round waits (DiskDir set)
+	diskPending map[int]Plan // escalation plans parked for respawned ranks
 
 	wg sync.WaitGroup
 }
@@ -89,6 +108,9 @@ func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 3
 	}
+	if cfg.StallWait <= 0 {
+		cfg.StallWait = dist.DefaultDeathDeadline + cfg.Timeout/4
+	}
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
@@ -113,6 +135,12 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 // Close stops the coordinator. In-flight recovery rounds are abandoned.
 func (c *Coordinator) Close() error {
 	err := c.ln.Close()
+	c.mu.Lock()
+	if c.stall != nil {
+		c.stall.Stop()
+		c.stall = nil
+	}
+	c.mu.Unlock()
 	c.wg.Wait()
 	return err
 }
@@ -172,8 +200,23 @@ func (c *Coordinator) addReport(conn net.Conn, rep Report) {
 		}
 	}
 	if len(seen) < c.n-1 {
+		// Keep the connection parked until the round completes. With the
+		// disk escalation armed, (re)start the stall clock: if the round
+		// never completes — two or more ranks will never report — the timer
+		// escalates to a whole-cluster disk restore.
+		if c.cfg.DiskDir != "" {
+			if c.stall == nil {
+				c.stall = time.AfterFunc(c.cfg.StallWait, c.escalate)
+			} else {
+				c.stall.Reset(c.cfg.StallWait)
+			}
+		}
 		c.mu.Unlock()
-		return // keep the connection parked until the round completes
+		return
+	}
+	if c.stall != nil {
+		c.stall.Stop()
+		c.stall = nil
 	}
 	round := c.reports
 	c.reports = nil
@@ -182,6 +225,126 @@ func (c *Coordinator) addReport(conn net.Conn, rep Report) {
 	c.mu.Unlock()
 
 	c.decide(round, seen, epoch)
+}
+
+// escalate fires when a partial round stalls: two or more ranks are
+// missing, so no single-death decision can ever complete. The survivors on
+// hand get a whole-cluster disk-restore plan instead of waiting forever.
+func (c *Coordinator) escalate() {
+	c.mu.Lock()
+	if len(c.reports) == 0 {
+		c.mu.Unlock()
+		return // the round completed (or was taken) before the timer ran
+	}
+	seen := map[int]bool{}
+	for _, rc := range c.reports {
+		for _, id := range rc.rep.Ranks {
+			seen[id] = true
+		}
+	}
+	if c.n-len(seen) < 2 {
+		// Exactly one rank missing means a normal round is about to
+		// complete; this firing raced the final report. Re-arm and wait.
+		if c.stall != nil {
+			c.stall.Reset(c.cfg.StallWait)
+		}
+		c.mu.Unlock()
+		return
+	}
+	round := c.reports
+	c.reports = nil
+	c.stall = nil
+	c.epoch++
+	epoch := c.epoch
+	c.mu.Unlock()
+
+	c.decideDouble(round, seen, epoch)
+}
+
+// decideDouble runs the escalation round: every unreported rank is
+// declared dead at once, the restart generation is the newest every rank
+// holds on disk, and the dead tiles are either dealt out to survivors
+// (adopt mode) or respawned. No state crosses the control plane — each
+// process restores its ranks from the shared checkpoint directory.
+func (c *Coordinator) decideDouble(round []reportConn, seen map[int]bool, epoch int) {
+	defer func() {
+		for _, rc := range round {
+			rc.conn.Close()
+		}
+	}()
+	var missing []int
+	for id := 0; id < c.n; id++ {
+		if !seen[id] {
+			missing = append(missing, id)
+		}
+	}
+
+	base := Plan{Dead: -1, DeadRanks: missing, Epoch: epoch, Disk: c.cfg.DiskDir}
+	if epoch > c.cfg.MaxRounds {
+		base.Err = fmt.Sprintf("recovery round %d exceeds the %d-round cap", epoch, c.cfg.MaxRounds)
+		c.publish(round, base, -1)
+		return
+	}
+	base.RestartGen = DiskRestartGen(c.cfg.DiskDir, c.n)
+	rdv, err := reserveAddr(c.cfg.RendezvousHost)
+	if err != nil {
+		base.Err = fmt.Sprintf("reserving a fresh rendezvous: %v", err)
+		c.publish(round, base, -1)
+		return
+	}
+	base.Rendezvous = rdv
+
+	if c.cfg.Respawn == nil {
+		// Adopt mode: deal the dead ranks round-robin across the surviving
+		// processes; each adopter restores its new wards from disk.
+		for i, rc := range round {
+			p := base
+			for j, id := range missing {
+				if j%len(round) == i {
+					p.AdoptRanks = append(p.AdoptRanks, id)
+				}
+			}
+			dist.WriteJSONFrame(rc.conn, dist.FrameAdopt, p)
+		}
+		if c.cfg.OnDecision != nil {
+			c.cfg.OnDecision(base)
+		}
+		return
+	}
+
+	// Respawn mode: survivors get the base plan; each dead rank's personal
+	// plan is parked before its replacement starts, so a claim can never
+	// race an empty slot.
+	plans := make([]Plan, 0, len(missing))
+	c.mu.Lock()
+	if c.diskPending == nil {
+		c.diskPending = make(map[int]Plan)
+	}
+	for _, id := range missing {
+		p := base
+		p.Dead = id
+		p.DeadRanks = nil
+		p.AdoptRanks = nil
+		p.Adopt = true
+		c.diskPending[id] = p
+		plans = append(plans, p)
+	}
+	c.mu.Unlock()
+	for _, rc := range round {
+		dist.WriteJSONFrame(rc.conn, dist.FrameAdopt, base)
+	}
+	for _, p := range plans {
+		if err := c.cfg.Respawn(p); err != nil {
+			if c.cfg.OnDecision != nil {
+				base.Err = fmt.Sprintf("respawn of rank %d failed: %v", p.Dead, err)
+				c.cfg.OnDecision(base)
+			}
+			return
+		}
+	}
+	if c.cfg.OnDecision != nil {
+		c.cfg.OnDecision(base)
+	}
 }
 
 // decide runs one recovery round: declare the dead rank, agree the restart
@@ -290,6 +453,16 @@ func (c *Coordinator) publish(round []reportConn, base Plan, adopter int) {
 // and snapshot.
 func (c *Coordinator) serveAdoption(conn net.Conn, req AdoptRequest) {
 	defer conn.Close()
+	// An escalation plan parked for this rank wins: the replacement restores
+	// from disk, so there is no state frame to relay.
+	c.mu.Lock()
+	if p, ok := c.diskPending[req.Rank]; ok {
+		delete(c.diskPending, req.Rank)
+		c.mu.Unlock()
+		dist.WriteJSONFrame(conn, dist.FrameAdopt, p)
+		return
+	}
+	c.mu.Unlock()
 	var pending pendingAdoption
 	select {
 	case pending = <-c.adoptCh:

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"stencilabft/internal/checkpoint"
 	"stencilabft/internal/grid"
@@ -75,4 +77,75 @@ func LoadLatest[T num.Float](base string) (*grid.Grid[T], []T, int, error) {
 		return nil, nil, 0, fmt.Errorf("resilience: no checkpoint found under %s (tried %s and %s)", base, Paths(base)[0], Paths(base)[1])
 	}
 	return bestG, bestB, bestIter, nil
+}
+
+// RankBase is the per-rank base path inside a shared checkpoint directory.
+// Every rank of a job saves under the same naming scheme so the coordinator
+// — which knows only the directory — can enumerate everyone's rotations.
+func RankBase(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank-%04d.ckpt", rank))
+}
+
+// RankGens lists the generations rank holds on disk, newest first. Missing
+// or corrupt rotation files are skipped: a generation is only reported if
+// its checkpoint passes the CRC. Type-independent (header peek only), so
+// the coordinator can call it without knowing the element type.
+func RankGens(dir string, rank int) []int {
+	var gens []int
+	for _, p := range Paths(RankBase(dir, rank)) {
+		if iter, err := checkpoint.PeekIter(p); err == nil {
+			gens = append(gens, iter)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(gens)))
+	return gens
+}
+
+// LoadRankState reads rank's disk checkpoint at exactly generation gen and
+// returns the packed state vector (the flat payload Buddy banks — not a
+// domain grid). The coordinator picks gen as the newest generation every
+// rank holds; a rank whose rotation no longer has it reports the mismatch
+// rather than silently restoring a different generation.
+func LoadRankState[T num.Float](dir string, rank, gen int) ([]T, error) {
+	var lastErr error
+	for _, p := range Paths(RankBase(dir, rank)) {
+		g, _, iter, err := checkpoint.ReadFile[T](p)
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				lastErr = err
+			}
+			continue
+		}
+		if iter == gen {
+			return g.Data(), nil
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("resilience: rank %d has no disk checkpoint at generation %d: %w", rank, gen, lastErr)
+	}
+	return nil, fmt.Errorf("resilience: rank %d has no disk checkpoint at generation %d", rank, gen)
+}
+
+// DiskRestartGen scans a checkpoint directory for n ranks and returns the
+// newest generation every rank holds a valid checkpoint for — the only
+// generation a whole-cluster disk restore can replay from. Returns 0 (run
+// from initial state) when no common generation exists.
+func DiskRestartGen(dir string, n int) int {
+	common := map[int]int{}
+	for r := 0; r < n; r++ {
+		seen := map[int]bool{}
+		for _, g := range RankGens(dir, r) {
+			if g > 0 && !seen[g] {
+				seen[g] = true
+				common[g]++
+			}
+		}
+	}
+	best := 0
+	for g, cnt := range common {
+		if cnt == n && g > best {
+			best = g
+		}
+	}
+	return best
 }

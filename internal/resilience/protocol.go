@@ -60,6 +60,17 @@ type Plan struct {
 	// of Dead at RestartGen — the respawn path, where the coordinator
 	// relays it to the new process.
 	SendState bool `json:"sendState,omitempty"`
+	// DeadRanks lists every rank declared dead this round when more than one
+	// died — the double-death escalation, where buddy banks cannot cover the
+	// loss and the cluster restores from disk. Dead is -1 in such plans.
+	DeadRanks []int `json:"deadRanks,omitempty"`
+	// AdoptRanks lists the dead ranks this process must host from now on
+	// (escalation in adopt mode deals the dead ranks out to survivors).
+	AdoptRanks []int `json:"adoptRanks,omitempty"`
+	// Disk is the shared checkpoint directory every rank restores
+	// RestartGen from (see RankBase) — set only on escalation plans. No
+	// state frames ride the control plane when Disk is set.
+	Disk string `json:"disk,omitempty"`
 	// Err aborts recovery with a reason (e.g. no restorable generation).
 	Err string `json:"err,omitempty"`
 }
@@ -148,7 +159,9 @@ func RequestAdoption[T num.Float](addr string, rank int, timeout time.Duration) 
 	if plan.Err != "" {
 		return plan, nil, fmt.Errorf("resilience: coordinator rejected adoption: %s", plan.Err)
 	}
-	if plan.RestartGen == 0 {
+	if plan.RestartGen == 0 || plan.Disk != "" {
+		// Nothing to stream: the process rebuilds from the initial state, or
+		// restores from the shared checkpoint directory itself.
 		return plan, nil, nil
 	}
 	f, err := dist.ReadWireFrame(conn)

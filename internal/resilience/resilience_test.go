@@ -158,6 +158,33 @@ func tcpFactory(op *stencil.Op2D[float64], init *grid.Grid[float64], rx, ry int)
 	}
 }
 
+// tcpFactoryHealing is tcpFactory with the transport's failure detector
+// tightened: a short death deadline so a vanished peer is classified
+// permanent (and reported) quickly instead of after the default grace.
+func tcpFactoryHealing(op *stencil.Op2D[float64], init *grid.Grid[float64], rx, ry int, deathDeadline time.Duration) resilience.Factory[float64] {
+	return func(epoch int, rdv string, localRanks []int, after func(int, int)) (*dist.Cluster[float64], error) {
+		tr, err := dist.NewTCPTransport[float64](dist.TCPConfig{
+			RanksX: rx, RanksY: ry, Ring: op.BC == grid.Periodic,
+			LocalRanks: localRanks, Rendezvous: rdv,
+			DialTimeout: 20 * time.Second, IOTimeout: 10 * time.Second,
+			DeathDeadline: deathDeadline,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opt := strictOpts()
+		opt.LocalRanks = localRanks
+		opt.AfterStep = after
+		opt.NewTransport = func(int, int, bool) dist.Transport[float64] { return tr }
+		cl, err := dist.NewClusterGrid(op, init, rx, ry, opt)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		return cl, nil
+	}
+}
+
 // killAtFactory wraps a factory so the hosting "virtual process" drops
 // dead — transport torn down, goroutine gone, no goodbye to anyone — once
 // the rank completes the given absolute iteration count.
@@ -314,6 +341,143 @@ func launchRanks(t *testing.T, ctrl string, op *stencil.Op2D[float64], init *gri
 			}
 			results <- runResult{rank: rank, cl: cl, extra: extra, err: err}
 		}()
+	}
+}
+
+// TestDoubleDeathDiskEscalation kills a whole buddy pair at once: one
+// virtual process hosts ranks 2 and 3 — each other's guard on a 2x2 grid —
+// and drops dead at generation 10 of a 24-iteration run. Neither rank's
+// snapshot survives in any memory bank, so the single-death protocol can
+// never complete (the recovery round stalls at two reports). The
+// coordinator's stall timer must escalate: declare both ranks dead, deal
+// them to the survivors, and restart the whole cluster from the per-rank
+// disk rotations at generation 8, finishing bit-identical to an
+// undisturbed run.
+func TestDoubleDeathDiskEscalation(t *testing.T) {
+	const nx, ny, total, period, killGen = 40, 36, 24, 4, 10
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp, BCValue: 42}
+	init := testInit(nx, ny)
+	dir := t.TempDir()
+
+	ref, err := dist.NewClusterGrid(op, init, 2, 2, strictOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(total)
+	want := ref.Gather()
+
+	var decisions struct {
+		sync.Mutex
+		plans []resilience.Plan
+	}
+	co, err := resilience.StartCoordinator(resilience.CoordinatorConfig{
+		RanksX: 2, RanksY: 2, Timeout: 20 * time.Second,
+		DiskDir: dir, StallWait: 3 * time.Second,
+		OnDecision: func(p resilience.Plan) {
+			decisions.Lock()
+			decisions.plans = append(decisions.plans, p)
+			decisions.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	rdv := reserveAddr(t)
+	results := make(chan runResult, 3)
+	launch := func(localRanks []int, control string, factory resilience.Factory[float64], victim bool) {
+		go func() {
+			cl, extra, err := resilience.Run(resilience.Config[float64]{
+				Total: total, Period: period, Control: control,
+				LocalRanks: localRanks,
+				Factory:    factory,
+				Rendezvous: rdv,
+				Timeout:    20 * time.Second,
+				DiskDir:    dir,
+			})
+			if victim {
+				// The killed virtual process: whether its ranks unwound via
+				// Goexit (err == nil) or faulted on the closed transport, it
+				// is dead and reports nothing.
+				if cl != nil {
+					cl.Close()
+				}
+				return
+			}
+			results <- runResult{rank: localRanks[0], cl: cl, extra: extra, err: err}
+		}()
+	}
+	launch([]int{0}, co.Addr(), tcpFactoryHealing(op, init, 2, 2, 2*time.Second), false)
+	launch([]int{1}, co.Addr(), tcpFactoryHealing(op, init, 2, 2, 2*time.Second), false)
+	// The doomed pair gets no control address: a dead process makes no
+	// fault reports (Goexit only unwinds one rank's goroutine; the hosted
+	// sibling rank faults on the closed transport and must not "survive").
+	launch([]int{2, 3}, "", killAtFactory(tcpFactoryHealing(op, init, 2, 2, 2*time.Second), killGen), true)
+
+	got := grid.New[float64](nx, ny)
+	covered := map[int]bool{}
+	var merged stats.Stats
+	deadline := time.After(90 * time.Second)
+	for n := 0; n < 2; {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("survivor hosting rank %d: %v", r.rank, r.err)
+			}
+			g := r.cl.Gather()
+			for _, id := range r.cl.LocalRanks() {
+				tile := r.cl.Tile(id)
+				for y := tile.Y0; y < tile.Y1; y++ {
+					copy(got.Row(y)[tile.X0:tile.X1], g.Row(y)[tile.X0:tile.X1])
+				}
+				covered[id] = true
+			}
+			merged = merged.Merge(r.extra)
+			r.cl.Close()
+			n++
+		case <-deadline:
+			t.Fatalf("escalation did not complete; tiles %v", covered)
+		}
+	}
+	for id := 0; id < 4; id++ {
+		if !covered[id] {
+			t.Fatalf("no survivor hosts rank %d's tile (covered %v)", id, covered)
+		}
+	}
+	if diff := got.MaxAbsDiff(want); diff != 0 {
+		t.Fatalf("disk-restored run deviates from the undisturbed run by %g", diff)
+	}
+	if merged.Recoveries == 0 {
+		t.Fatalf("no recoveries counted: %+v", merged)
+	}
+	if merged.Checkpoint.Restores == 0 {
+		t.Fatalf("no disk restores counted — the adopted tiles did not come from the rotations: %+v", merged.Checkpoint)
+	}
+
+	decisions.Lock()
+	plans := append([]resilience.Plan(nil), decisions.plans...)
+	decisions.Unlock()
+	var esc *resilience.Plan
+	for i := range plans {
+		if len(plans[i].DeadRanks) > 0 {
+			esc = &plans[i]
+		}
+	}
+	if esc == nil {
+		t.Fatalf("no escalation plan was published (decisions: %+v)", plans)
+	}
+	if len(esc.DeadRanks) != 2 || esc.DeadRanks[0] != 2 || esc.DeadRanks[1] != 3 {
+		t.Fatalf("escalation declared %v dead, want [2 3]", esc.DeadRanks)
+	}
+	if esc.Disk != dir {
+		t.Fatalf("escalation plan names disk %q, want %q", esc.Disk, dir)
+	}
+	if esc.RestartGen != 8 {
+		t.Fatalf("escalation restarts at generation %d, want 8 (newest common disk checkpoint before the kill)", esc.RestartGen)
+	}
+	if esc.Err != "" {
+		t.Fatalf("escalation plan aborted: %s", esc.Err)
 	}
 }
 

@@ -54,6 +54,12 @@ type Config[T num.Float] struct {
 	// (rank, generation) — the launcher's liveness/progress feed. Called
 	// from rank goroutines; it must be safe for concurrent use.
 	OnCheckpoint func(rank, gen int)
+	// DiskDir, when set, persists every periodic checkpoint to per-rank
+	// rotations under it and restores from there when a plan's restart
+	// generation is in nobody's memory bank — the whole-cluster fallback a
+	// buddy-pair double death escalates to. Must match the coordinator's
+	// DiskDir.
+	DiskDir string
 	// MaxRecoveries caps how many faults this process survives (default 3).
 	MaxRecoveries int
 }
@@ -78,11 +84,15 @@ func Run[T num.Float](cfg Config[T]) (*dist.Cluster[T], stats.Stats, error) {
 		return nil, extra, fmt.Errorf("resilience: Config.LocalRanks is empty")
 	}
 	buddy := NewBuddy[T](cfg.Period, cfg.Telemetry)
+	if cfg.DiskDir != "" {
+		buddy.EnableDisk(cfg.DiskDir)
+	}
 	localRanks := append([]int(nil), cfg.LocalRanks...)
 	epoch, rdv := cfg.Epoch, cfg.Rendezvous
 	startIter := cfg.StartIter
 	pending := cfg.InitialState
 	recoveries := 0
+	diskRestores := 0
 
 	for {
 		hook := func(rank, iter int) {
@@ -108,6 +118,15 @@ func Run[T num.Float](cfg Config[T]) (*dist.Cluster[T], stats.Stats, error) {
 				if st == nil {
 					st = buddy.SelfState(id, startIter)
 				}
+				if st == nil && cfg.DiskDir != "" {
+					// Third rung: neither a relayed snapshot nor a memory bank
+					// covers this rank (a double death took both copies) —
+					// restore from the shared disk rotation.
+					if ds, err := LoadRankState[T](cfg.DiskDir, id, startIter); err == nil {
+						st = ds
+						diskRestores++
+					}
+				}
 				if st == nil {
 					cl.Close()
 					return nil, extra, fmt.Errorf("resilience: rank %d has no state banked at generation %d", id, startIter)
@@ -123,6 +142,7 @@ func Run[T num.Float](cfg Config[T]) (*dist.Cluster[T], stats.Stats, error) {
 		runErr := cl.RunRecover(cfg.Total - startIter)
 		if runErr == nil {
 			extra.Checkpoint = buddy.Stats()
+			extra.Checkpoint.Restores += diskRestores
 			return cl, extra, nil
 		}
 		cl.Close()
@@ -150,7 +170,20 @@ func Run[T num.Float](cfg Config[T]) (*dist.Cluster[T], stats.Stats, error) {
 			extra.RecomputedIters += lost
 		}
 		buddy.Rollback(plan.RestartGen)
-		if plan.Adopt {
+		if len(plan.DeadRanks) > 0 {
+			// Escalation plan: a buddy pair died together, the whole cluster
+			// restarts from disk. Any ranks dealt to this process restore
+			// from the shared rotation in the next incarnation's restore
+			// loop; no buddy copy exists to adopt.
+			if plan.Disk != "" {
+				cfg.DiskDir = plan.Disk
+				buddy.EnableDisk(plan.Disk)
+			}
+			if len(plan.AdoptRanks) > 0 {
+				localRanks = append(localRanks, plan.AdoptRanks...)
+				sort.Ints(localRanks)
+			}
+		} else if plan.Adopt {
 			if plan.RestartGen > 0 {
 				st := buddy.AdoptWard(plan.Dead, plan.RestartGen)
 				if st == nil {

@@ -142,6 +142,10 @@ type Transport struct {
 	QueueHighWater int64 // deepest writer-queue backlog seen on any edge (TCP)
 	DialRetries    int64 // bootstrap connection retries (TCP)
 	PoisonEvents   int64 // edges torn down by I/O errors (TCP; Close excluded)
+	Reconnects     int64 // edge connections rebuilt after transient faults (TCP)
+	Resends        int64 // data frames replayed from resend windows (TCP)
+	CrcErrors      int64 // frames rejected by the wire checksum (TCP)
+	DupFrames      int64 // replay duplicates dropped by sequence dedup (TCP)
 }
 
 // Merge sums the counters; QueueHighWater, a high-water mark, takes max.
@@ -155,6 +159,10 @@ func (t Transport) Merge(o Transport) Transport {
 	}
 	t.DialRetries += o.DialRetries
 	t.PoisonEvents += o.PoisonEvents
+	t.Reconnects += o.Reconnects
+	t.Resends += o.Resends
+	t.CrcErrors += o.CrcErrors
+	t.DupFrames += o.DupFrames
 	return t
 }
 
@@ -304,6 +312,15 @@ func (t Transport) String() string {
 	}
 	if t.PoisonEvents > 0 {
 		out += fmt.Sprintf(" poison-events=%d", t.PoisonEvents)
+	}
+	if t.Reconnects > 0 || t.Resends > 0 {
+		out += fmt.Sprintf(" reconnects=%d resends=%d", t.Reconnects, t.Resends)
+	}
+	if t.CrcErrors > 0 {
+		out += fmt.Sprintf(" crc-errors=%d", t.CrcErrors)
+	}
+	if t.DupFrames > 0 {
+		out += fmt.Sprintf(" dup-frames=%d", t.DupFrames)
 	}
 	return out
 }

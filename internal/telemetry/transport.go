@@ -34,6 +34,16 @@ type TransportMetrics struct {
 	Edges       []EdgeStat // sorted by (From, To, Dir) for determinism
 	DialRetries int64      // bootstrap redials (TCP only)
 	Poisoned    int64      // edges killed by I/O errors (TCP only; Close excluded)
+
+	// Self-healing counters (TCP only): connections rebuilt after an I/O
+	// fault, data frames replayed from resend windows after reconnects,
+	// frames rejected by the wire CRC, and replay duplicates dropped by the
+	// per-edge sequence dedup. Non-zero Reconnects with zero recoveries is
+	// the healing path working: the wire flaked and nobody upstairs noticed.
+	Reconnects int64
+	Resends    int64
+	CrcErrors  int64
+	DupFrames  int64
 }
 
 // SortEdges orders Edges by (From, To, Dir) so snapshots are deterministic
@@ -66,6 +76,10 @@ func (m TransportMetrics) Totals() stats.Transport {
 	}
 	t.DialRetries = m.DialRetries
 	t.PoisonEvents = m.Poisoned
+	t.Reconnects = m.Reconnects
+	t.Resends = m.Resends
+	t.CrcErrors = m.CrcErrors
+	t.DupFrames = m.DupFrames
 	return t
 }
 

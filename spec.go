@@ -3,6 +3,8 @@ package stencilabft
 import (
 	"fmt"
 	"io"
+	"net"
+	"time"
 
 	"stencilabft/internal/blocks"
 	"stencilabft/internal/checksum"
@@ -223,6 +225,29 @@ type Spec[T Float] struct {
 	// a 3-D layer cluster passes its slab chain as 1 × Ranks) and whether
 	// periodic boundaries close the grid into a torus. See dist.Transport.
 	NewTransport func(ranksX, ranksY int, ring bool) Transport[T]
+	// WrapTransport layers a wrapper over whichever backend the cluster
+	// builds — tracing, delaying, or chaos fault injection — without
+	// replacing the backend itself. It composes with Transport and
+	// NewTransport alike. Clustered deployments only.
+	WrapTransport func(tr Transport[T], ranksX, ranksY int, ring bool) Transport[T]
+	// RecvTimeout bounds each blocking halo/checkpoint receive so a stalled
+	// or dead sibling rank surfaces as a classified fault instead of a
+	// hang: it sets the channel backend's receive timeout and the tcp
+	// backend's I/O deadline (TCPConfig.IOTimeout). Zero keeps the
+	// backend's default (the channel backend then waits forever, the tcp
+	// backend applies its 2-minute deadline). Clustered deployments only;
+	// ignored when NewTransport supplies a custom backend.
+	RecvTimeout time.Duration
+	// DeathDeadline bounds the tcp transport's transient-fault healing:
+	// how long a broken edge connection may reconnect-and-replay before the
+	// peer is declared dead (TCPConfig.DeathDeadline; zero keeps the
+	// 15-second default, negative disables healing). TransportTCP only.
+	DeathDeadline time.Duration
+	// WrapConn hooks every outbound tcp data connection as it is
+	// established — bootstrap dials and healing reconnects alike — the
+	// seam wire-level chaos injection rides (TCPConfig.WrapConn).
+	// TransportTCP only.
+	WrapConn func(conn net.Conn, from, to int, d Dir) net.Conn
 
 	// DropBoundaryTerms reproduces the paper's simplified listings
 	// (ablation A1); leave false for exact interpolation.
@@ -355,6 +380,12 @@ func (s Spec[T]) validate() error {
 				}
 			}
 		} else {
+			if s.DeathDeadline != 0 {
+				return fmt.Errorf("stencilabft: DeathDeadline tunes the tcp transport's healing only (set Transport: TransportTCP)")
+			}
+			if s.WrapConn != nil {
+				return fmt.Errorf("stencilabft: WrapConn hooks the tcp transport's connections only (set Transport: TransportTCP)")
+			}
 			if len(s.LocalRanks) > 0 {
 				return fmt.Errorf("stencilabft: LocalRanks widens the tcp transport's hosting only (set Transport: TransportTCP)")
 			}
@@ -396,6 +427,12 @@ func (s Spec[T]) validate() error {
 		}
 		if s.Transport != "" || s.NewTransport != nil {
 			return fmt.Errorf("stencilabft: Transport/NewTransport apply to the cluster deployment only")
+		}
+		if s.WrapTransport != nil || s.RecvTimeout != 0 {
+			return fmt.Errorf("stencilabft: WrapTransport/RecvTimeout apply to the cluster deployment only")
+		}
+		if s.DeathDeadline != 0 || s.WrapConn != nil {
+			return fmt.Errorf("stencilabft: DeathDeadline/WrapConn apply to the cluster deployment's tcp transport only")
 		}
 		if s.Rendezvous != "" || s.Rank != 0 || s.Bind != "" {
 			return fmt.Errorf("stencilabft: Rank/Rendezvous/Bind apply to the cluster deployment's tcp transport only")
@@ -485,7 +522,9 @@ func (s Spec[T]) distOptions() dist.Options[T] {
 		Pool:              s.Pool,
 		DropBoundaryTerms: s.DropBoundaryTerms,
 		Inject:            s.Inject,
+		RecvTimeout:       s.RecvTimeout,
 		NewTransport:      s.NewTransport,
+		WrapTransport:     s.WrapTransport,
 		AfterStep:         s.AfterStep,
 		Telemetry:         s.Telemetry,
 	}
@@ -536,6 +575,10 @@ type InjectSource[T Float] = stencil.InjectSource[T]
 // implement this interface and plug in via Spec.NewTransport. See the dist
 // package for the full contract.
 type Transport[T Float] = dist.Transport[T]
+
+// Dir is a halo direction (Up/Down/Left/Right) as the transport seam sees
+// it — exported for Spec.WrapConn hooks. See dist.Dir.
+type Dir = dist.Dir
 
 // NewChanTransport returns the default in-process paired-channel transport
 // for a ranksX-by-ranksY rank grid — exported so custom transports can
