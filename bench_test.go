@@ -381,8 +381,55 @@ func BenchmarkCluster(b *testing.B) {
 					if c.Stats().Detections != 0 {
 						b.Fatal("false positive in bench")
 					}
+					c.Close()
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkClusterOverlap measures the steady-state per-iteration cost of
+// the overlapped rank step: the cluster is constructed once (persistent
+// rank goroutines, plan caches, pack buffers all warm), then Run(1) is
+// timed on its own — isolating the compute/communication overlap from the
+// construction cost that dominates BenchmarkCluster. The k axis is the
+// depth-k ghost-zone trade: k > 1 amortises a halo exchange and barrier
+// over k iterations at the price of redundantly recomputed boundary
+// shells. Steady state must also be allocation-free.
+func BenchmarkClusterOverlap(b *testing.B) {
+	for _, n := range []int{512, 1024} {
+		init := grid.New[float64](n, n)
+		init.FillFunc(func(x, y int) float64 { return 100 + float64((x*31+y*17)%23) })
+		op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+		for _, topo := range []struct {
+			name   string
+			rx, ry int
+		}{
+			{"bands4x1", 1, 4},
+			{"grid2x2", 2, 2},
+		} {
+			for _, k := range []int{1, 2, 4} {
+				b.Run(fmt.Sprintf("n%d/%s/k%d", n, topo.name, k), func(b *testing.B) {
+					c, err := dist.NewClusterGrid(op, init, topo.rx, topo.ry, dist.Options[float64]{
+						Detector:  checksum.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+						HaloDepth: k,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer c.Close()
+					c.Run(2 * k) // warm-up: full exchange cycles
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c.Run(1)
+					}
+					b.StopTimer()
+					if c.Stats().Detections != 0 {
+						b.Fatal("false positive in bench")
+					}
+				})
+			}
 		}
 	}
 }

@@ -141,7 +141,11 @@ func buildCluster[T Float](spec Spec[T]) (Protector[T], error) {
 		// malformed spec fails without leaking a half-bootstrapped
 		// transport (and without making peer processes wait for us).
 		d := dist.Decomp{Nx: spec.Init.Nx(), Ny: spec.Init.Ny(), RanksX: rx, RanksY: ry}
-		if err := d.Validate(spec.Op2D.St.RadiusX(), spec.Op2D.St.RadiusY()); err != nil {
+		depth := spec.HaloDepth
+		if depth < 1 {
+			depth = 1
+		}
+		if err := d.ValidateDepth(spec.Op2D.St.RadiusX(), spec.Op2D.St.RadiusY(), depth); err != nil {
 			return nil, err
 		}
 		local := spec.LocalRanks

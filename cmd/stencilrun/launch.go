@@ -294,6 +294,9 @@ func childArgs(c config, p plan, rendezvous, control, tileDir string, rank, epoc
 	} else {
 		args = append(args, "-rendezvous", rendezvous)
 	}
+	if c.haloDepth > 1 {
+		args = append(args, "-halodepth", fmt.Sprint(c.haloDepth))
+	}
 	if c.buddy > 0 {
 		args = append(args, "-buddy", fmt.Sprint(c.buddy))
 	}

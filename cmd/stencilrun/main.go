@@ -66,8 +66,9 @@ type config struct {
 	seed          int64
 	blockSize     int
 
-	ranks    int
-	rankGrid string
+	ranks     int
+	rankGrid  string
+	haloDepth int // exchange k-deep halos every k iterations (cluster deployments)
 
 	transport  string // "" = auto: tcp when -rank/-rendezvous/-launch appear, else chan
 	rank       int    // -1 = unset
@@ -175,6 +176,14 @@ func (c config) resolve() (plan, error) {
 		p.deployment = abft.Clustered
 	}
 
+	// Depth-k ghost zones: a cluster-only communication-avoiding schedule.
+	switch {
+	case c.haloDepth < 1:
+		return p, fmt.Errorf("-halodepth %d: the ghost-zone depth must be at least 1 (1 = exchange every iteration)", c.haloDepth)
+	case c.haloDepth > 1 && p.deployment != abft.Clustered:
+		return p, fmt.Errorf("-halodepth %d trades halo exchanges between ranks for redundant boundary recomputation; shape a cluster with -rankgrid RxC (or -ranks N)", c.haloDepth)
+	}
+
 	if c.launch < 0 {
 		return p, fmt.Errorf("-launch %d: the process count must be positive", c.launch)
 	}
@@ -207,6 +216,11 @@ func (c config) resolve() (plan, error) {
 	}
 	if c.buddy < 0 {
 		return p, fmt.Errorf("-buddy %d: the checkpoint period must be positive", c.buddy)
+	}
+	if c.buddy > 0 && c.haloDepth > 1 && c.buddy%c.haloDepth != 0 {
+		k := c.haloDepth
+		return p, fmt.Errorf("-buddy %d is not a multiple of -halodepth %d: restores must land on halo-exchange boundaries (use -buddy %d)",
+			c.buddy, k, ((c.buddy+k-1)/k)*k)
 	}
 	if c.dieAt < 0 {
 		return p, fmt.Errorf("-die-at %d: the kill iteration must be positive", c.dieAt)
@@ -418,6 +432,9 @@ func (c config) spec(p plan, op *abft.Op2D[float32], init *abft.Grid[float32], i
 		RanksY:     p.ranksY,
 		Inject:     injectPlan,
 	}
+	if p.deployment == abft.Clustered {
+		spec.HaloDepth = c.haloDepth
+	}
 	if p.transport == abft.TransportTCP {
 		spec.Transport = abft.TransportTCP
 		spec.Rank = c.rank
@@ -453,6 +470,7 @@ func main() {
 	flag.IntVar(&c.blockSize, "blocksize", 0, "tile edge for -abft blocked (with -abft online, implies blocked)")
 	flag.IntVar(&c.ranks, "ranks", 0, "decompose over N simulated rank row-bands: alias for -rankgrid Nx1 (cluster deployment, online scheme)")
 	flag.StringVar(&c.rankGrid, "rankgrid", "", "decompose over an RxC Cartesian rank grid, e.g. 2x3 (cluster deployment, online scheme)")
+	flag.IntVar(&c.haloDepth, "halodepth", 1, "exchange k-deep halos every k iterations, recomputing boundary shells locally in between (cluster deployments; 1 = classic exchange every iteration)")
 	flag.StringVar(&c.transport, "transport", "", "cluster communication backend: chan (in-process, default) or tcp (one rank per OS process)")
 	flag.IntVar(&c.rank, "rank", -1, "the rank this process hosts (-transport tcp)")
 	flag.StringVar(&c.rendezvous, "rendezvous", "", "host:port the tcp cluster's processes meet at (rank 0's process serves it)")

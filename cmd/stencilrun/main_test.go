@@ -17,6 +17,7 @@ func base() config {
 	return config{
 		nx: 256, ny: 256, iters: 100, kernel: "laplace", bcName: "clamp",
 		mode: "online", period: 16, epsilon: 1e-5, seed: 1, rank: -1,
+		haloDepth: 1,
 	}
 }
 
@@ -34,6 +35,8 @@ func TestResolveValidCombinations(t *testing.T) {
 			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 1, ranksY: 4, transport: abft.TransportChan}},
 		{"rank grid: chan cluster", func(c *config) { c.rankGrid = "2x3" },
 			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 3, ranksY: 2, transport: abft.TransportChan}},
+		{"depth-k ghost zones on a chan cluster", func(c *config) { c.rankGrid = "2x2"; c.haloDepth = 4 },
+			plan{scheme: abft.Online, deployment: abft.Clustered, ranksX: 2, ranksY: 2, transport: abft.TransportChan}},
 		{"blocksize implies blocked", func(c *config) { c.blockSize = 32 },
 			plan{scheme: abft.Blocked, deployment: abft.Local, transport: abft.TransportChan}},
 		{"tcp rank process", func(c *config) { c.rankGrid = "2x2"; c.transport = "tcp"; c.rank = 3; c.rendezvous = "127.0.0.1:9777" },
@@ -171,6 +174,17 @@ func TestResolveRejectsBadCombinations(t *testing.T) {
 			func(c *config) { c.rankGrid = "2x2"; c.transport = "carrier-pigeon" }, "unknown transport"},
 		{"ranks and rankgrid together",
 			func(c *config) { c.ranks = 4; c.rankGrid = "2x2" }, "not both"},
+		{"halodepth below one",
+			func(c *config) { c.rankGrid = "2x2"; c.haloDepth = 0 }, "at least 1"},
+		{"halodepth without a cluster",
+			func(c *config) { c.haloDepth = 2 }, "-rankgrid RxC"},
+		{"buddy period off the halo-exchange cadence",
+			func(c *config) {
+				c.rankGrid = "2x2"
+				c.launch = 4
+				c.haloDepth = 4
+				c.buddy = 6
+			}, "use -buddy 8"},
 		{"malformed rankgrid",
 			func(c *config) { c.rankGrid = "2by2" }, "invalid -rankgrid"},
 		{"blocksize on offline",

@@ -32,6 +32,11 @@ func (ip *Interp2D[T]) InterpolateBBand(bPrevExt []T, h int, edges EdgeSource[T]
 	if ry := ip.op.St.RadiusY(); h < ry {
 		panic(fmt.Sprintf("checksum: halo width %d below stencil radius %d", h, ry))
 	}
+	if te, ok := edges.(TileEdges[T]); ok && !ip.DropBoundaryTerms &&
+		te.HX >= ip.op.St.RadiusX() && te.HY >= ip.op.St.RadiusY() {
+		ip.interpolateBBandTile(bPrevExt, h, te, bNext)
+		return
+	}
 	for y := 0; y < ip.ny; y++ {
 		v := ip.cB[y]
 		for _, p := range ip.op.St.Points {
@@ -50,6 +55,157 @@ func (ip *Interp2D[T]) InterpolateBBand(bPrevExt []T, h int, edges EdgeSource[T]
 			v += p.W * term
 		}
 		bNext[y] = v
+	}
+}
+
+// interpolateBBandTile is InterpolateBBand over a materialised tile frame,
+// with the beta terms tabulated in one row-major pass over the extended
+// storage: each row touched once fills every distinct DX's table entry from
+// the handful of edge cells it holds (two cache lines per row instead of
+// one strided column walk per entering/leaving column), and the main loop
+// reads the tables instead of paying one virtual EdgeSource.At call per
+// ghost value per stencil point per row. Each table entry accumulates the
+// same addends in the same order as the scalar beta (entering columns
+// ascending x first, then leaving columns ascending x), and the stencil
+// points are applied one branch-free contiguous pass each — the DX test
+// hoisted out of the row loop — in the same point order and with the same
+// per-entry accumulation sequence as the generic path, so the results are
+// bit-identical to it.
+func (ip *Interp2D[T]) interpolateBBandTile(bPrevExt []T, h int, te TileEdges[T], bNext []T) {
+	rx, ry := ip.op.St.RadiusX(), ip.op.St.RadiusY()
+	if !ip.betaPrimed {
+		ip.ensureBetaTables()
+		if ip.betaMidPrimed {
+			ip.fillBetaRows(te, 0, ry)
+			ip.fillBetaRows(te, ry+ip.ny, ip.ny+2*ry)
+		} else {
+			ip.fillBetaRows(te, 0, ip.ny+2*ry)
+		}
+	}
+	ip.betaPrimed, ip.betaMidPrimed = false, false
+	copy(bNext, ip.cB)
+	for _, p := range ip.op.St.Points {
+		w := p.W
+		src := bPrevExt[p.DY+h : p.DY+h+ip.ny]
+		if p.DX == 0 {
+			for y, s := range src {
+				bNext[y] += w * s
+			}
+			continue
+		}
+		tab := ip.betaLookup[p.DX+rx][p.DY+ry : p.DY+ry+ip.ny]
+		for y, s := range src {
+			bNext[y] += w * (s + tab[y])
+		}
+	}
+}
+
+// PrimeBetaTablesMid fills the beta-table rows that read only the tile's
+// own rows (yy in [0, ny)) — callable as soon as the x halos are folded in,
+// while the unpacked edge columns' cache lines are still warm, before the
+// tile sweeps evict them. The ghost-row entries (yy outside [0, ny)) read
+// halo rows the y exchange has not delivered yet; PrimeBetaTables fills
+// those afterwards. The tile's own rows must not change between this call
+// and the interpolation that consumes the tables (halo-row refreshes are
+// fine — they only affect the rows PrimeBetaTables covers).
+func (ip *Interp2D[T]) PrimeBetaTablesMid(edges EdgeSource[T]) {
+	te, ok := edges.(TileEdges[T])
+	if !ok || ip.DropBoundaryTerms ||
+		te.HX < ip.op.St.RadiusX() || te.HY < ip.op.St.RadiusY() {
+		return
+	}
+	ry := ip.op.St.RadiusY()
+	ip.ensureBetaTables()
+	ip.fillBetaRows(te, ry, ry+ip.ny)
+	ip.betaMidPrimed = true
+}
+
+// PrimeBetaTables fills the beta tables the next InterpolateBBand call
+// would otherwise fill itself, letting the caller schedule the edge-column
+// reads while the halo exchange still has those cache lines warm instead
+// of after a full tile sweep has evicted them. After PrimeBetaTablesMid it
+// completes just the ghost-row entries; otherwise it fills everything. A
+// no-op unless edges is a TileEdges frame the fast path accepts; the edge
+// values must not change between priming and the interpolation that
+// consumes it.
+func (ip *Interp2D[T]) PrimeBetaTables(edges EdgeSource[T]) {
+	te, ok := edges.(TileEdges[T])
+	if !ok || ip.DropBoundaryTerms ||
+		te.HX < ip.op.St.RadiusX() || te.HY < ip.op.St.RadiusY() {
+		return
+	}
+	ry := ip.op.St.RadiusY()
+	ip.ensureBetaTables()
+	if ip.betaMidPrimed {
+		ip.fillBetaRows(te, 0, ry)
+		ip.fillBetaRows(te, ry+ip.ny, ip.ny+2*ry)
+		ip.betaMidPrimed = false
+	} else {
+		ip.fillBetaRows(te, 0, ip.ny+2*ry)
+	}
+	ip.betaPrimed = true
+}
+
+// ensureBetaTables allocates the beta tables on first use.
+func (ip *Interp2D[T]) ensureBetaTables() {
+	if ip.betaDxs != nil || ip.betaTab != nil {
+		return
+	}
+	rx, ry := ip.op.St.RadiusX(), ip.op.St.RadiusY()
+	span := ip.ny + 2*ry // yy range [-ry, ny+ry)
+	present := make([]bool, 2*rx+1)
+	minDY, maxDY := ry+1, -ry-1
+	for _, p := range ip.op.St.Points {
+		if p.DX != 0 {
+			present[p.DX+rx] = true
+			minDY, maxDY = min(minDY, p.DY), max(maxDY, p.DY)
+		}
+	}
+	for dx := -rx; dx <= rx; dx++ {
+		if dx != 0 && present[dx+rx] {
+			ip.betaDxs = append(ip.betaDxs, dx)
+		}
+	}
+	if len(ip.betaDxs) > 0 {
+		ip.betaLoJ, ip.betaHiJ = minDY+ry, ip.ny+maxDY+ry
+	}
+	ip.betaTab = make([]T, max(len(ip.betaDxs)*span, 1))
+	ip.betaLookup = make([][]T, 2*rx+1)
+	for i, dx := range ip.betaDxs {
+		ip.betaLookup[dx+rx] = ip.betaTab[i*span : (i+1)*span]
+	}
+}
+
+// fillBetaRows (re)computes every distinct DX's beta-table entries for the
+// table rows [j0, j1) (row j holds the terms at yy = j - RadiusY) from the
+// tile frame's current edge values, clipped to the rows any interpolation
+// reads. Tables must already be allocated.
+func (ip *Interp2D[T]) fillBetaRows(te TileEdges[T], j0, j1 int) {
+	j0, j1 = max(j0, ip.betaLoJ), min(j1, ip.betaHiJ)
+	rx, ry := ip.op.St.RadiusX(), ip.op.St.RadiusY()
+	ext := te.Ext.Data()
+	stride := te.Ext.Nx()
+	for j := j0; j < j1; j++ {
+		base := (j-ry+te.HY)*stride + te.HX // index of local x=0 in row yy=j-ry
+		for _, dx := range ip.betaDxs {
+			var v T
+			if dx < 0 {
+				for x := dx; x < 0; x++ { // ghost columns entering on the left
+					v += ext[base+x]
+				}
+				for x := ip.nx + dx; x < ip.nx; x++ { // domain columns leaving on the right
+					v -= ext[base+x]
+				}
+			} else {
+				for x := ip.nx; x < ip.nx+dx; x++ { // ghost columns entering on the right
+					v += ext[base+x]
+				}
+				for x := 0; x < dx; x++ { // domain columns leaving on the left
+					v -= ext[base+x]
+				}
+			}
+			ip.betaLookup[dx+rx][j] = v
+		}
 	}
 }
 

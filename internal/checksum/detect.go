@@ -69,13 +69,29 @@ func (d Detector[T]) Exceeds(direct, interp T) bool {
 
 // AnyMismatch reports whether any entry trips the threshold without
 // materialising the mismatch list — the per-iteration hot path of the
-// online protector.
+// online protector. Entries whose absolute residual sits comfortably under
+// half the scaled threshold are cleared by a division-free screen; only
+// borderline or non-finite entries (a NaN residual fails the screen's
+// comparison) pay the exact Exceeds evaluation, so the error-free steady
+// state never divides.
 func (d Detector[T]) AnyMismatch(direct, interp []T) bool {
 	if len(direct) != len(interp) {
 		panic(fmt.Sprintf("checksum: compare length %d vs %d", len(direct), len(interp)))
 	}
+	halfEps := d.Epsilon / 2
 	for i := range direct {
-		if d.Exceeds(direct[i], interp[i]) {
+		w := direct[i]
+		diff, scale := num.Abs(interp[i]-w), num.Abs(w)
+		if scale < d.AbsFloor {
+			scale = d.AbsFloor
+		}
+		// diff == 0 needs both values finite (Inf-Inf and NaN residuals are
+		// NaN); the strict < keeps an infinite scale (w = ±Inf) from
+		// clearing the entry, since Inf < Inf is false.
+		if diff == 0 || diff < halfEps*scale {
+			continue
+		}
+		if d.Exceeds(w, interp[i]) {
 			return true
 		}
 	}

@@ -31,6 +31,25 @@ type Interp2D[T num.Float] struct {
 	// (Figures 3 and 7), which omit alpha/beta. Exact only for Periodic
 	// boundaries or weight-symmetric stencils; exposed for ablation A1.
 	DropBoundaryTerms bool
+
+	// betaDxs/betaLookup/betaTab back the TileEdges fast path of
+	// InterpolateBBand: the distinct nonzero stencil DX offsets, a per-dx
+	// view into the scratch table (indexed dx+RadiusX), and the table
+	// itself — beta terms for yy in [-ry, ny+ry). Built lazily on first
+	// use, so steady-state calls allocate nothing. betaPrimed marks tables
+	// filled ahead of time by PrimeBetaTables, consumed by exactly the
+	// next InterpolateBBand call; betaMidPrimed marks the tile-row entries
+	// filled early by PrimeBetaTablesMid, leaving only the ghost rows.
+	betaDxs       []int
+	betaLookup    [][]T
+	betaTab       []T
+	betaPrimed    bool
+	betaMidPrimed bool
+	// betaLoJ/betaHiJ bound the table rows any interpolation actually
+	// reads — [minDY, ny+maxDY) over the DX≠0 points, shifted by ry. A
+	// star stencil's x-offset points all sit at DY=0, so its ghost-row
+	// entries are never read and never filled.
+	betaLoJ, betaHiJ int
 }
 
 // NewInterp2D precomputes an interpolator for op over an nx-by-ny domain.

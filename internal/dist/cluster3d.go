@@ -53,6 +53,9 @@ func NewCluster3D[T num.Float](op *stencil.Op3D[T], init *grid.Grid3D[T], nRanks
 	if opt.LocalRanks != nil {
 		return nil, fmt.Errorf("dist: LocalRanks (multi-process hosting) supports 2-D grid clusters only; the 3-D layer cluster runs all slabs in-process")
 	}
+	if opt.HaloDepth > 1 {
+		return nil, fmt.Errorf("dist: HaloDepth %d (depth-k ghost zones) supports 2-D grid clusters only; the 3-D layer cluster exchanges every iteration", opt.HaloDepth)
+	}
 	opt = opt.withDefaults()
 
 	c := &Cluster3D[T]{nx: nx, ny: ny, nz: nz, decomp: d}

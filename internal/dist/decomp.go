@@ -133,18 +133,53 @@ func (d Decomp) diameter(wrap bool) int {
 // than ry. The error is caller-actionable — it names the offending axis and
 // the largest grid that would fit.
 func (d Decomp) Validate(rx, ry int) error {
+	return d.ValidateDepth(rx, ry, 1)
+}
+
+// ValidateDepth is Validate for depth-k ghost zones: a halo depth of k
+// widens each halo to k·rx columns (k·ry rows), and every tile must be
+// strictly wider (taller) than that so halo synthesis, packing and the
+// depth-k checksum interpolators stay inside the owning tile. At depth 1 it
+// is exactly Validate; at deeper k the error additionally names the largest
+// depth the rank grid would support.
+func (d Decomp) ValidateDepth(rx, ry, depth int) error {
 	if d.RanksX < 1 || d.RanksY < 1 {
 		return fmt.Errorf("dist: invalid rank grid %dx%d (rows x cols); both factors must be >= 1", d.RanksY, d.RanksX)
 	}
-	if minW := d.Nx / d.RanksX; minW <= rx {
-		return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d column(s) wide, need more than the stencil x-radius %d (at most %d rank column(s) fit)",
-			d, d.Nx, d.Ny, minW, rx, maxParts(d.Nx, rx))
+	if depth < 1 {
+		return fmt.Errorf("dist: invalid halo depth %d; must be >= 1", depth)
 	}
-	if minH := d.Ny / d.RanksY; minH <= ry {
-		return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d row(s) tall, need more than the stencil y-radius %d (at most %d rank row(s) fit)",
-			d, d.Nx, d.Ny, minH, ry, maxParts(d.Ny, ry))
+	hx, hy := depth*rx, depth*ry
+	if minW := d.Nx / d.RanksX; minW <= hx {
+		if depth == 1 {
+			return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d column(s) wide, need more than the stencil x-radius %d (at most %d rank column(s) fit)",
+				d, d.Nx, d.Ny, minW, rx, maxParts(d.Nx, rx))
+		}
+		return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d column(s) wide, need more than the depth-%d halo width %d (stencil x-radius %d; at most %d rank column(s) fit at this depth, and this grid supports halo depth at most %d)",
+			d, d.Nx, d.Ny, minW, depth, hx, rx, maxParts(d.Nx, hx), maxDepth(minW, rx))
+	}
+	if minH := d.Ny / d.RanksY; minH <= hy {
+		if depth == 1 {
+			return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d row(s) tall, need more than the stencil y-radius %d (at most %d rank row(s) fit)",
+				d, d.Nx, d.Ny, minH, ry, maxParts(d.Ny, ry))
+		}
+		return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d row(s) tall, need more than the depth-%d halo height %d (stencil y-radius %d; at most %d rank row(s) fit at this depth, and this grid supports halo depth at most %d)",
+			d, d.Nx, d.Ny, minH, depth, hy, ry, maxParts(d.Ny, hy), maxDepth(minH, ry))
 	}
 	return nil
+}
+
+// maxDepth returns the largest halo depth a tile of minDim points supports
+// for a stencil radius r (the tile must be strictly wider than depth·r).
+func maxDepth(minDim, r int) int {
+	if r <= 0 {
+		return minDim
+	}
+	k := (minDim - 1) / r
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // maxParts returns the largest number of parts n points can be split into

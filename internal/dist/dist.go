@@ -54,6 +54,19 @@ type Options[T num.Float] struct {
 	// x-direction beta terms (ablation A1); leave false for exact
 	// interpolation.
 	DropBoundaryTerms bool
+	// HaloDepth selects depth-k ghost zones (communication-avoiding
+	// clusters): halo strips k·radius wide are exchanged once every k
+	// iterations, and on the k-1 iterations in between each rank
+	// redundantly recomputes a shrinking shell of its neighbours' boundary
+	// points instead of communicating — trading O(k·radius) extra compute
+	// per boundary for a k-fold cut in message rounds and barriers.
+	// 0 and 1 both mean the classic exchange-every-iteration schedule.
+	// Fault-free results are bit-identical to depth 1 at every depth.
+	// Exchanges happen on iterations where Iter%k == 0, so checkpoint
+	// restores must land on multiples of k (resilience.Buddy validates its
+	// Period against this). Tiles must be strictly wider than k·radius in
+	// each axis; NewClusterGrid rejects grids that are not.
+	HaloDepth int
 	// Inject schedules bit-flip injections in global coordinates for
 	// Step/Run; each injection is routed to the rank owning its point and
 	// applied during that rank's local sweep. Iteration numbers are
@@ -155,6 +168,26 @@ type Cluster[T num.Float] struct {
 	plans     []*fault.Injector[T] // per-materialised-rank routed Options.Inject (absolute iterations)
 	afterStep func(rank, iter int)
 	iter      int
+	haloDepth int
+
+	// Each materialised rank runs on one persistent goroutine, spawned at
+	// construction and fed batches through its command channel — Run then
+	// costs a channel send and a join per rank instead of a goroutine
+	// spawn, keeping the steady-state iteration path allocation-free.
+	// Close shuts them down.
+	cmds       []chan rankCmd[T]
+	done       chan struct{}
+	faultMu    sync.Mutex
+	firstFault error
+	closeOnce  sync.Once
+}
+
+// rankCmd is one Run batch handed to a rank goroutine: iters iterations
+// starting at absolute iteration base, with an optional per-call
+// injector (RunPlan's call-relative plan).
+type rankCmd[T num.Float] struct {
+	iters, base int
+	perCall     *fault.Injector[T]
 }
 
 // NewCluster decomposes init into nRanks horizontal row bands — the Nx1
@@ -177,10 +210,15 @@ func NewClusterGrid[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], ranksX
 		return nil, err
 	}
 	d := Decomp{Nx: nx, Ny: ny, RanksX: ranksX, RanksY: ranksY}
-	hx, hy := op.St.RadiusX(), op.St.RadiusY()
-	if err := d.Validate(hx, hy); err != nil {
+	rx, ry := op.St.RadiusX(), op.St.RadiusY()
+	depth := opt.HaloDepth
+	if depth < 1 {
+		depth = 1
+	}
+	if err := d.ValidateDepth(rx, ry, depth); err != nil {
 		return nil, err
 	}
+	hx, hy := depth*rx, depth*ry
 	local, err := resolveLocalRanks(opt.LocalRanks, d.NumRanks())
 	if err != nil {
 		return nil, err
@@ -189,8 +227,9 @@ func NewClusterGrid[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], ranksX
 		return nil, fmt.Errorf("dist: LocalRanks hosts %d of %d ranks in this process; the default in-process channel transport cannot reach the others — set NewTransport to a cross-process backend (e.g. NewTCPTransport)", len(local), d.NumRanks())
 	}
 	opt = opt.withDefaults()
+	opt.HaloDepth = depth
 
-	c := &Cluster[T]{decomp: d, local: local, afterStep: opt.AfterStep}
+	c := &Cluster[T]{decomp: d, local: local, afterStep: opt.AfterStep, haloDepth: depth}
 	c.tr = opt.NewTransport(ranksX, ranksY, op.BC == grid.Periodic)
 	for _, i := range local {
 		r, err := newRank(op, init, i, d.TileOf(i), hx, hy, opt)
@@ -198,11 +237,18 @@ func NewClusterGrid[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], ranksX
 			return nil, err
 		}
 		r.tr = c.tr
+		r.bindTransport()
 		r.stats.Topology = "grid " + d.String()
 		r.tel = opt.Telemetry.Recorder(i)
 		c.ranks = append(c.ranks, r)
 	}
 	c.plans = c.routePlan(opt.Inject)
+	c.cmds = make([]chan rankCmd[T], len(c.ranks))
+	c.done = make(chan struct{}, len(c.ranks))
+	for i, r := range c.ranks {
+		c.cmds[i] = make(chan rankCmd[T], 1)
+		go c.rankLoop(r, c.plans[i], c.cmds[i])
+	}
 	return c, nil
 }
 
@@ -259,6 +305,12 @@ func (c *Cluster[T]) Band(i int) (y0, y1 int) {
 
 // Iter returns the number of completed cluster iterations.
 func (c *Cluster[T]) Iter() int { return c.iter }
+
+// HaloDepth returns the cluster's ghost-zone depth k: halo exchanges
+// happen on iterations where Iter%k == 0, and checkpoint restores must
+// land on multiples of k. 1 is the classic exchange-every-iteration
+// schedule.
+func (c *Cluster[T]) HaloDepth() int { return c.haloDepth }
 
 // RankStats returns the materialised ranks' counters, aligned with
 // LocalRanks — for a default cluster, indexed by rank id. When telemetry
@@ -355,11 +407,16 @@ func (c *Cluster[T]) Grid3D() *grid.Grid3D[T] { return nil }
 // pending at the end of a run.
 func (c *Cluster[T]) Finalize() {}
 
-// Close tears down the cluster's transport if the backend holds resources
-// (the TCP backend's sockets and goroutines; the in-process channel
-// backend has nothing to release and Close is then a no-op). Call it after
-// the final Run/Gather of a multi-process deployment.
+// Close stops the persistent rank goroutines and tears down the cluster's
+// transport if the backend holds resources (the TCP backend's sockets and
+// goroutines; the in-process channel backend has nothing to release).
+// Call it after the final Run/Gather, never concurrently with one.
 func (c *Cluster[T]) Close() error {
+	c.closeOnce.Do(func() {
+		for _, ch := range c.cmds {
+			close(ch)
+		}
+	})
 	if closer, ok := c.tr.(io.Closer); ok {
 		return closer.Close()
 	}
@@ -367,9 +424,8 @@ func (c *Cluster[T]) Close() error {
 }
 
 // Step advances the cluster by one lockstep iteration, applying the
-// injection plan configured in Options. Each call spawns and joins the
-// rank goroutines, so Step is the cluster's slow path — batch iterations
-// through Run(count) (which keeps the ranks alive across the whole batch)
+// injection plan configured in Options. Each call dispatches to and joins
+// the persistent rank goroutines, so batch iterations through Run(count)
 // whenever the iteration count is known up front.
 func (c *Cluster[T]) Step() { c.Run(1) }
 
@@ -405,73 +461,96 @@ func (c *Cluster[T]) RunPlan(iters int, plan *fault.Plan) {
 	}
 }
 
-// run advances iters lockstep iterations. Each rank's sweep hook composes
+// run advances iters lockstep iterations by handing each persistent rank
+// goroutine a command and joining them. Each rank's sweep hook composes
 // the configured Options.Inject plan (looked up at the absolute iteration)
 // with the per-call plan (looked up at the in-call offset); perCall may be
-// nil. A rank goroutine that panics with an error (the transport fault
-// path) aborts the transport so its sibling ranks unwind from their own
-// blocked Recv/Barrier calls, and run returns the first such fault once
-// every rank has stopped. Non-error panics (programming bugs) abort the
-// siblings too, then re-panic.
+// nil. A rank that panics with an error (the transport fault path) aborts
+// the transport so its sibling ranks unwind from their own blocked
+// Recv/Barrier calls, and run returns the first such fault once every rank
+// has stopped; the rank goroutines survive an error fault and accept
+// further commands (the resilience layer restores state and reruns).
+// Non-error panics (programming bugs) abort the siblings too, then
+// re-panic, killing the process.
 func (c *Cluster[T]) run(iters int, perCall []*fault.Injector[T]) error {
 	if iters <= 0 {
 		return nil
 	}
+	c.faultMu.Lock()
+	c.firstFault = nil
+	c.faultMu.Unlock()
 	base := c.iter
-	done := make(chan struct{}, len(c.ranks))
-	var faultMu sync.Mutex
-	var firstFault error
-	for i, r := range c.ranks {
+	for i := range c.ranks {
 		var pc *fault.Injector[T]
 		if perCall != nil {
 			pc = perCall[i]
 		}
-		go func(r *rank[T], cfg, pc *fault.Injector[T]) {
-			defer func() {
-				p := recover()
-				if p != nil {
-					err, ok := p.(error)
-					if ok {
-						faultMu.Lock()
-						if firstFault == nil {
-							firstFault = err
-						}
-						faultMu.Unlock()
-						p = nil
-					} else {
-						err = fmt.Errorf("dist: rank %d panic: %v", r.id, p)
-					}
-					c.abortTransport(err)
-				}
-				done <- struct{}{}
-				if p != nil {
-					panic(p)
-				}
-			}()
-			for t := 0; t < iters; t++ {
-				r.tel.SetIter(base + t)
-				r.exchangeHalos()
-				hook := chainHooks(stencil.HookAt[T](injSource(cfg), base+t), stencil.HookAt[T](injSource(pc), t))
-				r.step(hook)
-				if c.afterStep != nil {
-					c.afterStep(r.id, base+t)
-				}
-				tb := r.tel.Begin()
-				c.tr.Barrier()
-				r.tel.End(telemetry.PhaseBarrierWait, tb)
-			}
-		}(r, c.plans[i], pc)
+		c.cmds[i] <- rankCmd[T]{iters: iters, base: base, perCall: pc}
 	}
 	for range c.ranks {
-		<-done
+		<-c.done
 	}
-	faultMu.Lock()
-	err := firstFault
-	faultMu.Unlock()
+	c.faultMu.Lock()
+	err := c.firstFault
+	c.faultMu.Unlock()
 	if err == nil {
 		c.iter += iters
 	}
 	return err
+}
+
+// rankLoop is a materialised rank's persistent goroutine: it executes Run
+// batches from its command channel until Close closes it.
+func (c *Cluster[T]) rankLoop(r *rank[T], cfg *fault.Injector[T], cmds <-chan rankCmd[T]) {
+	for cmd := range cmds {
+		c.runBatch(r, cfg, cmd)
+	}
+}
+
+// runBatch executes one Run batch on the rank's goroutine. The iteration
+// body is the overlap/depth-k schedule (rank.advance); the cluster-wide
+// barrier separates exchange rounds only — at halo depth k that is one
+// barrier every k iterations, since the intervening local iterations
+// touch no shared state. The barrier placed at the END of an exchange
+// iteration is also what fences the in-process transport's zero-copy y
+// payloads: a receiver has copied them before its barrier, so the sender
+// may overwrite the underlying rows on its next sweep.
+func (c *Cluster[T]) runBatch(r *rank[T], cfg *fault.Injector[T], cmd rankCmd[T]) {
+	defer func() {
+		p := recover()
+		if p != nil {
+			err, ok := p.(error)
+			if ok {
+				c.faultMu.Lock()
+				if c.firstFault == nil {
+					c.firstFault = err
+				}
+				c.faultMu.Unlock()
+				p = nil
+			} else {
+				err = fmt.Errorf("dist: rank %d panic: %v", r.id, p)
+			}
+			c.abortTransport(err)
+		}
+		c.done <- struct{}{}
+		if p != nil {
+			panic(p)
+		}
+	}()
+	for t := 0; t < cmd.iters; t++ {
+		abs := cmd.base + t
+		r.tel.SetIter(abs)
+		hook := chainHooks(stencil.HookAt[T](injSource(cfg), abs), stencil.HookAt[T](injSource(cmd.perCall), t))
+		r.advance(abs, hook)
+		if c.afterStep != nil {
+			c.afterStep(r.id, abs)
+		}
+		if r.depth == 1 || abs%r.depth == 0 {
+			tb := r.tel.Begin()
+			c.tr.Barrier()
+			r.tel.End(telemetry.PhaseBarrierWait, tb)
+		}
+	}
 }
 
 // abortTransport wakes every rank blocked in the transport with cause, when

@@ -33,6 +33,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("Routing2D", func(t *testing.T) { routing2D(t, f) })
 	t.Run("SelfExchange", func(t *testing.T) { selfExchange(t, f) })
 	t.Run("ExchangeOrdering", func(t *testing.T) { exchangeOrdering(t, f) })
+	t.Run("EitherCompletion", func(t *testing.T) { eitherCompletion(t, f) })
 	t.Run("BarrierOrdering", func(t *testing.T) { barrierOrdering(t, f) })
 }
 
@@ -204,6 +205,58 @@ func exchangeOrdering(t *testing.T, f Factory) {
 		}(id)
 	}
 	wg.Wait()
+}
+
+// eitherCompletion checks the per-edge completion contract of
+// dist.EitherReceiver — the overlap schedule's boundary-strip feed: when
+// only one of two directed edges has a pending payload, RecvEither must
+// complete on that edge (not block waiting for the other), and when both
+// are pending, two calls must drain both edges exactly once with each
+// payload arriving under its own direction. Transports (or wrappers) that
+// do not implement the optional interface are skipped: the cluster falls
+// back to deterministic ordered receives for them.
+func eitherCompletion(t *testing.T, f Factory) {
+	tr := f(3, 1, false)
+	er, ok := tr.(dist.EitherReceiver[float64])
+	if !ok {
+		t.Skip("transport does not implement dist.EitherReceiver")
+	}
+	// Only the left neighbour has posted: the call must complete on Left.
+	tr.Send(0, dist.Right, []float64{1})
+	if d, got := er.RecvEither(1, dist.Left, dist.Right); d != dist.Left || len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RecvEither = (%v, %v), want the pending Left edge with payload [1]", d, got)
+	}
+	// The other edge still drains through a plain Recv afterwards.
+	tr.Send(2, dist.Left, []float64{2})
+	if got := tr.Recv(1, dist.Right); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Right edge after RecvEither: %v", got)
+	}
+
+	// Both edges pending: two calls drain both exactly once, payloads
+	// matched to their directions.
+	tr.Send(0, dist.Right, []float64{10})
+	tr.Send(2, dist.Left, []float64{20})
+	want := map[dist.Dir]float64{dist.Left: 10, dist.Right: 20}
+	for i := 0; i < 2; i++ {
+		d, got := er.RecvEither(1, dist.Left, dist.Right)
+		w, pending := want[d]
+		if !pending || len(got) != 1 || got[0] != w {
+			t.Fatalf("drain call %d: RecvEither = (%v, %v), want one undrained edge of %v", i, d, got, want)
+		}
+		delete(want, d)
+	}
+
+	// The y axis, on a fresh 1x3 chain.
+	trY := f(1, 3, false)
+	erY := trY.(dist.EitherReceiver[float64])
+	trY.Send(2, dist.Up, []float64{3})
+	if d, got := erY.RecvEither(1, dist.Up, dist.Down); d != dist.Down || len(got) != 1 || got[0] != 3 {
+		t.Fatalf("RecvEither = (%v, %v), want the pending Down edge", d, got)
+	}
+	trY.Send(0, dist.Down, []float64{4})
+	if d, got := erY.RecvEither(1, dist.Up, dist.Down); d != dist.Up || len(got) != 1 || got[0] != 4 {
+		t.Fatalf("RecvEither = (%v, %v), want the remaining Up edge", d, got)
+	}
 }
 
 // barrierOrdering hammers the transport's barrier across generations from

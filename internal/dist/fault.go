@@ -63,8 +63,10 @@ type Fault struct {
 	// Peer is the geometric neighbour behind that edge — the dead-rank
 	// suspect. -1 when the edge has no neighbour or the peer is unknown.
 	Peer int
-	// Gen is the barrier generation (completed lockstep iterations within
-	// the current Run) at the time of the failure.
+	// Gen is the barrier generation at the time of the failure: completed
+	// lockstep iterations within the current Run under the classic
+	// schedule, completed halo-exchange rounds (iterations / k) under
+	// depth-k ghost zones.
 	Gen int
 	// Barrier reports whether the failure surfaced in the token exchange
 	// rather than a halo receive.

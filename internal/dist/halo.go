@@ -111,22 +111,41 @@ func (r *rank[T]) exchangeHalos() {
 }
 
 // packCols copies the hx-wide column strip starting at extended column x0,
-// over the tile's own rows, row-major into buf (len hx*nyLoc).
+// over the tile's own rows, row-major into buf (len hx*nyLoc). The walk
+// indexes the backing array directly — one strided load/store per element,
+// no per-row slice headers — because at the common depth hx=1 the strip is
+// a single column and per-row call overhead would rival the copy itself.
 func (r *rank[T]) packCols(ext *grid.Grid[T], x0 int, buf []T) {
-	i := 0
-	for y := r.loY(); y < r.hiY(); y++ {
-		copy(buf[i:i+r.hx], ext.Row(y)[x0:x0+r.hx])
-		i += r.hx
+	data, stride := ext.Data(), ext.Nx()
+	idx := r.loY()*stride + x0
+	if r.hx == 1 {
+		for i := range buf {
+			buf[i] = data[idx]
+			idx += stride
+		}
+		return
+	}
+	for i := 0; i < len(buf); i += r.hx {
+		copy(buf[i:i+r.hx], data[idx:idx+r.hx])
+		idx += stride
 	}
 }
 
 // unpackCols copies a received column strip into the hx-wide halo region
 // starting at extended column x0, over the tile's own rows.
 func (r *rank[T]) unpackCols(ext *grid.Grid[T], x0 int, buf []T) {
-	i := 0
-	for y := r.loY(); y < r.hiY(); y++ {
-		copy(ext.Row(y)[x0:x0+r.hx], buf[i:i+r.hx])
-		i += r.hx
+	data, stride := ext.Data(), ext.Nx()
+	idx := r.loY()*stride + x0
+	if r.hx == 1 {
+		for i := range buf {
+			data[idx] = buf[i]
+			idx += stride
+		}
+		return
+	}
+	for i := 0; i < len(buf); i += r.hx {
+		copy(data[idx:idx+r.hx], buf[i:i+r.hx])
+		idx += stride
 	}
 }
 
@@ -136,7 +155,16 @@ func (r *rank[T]) unpackCols(ext *grid.Grid[T], x0 int, buf []T) {
 // is strictly wider than the radius, so a reflected column never leaves
 // it); Constant and Zero substitute the fixed ghost value.
 func (r *rank[T]) fillSideHalo(left bool) {
+	r.fillSideHaloRows(left, r.loY(), r.hiY())
+}
+
+// fillSideHaloRows is fillSideHalo over an explicit extended-frame row
+// range [y0, y1) — the depth-k schedule synthesises ghost columns for
+// exactly the shell rows the current sub-iteration sweeps read, which can
+// extend beyond the tile's own rows.
+func (r *rank[T]) fillSideHaloRows(left bool, y0, y1 int) {
 	ext := r.buf.Read
+	data, stride := ext.Data(), ext.Nx()
 	for j := 0; j < r.hx; j++ {
 		var gx, col int // global ghost column and its extended-frame index
 		if left {
@@ -152,15 +180,14 @@ func (r *rank[T]) fillSideHalo(left bool) {
 			if r.globalBC == grid.Constant {
 				v = r.op.BCValue
 			}
-			for y := r.loY(); y < r.hiY(); y++ {
-				ext.Row(y)[col] = v
+			for idx := y0*stride + col; idx < y1*stride; idx += stride {
+				data[idx] = v
 			}
 			continue
 		}
 		src := r.loX() + rx - r.tile.X0
-		for y := r.loY(); y < r.hiY(); y++ {
-			row := ext.Row(y)
-			row[col] = row[src]
+		for idx := y0 * stride; idx < y1*stride; idx += stride {
+			data[idx+col] = data[idx+src]
 		}
 	}
 }
@@ -174,6 +201,14 @@ func (r *rank[T]) fillSideHalo(left bool) {
 // Refreshing these rows every iteration is what keeps the tile
 // interpolation exact at the domain edge.
 func (r *rank[T]) fillEdgeHalo(top bool) {
+	r.fillEdgeHaloCols(top, 0, r.nxLoc+2*r.hx)
+}
+
+// fillEdgeHaloCols is fillEdgeHalo restricted to the extended-frame
+// column segment [x0, x1) — the overlap schedule uses it to refresh just
+// the halo-column corners of the ghost rows after an inbound x strip
+// rewrites the columns the full-width fill copied from.
+func (r *rank[T]) fillEdgeHaloCols(top bool, x0, x1 int) {
 	ext := r.buf.Read
 	for j := 0; j < r.hy; j++ {
 		var gy, row int // global ghost row and its extended-frame index
@@ -184,7 +219,7 @@ func (r *rank[T]) fillEdgeHalo(top bool) {
 			gy = r.tile.Y1 + j
 			row = r.hiY() + j
 		}
-		dst := ext.Row(row)
+		dst := ext.Row(row)[x0:x1]
 		ry, ok := r.globalBC.ResolveIndex(gy, r.globalNy)
 		if !ok {
 			v := T(0)
@@ -196,6 +231,6 @@ func (r *rank[T]) fillEdgeHalo(top bool) {
 			}
 			continue
 		}
-		copy(dst, ext.Row(r.loY()+ry-r.tile.Y0))
+		copy(dst, ext.Row(r.loY() + ry - r.tile.Y0)[x0:x1])
 	}
 }

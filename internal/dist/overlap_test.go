@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"stencilabft/internal/fault"
+	"stencilabft/internal/grid"
+	"stencilabft/internal/stencil"
+)
+
+// TestClusterDepthKMatchesReference is the depth-k pin: with HaloDepth
+// k > 1 the cluster exchanges wide halos every k iterations and
+// redundantly recomputes shrinking boundary shells in between, and the
+// result must STILL be bit-identical to the single-process reference —
+// for every boundary condition, for row-band / column-band / 2-D grid
+// topologies, for star and full-box kernels (the box exercises the corner
+// threading through the two-phase exchange), and for iteration counts
+// both on and off an exchange boundary (a gather mid-cycle reads tiles
+// whose shells are valid but unexchanged).
+func TestClusterDepthKMatchesReference(t *testing.T) {
+	const nx, ny = 33, 40
+	kernels := []struct {
+		name string
+		st   *stencil.Stencil[float64]
+	}{
+		{"laplace5", stencil.Laplace5[float64](0.2)},
+		{"boxblur", stencil.BoxBlur[float64]()},
+	}
+	topos := []struct{ rx, ry int }{{1, 4}, {4, 1}, {2, 2}}
+	for _, bc := range []grid.Boundary{grid.Clamp, grid.Periodic, grid.Mirror, grid.Constant, grid.Zero} {
+		for _, kr := range kernels {
+			for _, topo := range topos {
+				for _, depth := range []int{2, 4} {
+					for _, iters := range []int{8, 9} {
+						name := fmt.Sprintf("%s/%s/%dx%d/k%d/iters%d", bc, kr.name, topo.ry, topo.rx, depth, iters)
+						t.Run(name, func(t *testing.T) {
+							op := &stencil.Op2D[float64]{St: kr.st, BC: bc, BCValue: 42}
+							init := testInit(nx, ny)
+							want := reference(t, op, init, iters)
+
+							opt := strictOpts()
+							opt.HaloDepth = depth
+							c, err := NewClusterGrid(op, init, topo.rx, topo.ry, opt)
+							if err != nil {
+								t.Fatal(err)
+							}
+							defer c.Close()
+							c.Run(iters)
+							if ts := c.Stats(); ts.Detections != 0 {
+								t.Fatalf("false positive under depth-%d: %+v", depth, ts)
+							}
+							if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+								t.Fatalf("depth-%d cluster deviates from reference by %g", depth, diff)
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterDepthKSplitRuns verifies the depth-k cycle position is keyed
+// on the absolute iteration: a run split at a non-exchange boundary must
+// resume mid-cycle and stay bit-identical to the unsplit run.
+func TestClusterDepthKSplitRuns(t *testing.T) {
+	const nx, ny, iters = 33, 40, 10
+	op := &stencil.Op2D[float64]{St: stencil.BoxBlur[float64](), BC: grid.Mirror}
+	init := testInit(nx, ny)
+	want := reference(t, op, init, iters)
+
+	opt := strictOpts()
+	opt.HaloDepth = 4
+	c, err := NewClusterGrid(op, init, 2, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(3) // stops at sub-iteration 3 of the first depth-4 cycle
+	c.Run(iters - 3)
+	if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+		t.Fatalf("split depth-4 run deviates from reference by %g", diff)
+	}
+}
+
+// TestClusterDepthKTCP runs the depth-k schedule over the real TCP
+// backend (single-process loopback) — the per-edge completion path of
+// TCPTransport.RecvEither feeding the boundary-strip sweeps — and demands
+// bit-identity with the reference.
+func TestClusterDepthKTCP(t *testing.T) {
+	const nx, ny, iters = 33, 40, 8
+	op := &stencil.Op2D[float64]{St: stencil.BoxBlur[float64](), BC: grid.Clamp}
+	init := testInit(nx, ny)
+	want := reference(t, op, init, iters)
+
+	opt := strictOpts()
+	opt.HaloDepth = 2
+	opt.NewTransport = func(rx, ry int, ring bool) Transport[float64] {
+		tr, err := NewTCPTransport[float64](TCPConfig{RanksX: rx, RanksY: ry, Ring: ring})
+		if err != nil {
+			t.Fatalf("NewTCPTransport: %v", err)
+		}
+		return tr
+	}
+	c, err := NewClusterGrid(op, init, 2, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(iters)
+	if ts := c.Stats(); ts.Detections != 0 {
+		t.Fatalf("false positive over TCP: %+v", ts)
+	}
+	if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+		t.Fatalf("depth-2 TCP cluster deviates from reference by %g", diff)
+	}
+}
+
+// TestClusterDepthKOrderedFallback hides the transport's EitherReceiver
+// behind a plain wrapper, forcing the deterministic ordered-receive
+// fallback, which must be just as bit-exact.
+func TestClusterDepthKOrderedFallback(t *testing.T) {
+	const nx, ny, iters = 33, 40, 8
+	op := &stencil.Op2D[float64]{St: stencil.BoxBlur[float64](), BC: grid.Periodic}
+	init := testInit(nx, ny)
+	want := reference(t, op, init, iters)
+
+	opt := strictOpts()
+	opt.HaloDepth = 2
+	opt.WrapTransport = func(tr Transport[float64], rx, ry int, ring bool) Transport[float64] {
+		return &countingTransport{inner: tr}
+	}
+	c, err := NewClusterGrid(op, init, 2, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(iters)
+	if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+		t.Fatalf("ordered-fallback depth-2 cluster deviates by %g", diff)
+	}
+}
+
+// TestClusterDepthKCounters pins the communication-avoiding arithmetic:
+// with depth k, halo exchange rounds and barriers happen once every k
+// iterations instead of every iteration.
+func TestClusterDepthKCounters(t *testing.T) {
+	const nx, ny, iters, depth = 33, 40, 8, 2
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5[float64](0.2), BC: grid.Clamp}
+	ct := &countingTransport{}
+	opt := strictOpts()
+	opt.HaloDepth = depth
+	opt.WrapTransport = func(tr Transport[float64], rx, ry int, ring bool) Transport[float64] {
+		ct.inner = tr
+		return ct
+	}
+	c, err := NewClusterGrid(op, testInit(nx, ny), 2, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(iters)
+
+	const ranks = 4
+	rounds := iters / depth // every iteration with iter%depth == 0
+	if wantB := ranks * rounds; ct.barriers != wantB {
+		t.Errorf("barriers = %d, want %d (one per rank per exchange round)", ct.barriers, wantB)
+	}
+	// Each rank of a 2x2 grid has exactly two neighbours.
+	if wantS := 2 * ranks * rounds; ct.sends != wantS || ct.recvs != wantS {
+		t.Errorf("sends/recvs = %d/%d, want %d", ct.sends, ct.recvs, wantS)
+	}
+	for _, s := range c.RankStats() {
+		if s.HaloExchanges != rounds {
+			t.Errorf("rank HaloExchanges = %d, want %d", s.HaloExchanges, rounds)
+		}
+		if s.Iterations != iters {
+			t.Errorf("rank Iterations = %d, want %d", s.Iterations, iters)
+		}
+	}
+}
+
+// TestClusterThinTileStrips forces the degenerate strip geometry: a
+// radius-2 star kernel over tiles only 3 points wide, where left and
+// right boundary strips would overlap and the schedule must fall back to
+// receiving both halos before sweeping the merged strip. Still bit-exact.
+func TestClusterThinTileStrips(t *testing.T) {
+	st := &stencil.Stencil[float64]{Name: "star-r2", Points: []stencil.Point[float64]{
+		{DX: 0, DY: 0, W: 0.4},
+		{DX: -1, DY: 0, W: 0.1}, {DX: 1, DY: 0, W: 0.1},
+		{DX: -2, DY: 0, W: 0.05}, {DX: 2, DY: 0, W: 0.05},
+		{DX: 0, DY: -1, W: 0.1}, {DX: 0, DY: 1, W: 0.1},
+		{DX: 0, DY: -2, W: 0.05}, {DX: 0, DY: 2, W: 0.05},
+	}}
+	const nx, ny, iters = 12, 12, 6
+	for _, bc := range []grid.Boundary{grid.Clamp, grid.Periodic} {
+		t.Run(bc.String(), func(t *testing.T) {
+			op := &stencil.Op2D[float64]{St: st, BC: bc}
+			init := testInit(nx, ny)
+			want := reference(t, op, init, iters)
+
+			// 4 columns x 4 rows of 3-wide, 3-tall tiles: 3 < 2*radius,
+			// so both axes take the merged-strip path.
+			c, err := NewClusterGrid(op, init, 4, 4, strictOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			c.Run(iters)
+			if diff := c.Gather().MaxAbsDiff(want); diff != 0 {
+				t.Fatalf("thin-tile cluster deviates from reference by %g", diff)
+			}
+		})
+	}
+}
+
+// TestClusterDepthKFaultCorrected injects a bit flip mid-tile under
+// depth-2 ghost zones: the owning rank must detect and correct it with
+// the depth-k interpolators. Correction is Equation (10), exact only to
+// rounding, and under depth-k the corrected point's residual also rides
+// the redundantly recomputed shells — so the run must end within a tight
+// numerical envelope of the reference rather than bit-identical.
+func TestClusterDepthKFaultCorrected(t *testing.T) {
+	const nx, ny, iters = 33, 40, 8
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5[float64](0.2), BC: grid.Clamp}
+	init := testInit(nx, ny)
+	want := reference(t, op, init, iters)
+
+	opt := strictOpts()
+	opt.HaloDepth = 2
+	opt.Inject = fault.NewPlan(fault.Injection{Iteration: 3, X: 8, Y: 10, Bit: 35})
+	c, err := NewClusterGrid(op, init, 2, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(iters)
+
+	ts := c.Stats()
+	if ts.Detections == 0 {
+		t.Fatalf("injected fault not detected under depth-2: %+v", ts)
+	}
+	if ts.CorrectedPoints == 0 && ts.ChecksumRepairs == 0 {
+		t.Fatalf("injected fault not corrected under depth-2: %+v", ts)
+	}
+	if diff := c.Gather().MaxAbsDiff(want); diff > 1e-9 {
+		t.Fatalf("corrected depth-2 run deviates from reference by %g", diff)
+	}
+}
+
+// TestClusterRunAllocs pins the tentpole allocation property: once a
+// cluster is warm, a steady-state Run performs zero heap allocations per
+// iteration — persistent rank goroutines, preallocated pack buffers,
+// nil-hook sweep paths.
+func TestClusterRunAllocs(t *testing.T) {
+	const nx, ny = 64, 64
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5[float64](0.2), BC: grid.Clamp}
+	c, err := NewClusterGrid(op, testInit(nx, ny), 2, 2, strictOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(2) // warm-up: plan caches, goroutine stacks
+
+	if avg := testing.AllocsPerRun(10, func() { c.Run(1) }); avg != 0 {
+		t.Errorf("steady-state Run(1) allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -21,7 +21,9 @@ type rank[T num.Float] struct {
 	tile Tile // global sub-rectangle owned
 
 	nxLoc, nyLoc int // tile shape
-	hx, hy       int // halo widths = stencil x/y radii
+	rx, ry       int // stencil radii
+	depth        int // ghost-zone depth k: halos exchange once every k iterations
+	hx, hy       int // halo widths = depth * stencil x/y radii
 
 	// op sweeps the extended local grid. Every point of the tile rect is
 	// interior to the extended frame (hx >= RadiusX, hy >= RadiusY), so
@@ -65,10 +67,25 @@ type rank[T num.Float] struct {
 	globalBC           grid.Boundary
 	globalNx, globalNy int
 
+	// Neighbour presence and the transport's optional per-edge completion
+	// capability, both resolved once at construction so the per-iteration
+	// overlap schedule never re-asks the transport (bindTransport).
+	hasL, hasR, hasU, hasD bool
+	either                 EitherReceiver[T]
+	try                    TryReceiver[T]
+
 	// sendL/sendR are the packed column strips posted Left/Right, owned by
 	// the rank and rewritten only after the iteration barrier, satisfying
 	// the transport's payload-lifetime contract.
 	sendL, sendR []T
+
+	// stripBL/stripBR hold the boundary strips' per-row checksum segments,
+	// fused by the strip sweeps in the extended y frame so
+	// combineRowChecksums folds contiguous scratch instead of re-reading
+	// the strided edge columns of dst. Only valid for rows the current
+	// iteration's strip sweeps covered, and only when the strip spanned
+	// tile columns exclusively (zero depth-k margin on that side).
+	stripBL, stripBR []T
 
 	stats Stats
 	// tel times the rank's phases; nil (telemetry disabled) makes every
@@ -109,8 +126,13 @@ func newRank[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], id int, t Til
 		sop.C = cExt
 	}
 
+	depth := opt.HaloDepth
+	if depth < 1 {
+		depth = 1
+	}
 	r := &rank[T]{
 		id: id, tile: t, nxLoc: nxLoc, nyLoc: nyLoc, hx: hx, hy: hy,
+		rx: op.St.RadiusX(), ry: op.St.RadiusY(), depth: depth,
 		op:       sop,
 		buf:      grid.NewBuffer[T](extNx, extNy),
 		ip:       ip,
@@ -128,6 +150,8 @@ func newRank[T num.Float](op *stencil.Op2D[T], init *grid.Grid[T], id int, t Til
 		globalNy: init.Ny(),
 		sendL:    make([]T, hx*nyLoc),
 		sendR:    make([]T, hx*nyLoc),
+		stripBL:  make([]T, extNy),
+		stripBR:  make([]T, extNy),
 	}
 	r.edgeRead = checksum.TileEdges[T]{Ext: r.buf.Read, HX: hx, HY: hy}
 	r.edgeWrite = checksum.TileEdges[T]{Ext: r.buf.Write, HX: hx, HY: hy}

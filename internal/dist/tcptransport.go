@@ -382,6 +382,14 @@ type outEdge struct {
 	ring    [][]byte // sealed frames (seq-len(ring)+1 .. seq], oldest first
 	dead    bool     // edge declared unhealable; frames are dropped
 
+	// free recycles sealed frames evicted from the resend window back to
+	// Send: once a frame falls out of the window it can never be replayed
+	// again, so its buffer is fenced off from the writer goroutine and a
+	// steady-state halo cadence reuses wire buffers instead of allocating
+	// one per frame. Push and pop are both non-blocking — a full list drops
+	// the buffer (GC takes it), an empty list makes Send allocate.
+	free chan []byte
+
 	// framesSent/bytesSent count halo traffic enqueued on the edge (payload
 	// bytes, headers and tokens excluded, so counts compare across
 	// backends); queueHW is the deepest writer-queue backlog observed at
@@ -801,6 +809,7 @@ func (t *TCPTransport[T]) dialEdges(cfg TCPConfig, book map[int]string) error {
 			}
 			oe := &outEdge{
 				ch:    make(chan []byte, 64),
+				free:  make(chan []byte, 64),
 				addr:  addr,
 				from:  id,
 				to:    nb,
@@ -877,7 +886,17 @@ func (t *TCPTransport[T]) dispatch(oe *outEdge, buf []byte, closing bool) {
 	sealFrame(buf, oe.seq)
 	oe.ring = append(oe.ring, buf)
 	if len(oe.ring) > t.window {
-		n := copy(oe.ring, oe.ring[len(oe.ring)-t.window:])
+		evict := len(oe.ring) - t.window
+		for i := 0; i < evict; i++ {
+			if oe.flushed >= oe.seq-uint32(len(oe.ring)-1-i) {
+				// Written and past the window: safe to hand back to Send.
+				select {
+				case oe.free <- oe.ring[i]:
+				default:
+				}
+			}
+		}
+		n := copy(oe.ring, oe.ring[evict:])
 		for i := n; i < len(oe.ring); i++ {
 			oe.ring[i] = nil
 		}
@@ -1285,7 +1304,12 @@ func (t *TCPTransport[T]) Send(from int, d Dir, data []T) {
 		panic(fmt.Sprintf("dist: Send(%d, %v) without a neighbour", from, d))
 	}
 	nb, _ := t.geo.Neighbor(from, d, t.ring)
-	out := encodeHaloFrame(uint16(from), uint16(nb), byte(d), t.gen.Load(), data)
+	var buf []byte
+	select {
+	case buf = <-oe.free:
+	default:
+	}
+	out := encodeHaloFrameInto(buf, uint16(from), uint16(nb), byte(d), t.gen.Load(), data)
 	select {
 	case oe.ch <- out:
 		oe.framesSent.Add(1)
@@ -1320,6 +1344,80 @@ func (t *TCPTransport[T]) recv(to int, d Dir) ([]T, error) {
 		return nil, &Fault{Rank: to, Dir: d, Peer: t.peerOf(to, d), Gen: int(t.gen.Load()), Class: classOf(err), Err: err}
 	}
 	return data, nil
+}
+
+// TryRecv returns the halo strip from direction d if one is already queued
+// on the edge's inbound box, without blocking; (nil, false) when nothing
+// has been delivered yet. A faulted edge also reports false — its failure
+// surfaces on the subsequent blocking Recv, keeping the fatal-fault path
+// in one place.
+func (t *TCPTransport[T]) TryRecv(to int, d Dir) ([]T, bool) {
+	box, ok := t.boxes[edgeKey{to, d}]
+	if !ok {
+		panic(fmt.Sprintf("dist: TryRecv(%d, %v) without a neighbour", to, d))
+	}
+	select {
+	case data := <-box.halo:
+		return data, true
+	default:
+		return nil, false
+	}
+}
+
+// RecvEither returns the first halo strip to arrive from either direction
+// d1 or d2 — the per-edge completion notification the overlap schedule
+// sweeps boundary strips by. Like Recv, a transport fault is fatal and
+// panics with a *Fault naming the direction whose edge failed.
+func (t *TCPTransport[T]) RecvEither(to int, d1, d2 Dir) (Dir, []T) {
+	b1, ok1 := t.boxes[edgeKey{to, d1}]
+	b2, ok2 := t.boxes[edgeKey{to, d2}]
+	if !ok1 || !ok2 {
+		panic(fmt.Sprintf("dist: RecvEither(%d, %v, %v) without both neighbours", to, d1, d2))
+	}
+	// Fast path: a strip already queued on either box.
+	select {
+	case data := <-b1.halo:
+		return d1, data
+	default:
+	}
+	select {
+	case data := <-b2.halo:
+		return d2, data
+	default:
+	}
+	var expire <-chan time.Time
+	if d := t.ioDur(); d > 0 {
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		expire = tm.C
+	}
+	select {
+	case data := <-b1.halo:
+		return d1, data
+	case data := <-b2.halo:
+		return d2, data
+	case <-b1.done:
+		// Drain anything enqueued before the edge died, then fault.
+		select {
+		case data := <-b1.halo:
+			return d1, data
+		default:
+		}
+		err := b1.cause()
+		panic(&Fault{Rank: to, Dir: d1, Peer: t.peerOf(to, d1), Gen: int(t.gen.Load()), Class: classOf(err), Err: err})
+	case <-b2.done:
+		select {
+		case data := <-b2.halo:
+			return d2, data
+		default:
+		}
+		err := b2.cause()
+		panic(&Fault{Rank: to, Dir: d2, Peer: t.peerOf(to, d2), Gen: int(t.gen.Load()), Class: classOf(err), Err: err})
+	case <-expire:
+		err := &classedError{class: ClassTimeout,
+			err: fmt.Errorf("timed out after %v waiting for a halo strip from %v or %v", t.ioDur(), d1, d2)}
+		panic(&Fault{Rank: to, Dir: d1, Peer: t.peerOf(to, d1), Gen: int(t.gen.Load()), Class: ClassTimeout, Err: err})
+	}
 }
 
 // peerOf names the geometric neighbour behind rank to's inbound edge d, or

@@ -92,6 +92,40 @@ type Transport[T num.Float] interface {
 	Barrier()
 }
 
+// EitherReceiver is the optional transport extension behind the overlap
+// schedule: RecvEither blocks until the halo strip from *either* of two
+// directed edges arrives, returning whichever lands first. A rank that can
+// learn per-edge completion sweeps the corresponding boundary strip while
+// the other edge's strip is still in flight, instead of imposing an
+// arbitrary wait order. Both backends implement it; a transport that does
+// not is still correct — the rank falls back to receiving in a fixed order.
+//
+// Contract: d1 and d2 must be two distinct directions in which rank to has
+// neighbours, within the same exchange phase (Left/Right together, Up/Down
+// together, preserving the two-phase corner ordering). The caller must call
+// RecvEither once and then Recv the remaining direction (or call RecvEither
+// with the pair exactly once per phase per iteration); like Recv, the
+// returned slice is only valid until the receiver's next Barrier.
+type EitherReceiver[T num.Float] interface {
+	RecvEither(to int, d1, d2 Dir) (Dir, []T)
+}
+
+// TryReceiver is the optional progress-polling capability: a non-blocking
+// probe for a halo strip that has already been delivered. A strip that is
+// present when the rank would otherwise start hiding latency has no latency
+// left to hide — the overlap schedule folds it in immediately and sweeps
+// its boundary strip fused with the interior (row-major, cache-warm)
+// instead of as a separate cold column strip. Both built-in backends
+// implement it; a transport that does not simply never takes the fast path.
+//
+// Contract: TryRecv(to, d) returns (strip, true) only when the strip is
+// already queued, consuming it exactly as Recv would (same FIFO, same
+// payload lifetime); (nil, false) otherwise — including on a faulted edge,
+// whose failure surfaces on the subsequent blocking Recv.
+type TryReceiver[T num.Float] interface {
+	TryRecv(to int, d Dir) ([]T, bool)
+}
+
 // ChanTransport is the default in-process Transport: adjacent ranks of the
 // Cartesian grid are wired with paired channels in the MPI neighbour
 // pattern. Each channel carries one message per iteration per direction: a
@@ -264,6 +298,53 @@ func (t *ChanTransport[T]) Recv(to int, d Dir) []T {
 	case <-expire:
 		panic(&Fault{Rank: to, Dir: d, Peer: nb, Gen: t.bar.generation(), Class: ClassTimeout,
 			Err: fmt.Errorf("timed out after %v waiting for the halo strip", t.recvTimeout)})
+	}
+}
+
+// TryRecv returns the strip sent toward rank to from direction d if it has
+// already been delivered, without blocking; (nil, false) when nothing is
+// queued (or the transport is aborted — the fault surfaces on the blocking
+// Recv).
+func (t *ChanTransport[T]) TryRecv(to int, d Dir) ([]T, bool) {
+	nb, ok := t.geo.Neighbor(to, d, t.ring)
+	if !ok {
+		panic(fmt.Sprintf("dist: TryRecv(%d, %v) without a neighbour", to, d))
+	}
+	select {
+	case data := <-t.ch[d.Opposite()][nb]:
+		t.em.recvd(d, to, len(data)*int(elemSize[T]()))
+		return data, true
+	default:
+		return nil, false
+	}
+}
+
+// RecvEither returns the first strip to arrive from either direction d1 or
+// d2 — the per-edge completion notification the overlap schedule sweeps
+// boundary strips by. Panics with a *Fault (abort cause or timeout) exactly
+// like Recv.
+func (t *ChanTransport[T]) RecvEither(to int, d1, d2 Dir) (Dir, []T) {
+	nb1, ok1 := t.geo.Neighbor(to, d1, t.ring)
+	nb2, ok2 := t.geo.Neighbor(to, d2, t.ring)
+	if !ok1 || !ok2 {
+		panic(fmt.Sprintf("dist: RecvEither(%d, %v, %v) without both neighbours", to, d1, d2))
+	}
+	expire, tm := t.expiry()
+	if tm != nil {
+		defer tm.Stop()
+	}
+	select {
+	case data := <-t.ch[d1.Opposite()][nb1]:
+		t.em.recvd(d1, to, len(data)*int(elemSize[T]()))
+		return d1, data
+	case data := <-t.ch[d2.Opposite()][nb2]:
+		t.em.recvd(d2, to, len(data)*int(elemSize[T]()))
+		return d2, data
+	case <-t.quit:
+		panic(&Fault{Rank: to, Dir: d1, Peer: nb1, Gen: t.bar.generation(), Err: t.abortErr})
+	case <-expire:
+		panic(&Fault{Rank: to, Dir: d1, Peer: nb1, Gen: t.bar.generation(), Class: ClassTimeout,
+			Err: fmt.Errorf("timed out after %v waiting for a halo strip from %v or %v", t.recvTimeout, d1, d2)})
 	}
 }
 

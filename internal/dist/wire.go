@@ -221,8 +221,19 @@ func appendFrame(dst []byte, f frame) []byte {
 // and seals (seq + length + CRC) at dispatch, so the checksum is computed
 // exactly once per frame.
 func encodeHaloFrame[T num.Float](from, to uint16, dir byte, gen uint32, data []T) []byte {
+	return encodeHaloFrameInto[T](nil, from, to, dir, gen, data)
+}
+
+// encodeHaloFrameInto is encodeHaloFrame writing into a recycled wire
+// buffer when its capacity suffices (allocating a fresh one otherwise) —
+// the reuse path fed by the resend window's evictions.
+func encodeHaloFrameInto[T num.Float](buf []byte, from, to uint16, dir byte, gen uint32, data []T) []byte {
 	es := elemSize[T]()
-	buf := make([]byte, wireHeaderSize, wireHeaderSize+len(data)*int(es))
+	if need := wireHeaderSize + len(data)*int(es); cap(buf) < need {
+		buf = make([]byte, wireHeaderSize, need)
+	} else {
+		buf = buf[:wireHeaderSize]
+	}
 	putHeader(buf, frame{kind: frameHalo, from: from, to: to, dir: dir, elem: es, gen: gen})
 	return appendElems(buf, data)
 }

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"fmt"
 	"sync"
 
 	"stencilabft/internal/checkpoint"
@@ -53,6 +54,14 @@ func NewBuddy[T num.Float](period int, tel *telemetry.Collector) *Buddy[T] {
 func (b *Buddy[T]) Attach(cl *dist.Cluster[T]) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	// A restore rebases the cluster to a checkpoint generation and reruns
+	// from there, so every generation must land on a halo-exchange
+	// boundary: under depth-k ghost zones a rank resumed mid-cycle would
+	// have no valid boundary shells to sweep from.
+	if k := cl.HaloDepth(); k > 1 && b.Period > 0 && b.Period%k != 0 {
+		return fmt.Errorf("resilience: checkpoint period %d is not a multiple of the cluster's halo depth %d; restores must land on halo-exchange boundaries (use period %d)",
+			b.Period, k, ((b.Period+k-1)/k)*k)
+	}
 	b.cl = cl
 	b.car, _ = cl.Transport().(dist.CkptCarrier[T])
 	d := cl.Decomp()

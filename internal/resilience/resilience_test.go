@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -134,8 +135,9 @@ func reserveAddr(t *testing.T) string {
 }
 
 // tcpFactory builds one process's cluster incarnation over a real TCP
-// transport, exactly as a stencilrun child would.
-func tcpFactory(op *stencil.Op2D[float64], init *grid.Grid[float64], rx, ry int) resilience.Factory[float64] {
+// transport, exactly as a stencilrun child would. depth > 1 runs the
+// communication-avoiding depth-k ghost-zone schedule.
+func tcpFactory(op *stencil.Op2D[float64], init *grid.Grid[float64], rx, ry, depth int) resilience.Factory[float64] {
 	return func(epoch int, rdv string, localRanks []int, after func(int, int)) (*dist.Cluster[float64], error) {
 		tr, err := dist.NewTCPTransport[float64](dist.TCPConfig{
 			RanksX: rx, RanksY: ry, Ring: op.BC == grid.Periodic,
@@ -148,6 +150,7 @@ func tcpFactory(op *stencil.Op2D[float64], init *grid.Grid[float64], rx, ry int)
 		opt := strictOpts()
 		opt.LocalRanks = localRanks
 		opt.AfterStep = after
+		opt.HaloDepth = depth
 		opt.NewTransport = func(int, int, bool) dist.Transport[float64] { return tr }
 		cl, err := dist.NewClusterGrid(op, init, rx, ry, opt)
 		if err != nil {
@@ -224,7 +227,7 @@ func TestFailStopRecoveryAdopt(t *testing.T) {
 		bc := bc
 		t.Run(fmt.Sprint(bc), func(t *testing.T) {
 			t.Parallel()
-			runFailStop(t, bc, nil)
+			runFailStop(t, bc, 1, nil)
 		})
 	}
 }
@@ -233,7 +236,7 @@ func TestFailStopRecoveryAdopt(t *testing.T) {
 // coordinator relays the buddy snapshot to a freshly started replacement
 // process which claims the dead rank and rejoins the lockstep.
 func TestFailStopRecoveryRespawn(t *testing.T) {
-	runFailStop(t, grid.Mirror, func(ctrl string, op *stencil.Op2D[float64], init *grid.Grid[float64], total, period int, results chan<- runResult) func(resilience.Plan) error {
+	runFailStop(t, grid.Mirror, 1, func(ctrl string, op *stencil.Op2D[float64], init *grid.Grid[float64], total, period int, results chan<- runResult) func(resilience.Plan) error {
 		return func(plan resilience.Plan) error {
 			go func() {
 				p, st, err := resilience.RequestAdoption[float64](ctrl, plan.Dead, 20*time.Second)
@@ -248,7 +251,7 @@ func TestFailStopRecoveryRespawn(t *testing.T) {
 				cl, extra, err := resilience.Run(resilience.Config[float64]{
 					Total: total, Period: period, Control: ctrl,
 					LocalRanks: []int{plan.Dead},
-					Factory:    tcpFactory(op, init, 2, 2),
+					Factory:    tcpFactory(op, init, 2, 2, 1),
 					Epoch:      p.Epoch, Rendezvous: p.Rendezvous,
 					StartIter: p.RestartGen, InitialState: initial,
 					Timeout: 20 * time.Second,
@@ -260,10 +263,46 @@ func TestFailStopRecoveryRespawn(t *testing.T) {
 	})
 }
 
+// TestFailStopRecoveryDepthK runs the adopt-mode kill under depth-2 ghost
+// zones: rank 3 dies mid-cycle (generation 10, between exchange rounds),
+// and because the buddy period 4 is a multiple of the depth, the rollback
+// generation 8 lands on a halo-exchange boundary — the restored ranks
+// resume at the top of a depth-k cycle and the replayed run must finish
+// bit-identical to an undisturbed classic depth-1 run.
+func TestFailStopRecoveryDepthK(t *testing.T) {
+	runFailStop(t, grid.Clamp, 2, nil)
+}
+
+// TestBuddyAttachRejectsOffCadencePeriod pins the period/depth coupling:
+// a checkpoint period that is not a multiple of the cluster's halo depth
+// would bank generations a restore cannot resume from (mid-cycle, no
+// valid boundary shells), so Attach must refuse it and name the nearest
+// usable period.
+func TestBuddyAttachRejectsOffCadencePeriod(t *testing.T) {
+	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: grid.Clamp}
+	opt := strictOpts()
+	opt.HaloDepth = 3
+	cl, err := dist.NewClusterGrid(op, testInit(40, 36), 2, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := resilience.NewBuddy[float64](4, nil).Attach(cl); err == nil || !strings.Contains(err.Error(), "use period 6") {
+		t.Fatalf("Attach with period 4 over depth 3 = %v, want the cadence error suggesting period 6", err)
+	}
+	if err := resilience.NewBuddy[float64](6, nil).Attach(cl); err != nil {
+		t.Fatalf("Attach with the aligned period 6: %v", err)
+	}
+}
+
 // runFailStop is the shared harness: 4 virtual processes (goroutines) on a
 // 2x2 grid, rank 3 killed at generation 10, buddy period 4, 24 total
 // iterations — so recovery must roll back to generation 8 and replay.
-func runFailStop(t *testing.T, bc grid.Boundary, respawn func(ctrl string, op *stencil.Op2D[float64], init *grid.Grid[float64], total, period int, results chan<- runResult) func(resilience.Plan) error) {
+// depth > 1 runs the cluster under depth-k ghost zones (period 4 stays a
+// multiple, so the rollback generation lands on an exchange boundary); the
+// reference stays the classic depth-1 cluster, making the comparison also
+// a depth-k bit-identity pin.
+func runFailStop(t *testing.T, bc grid.Boundary, depth int, respawn func(ctrl string, op *stencil.Op2D[float64], init *grid.Grid[float64], total, period int, results chan<- runResult) func(resilience.Plan) error) {
 	const nx, ny, total, period, killGen, victim = 40, 36, 24, 4, 10, 3
 	op := &stencil.Op2D[float64]{St: stencil.Laplace5(0.2), BC: bc, BCValue: 42}
 	init := testInit(nx, ny)
@@ -299,7 +338,7 @@ func runFailStop(t *testing.T, bc grid.Boundary, respawn func(ctrl string, op *s
 		mu.Lock()
 		cb = respawn(co.Addr(), op, init, total, period, results)
 		mu.Unlock()
-		launchRanks(t, co.Addr(), op, init, total, period, killGen, victim, results)
+		launchRanks(t, co.Addr(), op, init, total, period, killGen, victim, depth, results)
 		collectAndCompare(t, want, results, 4, victim)
 		return
 	}
@@ -308,17 +347,17 @@ func runFailStop(t *testing.T, bc grid.Boundary, respawn func(ctrl string, op *s
 		t.Fatal(err)
 	}
 	defer co.Close()
-	launchRanks(t, co.Addr(), op, init, total, period, killGen, victim, results)
+	launchRanks(t, co.Addr(), op, init, total, period, killGen, victim, depth, results)
 	collectAndCompare(t, want, results, 3, victim)
 }
 
 // launchRanks starts the four virtual processes.
-func launchRanks(t *testing.T, ctrl string, op *stencil.Op2D[float64], init *grid.Grid[float64], total, period, killGen, victim int, results chan<- runResult) {
+func launchRanks(t *testing.T, ctrl string, op *stencil.Op2D[float64], init *grid.Grid[float64], total, period, killGen, victim, depth int, results chan<- runResult) {
 	t.Helper()
 	rdv := reserveAddr(t)
 	for rank := 0; rank < 4; rank++ {
 		rank := rank
-		factory := tcpFactory(op, init, 2, 2)
+		factory := tcpFactory(op, init, 2, 2, depth)
 		if rank == victim {
 			factory = killAtFactory(factory, killGen)
 		}

@@ -155,7 +155,10 @@ func Run[T num.Float](cfg Config[T]) (*dist.Cluster[T], stats.Stats, error) {
 		var f *dist.Fault
 		if errors.As(runErr, &f) {
 			rep.Suspect = f.Peer
-			rep.Gen = startIter + f.Gen
+			// Fault.Gen counts transport barrier generations, which under
+			// depth-k ghost zones advance once per k iterations — scale it
+			// back to the iteration timeline the rollback reasons in.
+			rep.Gen = startIter + f.Gen*cl.HaloDepth()
 		}
 		t0 := rec.Begin()
 		plan, err := ReportFault(cfg.Control, rep, buddy.WardState, cfg.Timeout)

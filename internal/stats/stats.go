@@ -74,6 +74,12 @@ type Timing struct {
 	RecoverWaitNs int64 // stalled between fault detection and the recovery plan
 	RestoreNs     int64 // rebuilding transport and restoring checkpointed state
 
+	// Overlap-schedule phases; all zero on deployments that run the
+	// sequential exchange-then-sweep schedule.
+	InteriorSweepNs int64 // halo-independent interior swept while halos are in flight
+	BoundaryWaitNs  int64 // blocked waiting for the next boundary strip's halo
+	BoundarySweepNs int64 // sweeping boundary strips after their halos landed
+
 	// RanksTimed counts the ranks that contributed a breakdown; 0 means
 	// telemetry was off and the struct is meaningless.
 	RanksTimed int
@@ -108,6 +114,9 @@ func (t Timing) Merge(o Timing) Timing {
 	t.CkptSendNs += o.CkptSendNs
 	t.RecoverWaitNs += o.RecoverWaitNs
 	t.RestoreNs += o.RestoreNs
+	t.InteriorSweepNs += o.InteriorSweepNs
+	t.BoundaryWaitNs += o.BoundaryWaitNs
+	t.BoundarySweepNs += o.BoundarySweepNs
 	t.RanksTimed += o.RanksTimed
 	if o.MaxBarrierNs > t.MaxBarrierNs {
 		t.MaxBarrierNs, t.MaxBarrierOn = o.MaxBarrierNs, o.MaxBarrierOn
@@ -292,6 +301,10 @@ func (t Timing) String() string {
 	if t.CkptSaveNs|t.CkptSendNs|t.RecoverWaitNs|t.RestoreNs != 0 {
 		out += fmt.Sprintf("\nresilience[ms] ckpt-save=%.2f ckpt-send=%.2f recover-wait=%.2f restore=%.2f",
 			ms(t.CkptSaveNs), ms(t.CkptSendNs), ms(t.RecoverWaitNs), ms(t.RestoreNs))
+	}
+	if t.InteriorSweepNs|t.BoundaryWaitNs|t.BoundarySweepNs != 0 {
+		out += fmt.Sprintf("\noverlap[ms] interior-sweep=%.2f boundary-wait=%.2f boundary-sweep=%.2f",
+			ms(t.InteriorSweepNs), ms(t.BoundaryWaitNs), ms(t.BoundarySweepNs))
 	}
 	if rank, ratio, ok := t.Straggler(); ok {
 		out += fmt.Sprintf("\nimbalance: straggler=rank %d max/mean barrier-wait=%.2f (max rank %d waited %.2fms, straggler waited %.2fms)",

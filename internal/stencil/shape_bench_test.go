@@ -1,0 +1,33 @@
+package stencil
+
+import (
+	"testing"
+
+	"stencilabft/internal/grid"
+)
+
+// BenchmarkSweepShape compares equal-area sweeps over the two rank-tile
+// shapes of the n=512 four-rank topologies: 4x1 bands sweep 512-wide rows,
+// 2x2 tiles sweep 256-wide rows (twice as many row calls).
+func BenchmarkSweepShape(b *testing.B) {
+	op := &Op2D[float64]{St: Laplace5(0.2), BC: grid.Clamp}
+	for _, sh := range []struct {
+		name           string
+		nx, ny, w, h   int
+		x0, y0, x1, y1 int
+	}{
+		{"band512x128", 514, 130, 512, 128, 1, 1, 513, 129},
+		{"tile256x256", 258, 258, 256, 256, 1, 1, 257, 257},
+	} {
+		src := grid.New[float64](sh.nx, sh.ny)
+		dst := grid.New[float64](sh.nx, sh.ny)
+		src.FillFunc(func(x, y int) float64 { return 100 + float64((x*31+y*17)%23) })
+		bsum := make([]float64, sh.y1-sh.y0)
+		b.Run(sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op.SweepRectFused(dst, src, sh.x0, sh.y0, sh.x1, sh.y1, bsum, nil)
+			}
+		})
+	}
+}

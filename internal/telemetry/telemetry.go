@@ -80,13 +80,28 @@ const (
 	// counter back.
 	PhaseRestore
 
+	// PhaseInteriorSweep is the overlap schedule's interior sweep: the
+	// halo-independent region swept while halo strips are still in
+	// flight. Time here is computation successfully hidden behind
+	// communication.
+	PhaseInteriorSweep
+	// PhaseBoundaryWait is blocking until the next boundary strip's halo
+	// lands under the overlap schedule — the residual, un-hidden part of
+	// PhaseRecvWait. A rank whose interior sweep outlasts its halo
+	// round-trips shows ~zero here.
+	PhaseBoundaryWait
+	// PhaseBoundarySweep is sweeping a boundary strip after its halo
+	// landed (including the checksum post-pass that re-fuses split rows).
+	PhaseBoundarySweep
+
 	// NumPhases sizes per-phase tables.
-	NumPhases = 12
+	NumPhases = 15
 )
 
 var phaseNames = [NumPhases]string{
 	"pack", "send", "recv-wait", "unpack", "sweep", "verify", "repair", "barrier-wait",
 	"ckpt-save", "ckpt-send", "recover-wait", "restore",
+	"interior-sweep", "boundary-wait", "boundary-sweep",
 }
 
 // String returns the phase's display name (also the span name in traces and
@@ -253,6 +268,11 @@ func (r *Recorder) Timing() stats.Timing {
 		CkptSendNs:    r.ns[PhaseCkptSend].Load(),
 		RecoverWaitNs: r.ns[PhaseRecoverWait].Load(),
 		RestoreNs:     r.ns[PhaseRestore].Load(),
+
+		InteriorSweepNs: r.ns[PhaseInteriorSweep].Load(),
+		BoundaryWaitNs:  r.ns[PhaseBoundaryWait].Load(),
+		BoundarySweepNs: r.ns[PhaseBoundarySweep].Load(),
+
 		RanksTimed:    1,
 		MaxBarrierNs:  bar,
 		MaxBarrierOn:  r.rank,

@@ -181,6 +181,15 @@ type Spec[T Float] struct {
 	// deployment: RanksX columns (splitting the domain's x axis) by RanksY
 	// rows (splitting y). Set both, or use the Ranks shorthand instead.
 	RanksX, RanksY int
+	// HaloDepth selects depth-k ghost zones for a Clustered 2-D grid
+	// deployment: halo strips k·radius wide exchanged once every k
+	// iterations, with the ranks redundantly recomputing shrinking
+	// boundary shells in between — the communication-avoiding trade of
+	// the ghost-zone literature. 0 and 1 both mean the classic
+	// exchange-every-iteration schedule; fault-free results are
+	// bit-identical at every depth. Checkpoint periods must be multiples
+	// of HaloDepth so restores land on exchange boundaries.
+	HaloDepth int
 	// BlockX, BlockY set the nominal tile size of the Blocked scheme
 	// (required ≥ 1; edge tiles may differ).
 	BlockX, BlockY int
@@ -348,6 +357,12 @@ func (s Spec[T]) validate() error {
 		if s.InjectSource != nil {
 			return fmt.Errorf("stencilabft: InjectSource is local-only; cluster injection routes a Plan (set Inject)")
 		}
+		if s.HaloDepth < 0 {
+			return fmt.Errorf("stencilabft: HaloDepth %d is invalid; use 0 or 1 for the classic exchange-every-iteration schedule, k > 1 for depth-k ghost zones", s.HaloDepth)
+		}
+		if s.HaloDepth > 1 && topo == TopoLayers {
+			return fmt.Errorf("stencilabft: HaloDepth %d (depth-k ghost zones) supports 2-D grid topologies only; the 3-D layer cluster exchanges every iteration", s.HaloDepth)
+		}
 		if s.Transport != "" {
 			if _, err := ParseTransport(string(s.Transport)); err != nil {
 				return err
@@ -424,6 +439,9 @@ func (s Spec[T]) validate() error {
 		}
 		if s.Topology != "" {
 			return fmt.Errorf("stencilabft: Topology applies to the cluster deployment only")
+		}
+		if s.HaloDepth != 0 {
+			return fmt.Errorf("stencilabft: HaloDepth applies to the cluster deployment only (deployment %q with depth %d)", s.Deployment, s.HaloDepth)
 		}
 		if s.Transport != "" || s.NewTransport != nil {
 			return fmt.Errorf("stencilabft: Transport/NewTransport apply to the cluster deployment only")
@@ -521,6 +539,7 @@ func (s Spec[T]) distOptions() dist.Options[T] {
 		PairPolicy:        s.PairPolicy,
 		Pool:              s.Pool,
 		DropBoundaryTerms: s.DropBoundaryTerms,
+		HaloDepth:         s.HaloDepth,
 		Inject:            s.Inject,
 		RecvTimeout:       s.RecvTimeout,
 		NewTransport:      s.NewTransport,
