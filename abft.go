@@ -44,7 +44,11 @@
 // hook); Step then applies them with no per-call plumbing.
 //
 // See examples/ for complete programs and DESIGN.md for the architecture
-// and the Unified API section for the registry and deprecation map.
+// and the Unified API section for the Build registry. Build + Spec is the
+// only construction path: the pre-Spec per-scheme constructors were removed
+// after a deprecation cycle (DESIGN.md §11 maps each to its Spec form).
+// Specs without process-local state also have a JSON wire form — see
+// WireSpec and API.md — which is what cmd/stencilserve serves.
 //
 // # Choosing a scheme
 //
@@ -141,6 +145,11 @@ func SevenPoint3D[T Float](c, w, e, n, s, b, a T) *Stencil[T] {
 	return stencil.SevenPoint3D(c, w, e, n, s, b, a)
 }
 
+// Advect2D returns the asymmetric first-order upwind advection stencil
+// u' = u - cx*(u - u_west) - cy*(u - u_north); its boundary terms do not
+// cancel under clamp, exercising the exact Theorem-1 interpolation path.
+func Advect2D[T Float](cx, cy T) *Stencil[T] { return stencil.Advect2D(cx, cy) }
+
 // NewStencil builds a custom stencil from explicit points.
 func NewStencil[T Float](name string, points ...Point[T]) *Stencil[T] {
 	return &Stencil[T]{Name: name, Points: points}
@@ -148,11 +157,6 @@ func NewStencil[T Float](name string, points ...Point[T]) *Stencil[T] {
 
 // Detector compares direct against interpolated checksums.
 type Detector[T Float] = checksum.Detector[T]
-
-// Options configure a protector built through the deprecated per-scheme
-// constructors; the zero value uses the paper's defaults (epsilon 1e-5,
-// Δ=16, sequential execution). New code declares the same knobs on Spec.
-type Options[T Float] = core.Options[T]
 
 // Stats is the unified counter model every protector reports through:
 // per-rank and per-block counters roll up with Merge instead of living in
@@ -178,94 +182,6 @@ type Offline3D[T Float] = core.Offline3D[T]
 
 // None3D is the unprotected 3-D baseline runner.
 type None3D[T Float] = core.None3D[T]
-
-// spec2D assembles the Spec a legacy 2-D constructor delegates to Build.
-func spec2D[T Float](s Scheme, op *Op2D[T], init *Grid[T], opt Options[T]) Spec[T] {
-	return Spec[T]{
-		Scheme: s, Op2D: op, Init: init,
-		Detector: opt.Detector, PairPolicy: opt.PairPolicy, Pool: opt.Pool,
-		Period: opt.Period, Recovery: opt.Recovery, InjectSource: opt.Inject,
-		DropBoundaryTerms: opt.DropBoundaryTerms, PaperExactCorrection: opt.PaperExactCorrection,
-	}
-}
-
-// spec3D assembles the Spec a legacy 3-D constructor delegates to Build.
-func spec3D[T Float](s Scheme, op *Op3D[T], init *Grid3D[T], opt Options[T]) Spec[T] {
-	return Spec[T]{
-		Scheme: s, Op3D: op, Init3D: init,
-		Detector: opt.Detector, PairPolicy: opt.PairPolicy, Pool: opt.Pool,
-		Period: opt.Period, Recovery: opt.Recovery, InjectSource: opt.Inject,
-		DropBoundaryTerms: opt.DropBoundaryTerms, PaperExactCorrection: opt.PaperExactCorrection,
-	}
-}
-
-// NewOnline2D builds an online protector for op, starting from init
-// (copied).
-//
-// Deprecated: use Build with Spec{Scheme: Online}.
-func NewOnline2D[T Float](op *Op2D[T], init *Grid[T], opt Options[T]) (*Online2D[T], error) {
-	p, err := Build(spec2D(Online, op, init, opt))
-	if err != nil {
-		return nil, err
-	}
-	return p.(*Online2D[T]), nil
-}
-
-// NewOffline2D builds an offline protector with detection period
-// opt.Period.
-//
-// Deprecated: use Build with Spec{Scheme: Offline}.
-func NewOffline2D[T Float](op *Op2D[T], init *Grid[T], opt Options[T]) (*Offline2D[T], error) {
-	p, err := Build(spec2D(Offline, op, init, opt))
-	if err != nil {
-		return nil, err
-	}
-	return p.(*Offline2D[T]), nil
-}
-
-// NewNone2D builds the unprotected baseline runner.
-//
-// Deprecated: use Build with Spec{Scheme: None}.
-func NewNone2D[T Float](op *Op2D[T], init *Grid[T], opt Options[T]) (*None2D[T], error) {
-	p, err := Build(spec2D(None, op, init, opt))
-	if err != nil {
-		return nil, err
-	}
-	return p.(*None2D[T]), nil
-}
-
-// NewOnline3D builds a per-layer online protector for a 3-D domain.
-//
-// Deprecated: use Build with Spec{Scheme: Online, Op3D: op, Init3D: init}.
-func NewOnline3D[T Float](op *Op3D[T], init *Grid3D[T], opt Options[T]) (*Online3D[T], error) {
-	p, err := Build(spec3D(Online, op, init, opt))
-	if err != nil {
-		return nil, err
-	}
-	return p.(*Online3D[T]), nil
-}
-
-// NewOffline3D builds a 3-D offline protector.
-//
-// Deprecated: use Build with Spec{Scheme: Offline, Op3D: op, Init3D: init}.
-func NewOffline3D[T Float](op *Op3D[T], init *Grid3D[T], opt Options[T]) (*Offline3D[T], error) {
-	p, err := Build(spec3D(Offline, op, init, opt))
-	if err != nil {
-		return nil, err
-	}
-	return p.(*Offline3D[T]), nil
-}
-
-// NewNone3D builds the unprotected 3-D baseline runner.
-//
-// Deprecated: use Build with Spec{Scheme: None, Op3D: op, Init3D: init}.
-func NewNone3D[T Float](op *Op3D[T], init *Grid3D[T], opt Options[T]) (*None3D[T], error) {
-	p, err := Build(spec3D(None, op, init, opt))
-	if err != nil {
-		return nil, err
-	}
-	return p.(*None3D[T]), nil
-}
 
 // RecoveryMode selects the offline repair strategy.
 type RecoveryMode = core.RecoveryMode
@@ -296,34 +212,6 @@ type Cluster[T Float] = dist.Cluster[T]
 // Clustered spec.
 type Cluster3D[T Float] = dist.Cluster3D[T]
 
-// ClusterOptions configure the per-rank protection of a Cluster built
-// through the deprecated NewCluster.
-//
-// Deprecated: declare the same knobs on Spec.
-type ClusterOptions[T Float] = dist.Options[T]
-
-// RankStats aggregates one rank's ABFT counters — the same unified Stats
-// model as every other protector.
-//
-// Deprecated: use Stats.
-type RankStats = dist.Stats
-
-// NewCluster decomposes init into nRanks bands wired through the transport.
-//
-// Deprecated: use Build with Spec{Scheme: Online, Deployment: Clustered,
-// Ranks: nRanks}.
-func NewCluster[T Float](op *Op2D[T], init *Grid[T], nRanks int, opt ClusterOptions[T]) (*Cluster[T], error) {
-	p, err := Build(Spec[T]{
-		Scheme: Online, Deployment: Clustered, Op2D: op, Init: init, Ranks: nRanks,
-		Detector: opt.Detector, PairPolicy: opt.PairPolicy, Pool: opt.Pool,
-		DropBoundaryTerms: opt.DropBoundaryTerms, Inject: opt.Inject, NewTransport: opt.NewTransport,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return p.(*Cluster[T]), nil
-}
-
 // Calibration reports the error-free checksum noise floor of a
 // configuration, used to pick a detection threshold.
 type Calibration[T Float] = core.Calibration[T]
@@ -340,35 +228,6 @@ func CalibrateEpsilon[T Float](op *Op2D[T], init *Grid[T], iters int) (Calibrati
 // (paper Section 3.4): each block owns its checksums, keeping magnitudes —
 // and with them the floating-point detection floor — low.
 type Blocked2D[T Float] = blocks.Protector[T]
-
-// BlockOptions configure a tiled protector built through the deprecated
-// NewBlocked2D.
-//
-// Deprecated: declare the same knobs on Spec.
-type BlockOptions[T Float] = blocks.Options[T]
-
-// BlockStats aggregates the tiled protector's counters — the same unified
-// Stats model as every other protector.
-//
-// Deprecated: use Stats.
-type BlockStats = blocks.Stats
-
-// NewBlocked2D builds a tiled protector with blocks of nominal size bx by
-// by (edge blocks may differ; remainders below the stencil radius merge
-// into their neighbour).
-//
-// Deprecated: use Build with Spec{Scheme: Blocked, BlockX: bx, BlockY: by}.
-func NewBlocked2D[T Float](op *Op2D[T], init *Grid[T], bx, by int, opt BlockOptions[T]) (*Blocked2D[T], error) {
-	p, err := Build(Spec[T]{
-		Scheme: Blocked, Op2D: op, Init: init, BlockX: bx, BlockY: by,
-		Detector: opt.Detector, PairPolicy: opt.PairPolicy, Pool: opt.Pool,
-		InjectSource: opt.Inject,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return p.(*Blocked2D[T]), nil
-}
 
 // Injection describes one planned bit-flip for fault-injection campaigns.
 type Injection = fault.Injection

@@ -184,30 +184,58 @@ func TestPublic3DFlow(t *testing.T) {
 	}
 }
 
-// TestDeprecatedConstructorsStillWork pins the compatibility contract: the
-// old per-scheme constructors are thin wrappers over Build and must keep
-// returning the concrete types with the configured injection applied.
-func TestDeprecatedConstructorsStillWork(t *testing.T) {
+// TestBuildPathPinsLegacyContract pins the contract the removed per-scheme
+// constructors (NewOnline2D, NewCluster, ...) used to carry, now stated
+// directly against Build: the factory returns the matching concrete type,
+// the configured injection is applied, and a band cluster's gather is
+// bit-identical to the local run of the same operator — exactly what the
+// wrappers' delegation to Build guaranteed before their deletion.
+func TestBuildPathPinsLegacyContract(t *testing.T) {
 	op := &abft.Op2D[float32]{St: abft.Laplace5[float32](0.2), BC: abft.Clamp}
 	init := abft.New[float32](32, 32)
 	init.Fill(300)
 
 	plan := abft.NewPlan(abft.Injection{Iteration: 5, X: 10, Y: 11, Bit: 30})
-	p, err := abft.NewOnline2D(op, init, abft.Options[float32]{Inject: abft.NewInjector[float32](plan)})
+	p, err := abft.Build(abft.Spec[float32]{
+		Scheme: abft.Online, Op2D: op, Init: init,
+		InjectSource: abft.NewInjector[float32](plan),
+	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if _, ok := p.(*abft.Online2D[float32]); !ok {
+		t.Fatalf("online spec built %T, want *Online2D", p)
 	}
 	p.Run(20)
 	if st := p.Stats(); st.Detections != 1 || st.CorrectedPoints != 1 {
-		t.Fatalf("deprecated online wrapper: %+v", st)
+		t.Fatalf("online Build path: %+v", st)
 	}
 
-	c, err := abft.NewCluster(op, init, 3, abft.ClusterOptions[float32]{})
+	c, err := abft.Build(abft.Spec[float32]{
+		Scheme: abft.Online, Deployment: abft.Clustered,
+		Op2D: op, Init: init, Ranks: 3,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, ok := c.(*abft.Cluster[float32]); !ok {
+		t.Fatalf("cluster spec built %T, want *Cluster", c)
+	}
 	c.Run(4)
 	if c.Iter() != 4 {
-		t.Fatalf("deprecated cluster wrapper: iter %d", c.Iter())
+		t.Fatalf("cluster Build path: iter %d", c.Iter())
+	}
+
+	// Error-free band cluster gathers bit-identical to the local reference.
+	ref, err := abft.Build(abft.Spec[float32]{Scheme: abft.Online, Op2D: op, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(4)
+	got, want := c.Grid().Data(), ref.Grid().Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cluster gather diverges from local reference at %d: %v != %v", i, got[i], want[i])
+		}
 	}
 }

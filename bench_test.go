@@ -11,9 +11,15 @@
 package stencilabft_test
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"stencilabft/internal/campaign"
@@ -24,6 +30,7 @@ import (
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 	"stencilabft/internal/resilience"
+	"stencilabft/internal/serve"
 	"stencilabft/internal/stencil"
 	"stencilabft/internal/telemetry"
 )
@@ -699,4 +706,60 @@ func BenchmarkClusterCRC(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServeThroughput drives the full stencilserve path end to end —
+// HTTP POST, scheduler queue, worker protocol, SSE completion — one job per
+// op, each with a distinct generator seed so none hit the result cache.
+// ns/op is the service's per-job latency under concurrent submitters; the
+// inverse is jobs/sec.
+func BenchmarkServeThroughput(b *testing.B) {
+	srv, err := serve.New(serve.Config{Workers: 4, QuotaPerTenant: 256, QueueDepth: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := fmt.Sprintf(`{"spec":{"stencil":{"name":"laplace5"},"bc":"clamp","scheme":"online",`+
+				`"grid":{"nx":32,"ny":24,"generator":"uniform","seed":%d}},"iters":4}`, seed.Add(1))
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st struct {
+				ID    string `json:"id"`
+				State string `json:"state"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				b.Fatalf("POST: status %d (%+v)", resp.StatusCode, st)
+			}
+			// The SSE stream ends when the job settles — no polling.
+			ev, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+			if err != nil {
+				b.Fatal(err)
+			}
+			terminal := ""
+			sc := bufio.NewScanner(ev.Body)
+			for sc.Scan() {
+				if line, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+					terminal = line
+				}
+			}
+			ev.Body.Close()
+			if terminal != "done" {
+				b.Fatalf("job %s ended with %q", st.ID, terminal)
+			}
+		}
+	})
 }

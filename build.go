@@ -1,7 +1,6 @@
 package stencilabft
 
 import (
-	"fmt"
 	"sort"
 
 	"stencilabft/internal/blocks"
@@ -98,7 +97,7 @@ func Build[T Float](spec Spec[T]) (Protector[T], error) {
 	}
 	b, ok := builders[T]()[BuildKey(spec.Scheme, spec.Deployment)]
 	if !ok {
-		return nil, fmt.Errorf("stencilabft: unsupported combination %q (registered: %v)",
+		return nil, kindErrorf(ErrUnsupportedCombination, "stencilabft: unsupported combination %q (registered: %v)",
 			BuildKey(spec.Scheme, spec.Deployment), BuildKeys())
 	}
 	return b(spec)

@@ -1,6 +1,17 @@
 package dist
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+
+	"stencilabft/internal/errs"
+)
+
+// ErrThinTile classifies a decomposition whose tiles are too thin for the
+// stencil's halo: errors.Is(err, ErrThinTile) is true for every
+// Validate/ValidateDepth rejection on tile-size grounds, while the error
+// text keeps naming the offending axis and the largest grid that would fit.
+var ErrThinTile = errors.New("dist: tile too thin for the stencil halo")
 
 // Decomp is the topology-neutral decomposition of an Nx-by-Ny domain over a
 // RanksX-by-RanksY Cartesian rank grid — the geometry every deployment of
@@ -149,21 +160,22 @@ func (d Decomp) ValidateDepth(rx, ry, depth int) error {
 	if depth < 1 {
 		return fmt.Errorf("dist: invalid halo depth %d; must be >= 1", depth)
 	}
+	thin := []error{ErrThinTile}
 	hx, hy := depth*rx, depth*ry
 	if minW := d.Nx / d.RanksX; minW <= hx {
 		if depth == 1 {
-			return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d column(s) wide, need more than the stencil x-radius %d (at most %d rank column(s) fit)",
+			return errs.Tagf(thin, "dist: rank grid %s over a %dx%d domain leaves tiles only %d column(s) wide, need more than the stencil x-radius %d (at most %d rank column(s) fit)",
 				d, d.Nx, d.Ny, minW, rx, maxParts(d.Nx, rx))
 		}
-		return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d column(s) wide, need more than the depth-%d halo width %d (stencil x-radius %d; at most %d rank column(s) fit at this depth, and this grid supports halo depth at most %d)",
+		return errs.Tagf(thin, "dist: rank grid %s over a %dx%d domain leaves tiles only %d column(s) wide, need more than the depth-%d halo width %d (stencil x-radius %d; at most %d rank column(s) fit at this depth, and this grid supports halo depth at most %d)",
 			d, d.Nx, d.Ny, minW, depth, hx, rx, maxParts(d.Nx, hx), maxDepth(minW, rx))
 	}
 	if minH := d.Ny / d.RanksY; minH <= hy {
 		if depth == 1 {
-			return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d row(s) tall, need more than the stencil y-radius %d (at most %d rank row(s) fit)",
+			return errs.Tagf(thin, "dist: rank grid %s over a %dx%d domain leaves tiles only %d row(s) tall, need more than the stencil y-radius %d (at most %d rank row(s) fit)",
 				d, d.Nx, d.Ny, minH, ry, maxParts(d.Ny, ry))
 		}
-		return fmt.Errorf("dist: rank grid %s over a %dx%d domain leaves tiles only %d row(s) tall, need more than the depth-%d halo height %d (stencil y-radius %d; at most %d rank row(s) fit at this depth, and this grid supports halo depth at most %d)",
+		return errs.Tagf(thin, "dist: rank grid %s over a %dx%d domain leaves tiles only %d row(s) tall, need more than the depth-%d halo height %d (stencil y-radius %d; at most %d rank row(s) fit at this depth, and this grid supports halo depth at most %d)",
 			d, d.Nx, d.Ny, minH, depth, hy, ry, maxParts(d.Ny, hy), maxDepth(minH, ry))
 	}
 	return nil

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"stencilabft/internal/stats"
+)
+
+// JobState is a job's lifecycle position. Queued and running are transient;
+// done and failed are terminal.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Event is one entry of a job's event stream — what the SSE endpoint
+// replays and relays. "state" marks lifecycle transitions, "stats" carries a
+// mid-run counter snapshot, "done"/"error" terminate the stream.
+type Event struct {
+	Type   string       `json:"type"` // "state" | "stats" | "done" | "error"
+	State  JobState     `json:"state,omitempty"`
+	Iter   int          `json:"iter,omitempty"`
+	Stats  *stats.Stats `json:"stats,omitempty"`
+	Error  string       `json:"error,omitempty"`
+	Status int          `json:"status,omitempty"`
+	Cached bool         `json:"cached,omitempty"`
+}
+
+// Terminal reports whether the event closes the stream.
+func (e Event) Terminal() bool { return e.Type == "done" || e.Type == "error" }
+
+// History bounds: at most maxStatsHistory "stats" events are replayed to a
+// late subscriber (lifecycle events are always kept), so a million-iteration
+// job cannot grow the job record without bound.
+const maxStatsHistory = 512
+
+// Job is one submitted simulation: identity, canonical document, event
+// history, subscribers, and — once terminal — the outcome.
+type Job struct {
+	ID      string
+	Tenant  string
+	Key     string // cache key: content hash of (canonical spec, iters)
+	Elem    string
+	Iters   int
+	Wire    []byte // canonical wire-form spec document
+	Created time.Time
+
+	mu         sync.Mutex
+	state      JobState
+	cached     bool
+	errMsg     string
+	status     int
+	result     *GridPayload
+	stats      stats.Stats
+	haveResult bool
+	history    []Event
+	nStats     int
+	subs       map[chan Event]struct{}
+	started    time.Time
+	finished   time.Time
+	done       chan struct{}
+}
+
+func newJob(id, tenant, key, elem string, iters int, wire []byte) *Job {
+	j := &Job{
+		ID: id, Tenant: tenant, Key: key, Elem: elem, Iters: iters, Wire: wire,
+		Created: time.Now(),
+		state:   StateQueued,
+		subs:    make(map[chan Event]struct{}),
+		done:    make(chan struct{}),
+	}
+	j.history = append(j.history, Event{Type: "state", State: StateQueued})
+	return j
+}
+
+// publish appends to the history and fans out to subscribers; j.mu held.
+// Slow subscribers drop intermediate events (their SSE stream self-heals on
+// the terminal event, which the handler derives from Done()).
+func (j *Job) publish(ev Event) {
+	if ev.Type == "stats" {
+		j.nStats++
+		if j.nStats > maxStatsHistory {
+			j.compactStats()
+		}
+	}
+	j.history = append(j.history, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// compactStats drops the oldest half of the stats events, keeping every
+// lifecycle event; j.mu held.
+func (j *Job) compactStats() {
+	keep := j.history[:0]
+	drop := j.nStats / 2
+	for _, ev := range j.history {
+		if ev.Type == "stats" && drop > 0 {
+			drop--
+			j.nStats--
+			continue
+		}
+		keep = append(keep, ev)
+	}
+	j.history = keep
+}
+
+// SetRunning transitions queued → running.
+func (j *Job) SetRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.publish(Event{Type: "state", State: StateRunning})
+}
+
+// PublishStats streams one mid-run counter snapshot.
+func (j *Job) PublishStats(iter int, st stats.Stats) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
+	j.publish(Event{Type: "stats", Iter: iter, Stats: &st})
+}
+
+// Finish records a successful outcome. Idempotent once terminal.
+func (j *Job) Finish(res *GridPayload, st stats.Stats, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
+	j.state = StateDone
+	j.cached = cached
+	j.result = res
+	j.stats = st
+	j.haveResult = true
+	j.finished = time.Now()
+	j.publish(Event{Type: "done", State: StateDone, Iter: j.Iters, Stats: &st, Cached: cached})
+	close(j.done)
+}
+
+// Fail records a failure with the HTTP status the error maps to.
+// Idempotent once terminal — a gang's first rank failure wins.
+func (j *Job) Fail(msg string, status int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
+	j.state = StateFailed
+	j.errMsg = msg
+	j.status = status
+	j.finished = time.Now()
+	j.publish(Event{Type: "error", State: StateFailed, Error: msg, Status: status})
+	close(j.done)
+}
+
+// Done closes when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Subscribe atomically snapshots the history (the replay) and registers a
+// live channel, so no event falls between replay and stream. cancel
+// unregisters; the channel is buffered and lossy for slow consumers.
+func (j *Job) Subscribe() (replay []Event, ch chan Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]Event(nil), j.history...)
+	ch = make(chan Event, 64)
+	j.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// JobStatus is the GET /v1/jobs/{id} view of a job.
+type JobStatus struct {
+	ID      string   `json:"id"`
+	Tenant  string   `json:"tenant"`
+	State   JobState `json:"state"`
+	Cached  bool     `json:"cached,omitempty"`
+	Elem    string   `json:"elem"`
+	Iters   int      `json:"iters"`
+	Key     string   `json:"key"`
+	Error   string   `json:"error,omitempty"`
+	Status  int      `json:"status,omitempty"` // HTTP status of the failure
+	Seconds float64  `json:"seconds,omitempty"`
+}
+
+// Status snapshots the job for the status endpoint.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID: j.ID, Tenant: j.Tenant, State: j.state, Cached: j.cached,
+		Elem: j.Elem, Iters: j.Iters, Key: j.Key,
+		Error: j.errMsg, Status: j.status,
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		s.Seconds = j.finished.Sub(j.started).Seconds()
+	}
+	return s
+}
+
+// Result returns the outcome of a done job.
+func (j *Job) Result() (*GridPayload, stats.Stats, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.stats, j.haveResult
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// terminalTiming returns the timing breakdown and wall seconds for metrics.
+func (j *Job) terminalTiming() (stats.Timing, float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var wall float64
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		wall = j.finished.Sub(j.started).Seconds()
+	}
+	return j.stats.Timing, wall
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"stencilabft/internal/stats"
+)
+
+// phaseRing bounds the per-job phase-time samples the /metrics endpoint
+// exposes: the most recent finished jobs, oldest evicted first.
+const phaseRing = 32
+
+type phaseSample struct {
+	id     string
+	tenant string
+	timing stats.Timing
+	wall   float64
+}
+
+// Metrics is the service's counter set, exported in Prometheus text format
+// by WritePrometheus — hand-rolled, zero dependencies, same approach as
+// stencilrun's /metrics endpoint.
+type Metrics struct {
+	mu        sync.Mutex
+	jobsTotal map[string]int64 // outcome: "done" | "failed" | "cached"
+	submitted int64
+	cacheHits int64
+	quota     int64
+	backlog   int64
+	phases    []phaseSample
+
+	workers    int
+	queueDepth func() int
+}
+
+// NewMetrics builds an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{jobsTotal: make(map[string]int64)}
+}
+
+// SetWorkers records the pool size gauge.
+func (m *Metrics) SetWorkers(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workers = n
+}
+
+// SetQueueProbe installs the live queue-depth gauge source.
+func (m *Metrics) SetQueueProbe(f func() int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth = f
+}
+
+// Submitted counts a job accepted into the queue.
+func (m *Metrics) Submitted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted++
+}
+
+// CacheHit counts a submission answered from cache.
+func (m *Metrics) CacheHit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheHits++
+	m.jobsTotal["cached"]++
+}
+
+// QuotaRejected counts a 429 from the per-tenant concurrency quota.
+func (m *Metrics) QuotaRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.quota++
+}
+
+// BacklogRejected counts a 429 from the global queue bound.
+func (m *Metrics) BacklogRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.backlog++
+}
+
+// JobDone records a terminal job: the outcome counter plus its phase-time
+// breakdown for the per-job timing series.
+func (m *Metrics) JobDone(j *Job) {
+	timing, wall := j.terminalTiming()
+	outcome := "done"
+	if j.State() == StateFailed {
+		outcome = "failed"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsTotal[outcome]++
+	m.phases = append(m.phases, phaseSample{id: j.ID, tenant: j.Tenant, timing: timing, wall: wall})
+	if len(m.phases) > phaseRing {
+		m.phases = m.phases[len(m.phases)-phaseRing:]
+	}
+}
+
+// WritePrometheus renders the counters in Prometheus text exposition
+// format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP stencilserve_jobs_total Terminal jobs by outcome.\n")
+	fmt.Fprintf(w, "# TYPE stencilserve_jobs_total counter\n")
+	for _, outcome := range []string{"done", "failed", "cached"} {
+		fmt.Fprintf(w, "stencilserve_jobs_total{outcome=%q} %d\n", outcome, m.jobsTotal[outcome])
+	}
+	fmt.Fprintf(w, "# TYPE stencilserve_submitted_total counter\n")
+	fmt.Fprintf(w, "stencilserve_submitted_total %d\n", m.submitted)
+	fmt.Fprintf(w, "# TYPE stencilserve_cache_hits_total counter\n")
+	fmt.Fprintf(w, "stencilserve_cache_hits_total %d\n", m.cacheHits)
+	fmt.Fprintf(w, "# TYPE stencilserve_quota_rejections_total counter\n")
+	fmt.Fprintf(w, "stencilserve_quota_rejections_total %d\n", m.quota)
+	fmt.Fprintf(w, "# TYPE stencilserve_backlog_rejections_total counter\n")
+	fmt.Fprintf(w, "stencilserve_backlog_rejections_total %d\n", m.backlog)
+	fmt.Fprintf(w, "# TYPE stencilserve_workers gauge\n")
+	fmt.Fprintf(w, "stencilserve_workers %d\n", m.workers)
+	depth := 0
+	if m.queueDepth != nil {
+		depth = m.queueDepth()
+	}
+	fmt.Fprintf(w, "# TYPE stencilserve_queue_depth gauge\n")
+	fmt.Fprintf(w, "stencilserve_queue_depth %d\n", depth)
+
+	fmt.Fprintf(w, "# HELP stencilserve_job_seconds Wall-clock seconds of recent jobs.\n")
+	fmt.Fprintf(w, "# TYPE stencilserve_job_seconds gauge\n")
+	for _, p := range m.phases {
+		fmt.Fprintf(w, "stencilserve_job_seconds{job=%q,tenant=%q} %g\n", p.id, p.tenant, p.wall)
+	}
+	fmt.Fprintf(w, "# HELP stencilserve_job_phase_seconds Telemetry phase breakdown of recent jobs.\n")
+	fmt.Fprintf(w, "# TYPE stencilserve_job_phase_seconds gauge\n")
+	sec := func(ns int64) float64 { return float64(ns) / 1e9 }
+	for _, p := range m.phases {
+		if p.timing.RanksTimed == 0 {
+			continue
+		}
+		for _, ph := range []struct {
+			name string
+			ns   int64
+		}{
+			{"sweep", p.timing.SweepNs},
+			{"verify", p.timing.VerifyNs},
+			{"repair", p.timing.RepairNs},
+			{"pack", p.timing.PackNs},
+			{"send", p.timing.SendNs},
+			{"recv_wait", p.timing.RecvWaitNs},
+			{"unpack", p.timing.UnpackNs},
+			{"barrier", p.timing.BarrierNs},
+		} {
+			fmt.Fprintf(w, "stencilserve_job_phase_seconds{job=%q,phase=%q} %g\n", p.id, ph.name, sec(ph.ns))
+		}
+	}
+}

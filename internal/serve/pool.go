@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Worker is one end of the line-JSON protocol WorkerMain speaks: Send posts
+// a JobRequest, Recv blocks for the next WorkerEvent, Kill tears the worker
+// down hard (mid-job if necessary). Implementations: a child process over
+// stdin/stdout, or an in-process goroutine over pipes.
+type Worker interface {
+	Send(req JobRequest) error
+	Recv() (WorkerEvent, error)
+	Kill()
+}
+
+// StartWorker launches a fresh worker for a pool slot — called at pool
+// construction and again whenever a slot's worker dies and is respawned.
+type StartWorker func(slot int) (Worker, error)
+
+var errWorkerKilled = errors.New("serve: worker killed")
+
+// InprocWorkers returns a StartWorker that runs WorkerMain in a goroutine
+// connected over pipes — the same protocol as a child process, without the
+// fork. Tests and single-binary deployments use it.
+func InprocWorkers() StartWorker {
+	return func(int) (Worker, error) {
+		reqR, reqW := io.Pipe()
+		evR, evW := io.Pipe()
+		go func() {
+			err := WorkerMain(reqR, evW)
+			evW.CloseWithError(err)
+		}()
+		return &pipeWorker{
+			enc: json.NewEncoder(reqW), dec: json.NewDecoder(evR),
+			reqW: reqW, evR: evR,
+		}, nil
+	}
+}
+
+type pipeWorker struct {
+	enc  *json.Encoder
+	dec  *json.Decoder
+	reqW *io.PipeWriter
+	evR  *io.PipeReader
+}
+
+func (w *pipeWorker) Send(req JobRequest) error { return w.enc.Encode(req) }
+
+func (w *pipeWorker) Recv() (WorkerEvent, error) {
+	var ev WorkerEvent
+	err := w.dec.Decode(&ev)
+	return ev, err
+}
+
+func (w *pipeWorker) Kill() {
+	w.reqW.CloseWithError(errWorkerKilled)
+	w.evR.CloseWithError(errWorkerKilled)
+}
+
+// ProcessWorkers returns a StartWorker that forks bin with args, speaking
+// the protocol over the child's stdin/stdout. extraEnv entries are appended
+// to the parent environment — how the test binary re-execs itself into
+// WorkerMain. The child's stderr passes through for crash diagnostics.
+func ProcessWorkers(bin string, extraEnv []string, args ...string) StartWorker {
+	return func(int) (Worker, error) {
+		cmd := exec.Command(bin, args...)
+		if len(extraEnv) > 0 {
+			cmd.Env = append(os.Environ(), extraEnv...)
+		}
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("serve: cannot start worker %s: %w", bin, err)
+		}
+		return &procWorker{
+			cmd: cmd, stdin: stdin,
+			enc: json.NewEncoder(stdin), dec: json.NewDecoder(stdout),
+		}, nil
+	}
+}
+
+type procWorker struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	enc   *json.Encoder
+	dec   *json.Decoder
+	once  sync.Once
+}
+
+func (w *procWorker) Send(req JobRequest) error { return w.enc.Encode(req) }
+
+func (w *procWorker) Recv() (WorkerEvent, error) {
+	var ev WorkerEvent
+	err := w.dec.Decode(&ev)
+	return ev, err
+}
+
+func (w *procWorker) Kill() {
+	w.once.Do(func() {
+		w.stdin.Close()
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		w.cmd.Wait()
+	})
+}
+
+// Slot is one lane of the pool: at most one job runs on it at a time. The
+// worker behind it is replaceable — a kill (timeout, crash, shutdown)
+// leaves the slot intact and the pool respawns on release.
+type Slot struct {
+	ID int
+
+	mu sync.Mutex
+	w  Worker
+}
+
+// Run sends req to the slot's worker and pumps events into onEvent until
+// the terminal event for this request arrives. A non-nil return means the
+// worker itself failed (died, was killed, spoke garbage) — the caller must
+// release the slot unhealthy so the pool respawns it.
+func (s *Slot) Run(req JobRequest, onEvent func(WorkerEvent)) error {
+	s.mu.Lock()
+	w := s.w
+	s.mu.Unlock()
+	if w == nil {
+		return fmt.Errorf("serve: slot %d has no live worker", s.ID)
+	}
+	if err := w.Send(req); err != nil {
+		return fmt.Errorf("serve: slot %d rejected the job: %w", s.ID, err)
+	}
+	for {
+		ev, err := w.Recv()
+		if err != nil {
+			return fmt.Errorf("serve: worker on slot %d died mid-job: %w", s.ID, err)
+		}
+		if ev.ID != req.ID {
+			continue // stale event from a previously killed job
+		}
+		onEvent(ev)
+		if ev.Event == "done" || ev.Event == "error" {
+			return nil
+		}
+	}
+}
+
+// KillWorker tears down the slot's current worker immediately — the
+// watchdog path for jobs that exceed their deadline. A Run in flight
+// returns with an error; Release then respawns.
+func (s *Slot) KillWorker() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		s.w.Kill()
+		s.w = nil
+	}
+}
+
+// Pool owns a fixed set of worker slots. Acquire hands out exclusive slots,
+// Release returns them (respawning dead workers), Close kills everything.
+type Pool struct {
+	start StartWorker
+	free  chan *Slot
+	slots []*Slot
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts n workers (n < 1 is clamped to 1). Failure to start any
+// worker tears down the ones already running.
+func NewPool(n int, start StartWorker) (*Pool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{start: start, free: make(chan *Slot, n)}
+	for i := 0; i < n; i++ {
+		w, err := start(i)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("serve: cannot start worker %d: %w", i, err)
+		}
+		s := &Slot{ID: i, w: w}
+		p.slots = append(p.slots, s)
+		p.free <- s
+	}
+	return p, nil
+}
+
+// Size returns the number of slots.
+func (p *Pool) Size() int { return len(p.slots) }
+
+// Acquire blocks for a free slot or the context's end.
+func (p *Pool) Acquire(ctx context.Context) (*Slot, error) {
+	select {
+	case s := <-p.free:
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns a slot to the pool. An unhealthy release (the worker
+// failed the job at the protocol level) kills and respawns the worker; a
+// slot whose worker is gone for any reason is respawned too, so one crash
+// never permanently shrinks the pool.
+func (p *Pool) Release(s *Slot, healthy bool) {
+	s.mu.Lock()
+	if !healthy && s.w != nil {
+		s.w.Kill()
+		s.w = nil
+	}
+	if s.w == nil && !p.isClosed() {
+		if w, err := p.start(s.ID); err == nil {
+			s.w = w
+		}
+		// On failure the slot stays workerless; the next Run on it fails
+		// fast and the release after that retries the spawn.
+	}
+	s.mu.Unlock()
+	if p.isClosed() {
+		s.KillWorker()
+		return
+	}
+	p.free <- s
+}
+
+func (p *Pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Close kills every worker, including ones mid-job: their Runs return
+// errors and the jobs fail. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, s := range p.slots {
+		s.KillWorker()
+	}
+	// Drain the free list so no released slot lingers in the channel.
+	for {
+		select {
+		case <-p.free:
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package serve implements the stencilserve multi-tenant simulation
+// service: a JSON/HTTP front-end that accepts wire-form Specs (see the root
+// package's WireSpec), schedules them over a persistent pool of worker
+// processes, streams per-iteration Stats over SSE, and content-addresses
+// finished results so identical submissions are answered from cache.
+//
+// The package splits into the worker side (this file: a line-JSON protocol
+// any process can speak over stdin/stdout) and the host side (pool,
+// scheduler, cache, HTTP surface). The same WorkerMain runs as a child
+// process of cmd/stencilserve, as a re-exec'd test binary, or in-process
+// over an io.Pipe — the scheduler cannot tell the difference, which is what
+// makes the service testable without forking in every test.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	abft "stencilabft"
+	"stencilabft/internal/stats"
+)
+
+// JobRequest is one unit of work sent to a worker: the canonical wire-form
+// spec plus the run length. A TCP request additionally places the worker as
+// one rank of a multi-process cluster meeting at Rendezvous — the
+// scheduler's gang fan-out (one rank per pooled worker, the same layout
+// stencilrun -launch produces).
+type JobRequest struct {
+	ID         string          `json:"id"`
+	Spec       json.RawMessage `json:"spec"`
+	Iters      int             `json:"iters"`
+	StatsEvery int             `json:"statsEvery,omitempty"` // 0 disables the stats stream
+
+	TCP        bool   `json:"tcp,omitempty"`
+	Rank       int    `json:"rank,omitempty"`
+	Rendezvous string `json:"rendezvous,omitempty"`
+}
+
+// WorkerEvent is one line of a worker's reply stream: zero or more "stats"
+// events followed by exactly one terminal "done" or "error" event. ID echoes
+// the request so a host can discard stale events after a kill.
+type WorkerEvent struct {
+	ID     string       `json:"id"`
+	Event  string       `json:"event"` // "stats" | "done" | "error"
+	Iter   int          `json:"iter,omitempty"`
+	Stats  *stats.Stats `json:"stats,omitempty"`
+	Grid   *GridPayload `json:"grid,omitempty"`
+	Error  string       `json:"error,omitempty"`
+	Status int          `json:"status,omitempty"` // suggested HTTP status for "error"
+}
+
+// GridPayload carries a result domain as float64 values — exact for both
+// element types, so bit-identity survives the wire. A TCP rank returns only
+// its tile, placed at (X0, Y0) of the global domain; the scheduler
+// reassembles.
+type GridPayload struct {
+	Nx   int       `json:"nx"`
+	Ny   int       `json:"ny"`
+	Nz   int       `json:"nz,omitempty"`
+	X0   int       `json:"x0,omitempty"`
+	Y0   int       `json:"y0,omitempty"`
+	Data []float64 `json:"data"`
+}
+
+// StatusFor maps an error from the spec/wire validation surface to the HTTP
+// status the service answers with: typed client errors (malformed wire
+// documents, invalid specs, thin tiles, bad operators, quota pressure)
+// become 4xx, everything else is a 500.
+func StatusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrQuota) || errors.Is(err, ErrBacklog):
+		return http.StatusTooManyRequests
+	case errors.Is(err, abft.ErrInvalidSpec),
+		errors.Is(err, abft.ErrThinTile),
+		errors.Is(err, abft.ErrInvalidOp),
+		errors.Is(err, abft.ErrUnresolvedUpload),
+		errors.Is(err, abft.ErrNotSerializable):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// WorkerMain is the worker side of the pool protocol: decode JobRequests
+// from r, run each, and stream WorkerEvents to w until r drains. It returns
+// nil on a clean EOF. cmd/stencilserve invokes it under -worker; tests run
+// it in-process over pipes or re-exec themselves into it.
+func WorkerMain(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(r)
+	enc := json.NewEncoder(w)
+	for {
+		var req JobRequest
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("serve: worker cannot decode request: %w", err)
+		}
+		emit := func(ev WorkerEvent) error {
+			ev.ID = req.ID
+			return enc.Encode(ev)
+		}
+		if err := runJob(req, emit); err != nil {
+			return err
+		}
+	}
+}
+
+// runJob executes one request, translating every failure into a terminal
+// "error" event. The returned error is transport-level only (the host went
+// away); job-level problems never kill the worker.
+func runJob(req JobRequest, emit func(WorkerEvent) error) error {
+	fail := func(err error) error {
+		return emit(WorkerEvent{Event: "error", Error: err.Error(), Status: StatusFor(err)})
+	}
+	if req.Iters < 0 {
+		return emit(WorkerEvent{Event: "error", Status: http.StatusBadRequest,
+			Error: fmt.Sprintf("serve: negative iteration count %d", req.Iters)})
+	}
+	w, err := abft.ParseWireSpec(req.Spec)
+	if err != nil {
+		return fail(err)
+	}
+	if w.Elem == "float64" {
+		return runTyped[float64](req, w, emit)
+	}
+	return runTyped[float32](req, w, emit)
+}
+
+// runTyped is the element-typed job body: resolve the wire spec, attach the
+// process-local knobs the wire form deliberately excludes (pool,
+// telemetry, and — for gang members — the TCP placement), run, and return
+// stats plus the result domain.
+func runTyped[T abft.Float](req JobRequest, w *abft.WireSpec, emit func(WorkerEvent) error) (err error) {
+	fail := func(ferr error) error {
+		return emit(WorkerEvent{Event: "error", Error: ferr.Error(), Status: StatusFor(ferr)})
+	}
+	// A transport fault mid-run panics (MPI_ERRORS_ARE_FATAL semantics);
+	// surface it as a job error instead of killing the worker loop.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fail(fmt.Errorf("serve: job panicked: %v", r))
+		}
+	}()
+	spec, err := abft.SpecFromWire[T](w)
+	if err != nil {
+		return fail(err)
+	}
+	spec.Pool = abft.NewPool()
+	spec.Telemetry = abft.NewTelemetry(0)
+	if req.TCP {
+		spec.Transport = abft.TransportTCP
+		spec.Rank = req.Rank
+		spec.Rendezvous = req.Rendezvous
+	}
+	p, err := abft.Build(spec)
+	if err != nil {
+		return fail(err)
+	}
+	for i := 1; i <= req.Iters; i++ {
+		p.Step()
+		if req.StatsEvery > 0 && (i%req.StatsEvery == 0 || i == req.Iters) {
+			st := p.Stats()
+			if err := emit(WorkerEvent{Event: "stats", Iter: i, Stats: &st}); err != nil {
+				return err
+			}
+		}
+	}
+	p.Finalize()
+	st := p.Stats()
+	ev := WorkerEvent{Event: "done", Iter: req.Iters, Stats: &st}
+	if req.TCP {
+		cl, ok := p.(*abft.Cluster[T])
+		if !ok {
+			return fail(fmt.Errorf("serve: tcp placement built %T, want a 2-D cluster", p))
+		}
+		ev.Grid = rankTile(cl, req.Rank)
+		cl.Close()
+		return emit(ev)
+	}
+	if g3 := p.Grid3D(); g3 != nil {
+		data := make([]float64, g3.Len())
+		for i, v := range g3.Data() {
+			data[i] = float64(v)
+		}
+		ev.Grid = &GridPayload{Nx: g3.Nx(), Ny: g3.Ny(), Nz: g3.Nz(), Data: data}
+	} else if g := p.Grid(); g != nil {
+		data := make([]float64, g.Len())
+		for i, v := range g.Data() {
+			data[i] = float64(v)
+		}
+		ev.Grid = &GridPayload{Nx: g.Nx(), Ny: g.Ny(), Data: data}
+	} else {
+		return fail(errors.New("serve: protector exposed no result domain"))
+	}
+	if c, ok := p.(io.Closer); ok {
+		c.Close()
+	}
+	return emit(ev)
+}
+
+// rankTile extracts the worker's own tile from a gathered grid. Under a
+// single hosted rank the gather fills only that tile (remote tiles stay
+// zero), so slicing the tile rectangle is exactly this rank's contribution.
+func rankTile[T abft.Float](cl *abft.Cluster[T], rank int) *GridPayload {
+	tile := cl.Tile(rank)
+	g := cl.Grid()
+	pay := &GridPayload{Nx: tile.Nx(), Ny: tile.Ny(), X0: tile.X0, Y0: tile.Y0,
+		Data: make([]float64, 0, tile.Nx()*tile.Ny())}
+	for y := tile.Y0; y < tile.Y1; y++ {
+		for _, v := range g.Row(y)[tile.X0:tile.X1] {
+			pay.Data = append(pay.Data, float64(v))
+		}
+	}
+	return pay
+}

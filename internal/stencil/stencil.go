@@ -6,11 +6,24 @@
 package stencil
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"stencilabft/internal/errs"
 	"stencilabft/internal/num"
 )
+
+// ErrInvalidOp classifies every operator-validation failure —
+// errors.Is(err, ErrInvalidOp) is true for the errors Stencil.Validate,
+// Op2D.Validate and Op3D.Validate return, while the message keeps naming
+// the specific defect.
+var ErrInvalidOp = errors.New("stencil: invalid operator")
+
+// opErrorf formats an operator-validation error tagged ErrInvalidOp.
+func opErrorf(format string, args ...any) error {
+	return errs.Tagf([]error{ErrInvalidOp}, format, args...)
+}
 
 // Point is one element of the stencil set S: a relative offset and its
 // weight. DZ is zero for 2-D stencils.
@@ -34,17 +47,17 @@ type Stencil[T num.Float] struct {
 // checksum interpolation cost model). It returns a descriptive error.
 func (s *Stencil[T]) Validate() error {
 	if len(s.Points) == 0 {
-		return fmt.Errorf("stencil %q: no points", s.Name)
+		return opErrorf("stencil %q: no points", s.Name)
 	}
 	seen := make(map[[3]int]bool, len(s.Points))
 	for _, p := range s.Points {
 		k := [3]int{p.DX, p.DY, p.DZ}
 		if seen[k] {
-			return fmt.Errorf("stencil %q: duplicate offset (%d,%d,%d)", s.Name, p.DX, p.DY, p.DZ)
+			return opErrorf("stencil %q: duplicate offset (%d,%d,%d)", s.Name, p.DX, p.DY, p.DZ)
 		}
 		seen[k] = true
 		if p.W == 0 {
-			return fmt.Errorf("stencil %q: zero weight at offset (%d,%d,%d)", s.Name, p.DX, p.DY, p.DZ)
+			return opErrorf("stencil %q: zero weight at offset (%d,%d,%d)", s.Name, p.DX, p.DY, p.DZ)
 		}
 	}
 	return nil

@@ -1,8 +1,6 @@
 package stencil
 
 import (
-	"fmt"
-
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 )
@@ -60,16 +58,16 @@ func (op *Op2D[T]) Validate(nx, ny int) error {
 		return err
 	}
 	if op.St.Is3D() {
-		return fmt.Errorf("stencil %q: 3-D stencil used with a 2-D sweep", op.St.Name)
+		return opErrorf("stencil %q: 3-D stencil used with a 2-D sweep", op.St.Name)
 	}
 	if !op.BC.Valid() {
-		return fmt.Errorf("stencil %q: invalid boundary condition", op.St.Name)
+		return opErrorf("stencil %q: invalid boundary condition", op.St.Name)
 	}
 	if rx, ry := op.St.RadiusX(), op.St.RadiusY(); rx >= nx || ry >= ny {
-		return fmt.Errorf("stencil %q: radius %d/%d exceeds domain %dx%d", op.St.Name, rx, ry, nx, ny)
+		return opErrorf("stencil %q: radius %d/%d exceeds domain %dx%d", op.St.Name, rx, ry, nx, ny)
 	}
 	if op.C != nil && (op.C.Nx() != nx || op.C.Ny() != ny) {
-		return fmt.Errorf("stencil %q: constant field %dx%d does not match domain %dx%d",
+		return opErrorf("stencil %q: constant field %dx%d does not match domain %dx%d",
 			op.St.Name, op.C.Nx(), op.C.Ny(), nx, ny)
 	}
 	return nil

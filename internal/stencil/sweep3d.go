@@ -1,8 +1,6 @@
 package stencil
 
 import (
-	"fmt"
-
 	"stencilabft/internal/grid"
 	"stencilabft/internal/num"
 )
@@ -30,15 +28,15 @@ func (op *Op3D[T]) Validate(nx, ny, nz int) error {
 		return err
 	}
 	if !op.BC.Valid() {
-		return fmt.Errorf("stencil %q: invalid boundary condition", op.St.Name)
+		return opErrorf("stencil %q: invalid boundary condition", op.St.Name)
 	}
 	rx, ry, rz := op.St.RadiusX(), op.St.RadiusY(), op.St.RadiusZ()
 	if rx >= nx || ry >= ny || rz >= nz {
-		return fmt.Errorf("stencil %q: radius %d/%d/%d exceeds domain %dx%dx%d",
+		return opErrorf("stencil %q: radius %d/%d/%d exceeds domain %dx%dx%d",
 			op.St.Name, rx, ry, rz, nx, ny, nz)
 	}
 	if op.C != nil && (op.C.Nx() != nx || op.C.Ny() != ny || op.C.Nz() != nz) {
-		return fmt.Errorf("stencil %q: constant field shape mismatch", op.St.Name)
+		return opErrorf("stencil %q: constant field shape mismatch", op.St.Name)
 	}
 	return nil
 }

@@ -1,7 +1,6 @@
 package stencilabft
 
 import (
-	"fmt"
 	"io"
 	"net"
 	"time"
@@ -43,7 +42,7 @@ func ParseScheme(name string) (Scheme, error) {
 	case None, Online, Offline, Blocked:
 		return Scheme(name), nil
 	default:
-		return "", fmt.Errorf("stencilabft: unknown scheme %q (want none|online|offline|blocked)", name)
+		return "", kindErrorf(ErrUnknownScheme, "stencilabft: unknown scheme %q (want none|online|offline|blocked)", name)
 	}
 }
 
@@ -68,7 +67,7 @@ func ParseDeployment(name string) (Deployment, error) {
 	case Local, Clustered:
 		return Deployment(name), nil
 	default:
-		return "", fmt.Errorf("stencilabft: unknown deployment %q (want local|cluster)", name)
+		return "", kindErrorf(ErrUnknownDeployment, "stencilabft: unknown deployment %q (want local|cluster)", name)
 	}
 }
 
@@ -98,7 +97,7 @@ func ParseTopology(name string) (Topology, error) {
 	case TopoGrid, TopoBands, TopoLayers:
 		return Topology(name), nil
 	default:
-		return "", fmt.Errorf("stencilabft: unknown topology %q (want grid|bands|layers)", name)
+		return "", kindErrorf(ErrUnknownTopology, "stencilabft: unknown topology %q (want grid|bands|layers)", name)
 	}
 }
 
@@ -125,7 +124,7 @@ func ParseTransport(name string) (TransportKind, error) {
 	case TransportChan, TransportTCP:
 		return TransportKind(name), nil
 	default:
-		return "", fmt.Errorf("stencilabft: unknown transport %q (want chan|tcp)", name)
+		return "", kindErrorf(ErrUnknownTransport, "stencilabft: unknown transport %q (want chan|tcp)", name)
 	}
 }
 
@@ -307,167 +306,178 @@ func (s Spec[T]) validate() error {
 	has2D := s.Op2D != nil || s.Init != nil
 	has3D := s.is3D()
 	if has2D && has3D {
-		return fmt.Errorf("stencilabft: spec sets both 2-D and 3-D fields; choose Op2D/Init or Op3D/Init3D")
+		return specErrorf("stencilabft: spec sets both 2-D and 3-D fields; choose Op2D/Init or Op3D/Init3D")
 	}
 	if !has2D && !has3D {
-		return fmt.Errorf("stencilabft: spec needs an operator and an initial grid (Op2D/Init or Op3D/Init3D)")
+		return specErrorf("stencilabft: spec needs an operator and an initial grid (Op2D/Init or Op3D/Init3D)")
 	}
 	if has2D && (s.Op2D == nil || s.Init == nil) {
-		return fmt.Errorf("stencilabft: 2-D spec needs both Op2D and Init")
+		return specErrorf("stencilabft: 2-D spec needs both Op2D and Init")
 	}
 	if has3D && (s.Op3D == nil || s.Init3D == nil) {
-		return fmt.Errorf("stencilabft: 3-D spec needs both Op3D and Init3D")
+		return specErrorf("stencilabft: 3-D spec needs both Op3D and Init3D")
 	}
 	if s.Deployment == Clustered {
 		if s.Scheme != Online {
-			return fmt.Errorf("stencilabft: the cluster deployment protects with the online scheme only (got %q)", s.Scheme)
+			return specErrorf("stencilabft: the cluster deployment protects with the online scheme only (got %q)", s.Scheme)
 		}
 		topo := s.topology()
 		if _, err := ParseTopology(string(topo)); err != nil {
 			return err
 		}
 		if has3D && topo != TopoLayers {
-			return fmt.Errorf("stencilabft: a 3-D cluster decomposes into z-layer slabs; topology %q is 2-D-only (use TopoLayers or leave Topology empty)", topo)
+			return specErrorf("stencilabft: a 3-D cluster decomposes into z-layer slabs; topology %q is 2-D-only (use TopoLayers or leave Topology empty)", topo)
 		}
 		if !has3D && topo == TopoLayers {
-			return fmt.Errorf("stencilabft: the layers topology decomposes 3-D domains (this spec is 2-D; use TopoGrid or TopoBands)")
+			return specErrorf("stencilabft: the layers topology decomposes 3-D domains (this spec is 2-D; use TopoGrid or TopoBands)")
 		}
 		hasGrid := s.RanksX != 0 || s.RanksY != 0
 		if s.Ranks != 0 && hasGrid {
-			return fmt.Errorf("stencilabft: set either Ranks (the Nx1 shorthand) or RanksX/RanksY, not both (got Ranks %d with grid %dx%d)",
+			return specErrorf("stencilabft: set either Ranks (the Nx1 shorthand) or RanksX/RanksY, not both (got Ranks %d with grid %dx%d)",
 				s.Ranks, s.RanksY, s.RanksX)
 		}
 		if topo == TopoLayers {
 			if hasGrid {
-				return fmt.Errorf("stencilabft: RanksX/RanksY shape 2-D rank grids; a layer cluster takes its slab count from Ranks")
+				return specErrorf("stencilabft: RanksX/RanksY shape 2-D rank grids; a layer cluster takes its slab count from Ranks")
 			}
 			if s.Ranks < 1 {
-				return fmt.Errorf("stencilabft: layer cluster needs Ranks >= 1 (got %d)", s.Ranks)
+				return specErrorf("stencilabft: layer cluster needs Ranks >= 1 (got %d)", s.Ranks)
 			}
 		} else {
 			rx, ry := s.rankGrid()
 			if rx < 1 || ry < 1 {
-				return fmt.Errorf("stencilabft: cluster deployment needs Ranks >= 1 or a RanksX x RanksY grid with both factors >= 1 (got Ranks %d, grid %dx%d)",
+				return specErrorf("stencilabft: cluster deployment needs Ranks >= 1 or a RanksX x RanksY grid with both factors >= 1 (got Ranks %d, grid %dx%d)",
 					s.Ranks, s.RanksY, s.RanksX)
 			}
 			if topo == TopoBands && rx != 1 {
-				return fmt.Errorf("stencilabft: the bands topology is the 1-column grid; got %d rank columns (use TopoGrid)", rx)
+				return specErrorf("stencilabft: the bands topology is the 1-column grid; got %d rank columns (use TopoGrid)", rx)
 			}
 		}
 		if s.InjectSource != nil {
-			return fmt.Errorf("stencilabft: InjectSource is local-only; cluster injection routes a Plan (set Inject)")
+			return specErrorf("stencilabft: InjectSource is local-only; cluster injection routes a Plan (set Inject)")
 		}
 		if s.HaloDepth < 0 {
-			return fmt.Errorf("stencilabft: HaloDepth %d is invalid; use 0 or 1 for the classic exchange-every-iteration schedule, k > 1 for depth-k ghost zones", s.HaloDepth)
+			return specErrorf("stencilabft: HaloDepth %d is invalid; use 0 or 1 for the classic exchange-every-iteration schedule, k > 1 for depth-k ghost zones", s.HaloDepth)
 		}
 		if s.HaloDepth > 1 && topo == TopoLayers {
-			return fmt.Errorf("stencilabft: HaloDepth %d (depth-k ghost zones) supports 2-D grid topologies only; the 3-D layer cluster exchanges every iteration", s.HaloDepth)
+			return specErrorf("stencilabft: HaloDepth %d (depth-k ghost zones) supports 2-D grid topologies only; the 3-D layer cluster exchanges every iteration", s.HaloDepth)
 		}
 		if s.Transport != "" {
 			if _, err := ParseTransport(string(s.Transport)); err != nil {
 				return err
 			}
 			if s.NewTransport != nil {
-				return fmt.Errorf("stencilabft: set either Transport (a named backend) or NewTransport (a custom factory), not both")
+				return specErrorf("stencilabft: set either Transport (a named backend) or NewTransport (a custom factory), not both")
 			}
 		}
 		if s.Transport == TransportTCP {
 			if s.topology() == TopoLayers {
-				return fmt.Errorf("stencilabft: the tcp transport hosts one rank per process and supports 2-D grid topologies only (the 3-D layer cluster runs in-process)")
+				return specErrorf("stencilabft: the tcp transport hosts one rank per process and supports 2-D grid topologies only (the 3-D layer cluster runs in-process)")
 			}
 			if s.Rendezvous == "" {
-				return fmt.Errorf("stencilabft: the tcp transport needs Rendezvous (host:port every rank process meets at)")
+				return specErrorf("stencilabft: the tcp transport needs Rendezvous (host:port every rank process meets at)")
 			}
 			rx, ry := s.rankGrid()
 			if s.Rank < 0 || s.Rank >= rx*ry {
-				return fmt.Errorf("stencilabft: Rank %d outside the %d-rank tcp cluster (grid %dx%d)", s.Rank, rx*ry, ry, rx)
+				return specErrorf("stencilabft: Rank %d outside the %d-rank tcp cluster (grid %dx%d)", s.Rank, rx*ry, ry, rx)
 			}
 			if len(s.LocalRanks) > 0 {
 				hasRank := false
 				for _, id := range s.LocalRanks {
 					if id < 0 || id >= rx*ry {
-						return fmt.Errorf("stencilabft: LocalRanks entry %d outside the %d-rank tcp cluster (grid %dx%d)", id, rx*ry, ry, rx)
+						return specErrorf("stencilabft: LocalRanks entry %d outside the %d-rank tcp cluster (grid %dx%d)", id, rx*ry, ry, rx)
 					}
 					hasRank = hasRank || id == s.Rank
 				}
 				if !hasRank {
-					return fmt.Errorf("stencilabft: LocalRanks %v does not contain Rank %d", s.LocalRanks, s.Rank)
+					return specErrorf("stencilabft: LocalRanks %v does not contain Rank %d", s.LocalRanks, s.Rank)
 				}
 			}
 		} else {
 			if s.DeathDeadline != 0 {
-				return fmt.Errorf("stencilabft: DeathDeadline tunes the tcp transport's healing only (set Transport: TransportTCP)")
+				return specErrorf("stencilabft: DeathDeadline tunes the tcp transport's healing only (set Transport: TransportTCP)")
 			}
 			if s.WrapConn != nil {
-				return fmt.Errorf("stencilabft: WrapConn hooks the tcp transport's connections only (set Transport: TransportTCP)")
+				return specErrorf("stencilabft: WrapConn hooks the tcp transport's connections only (set Transport: TransportTCP)")
 			}
 			if len(s.LocalRanks) > 0 {
-				return fmt.Errorf("stencilabft: LocalRanks widens the tcp transport's hosting only (set Transport: TransportTCP)")
+				return specErrorf("stencilabft: LocalRanks widens the tcp transport's hosting only (set Transport: TransportTCP)")
 			}
 			if s.Rendezvous != "" {
-				return fmt.Errorf("stencilabft: Rendezvous applies to the tcp transport only (set Transport: TransportTCP)")
+				return specErrorf("stencilabft: Rendezvous applies to the tcp transport only (set Transport: TransportTCP)")
 			}
 			if s.Rank != 0 {
-				return fmt.Errorf("stencilabft: Rank selects this process's rank under the tcp transport only (set Transport: TransportTCP)")
+				return specErrorf("stencilabft: Rank selects this process's rank under the tcp transport only (set Transport: TransportTCP)")
 			}
 			if s.Bind != "" {
-				return fmt.Errorf("stencilabft: Bind shapes the tcp transport's data listener only (set Transport: TransportTCP)")
+				return specErrorf("stencilabft: Bind shapes the tcp transport's data listener only (set Transport: TransportTCP)")
 			}
 		}
 		// Knobs the per-rank online protection has no seam for: reject
 		// them loudly rather than silently running a different experiment
 		// than the spec appears to declare.
 		if s.Period != 0 {
-			return fmt.Errorf("stencilabft: Period applies to the offline scheme; the cluster deployment is online-only")
+			return specErrorf("stencilabft: Period applies to the offline scheme; the cluster deployment is online-only")
 		}
 		if s.Recovery != FullRollback {
-			return fmt.Errorf("stencilabft: Recovery applies to the offline scheme; the cluster deployment is online-only")
+			return specErrorf("stencilabft: Recovery applies to the offline scheme; the cluster deployment is online-only")
 		}
 		if s.PaperExactCorrection {
-			return fmt.Errorf("stencilabft: PaperExactCorrection is not supported by the cluster deployment (ranks always use the stable correction)")
+			return specErrorf("stencilabft: PaperExactCorrection is not supported by the cluster deployment (ranks always use the stable correction)")
 		}
 	} else {
 		if s.AfterStep != nil {
-			return fmt.Errorf("stencilabft: AfterStep hooks the cluster deployment's rank loop only")
+			return specErrorf("stencilabft: AfterStep hooks the cluster deployment's rank loop only")
 		}
 		if len(s.LocalRanks) > 0 {
-			return fmt.Errorf("stencilabft: LocalRanks apply to the cluster deployment's tcp transport only")
+			return specErrorf("stencilabft: LocalRanks apply to the cluster deployment's tcp transport only")
 		}
 		if s.Ranks != 0 || s.RanksX != 0 || s.RanksY != 0 {
-			return fmt.Errorf("stencilabft: Ranks/RanksX/RanksY apply to the cluster deployment only (deployment %q with %d/%d/%d)",
+			return specErrorf("stencilabft: Ranks/RanksX/RanksY apply to the cluster deployment only (deployment %q with %d/%d/%d)",
 				s.Deployment, s.Ranks, s.RanksX, s.RanksY)
 		}
 		if s.Topology != "" {
-			return fmt.Errorf("stencilabft: Topology applies to the cluster deployment only")
+			return specErrorf("stencilabft: Topology applies to the cluster deployment only")
 		}
 		if s.HaloDepth != 0 {
-			return fmt.Errorf("stencilabft: HaloDepth applies to the cluster deployment only (deployment %q with depth %d)", s.Deployment, s.HaloDepth)
+			return specErrorf("stencilabft: HaloDepth applies to the cluster deployment only (deployment %q with depth %d)", s.Deployment, s.HaloDepth)
 		}
 		if s.Transport != "" || s.NewTransport != nil {
-			return fmt.Errorf("stencilabft: Transport/NewTransport apply to the cluster deployment only")
+			return specErrorf("stencilabft: Transport/NewTransport apply to the cluster deployment only")
 		}
 		if s.WrapTransport != nil || s.RecvTimeout != 0 {
-			return fmt.Errorf("stencilabft: WrapTransport/RecvTimeout apply to the cluster deployment only")
+			return specErrorf("stencilabft: WrapTransport/RecvTimeout apply to the cluster deployment only")
 		}
 		if s.DeathDeadline != 0 || s.WrapConn != nil {
-			return fmt.Errorf("stencilabft: DeathDeadline/WrapConn apply to the cluster deployment's tcp transport only")
+			return specErrorf("stencilabft: DeathDeadline/WrapConn apply to the cluster deployment's tcp transport only")
 		}
 		if s.Rendezvous != "" || s.Rank != 0 || s.Bind != "" {
-			return fmt.Errorf("stencilabft: Rank/Rendezvous/Bind apply to the cluster deployment's tcp transport only")
+			return specErrorf("stencilabft: Rank/Rendezvous/Bind apply to the cluster deployment's tcp transport only")
 		}
 	}
 	if s.Scheme == Blocked {
 		if has3D {
-			return fmt.Errorf("stencilabft: the blocked scheme tiles 2-D domains only")
+			return specErrorf("stencilabft: the blocked scheme tiles 2-D domains only")
 		}
 		if s.BlockX < 1 || s.BlockY < 1 {
-			return fmt.Errorf("stencilabft: blocked scheme needs BlockX and BlockY >= 1 (got %dx%d)", s.BlockX, s.BlockY)
+			return specErrorf("stencilabft: blocked scheme needs BlockX and BlockY >= 1 (got %dx%d)", s.BlockX, s.BlockY)
 		}
 	} else if s.BlockX != 0 || s.BlockY != 0 {
-		return fmt.Errorf("stencilabft: BlockX/BlockY apply to the blocked scheme only (scheme %q with %dx%d blocks)",
+		return specErrorf("stencilabft: BlockX/BlockY apply to the blocked scheme only (scheme %q with %dx%d blocks)",
 			s.Scheme, s.BlockX, s.BlockY)
 	}
 	return nil
+}
+
+// Validate checks the spec exactly as Build would — defaults applied, then
+// the full validation pass — without constructing anything. A service
+// front-end calls it at admission time so a malformed spec is rejected with
+// a typed error (errors.Is: ErrInvalidSpec and friends) before a worker is
+// ever scheduled. Geometry checks that need the concrete deployment (e.g.
+// ErrThinTile) still surface from Build.
+func (s Spec[T]) Validate() error {
+	s = s.withDefaults()
+	return s.validate()
 }
 
 // topology resolves the spec's Topology with its dimensionality-dependent

@@ -1,0 +1,396 @@
+package stencilabft_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	abft "stencilabft"
+)
+
+// roundTrip marshals spec to its wire form, parses it back, and returns the
+// rebuilt spec, failing the test on any step.
+func roundTrip[T abft.Float](t *testing.T, spec abft.Spec[T]) abft.Spec[T] {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	w, err := abft.ParseWireSpec(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rebuilt, err := abft.SpecFromWire[T](w)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	return rebuilt
+}
+
+// runBoth builds and runs the original and the round-tripped spec and
+// demands bit-identical domains and identical fault counters.
+func runBoth[T abft.Float](t *testing.T, spec abft.Spec[T], iters int) {
+	t.Helper()
+	rebuilt := roundTrip(t, spec)
+
+	run := func(s abft.Spec[T]) (*abft.Grid[T], *abft.Grid3D[T], abft.Stats) {
+		p, err := abft.Build(s)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		p.Run(iters)
+		p.Finalize()
+		return p.Grid(), p.Grid3D(), p.Stats()
+	}
+	g1, g31, st1 := run(spec)
+	g2, g32, st2 := run(rebuilt)
+
+	var d1, d2 []T
+	switch {
+	case g1 != nil && g2 != nil:
+		d1, d2 = g1.Data(), g2.Data()
+	case g31 != nil && g32 != nil:
+		d1, d2 = g31.Data(), g32.Data()
+	default:
+		t.Fatalf("dimensionality diverged through the wire: %v/%v vs %v/%v", g1, g31, g2, g32)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("domain sizes diverged: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("round-tripped run diverges at %d: %v != %v", i, d1[i], d2[i])
+		}
+	}
+	var zero abft.Stats
+	st1.Timing, st2.Timing = zero.Timing, zero.Timing
+	if st1 != st2 {
+		t.Fatalf("round-tripped stats diverge:\n  direct %+v\n  wire   %+v", st1, st2)
+	}
+}
+
+// TestWireSpecRoundTripMatrix is the acceptance pin: across all five
+// boundary conditions and both 2-D topologies (Cartesian grid and row
+// bands), a clustered Spec survives Marshal → Parse → Build bit-identically.
+func TestWireSpecRoundTripMatrix(t *testing.T) {
+	bcs := []abft.Boundary{abft.Clamp, abft.Periodic, abft.Mirror, abft.Constant, abft.Zero}
+	for _, bc := range bcs {
+		for _, topo := range []abft.Topology{abft.TopoGrid, abft.TopoBands} {
+			bc, topo := bc, topo
+			t.Run(bc.String()+"/"+string(topo), func(t *testing.T) {
+				t.Parallel()
+				init := abft.New[float32](24, 18)
+				init.FillFunc(func(x, y int) float32 { return 100 + float32((x*13+y*7)%17) })
+				spec := abft.Spec[float32]{
+					Scheme:     abft.Online,
+					Deployment: abft.Clustered,
+					Op2D:       &abft.Op2D[float32]{St: abft.Laplace5[float32](0.2), BC: bc, BCValue: 7},
+					Init:       init,
+					Topology:   topo,
+					Inject:     abft.NewPlan(abft.Injection{Iteration: 3, X: 11, Y: 9, Bit: 29}),
+				}
+				if topo == abft.TopoGrid {
+					spec.RanksX, spec.RanksY = 2, 2
+				} else {
+					spec.Ranks = 3
+				}
+				runBoth(t, spec, 6)
+			})
+		}
+	}
+}
+
+// TestWireSpecRoundTripLocalSchemes covers the local deployments (none,
+// online, offline+cone, blocked) and the float64 element type.
+func TestWireSpecRoundTripLocalSchemes(t *testing.T) {
+	init := abft.New[float64](32, 32)
+	init.FillFunc(func(x, y int) float64 { return 50 + float64((x*5+y*3)%13) })
+	op := func() *abft.Op2D[float64] {
+		return &abft.Op2D[float64]{St: abft.Advect2D[float64](0.3, 0.2), BC: abft.Clamp}
+	}
+	for _, spec := range []abft.Spec[float64]{
+		{Scheme: abft.None, Op2D: op(), Init: init},
+		{Scheme: abft.Online, Op2D: op(), Init: init,
+			Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+			Inject:   abft.NewPlan(abft.Injection{Iteration: 2, X: 8, Y: 9, Bit: 55})},
+		{Scheme: abft.Offline, Op2D: op(), Init: init, Period: 4, Recovery: abft.ConeRecovery,
+			Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1},
+			Inject:   abft.NewPlan(abft.Injection{Iteration: 5, X: 12, Y: 20, Bit: 55})},
+		{Scheme: abft.Blocked, Op2D: op(), Init: init, BlockX: 16, BlockY: 16,
+			Detector: abft.Detector[float64]{Epsilon: 1e-9, AbsFloor: 1}},
+	} {
+		runBoth(t, spec, 8)
+	}
+}
+
+// TestWireSpecRoundTrip3D pins the 3-D path: a star7 offline run survives
+// the wire bit-identically, layers topology included.
+func TestWireSpecRoundTrip3D(t *testing.T) {
+	init := abft.New3D[float32](10, 10, 4)
+	init.FillFunc(func(x, y, z int) float32 { return 100 + float32((x+2*y+3*z)%11) })
+	runBoth(t, abft.Spec[float32]{
+		Scheme: abft.Offline,
+		Op3D:   &abft.Op3D[float32]{St: abft.SevenPoint3D[float32](0.4, 0.1, 0.1, 0.1, 0.1, 0.05, 0.15), BC: abft.Mirror},
+		Init3D: init,
+		Period: 4,
+		Inject: abft.NewPlan(abft.Injection{Iteration: 3, X: 5, Y: 6, Z: 2, Bit: 28}),
+	}, 8)
+
+	runBoth(t, abft.Spec[float32]{
+		Scheme:     abft.Online,
+		Deployment: abft.Clustered,
+		Op3D:       &abft.Op3D[float32]{St: abft.SevenPoint3D[float32](0.4, 0.1, 0.1, 0.1, 0.1, 0.05, 0.15), BC: abft.Clamp},
+		Init3D:     init,
+		Ranks:      2,
+	}, 6)
+}
+
+// TestWireSpecNamedStencils checks each registry entry resolves to exactly
+// the stencil its constructor builds.
+func TestWireSpecNamedStencils(t *testing.T) {
+	cases := []struct {
+		wire string
+		want *abft.Stencil[float32]
+	}{
+		{`{"name":"laplace5","args":[0.25]}`, abft.Laplace5[float32](0.25)},
+		{`{"name":"laplace5"}`, abft.Laplace5[float32](0.2)},
+		{`{"name":"jacobi4"}`, abft.Jacobi4[float32]()},
+		{`{"name":"box9"}`, abft.BoxBlur[float32]()},
+		{`{"name":"five-point","args":[0.6,0.1,0.1,0.1,0.1]}`, abft.FivePoint[float32](0.6, 0.1, 0.1, 0.1, 0.1)},
+		{`{"name":"advect2d","args":[0.4,0.1]}`, abft.Advect2D[float32](0.4, 0.1)},
+		{`{"name":"star7"}`, abft.SevenPoint3D[float32](0.4, 0.1, 0.1, 0.1, 0.1, 0.05, 0.15)},
+	}
+	for _, c := range cases {
+		doc := []byte(`{"stencil":` + c.wire + `,"grid":{"nx":8,"ny":8,"generator":"constant","value":1}}`)
+		if c.want.Is3D() {
+			doc = []byte(`{"stencil":` + c.wire + `,"grid":{"nx":8,"ny":8,"nz":4,"generator":"constant","value":1}}`)
+		}
+		w, err := abft.ParseWireSpec(doc)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.wire, err)
+		}
+		spec, err := abft.SpecFromWire[float32](w)
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", c.wire, err)
+		}
+		var got *abft.Stencil[float32]
+		if spec.Op2D != nil {
+			got = spec.Op2D.St
+		} else {
+			got = spec.Op3D.St
+		}
+		if len(got.Points) != len(c.want.Points) {
+			t.Fatalf("%s: %d points, want %d", c.wire, len(got.Points), len(c.want.Points))
+		}
+		for i, p := range got.Points {
+			if p != c.want.Points[i] {
+				t.Fatalf("%s: point %d is %+v, want %+v", c.wire, i, p, c.want.Points[i])
+			}
+		}
+	}
+}
+
+// TestWireSpecGenerators pins the deterministic generators: same document,
+// same bits; distinct seeds, distinct grids.
+func TestWireSpecGenerators(t *testing.T) {
+	grid := func(g string) *abft.Grid[float32] {
+		doc := []byte(`{"stencil":{"name":"laplace5"},"grid":` + g + `}`)
+		w, err := abft.ParseWireSpec(doc)
+		if err != nil {
+			t.Fatalf("parse %s: %v", g, err)
+		}
+		spec, err := abft.SpecFromWire[float32](w)
+		if err != nil {
+			t.Fatalf("resolve %s: %v", g, err)
+		}
+		return spec.Init
+	}
+	a := grid(`{"nx":16,"ny":16,"generator":"uniform","seed":7}`)
+	b := grid(`{"nx":16,"ny":16,"generator":"uniform","seed":7}`)
+	c := grid(`{"nx":16,"ny":16,"generator":"uniform","seed":8}`)
+	same, diff := true, false
+	for i := range a.Data() {
+		same = same && a.Data()[i] == b.Data()[i]
+		diff = diff || a.Data()[i] != c.Data()[i]
+	}
+	if !same {
+		t.Fatal("uniform generator is not deterministic for a fixed seed")
+	}
+	if !diff {
+		t.Fatal("uniform generator ignores the seed")
+	}
+	for _, v := range a.Data() {
+		if v < 100 || v > 150 {
+			t.Fatalf("uniform value %v outside [100,150]", v)
+		}
+	}
+	k := grid(`{"nx":4,"ny":4,"generator":"constant","value":3.5}`)
+	for _, v := range k.Data() {
+		if v != 3.5 {
+			t.Fatalf("constant generator produced %v", v)
+		}
+	}
+	r := grid(`{"nx":8,"ny":8,"generator":"ramp"}`)
+	if r.At(0, 0) == r.At(1, 0) {
+		t.Fatal("ramp generator is flat")
+	}
+}
+
+// TestSpecMarshalRefusesProcessLocal pins the actionable-refusal contract:
+// each process-local knob fails Marshal with ErrNotSerializable and an error
+// message naming the field.
+func TestSpecMarshalRefusesProcessLocal(t *testing.T) {
+	base := func() abft.Spec[float32] {
+		init := abft.New[float32](8, 8)
+		init.Fill(1)
+		return abft.Spec[float32]{
+			Op2D: &abft.Op2D[float32]{St: abft.Laplace5[float32](0.2), BC: abft.Clamp},
+			Init: init,
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*abft.Spec[float32])
+	}{
+		{"Pool", func(s *abft.Spec[float32]) { s.Pool = abft.NewPool() }},
+		{"InjectSource", func(s *abft.Spec[float32]) {
+			s.InjectSource = abft.NewInjector[float32](abft.NewPlan())
+		}},
+		{"NewTransport", func(s *abft.Spec[float32]) {
+			s.NewTransport = func(x, y int, ring bool) abft.Transport[float32] { return nil }
+		}},
+		{"WrapTransport", func(s *abft.Spec[float32]) {
+			s.WrapTransport = func(tr abft.Transport[float32], x, y int, ring bool) abft.Transport[float32] { return tr }
+		}},
+		{"AfterStep", func(s *abft.Spec[float32]) { s.AfterStep = func(rank, iter int) {} }},
+		{"Telemetry", func(s *abft.Spec[float32]) { s.Telemetry = abft.NewTelemetry(-1) }},
+		{"Rendezvous", func(s *abft.Spec[float32]) { s.Rendezvous = "127.0.0.1:9999" }},
+		{"RecvTimeout", func(s *abft.Spec[float32]) { s.RecvTimeout = 1 }},
+		{"DeathDeadline", func(s *abft.Spec[float32]) { s.DeathDeadline = 1 }},
+	}
+	for _, c := range cases {
+		spec := base()
+		c.mut(&spec)
+		_, err := json.Marshal(spec)
+		if err == nil {
+			t.Fatalf("%s: marshal succeeded, want ErrNotSerializable", c.name)
+		}
+		if !errors.Is(err, abft.ErrNotSerializable) {
+			t.Fatalf("%s: error %v is not ErrNotSerializable", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.name) {
+			t.Fatalf("%s: error does not name the field: %v", c.name, err)
+		}
+		if errors.Is(err, abft.ErrInvalidSpec) {
+			t.Fatalf("%s: ErrNotSerializable must not imply ErrInvalidSpec (the spec runs fine in-process)", c.name)
+		}
+	}
+	// The refused specs really do build in-process.
+	spec := base()
+	spec.Pool = abft.NewPool()
+	if _, err := abft.Build(spec); err != nil {
+		t.Fatalf("process-local spec should still build in-process: %v", err)
+	}
+}
+
+// TestParseWireSpecMalformed is the malformed-document table: every defect
+// is rejected with the matching typed sentinel.
+func TestParseWireSpecMalformed(t *testing.T) {
+	resolve := func(doc string) error {
+		w, err := abft.ParseWireSpec([]byte(doc))
+		if err != nil {
+			return err
+		}
+		_, err = abft.SpecFromWire[float32](w)
+		return err
+	}
+	grid := `"grid":{"nx":8,"ny":8,"generator":"constant","value":1}`
+	cases := []struct {
+		name string
+		doc  string
+		want []error
+	}{
+		{"syntax", `{"stencil":`, []error{abft.ErrBadWireSpec}},
+		{"unknown-field", `{"stencil":{"name":"laplace5"},"epsilonn":0.1,` + grid + `}`, []error{abft.ErrBadWireSpec}},
+		{"trailing", `{"stencil":{"name":"laplace5"},` + grid + `} {}`, []error{abft.ErrBadWireSpec}},
+		{"unknown-stencil", `{"stencil":{"name":"heptadiagonal"},` + grid + `}`, []error{abft.ErrUnknownStencil, abft.ErrBadWireSpec, abft.ErrInvalidSpec}},
+		{"arg-count", `{"stencil":{"name":"laplace5","args":[0.2,0.3]},` + grid + `}`, []error{abft.ErrBadWireSpec}},
+		{"no-stencil", `{` + grid + `}`, []error{abft.ErrBadWireSpec}},
+		{"elem", `{"elem":"float16","stencil":{"name":"laplace5"},` + grid + `}`, []error{abft.ErrBadWireSpec}},
+		{"elem-mismatch", `{"elem":"float64","stencil":{"name":"laplace5"},` + grid + `}`, []error{abft.ErrBadWireSpec}},
+		{"upload", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8,"upload":"abc"}}`, []error{abft.ErrUnresolvedUpload, abft.ErrBadWireSpec}},
+		{"two-sources", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8,"generator":"uniform","data":[1]}}`, []error{abft.ErrBadWireSpec}},
+		{"no-source", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8}}`, []error{abft.ErrBadWireSpec}},
+		{"data-len", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8,"data":[1,2,3]}}`, []error{abft.ErrBadWireSpec}},
+		{"generator", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8,"generator":"fractal"}}`, []error{abft.ErrUnknownGenerator, abft.ErrBadWireSpec}},
+		{"bc", `{"stencil":{"name":"laplace5"},"bc":"open",` + grid + `}`, []error{abft.ErrBadWireSpec}},
+		{"pair-policy", `{"stencil":{"name":"laplace5"},"pairPolicy":"random",` + grid + `}`, []error{abft.ErrBadWireSpec}},
+		{"recovery", `{"stencil":{"name":"laplace5"},"recovery":"forward",` + grid + `}`, []error{abft.ErrBadWireSpec}},
+	}
+	for _, c := range cases {
+		err := resolve(c.doc)
+		if err == nil {
+			t.Fatalf("%s: accepted, want error", c.name)
+		}
+		for _, want := range c.want {
+			if !errors.Is(err, want) {
+				t.Fatalf("%s: error %v does not match %v", c.name, err, want)
+			}
+		}
+	}
+}
+
+// TestTypedSentinels pins the errors.Is surface of Build itself, the
+// 400-vs-500 contract the HTTP layer relies on.
+func TestTypedSentinels(t *testing.T) {
+	init := abft.New[float32](16, 16)
+	init.Fill(1)
+	op := &abft.Op2D[float32]{St: abft.Laplace5[float32](0.2), BC: abft.Clamp}
+
+	_, err := abft.Build(abft.Spec[float32]{Scheme: "quantum", Op2D: op, Init: init})
+	if !errors.Is(err, abft.ErrUnknownScheme) || !errors.Is(err, abft.ErrInvalidSpec) {
+		t.Fatalf("unknown scheme: %v", err)
+	}
+	_, err = abft.Build(abft.Spec[float32]{Deployment: "mesh", Op2D: op, Init: init})
+	if !errors.Is(err, abft.ErrUnknownDeployment) || !errors.Is(err, abft.ErrInvalidSpec) {
+		t.Fatalf("unknown deployment: %v", err)
+	}
+	_, err = abft.Build(abft.Spec[float32]{
+		Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init,
+		Ranks: 2, Topology: "hypercube",
+	})
+	if !errors.Is(err, abft.ErrUnknownTopology) || !errors.Is(err, abft.ErrInvalidSpec) {
+		t.Fatalf("unknown topology: %v", err)
+	}
+	_, err = abft.Build(abft.Spec[float32]{
+		Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init,
+		Ranks: 2, Transport: "smoke-signals",
+	})
+	if !errors.Is(err, abft.ErrUnknownTransport) || !errors.Is(err, abft.ErrInvalidSpec) {
+		t.Fatalf("unknown transport: %v", err)
+	}
+	_, err = abft.Build(abft.Spec[float32]{
+		Scheme: abft.Offline, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 2,
+	})
+	if !errors.Is(err, abft.ErrInvalidSpec) {
+		t.Fatalf("offline cluster: %v", err)
+	}
+	if errors.Is(err, abft.ErrUnknownScheme) {
+		t.Fatalf("offline cluster must not classify as unknown scheme: %v", err)
+	}
+	// Thin tiles surface dist's sentinel through Build.
+	_, err = abft.Build(abft.Spec[float32]{
+		Scheme: abft.Online, Deployment: abft.Clustered, Op2D: op, Init: init, Ranks: 16,
+	})
+	if !errors.Is(err, abft.ErrThinTile) {
+		t.Fatalf("thin tile: %v", err)
+	}
+	// Operator validation carries the stencil package's sentinel.
+	tiny := abft.New[float32](1, 8)
+	tiny.Fill(1)
+	_, err = abft.Build(abft.Spec[float32]{Scheme: abft.Online, Op2D: op, Init: tiny})
+	if !errors.Is(err, abft.ErrInvalidOp) {
+		t.Fatalf("invalid op: %v", err)
+	}
+}
