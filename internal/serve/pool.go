@@ -76,30 +76,49 @@ func ProcessWorkers(bin string, extraEnv []string, args ...string) StartWorker {
 			cmd.Env = append(os.Environ(), extraEnv...)
 		}
 		cmd.Stderr = os.Stderr
-		stdin, err := cmd.StdinPipe()
+		// Wire stdin/stdout through pipes this process owns rather than
+		// StdinPipe/StdoutPipe: Kill must call Wait while a concurrent Recv
+		// may still be blocked on stdout, and os/exec forbids Wait before
+		// reads from an exec-managed pipe complete (Wait closes the pipe
+		// under the reader). With our own os.Pipe, Wait touches nothing the
+		// reader holds — a blocked Recv simply sees EOF when the child dies.
+		inR, inW, err := os.Pipe()
 		if err != nil {
 			return nil, err
 		}
-		stdout, err := cmd.StdoutPipe()
+		outR, outW, err := os.Pipe()
 		if err != nil {
+			inR.Close()
+			inW.Close()
 			return nil, err
 		}
+		cmd.Stdin = inR
+		cmd.Stdout = outW
 		if err := cmd.Start(); err != nil {
+			inR.Close()
+			inW.Close()
+			outR.Close()
+			outW.Close()
 			return nil, fmt.Errorf("serve: cannot start worker %s: %w", bin, err)
 		}
+		// The child holds duplicates of its ends; drop the parent's copies
+		// so the reader sees EOF as soon as the child exits.
+		inR.Close()
+		outW.Close()
 		return &procWorker{
-			cmd: cmd, stdin: stdin,
-			enc: json.NewEncoder(stdin), dec: json.NewDecoder(stdout),
+			cmd: cmd, stdin: inW, stdout: outR,
+			enc: json.NewEncoder(inW), dec: json.NewDecoder(outR),
 		}, nil
 	}
 }
 
 type procWorker struct {
-	cmd   *exec.Cmd
-	stdin io.WriteCloser
-	enc   *json.Encoder
-	dec   *json.Decoder
-	once  sync.Once
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+	enc    *json.Encoder
+	dec    *json.Decoder
+	once   sync.Once
 }
 
 func (w *procWorker) Send(req JobRequest) error { return w.enc.Encode(req) }
@@ -116,7 +135,11 @@ func (w *procWorker) Kill() {
 		if w.cmd.Process != nil {
 			w.cmd.Process.Kill()
 		}
+		// Safe even under a concurrent Recv: the pipes are parent-owned,
+		// so Wait only reaps the process. The child's death closes its
+		// stdout end and the blocked Recv observes EOF.
 		w.cmd.Wait()
+		w.stdout.Close()
 	})
 }
 
@@ -126,8 +149,45 @@ func (w *procWorker) Kill() {
 type Slot struct {
 	ID int
 
-	mu sync.Mutex
-	w  Worker
+	mu    sync.Mutex
+	w     Worker
+	gen   uint64 // bumped by every Arm; identifies the current run
+	armed bool   // an armed run has not returned from Run yet
+}
+
+// Arm binds the slot's next Run to a kill token. KillIf with that token
+// tears the worker down only while the armed run is still in flight, so a
+// watchdog timer that fires concurrently with job completion cannot shoot a
+// respawned worker or a later job that re-acquired the slot.
+func (s *Slot) Arm() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	s.armed = true
+	return s.gen
+}
+
+// KillIf kills the slot's worker iff the run armed with token is still in
+// flight; a stale token (the run returned, or the slot was re-armed for a
+// newer job) makes it a no-op.
+func (s *Slot) KillIf(token uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.armed || s.gen != token {
+		return
+	}
+	s.armed = false
+	if s.w != nil {
+		s.w.Kill()
+		s.w = nil
+	}
+}
+
+// disarm retires the current kill token; late KillIf calls become no-ops.
+func (s *Slot) disarm() {
+	s.mu.Lock()
+	s.armed = false
+	s.mu.Unlock()
 }
 
 // Run sends req to the slot's worker and pumps events into onEvent until
@@ -135,6 +195,7 @@ type Slot struct {
 // worker itself failed (died, was killed, spoke garbage) — the caller must
 // release the slot unhealthy so the pool respawns it.
 func (s *Slot) Run(req JobRequest, onEvent func(WorkerEvent)) error {
+	defer s.disarm()
 	s.mu.Lock()
 	w := s.w
 	s.mu.Unlock()

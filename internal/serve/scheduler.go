@@ -333,7 +333,11 @@ func (s *Scheduler) runSingle(j *Job, slot *Slot) {
 	defer s.wg.Done()
 	j.SetRunning()
 	req := JobRequest{ID: j.ID, Spec: j.Wire, Iters: j.Iters, StatsEvery: statsEvery(j.Iters)}
-	watchdog := time.AfterFunc(s.cfg.JobTimeout, slot.KillWorker)
+	// The kill token scopes the watchdog to this run: if the timer fires
+	// concurrently with completion, the late callback is a no-op instead of
+	// shooting a respawned worker or the slot's next tenant.
+	token := slot.Arm()
+	watchdog := time.AfterFunc(s.cfg.JobTimeout, func() { slot.KillIf(token) })
 	err := slot.Run(req, func(ev WorkerEvent) {
 		switch ev.Event {
 		case "stats":
@@ -393,9 +397,16 @@ func (s *Scheduler) runGang(j *Job, slots []*Slot) {
 	}
 	outs := make([]rankOut, n)
 	healthy := make([]bool, n)
+	// Arm every slot before any rank starts: the tokens scope both the
+	// watchdog and the error collapse to this gang's runs, so a late kill
+	// cannot hit a slot that finished and moved on to another job.
+	tokens := make([]uint64, n)
+	for k, sl := range slots {
+		tokens[k] = sl.Arm()
+	}
 	killAll := func() {
-		for _, sl := range slots {
-			sl.KillWorker()
+		for k, sl := range slots {
+			sl.KillIf(tokens[k])
 		}
 	}
 	watchdog := time.AfterFunc(s.cfg.JobTimeout, killAll)

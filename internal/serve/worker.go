@@ -151,7 +151,12 @@ func runTyped[T abft.Float](req JobRequest, w *abft.WireSpec, emit func(WorkerEv
 	if err != nil {
 		return fail(err)
 	}
-	spec.Pool = abft.NewPool()
+	// The pool is job-local, and WorkerMain serves many jobs from one
+	// long-lived process: close it when the job ends or every job leaks
+	// GOMAXPROCS-1 parked goroutines for the worker's lifetime.
+	pool := abft.NewPool()
+	defer pool.Close()
+	spec.Pool = pool
 	spec.Telemetry = abft.NewTelemetry(0)
 	if req.TCP {
 		spec.Transport = abft.TransportTCP

@@ -307,11 +307,14 @@ func gridFromWire[T Float](g *WireGrid, what string) (*Grid[T], *Grid3D[T], erro
 		return nil, nil, wireErrorf(nil, "stencilabft: wire spec needs a %s (inline data, a generator, or a resolved upload)", what)
 	}
 	nz := g.Nz
+	if nz < 0 {
+		return nil, nil, wireErrorf(nil, "stencilabft: %s has negative nz %d (use nz >= 1 for 3-D, omit it or set 0 for 2-D)", what, g.Nz)
+	}
 	is3D := nz > 0
 	if !is3D {
 		nz = 1
 	}
-	if g.Nx < 1 || g.Ny < 1 || nz < 1 {
+	if g.Nx < 1 || g.Ny < 1 {
 		return nil, nil, wireErrorf(nil, "stencilabft: %s shape %dx%dx%d is invalid (each set axis must be >= 1)", what, g.Nx, g.Ny, g.Nz)
 	}
 	sources := 0

@@ -322,6 +322,7 @@ func TestParseWireSpecMalformed(t *testing.T) {
 		{"upload", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8,"upload":"abc"}}`, []error{abft.ErrUnresolvedUpload, abft.ErrBadWireSpec}},
 		{"two-sources", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8,"generator":"uniform","data":[1]}}`, []error{abft.ErrBadWireSpec}},
 		{"no-source", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8}}`, []error{abft.ErrBadWireSpec}},
+		{"negative-nz", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8,"nz":-4,"generator":"constant","value":1}}`, []error{abft.ErrBadWireSpec}},
 		{"data-len", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8,"data":[1,2,3]}}`, []error{abft.ErrBadWireSpec}},
 		{"generator", `{"stencil":{"name":"laplace5"},"grid":{"nx":8,"ny":8,"generator":"fractal"}}`, []error{abft.ErrUnknownGenerator, abft.ErrBadWireSpec}},
 		{"bc", `{"stencil":{"name":"laplace5"},"bc":"open",` + grid + `}`, []error{abft.ErrBadWireSpec}},
